@@ -1,0 +1,38 @@
+//! Criterion bench: the FFT substrate (radix-2, Bluestein, planner reuse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdacc_fft::{BluesteinFft, Complex, Direction, FftPlanner, Radix2Fft};
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[64usize, 256, 1024, 4096] {
+        let x = signal(n);
+        let plan = Radix2Fft::new(n, Direction::Forward);
+        group.bench_with_input(BenchmarkId::new("radix2", n), &x, |b, x| {
+            b.iter(|| plan.transform(x));
+        });
+    }
+    for &n in &[63usize, 1000] {
+        let x = signal(n);
+        let plan = BluesteinFft::new(n, Direction::Forward);
+        group.bench_with_input(BenchmarkId::new("bluestein", n), &x, |b, x| {
+            b.iter(|| plan.transform(x));
+        });
+    }
+    // Planner with cache vs cold planning.
+    let x = signal(1024);
+    let mut planner = FftPlanner::new();
+    let _ = planner.fft(&x);
+    group.bench_function("planner_cached_1024", |b| b.iter(|| planner.fft(&x)));
+    group.bench_function("planner_cold_1024", |b| {
+        b.iter(|| FftPlanner::new().fft(&x));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

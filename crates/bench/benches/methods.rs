@@ -1,0 +1,43 @@
+//! Criterion bench: the three evaluation methods head to head on the same
+//! system, plus an ablation of the IIR internal-feedback shaping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psdacc_core::{evaluate_agnostic, evaluate_flat, evaluate_psd_method, WordLengthPlan};
+use psdacc_fixed::RoundingMode;
+use psdacc_systems::filter_bank::{iir_entry, iir_system};
+
+fn bench_methods(c: &mut Criterion) {
+    let sfg = iir_system(iir_entry(20).expect("valid population").1);
+    let output = sfg.outputs()[0];
+    let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+    let sources = plan.noise_sources(&sfg);
+    let mut group = c.benchmark_group("methods");
+    group.bench_function("psd_method_1024", |b| {
+        b.iter(|| evaluate_psd_method(&sfg, output, &sources, 1024).expect("valid system"));
+    });
+    group.bench_function("agnostic", |b| {
+        b.iter(|| evaluate_agnostic(&sfg, output, &sources).expect("valid system"));
+    });
+    group.bench_function("flat", |b| {
+        b.iter(|| evaluate_flat(&sfg, output, &sources, 1 << 14, 1e-12).expect("valid system"));
+    });
+    // Ablation: dropping the 1/A internal shaping (treating the IIR source
+    // as if injected at the block output) is cheaper but wrong; the bench
+    // records the cost delta, the accuracy delta is reported by
+    // `exp_ablation`.
+    let unshaped: Vec<_> = sources
+        .iter()
+        .cloned()
+        .map(|mut s| {
+            s.internal_feedback = None;
+            s
+        })
+        .collect();
+    group.bench_function("psd_method_no_shaping_ablation", |b| {
+        b.iter(|| evaluate_psd_method(&sfg, output, &unshaped, 1024).expect("valid system"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

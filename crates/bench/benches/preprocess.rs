@@ -1,0 +1,30 @@
+//! Criterion bench: the tau_pp preprocessing stage — per-system transfer
+//! function sampling and graph resolution, reused across configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdacc_core::AccuracyEvaluator;
+use psdacc_systems::filter_bank::{fir_entry, fir_system, iir_entry, iir_system};
+use psdacc_wavelet::DwtNoiseModel;
+
+fn bench_tau_pp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tau_pp");
+    let fir = fir_system(fir_entry(10).expect("valid population").1);
+    let iir = iir_system(iir_entry(11).expect("valid population").1);
+    for &npsd in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("fir_graph", npsd), &npsd, |b, &n| {
+            b.iter(|| AccuracyEvaluator::new(&fir, n).expect("valid system"));
+        });
+        group.bench_with_input(BenchmarkId::new("iir_graph", npsd), &npsd, |b, &n| {
+            b.iter(|| AccuracyEvaluator::new(&iir, n).expect("valid system"));
+        });
+    }
+    for &side in &[16usize, 32] {
+        group.bench_with_input(BenchmarkId::new("dwt_model", side * side), &side, |b, &s| {
+            b.iter(|| DwtNoiseModel::new(2, s, s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tau_pp);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: the tau_eval stage (paper Section III-B) — one
+//! PSD-method evaluation per word-length configuration, expected O(N_PSD).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psdacc_core::{evaluate_with_responses, AccuracyEvaluator, WordLengthPlan};
+use psdacc_fixed::RoundingMode;
+use psdacc_systems::filter_bank::{fir_entry, fir_system};
+
+fn bench_tau_eval(c: &mut Criterion) {
+    let sfg = fir_system(fir_entry(10).expect("valid population").1);
+    let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+    let sources = plan.noise_sources(&sfg);
+    let mut group = c.benchmark_group("tau_eval");
+    for &npsd in &[64usize, 256, 1024, 4096] {
+        let eval = AccuracyEvaluator::new(&sfg, npsd).expect("valid system");
+        group.bench_with_input(BenchmarkId::from_parameter(npsd), &npsd, |b, _| {
+            b.iter(|| evaluate_with_responses(eval.responses(), &sources));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tau_eval);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: the Monte-Carlo simulation reference the analytical
+//! methods are replacing (the numerator of the paper's speed-up).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psdacc_fixed::{Quantizer, RoundingMode};
+use psdacc_sim::{measure_quantization_error, SimulationPlan};
+use psdacc_systems::filter_bank::{fir_entry, fir_system};
+use psdacc_systems::{DwtSystem, FreqFilterSystem};
+use psdacc_testimg::corpus_image;
+use psdacc_wavelet::Matrix;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let sfg = fir_system(fir_entry(3).expect("valid population").1);
+    let plan = SimulationPlan { samples: 10_000, nfft: 128, ..Default::default() };
+    let quant = psdacc_core::WordLengthPlan::uniform(12, RoundingMode::Truncate).quantizers(&sfg);
+    group.bench_function("fir_10k_samples", |b| {
+        b.iter(|| measure_quantization_error(&sfg, &quant, &plan).expect("valid system"));
+    });
+    let freq = FreqFilterSystem::new();
+    let x: Vec<f64> = (0..10_000).map(|i| ((i * 37 % 101) as f64 / 101.0) - 0.5).collect();
+    let q = Quantizer::new(12, RoundingMode::Truncate);
+    group.bench_function("freq_filter_10k_samples", |b| {
+        b.iter(|| freq.measure(&x, &q, 128));
+    });
+    let dwt = DwtSystem::paper();
+    let img = Matrix::from_vec(corpus_image(0, 64), 64, 64);
+    group.bench_function("dwt_codec_64x64", |b| {
+        b.iter(|| dwt.error_field(&img, &q).power());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

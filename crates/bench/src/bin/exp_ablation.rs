@@ -1,0 +1,7 @@
+//! Binary entry point for the ablation experiment (see
+//! `psdacc_bench::experiments::ablation`).
+
+fn main() {
+    let args = psdacc_bench::Args::parse();
+    psdacc_bench::experiments::ablation::run(&args);
+}

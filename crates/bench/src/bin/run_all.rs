@@ -1,0 +1,16 @@
+//! Runs every experiment in sequence (Tables I-II, Figs. 4-7).
+
+fn main() {
+    let args = psdacc_bench::Args::parse();
+    psdacc_bench::experiments::table1::run(&args);
+    println!();
+    psdacc_bench::experiments::fig4::run(&args);
+    println!();
+    psdacc_bench::experiments::fig5::run(&args);
+    println!();
+    psdacc_bench::experiments::table2::run(&args);
+    println!();
+    psdacc_bench::experiments::fig6::run(&args);
+    println!();
+    psdacc_bench::experiments::fig7::run(&args);
+}

@@ -1,0 +1,69 @@
+//! **Fig. 5**: estimation deviation `Ed` versus the number of PSD samples
+//! `N_PSD` (16..1024), at `d = 32` fractional bits.
+
+use psdacc_dsp::SignalGenerator;
+use psdacc_fixed::{NoiseMoments, Quantizer, RoundingMode};
+use psdacc_systems::{DwtSystem, FreqFilterSystem};
+
+use crate::harness::{pct, Args, Table};
+
+/// The paper's N_PSD sweep (powers of two).
+pub const NPSD_SWEEP: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// PSD grid size.
+    pub npsd: usize,
+    /// Deviation of the frequency-filter estimate.
+    pub ed_freq: f64,
+    /// Deviation of the DWT estimate.
+    pub ed_dwt: f64,
+}
+
+/// Runs the sweep: one simulation per system, re-estimated per `N_PSD`.
+pub fn sweep(args: &Args, d: i32, rounding: RoundingMode) -> Vec<SweepPoint> {
+    let freq_sys = FreqFilterSystem::new();
+    let dwt_sys = DwtSystem::paper();
+    let q = Quantizer::new(d, rounding);
+    let moments = NoiseMoments::continuous(rounding, d);
+    let mut gen = SignalGenerator::new(args.seed);
+    let x = gen.uniform_white(args.samples, 1.0);
+    let (meas_f, _) = freq_sys.measure(&x, &q, 256);
+    let meas_d = dwt_sys.measure_power(args.images, args.size, d, rounding);
+    NPSD_SWEEP
+        .iter()
+        .map(|&npsd| {
+            let est_f = freq_sys.model_psd_power(moments, npsd);
+            let est_d = dwt_sys.model_psd_power(d, rounding, npsd);
+            SweepPoint {
+                npsd,
+                ed_freq: (est_f - meas_f) / meas_f,
+                ed_dwt: (est_d - meas_d) / meas_d,
+            }
+        })
+        .collect()
+}
+
+/// Full experiment with table output.
+pub fn run(args: &Args) {
+    let d = 32;
+    println!("== Fig. 5: Ed versus N_PSD (d = {d}, rounding) ==\n");
+    let points = sweep(args, d, RoundingMode::RoundNearest);
+    let mut t = Table::new(&["N_PSD", "Ed freq-filter", "Ed DWT 9/7"]);
+    for p in &points {
+        t.row(&[p.npsd.to_string(), pct(p.ed_freq), pct(p.ed_dwt)]);
+    }
+    println!("{}", t.render());
+    let _ = t.write_csv(&args.out_path("fig5.csv"));
+    let first = points.first().expect("non-empty sweep");
+    let last = points.last().expect("non-empty sweep");
+    println!(
+        "Ed at N_PSD=16: freq {} / dwt {}; at N_PSD=1024: freq {} / dwt {}",
+        pct(first.ed_freq),
+        pct(first.ed_dwt),
+        pct(last.ed_freq),
+        pct(last.ed_dwt)
+    );
+    println!("paper: curves tend into +-1% as N_PSD grows (freq-filter starts near -8% at 16)");
+}

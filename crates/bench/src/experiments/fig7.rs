@@ -1,0 +1,97 @@
+//! **Fig. 7**: the 2-D frequency repartition of the DWT output error —
+//! measured by simulation and estimated by the PSD method — rendered as
+//! log-normalized grayscale images (DC at the center, as in the paper).
+
+use psdacc_fixed::RoundingMode;
+use psdacc_systems::DwtSystem;
+use psdacc_testimg::GrayImage;
+
+use crate::harness::Args;
+
+/// Grid side for the rendered spectra.
+pub const SIDE: usize = 64;
+
+/// Centers DC (fftshift) of a row-major `side x side` spectrum.
+pub fn fftshift2d(s: &[f64], side: usize) -> Vec<f64> {
+    let half = side / 2;
+    let mut out = vec![0.0; side * side];
+    for y in 0..side {
+        for x in 0..side {
+            let sy = (y + half) % side;
+            let sx = (x + half) % side;
+            out[sy * side + sx] = s[y * side + x];
+        }
+    }
+    out
+}
+
+/// Log-normalizes a spectrum to `[0, 1]` (black = low error, white = high,
+/// matching the paper's rendering).
+pub fn log_normalize(s: &[f64]) -> Vec<f64> {
+    let floor = 1e-300;
+    let logs: Vec<f64> = s.iter().map(|&v| (v.max(floor)).log10()).collect();
+    let lo = logs.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = logs.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-12);
+    logs.iter().map(|&v| (v - lo) / span).collect()
+}
+
+/// Pearson correlation between two equal-length slices.
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation needs equal lengths");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    num / (va.sqrt() * vb.sqrt()).max(1e-300)
+}
+
+/// Runs the experiment; returns the correlation between the log-spectra.
+pub fn compare_spectra(args: &Args, d: i32) -> (Vec<f64>, Vec<f64>, f64) {
+    let sys = DwtSystem::paper();
+    let rounding = RoundingMode::Truncate;
+    let measured = sys.measure_psd2d(args.images, args.size, SIDE, d, rounding);
+    let estimated = sys.model_psd(d, rounding, SIDE, SIDE);
+    let est_bins = estimated.display_bins();
+    let log_meas = log_normalize(&fftshift2d(&measured, SIDE));
+    let log_est = log_normalize(&fftshift2d(&est_bins, SIDE));
+    let corr = correlation(&log_meas, &log_est);
+    (log_meas, log_est, corr)
+}
+
+/// Full experiment: writes the two PGM renderings and reports their
+/// agreement.
+pub fn run(args: &Args) {
+    let d = 12; // the paper's Fig. 7 setting
+    println!("== Fig. 7: 2-D frequency repartition of the DWT error (d = {d}) ==\n");
+    let (log_meas, log_est, corr) = compare_spectra(args, d);
+    let sim_path = args.out_path("fig7_simulation.pgm");
+    let est_path = args.out_path("fig7_psd_estimation.pgm");
+    GrayImage::from_f64(&log_meas, SIDE, SIDE, 0.0, 1.0)
+        .write_pgm(&sim_path)
+        .expect("write simulation spectrum");
+    GrayImage::from_f64(&log_est, SIDE, SIDE, 0.0, 1.0)
+        .write_pgm(&est_path)
+        .expect("write estimated spectrum");
+    println!("wrote {} and {}", sim_path.display(), est_path.display());
+    println!("correlation between log-spectra: {corr:.3} (visual agreement in the paper)");
+    // A terminal thumbnail: 16x16 ASCII shade of the estimate.
+    let shades = [' ', '.', ':', '+', '*', '#'];
+    println!("\nestimated spectrum (DC at center):");
+    for y in (0..SIDE).step_by(SIDE / 16) {
+        let mut line = String::new();
+        for x in (0..SIDE).step_by(SIDE / 16) {
+            let v = log_est[y * SIDE + x];
+            line.push(shades[(v * (shades.len() - 1) as f64).round() as usize]);
+            line.push(' ');
+        }
+        println!("  {line}");
+    }
+}

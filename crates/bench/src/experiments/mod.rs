@@ -1,0 +1,19 @@
+//! The experiments, one module per paper artifact.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table I — Ed statistics over 147 FIR + 147 IIR filters |
+//! | [`fig4`] | Fig. 4 — Ed versus fractional bit-width `d` |
+//! | [`fig5`] | Fig. 5 — Ed versus the number of PSD samples `N_PSD` |
+//! | [`table2`] | Table II — proposed PSD method versus PSD-agnostic |
+//! | [`fig6`] | Fig. 6 — execution time and speed-up versus `N_PSD` |
+//! | [`fig7`] | Fig. 7 — 2-D frequency repartition of the DWT output error |
+//! | [`ablation`] | Extension — Ed cost of removing each modeling ingredient |
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;

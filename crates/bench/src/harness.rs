@@ -1,0 +1,195 @@
+//! Shared experiment plumbing: CLI parsing, table rendering, CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Monte-Carlo input samples for 1-D systems.
+    pub samples: usize,
+    /// Number of corpus images for the DWT system.
+    pub images: usize,
+    /// Image side length for the DWT system.
+    pub size: usize,
+    /// Default PSD grid size.
+    pub npsd: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output directory for CSV / PGM artifacts.
+    pub out: PathBuf,
+    /// Paper-scale workloads (1e6-1e7 samples, 196 images of 512x512).
+    pub full: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            samples: 200_000,
+            images: 4,
+            size: 128,
+            npsd: 1024,
+            seed: 0xBA55,
+            out: PathBuf::from("target/experiments"),
+            full: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `--key value` style arguments (unknown keys are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed input — appropriate for
+    /// experiment binaries.
+    pub fn parse() -> Self {
+        let mut args = Args::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].as_str();
+            let take = |args_i: &mut usize| -> String {
+                *args_i += 1;
+                argv.get(*args_i)
+                    .unwrap_or_else(|| panic!("missing value for {key}"))
+                    .clone()
+            };
+            match key {
+                "--samples" => args.samples = take(&mut i).parse().expect("--samples: integer"),
+                "--images" => args.images = take(&mut i).parse().expect("--images: integer"),
+                "--size" => args.size = take(&mut i).parse().expect("--size: integer"),
+                "--npsd" => args.npsd = take(&mut i).parse().expect("--npsd: integer"),
+                "--seed" => args.seed = take(&mut i).parse().expect("--seed: integer"),
+                "--out" => args.out = PathBuf::from(take(&mut i)),
+                "--full" => args.full = true,
+                other => panic!(
+                    "unknown argument {other}; known: --samples --images --size --npsd --seed --out --full"
+                ),
+            }
+            i += 1;
+        }
+        if args.full {
+            args.samples = 10_000_000;
+            args.images = 196;
+            args.size = 512;
+        }
+        args
+    }
+
+    /// Ensures the output directory exists and returns a path inside it.
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        let _ = fs::create_dir_all(&self.out);
+        self.out.join(name)
+    }
+}
+
+/// A simple aligned text table with CSV export.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:>w$}  ", w = w);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Writes CSV to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut s = self.headers.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        fs::write(path, s)
+    }
+}
+
+/// Formats a fraction as a signed percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", 100.0 * x)
+}
+
+/// Formats a number in engineering notation.
+pub fn eng(x: f64) -> String {
+    format!("{x:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("long-name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        let path = std::env::temp_dir().join("psdacc_table.csv");
+        t.write_csv(&path).unwrap();
+        let s = fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.123), "+12.30%");
+        assert_eq!(eng(1234.5), "1.234e3");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

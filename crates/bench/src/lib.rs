@@ -1,0 +1,16 @@
+//! # psdacc-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper.
+//! Each experiment lives in [`experiments`] and is exposed both as a binary
+//! (`cargo run -p psdacc-bench --release --bin exp_table1`) and as a
+//! library function (used by `run_all` and by integration tests).
+//!
+//! Common CLI knobs (`--samples`, `--images`, `--size`, `--npsd`, `--seed`,
+//! `--out`, `--full`) are parsed by [`Args`]; defaults are scaled down from
+//! the paper's 1e6-1e7 sample counts so the full suite runs in minutes, and
+//! `--full` restores paper-scale workloads.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Args, Table};

@@ -1,0 +1,228 @@
+//! The PSD-agnostic hierarchical baseline (paper Fig. 1b, after refs. 9 and 4 of the paper).
+//!
+//! Blocks are characterized only by their impulse-response energy
+//! `E = sum h^2` and DC gain `D = sum h`; noise state at every wire is just
+//! `(mean, variance)`. Crossing a block maps `variance -> E * variance`
+//! (implicitly assuming the incoming noise is *white*) and
+//! `mean -> D * mean`; adders sum moments (implicitly assuming their inputs
+//! are *uncorrelated*). Both assumptions fail after the first
+//! frequency-selective block — that is the inaccuracy the paper quantifies
+//! in Table II.
+
+use psdacc_sfg::{NodeId, Sfg, SfgError};
+
+use crate::wordlength::NoiseSource;
+
+/// Result of a PSD-agnostic evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgnosticEstimate {
+    /// Accumulated mean at the output.
+    pub mean: f64,
+    /// Accumulated variance at the output.
+    pub variance: f64,
+}
+
+impl AgnosticEstimate {
+    /// Total estimated error power `mean^2 + variance`.
+    pub fn power(&self) -> f64 {
+        self.mean * self.mean + self.variance
+    }
+}
+
+/// Evaluates the output noise moments by blind moment propagation.
+///
+/// The graph must be acyclic at block level (feedback belongs *inside* IIR
+/// blocks, as in all paper benchmarks): hierarchical moment methods have no
+/// way to characterize an open loop.
+///
+/// # Errors
+///
+/// [`SfgError::DelayFreeCycle`] if the block-level graph is cyclic, plus
+/// [`SfgError::UnknownNode`] for a bad output id.
+pub fn evaluate_agnostic(
+    sfg: &Sfg,
+    output: NodeId,
+    sources: &[NoiseSource],
+) -> Result<AgnosticEstimate, SfgError> {
+    if output.0 >= sfg.len() {
+        return Err(SfgError::UnknownNode { node: output });
+    }
+    let order = full_topological_order(sfg)?;
+    // Per-node accumulated (mean, variance).
+    let mut mean = vec![0.0; sfg.len()];
+    let mut var = vec![0.0; sfg.len()];
+    for &id in &order {
+        let node = sfg.node(id);
+        // Sum of incoming noise, assuming uncorrelated inputs.
+        let (mut m, mut v) = node
+            .inputs
+            .iter()
+            .fold((0.0, 0.0), |(m, v), p| (m + mean[p.0], v + var[p.0]));
+        // Through the block: energy for variance (white-input assumption),
+        // DC gain for the mean.
+        m *= node.block.dc_gain();
+        v *= node.block.energy();
+        // The node's own source, if any (IIR sources shaped by 1/A).
+        for src in sources.iter().filter(|s| s.node == id) {
+            let (e_shape, d_shape) = match &src.internal_feedback {
+                None => (1.0, 1.0),
+                Some(a) => {
+                    let h = psdacc_dsp::iir_impulse_response(&[1.0], a, 1 << 20, 1e-16);
+                    (psdacc_dsp::energy_fir(&h), psdacc_dsp::dc_gain_fir(&h))
+                }
+            };
+            m += src.moments.mean * d_shape;
+            v += src.moments.variance * e_shape;
+        }
+        mean[id.0] = m;
+        var[id.0] = v;
+    }
+    Ok(AgnosticEstimate { mean: mean[output.0], variance: var[output.0] })
+}
+
+/// Kahn topological order over the *full* edge set.
+fn full_topological_order(sfg: &Sfg) -> Result<Vec<NodeId>, SfgError> {
+    let n = sfg.len();
+    let mut indegree = vec![0usize; n];
+    let mut succ = vec![Vec::new(); n];
+    for (i, node) in sfg.iter() {
+        for &p in &node.inputs {
+            succ[p.0].push(i);
+            indegree[i.0] += 1;
+        }
+    }
+    let mut queue: Vec<NodeId> = (0..n).filter(|&i| indegree[i] == 0).map(NodeId).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for &w in &succ[v.0] {
+            indegree[w.0] -= 1;
+            if indegree[w.0] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck: Vec<NodeId> = (0..n).filter(|&i| indegree[i] > 0).map(NodeId).collect();
+        return Err(SfgError::DelayFreeCycle { nodes: stuck });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psd_method::evaluate_psd_method;
+    use crate::wordlength::WordLengthPlan;
+    use psdacc_filters::{Fir, LtiSystem};
+    use psdacc_fixed::{NoiseMoments, RoundingMode};
+    use psdacc_sfg::Block;
+
+    /// On a *single* filter block fed by one white source, agnostic and PSD
+    /// methods agree (the paper's Section IV-B equivalence).
+    #[test]
+    fn agrees_with_psd_method_on_single_block() {
+        let fir = Fir::new(vec![0.4, 0.3, -0.2]);
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Fir(fir), &[x]).unwrap();
+        g.mark_output(f);
+        let plan = WordLengthPlan::uniform(10, RoundingMode::Truncate);
+        let sources = plan.noise_sources(&g);
+        let ag = evaluate_agnostic(&g, f, &sources).unwrap();
+        let psd = evaluate_psd_method(&g, f, &sources, 1024).unwrap();
+        assert!(
+            (ag.power() - psd.power()).abs() < 1e-9 * ag.power(),
+            "{} vs {}",
+            ag.power(),
+            psd.power()
+        );
+    }
+
+    /// Two cascaded filters: agnostic treats the first filter's (colored)
+    /// output as white at the second block, diverging from the PSD method.
+    #[test]
+    fn diverges_on_cascade() {
+        // Lowpass then highpass: the colored noise from stage 1 is almost
+        // entirely rejected by stage 2, which the agnostic method misses.
+        let lp = Fir::new(vec![0.25; 4]);
+        let hp = Fir::new(vec![0.25, -0.25, 0.25, -0.25]);
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let a = g.add_block(Block::Fir(lp), &[x]).unwrap();
+        let b = g.add_block(Block::Fir(hp), &[a]).unwrap();
+        g.mark_output(b);
+        // A single source at the input isolates the cascade effect.
+        let src = NoiseSource {
+            node: x,
+            moments: NoiseMoments::new(0.0, 1.0),
+            internal_feedback: None,
+        };
+        let ag = evaluate_agnostic(&g, b, &[src.clone()]).unwrap();
+        let psd = evaluate_psd_method(&g, b, &[src], 1024).unwrap();
+        // Agnostic: energy(LP)*energy(HP) = 0.0625. True (PSD): the band
+        // rejected by HP was exactly where LP concentrated the noise, so
+        // only 0.015625 survives — a 4x overestimate.
+        let ratio = ag.power() / psd.power();
+        assert!((ag.power() - 0.0625).abs() < 1e-12);
+        assert!((ratio - 4.0).abs() < 0.01, "expected ~4x overestimate, got {ratio}");
+    }
+
+    #[test]
+    fn source_moments_accumulate() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let a = g.add_block(Block::Gain(2.0), &[x]).unwrap();
+        g.mark_output(a);
+        // Gain 2.0 is a power of two -> only the input source exists under a
+        // plan; craft sources manually to check arithmetic.
+        let s1 = NoiseSource {
+            node: x,
+            moments: NoiseMoments::new(0.1, 1.0),
+            internal_feedback: None,
+        };
+        let s2 = NoiseSource {
+            node: a,
+            moments: NoiseMoments::new(-0.05, 0.5),
+            internal_feedback: None,
+        };
+        let est = evaluate_agnostic(&g, a, &[s1, s2]).unwrap();
+        // Input source through gain 2: mean 0.2, var 4.0; plus own source.
+        assert!((est.mean - (0.2 - 0.05)).abs() < 1e-12);
+        assert!((est.variance - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let add = g.add_block(Block::Add, &[x]).unwrap();
+        let d = g.add_block(Block::Delay(1), &[add]).unwrap();
+        g.set_inputs(add, &[x, d]).unwrap();
+        g.mark_output(add);
+        assert!(matches!(
+            evaluate_agnostic(&g, add, &[]),
+            Err(SfgError::DelayFreeCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn iir_source_shaping_energy() {
+        use psdacc_filters::Iir;
+        let iir = Iir::new(vec![1.0], vec![1.0, -0.5]).unwrap();
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Iir(iir.clone()), &[x]).unwrap();
+        g.mark_output(f);
+        let mut plan = WordLengthPlan::uniform(8, RoundingMode::RoundNearest);
+        plan.quantize_inputs = false;
+        let est = evaluate_agnostic(&g, f, &plan.noise_sources(&g)).unwrap();
+        let sigma2 = NoiseMoments::continuous(RoundingMode::RoundNearest, 8).variance;
+        let expect = sigma2 / (1.0 - 0.25); // energy of (0.5)^n
+        assert!((est.variance - expect).abs() < 1e-6 * expect);
+        let _ = iir.energy();
+    }
+}

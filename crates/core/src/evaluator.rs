@@ -1,0 +1,270 @@
+//! The high-level accuracy evaluator: preprocessing cache + the three
+//! methods + simulation, with the paper's `tau_pp` / `tau_eval` split.
+
+use std::time::Instant;
+
+use psdacc_sfg::{node_responses, NodeId, NodeResponses, Sfg, SfgError};
+use psdacc_sim::{measure_quantization_error, SimulationPlan};
+
+use crate::agnostic::evaluate_agnostic;
+use crate::flat::evaluate_flat;
+use crate::psd_method::evaluate_with_responses;
+use crate::report::{Comparison, Estimate, Method};
+use crate::wordlength::WordLengthPlan;
+
+/// Accuracy evaluator for one system (one SFG and one designated output).
+///
+/// Construction performs the one-time preprocessing (`tau_pp`): solving the
+/// graph per frequency bin. Every subsequent word-length configuration is
+/// evaluated in O(Ne * N_PSD) (`tau_eval`), which is what makes the method
+/// usable inside a word-length optimization loop.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_core::{AccuracyEvaluator, WordLengthPlan};
+/// use psdacc_fixed::RoundingMode;
+/// use psdacc_sfg::{Sfg, Block};
+/// use psdacc_filters::Fir;
+///
+/// let mut g = Sfg::new();
+/// let x = g.add_input();
+/// let f = g.add_block(Block::Fir(Fir::new(vec![0.5, 0.5])), &[x])?;
+/// g.mark_output(f);
+/// let eval = AccuracyEvaluator::new(&g, 256)?;
+/// let plan = WordLengthPlan::uniform(12, RoundingMode::RoundNearest);
+/// let est = eval.estimate_psd(&plan);
+/// assert!(est.power > 0.0);
+/// # Ok::<(), psdacc_sfg::SfgError>(())
+/// ```
+#[derive(Debug)]
+pub struct AccuracyEvaluator {
+    sfg: Sfg,
+    output: NodeId,
+    responses: NodeResponses,
+    preprocess_seconds: f64,
+}
+
+impl AccuracyEvaluator {
+    /// Builds an evaluator for the first marked output of `sfg`, sampling
+    /// PSDs on `npsd` bins.
+    ///
+    /// # Errors
+    ///
+    /// [`SfgError::NoOutput`] when the graph has no designated output, plus
+    /// any realizability error from the frequency solver.
+    pub fn new(sfg: &Sfg, npsd: usize) -> Result<Self, SfgError> {
+        let output = *sfg.outputs().first().ok_or(SfgError::NoOutput)?;
+        let t0 = Instant::now();
+        let responses = node_responses(sfg, output, npsd)?;
+        let preprocess_seconds = t0.elapsed().as_secs_f64();
+        Ok(AccuracyEvaluator { sfg: sfg.clone(), output, responses, preprocess_seconds })
+    }
+
+    /// The analyzed graph.
+    pub fn sfg(&self) -> &Sfg {
+        &self.sfg
+    }
+
+    /// The designated output node.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// PSD grid size.
+    pub fn npsd(&self) -> usize {
+        self.responses.npsd()
+    }
+
+    /// Wall-clock seconds spent in preprocessing (`tau_pp`).
+    pub fn preprocess_seconds(&self) -> f64 {
+        self.preprocess_seconds
+    }
+
+    /// Cached source-to-output responses (e.g. for custom propagation).
+    pub fn responses(&self) -> &NodeResponses {
+        &self.responses
+    }
+
+    /// Proposed PSD method (`tau_eval` stage only — reuses the cache).
+    pub fn estimate_psd(&self, plan: &WordLengthPlan) -> Estimate {
+        let sources = plan.noise_sources(&self.sfg);
+        let t0 = Instant::now();
+        let est = evaluate_with_responses(&self.responses, &sources);
+        let elapsed = t0.elapsed();
+        Estimate {
+            method: Method::PsdMethod,
+            power: est.power(),
+            mean: est.psd.mean(),
+            variance: est.psd.variance(),
+            psd: Some(est.psd),
+            elapsed,
+        }
+    }
+
+    /// PSD-agnostic hierarchical baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`SfgError::DelayFreeCycle`] when the block-level graph is cyclic.
+    pub fn estimate_agnostic(&self, plan: &WordLengthPlan) -> Result<Estimate, SfgError> {
+        let sources = plan.noise_sources(&self.sfg);
+        let t0 = Instant::now();
+        let est = evaluate_agnostic(&self.sfg, self.output, &sources)?;
+        Ok(Estimate {
+            method: Method::PsdAgnostic,
+            power: est.power(),
+            mean: est.mean,
+            variance: est.variance,
+            psd: None,
+            elapsed: t0.elapsed(),
+        })
+    }
+
+    /// Classical flat method (time-domain path probing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator-construction errors.
+    pub fn estimate_flat(&self, plan: &WordLengthPlan) -> Result<Estimate, SfgError> {
+        let sources = plan.noise_sources(&self.sfg);
+        let t0 = Instant::now();
+        let est = evaluate_flat(&self.sfg, self.output, &sources, 1 << 16, 1e-16)?;
+        Ok(Estimate {
+            method: Method::Flat,
+            power: est.power(),
+            mean: est.mean,
+            variance: est.variance,
+            psd: None,
+            elapsed: t0.elapsed(),
+        })
+    }
+
+    /// Monte-Carlo simulation reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator-construction errors.
+    pub fn simulate(
+        &self,
+        plan: &WordLengthPlan,
+        sim: &SimulationPlan,
+    ) -> Result<Estimate, SfgError> {
+        let quantizers = plan.quantizers(&self.sfg);
+        let t0 = Instant::now();
+        let m = measure_quantization_error(&self.sfg, &quantizers, sim)?;
+        Ok(Estimate {
+            method: Method::Simulation,
+            power: m.power,
+            mean: m.mean,
+            variance: m.variance,
+            psd: Some(crate::noise_psd::NoisePsd::from_parts(
+                {
+                    // Remove the mean mass from the measured DC bin so the
+                    // representation matches NoisePsd conventions.
+                    let mut bins = m.psd.clone();
+                    if let Some(dc) = bins.first_mut() {
+                        *dc = (*dc - m.mean * m.mean).max(0.0);
+                    }
+                    bins
+                },
+                m.mean,
+            )),
+            elapsed: t0.elapsed(),
+        })
+    }
+
+    /// Runs simulation plus all three analytical methods and packages the
+    /// comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from any stage.
+    pub fn compare(
+        &self,
+        plan: &WordLengthPlan,
+        sim: &SimulationPlan,
+    ) -> Result<Comparison, SfgError> {
+        let simulated = self.simulate(plan, sim)?;
+        let estimates = vec![
+            self.estimate_psd(plan),
+            self.estimate_agnostic(plan)?,
+            self.estimate_flat(plan)?,
+        ];
+        Ok(Comparison { simulated, estimates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use psdacc_filters::{butterworth, design_fir, BandSpec};
+    use psdacc_fixed::RoundingMode;
+    use psdacc_dsp::Window;
+    use psdacc_sfg::Block;
+
+    fn fir_system() -> Sfg {
+        let fir = design_fir(BandSpec::Lowpass { cutoff: 0.2 }, 31, Window::Hamming).unwrap();
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Fir(fir), &[x]).unwrap();
+        g.mark_output(f);
+        g
+    }
+
+    /// End-to-end: the PSD estimate lands within a few percent of the
+    /// simulation on a designed FIR filter (Table I row, in miniature).
+    #[test]
+    fn psd_method_matches_simulation_on_fir() {
+        let g = fir_system();
+        let eval = AccuracyEvaluator::new(&g, 1024).unwrap();
+        let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+        let sim = SimulationPlan { samples: 200_000, nfft: 256, ..Default::default() };
+        let c = eval.compare(&plan, &sim).unwrap();
+        let ed = c.ed_of(Method::PsdMethod).unwrap();
+        assert!(ed.abs() < 0.05, "FIR Ed should be tiny, got {ed}");
+        // Flat agrees with PSD on an elementary block (Section IV-B).
+        let ed_flat = c.ed_of(Method::Flat).unwrap();
+        assert!((ed - ed_flat).abs() < 1e-6, "flat and psd must coincide");
+    }
+
+    /// End-to-end on an IIR: recursive shaping captured, sub-one-bit.
+    #[test]
+    fn psd_method_matches_simulation_on_iir() {
+        let iir = butterworth(4, BandSpec::Lowpass { cutoff: 0.15 }).unwrap();
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Iir(iir), &[x]).unwrap();
+        g.mark_output(f);
+        let eval = AccuracyEvaluator::new(&g, 1024).unwrap();
+        let plan = WordLengthPlan::uniform(12, RoundingMode::RoundNearest);
+        let sim = SimulationPlan { samples: 300_000, nfft: 256, ..Default::default() };
+        let c = eval.compare(&plan, &sim).unwrap();
+        let ed = c.ed_of(Method::PsdMethod).unwrap();
+        assert!(metrics::is_sub_one_bit(ed), "IIR Ed out of band: {ed}");
+        assert!(ed.abs() < 0.35, "IIR Ed larger than paper-scale bounds: {ed}");
+    }
+
+    #[test]
+    fn preprocessing_is_reused() {
+        let g = fir_system();
+        let eval = AccuracyEvaluator::new(&g, 512).unwrap();
+        let e1 = eval.estimate_psd(&WordLengthPlan::uniform(8, RoundingMode::Truncate));
+        let e2 = eval.estimate_psd(&WordLengthPlan::uniform(16, RoundingMode::Truncate));
+        // 8 bits -> 16 bits: noise power drops by ~2^16.
+        let ratio = e1.power / e2.power;
+        assert!(
+            (ratio.log2() - 16.0).abs() < 0.1,
+            "power should scale by 2^(2*8), log2 ratio {}",
+            ratio.log2()
+        );
+    }
+
+    #[test]
+    fn no_output_is_an_error() {
+        let mut g = Sfg::new();
+        let _ = g.add_input();
+        assert!(matches!(AccuracyEvaluator::new(&g, 64), Err(SfgError::NoOutput)));
+    }
+}

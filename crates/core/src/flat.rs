@@ -1,0 +1,223 @@
+//! The classical flat analytical method (paper Eq. 4-6, after Menard et al., paper ref. 8).
+//!
+//! Every source's *time-domain* path impulse response `h_i` to the output
+//! is extracted by probing the reference simulator with a unit impulse
+//! injected at the source point; then
+//!
+//! `E[b_y^2] = sum_i K_i sigma_i^2 + sum_ij L_ij mu_i mu_j`
+//!
+//! with `K_i = sum_k h_i(k)^2` (Eq. 5) and, for deterministic LTI paths,
+//! `L_ij = (sum_k h_i(k)) (sum_l h_j(l))` (Eq. 6), so the double sum
+//! collapses to `(sum_i D_i mu_i)^2`.
+//!
+//! This is the exactness reference for single-rate systems (no `N_PSD`
+//! discretization), at the cost the paper describes: path extraction does
+//! not decompose hierarchically and is the slowest of the three methods on
+//! large systems.
+
+use psdacc_sfg::{NodeId, Sfg, SfgError};
+use psdacc_sim::SfgSimulator;
+
+use crate::wordlength::NoiseSource;
+
+/// Result of a flat analytical evaluation.
+#[derive(Debug, Clone)]
+pub struct FlatEstimate {
+    /// Accumulated output mean `sum_i D_i mu_i`.
+    pub mean: f64,
+    /// Accumulated output variance `sum_i K_i sigma_i^2`.
+    pub variance: f64,
+    /// Per-source path constants `(node, K_i, D_i)`.
+    pub path_constants: Vec<(NodeId, f64, f64)>,
+}
+
+impl FlatEstimate {
+    /// Total estimated error power.
+    pub fn power(&self) -> f64 {
+        self.mean * self.mean + self.variance
+    }
+}
+
+/// Evaluates the output noise power with the flat method.
+///
+/// `max_len` bounds each probed impulse response; probing stops early once
+/// the running tail energy drops below `tol` times the accumulated energy
+/// (recursive paths decay geometrically).
+///
+/// # Errors
+///
+/// Propagates [`SfgError`] from simulator construction.
+pub fn evaluate_flat(
+    sfg: &Sfg,
+    output: NodeId,
+    sources: &[NoiseSource],
+    max_len: usize,
+    tol: f64,
+) -> Result<FlatEstimate, SfgError> {
+    let mut sim = SfgSimulator::reference(sfg)?;
+    let zero_inputs = vec![0.0; sfg.inputs().len()];
+    let mut mean = 0.0;
+    let mut variance = 0.0;
+    let mut path_constants = Vec::with_capacity(sources.len());
+    for src in sources {
+        sim.reset();
+        sim.inject(src.node, 1.0);
+        let probe = probe_response(&mut sim, output, &zero_inputs, max_len, tol);
+        // IIR sources are injected inside the recursion: convolve with the
+        // 1/A shaping first.
+        let h = match &src.internal_feedback {
+            None => probe,
+            Some(_) => {
+                let shape = src.shaping_impulse(max_len, tol);
+                psdacc_dsp::convolve(&shape, &probe)
+            }
+        };
+        let k_i: f64 = h.iter().map(|v| v * v).sum();
+        let d_i: f64 = h.iter().sum();
+        variance += k_i * src.moments.variance;
+        mean += d_i * src.moments.mean;
+        path_constants.push((src.node, k_i, d_i));
+    }
+    Ok(FlatEstimate { mean, variance, path_constants })
+}
+
+/// Runs the simulator with zero external input until the response decays.
+fn probe_response(
+    sim: &mut SfgSimulator,
+    output: NodeId,
+    zero_inputs: &[f64],
+    max_len: usize,
+    tol: f64,
+) -> Vec<f64> {
+    let mut h = Vec::new();
+    let mut total = 0.0f64;
+    let mut tail = 0.0f64;
+    let window = 64usize;
+    for t in 0..max_len {
+        sim.step(zero_inputs);
+        let v = sim.value(output);
+        h.push(v);
+        total += v * v;
+        tail += v * v;
+        if t >= window {
+            let old = h[t - window];
+            tail -= old * old;
+            if total > 0.0 && tail <= tol * total {
+                break;
+            }
+            if total == 0.0 && t > 2 * window {
+                break; // the path never reaches the output
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psd_method::evaluate_psd_method;
+    use crate::wordlength::WordLengthPlan;
+    use psdacc_filters::{Fir, Iir, LtiSystem};
+    use psdacc_fixed::{NoiseMoments, RoundingMode};
+    use psdacc_sfg::Block;
+
+    #[test]
+    fn fir_path_constants_exact() {
+        let fir = Fir::new(vec![0.5, -0.25, 0.125]);
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Fir(fir.clone()), &[x]).unwrap();
+        g.mark_output(f);
+        let src = NoiseSource {
+            node: x,
+            moments: NoiseMoments::new(0.0, 1.0),
+            internal_feedback: None,
+        };
+        let est = evaluate_flat(&g, f, &[src], 4096, 1e-18).unwrap();
+        assert!((est.variance - fir.energy()).abs() < 1e-12);
+        let (_, k, d) = est.path_constants[0];
+        assert!((k - fir.energy()).abs() < 1e-12);
+        assert!((d - fir.dc_gain()).abs() < 1e-12);
+    }
+
+    /// The paper's Section IV-B claim: flat and PSD methods give identical
+    /// results on elementary filter blocks (up to N_PSD resolution).
+    #[test]
+    fn flat_equals_psd_method_on_filters() {
+        let fir = Fir::new(vec![0.3, 0.3, 0.2, 0.1, 0.05]);
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Fir(fir), &[x]).unwrap();
+        g.mark_output(f);
+        let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+        let sources = plan.noise_sources(&g);
+        let flat = evaluate_flat(&g, f, &sources, 4096, 1e-18).unwrap();
+        let psd = evaluate_psd_method(&g, f, &sources, 1024).unwrap();
+        assert!(
+            (flat.power() - psd.power()).abs() < 1e-9 * flat.power(),
+            "flat {} vs psd {}",
+            flat.power(),
+            psd.power()
+        );
+    }
+
+    #[test]
+    fn iir_source_energy_includes_recursion() {
+        let iir = Iir::new(vec![1.0], vec![1.0, -0.8]).unwrap();
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Iir(iir), &[x]).unwrap();
+        g.mark_output(f);
+        let mut plan = WordLengthPlan::uniform(10, RoundingMode::RoundNearest);
+        plan.quantize_inputs = false;
+        let sources = plan.noise_sources(&g);
+        let est = evaluate_flat(&g, f, &sources, 1 << 16, 1e-18).unwrap();
+        let sigma2 = NoiseMoments::continuous(RoundingMode::RoundNearest, 10).variance;
+        let expect = sigma2 / (1.0 - 0.64); // energy of 0.8^n
+        assert!((est.variance - expect).abs() < 1e-4 * expect);
+    }
+
+    #[test]
+    fn feedback_loop_probe_decays() {
+        // Explicit delay-feedback loop: y = x + 0.9 y z^-1.
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let add = g.add_block(Block::Add, &[x]).unwrap();
+        let gain = g.add_block(Block::Gain(0.9), &[add]).unwrap();
+        let delay = g.add_block(Block::Delay(1), &[gain]).unwrap();
+        g.set_inputs(add, &[x, delay]).unwrap();
+        g.mark_output(add);
+        let src = NoiseSource {
+            node: x,
+            moments: NoiseMoments::new(0.0, 1.0),
+            internal_feedback: None,
+        };
+        let est = evaluate_flat(&g, add, &[src], 1 << 16, 1e-18).unwrap();
+        let expect = 1.0 / (1.0 - 0.81);
+        assert!((est.variance - expect).abs() < 1e-4 * expect);
+    }
+
+    #[test]
+    fn truncation_means_collapse_to_squared_sum() {
+        // Two sources with DC gains 1 and 2: power mean term = (mu*1+mu*2)^2.
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let a = g.add_block(Block::Gain(2.0), &[x]).unwrap();
+        g.mark_output(a);
+        let mu = -0.01;
+        let s1 = NoiseSource {
+            node: x,
+            moments: NoiseMoments::new(mu, 0.0),
+            internal_feedback: None,
+        };
+        let s2 = NoiseSource {
+            node: a,
+            moments: NoiseMoments::new(mu, 0.0),
+            internal_feedback: None,
+        };
+        let est = evaluate_flat(&g, a, &[s1, s2], 256, 1e-18).unwrap();
+        let expect = (mu * 2.0 + mu).powi(2);
+        assert!((est.power() - expect).abs() < 1e-15);
+    }
+}

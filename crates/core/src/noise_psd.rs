@@ -1,0 +1,189 @@
+//! The discrete noise-PSD representation (paper Eq. 9/10).
+//!
+//! A [`NoisePsd`] carries the zero-mean spectral content as `N_PSD` bin
+//! masses (summing to the noise variance) plus the deterministic mean as a
+//! separate scalar. The paper's Eq. 10 folds `mu^2` into the DC *bin*; we
+//! keep the mean exact and separate — through an LTI path it scales by the
+//! DC gain, which loses nothing — and fold it only where unavoidable
+//! (rate changers, see `propagate`). With rounding quantizers (`mu = 0`)
+//! the two conventions are identical.
+
+use psdacc_fixed::NoiseMoments;
+
+/// Discrete power spectral density of a noise signal.
+///
+/// `bins[k]` is the noise power (bin mass) in `F in [k/N, (k+1)/N)`, so
+/// `sum(bins) == variance`; `mean` is the deterministic component.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_core::NoisePsd;
+/// use psdacc_fixed::{NoiseMoments, RoundingMode};
+///
+/// let m = NoiseMoments::continuous(RoundingMode::Truncate, 8);
+/// let psd = NoisePsd::white(m, 64);
+/// assert!((psd.power() - m.power()).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisePsd {
+    bins: Vec<f64>,
+    mean: f64,
+}
+
+impl NoisePsd {
+    /// An all-zero PSD on `npsd` bins.
+    pub fn zero(npsd: usize) -> Self {
+        NoisePsd { bins: vec![0.0; npsd], mean: 0.0 }
+    }
+
+    /// A spectrally white source with the given moments (paper Eq. 10):
+    /// every bin holds `variance / N_PSD`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `npsd == 0`.
+    pub fn white(moments: NoiseMoments, npsd: usize) -> Self {
+        assert!(npsd > 0, "PSD needs at least one bin");
+        NoisePsd { bins: vec![moments.variance / npsd as f64; npsd], mean: moments.mean }
+    }
+
+    /// Builds a PSD from explicit bins and mean.
+    pub fn from_parts(bins: Vec<f64>, mean: f64) -> Self {
+        NoisePsd { bins, mean }
+    }
+
+    /// The spectral bins (zero-mean content; sums to the variance).
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// The deterministic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of bins.
+    pub fn npsd(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Noise variance (`sum(bins)`).
+    pub fn variance(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Total noise power `mean^2 + variance` (paper Eq. 9 as a sum).
+    pub fn power(&self) -> f64 {
+        self.mean * self.mean + self.variance()
+    }
+
+    /// First two moments.
+    pub fn moments(&self) -> NoiseMoments {
+        NoiseMoments::new(self.mean, self.variance())
+    }
+
+    /// The displayable spectrum with the mean folded into the DC bin — the
+    /// exact layout of the paper's Eq. 10.
+    pub fn display_bins(&self) -> Vec<f64> {
+        let mut out = self.bins.clone();
+        if let Some(dc) = out.first_mut() {
+            *dc += self.mean * self.mean;
+        }
+        out
+    }
+
+    /// Sum of two PSDs of *uncorrelated* noises (paper Eq. 14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin counts differ.
+    pub fn add(&self, other: &NoisePsd) -> NoisePsd {
+        assert_eq!(self.npsd(), other.npsd(), "PSD grids must match");
+        NoisePsd {
+            bins: self.bins.iter().zip(&other.bins).map(|(a, b)| a + b).collect(),
+            mean: self.mean + other.mean,
+        }
+    }
+
+    /// In-place uncorrelated accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin counts differ.
+    pub fn add_assign(&mut self, other: &NoisePsd) {
+        assert_eq!(self.npsd(), other.npsd(), "PSD grids must match");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.mean += other.mean;
+    }
+
+    /// Scales the whole PSD by a constant *gain* `g` (power scales by
+    /// `g^2`, mean by `g`).
+    pub fn scale(&self, g: f64) -> NoisePsd {
+        NoisePsd { bins: self.bins.iter().map(|v| v * g * g).collect(), mean: self.mean * g }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_fixed::RoundingMode;
+
+    #[test]
+    fn white_psd_is_flat_and_exact() {
+        let m = NoiseMoments::new(-0.1, 1.2);
+        let psd = NoisePsd::white(m, 16);
+        for &b in psd.bins() {
+            assert!((b - 1.2 / 16.0).abs() < 1e-15);
+        }
+        assert!((psd.variance() - 1.2).abs() < 1e-12);
+        assert!((psd.power() - (0.01 + 1.2)).abs() < 1e-12);
+        assert_eq!(psd.mean(), -0.1);
+    }
+
+    #[test]
+    fn display_bins_fold_mean_into_dc() {
+        let psd = NoisePsd::white(NoiseMoments::new(0.5, 0.0), 8);
+        let d = psd.display_bins();
+        assert!((d[0] - 0.25).abs() < 1e-15);
+        assert!(d[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn addition_is_uncorrelated_sum() {
+        let a = NoisePsd::white(NoiseMoments::new(0.1, 1.0), 8);
+        let b = NoisePsd::white(NoiseMoments::new(-0.3, 2.0), 8);
+        let s = a.add(&b);
+        assert!((s.variance() - 3.0).abs() < 1e-12);
+        assert!((s.mean() - -0.2).abs() < 1e-12);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c, s);
+    }
+
+    #[test]
+    fn scaling() {
+        let a = NoisePsd::white(NoiseMoments::new(0.5, 1.0), 4);
+        let s = a.scale(-2.0);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.mean(), -1.0);
+    }
+
+    #[test]
+    fn truncation_source_has_dc_component() {
+        let m = NoiseMoments::continuous(RoundingMode::Truncate, 4);
+        let psd = NoisePsd::white(m, 32);
+        assert!(psd.mean() < 0.0);
+        assert!(psd.power() > psd.variance());
+    }
+
+    #[test]
+    #[should_panic(expected = "grids must match")]
+    fn mismatched_grids_rejected() {
+        let a = NoisePsd::zero(8);
+        let b = NoisePsd::zero(16);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,221 @@
+//! PSD propagation rules (paper Eq. 11-14, plus the multirate extensions
+//! needed by the DWT benchmark).
+
+use psdacc_fft::Complex;
+
+use crate::noise_psd::NoisePsd;
+
+/// Propagates a noise PSD through an LTI block with sampled complex response
+/// `resp` (paper Eq. 11): `S_out[k] = S_in[k] |H(F_k)|^2`, mean through the
+/// DC gain.
+///
+/// # Panics
+///
+/// Panics if `resp.len() != psd.npsd()`.
+pub fn through_response(psd: &NoisePsd, resp: &[Complex]) -> NoisePsd {
+    assert_eq!(resp.len(), psd.npsd(), "response grid must match PSD grid");
+    let bins = psd.bins().iter().zip(resp).map(|(s, h)| s * h.norm_sqr()).collect();
+    NoisePsd::from_parts(bins, psd.mean() * resp[0].re)
+}
+
+/// Propagates through a block given `|H|^2` samples and the (signed) DC
+/// gain.
+///
+/// # Panics
+///
+/// Panics if `mag2.len() != psd.npsd()`.
+pub fn through_magnitude(psd: &NoisePsd, mag2: &[f64], dc_gain: f64) -> NoisePsd {
+    assert_eq!(mag2.len(), psd.npsd(), "response grid must match PSD grid");
+    let bins = psd.bins().iter().zip(mag2).map(|(s, m)| s * m).collect();
+    NoisePsd::from_parts(bins, psd.mean() * dc_gain)
+}
+
+/// PSD after decimation by `m` (keep every `m`-th sample), on the *same*
+/// `N_PSD` grid: the spectrum folds,
+/// `S_y(F) = (1/m) sum_{i<m} S_x((F + i) / m)`.
+///
+/// Total power is preserved (decimation does not change `E[x^2]` of a
+/// stationary noise); the mean also passes through unchanged. Fractional
+/// source bins are resolved by periodic linear interpolation — an error on
+/// the order of the grid resolution, which is precisely the `N_PSD`
+/// trade-off the paper studies in Fig. 5.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn downsample_psd(psd: &NoisePsd, m: usize) -> NoisePsd {
+    assert!(m > 0, "decimation factor must be positive");
+    if m == 1 {
+        return psd.clone();
+    }
+    let n = psd.npsd();
+    let bins = (0..n)
+        .map(|k| {
+            (0..m)
+                .map(|i| interp_bin(psd.bins(), (k + i * n) as f64 / m as f64))
+                .sum::<f64>()
+                / m as f64
+        })
+        .collect();
+    NoisePsd::from_parts(bins, psd.mean())
+}
+
+/// PSD after zero-stuffing by `l` (insert `l-1` zeros), on the same grid:
+/// the spectrum compresses, `S_y(F) = (1/l) S_x(l F mod 1)`, and the total
+/// power drops to `1/l` of the input (only one in `l` samples is nonzero).
+///
+/// The deterministic mean becomes a periodic impulse train: its DC line
+/// (`mean/l`) stays in the `mean` slot and the `l-1` image lines at
+/// `F = i/l` are folded into the corresponding bins so downstream
+/// interpolation filters shape them correctly.
+///
+/// # Panics
+///
+/// Panics if `l == 0`.
+pub fn upsample_psd(psd: &NoisePsd, l: usize) -> NoisePsd {
+    assert!(l > 0, "expansion factor must be positive");
+    if l == 1 {
+        return psd.clone();
+    }
+    let n = psd.npsd();
+    let mut bins: Vec<f64> = (0..n)
+        .map(|k| interp_bin(psd.bins(), ((k * l) % n) as f64) / l as f64)
+        .collect();
+    let mean = psd.mean() / l as f64;
+    // Image lines of the mean train at F = i/l, i = 1..l-1.
+    let line_mass = mean * mean;
+    for i in 1..l {
+        let pos = (i * n) as f64 / l as f64;
+        deposit_bin(&mut bins, pos, line_mass);
+    }
+    NoisePsd::from_parts(bins, mean)
+}
+
+/// Periodic linear interpolation of a bin-mass array at fractional index.
+fn interp_bin(bins: &[f64], idx: f64) -> f64 {
+    let n = bins.len();
+    let lo = idx.floor() as usize % n;
+    let hi = (lo + 1) % n;
+    let frac = idx - idx.floor();
+    bins[lo] * (1.0 - frac) + bins[hi] * frac
+}
+
+/// Deposits `mass` at a fractional bin position, splitting linearly.
+fn deposit_bin(bins: &mut [f64], pos: f64, mass: f64) {
+    let n = bins.len();
+    let lo = pos.floor() as usize % n;
+    let hi = (lo + 1) % n;
+    let frac = pos - pos.floor();
+    bins[lo] += mass * (1.0 - frac);
+    bins[hi] += mass * frac;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_dsp::{downsample, upsample, welch, SignalGenerator, Window};
+    use psdacc_fixed::NoiseMoments;
+
+    #[test]
+    fn lti_propagation_scales_bins() {
+        let psd = NoisePsd::white(NoiseMoments::new(0.2, 1.0), 4);
+        let resp = vec![
+            Complex::from_re(2.0),
+            Complex::new(0.0, 1.0),
+            Complex::ZERO,
+            Complex::new(0.0, -1.0),
+        ];
+        let out = through_response(&psd, &resp);
+        assert_eq!(out.bins(), &[1.0, 0.25, 0.0, 0.25]);
+        assert!((out.mean() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn white_noise_survives_downsampling_white() {
+        let psd = NoisePsd::white(NoiseMoments::new(0.1, 1.0), 64);
+        for m in [2usize, 3, 4] {
+            let out = downsample_psd(&psd, m);
+            assert!((out.variance() - 1.0).abs() < 1e-12, "m={m}");
+            assert!((out.mean() - 0.1).abs() < 1e-15);
+            for &b in out.bins() {
+                assert!((b - 1.0 / 64.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn upsample_divides_power_by_l() {
+        let psd = NoisePsd::white(NoiseMoments::new(0.0, 1.2), 64);
+        for l in [2usize, 4] {
+            let out = upsample_psd(&psd, l);
+            assert!((out.power() - 1.2 / l as f64).abs() < 1e-12, "l={l}");
+        }
+    }
+
+    #[test]
+    fn upsample_mean_images() {
+        // Pure DC input: after zero-stuffing by 2, power mu^2/2 splits into
+        // a DC line (mu/2)^2 and a Nyquist line (mu/2)^2.
+        let psd = NoisePsd::white(NoiseMoments::new(1.0, 0.0), 8);
+        let out = upsample_psd(&psd, 2);
+        assert!((out.mean() - 0.5).abs() < 1e-15);
+        assert!((out.bins()[4] - 0.25).abs() < 1e-12); // image at F = 1/2
+        assert!((out.power() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn down_then_up_by_same_factor() {
+        // Down-up of white noise: power 1 -> 1 -> 1/2 for l = m = 2.
+        let psd = NoisePsd::white(NoiseMoments::new(0.0, 1.0), 32);
+        let out = upsample_psd(&downsample_psd(&psd, 2), 2);
+        assert!((out.power() - 0.5).abs() < 1e-12);
+    }
+
+    /// Measured check: a *shaped* (colored) noise downsampled in the time
+    /// domain has the PSD predicted by the folding rule.
+    #[test]
+    fn downsample_rule_matches_measurement() {
+        let mut gen = SignalGenerator::new(77);
+        let x = gen.ar1(1 << 18, 0.8, 1.0);
+        let nfft = 64;
+        let sx = welch(&x, nfft, 0.5, Window::Hann);
+        let y = downsample(&x, 2, 0);
+        let sy_measured = welch(&y, nfft, 0.5, Window::Hann);
+        let sy_predicted = downsample_psd(&NoisePsd::from_parts(sx, 0.0), 2);
+        for k in 0..nfft {
+            let p = sy_predicted.bins()[k];
+            let m = sy_measured[k];
+            assert!(
+                (p - m).abs() < 0.15 * (p.abs().max(m.abs()) + 1e-6),
+                "bin {k}: predicted {p}, measured {m}"
+            );
+        }
+    }
+
+    /// Measured check for the zero-stuffing rule on colored noise.
+    #[test]
+    fn upsample_rule_matches_measurement() {
+        let mut gen = SignalGenerator::new(78);
+        let x = gen.ar1(1 << 17, 0.7, 1.0);
+        let nfft = 64;
+        let sx = welch(&x, nfft, 0.5, Window::Hann);
+        let y = upsample(&x, 2);
+        let sy_measured = welch(&y, nfft, 0.5, Window::Hann);
+        let sy_predicted = upsample_psd(&NoisePsd::from_parts(sx, 0.0), 2);
+        for k in 0..nfft {
+            let p = sy_predicted.bins()[k];
+            let m = sy_measured[k];
+            assert!(
+                (p - m).abs() < 0.15 * (p.abs().max(m.abs()) + 1e-6),
+                "bin {k}: predicted {p}, measured {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_factors() {
+        let psd = NoisePsd::white(NoiseMoments::new(0.3, 0.7), 16);
+        assert_eq!(downsample_psd(&psd, 1), psd);
+        assert_eq!(upsample_psd(&psd, 1), psd);
+    }
+}

@@ -1,0 +1,209 @@
+//! Word-length refinement on top of the PSD evaluator — the use case the
+//! paper's introduction motivates (fixed-point refinement needs thousands
+//! of accuracy evaluations; the PSD method's cheap `tau_eval` makes the
+//! loop tractable).
+//!
+//! Two strategies:
+//!
+//! * [`minimum_uniform_wordlength`] — binary search for the smallest
+//!   uniform `d` meeting a noise-power budget;
+//! * [`greedy_refinement`] — per-source descent: repeatedly shave one bit
+//!   off the node whose cost/noise trade is best while the budget holds
+//!   (the classic greedy word-length optimization inner loop).
+
+use std::collections::HashMap;
+
+use psdacc_fixed::RoundingMode;
+use psdacc_sfg::NodeId;
+
+use crate::evaluator::AccuracyEvaluator;
+use crate::wordlength::WordLengthPlan;
+
+/// Finds the smallest uniform fractional word-length whose estimated output
+/// noise power stays at or below `budget`.
+///
+/// Returns `None` if even `max_bits` cannot meet the budget.
+///
+/// # Panics
+///
+/// Panics if `min_bits > max_bits`.
+pub fn minimum_uniform_wordlength(
+    evaluator: &AccuracyEvaluator,
+    budget: f64,
+    rounding: RoundingMode,
+    min_bits: i32,
+    max_bits: i32,
+) -> Option<i32> {
+    assert!(min_bits <= max_bits, "empty search range");
+    let meets = |d: i32| {
+        evaluator.estimate_psd(&WordLengthPlan::uniform(d, rounding)).power <= budget
+    };
+    if !meets(max_bits) {
+        return None;
+    }
+    let (mut lo, mut hi) = (min_bits, max_bits);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if meets(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Result of a greedy refinement.
+#[derive(Debug, Clone)]
+pub struct RefinementResult {
+    /// The refined plan.
+    pub plan: WordLengthPlan,
+    /// Estimated output noise power under the plan.
+    pub noise_power: f64,
+    /// Total fractional bits across quantized nodes (the cost proxy).
+    pub total_bits: i64,
+    /// Number of evaluator calls spent (each is one `tau_eval`).
+    pub evaluations: usize,
+}
+
+/// Greedy per-node descent: starting from a uniform `start_bits` plan,
+/// repeatedly removes one fractional bit from the node that keeps the
+/// estimated noise power lowest, as long as the power stays at or below
+/// `budget`.
+///
+/// This is exactly the loop the paper's scalability argument is about: one
+/// cheap `tau_eval` per candidate move, with preprocessing paid once.
+pub fn greedy_refinement(
+    evaluator: &AccuracyEvaluator,
+    budget: f64,
+    rounding: RoundingMode,
+    start_bits: i32,
+    min_bits: i32,
+) -> RefinementResult {
+    let sfg = evaluator.sfg().clone();
+    let quantized = WordLengthPlan::uniform(start_bits, rounding).quantized_nodes(&sfg);
+    let mut bits: HashMap<NodeId, i32> =
+        quantized.iter().map(|&n| (n, start_bits)).collect();
+    let mut evaluations = 0usize;
+    let build = |bits: &HashMap<NodeId, i32>| {
+        let mut plan = WordLengthPlan::uniform(start_bits, rounding);
+        for (&node, &d) in bits {
+            plan = plan.with_override(node, d);
+        }
+        plan
+    };
+    let mut current_power = {
+        evaluations += 1;
+        evaluator.estimate_psd(&build(&bits)).power
+    };
+    loop {
+        let mut best: Option<(NodeId, f64)> = None;
+        for &node in &quantized {
+            let d = bits[&node];
+            if d <= min_bits {
+                continue;
+            }
+            let mut trial = bits.clone();
+            trial.insert(node, d - 1);
+            evaluations += 1;
+            let power = evaluator.estimate_psd(&build(&trial)).power;
+            if power <= budget && best.is_none_or(|(_, p)| power < p) {
+                best = Some((node, power));
+            }
+        }
+        match best {
+            Some((node, power)) => {
+                *bits.get_mut(&node).expect("node tracked") -= 1;
+                current_power = power;
+            }
+            None => break,
+        }
+    }
+    let total_bits = bits.values().map(|&d| d as i64).sum();
+    RefinementResult { plan: build(&bits), noise_power: current_power, total_bits, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_dsp::Window;
+    use psdacc_filters::{design_fir, BandSpec};
+    use psdacc_sfg::{Block, Sfg};
+
+    fn two_stage_system() -> Sfg {
+        let lp = design_fir(BandSpec::Lowpass { cutoff: 0.2 }, 21, Window::Hamming).unwrap();
+        let hp = design_fir(BandSpec::Highpass { cutoff: 0.3 }, 21, Window::Hamming).unwrap();
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let a = g.add_block(Block::Fir(lp), &[x]).unwrap();
+        let b = g.add_block(Block::Fir(hp), &[a]).unwrap();
+        g.mark_output(b);
+        g
+    }
+
+    #[test]
+    fn uniform_search_meets_budget_minimally() {
+        let g = two_stage_system();
+        let eval = AccuracyEvaluator::new(&g, 256).unwrap();
+        let budget = 1e-8;
+        let d = minimum_uniform_wordlength(&eval, budget, RoundingMode::RoundNearest, 4, 32)
+            .expect("32 bits suffice");
+        let at = |d: i32| {
+            eval.estimate_psd(&WordLengthPlan::uniform(d, RoundingMode::RoundNearest)).power
+        };
+        assert!(at(d) <= budget);
+        assert!(at(d - 1) > budget, "d should be minimal");
+    }
+
+    #[test]
+    fn uniform_search_reports_infeasible() {
+        let g = two_stage_system();
+        let eval = AccuracyEvaluator::new(&g, 256).unwrap();
+        assert!(
+            minimum_uniform_wordlength(&eval, 1e-30, RoundingMode::RoundNearest, 4, 20).is_none()
+        );
+    }
+
+    #[test]
+    fn greedy_saves_bits_over_uniform() {
+        let g = two_stage_system();
+        let eval = AccuracyEvaluator::new(&g, 256).unwrap();
+        let rounding = RoundingMode::RoundNearest;
+        // Budget set at the uniform-12-bit noise level: greedy should shave
+        // bits from nodes whose noise the system attenuates.
+        let budget = eval.estimate_psd(&WordLengthPlan::uniform(12, rounding)).power * 1.02;
+        let result = greedy_refinement(&eval, budget, rounding, 12, 4);
+        assert!(result.noise_power <= budget);
+        let uniform_bits = 12 * result.plan.quantized_nodes(eval.sfg()).len() as i64;
+        assert!(
+            result.total_bits < uniform_bits,
+            "greedy {} should beat uniform {}",
+            result.total_bits,
+            uniform_bits
+        );
+        assert!(result.evaluations > 3, "the loop actually ran");
+    }
+
+    #[test]
+    fn greedy_respects_budget_strictly() {
+        let g = two_stage_system();
+        let eval = AccuracyEvaluator::new(&g, 128).unwrap();
+        let rounding = RoundingMode::Truncate;
+        let budget = 1e-6;
+        let result = greedy_refinement(&eval, budget, rounding, 16, 2);
+        assert!(result.noise_power <= budget);
+        // A one-bit-coarser move anywhere would break the budget (local
+        // optimality of the greedy stop).
+        for &node in &result.plan.quantized_nodes(eval.sfg()) {
+            let d = result.plan.frac_bits_of(node);
+            if d <= 2 {
+                continue;
+            }
+            let worse = result.plan.clone().with_override(node, d - 1);
+            assert!(
+                eval.estimate_psd(&worse).power > budget,
+                "node {node:?} could still lose a bit"
+            );
+        }
+    }
+}

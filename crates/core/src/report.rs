@@ -1,0 +1,111 @@
+//! Estimate and comparison reports.
+
+use std::time::Duration;
+
+use crate::metrics;
+use crate::noise_psd::NoisePsd;
+
+/// Which evaluation method produced an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's proposed PSD-propagation method.
+    PsdMethod,
+    /// The hierarchical moments-only baseline.
+    PsdAgnostic,
+    /// The classical flat (path-enumeration) method.
+    Flat,
+    /// Monte-Carlo fixed-point simulation (the reference).
+    Simulation,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Method::PsdMethod => "psd",
+            Method::PsdAgnostic => "agnostic",
+            Method::Flat => "flat",
+            Method::Simulation => "simulation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One method's estimate of the output error.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// The producing method.
+    pub method: Method,
+    /// Estimated (or measured) total error power.
+    pub power: f64,
+    /// Estimated (or measured) error mean.
+    pub mean: f64,
+    /// Estimated (or measured) error variance.
+    pub variance: f64,
+    /// The error PSD, when the method produces one.
+    pub psd: Option<NoisePsd>,
+    /// Wall-clock time of the evaluation stage.
+    pub elapsed: Duration,
+}
+
+/// A side-by-side accuracy comparison against simulation.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The simulation reference.
+    pub simulated: Estimate,
+    /// The analytical estimates being judged.
+    pub estimates: Vec<Estimate>,
+}
+
+impl Comparison {
+    /// `Ed` of one method (paper Eq. 15 orientation; see
+    /// [`crate::metrics::ed`]).
+    pub fn ed_of(&self, method: Method) -> Option<f64> {
+        self.estimates
+            .iter()
+            .find(|e| e.method == method)
+            .map(|e| metrics::ed(self.simulated.power, e.power))
+    }
+
+    /// Speed-up of a method's evaluation stage relative to simulation.
+    pub fn speedup_of(&self, method: Method) -> Option<f64> {
+        self.estimates.iter().find(|e| e.method == method).map(|e| {
+            self.simulated.elapsed.as_secs_f64() / e.elapsed.as_secs_f64().max(1e-12)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(method: Method, power: f64, micros: u64) -> Estimate {
+        Estimate {
+            method,
+            power,
+            mean: 0.0,
+            variance: power,
+            psd: None,
+            elapsed: Duration::from_micros(micros),
+        }
+    }
+
+    #[test]
+    fn ed_and_speedup() {
+        let c = Comparison {
+            simulated: est(Method::Simulation, 2.0, 1_000_000),
+            estimates: vec![est(Method::PsdMethod, 1.9, 10), est(Method::PsdAgnostic, 8.0, 10)],
+        };
+        let ed_psd = c.ed_of(Method::PsdMethod).unwrap();
+        assert!((ed_psd - (1.9 - 2.0) / 2.0).abs() < 1e-12);
+        let ed_ag = c.ed_of(Method::PsdAgnostic).unwrap();
+        assert!(ed_ag > 2.9); // 300% overestimate
+        assert!(c.speedup_of(Method::PsdMethod).unwrap() > 1e4);
+        assert!(c.ed_of(Method::Flat).is_none());
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::PsdMethod.to_string(), "psd");
+        assert_eq!(Method::Simulation.to_string(), "simulation");
+    }
+}

@@ -1,0 +1,150 @@
+//! Linear convolution, direct and FFT-based.
+
+use psdacc_fft::{Complex, FftPlanner};
+
+/// Direct O(N*M) linear convolution; output length `N + M - 1`.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_dsp::convolve;
+/// assert_eq!(convolve(&[1.0, 2.0], &[1.0, 1.0]), vec![1.0, 3.0, 2.0]);
+/// ```
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &av) in a.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        for (j, &bv) in b.iter().enumerate() {
+            out[i + j] += av * bv;
+        }
+    }
+    out
+}
+
+/// FFT-based linear convolution; identical result to [`convolve`] up to
+/// rounding, O((N+M) log(N+M)).
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two();
+    let mut planner = FftPlanner::new();
+    let mut fa: Vec<Complex> = a.iter().map(|&v| Complex::from_re(v)).collect();
+    fa.resize(n, Complex::ZERO);
+    let mut fb: Vec<Complex> = b.iter().map(|&v| Complex::from_re(v)).collect();
+    fb.resize(n, Complex::ZERO);
+    let sa = planner.fft(&fa);
+    let sb = planner.fft(&fb);
+    let prod: Vec<Complex> = sa.iter().zip(&sb).map(|(x, y)| *x * *y).collect();
+    planner.ifft(&prod).iter().take(out_len).map(|v| v.re).collect()
+}
+
+/// Adaptive convolution: direct for small sizes, FFT for large.
+pub fn convolve_auto(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.len().min(b.len()) < 32 || a.len() + b.len() < 256 {
+        convolve(a, b)
+    } else {
+        convolve_fft(a, b)
+    }
+}
+
+/// "Same"-mode convolution: output has the length of `a`, centered.
+pub fn convolve_same(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let full = convolve_auto(a, b);
+    let start = (b.len() - 1) / 2;
+    full.into_iter().skip(start).take(a.len()).collect()
+}
+
+/// Circular convolution of two equal-length sequences.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn convolve_circular(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "circular convolution needs equal lengths");
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut planner = FftPlanner::new();
+    let sa = planner.fft_real(a);
+    let sb = planner.fft_real(b);
+    let prod: Vec<Complex> = sa.iter().zip(&sb).map(|(x, y)| *x * *y).collect();
+    planner.ifft(&prod).iter().map(|v| v.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn known_small_cases() {
+        assert_eq!(convolve(&[1.0, 2.0, 3.0], &[1.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(convolve(&[1.0, 1.0], &[1.0, 1.0]), vec![1.0, 2.0, 1.0]);
+        assert_eq!(convolve(&[1.0, 0.0, -1.0], &[2.0, 1.0]), vec![2.0, 1.0, -2.0, -1.0]);
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(na, nb) in &[(1usize, 1usize), (5, 3), (64, 17), (200, 200)] {
+            let a: Vec<f64> = (0..na).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..nb).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let d = convolve(&a, &b);
+            let f = convolve_fft(&a, &b);
+            assert_eq!(d.len(), f.len());
+            for (x, y) in d.iter().zip(&f) {
+                assert!((x - y).abs() < 1e-9, "na={na} nb={nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn commutativity() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [3.0, 0.0, 1.0, 2.0];
+        assert_eq!(convolve(&a, &b), convolve(&b, &a));
+    }
+
+    #[test]
+    fn same_mode_length() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 1.0, 1.0];
+        let s = convolve_same(&a, &b);
+        assert_eq!(s.len(), a.len());
+        // Middle sample: full conv index 3 = 2+3+4
+        assert_eq!(s[2], 9.0);
+    }
+
+    #[test]
+    fn circular_matches_manual() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 0.0, 0.0, 1.0]; // delta + delay-3
+        let c = convolve_circular(&a, &b);
+        // y[n] = a[n] + a[(n-3) mod 4]
+        let expect = [1.0 + 2.0, 2.0 + 3.0, 3.0 + 4.0, 4.0 + 1.0];
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve_fft(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn impulse_identity() {
+        let x = [0.5, -0.25, 0.125];
+        assert_eq!(convolve(&x, &[1.0]), x.to_vec());
+    }
+}

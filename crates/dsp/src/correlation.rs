@@ -1,0 +1,179 @@
+//! Auto- and cross-correlation estimators.
+//!
+//! The paper's Eq. 7 defines the PSD as the Fourier transform of the
+//! autocorrelation; these estimators are used in tests to validate that the
+//! *measured* spectra produced by [`crate::psd`] agree with that definition,
+//! and Eq. 13's cross-correlation spectrum comes from [`cross_correlation`].
+
+use psdacc_fft::{Complex, FftPlanner};
+
+/// Normalization of correlation estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalization {
+    /// Divide every lag by `N` (biased, positive-semidefinite estimate).
+    Biased,
+    /// Divide lag `k` by `N - |k|` (unbiased but higher variance at the
+    /// edges).
+    Unbiased,
+}
+
+/// Autocorrelation `r[k] = E[x(n) x(n+k)]` for lags `0..=max_lag`.
+///
+/// # Panics
+///
+/// Panics if `max_lag >= x.len()`.
+pub fn autocorrelation(x: &[f64], max_lag: usize, norm: Normalization) -> Vec<f64> {
+    assert!(max_lag < x.len(), "max_lag {} must be < signal length {}", max_lag, x.len());
+    let n = x.len();
+    (0..=max_lag)
+        .map(|k| {
+            let sum: f64 = (0..n - k).map(|i| x[i] * x[i + k]).sum();
+            match norm {
+                Normalization::Biased => sum / n as f64,
+                Normalization::Unbiased => sum / (n - k) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Cross-correlation `r[k] = E[x(n) y(n+k)]` for lags `-max_lag..=max_lag`,
+/// returned in ascending lag order (index `max_lag` is lag zero).
+///
+/// # Panics
+///
+/// Panics if `max_lag >= min(x.len(), y.len())` or the lengths differ.
+pub fn cross_correlation(
+    x: &[f64],
+    y: &[f64],
+    max_lag: usize,
+    norm: Normalization,
+) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "cross-correlation needs equal lengths");
+    assert!(max_lag < x.len(), "max_lag must be < signal length");
+    let n = x.len();
+    let mut out = Vec::with_capacity(2 * max_lag + 1);
+    for lag in -(max_lag as i64)..=(max_lag as i64) {
+        let sum: f64 = (0..n)
+            .filter_map(|i| {
+                let j = i as i64 + lag;
+                if (0..n as i64).contains(&j) {
+                    Some(x[i] * y[j as usize])
+                } else {
+                    None
+                }
+            })
+            .sum();
+        let count = n as i64 - lag.abs();
+        out.push(match norm {
+            Normalization::Biased => sum / n as f64,
+            Normalization::Unbiased => sum / count as f64,
+        });
+    }
+    out
+}
+
+/// Fast autocorrelation of *all* lags `0..n` via the Wiener-Khinchin theorem
+/// (biased normalization).
+pub fn autocorrelation_fft(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = (2 * n).next_power_of_two();
+    let mut planner = FftPlanner::new();
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+    buf.resize(m, Complex::ZERO);
+    let spec = planner.fft(&buf);
+    let power: Vec<Complex> = spec.iter().map(|v| Complex::from_re(v.norm_sqr())).collect();
+    let corr = planner.ifft(&power);
+    corr.iter().take(n).map(|v| v.re / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lag_zero_is_power() {
+        let x = [1.0, -1.0, 2.0, 0.5];
+        let r = autocorrelation(&x, 2, Normalization::Biased);
+        let power: f64 = x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
+        assert!((r[0] - power).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbiased_vs_biased_scaling() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = autocorrelation(&x, 3, Normalization::Biased);
+        let u = autocorrelation(&x, 3, Normalization::Unbiased);
+        for k in 0..=3 {
+            let scale = (x.len() - k) as f64 / x.len() as f64;
+            assert!((b[k] - u[k] * scale).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_autocorr_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let direct = autocorrelation(&x, 50, Normalization::Biased);
+        let fast = autocorrelation_fft(&x);
+        for k in 0..=50 {
+            assert!((direct[k] - fast[k]).abs() < 1e-9, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn white_noise_decorrelates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x: Vec<f64> = (0..50_000).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let r = autocorrelation(&x, 5, Normalization::Biased);
+        let sigma2 = 1.0 / 12.0;
+        assert!((r[0] - sigma2).abs() < 0.01 * sigma2);
+        for k in 1..=5 {
+            assert!(r[k].abs() < 0.02 * sigma2, "lag {k} = {}", r[k]);
+        }
+    }
+
+    #[test]
+    fn cross_correlation_of_shifted_signal_peaks_at_shift() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 4096;
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let shift = 3usize;
+        // y(n) = x(n - shift)  =>  E[x(n) y(n+k)] peaks at k = +shift.
+        let mut y = vec![0.0; n];
+        for i in shift..n {
+            y[i] = x[i - shift];
+        }
+        let max_lag = 8;
+        let r = cross_correlation(&x, &y, max_lag, Normalization::Biased);
+        let peak = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak as i64 - max_lag as i64, shift as i64);
+    }
+
+    #[test]
+    fn cross_correlation_symmetry() {
+        // r_xy(k) == r_yx(-k)
+        let x = [1.0, 2.0, -1.0, 0.5, 3.0];
+        let y = [0.5, -1.0, 2.0, 1.0, -0.5];
+        let rxy = cross_correlation(&x, &y, 3, Normalization::Biased);
+        let ryx = cross_correlation(&y, &x, 3, Normalization::Biased);
+        for k in 0..rxy.len() {
+            assert!((rxy[k] - ryx[rxy.len() - 1 - k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_lag")]
+    fn max_lag_validation() {
+        let _ = autocorrelation(&[1.0, 2.0], 2, Normalization::Biased);
+    }
+}

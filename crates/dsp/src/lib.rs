@@ -1,0 +1,39 @@
+//! # psdacc-dsp
+//!
+//! Digital-signal-processing substrate for the `psdacc` workspace (DATE 2016
+//! PSD accuracy-evaluation reproduction): everything the simulation side of
+//! the experiments needs to *measure* what the analytical side *predicts*.
+//!
+//! * [`Window`] — spectral windows (+ Kaiser via our own Bessel I0),
+//! * [`convolve`] / [`convolve_fft`] / [`convolve_circular`] — linear and
+//!   circular convolution,
+//! * [`autocorrelation`] / [`cross_correlation`] — correlation estimators
+//!   (the paper's Eq. 7/13 ingredients),
+//! * [`periodogram`] / [`welch`] / [`welch_cross`] — PSD estimation with the
+//!   workspace-wide **two-sided bin-mass** convention (`sum(S) == E[x^2]`),
+//! * [`fir_frequency_response`] / [`iir_frequency_response`] — transfer
+//!   function sampling on the `N_PSD` grid,
+//! * [`SignalGenerator`] — seeded test signals,
+//! * [`upsample`] / [`downsample`] — multirate building blocks,
+//! * [`RunningStats`] — streaming moments.
+
+pub mod convolution;
+pub mod correlation;
+pub mod psd;
+pub mod resample;
+pub mod signal;
+pub mod spectrum;
+pub mod stats;
+pub mod window;
+
+pub use convolution::{convolve, convolve_auto, convolve_circular, convolve_fft, convolve_same};
+pub use correlation::{autocorrelation, autocorrelation_fft, cross_correlation, Normalization};
+pub use psd::{periodogram, periodogram_windowed, psd_power, welch, welch_cross};
+pub use resample::{downsample, upsample};
+pub use signal::SignalGenerator;
+pub use spectrum::{
+    dc_gain_fir, dc_gain_iir, energy_fir, fir_frequency_response, freq_grid,
+    iir_frequency_response, iir_impulse_response, magnitude_squared,
+};
+pub use stats::{mean, mse, power, variance, RunningStats};
+pub use window::{bessel_i0, Window};

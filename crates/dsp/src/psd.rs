@@ -1,0 +1,269 @@
+//! Power-spectral-density estimation (periodogram and Welch).
+//!
+//! # Conventions (used across the whole workspace)
+//!
+//! PSDs are **two-sided, bin-mass** arrays of length `nfft`: bin `k` covers
+//! normalized frequency `F_k = k / nfft` over `[0, 1)` and holds the power
+//! that falls in the bin, so that `sum(S) == E[x^2]` (total signal power,
+//! DC/mean included). The paper's Eq. 9 (`E[x^2] = integral of S`) becomes a
+//! plain sum.
+
+use psdacc_fft::{Complex, FftPlanner};
+
+use crate::window::Window;
+
+/// Raw periodogram: `S[k] = |X[k]|^2 / N^2`.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_dsp::periodogram;
+/// let s = periodogram(&[1.0, 1.0, 1.0, 1.0]);
+/// assert!((s[0] - 1.0).abs() < 1e-12); // all power at DC
+/// ```
+pub fn periodogram(x: &[f64]) -> Vec<f64> {
+    periodogram_windowed(x, Window::Rectangular)
+}
+
+/// Windowed periodogram with power normalization `|X_w[k]|^2 / (N sum(w^2))`,
+/// which keeps `sum(S) ~= E[x^2]` for noise-like signals.
+pub fn periodogram_windowed(x: &[f64], window: Window) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len();
+    let w = window.coefficients(n);
+    let sum_w2: f64 = w.iter().map(|v| v * v).sum();
+    let buf: Vec<Complex> =
+        x.iter().zip(&w).map(|(&v, &wv)| Complex::from_re(v * wv)).collect();
+    let spec = FftPlanner::new().fft(&buf);
+    spec.iter().map(|v| v.norm_sqr() / (n as f64 * sum_w2)).collect()
+}
+
+/// Welch's method: average of windowed periodograms over overlapping
+/// segments.
+///
+/// `overlap` is a fraction of `nfft` in `[0, 1)` (0.5 is the usual choice).
+/// Signals shorter than `nfft` are estimated with a single (zero-padded)
+/// segment.
+///
+/// # Panics
+///
+/// Panics if `nfft == 0` or `overlap` is outside `[0, 1)`.
+pub fn welch(x: &[f64], nfft: usize, overlap: f64, window: Window) -> Vec<f64> {
+    assert!(nfft > 0, "nfft must be positive");
+    assert!((0.0..1.0).contains(&overlap), "overlap must be in [0, 1)");
+    if x.is_empty() {
+        return vec![0.0; nfft];
+    }
+    if x.len() < nfft {
+        let mut padded = x.to_vec();
+        padded.resize(nfft, 0.0);
+        // Rescale: zero padding dilutes power by the fill ratio.
+        let scale = nfft as f64 / x.len() as f64;
+        return periodogram_windowed(&padded, window).iter().map(|v| v * scale).collect();
+    }
+    let hop = ((nfft as f64) * (1.0 - overlap)).round().max(1.0) as usize;
+    let w = window.coefficients(nfft);
+    let sum_w2: f64 = w.iter().map(|v| v * v).sum();
+    let mut planner = FftPlanner::new();
+    let mut acc = vec![0.0; nfft];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + nfft <= x.len() {
+        let buf: Vec<Complex> = (0..nfft)
+            .map(|i| Complex::from_re(x[start + i] * w[i]))
+            .collect();
+        let spec = planner.fft(&buf);
+        for (a, s) in acc.iter_mut().zip(&spec) {
+            *a += s.norm_sqr();
+        }
+        segments += 1;
+        start += hop;
+    }
+    let norm = 1.0 / (segments as f64 * nfft as f64 * sum_w2);
+    acc.iter().map(|v| v * norm).collect()
+}
+
+/// Welch cross-spectral density `S_xy[k] = E[conj(X[k]) Y[k]]` with the same
+/// normalization as [`welch`]. Satisfies `S_xy = conj(S_yx)` and, for
+/// `z = x + y`, `S_zz = S_xx + S_yy + 2 Re(S_xy)` (the paper's Eq. 12).
+///
+/// # Panics
+///
+/// Panics if the signal lengths differ, `nfft == 0`, or `overlap` is outside
+/// `[0, 1)`.
+pub fn welch_cross(
+    x: &[f64],
+    y: &[f64],
+    nfft: usize,
+    overlap: f64,
+    window: Window,
+) -> Vec<Complex> {
+    assert_eq!(x.len(), y.len(), "cross-PSD needs equal lengths");
+    assert!(nfft > 0, "nfft must be positive");
+    assert!((0.0..1.0).contains(&overlap), "overlap must be in [0, 1)");
+    if x.len() < nfft {
+        let mut px = x.to_vec();
+        px.resize(nfft, 0.0);
+        let mut py = y.to_vec();
+        py.resize(nfft, 0.0);
+        return welch_cross(&px, &py, nfft, overlap, window);
+    }
+    let hop = ((nfft as f64) * (1.0 - overlap)).round().max(1.0) as usize;
+    let w = window.coefficients(nfft);
+    let sum_w2: f64 = w.iter().map(|v| v * v).sum();
+    let mut planner = FftPlanner::new();
+    let mut acc = vec![Complex::ZERO; nfft];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + nfft <= x.len() {
+        let bx: Vec<Complex> =
+            (0..nfft).map(|i| Complex::from_re(x[start + i] * w[i])).collect();
+        let by: Vec<Complex> =
+            (0..nfft).map(|i| Complex::from_re(y[start + i] * w[i])).collect();
+        let sx = planner.fft(&bx);
+        let sy = planner.fft(&by);
+        for k in 0..nfft {
+            acc[k] += sx[k].conj() * sy[k];
+        }
+        segments += 1;
+        start += hop;
+    }
+    let norm = 1.0 / (segments as f64 * nfft as f64 * sum_w2);
+    acc.iter().map(|v| *v * norm).collect()
+}
+
+/// Total power of a bin-mass PSD (the paper's Eq. 9 as a sum).
+pub fn psd_power(s: &[f64]) -> f64 {
+    s.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn white(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect()
+    }
+
+    #[test]
+    fn periodogram_power_matches_parseval() {
+        let x = white(1024, 1);
+        let s = periodogram(&x);
+        let power: f64 = x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
+        assert!((psd_power(&s) - power).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_signal_concentrates_at_bin_zero() {
+        let s = periodogram(&[2.0; 64]);
+        assert!((s[0] - 4.0).abs() < 1e-10);
+        assert!(s[1..].iter().all(|&v| v < 1e-12));
+    }
+
+    #[test]
+    fn tone_shows_at_its_bin() {
+        let n = 256;
+        let f = 16.0 / n as f64;
+        let x: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * f * i as f64).sin()).collect();
+        let s = periodogram(&x);
+        // sin amplitude 1 -> power 0.5 split between bins 16 and 240.
+        assert!((s[16] - 0.25).abs() < 1e-10);
+        assert!((s[240] - 0.25).abs() < 1e-10);
+        assert!((psd_power(&s) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welch_white_noise_is_flat() {
+        let x = white(1 << 16, 2);
+        let s = welch(&x, 128, 0.5, Window::Hann);
+        let sigma2 = 1.0 / 12.0;
+        let expect = sigma2 / 128.0;
+        // Every bin within 10% of the flat level (generous: estimator variance).
+        for (k, &v) in s.iter().enumerate().skip(1) {
+            assert!((v - expect).abs() < 0.10 * expect, "bin {k}: {v} vs {expect}");
+        }
+        assert!((psd_power(&s) - sigma2).abs() < 0.02 * sigma2);
+    }
+
+    #[test]
+    fn welch_total_power_with_rect_window() {
+        let x = white(1 << 14, 3);
+        let s = welch(&x, 256, 0.0, Window::Rectangular);
+        let power: f64 = x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
+        assert!((psd_power(&s) - power).abs() < 0.01 * power);
+    }
+
+    #[test]
+    fn cross_psd_add_identity() {
+        // S_zz = S_xx + S_yy + 2 Re S_xy for z = x + y (paper Eq. 12).
+        let x = white(1 << 14, 4);
+        let y = white(1 << 14, 5);
+        let z: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let nfft = 128;
+        let sxx = welch(&x, nfft, 0.5, Window::Hann);
+        let syy = welch(&y, nfft, 0.5, Window::Hann);
+        let szz = welch(&z, nfft, 0.5, Window::Hann);
+        let sxy = welch_cross(&x, &y, nfft, 0.5, Window::Hann);
+        for k in 0..nfft {
+            let combined = sxx[k] + syy[k] + 2.0 * sxy[k].re;
+            assert!(
+                (szz[k] - combined).abs() < 1e-12 + 1e-9 * szz[k].abs(),
+                "bin {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_psd_conjugate_symmetry_between_orders() {
+        let x = white(4096, 6);
+        let y = white(4096, 7);
+        let sxy = welch_cross(&x, &y, 64, 0.5, Window::Hann);
+        let syx = welch_cross(&y, &x, 64, 0.5, Window::Hann);
+        for k in 0..64 {
+            assert!((sxy[k] - syx[k].conj()).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_psd_of_self_is_auto_psd() {
+        let x = white(4096, 8);
+        let sxx = welch(&x, 64, 0.5, Window::Hann);
+        let cross = welch_cross(&x, &x, 64, 0.5, Window::Hann);
+        for k in 0..64 {
+            assert!((cross[k].re - sxx[k]).abs() < 1e-12);
+            assert!(cross[k].im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uncorrelated_cross_psd_is_small() {
+        let x = white(1 << 15, 9);
+        let y = white(1 << 15, 10);
+        let sxy = welch_cross(&x, &y, 64, 0.5, Window::Hann);
+        let sxx = welch(&x, 64, 0.5, Window::Hann);
+        let mean_cross: f64 =
+            sxy.iter().map(|v| v.norm()).sum::<f64>() / 64.0;
+        let mean_auto: f64 = sxx.iter().sum::<f64>() / 64.0;
+        assert!(mean_cross < 0.1 * mean_auto, "{mean_cross} vs {mean_auto}");
+    }
+
+    #[test]
+    fn short_signal_zero_padded() {
+        let s = welch(&[1.0, 1.0], 8, 0.5, Window::Rectangular);
+        assert_eq!(s.len(), 8);
+        // power of [1,1] over its own length = 1.0
+        assert!((psd_power(&s) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlap_validation() {
+        let _ = welch(&[1.0; 64], 16, 1.0, Window::Hann);
+    }
+}

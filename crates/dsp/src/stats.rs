@@ -1,0 +1,196 @@
+//! Basic statistics used throughout the workspace.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Mean power `E[x^2]` (second raw moment).
+pub fn power(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64
+}
+
+/// Mean-squared error between two equal-length signals.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "MSE needs equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_dsp::RunningStats;
+/// let mut s = RunningStats::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.variance(), 1.25);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    sum_sq: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.sum_sq += x * x;
+    }
+
+    /// Adds every sample of a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of samples seen (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance of samples seen (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Mean power `E[x^2]`.
+    pub fn power(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_sq / self.n as f64
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.sum_sq += other.sum_sq;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        assert_eq!(variance(&x), 1.25);
+        assert_eq!(power(&x), 7.5);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[2.0]), 0.0);
+        assert_eq!(power(&[]), 0.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_manual() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.0, 2.0];
+        assert!((mse(&a, &b) - (0.25 + 0.0 + 1.0) / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.173 - 5.0).collect();
+        let mut s = RunningStats::new();
+        s.extend(&xs);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-10);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-10);
+        assert!((s.power() - power(&xs)).abs() < 1e-10);
+        assert_eq!(s.count(), 1000);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).sin()).collect();
+        let ys: Vec<f64> = (0..300).map(|i| (i as f64 * 1.3).cos() + 2.0).collect();
+        let mut a = RunningStats::new();
+        a.extend(&xs);
+        let mut b = RunningStats::new();
+        b.extend(&ys);
+        a.merge(&b);
+        let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        assert!((a.mean() - mean(&all)).abs() < 1e-10);
+        assert!((a.variance() - variance(&all)).abs() < 1e-10);
+        assert_eq!(a.count(), 800);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        b.push(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = RunningStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Window functions for spectral estimation.
+//!
+//! The Welch PSD estimator ([`crate::psd`]) and the windowed-sinc FIR design
+//! in `psdacc-filters` both need tapering windows. All windows here are the
+//! *symmetric* variants (first == last coefficient), which is what filter
+//! design wants; spectral estimation is insensitive to the one-sample
+//! difference at the lengths used in this workspace.
+
+/// A window function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window (optimized first-sidelobe raised cosine).
+    Hamming,
+    /// Blackman window (three-term cosine).
+    Blackman,
+    /// Kaiser window with shape parameter `beta`.
+    Kaiser(f64),
+}
+
+impl Window {
+    /// Generates the `n` window coefficients.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use psdacc_dsp::Window;
+    /// let w = Window::Hann.coefficients(5);
+    /// assert!((w[2] - 1.0).abs() < 1e-12); // symmetric peak
+    /// assert!(w[0].abs() < 1e-12);
+    /// ```
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m; // 0..=1
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * (std::f64::consts::TAU * x).cos(),
+                    Window::Hamming => 0.54 - 0.46 * (std::f64::consts::TAU * x).cos(),
+                    Window::Blackman => {
+                        0.42 - 0.5 * (std::f64::consts::TAU * x).cos()
+                            + 0.08 * (2.0 * std::f64::consts::TAU * x).cos()
+                    }
+                    Window::Kaiser(beta) => {
+                        let t = 2.0 * x - 1.0; // -1..=1
+                        bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / bessel_i0(beta)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain: `sum(w) / n` (amplitude correction factor).
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        w.iter().sum::<f64>() / n as f64
+    }
+
+    /// Incoherent (power) gain: `sum(w^2) / n` (PSD correction factor).
+    pub fn power_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        w.iter().map(|v| v * v).sum::<f64>() / n as f64
+    }
+
+    /// Equivalent noise bandwidth in bins: `n * sum(w^2) / sum(w)^2`.
+    pub fn enbw(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        let s1: f64 = w.iter().sum();
+        let s2: f64 = w.iter().map(|v| v * v).sum();
+        n as f64 * s2 / (s1 * s1)
+    }
+}
+
+/// Modified Bessel function of the first kind, order zero, by power series.
+///
+/// Converges quickly for the argument range used by Kaiser windows
+/// (`beta <= ~20`).
+pub fn bessel_i0(x: f64) -> f64 {
+    let y = x * x / 4.0;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..64 {
+        term *= y / (k as f64 * k as f64);
+        sum += term;
+        if term < sum * 1e-17 {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_ones() {
+        assert_eq!(Window::Rectangular.coefficients(4), vec![1.0; 4]);
+        assert_eq!(Window::Rectangular.coherent_gain(16), 1.0);
+        assert_eq!(Window::Rectangular.enbw(16), 1.0);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Kaiser(8.0)] {
+            for &n in &[8usize, 9, 33] {
+                let c = w.coefficients(n);
+                for i in 0..n {
+                    assert!(
+                        (c[i] - c[n - 1 - i]).abs() < 1e-12,
+                        "{w:?} n={n} not symmetric at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_zero_peak_one() {
+        let c = Window::Hann.coefficients(17);
+        assert!(c[0].abs() < 1e-12);
+        assert!((c[8] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let c = Window::Hamming.coefficients(11);
+        assert!((c[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_endpoints_near_zero() {
+        let c = Window::Blackman.coefficients(11);
+        assert!(c[0].abs() < 1e-10);
+    }
+
+    #[test]
+    fn kaiser_zero_beta_is_rectangular() {
+        let c = Window::Kaiser(0.0).coefficients(9);
+        for v in c {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kaiser_large_beta_tapers() {
+        let c = Window::Kaiser(12.0).coefficients(33);
+        assert!(c[0] < 1e-4);
+        assert!((c[16] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bessel_i0_known_values() {
+        // Abramowitz & Stegun: I0(0) = 1, I0(1) = 1.2660658..., I0(2) = 2.2795853...
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_i0(1.0) - 1.2660658777520084).abs() < 1e-12);
+        assert!((bessel_i0(2.0) - 2.2795853023360673).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_enbw_is_1_5() {
+        // Asymptotic ENBW of Hann is exactly 1.5 bins.
+        let e = Window::Hann.enbw(4096);
+        assert!((e - 1.5).abs() < 1e-2, "ENBW {e}");
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+    }
+}

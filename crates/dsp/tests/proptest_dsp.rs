@@ -1,0 +1,94 @@
+//! Property-based tests of the DSP substrate.
+
+use proptest::prelude::*;
+use psdacc_dsp::{
+    autocorrelation, convolve, convolve_fft, downsample, periodogram, psd_power, upsample,
+    Normalization,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Convolution is commutative and length-correct.
+    #[test]
+    fn convolution_commutative(
+        a in prop::collection::vec(-5.0f64..5.0, 1..32),
+        b in prop::collection::vec(-5.0f64..5.0, 1..32),
+    ) {
+        let ab = convolve(&a, &b);
+        let ba = convolve(&b, &a);
+        prop_assert_eq!(ab.len(), a.len() + b.len() - 1);
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// FFT convolution equals direct convolution.
+    #[test]
+    fn fft_convolution_agrees(
+        a in prop::collection::vec(-5.0f64..5.0, 1..64),
+        b in prop::collection::vec(-5.0f64..5.0, 1..64),
+    ) {
+        let d = convolve(&a, &b);
+        let f = convolve_fft(&a, &b);
+        let scale: f64 = d.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (x, y) in d.iter().zip(&f) {
+            prop_assert!((x - y).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// Convolution distributes over addition.
+    #[test]
+    fn convolution_distributive(
+        a in prop::collection::vec(-3.0f64..3.0, 1..24),
+        b in prop::collection::vec(-3.0f64..3.0, 4..24),
+        c in prop::collection::vec(-3.0f64..3.0, 4..24),
+    ) {
+        let n = b.len().min(c.len());
+        let bc: Vec<f64> = (0..n).map(|i| b[i] + c[i]).collect();
+        let lhs = convolve(&a, &bc);
+        let rb = convolve(&a, &b[..n]);
+        let rc = convolve(&a, &c[..n]);
+        for i in 0..lhs.len() {
+            prop_assert!((lhs[i] - (rb[i] + rc[i])).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval holds for the periodogram on any signal.
+    #[test]
+    fn periodogram_parseval(x in prop::collection::vec(-10.0f64..10.0, 1..128)) {
+        let s = periodogram(&x);
+        let p: f64 = x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
+        prop_assert!((psd_power(&s) - p).abs() < 1e-9 * p.max(1e-12));
+    }
+
+    /// Autocorrelation at lag zero dominates all other lags (Cauchy-Schwarz)
+    /// under biased normalization.
+    #[test]
+    fn autocorrelation_peak_at_zero(
+        x in prop::collection::vec(-5.0f64..5.0, 8..64),
+    ) {
+        let r = autocorrelation(&x, x.len() / 2, Normalization::Biased);
+        for (k, &v) in r.iter().enumerate().skip(1) {
+            prop_assert!(v.abs() <= r[0] + 1e-12, "lag {k}: {v} vs r0 {}", r[0]);
+        }
+    }
+
+    /// Downsampling inverts zero-stuffing for any factor and phase 0.
+    #[test]
+    fn resample_inverse(
+        x in prop::collection::vec(-5.0f64..5.0, 1..64),
+        factor in 1usize..6,
+    ) {
+        prop_assert_eq!(downsample(&upsample(&x, factor), factor, 0), x);
+    }
+
+    /// Zero-stuffing preserves total energy exactly (sum of squares).
+    #[test]
+    fn upsample_energy(x in prop::collection::vec(-5.0f64..5.0, 1..64), l in 1usize..5) {
+        let y = upsample(&x, l);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        prop_assert!((ex - ey).abs() < 1e-12);
+    }
+}

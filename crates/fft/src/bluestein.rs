@@ -1,0 +1,183 @@
+//! Bluestein's chirp-z algorithm: FFT of *arbitrary* length in O(N log N).
+//!
+//! A length-N DFT is rewritten as a circular convolution of chirp-modulated
+//! sequences, which is evaluated with a power-of-two radix-2 FFT of size
+//! `M >= 2N - 1`. This lets the library take PSD grids or filter lengths that
+//! are not powers of two without falling back to the O(N^2) DFT.
+
+use crate::complex::Complex;
+use crate::radix2::{Direction, Radix2Fft};
+
+/// A planned arbitrary-size FFT using Bluestein's algorithm.
+#[derive(Debug, Clone)]
+pub struct BluesteinFft {
+    n: usize,
+    direction: Direction,
+    /// Chirp `e^(sign * pi i k^2 / N)` for `k in 0..N`.
+    chirp: Vec<Complex>,
+    /// Forward FFT of the zero-padded conjugate chirp (the convolution kernel).
+    kernel_spectrum: Vec<Complex>,
+    inner_forward: Radix2Fft,
+    inner_inverse: Radix2Fft,
+    m: usize,
+}
+
+impl BluesteinFft {
+    /// Plans a transform of size `n` (any positive integer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, direction: Direction) -> Self {
+        assert!(n > 0, "FFT size must be positive");
+        let sign = match direction {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        };
+        // chirp[k] = e^(sign * i pi k^2 / n); compute k^2 mod 2n to keep the
+        // trig argument bounded for large n.
+        let chirp: Vec<Complex> = (0..n)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128) % (2 * n as u128);
+                Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+            })
+            .collect();
+        let m = (2 * n - 1).next_power_of_two();
+        let inner_forward = Radix2Fft::new(m, Direction::Forward);
+        let inner_inverse = Radix2Fft::new(m, Direction::Inverse);
+        // Kernel b[k] = conj(chirp[k]) arranged circularly so that the linear
+        // convolution indices wrap: b[0] = conj(c0), b[k] = b[m-k] = conj(ck).
+        let mut kernel = vec![Complex::ZERO; m];
+        kernel[0] = chirp[0].conj();
+        for k in 1..n {
+            kernel[k] = chirp[k].conj();
+            kernel[m - k] = chirp[k].conj();
+        }
+        inner_forward.process(&mut kernel);
+        BluesteinFft {
+            n,
+            direction,
+            chirp,
+            kernel_spectrum: kernel,
+            inner_forward,
+            inner_inverse,
+            m,
+        }
+    }
+
+    /// The transform size this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the planned size is zero (cannot happen).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The direction this plan computes.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Transforms `input` (length must equal [`BluesteinFft::len`]).
+    ///
+    /// Like the radix-2 plan, the inverse direction is unnormalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the planned size.
+    pub fn transform(&self, input: &[Complex]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "buffer length {} != planned FFT size {}", input.len(), self.n);
+        let n = self.n;
+        // a[k] = x[k] * chirp[k], zero padded to m.
+        let mut a = vec![Complex::ZERO; self.m];
+        for k in 0..n {
+            a[k] = input[k] * self.chirp[k];
+        }
+        self.inner_forward.process(&mut a);
+        for (av, kv) in a.iter_mut().zip(&self.kernel_spectrum) {
+            *av *= *kv;
+        }
+        self.inner_inverse.process(&mut a);
+        let scale = 1.0 / self.m as f64;
+        (0..n).map(|k| a[k] * self.chirp[k] * scale).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft, idft_unnormalized};
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_dft_for_awkward_sizes() {
+        for &n in &[1usize, 2, 3, 5, 7, 12, 17, 31, 100, 127] {
+            let x = rand_signal(n, n as u64 + 1);
+            let plan = BluesteinFft::new(n, Direction::Forward);
+            let fast = plan.transform(&x);
+            let slow = dft(&x);
+            for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    (*a - *b).norm() < 1e-8 * (n as f64).max(1.0),
+                    "n={n} bin {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive() {
+        for &n in &[3usize, 9, 21] {
+            let x = rand_signal(n, 42);
+            let plan = BluesteinFft::new(n, Direction::Inverse);
+            let fast = plan.transform(&x);
+            let slow = idft_unnormalized(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).norm() < 1e-8 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_roundtrip() {
+        let n = 37;
+        let x = rand_signal(n, 5);
+        let f = BluesteinFft::new(n, Direction::Forward);
+        let i = BluesteinFft::new(n, Direction::Inverse);
+        let spec = f.transform(&x);
+        let back: Vec<Complex> = i.transform(&spec).iter().map(|v| *v / n as f64).collect();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn works_on_power_of_two_sizes_too() {
+        let n = 16;
+        let x = rand_signal(n, 8);
+        let plan = BluesteinFft::new(n, Direction::Forward);
+        let fast = plan.transform(&x);
+        let slow = dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_size() {
+        let _ = BluesteinFft::new(0, Direction::Forward);
+    }
+}

@@ -1,0 +1,146 @@
+//! Naive O(N^2) discrete Fourier transform.
+//!
+//! This module is the *reference implementation* against which the fast
+//! algorithms ([`crate::radix2`], [`crate::bluestein`]) are validated. It is
+//! also used directly for very small transforms where the O(N log N) setup
+//! cost is not worth paying.
+
+use crate::complex::Complex;
+
+/// Computes the forward DFT of `input`:
+/// `X[k] = sum_n x[n] * e^(-2 pi i k n / N)`.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_fft::{dft, Complex};
+/// let x = vec![Complex::ONE; 4];
+/// let spectrum = dft(&x);
+/// assert!((spectrum[0] - Complex::from_re(4.0)).norm() < 1e-12);
+/// assert!(spectrum[1].norm() < 1e-12);
+/// ```
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    transform(input, -1.0)
+}
+
+/// Computes the *unnormalized* inverse DFT of `input`:
+/// `x[n] = sum_k X[k] * e^(+2 pi i k n / N)`.
+///
+/// Divide by `N` to invert [`dft`].
+pub fn idft_unnormalized(input: &[Complex]) -> Vec<Complex> {
+    transform(input, 1.0)
+}
+
+/// Computes the normalized inverse DFT, such that
+/// `idft(dft(x)) == x` up to rounding.
+pub fn idft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = idft_unnormalized(input);
+    let scale = 1.0 / n as f64;
+    for v in &mut out {
+        *v *= scale;
+    }
+    out
+}
+
+fn transform(input: &[Complex], sign: f64) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let step = sign * std::f64::consts::TAU / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (i, &x) in input.iter().enumerate() {
+                // (k * i) % n keeps the phase argument small for large N,
+                // reducing trigonometric argument-reduction error.
+                let phase = step * ((k * i) % n) as f64;
+                acc += x * Complex::cis(phase);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        for v in dft(&x) {
+            assert!((v - Complex::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_dc_spike() {
+        let x = vec![Complex::from_re(2.0); 8];
+        let spec = dft(&x);
+        assert!((spec[0] - Complex::from_re(16.0)).norm() < 1e-12);
+        for v in &spec[1..] {
+            assert!(v.norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dft_of_single_tone_hits_one_bin() {
+        let n = 16;
+        let bin = 3;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(std::f64::consts::TAU * bin as f64 * i as f64 / n as f64))
+            .collect();
+        let spec = dft(&x);
+        for (k, v) in spec.iter().enumerate() {
+            if k == bin {
+                assert!((v.norm() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.norm() < 1e-9, "leakage at bin {k}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x: Vec<Complex> = (0..12)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let back = idft(&dft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dft(&[]).is_empty());
+        assert!(idft(&[]).is_empty());
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex> = (0..9).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let b: Vec<Complex> = (0..9).map(|i| Complex::new(1.0, i as f64 * 0.5)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let lhs = dft(&sum);
+        let fa = dft(&a);
+        let fb = dft(&b);
+        for k in 0..9 {
+            assert!((lhs[k] - (fa[k] + fb[k])).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let x: Vec<Complex> = (0..17)
+            .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let spec = dft(&x);
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! # psdacc-fft
+//!
+//! From-scratch fast Fourier transform substrate for the `psdacc` workspace —
+//! the reproduction of *"Leveraging Power Spectral Density for Scalable
+//! System-Level Accuracy Evaluation"* (Barrois, Parashar, Sentieys, DATE
+//! 2016).
+//!
+//! Everything the paper's method needs from a transform library is here:
+//!
+//! * [`Complex`] — a dependency-free complex `f64` type,
+//! * [`dft()`](dft::dft) / [`idft()`](dft::idft) — naive O(N^2) reference transforms,
+//! * [`Radix2Fft`] — iterative power-of-two FFT,
+//! * [`BluesteinFft`] — arbitrary-size FFT via the chirp-z identity,
+//! * [`FftPlanner`] — plan caching across repeated transforms,
+//! * [`real_fft`] and friends — real-signal helpers with the workspace-wide
+//!   bin convention `F_k = k / N` over `[0, 1)`.
+//!
+//! # Example
+//!
+//! ```
+//! use psdacc_fft::{FftPlanner, Complex};
+//!
+//! let mut planner = FftPlanner::new();
+//! let tone: Vec<Complex> = (0..64)
+//!     .map(|n| Complex::cis(std::f64::consts::TAU * 4.0 * n as f64 / 64.0))
+//!     .collect();
+//! let spectrum = planner.fft(&tone);
+//! // All the energy lands in bin 4.
+//! assert!((spectrum[4].norm() - 64.0).abs() < 1e-9);
+//! ```
+
+pub mod bluestein;
+pub mod fft2d;
+pub mod complex;
+pub mod dft;
+pub mod planner;
+pub mod radix2;
+pub mod real;
+
+pub use bluestein::BluesteinFft;
+pub use complex::Complex;
+pub use dft::{dft, idft, idft_unnormalized};
+pub use fft2d::{fft2d, fft2d_real, ifft2d, periodogram2d};
+pub use planner::{fft, ifft, FftPlanner};
+pub use radix2::{fft_pow2, ifft_pow2, Direction, Radix2Fft};
+pub use real::{expand_half_spectrum, is_conjugate_symmetric, real_fft, real_fft_half, real_ifft};

@@ -1,0 +1,161 @@
+//! Plan caching: reuse twiddle tables across transforms of the same size.
+//!
+//! Planning a transform costs O(N) trigonometric evaluations (plus an O(M)
+//! kernel FFT for Bluestein sizes); the accuracy-evaluation pipeline performs
+//! thousands of transforms on a handful of sizes, so plans are cached in a
+//! per-planner map. `FftPlanner` is cheap to construct and can also be shared
+//! behind a `&mut` borrow.
+
+use std::collections::HashMap;
+
+use crate::bluestein::BluesteinFft;
+use crate::complex::Complex;
+use crate::radix2::{Direction, Radix2Fft};
+
+/// A cached transform plan for one `(size, direction)` pair.
+#[derive(Debug, Clone)]
+enum Plan {
+    Radix2(Radix2Fft),
+    Bluestein(Box<BluesteinFft>),
+}
+
+impl Plan {
+    fn transform(&self, input: &[Complex]) -> Vec<Complex> {
+        match self {
+            Plan::Radix2(p) => p.transform(input),
+            Plan::Bluestein(p) => p.transform(input),
+        }
+    }
+}
+
+/// Creates and caches FFT plans of any size.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_fft::{FftPlanner, Complex};
+///
+/// let mut planner = FftPlanner::new();
+/// let x = vec![Complex::ONE; 12]; // not a power of two: Bluestein kicks in
+/// let spectrum = planner.fft(&x);
+/// let back = planner.ifft(&spectrum);
+/// assert!((back[3] - Complex::ONE).norm() < 1e-10);
+/// ```
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    plans: HashMap<(usize, bool), Plan>,
+}
+
+impl FftPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        FftPlanner { plans: HashMap::new() }
+    }
+
+    fn plan(&mut self, n: usize, direction: Direction) -> &Plan {
+        let key = (n, matches!(direction, Direction::Forward));
+        self.plans.entry(key).or_insert_with(|| {
+            if n.is_power_of_two() {
+                Plan::Radix2(Radix2Fft::new(n, direction))
+            } else {
+                Plan::Bluestein(Box::new(BluesteinFft::new(n, direction)))
+            }
+        })
+    }
+
+    /// Forward FFT of arbitrary size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is empty.
+    pub fn fft(&mut self, input: &[Complex]) -> Vec<Complex> {
+        assert!(!input.is_empty(), "cannot transform an empty buffer");
+        self.plan(input.len(), Direction::Forward).transform(input)
+    }
+
+    /// Normalized inverse FFT of arbitrary size (`ifft(fft(x)) == x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is empty.
+    pub fn ifft(&mut self, input: &[Complex]) -> Vec<Complex> {
+        assert!(!input.is_empty(), "cannot transform an empty buffer");
+        let n = input.len();
+        let mut out = self.plan(n, Direction::Inverse).transform(input);
+        let scale = 1.0 / n as f64;
+        for v in &mut out {
+            *v *= scale;
+        }
+        out
+    }
+
+    /// Forward FFT of a real signal (full complex spectrum).
+    pub fn fft_real(&mut self, input: &[f64]) -> Vec<Complex> {
+        let buf: Vec<Complex> = input.iter().map(|&v| Complex::from_re(v)).collect();
+        self.fft(&buf)
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// One-shot forward FFT of arbitrary size (convenience wrapper).
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    FftPlanner::new().fft(input)
+}
+
+/// One-shot normalized inverse FFT of arbitrary size.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    FftPlanner::new().ifft(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    #[test]
+    fn planner_matches_dft_for_mixed_sizes() {
+        let mut planner = FftPlanner::new();
+        for &n in &[2usize, 3, 8, 12, 16, 30] {
+            let x: Vec<Complex> =
+                (0..n).map(|i| Complex::new((i as f64).sin(), (i as f64).cos())).collect();
+            let fast = planner.fft(&x);
+            let slow = dft(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).norm() < 1e-8, "n={n}");
+            }
+        }
+        // 6 sizes x forward = 6 plans (inverse not yet requested).
+        assert_eq!(planner.cached_plans(), 6);
+    }
+
+    #[test]
+    fn plans_are_reused() {
+        let mut planner = FftPlanner::new();
+        let x = vec![Complex::ONE; 64];
+        let _ = planner.fft(&x);
+        let _ = planner.fft(&x);
+        let _ = planner.ifft(&x);
+        assert_eq!(planner.cached_plans(), 2);
+    }
+
+    #[test]
+    fn roundtrip_non_power_of_two() {
+        let mut planner = FftPlanner::new();
+        let x: Vec<Complex> = (0..15).map(|i| Complex::new(i as f64, -0.5 * i as f64)).collect();
+        let spec = planner.fft(&x);
+        let back = planner.ifft(&spec);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        FftPlanner::new().fft(&[]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Iterative radix-2 decimation-in-time FFT for power-of-two lengths.
+//!
+//! The implementation precomputes a twiddle-factor table once per size (see
+//! [`crate::planner::FftPlanner`] for caching across calls) and performs the
+//! classic bit-reversal permutation followed by `log2(N)` butterfly stages,
+//! all in place.
+
+use crate::complex::Complex;
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `e^(-2 pi i / N)` kernel (time to frequency).
+    Forward,
+    /// `e^(+2 pi i / N)` kernel, *unnormalized* (frequency to time).
+    Inverse,
+}
+
+impl Direction {
+    fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+/// A planned radix-2 FFT of a fixed power-of-two size.
+#[derive(Debug, Clone)]
+pub struct Radix2Fft {
+    n: usize,
+    direction: Direction,
+    /// Twiddles `e^(sign * 2 pi i k / N)` for `k` in `0..N/2`.
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation table.
+    rev: Vec<u32>,
+}
+
+impl Radix2Fft {
+    /// Plans a transform of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize, direction: Direction) -> Self {
+        assert!(n.is_power_of_two(), "radix-2 FFT size must be a power of two, got {n}");
+        let sign = direction.sign();
+        let step = sign * std::f64::consts::TAU / n as f64;
+        let twiddles = (0..n / 2).map(|k| Complex::cis(step * k as f64)).collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        Radix2Fft { n, direction, twiddles, rev }
+    }
+
+    /// The transform size this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the planned size is zero (never happens; kept for
+    /// API completeness alongside [`Radix2Fft::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The direction this plan computes.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Transforms `buf` in place.
+    ///
+    /// The inverse direction is unnormalized: apply a `1/N` scale to invert a
+    /// forward transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned size.
+    pub fn process(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.n, "buffer length {} != planned FFT size {}", buf.len(), self.n);
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Butterfly stages: width doubles each stage.
+        let mut half = 1usize;
+        while half < n {
+            let stride = n / (2 * half); // twiddle table stride for this stage
+            let mut base = 0;
+            while base < n {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let a = buf[base + k];
+                    let b = buf[base + k + half] * w;
+                    buf[base + k] = a + b;
+                    buf[base + k + half] = a - b;
+                }
+                base += 2 * half;
+            }
+            half *= 2;
+        }
+    }
+
+    /// Convenience: transforms a copy of `input` and returns it.
+    pub fn transform(&self, input: &[Complex]) -> Vec<Complex> {
+        let mut buf = input.to_vec();
+        self.process(&mut buf);
+        buf
+    }
+}
+
+/// One-shot forward FFT for power-of-two sizes.
+///
+/// For repeated transforms of the same size prefer
+/// [`crate::planner::FftPlanner`], which caches the twiddle tables.
+pub fn fft_pow2(input: &[Complex]) -> Vec<Complex> {
+    Radix2Fft::new(input.len(), Direction::Forward).transform(input)
+}
+
+/// One-shot normalized inverse FFT for power-of-two sizes.
+pub fn ifft_pow2(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = Radix2Fft::new(n, Direction::Inverse).transform(input);
+    let scale = 1.0 / n as f64;
+    for v in &mut out {
+        *v *= scale;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex> {
+        // Small deterministic LCG; no external RNG needed at this layer.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_across_sizes() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let x = rand_signal(n, n as u64);
+            let fast = fft_pow2(&x);
+            let slow = dft(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).norm() < 1e-9 * n as f64, "size {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x = rand_signal(128, 7);
+        let back = ifft_pow2(&fft_pow2(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Radix2Fft::new(12, Direction::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn rejects_wrong_buffer_length() {
+        let plan = Radix2Fft::new(8, Direction::Forward);
+        let mut buf = vec![Complex::ZERO; 4];
+        plan.process(&mut buf);
+    }
+
+    #[test]
+    fn parseval_large() {
+        let n = 1024;
+        let x = rand_signal(n, 99);
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = fft_pow2(&x).iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time - freq).abs() / time < 1e-12);
+    }
+
+    #[test]
+    fn shift_theorem() {
+        // Circular shift by s multiplies bin k by e^(-2 pi i k s / N).
+        let n = 64;
+        let s = 5;
+        let x = rand_signal(n, 3);
+        let mut shifted = x.clone();
+        shifted.rotate_right(s);
+        let fx = fft_pow2(&x);
+        let fs = fft_pow2(&shifted);
+        for k in 0..n {
+            let phase = Complex::cis(-std::f64::consts::TAU * (k * s) as f64 / n as f64);
+            assert!((fs[k] - fx[k] * phase).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let x = vec![Complex::new(3.0, -2.0)];
+        assert_eq!(fft_pow2(&x), x);
+        assert_eq!(ifft_pow2(&x), x);
+    }
+}

@@ -1,0 +1,130 @@
+//! Transforms of real-valued signals.
+//!
+//! Real input produces a conjugate-symmetric spectrum, so only `N/2 + 1` bins
+//! are independent. These helpers exist because nearly every signal in the
+//! accuracy-evaluation pipeline (filter outputs, quantization errors, images)
+//! is real; they also document the bin layout used throughout the workspace:
+//! bin `k` corresponds to normalized frequency `F = k / N` over `[0, 1)`.
+
+use crate::complex::Complex;
+use crate::planner::FftPlanner;
+
+/// Forward FFT of a real signal, returning the full `N`-bin complex spectrum.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_fft::real_fft;
+/// let spec = real_fft(&[1.0, 0.0, 0.0, 0.0]);
+/// assert!(spec.iter().all(|b| (b.norm() - 1.0).abs() < 1e-12));
+/// ```
+pub fn real_fft(input: &[f64]) -> Vec<Complex> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let buf: Vec<Complex> = input.iter().map(|&v| Complex::from_re(v)).collect();
+    FftPlanner::new().fft(&buf)
+}
+
+/// Forward FFT of a real signal, keeping only the `N/2 + 1` non-redundant bins
+/// (`0..=N/2` for even `N`, `0..=(N-1)/2` for odd `N`).
+pub fn real_fft_half(input: &[f64]) -> Vec<Complex> {
+    let full = real_fft(input);
+    let keep = full.len() / 2 + 1;
+    full.into_iter().take(keep).collect()
+}
+
+/// Inverse FFT returning the real part (the imaginary residue of a
+/// conjugate-symmetric spectrum is rounding noise).
+pub fn real_ifft(spectrum: &[Complex]) -> Vec<f64> {
+    FftPlanner::new().ifft(spectrum).iter().map(|v| v.re).collect()
+}
+
+/// Expands a half spectrum (as produced by [`real_fft_half`]) back to the full
+/// conjugate-symmetric `n`-bin spectrum.
+///
+/// # Panics
+///
+/// Panics if `half.len() != n / 2 + 1`.
+pub fn expand_half_spectrum(half: &[Complex], n: usize) -> Vec<Complex> {
+    assert_eq!(half.len(), n / 2 + 1, "half spectrum must have n/2+1 bins");
+    let mut full = Vec::with_capacity(n);
+    full.extend_from_slice(half);
+    for k in (n / 2 + 1)..n {
+        full.push(half[n - k].conj());
+    }
+    // For even n, bin n/2 must be real; enforce it so callers can rely on
+    // perfect symmetry after an expand.
+    if n.is_multiple_of(2) && n > 0 {
+        full[n / 2] = Complex::from_re(full[n / 2].re);
+    }
+    full
+}
+
+/// Checks conjugate symmetry `X[k] == conj(X[N-k])` within `tol`.
+pub fn is_conjugate_symmetric(spectrum: &[Complex], tol: f64) -> bool {
+    let n = spectrum.len();
+    if n == 0 {
+        return true;
+    }
+    if spectrum[0].im.abs() > tol {
+        return false;
+    }
+    for k in 1..n {
+        if (spectrum[k] - spectrum[n - k].conj()).norm() > tol {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_spectrum_is_conjugate_symmetric() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+        let spec = real_fft(&x);
+        assert!(is_conjugate_symmetric(&spec, 1e-10));
+    }
+
+    #[test]
+    fn half_spectrum_roundtrip() {
+        for &n in &[8usize, 16, 10, 31] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 1.1).cos() * 0.5 + 0.1).collect();
+            let half = real_fft_half(&x);
+            let full = expand_half_spectrum(&half, n);
+            let direct = real_fft(&x);
+            for (a, b) in full.iter().zip(&direct) {
+                assert!((*a - *b).norm() < 1e-9, "n={n}");
+            }
+            let back = real_ifft(&full);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_asymmetry() {
+        let mut spec = real_fft(&[1.0, 2.0, 3.0, 4.0]);
+        spec[1] += Complex::new(0.0, 1.0);
+        assert!(!is_conjugate_symmetric(&spec, 1e-6));
+    }
+
+    #[test]
+    fn dc_only_signal() {
+        let spec = real_fft(&[5.0; 8]);
+        assert!((spec[0].re - 40.0).abs() < 1e-12);
+        for b in &spec[1..] {
+            assert!(b.norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert!(real_fft(&[]).is_empty());
+        assert!(is_conjugate_symmetric(&[], 0.0));
+    }
+}

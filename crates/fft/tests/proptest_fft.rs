@@ -1,0 +1,103 @@
+//! Property-based tests of the FFT substrate.
+
+use proptest::prelude::*;
+use psdacc_fft::{
+    dft, fft, fft2d, fft_pow2, ifft2d, is_conjugate_symmetric, real_fft, BluesteinFft, Complex,
+    Direction,
+};
+
+fn complex_vec(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), range)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Linearity: F(a x + b y) == a F(x) + b F(y).
+    #[test]
+    fn linearity(
+        x in complex_vec(8..33),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let n = x.len();
+        let y: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
+        let combo: Vec<Complex> = x.iter().zip(&y).map(|(u, v)| *u * a + *v * b).collect();
+        let lhs = fft(&combo);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let scale: f64 = combo.iter().map(|v| v.norm()).sum::<f64>().max(1.0);
+        for k in 0..n {
+            prop_assert!((lhs[k] - (fx[k] * a + fy[k] * b)).norm() < 1e-8 * scale);
+        }
+    }
+
+    /// Circular shift multiplies bin k by a pure phase.
+    #[test]
+    fn shift_theorem(x in complex_vec(16..17), s in 0usize..16) {
+        let n = x.len();
+        let mut shifted = x.clone();
+        shifted.rotate_right(s % n);
+        let fx = fft(&x);
+        let fs = fft(&shifted);
+        let scale: f64 = x.iter().map(|v| v.norm()).sum::<f64>().max(1.0);
+        for k in 0..n {
+            let phase = Complex::cis(-std::f64::consts::TAU * (k * (s % n)) as f64 / n as f64);
+            prop_assert!((fs[k] - fx[k] * phase).norm() < 1e-8 * scale);
+        }
+    }
+
+    /// Real input gives conjugate-symmetric spectra, always.
+    #[test]
+    fn real_input_symmetry(x in prop::collection::vec(-100.0f64..100.0, 2..64)) {
+        let spec = real_fft(&x);
+        let scale: f64 = x.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!(is_conjugate_symmetric(&spec, 1e-8 * scale));
+    }
+
+    /// Bluestein agrees with radix-2 on power-of-two sizes.
+    #[test]
+    fn bluestein_agrees_with_radix2(x in complex_vec(32..33)) {
+        let b = BluesteinFft::new(x.len(), Direction::Forward).transform(&x);
+        let r = fft_pow2(&x);
+        let scale: f64 = x.iter().map(|v| v.norm()).sum::<f64>().max(1.0);
+        for (u, v) in b.iter().zip(&r) {
+            prop_assert!((*u - *v).norm() < 1e-8 * scale);
+        }
+    }
+
+    /// Bluestein agrees with the naive DFT on arbitrary sizes.
+    #[test]
+    fn bluestein_agrees_with_dft(x in complex_vec(3..40)) {
+        let b = BluesteinFft::new(x.len(), Direction::Forward).transform(&x);
+        let d = dft(&x);
+        let scale: f64 = x.iter().map(|v| v.norm()).sum::<f64>().max(1.0);
+        for (u, v) in b.iter().zip(&d) {
+            prop_assert!((*u - *v).norm() < 1e-7 * scale);
+        }
+    }
+
+    /// 2-D transform is separable and invertible.
+    #[test]
+    fn fft2d_roundtrip(data in complex_vec(16..17), rows in 1usize..4) {
+        let rows = [1usize, 2, 4][rows % 3];
+        let cols = 16 / rows;
+        let spec = fft2d(&data, rows, cols);
+        let back = ifft2d(&spec, rows, cols);
+        let scale: f64 = data.iter().map(|v| v.norm()).sum::<f64>().max(1.0);
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert!((*a - *b).norm() < 1e-9 * scale);
+        }
+    }
+
+    /// 2-D Parseval.
+    #[test]
+    fn fft2d_parseval(data in complex_vec(64..65)) {
+        let (rows, cols) = (8usize, 8usize);
+        let spec = fft2d(&data, rows, cols);
+        let time: f64 = data.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / 64.0;
+        prop_assert!((time - freq).abs() < 1e-7 * time.max(1.0));
+    }
+}

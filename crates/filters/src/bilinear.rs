@@ -1,0 +1,261 @@
+//! Analog prototypes, band transformations and the bilinear transform.
+//!
+//! IIR design (Butterworth / Chebyshev-I) follows the classic zpk pipeline:
+//!
+//! 1. normalized analog lowpass prototype (cutoff 1 rad/s),
+//! 2. analog band transformation (LP->LP / LP->HP / LP->BP / LP->BS) at
+//!    prewarped frequencies,
+//! 3. bilinear transform `s = 2 (1 - z^-1) / (1 + z^-1)` into the digital
+//!    domain,
+//! 4. polynomial expansion and passband gain normalization.
+
+use psdacc_fft::Complex;
+
+use crate::error::FilterError;
+use crate::iir::Iir;
+use crate::poly::{poly_from_roots, real_coefficients};
+
+/// Zero-pole-gain representation of a (analog or digital) rational system.
+#[derive(Debug, Clone)]
+pub struct Zpk {
+    /// System zeros.
+    pub zeros: Vec<Complex>,
+    /// System poles.
+    pub poles: Vec<Complex>,
+    /// Scalar gain.
+    pub gain: f64,
+}
+
+/// Prewarps a digital frequency (cycles/sample) to the analog frequency
+/// (rad/s) the bilinear transform maps onto it: `w = 2 tan(pi f)`.
+pub fn prewarp(f: f64) -> f64 {
+    2.0 * (std::f64::consts::PI * f).tan()
+}
+
+/// Lowpass-to-lowpass analog transformation: `s -> s / wc`.
+pub fn lp_to_lp(proto: &Zpk, wc: f64) -> Zpk {
+    let scale = |v: Complex| v * wc;
+    let mut gain = proto.gain;
+    // Each pole/zero scaling multiplies the gain by wc^(n_p - n_z).
+    gain *= wc.powi(proto.poles.len() as i32 - proto.zeros.len() as i32);
+    Zpk {
+        zeros: proto.zeros.iter().map(|&z| scale(z)).collect(),
+        poles: proto.poles.iter().map(|&p| scale(p)).collect(),
+        gain,
+    }
+}
+
+/// Lowpass-to-highpass analog transformation: `s -> wc / s`.
+pub fn lp_to_hp(proto: &Zpk, wc: f64) -> Zpk {
+    let np = proto.poles.len();
+    let nz = proto.zeros.len();
+    let mut zeros: Vec<Complex> = proto.zeros.iter().map(|&z| Complex::from_re(wc) / z).collect();
+    let poles: Vec<Complex> = proto.poles.iter().map(|&p| Complex::from_re(wc) / p).collect();
+    // Zeros at infinity of the prototype map to zeros at s = 0.
+    zeros.extend(std::iter::repeat_n(Complex::ZERO, np.saturating_sub(nz)));
+    // Gain: lim s->inf of prod(-z)/prod(-p) ratio bookkeeping.
+    let num: Complex = proto.zeros.iter().fold(Complex::ONE, |acc, &z| acc * (-z));
+    let den: Complex = proto.poles.iter().fold(Complex::ONE, |acc, &p| acc * (-p));
+    let gain = proto.gain * (num / den).re;
+    Zpk { zeros, poles, gain }
+}
+
+/// Lowpass-to-bandpass analog transformation:
+/// `s -> (s^2 + w0^2) / (bw s)`; the order doubles.
+pub fn lp_to_bp(proto: &Zpk, w0: f64, bw: f64) -> Zpk {
+    let transform_root = |r: Complex| -> (Complex, Complex) {
+        // Solve s^2 - r*bw*s + w0^2 = 0.
+        let half = r * (bw / 2.0);
+        let disc = (half * half - Complex::from_re(w0 * w0)).sqrt();
+        (half + disc, half - disc)
+    };
+    let mut zeros = Vec::with_capacity(2 * proto.zeros.len() + proto.poles.len());
+    for &z in &proto.zeros {
+        let (a, b) = transform_root(z);
+        zeros.push(a);
+        zeros.push(b);
+    }
+    let mut poles = Vec::with_capacity(2 * proto.poles.len());
+    for &p in &proto.poles {
+        let (a, b) = transform_root(p);
+        poles.push(a);
+        poles.push(b);
+    }
+    let degree = proto.poles.len().saturating_sub(proto.zeros.len());
+    zeros.extend(std::iter::repeat_n(Complex::ZERO, degree));
+    let gain = proto.gain * bw.powi(degree as i32);
+    Zpk { zeros, poles, gain }
+}
+
+/// Lowpass-to-bandstop analog transformation: `s -> bw s / (s^2 + w0^2)`.
+pub fn lp_to_bs(proto: &Zpk, w0: f64, bw: f64) -> Zpk {
+    let transform_root = |r: Complex| -> (Complex, Complex) {
+        // Solve s^2 - (bw / r) s + w0^2 = 0.
+        let half = Complex::from_re(bw / 2.0) / r;
+        let disc = (half * half - Complex::from_re(w0 * w0)).sqrt();
+        (half + disc, half - disc)
+    };
+    let mut zeros = Vec::new();
+    for &z in &proto.zeros {
+        let (a, b) = transform_root(z);
+        zeros.push(a);
+        zeros.push(b);
+    }
+    let mut poles = Vec::new();
+    for &p in &proto.poles {
+        let (a, b) = transform_root(p);
+        poles.push(a);
+        poles.push(b);
+    }
+    // Prototype zeros at infinity map to +/- j w0.
+    let degree = proto.poles.len().saturating_sub(proto.zeros.len());
+    for _ in 0..degree {
+        zeros.push(Complex::new(0.0, w0));
+        zeros.push(Complex::new(0.0, -w0));
+    }
+    let num: Complex = proto.zeros.iter().fold(Complex::ONE, |acc, &z| acc * (-z));
+    let den: Complex = proto.poles.iter().fold(Complex::ONE, |acc, &p| acc * (-p));
+    let gain = proto.gain * (num / den).re;
+    Zpk { zeros, poles, gain }
+}
+
+/// Bilinear transform of an analog zpk into the digital domain
+/// (`fs = 1`, `s = 2 (z-1)/(z+1)`, so `z = (2+s)/(2-s)`).
+pub fn bilinear(analog: &Zpk) -> Zpk {
+    let map = |s: Complex| (Complex::from_re(2.0) + s) / (Complex::from_re(2.0) - s);
+    let degree = analog.poles.len().saturating_sub(analog.zeros.len());
+    let mut zeros: Vec<Complex> = analog.zeros.iter().map(|&z| map(z)).collect();
+    // Zeros at infinity map to z = -1.
+    zeros.extend(std::iter::repeat_n(Complex::from_re(-1.0), degree));
+    let poles: Vec<Complex> = analog.poles.iter().map(|&p| map(p)).collect();
+    // Gain: k_d = k_a * prod(2 - z_i) / prod(2 - p_i).
+    let num: Complex =
+        analog.zeros.iter().fold(Complex::ONE, |acc, &z| acc * (Complex::from_re(2.0) - z));
+    let den: Complex =
+        analog.poles.iter().fold(Complex::ONE, |acc, &p| acc * (Complex::from_re(2.0) - p));
+    let gain = analog.gain * (num / den).re;
+    Zpk { zeros, poles, gain }
+}
+
+/// Expands a digital zpk into `(b, a)` polynomial coefficients in `z^-1` and
+/// wraps them in an [`Iir`], normalizing the magnitude response to exactly 1
+/// at `f_ref` (cycles/sample).
+///
+/// # Errors
+///
+/// Returns [`FilterError::Unstable`] if a pole ended up on or outside the
+/// unit circle, or [`FilterError::InvalidCoefficients`] if expansion failed.
+pub fn iir_from_digital_zpk(zpk: &Zpk, f_ref: f64) -> Result<Iir, FilterError> {
+    // Polynomials in z (descending): prod (z - root), then reverse for z^-1.
+    let bz = poly_from_roots(&zpk.zeros);
+    let az = poly_from_roots(&zpk.poles);
+    let tol = 1e-6;
+    let mut b: Vec<f64> = real_coefficients(&bz, tol);
+    let mut a: Vec<f64> = real_coefficients(&az, tol);
+    // Ascending in z -> coefficients of z^-1 are the reverse.
+    b.reverse();
+    a.reverse();
+    for v in &mut b {
+        *v *= zpk.gain;
+    }
+    let filter = Iir::new(b, a).map_err(|_| FilterError::InvalidCoefficients)?;
+    if !filter.is_stable(1e-9) {
+        return Err(FilterError::Unstable);
+    }
+    // Normalize the gain at the reference frequency.
+    let z = Complex::cis(-std::f64::consts::TAU * f_ref);
+    let hb = crate::poly::polyval_real(filter.b(), z);
+    let ha = crate::poly::polyval_real(filter.a(), z);
+    let mag = (hb / ha).norm();
+    if mag < 1e-12 {
+        return Err(FilterError::InvalidCoefficients);
+    }
+    let b_norm: Vec<f64> = filter.b().iter().map(|v| v / mag).collect();
+    Iir::new(b_norm, filter.a().to_vec()).map_err(|_| FilterError::InvalidCoefficients)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::LtiSystem;
+
+    /// One-pole analog prototype 1/(s+1).
+    fn proto1() -> Zpk {
+        Zpk { zeros: vec![], poles: vec![Complex::from_re(-1.0)], gain: 1.0 }
+    }
+
+    #[test]
+    fn prewarp_small_frequencies_are_linear() {
+        // For small f, 2 tan(pi f) ~= 2 pi f.
+        let f = 0.01;
+        assert!((prewarp(f) - std::f64::consts::TAU * f).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bilinear_one_pole_lowpass() {
+        let wc = prewarp(0.1);
+        let analog = lp_to_lp(&proto1(), wc);
+        let digital = bilinear(&analog);
+        let f = iir_from_digital_zpk(&digital, 0.0).unwrap();
+        // DC gain normalized to 1.
+        assert!((f.dc_gain_exact() - 1.0).abs() < 1e-10);
+        // -3 dB at the design frequency (bilinear maps it exactly).
+        let h = f.frequency_response(1000);
+        let mag_at_fc = h[100].norm(); // bin 100 of 1000 = F 0.1
+        assert!((mag_at_fc - 1.0 / 2f64.sqrt()).abs() < 1e-6, "|H(fc)| = {mag_at_fc}");
+    }
+
+    #[test]
+    fn highpass_transform_flips_response() {
+        let wc = prewarp(0.2);
+        let analog = lp_to_hp(&proto1(), wc);
+        let digital = bilinear(&analog);
+        let f = iir_from_digital_zpk(&digital, 0.5).unwrap();
+        let h = f.frequency_response(1000);
+        assert!(h[0].norm() < 1e-9, "DC should be rejected");
+        assert!((h[500].norm() - 1.0).abs() < 1e-9, "Nyquist should pass");
+        let mag_at_fc = h[200].norm();
+        assert!((mag_at_fc - 1.0 / 2f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bandpass_transform_doubles_order() {
+        let w0 = prewarp(0.25);
+        let bw = prewarp(0.3) - prewarp(0.2);
+        let analog = lp_to_bp(&proto1(), w0, bw);
+        assert_eq!(analog.poles.len(), 2);
+        let digital = bilinear(&analog);
+        let f = iir_from_digital_zpk(&digital, 0.25).unwrap();
+        let h = f.frequency_response(1000);
+        assert!((h[250].norm() - 1.0).abs() < 1e-6, "center should pass");
+        assert!(h[0].norm() < 1e-9);
+        assert!(h[500].norm() < 1e-9);
+    }
+
+    #[test]
+    fn bandstop_transform_notches() {
+        let w0 = prewarp(0.25);
+        let bw = prewarp(0.3) - prewarp(0.2);
+        let analog = lp_to_bs(&proto1(), w0, bw);
+        let digital = bilinear(&analog);
+        let f = iir_from_digital_zpk(&digital, 0.0).unwrap();
+        let h = f.frequency_response(1000);
+        assert!((h[0].norm() - 1.0).abs() < 1e-9);
+        assert!(h[250].norm() < 1e-9, "notch center should be rejected");
+        assert!((h[500].norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stability_preserved_by_bilinear() {
+        // Left-half-plane analog poles must land inside the unit circle.
+        let analog = Zpk {
+            zeros: vec![],
+            poles: vec![Complex::new(-0.3, 2.0), Complex::new(-0.3, -2.0)],
+            gain: 1.0,
+        };
+        let digital = bilinear(&analog);
+        for p in &digital.poles {
+            assert!(p.norm() < 1.0);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Butterworth IIR design (maximally flat magnitude).
+
+use psdacc_fft::Complex;
+
+use crate::bilinear::{bilinear, iir_from_digital_zpk, lp_to_bp, lp_to_bs, lp_to_hp, lp_to_lp, prewarp, Zpk};
+use crate::error::FilterError;
+use crate::fir_design::BandSpec;
+use crate::iir::Iir;
+
+/// Normalized (1 rad/s) analog Butterworth lowpass prototype of the given
+/// order.
+///
+/// Poles sit equally spaced on the left half of the unit circle:
+/// `p_k = exp(i pi (2k + n + 1) / (2n))`.
+pub fn butterworth_prototype(order: usize) -> Zpk {
+    let n = order as f64;
+    let poles: Vec<Complex> = (0..order)
+        .map(|k| {
+            Complex::cis(std::f64::consts::PI * (2.0 * k as f64 + n + 1.0) / (2.0 * n))
+        })
+        .collect();
+    // Gain 1 at DC: H(0) = k / prod(-p); prod(-p) has magnitude 1 for the
+    // Butterworth circle, so k = prod(-p).re up to rounding — compute it.
+    let prod: Complex = poles.iter().fold(Complex::ONE, |acc, &p| acc * (-p));
+    Zpk { zeros: vec![], poles, gain: prod.re }
+}
+
+/// Designs a digital Butterworth filter of the given order and band shape.
+///
+/// `order` is the *prototype* order; bandpass/bandstop responses double it
+/// (matching the convention of common filter-design tools).
+///
+/// # Errors
+///
+/// * [`FilterError::InvalidOrder`] for `order == 0` or `order > 24`,
+/// * [`FilterError::InvalidCutoff`] for invalid band edges,
+/// * [`FilterError::Unstable`] if numerical failure produced an unstable
+///   polynomial (should not happen for supported orders).
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_filters::{butterworth, BandSpec};
+/// let f = butterworth(4, BandSpec::Lowpass { cutoff: 0.2 })?;
+/// assert!(f.is_stable(1e-9));
+/// # Ok::<(), psdacc_filters::FilterError>(())
+/// ```
+pub fn butterworth(order: usize, spec: BandSpec) -> Result<Iir, FilterError> {
+    if order == 0 || order > 24 {
+        return Err(FilterError::InvalidOrder { order });
+    }
+    spec.validate()?;
+    let proto = butterworth_prototype(order);
+    let analog = match spec {
+        BandSpec::Lowpass { cutoff } => lp_to_lp(&proto, prewarp(cutoff)),
+        BandSpec::Highpass { cutoff } => lp_to_hp(&proto, prewarp(cutoff)),
+        BandSpec::Bandpass { low, high } => {
+            let (w1, w2) = (prewarp(low), prewarp(high));
+            lp_to_bp(&proto, (w1 * w2).sqrt(), w2 - w1)
+        }
+        BandSpec::Bandstop { low, high } => {
+            let (w1, w2) = (prewarp(low), prewarp(high));
+            lp_to_bs(&proto, (w1 * w2).sqrt(), w2 - w1)
+        }
+    };
+    let digital = bilinear(&analog);
+    // Bandpass reference: the geometric center mapped back to the digital
+    // axis, i.e. the frequency whose prewarp is w0.
+    let f_ref = match spec {
+        BandSpec::Bandpass { low, high } => {
+            let w0 = (prewarp(low) * prewarp(high)).sqrt();
+            (w0 / 2.0).atan() / std::f64::consts::PI
+        }
+        other => other.reference_frequency(),
+    };
+    iir_from_digital_zpk(&digital, f_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::LtiSystem;
+
+    #[test]
+    fn prototype_poles_left_half_plane_unit_circle() {
+        for order in 1..=10 {
+            let p = butterworth_prototype(order);
+            assert_eq!(p.poles.len(), order);
+            for pole in &p.poles {
+                assert!(pole.re < 0.0, "order {order}: pole {pole} not in LHP");
+                assert!((pole.norm() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn second_order_lowpass_matches_textbook() {
+        // Known closed form: order-2 Butterworth, fc = 0.25 (wc = 2 tan(pi/4) = 2):
+        // H(s) = 1/(s^2 + sqrt(2) s + 1) scaled; digital via bilinear gives
+        // b = [k, 2k, k], a = [1, a1, a2] with a1 = 0 for fc = 0.25.
+        let f = butterworth(2, BandSpec::Lowpass { cutoff: 0.25 }).unwrap();
+        assert!((f.a()[1]).abs() < 1e-12, "a1 should vanish at quarter band: {:?}", f.a());
+        assert!((f.dc_gain_exact() - 1.0).abs() < 1e-10);
+        // Symmetric numerator (1, 2, 1) scaled.
+        let b = f.b();
+        assert!((b[1] / b[0] - 2.0).abs() < 1e-9);
+        assert!((b[2] / b[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minus_three_db_at_cutoff() {
+        for &(order, fc) in &[(2usize, 0.1), (4, 0.2), (6, 0.3), (9, 0.05)] {
+            let f = butterworth(order, BandSpec::Lowpass { cutoff: fc }).unwrap();
+            let n = 2000;
+            let bin = (fc * n as f64).round() as usize;
+            let mag = f.frequency_response(n)[bin].norm();
+            assert!(
+                (mag - 1.0 / 2f64.sqrt()).abs() < 1e-3,
+                "order {order} fc {fc}: |H| = {mag}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotonic_magnitude_lowpass() {
+        let f = butterworth(5, BandSpec::Lowpass { cutoff: 0.2 }).unwrap();
+        let h = f.frequency_response(256);
+        let mags: Vec<f64> = h[..128].iter().map(|v| v.norm()).collect();
+        for w in mags.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "Butterworth magnitude must be monotone");
+        }
+    }
+
+    #[test]
+    fn all_shapes_stable_across_orders() {
+        for order in 1..=10 {
+            for spec in [
+                BandSpec::Lowpass { cutoff: 0.15 },
+                BandSpec::Highpass { cutoff: 0.35 },
+                BandSpec::Bandpass { low: 0.1, high: 0.3 },
+                BandSpec::Bandstop { low: 0.2, high: 0.3 },
+            ] {
+                let f = butterworth(order, spec).unwrap_or_else(|e| {
+                    panic!("order {order} {spec:?} failed: {e}")
+                });
+                assert!(f.is_stable(1e-9), "order {order} {spec:?} unstable");
+            }
+        }
+    }
+
+    #[test]
+    fn highpass_rejects_dc() {
+        let f = butterworth(6, BandSpec::Highpass { cutoff: 0.2 }).unwrap();
+        let h = f.frequency_response(512);
+        assert!(h[0].norm() < 1e-9);
+        assert!((h[256].norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandpass_center_gain_unity() {
+        let f = butterworth(3, BandSpec::Bandpass { low: 0.1, high: 0.2 }).unwrap();
+        let n = 4000;
+        let h = f.frequency_response(n);
+        let peak = h[..n / 2].iter().map(|v| v.norm()).fold(f64::MIN, f64::max);
+        assert!((peak - 1.0).abs() < 1e-6, "peak {peak}");
+        assert!(h[0].norm() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_orders() {
+        assert!(butterworth(0, BandSpec::Lowpass { cutoff: 0.2 }).is_err());
+        assert!(butterworth(30, BandSpec::Lowpass { cutoff: 0.2 }).is_err());
+    }
+}

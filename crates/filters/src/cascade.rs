@@ -1,0 +1,103 @@
+//! Series composition of filters.
+//!
+//! Multi-stage channels (the word-length-exploration workload) are built
+//! from cascades; these helpers compose filters exactly so that a composite
+//! stage can be analyzed as one block or expanded into its parts, whichever
+//! the experiment needs.
+
+use crate::error::FilterError;
+use crate::fir::Fir;
+use crate::iir::Iir;
+
+/// Exact series combination of two FIR filters (tap convolution).
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_filters::{cascade_fir, Fir};
+/// let a = Fir::new(vec![1.0, 1.0]);
+/// let c = cascade_fir(&a, &a);
+/// assert_eq!(c.taps(), &[1.0, 2.0, 1.0]);
+/// ```
+pub fn cascade_fir(first: &Fir, second: &Fir) -> Fir {
+    Fir::new(psdacc_dsp::convolve(first.taps(), second.taps()))
+}
+
+/// Exact series combination of two IIR filters
+/// (`B = B1 B2`, `A = A1 A2`).
+///
+/// # Errors
+///
+/// Returns [`FilterError::InvalidCoefficients`] if the product denominator
+/// degenerates (cannot happen for normalized inputs).
+pub fn cascade_iir(first: &Iir, second: &Iir) -> Result<Iir, FilterError> {
+    let b = psdacc_dsp::convolve(first.b(), second.b());
+    let a = psdacc_dsp::convolve(first.a(), second.a());
+    Iir::new(b, a)
+}
+
+/// Series combination of an FIR and an IIR stage (`B = h B2`, `A = A2`).
+///
+/// # Errors
+///
+/// Returns [`FilterError::InvalidCoefficients`] on degenerate inputs.
+pub fn cascade_fir_iir(fir: &Fir, iir: &Iir) -> Result<Iir, FilterError> {
+    let b = psdacc_dsp::convolve(fir.taps(), iir.b());
+    Iir::new(b, iir.a().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::LtiSystem;
+    use psdacc_fft::Complex;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).norm() < 1e-10
+    }
+
+    #[test]
+    fn fir_cascade_response_is_product() {
+        let a = Fir::new(vec![0.5, 0.3, -0.1]);
+        let b = Fir::new(vec![1.0, -0.7]);
+        let c = cascade_fir(&a, &b);
+        let (ha, hb, hc) =
+            (a.frequency_response(32), b.frequency_response(32), c.frequency_response(32));
+        for k in 0..32 {
+            assert!(close(hc[k], ha[k] * hb[k]), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn iir_cascade_response_is_product() {
+        let a = Iir::new(vec![0.4], vec![1.0, -0.6]).unwrap();
+        let b = Iir::new(vec![1.0, 0.5], vec![1.0, 0.2]).unwrap();
+        let c = cascade_iir(&a, &b).unwrap();
+        let (ha, hb, hc) =
+            (a.frequency_response(32), b.frequency_response(32), c.frequency_response(32));
+        for k in 0..32 {
+            assert!(close(hc[k], ha[k] * hb[k]), "bin {k}");
+        }
+        assert!(c.is_stable(1e-9));
+    }
+
+    #[test]
+    fn mixed_cascade_filters_like_the_pipeline() {
+        let f = Fir::new(vec![0.25, 0.5, 0.25]);
+        let g = Iir::new(vec![0.3], vec![1.0, -0.7]).unwrap();
+        let c = cascade_fir_iir(&f, &g).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| ((i * 7 % 11) as f64) * 0.1 - 0.5).collect();
+        let pipeline = g.filter(&f.filter(&x));
+        let combined = c.filter(&x);
+        for (u, v) in pipeline.iter().zip(&combined) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cascade_order_is_immaterial() {
+        let a = Fir::new(vec![0.5, 0.5]);
+        let b = Fir::new(vec![1.0, -1.0]);
+        assert_eq!(cascade_fir(&a, &b).taps(), cascade_fir(&b, &a).taps());
+    }
+}

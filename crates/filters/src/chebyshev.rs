@@ -1,0 +1,169 @@
+//! Chebyshev type-I IIR design (equiripple passband).
+
+use psdacc_fft::Complex;
+
+use crate::bilinear::{bilinear, iir_from_digital_zpk, lp_to_bp, lp_to_bs, lp_to_hp, lp_to_lp, prewarp, Zpk};
+use crate::error::FilterError;
+use crate::fir_design::BandSpec;
+use crate::iir::Iir;
+use crate::response::LtiSystem;
+
+/// Normalized analog Chebyshev-I lowpass prototype with `ripple_db` passband
+/// ripple.
+///
+/// Poles lie on an ellipse: with `eps = sqrt(10^(r/10) - 1)` and
+/// `mu = asinh(1/eps) / n`,
+/// `p_k = -sinh(mu) sin(theta_k) + i cosh(mu) cos(theta_k)`,
+/// `theta_k = pi (2k + 1) / (2n)`.
+pub fn chebyshev1_prototype(order: usize, ripple_db: f64) -> Zpk {
+    let n = order as f64;
+    let eps = (10f64.powf(ripple_db / 10.0) - 1.0).sqrt();
+    let mu = (1.0 / eps).asinh() / n;
+    let poles: Vec<Complex> = (0..order)
+        .map(|k| {
+            let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * n);
+            Complex::new(-mu.sinh() * theta.sin(), mu.cosh() * theta.cos())
+        })
+        .collect();
+    let prod: Complex = poles.iter().fold(Complex::ONE, |acc, &p| acc * (-p));
+    // DC gain: 1 for odd order, 1/sqrt(1+eps^2) for even (ripple trough at DC).
+    let dc = if order % 2 == 1 { 1.0 } else { 1.0 / (1.0 + eps * eps).sqrt() };
+    Zpk { zeros: vec![], poles, gain: prod.re * dc }
+}
+
+/// Designs a digital Chebyshev-I filter.
+///
+/// The passband **peak** magnitude is normalized to exactly 1 (so the
+/// response oscillates in `[1/sqrt(1+eps^2), 1]` inside the passband).
+///
+/// # Errors
+///
+/// Same conditions as [`crate::butterworth::butterworth`], plus
+/// [`FilterError::InvalidOrder`] if `ripple_db <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_filters::{chebyshev1, BandSpec};
+/// let f = chebyshev1(5, 1.0, BandSpec::Lowpass { cutoff: 0.15 })?;
+/// assert!(f.is_stable(1e-9));
+/// # Ok::<(), psdacc_filters::FilterError>(())
+/// ```
+pub fn chebyshev1(order: usize, ripple_db: f64, spec: BandSpec) -> Result<Iir, FilterError> {
+    if order == 0 || order > 24 || ripple_db <= 0.0 {
+        return Err(FilterError::InvalidOrder { order });
+    }
+    spec.validate()?;
+    let proto = chebyshev1_prototype(order, ripple_db);
+    let analog = match spec {
+        BandSpec::Lowpass { cutoff } => lp_to_lp(&proto, prewarp(cutoff)),
+        BandSpec::Highpass { cutoff } => lp_to_hp(&proto, prewarp(cutoff)),
+        BandSpec::Bandpass { low, high } => {
+            let (w1, w2) = (prewarp(low), prewarp(high));
+            lp_to_bp(&proto, (w1 * w2).sqrt(), w2 - w1)
+        }
+        BandSpec::Bandstop { low, high } => {
+            let (w1, w2) = (prewarp(low), prewarp(high));
+            lp_to_bs(&proto, (w1 * w2).sqrt(), w2 - w1)
+        }
+    };
+    let digital = bilinear(&analog);
+    // First normalize at a convenient reference, then renormalize the
+    // passband peak to 1 (the equiripple response peaks away from the
+    // reference for even orders).
+    let f_ref = match spec {
+        BandSpec::Bandpass { low, high } => {
+            let w0 = (prewarp(low) * prewarp(high)).sqrt();
+            (w0 / 2.0).atan() / std::f64::consts::PI
+        }
+        other => other.reference_frequency(),
+    };
+    let filter = iir_from_digital_zpk(&digital, f_ref)?;
+    // Peak normalization on a dense grid.
+    let n = 4096;
+    let peak = filter
+        .frequency_response(n)
+        .iter()
+        .take(n / 2 + 1)
+        .map(|v| v.norm())
+        .fold(f64::MIN, f64::max);
+    let b: Vec<f64> = filter.b().iter().map(|v| v / peak).collect();
+    Iir::new(b, filter.a().to_vec()).map_err(|_| FilterError::InvalidCoefficients)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_poles_stable() {
+        let p = chebyshev1_prototype(7, 1.0);
+        for pole in &p.poles {
+            assert!(pole.re < 0.0);
+        }
+    }
+
+    #[test]
+    fn passband_ripple_bounded() {
+        let ripple_db = 1.0;
+        let f = chebyshev1(5, ripple_db, BandSpec::Lowpass { cutoff: 0.2 }).unwrap();
+        let n = 4096;
+        let h = f.frequency_response(n);
+        let floor = 10f64.powf(-ripple_db / 20.0); // 1 dB down
+        // Inside the passband the magnitude stays within [floor, 1].
+        for k in 0..(0.19 * n as f64) as usize {
+            let m = h[k].norm();
+            assert!(m <= 1.0 + 1e-6, "bin {k}: {m} > 1");
+            assert!(m >= floor - 1e-3, "bin {k}: {m} < ripple floor {floor}");
+        }
+    }
+
+    #[test]
+    fn equiripple_touches_both_extremes() {
+        let ripple_db: f64 = 2.0;
+        let f = chebyshev1(6, ripple_db, BandSpec::Lowpass { cutoff: 0.2 }).unwrap();
+        let n = 8192;
+        let h = f.frequency_response(n);
+        let floor = 10f64.powf(-ripple_db / 20.0);
+        let band: Vec<f64> = h[..(0.2 * n as f64) as usize].iter().map(|v| v.norm()).collect();
+        let max = band.iter().cloned().fold(f64::MIN, f64::max);
+        let min = band.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - 1.0).abs() < 1e-4, "peak {max}");
+        assert!((min - floor).abs() < 1e-2, "trough {min} vs {floor}");
+    }
+
+    #[test]
+    fn sharper_than_butterworth() {
+        // At the same order, Chebyshev rolls off faster past the cutoff.
+        let order = 4;
+        let fc = 0.2;
+        let ch = chebyshev1(order, 1.0, BandSpec::Lowpass { cutoff: fc }).unwrap();
+        let bu = crate::butterworth::butterworth(order, BandSpec::Lowpass { cutoff: fc }).unwrap();
+        let n = 1024;
+        let probe = (0.3 * n as f64) as usize;
+        let mch = ch.frequency_response(n)[probe].norm();
+        let mbu = bu.frequency_response(n)[probe].norm();
+        assert!(mch < mbu, "chebyshev {mch} should be below butterworth {mbu}");
+    }
+
+    #[test]
+    fn all_shapes_stable() {
+        for order in [2usize, 3, 5, 8, 10] {
+            for spec in [
+                BandSpec::Lowpass { cutoff: 0.12 },
+                BandSpec::Highpass { cutoff: 0.33 },
+                BandSpec::Bandpass { low: 0.15, high: 0.3 },
+            ] {
+                let f = chebyshev1(order, 0.5, spec)
+                    .unwrap_or_else(|e| panic!("order {order} {spec:?}: {e}"));
+                assert!(f.is_stable(1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_nonpositive_ripple() {
+        assert!(chebyshev1(4, 0.0, BandSpec::Lowpass { cutoff: 0.2 }).is_err());
+        assert!(chebyshev1(4, -1.0, BandSpec::Lowpass { cutoff: 0.2 }).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for filter construction and design.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by filter design routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterError {
+    /// Numerator/denominator coefficients were empty or not normalizable.
+    InvalidCoefficients,
+    /// A cutoff frequency was outside the open interval `(0, 0.5)` or band
+    /// edges were not increasing.
+    InvalidCutoff {
+        /// The offending frequency (cycles/sample).
+        frequency: f64,
+    },
+    /// The requested tap count cannot realize the response type (e.g. an
+    /// even-length symmetric FIR cannot be a highpass).
+    InvalidLength {
+        /// Requested length.
+        taps: usize,
+        /// Explanation of the constraint.
+        reason: &'static str,
+    },
+    /// Filter order was zero or too large for the design method.
+    InvalidOrder {
+        /// Requested order.
+        order: usize,
+    },
+    /// A designed IIR filter came out unstable (numerical failure).
+    Unstable,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::InvalidCoefficients => {
+                write!(f, "coefficients empty or leading denominator coefficient zero")
+            }
+            FilterError::InvalidCutoff { frequency } => {
+                write!(f, "cutoff frequency {frequency} outside (0, 0.5) or band edges not increasing")
+            }
+            FilterError::InvalidLength { taps, reason } => {
+                write!(f, "invalid tap count {taps}: {reason}")
+            }
+            FilterError::InvalidOrder { order } => write!(f, "invalid filter order {order}"),
+            FilterError::Unstable => write!(f, "designed filter is unstable"),
+        }
+    }
+}
+
+impl Error for FilterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FilterError::InvalidCutoff { frequency: 0.7 }.to_string().contains("0.7"));
+        assert!(FilterError::InvalidLength { taps: 16, reason: "highpass needs odd length" }
+            .to_string()
+            .contains("16"));
+        assert!(!FilterError::Unstable.to_string().is_empty());
+    }
+}

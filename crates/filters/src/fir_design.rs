@@ -1,0 +1,267 @@
+//! Windowed-sinc FIR design.
+//!
+//! This is the method behind the paper's 147-filter FIR population
+//! (Section IV-A-1: lowpass / highpass / bandpass shapes, 16-128 taps) and
+//! the `Hhp`/`Hlp` filters of the Fig. 2 frequency-filtering system.
+
+use psdacc_dsp::Window;
+
+use crate::error::FilterError;
+use crate::fir::Fir;
+
+/// The response shape of a designed filter.
+///
+/// All frequencies are normalized (cycles/sample) and must lie in the open
+/// interval `(0, 0.5)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandSpec {
+    /// Passes `F < cutoff`.
+    Lowpass {
+        /// Cutoff frequency.
+        cutoff: f64,
+    },
+    /// Passes `F > cutoff`.
+    Highpass {
+        /// Cutoff frequency.
+        cutoff: f64,
+    },
+    /// Passes `low < F < high`.
+    Bandpass {
+        /// Lower band edge.
+        low: f64,
+        /// Upper band edge.
+        high: f64,
+    },
+    /// Rejects `low < F < high`.
+    Bandstop {
+        /// Lower band edge.
+        low: f64,
+        /// Upper band edge.
+        high: f64,
+    },
+}
+
+impl BandSpec {
+    /// Validates the band edges.
+    ///
+    /// # Errors
+    ///
+    /// [`FilterError::InvalidCutoff`] when an edge is outside `(0, 0.5)` or
+    /// the edges are not increasing.
+    pub fn validate(self) -> Result<(), FilterError> {
+        let check = |f: f64| {
+            if f <= 0.0 || f >= 0.5 {
+                Err(FilterError::InvalidCutoff { frequency: f })
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            BandSpec::Lowpass { cutoff } | BandSpec::Highpass { cutoff } => check(cutoff),
+            BandSpec::Bandpass { low, high } | BandSpec::Bandstop { low, high } => {
+                check(low)?;
+                check(high)?;
+                if low >= high {
+                    return Err(FilterError::InvalidCutoff { frequency: high });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// A frequency inside the passband, used for gain normalization.
+    pub fn reference_frequency(self) -> f64 {
+        match self {
+            BandSpec::Lowpass { .. } | BandSpec::Bandstop { .. } => 0.0,
+            BandSpec::Highpass { .. } => 0.5,
+            BandSpec::Bandpass { low, high } => 0.5 * (low + high),
+        }
+    }
+}
+
+/// Normalized sinc: `sin(pi x) / (pi x)`.
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        (std::f64::consts::PI * x).sin() / (std::f64::consts::PI * x)
+    }
+}
+
+/// Ideal lowpass impulse response `2 fc sinc(2 fc (n - center))`.
+fn ideal_lowpass(taps: usize, fc: f64) -> Vec<f64> {
+    let center = (taps as f64 - 1.0) / 2.0;
+    (0..taps).map(|n| 2.0 * fc * sinc(2.0 * fc * (n as f64 - center))).collect()
+}
+
+/// Designs a linear-phase FIR filter by the windowed-sinc method and
+/// normalizes its gain to exactly 1 at the passband reference frequency.
+///
+/// # Errors
+///
+/// * [`FilterError::InvalidCutoff`] for bad band edges,
+/// * [`FilterError::InvalidLength`] when `taps == 0`, or when a highpass /
+///   bandstop is requested with an even tap count (a type-II symmetric FIR
+///   is structurally zero at Nyquist).
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_filters::{design_fir, BandSpec};
+/// use psdacc_dsp::Window;
+///
+/// let lp = design_fir(BandSpec::Lowpass { cutoff: 0.2 }, 31, Window::Hamming)?;
+/// assert!(lp.is_linear_phase(1e-12));
+/// # Ok::<(), psdacc_filters::FilterError>(())
+/// ```
+pub fn design_fir(spec: BandSpec, taps: usize, window: Window) -> Result<Fir, FilterError> {
+    spec.validate()?;
+    if taps == 0 {
+        return Err(FilterError::InvalidLength { taps, reason: "need at least one tap" });
+    }
+    let needs_odd = matches!(spec, BandSpec::Highpass { .. } | BandSpec::Bandstop { .. });
+    if needs_odd && taps.is_multiple_of(2) {
+        return Err(FilterError::InvalidLength {
+            taps,
+            reason: "highpass/bandstop responses need an odd (type-I) tap count",
+        });
+    }
+    let center = (taps - 1) / 2;
+    let mut h = match spec {
+        BandSpec::Lowpass { cutoff } => ideal_lowpass(taps, cutoff),
+        BandSpec::Highpass { cutoff } => {
+            // delta - lowpass (spectral inversion).
+            let mut h = ideal_lowpass(taps, cutoff);
+            for v in &mut h {
+                *v = -*v;
+            }
+            h[center] += 1.0;
+            h
+        }
+        BandSpec::Bandpass { low, high } => {
+            let lo = ideal_lowpass(taps, low);
+            let hi = ideal_lowpass(taps, high);
+            hi.iter().zip(&lo).map(|(a, b)| a - b).collect()
+        }
+        BandSpec::Bandstop { low, high } => {
+            let lo = ideal_lowpass(taps, low);
+            let hi = ideal_lowpass(taps, high);
+            let mut h: Vec<f64> = lo.iter().zip(&hi).map(|(a, b)| a - b).collect();
+            h[center] += 1.0;
+            h
+        }
+    };
+    let w = window.coefficients(taps);
+    for (hv, wv) in h.iter_mut().zip(&w) {
+        *hv *= wv;
+    }
+    // Normalize gain at the reference frequency.
+    let fref = spec.reference_frequency();
+    let gain: f64 = {
+        // |H(fref)| with the linear-phase term removed: for a symmetric
+        // filter the response at fref has magnitude |sum h[n] cos(2 pi fref
+        // (n - center))|.
+        let c = center as f64;
+        h.iter()
+            .enumerate()
+            .map(|(n, &v)| v * (std::f64::consts::TAU * fref * (n as f64 - c)).cos())
+            .sum()
+    };
+    if gain.abs() > 1e-12 {
+        for v in &mut h {
+            *v /= gain;
+        }
+    }
+    Ok(Fir::new(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::LtiSystem;
+
+    fn mag_at(fir: &Fir, n: usize, bin: usize) -> f64 {
+        fir.frequency_response(n)[bin].norm()
+    }
+
+    #[test]
+    fn lowpass_passes_dc_rejects_high() {
+        let f = design_fir(BandSpec::Lowpass { cutoff: 0.15 }, 63, Window::Hamming).unwrap();
+        assert!((mag_at(&f, 256, 0) - 1.0).abs() < 1e-12); // normalized DC
+        assert!(mag_at(&f, 256, 10) > 0.9); // F=0.039: passband
+        assert!(mag_at(&f, 256, 100) < 1e-2); // F=0.39: stopband
+    }
+
+    #[test]
+    fn highpass_passes_nyquist_rejects_dc() {
+        let f = design_fir(BandSpec::Highpass { cutoff: 0.3 }, 63, Window::Hamming).unwrap();
+        assert!((mag_at(&f, 256, 128) - 1.0).abs() < 1e-12); // normalized Nyquist
+        assert!(mag_at(&f, 256, 0) < 1e-2);
+        assert!(mag_at(&f, 256, 110) > 0.9); // F=0.43: passband
+    }
+
+    #[test]
+    fn bandpass_shape() {
+        let f =
+            design_fir(BandSpec::Bandpass { low: 0.1, high: 0.2 }, 95, Window::Blackman).unwrap();
+        let n = 512;
+        assert!(mag_at(&f, n, 77) > 0.95); // center 0.15
+        assert!(mag_at(&f, n, 8) < 1e-2); // F~0.016
+        assert!(mag_at(&f, n, 180) < 1e-2); // F~0.35
+    }
+
+    #[test]
+    fn bandstop_shape() {
+        let f =
+            design_fir(BandSpec::Bandstop { low: 0.15, high: 0.25 }, 95, Window::Hamming).unwrap();
+        let n = 512;
+        assert!((mag_at(&f, n, 0) - 1.0).abs() < 1e-12);
+        assert!(mag_at(&f, n, 102) < 1e-2); // center of the notch (F=0.2)
+        assert!(mag_at(&f, n, 220) > 0.9); // F=0.43
+    }
+
+    #[test]
+    fn designed_filters_are_linear_phase() {
+        for spec in [
+            BandSpec::Lowpass { cutoff: 0.2 },
+            BandSpec::Highpass { cutoff: 0.2 },
+            BandSpec::Bandpass { low: 0.1, high: 0.3 },
+        ] {
+            let f = design_fir(spec, 33, Window::Hann).unwrap();
+            assert!(f.is_linear_phase(1e-9), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn even_length_highpass_rejected() {
+        let err = design_fir(BandSpec::Highpass { cutoff: 0.2 }, 16, Window::Hamming);
+        assert!(matches!(err, Err(FilterError::InvalidLength { .. })));
+    }
+
+    #[test]
+    fn invalid_cutoffs_rejected() {
+        assert!(design_fir(BandSpec::Lowpass { cutoff: 0.6 }, 31, Window::Hann).is_err());
+        assert!(design_fir(BandSpec::Lowpass { cutoff: 0.0 }, 31, Window::Hann).is_err());
+        assert!(
+            design_fir(BandSpec::Bandpass { low: 0.3, high: 0.2 }, 31, Window::Hann).is_err()
+        );
+    }
+
+    #[test]
+    fn even_length_lowpass_works() {
+        // Type-II is fine for lowpass (the paper's Hhp has 16 taps).
+        let f = design_fir(BandSpec::Lowpass { cutoff: 0.25 }, 16, Window::Hamming).unwrap();
+        assert_eq!(f.len(), 16);
+        assert!((f.dc_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_band_with_kaiser() {
+        let f = design_fir(BandSpec::Bandpass { low: 0.2, high: 0.22 }, 255, Window::Kaiser(9.0))
+            .unwrap();
+        let n = 1024;
+        assert!(mag_at(&f, n, 215) > 0.9); // center F=0.21
+        assert!(mag_at(&f, n, 100) < 1e-3);
+        assert!(mag_at(&f, n, 350) < 1e-3);
+    }
+}

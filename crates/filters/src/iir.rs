@@ -1,0 +1,232 @@
+//! Infinite-impulse-response filters (direct-form II transposed).
+
+use psdacc_fft::Complex;
+
+use crate::error::FilterError;
+use crate::poly::roots_real;
+use crate::response::LtiSystem;
+
+/// An IIR filter `H(z) = B(z^-1) / A(z^-1)` with `a[0]` normalized to 1.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_filters::Iir;
+///
+/// // One-pole lowpass: y[n] = 0.5 x[n] + 0.5 y[n-1]
+/// let f = Iir::new(vec![0.5], vec![1.0, -0.5]).unwrap();
+/// assert!(f.is_stable(1e-9));
+/// assert!((f.dc_gain_exact() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Iir {
+    b: Vec<f64>,
+    a: Vec<f64>,
+}
+
+impl Iir {
+    /// Creates a filter from numerator `b` and denominator `a` coefficients
+    /// (ascending powers of `z^-1`). Coefficients are normalized so
+    /// `a[0] == 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidCoefficients`] if `b` is empty, `a` is
+    /// empty, or `a[0] == 0`.
+    pub fn new(b: Vec<f64>, a: Vec<f64>) -> Result<Self, FilterError> {
+        if b.is_empty() || a.is_empty() || a[0] == 0.0 {
+            return Err(FilterError::InvalidCoefficients);
+        }
+        let a0 = a[0];
+        Ok(Iir {
+            b: b.into_iter().map(|v| v / a0).collect(),
+            a: a.into_iter().map(|v| v / a0).collect(),
+        })
+    }
+
+    /// Numerator coefficients (normalized).
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Denominator coefficients (normalized, `a[0] == 1`).
+    pub fn a(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// Filter order (max of numerator/denominator degree).
+    pub fn order(&self) -> usize {
+        (self.b.len().max(self.a.len())).saturating_sub(1)
+    }
+
+    /// Poles (roots of the denominator in the `z` domain).
+    ///
+    /// The denominator `1 + a1 z^-1 + ... + aN z^-N` has `z`-domain roots of
+    /// `z^N + a1 z^(N-1) + ... + aN`.
+    pub fn poles(&self) -> Vec<Complex> {
+        // Reverse to get ascending-in-z coefficients.
+        let za: Vec<f64> = self.a.iter().rev().copied().collect();
+        roots_real(&za)
+    }
+
+    /// Zeros (roots of the numerator in the `z` domain).
+    pub fn zeros(&self) -> Vec<Complex> {
+        let zb: Vec<f64> = self.b.iter().rev().copied().collect();
+        if zb.iter().all(|&v| v == 0.0) {
+            return Vec::new();
+        }
+        roots_real(&zb)
+    }
+
+    /// `true` when all poles lie strictly inside the unit circle (with
+    /// `margin` slack, e.g. `1e-9`).
+    pub fn is_stable(&self, margin: f64) -> bool {
+        self.poles().iter().all(|p| p.norm() < 1.0 - margin)
+    }
+
+    /// DC gain `sum(b) / sum(a)` evaluated exactly from the coefficients.
+    pub fn dc_gain_exact(&self) -> f64 {
+        self.b.iter().sum::<f64>() / self.a.iter().sum::<f64>()
+    }
+
+    /// Filters a whole signal from zero initial state.
+    pub fn filter(&self, x: &[f64]) -> Vec<f64> {
+        let mut state = self.stream();
+        x.iter().map(|&v| state.push(v)).collect()
+    }
+
+    /// Creates a stateful streaming evaluator (direct-form II transposed).
+    pub fn stream(&self) -> IirState {
+        let order = self.b.len().max(self.a.len()) - 1;
+        IirState {
+            b: { let mut b = self.b.clone(); b.resize(order + 1, 0.0); b },
+            a: { let mut a = self.a.clone(); a.resize(order + 1, 0.0); a },
+            state: vec![0.0; order],
+        }
+    }
+}
+
+impl LtiSystem for Iir {
+    fn impulse_response(&self, max_len: usize, tol: f64) -> Vec<f64> {
+        psdacc_dsp::iir_impulse_response(&self.b, &self.a, max_len, tol)
+    }
+
+    fn frequency_response(&self, n: usize) -> Vec<Complex> {
+        psdacc_dsp::iir_frequency_response(&self.b, &self.a, n)
+    }
+
+    fn dc_gain(&self) -> f64 {
+        self.dc_gain_exact()
+    }
+}
+
+/// Streaming direct-form II transposed state.
+#[derive(Debug, Clone)]
+pub struct IirState {
+    b: Vec<f64>,
+    a: Vec<f64>,
+    state: Vec<f64>,
+}
+
+impl IirState {
+    /// Pushes one input sample and returns the output.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let y = self.b[0] * x + self.state.first().copied().unwrap_or(0.0);
+        let n = self.state.len();
+        for i in 0..n {
+            let next = if i + 1 < n { self.state[i + 1] } else { 0.0 };
+            self.state[i] = self.b[i + 1] * x - self.a[i + 1] * y + next;
+        }
+        y
+    }
+
+    /// Resets the internal state to zero.
+    pub fn reset(&mut self) {
+        self.state.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_pole_impulse_response() {
+        let f = Iir::new(vec![1.0], vec![1.0, -0.5]).unwrap();
+        let h = f.impulse_response(16, 0.0);
+        for (n, &v) in h.iter().take(8).enumerate() {
+            assert!((v - 0.5f64.powi(n as i32)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filter_matches_impulse_convolution() {
+        let f = Iir::new(vec![0.2, 0.1], vec![1.0, -0.8, 0.15]).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let y = f.filter(&x);
+        let h = f.impulse_response(2048, 1e-18);
+        let conv = psdacc_dsp::convolve(&h, &x);
+        for (a, b) in y.iter().zip(&conv) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stream_matches_batch() {
+        let f = Iir::new(vec![0.3, -0.1, 0.05], vec![1.0, -1.2, 0.5]).unwrap();
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.21).sin()).collect();
+        let batch = f.filter(&x);
+        let mut s = f.stream();
+        for (i, &v) in x.iter().enumerate() {
+            assert!((s.push(v) - batch[i]).abs() < 1e-12, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn poles_of_known_filter() {
+        // a(z^-1) = 1 - 1.2 z^-1 + 0.35 z^-2 -> z^2 - 1.2 z + 0.35,
+        // roots 0.5 and 0.7.
+        let f = Iir::new(vec![1.0], vec![1.0, -1.2, 0.35]).unwrap();
+        let mut p: Vec<f64> = f.poles().iter().map(|v| v.re).collect();
+        p.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((p[0] - 0.5).abs() < 1e-9);
+        assert!((p[1] - 0.7).abs() < 1e-9);
+        assert!(f.is_stable(1e-9));
+    }
+
+    #[test]
+    fn unstable_filter_detected() {
+        let f = Iir::new(vec![1.0], vec![1.0, -1.5]).unwrap();
+        assert!(!f.is_stable(1e-9));
+    }
+
+    #[test]
+    fn normalization() {
+        let f = Iir::new(vec![2.0], vec![2.0, -1.0]).unwrap();
+        assert_eq!(f.b(), &[1.0]);
+        assert_eq!(f.a(), &[1.0, -0.5]);
+    }
+
+    #[test]
+    fn invalid_coefficients() {
+        assert!(Iir::new(vec![], vec![1.0]).is_err());
+        assert!(Iir::new(vec![1.0], vec![]).is_err());
+        assert!(Iir::new(vec![1.0], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn dc_gain_matches_frequency_response() {
+        let f = Iir::new(vec![1.0, 0.5], vec![1.0, -0.3]).unwrap();
+        let h = f.frequency_response(8);
+        assert!((f.dc_gain_exact() - h[0].re).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeros_of_fir_like_numerator() {
+        // b = [1, -1]: zero at z = 1.
+        let f = Iir::new(vec![1.0, -1.0], vec![1.0, -0.5]).unwrap();
+        let z = f.zeros();
+        assert_eq!(z.len(), 1);
+        assert!((z[0] - Complex::ONE).norm() < 1e-9);
+    }
+}

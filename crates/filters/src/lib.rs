@@ -1,0 +1,36 @@
+//! # psdacc-filters
+//!
+//! Digital filter design and evaluation for the `psdacc` workspace (DATE 2016
+//! PSD accuracy-evaluation reproduction). The paper's benchmark population —
+//! 147 FIR and 147 IIR filters across lowpass/highpass/bandpass shapes — is
+//! generated with these routines, as are the `Hhp`/`Hlp` filters of the
+//! frequency-domain filtering system and the polyphase pieces of the DWT.
+//!
+//! * [`Fir`] / [`Iir`] — filter types with batch and streaming evaluation,
+//! * [`design_fir`] — windowed-sinc linear-phase FIR design,
+//! * [`butterworth()`](butterworth::butterworth) / [`chebyshev1()`](chebyshev::chebyshev1) — IIR design via analog prototypes,
+//!   band transformations and the bilinear transform ([`bilinear`] module),
+//! * [`LtiSystem`] — the uniform trait surface (impulse response, frequency
+//!   response, DC gain, energy) the accuracy-evaluation methods consume,
+//! * [`poly`] — complex polynomial utilities including Durand-Kerner root
+//!   finding (stability checks).
+
+pub mod bilinear;
+pub mod butterworth;
+pub mod cascade;
+pub mod chebyshev;
+pub mod error;
+pub mod fir;
+pub mod fir_design;
+pub mod iir;
+pub mod poly;
+pub mod response;
+
+pub use butterworth::{butterworth, butterworth_prototype};
+pub use cascade::{cascade_fir, cascade_fir_iir, cascade_iir};
+pub use chebyshev::{chebyshev1, chebyshev1_prototype};
+pub use error::FilterError;
+pub use fir::{Fir, FirState};
+pub use fir_design::{design_fir, BandSpec};
+pub use iir::{Iir, IirState};
+pub use response::{cutoff_bin, magnitude_db, LtiSystem};

@@ -1,0 +1,251 @@
+//! Complex polynomial utilities for filter design.
+//!
+//! Polynomials are stored **ascending**: `c[0] + c[1] x + c[2] x^2 + ...`.
+//! Root finding uses the Durand-Kerner (Weierstrass) simultaneous iteration,
+//! which is robust for the modest degrees (<= ~20) that digital filter design
+//! produces.
+
+use psdacc_fft::Complex;
+
+/// Evaluates `c[0] + c[1] x + ...` by Horner's rule.
+pub fn polyval(c: &[Complex], x: Complex) -> Complex {
+    c.iter().rev().fold(Complex::ZERO, |acc, &ci| acc * x + ci)
+}
+
+/// Evaluates a real-coefficient polynomial at a complex point.
+pub fn polyval_real(c: &[f64], x: Complex) -> Complex {
+    c.iter().rev().fold(Complex::ZERO, |acc, &ci| acc * x + Complex::from_re(ci))
+}
+
+/// Multiplies two polynomials (coefficient convolution).
+pub fn polymul(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Complex::ZERO; a.len() + b.len() - 1];
+    for (i, &av) in a.iter().enumerate() {
+        for (j, &bv) in b.iter().enumerate() {
+            out[i + j] += av * bv;
+        }
+    }
+    out
+}
+
+/// Builds the monic polynomial with the given roots:
+/// `prod_k (x - r_k)`, returned ascending.
+pub fn poly_from_roots(roots: &[Complex]) -> Vec<Complex> {
+    let mut c = vec![Complex::ONE];
+    for &r in roots {
+        c = polymul(&c, &[-r, Complex::ONE]);
+    }
+    c
+}
+
+/// Extracts real coefficients, checking the imaginary residue is below `tol`
+/// (roots must come in conjugate pairs for this to succeed).
+///
+/// # Panics
+///
+/// Panics if any imaginary part exceeds `tol` — that indicates unpaired
+/// complex roots, a design bug worth failing loudly on.
+pub fn real_coefficients(c: &[Complex], tol: f64) -> Vec<f64> {
+    c.iter()
+        .map(|v| {
+            assert!(
+                v.im.abs() <= tol * (1.0 + v.re.abs()),
+                "coefficient {v} has a non-negligible imaginary part"
+            );
+            v.re
+        })
+        .collect()
+}
+
+/// Finds all roots of the polynomial `c` (ascending coefficients) by
+/// Durand-Kerner iteration.
+///
+/// Returns an empty vector for constants. Leading zero coefficients are
+/// trimmed; trailing (low-order) zero coefficients yield roots at zero
+/// directly.
+///
+/// # Panics
+///
+/// Panics if all coefficients are zero.
+pub fn roots(c: &[Complex]) -> Vec<Complex> {
+    // Trim the (high-order) zero coefficients.
+    let mut coeffs: Vec<Complex> = c.to_vec();
+    while coeffs.last().is_some_and(|v| v.norm() == 0.0) {
+        coeffs.pop();
+    }
+    assert!(!coeffs.is_empty(), "zero polynomial has no well-defined roots");
+    if coeffs.len() == 1 {
+        return Vec::new();
+    }
+    // Factor out roots at the origin (low-order zeros).
+    let mut zero_roots = 0usize;
+    while coeffs[0].norm() == 0.0 {
+        coeffs.remove(0);
+        zero_roots += 1;
+    }
+    let n = coeffs.len() - 1;
+    let mut out = vec![Complex::ZERO; zero_roots];
+    if n == 0 {
+        return out;
+    }
+    // Monic normalization.
+    let lead = coeffs[n];
+    let monic: Vec<Complex> = coeffs.iter().map(|&v| v / lead).collect();
+    // Initial guesses: spiral points, never symmetric wrt the real axis.
+    let mut r: Vec<Complex> = (0..n)
+        .map(|k| Complex::new(0.4, 0.9).powf(k as f64 + 1.0))
+        .collect();
+    for _ in 0..600 {
+        let mut max_step = 0.0f64;
+        for i in 0..n {
+            let mut denom = Complex::ONE;
+            for j in 0..n {
+                if i != j {
+                    denom *= r[i] - r[j];
+                }
+            }
+            let step = polyval(&monic, r[i]) / denom;
+            r[i] -= step;
+            max_step = max_step.max(step.norm());
+        }
+        if max_step < 1e-14 {
+            break;
+        }
+    }
+    out.extend(r);
+    out
+}
+
+/// Roots of a real-coefficient polynomial.
+pub fn roots_real(c: &[f64]) -> Vec<Complex> {
+    let cc: Vec<Complex> = c.iter().map(|&v| Complex::from_re(v)).collect();
+    roots(&cc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_by_re_im(mut v: Vec<Complex>) -> Vec<Complex> {
+        v.sort_by(|a, b| {
+            (a.re, a.im)
+                .partial_cmp(&(b.re, b.im))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+
+    #[test]
+    fn polyval_quadratic() {
+        // 1 + 2x + 3x^2 at x = 2 -> 17
+        let c = [Complex::from_re(1.0), Complex::from_re(2.0), Complex::from_re(3.0)];
+        assert!((polyval(&c, Complex::from_re(2.0)) - Complex::from_re(17.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn polymul_known() {
+        // (1 + x)(1 - x) = 1 - x^2
+        let a = [Complex::ONE, Complex::ONE];
+        let b = [Complex::ONE, -Complex::ONE];
+        let p = polymul(&a, &b);
+        assert!((p[0] - Complex::ONE).norm() < 1e-15);
+        assert!(p[1].norm() < 1e-15);
+        assert!((p[2] + Complex::ONE).norm() < 1e-15);
+    }
+
+    #[test]
+    fn from_roots_and_back() {
+        let rts = vec![
+            Complex::new(0.5, 0.5),
+            Complex::new(0.5, -0.5),
+            Complex::from_re(-2.0),
+        ];
+        let c = poly_from_roots(&rts);
+        // Real polynomial (conjugate pair + real root).
+        let rc = real_coefficients(&c, 1e-12);
+        assert_eq!(rc.len(), 4);
+        let found = sort_by_re_im(roots_real(&rc));
+        let expect = sort_by_re_im(rts);
+        for (a, b) in found.iter().zip(&expect) {
+            assert!((*a - *b).norm() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        // x^4 - 1: roots are the 4th roots of unity.
+        let c = [
+            Complex::from_re(-1.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ONE,
+        ];
+        let r = roots(&c);
+        assert_eq!(r.len(), 4);
+        for v in &r {
+            assert!((v.norm() - 1.0).abs() < 1e-9);
+            assert!((polyval(&c, *v)).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn repeated_roots_converge() {
+        // (x - 1)^3
+        let c = poly_from_roots(&[Complex::ONE, Complex::ONE, Complex::ONE]);
+        let r = roots(&c);
+        for v in r {
+            assert!((v - Complex::ONE).norm() < 1e-3); // multiple roots converge slowly
+        }
+    }
+
+    #[test]
+    fn zero_roots_factored() {
+        // x^2 (x - 2): roots {0, 0, 2}
+        let c = [
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_re(-2.0),
+            Complex::ONE,
+        ];
+        let r = sort_by_re_im(roots(&c));
+        assert_eq!(r.len(), 3);
+        assert!(r[0].norm() < 1e-12);
+        assert!(r[1].norm() < 1e-12);
+        assert!((r[2] - Complex::from_re(2.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn constant_has_no_roots() {
+        assert!(roots(&[Complex::from_re(3.0)]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn zero_polynomial_panics() {
+        let _ = roots(&[Complex::ZERO, Complex::ZERO]);
+    }
+
+    #[test]
+    #[should_panic(expected = "imaginary")]
+    fn real_coefficients_rejects_complex() {
+        let _ = real_coefficients(&[Complex::new(1.0, 0.5)], 1e-12);
+    }
+
+    #[test]
+    fn high_degree_random_poly_roots_verify() {
+        // Verify p(root) ~= 0 for a degree-12 polynomial.
+        let c: Vec<Complex> = (0..13)
+            .map(|i| Complex::new(((i * 7 + 3) % 11) as f64 - 5.0, 0.0))
+            .collect();
+        let r = roots(&c);
+        assert_eq!(r.len(), 12);
+        let scale: f64 = c.iter().map(|v| v.norm()).sum();
+        for v in r {
+            assert!(polyval(&c, v).norm() < 1e-6 * scale.max(1.0), "residual at {v}");
+        }
+    }
+}

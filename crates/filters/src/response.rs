@@ -1,0 +1,92 @@
+//! The [`LtiSystem`] trait: the common surface every analysis method needs
+//! from a linear time-invariant block.
+//!
+//! The paper's three evaluation methods consume LTI blocks through exactly
+//! three quantities: the impulse response (flat method, Eq. 5/6), the energy
+//! and DC gain (PSD-agnostic method), and the sampled frequency response
+//! (the proposed PSD method, Eq. 11). This trait provides them uniformly for
+//! FIR and IIR filters and any custom block.
+
+use psdacc_fft::Complex;
+
+/// A discrete-time linear time-invariant system.
+pub trait LtiSystem {
+    /// Impulse response, truncated at `max_len` samples or earlier once the
+    /// tail energy falls below `tol` times the total (IIR); FIR systems
+    /// return their taps exactly.
+    fn impulse_response(&self, max_len: usize, tol: f64) -> Vec<f64>;
+
+    /// Transfer function sampled on the `n`-point grid `F_k = k/n`.
+    fn frequency_response(&self, n: usize) -> Vec<Complex>;
+
+    /// Gain at DC (`H(0)`).
+    fn dc_gain(&self) -> f64 {
+        self.frequency_response(1)[0].re
+    }
+
+    /// Impulse-response energy `sum h^2` — the white-noise power gain and
+    /// the `K_i` constant of the paper's Eq. 5.
+    fn energy(&self) -> f64 {
+        self.impulse_response(1 << 20, 1e-16).iter().map(|v| v * v).sum()
+    }
+
+    /// `|H(F_k)|^2` on the `n`-point grid — the factor of Eq. 11.
+    fn magnitude_squared(&self, n: usize) -> Vec<f64> {
+        self.frequency_response(n).iter().map(|v| v.norm_sqr()).collect()
+    }
+}
+
+/// Magnitude response in decibels (`20 log10 |H|`), flooring at `-300` dB.
+pub fn magnitude_db(h: &[Complex]) -> Vec<f64> {
+    h.iter().map(|v| (20.0 * v.norm().log10()).max(-300.0)).collect()
+}
+
+/// Finds the first frequency bin (index) at which the magnitude drops below
+/// `1/sqrt(2)` of the DC magnitude — a crude -3 dB locator for lowpass
+/// responses over the first half (positive frequencies) of the grid.
+pub fn cutoff_bin(h: &[Complex]) -> Option<usize> {
+    let dc = h.first()?.norm();
+    let target = dc / std::f64::consts::SQRT_2;
+    (0..h.len() / 2).find(|&k| h[k].norm() < target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fir::Fir;
+
+    #[test]
+    fn default_dc_gain_from_freq_response() {
+        let f = Fir::new(vec![0.2; 5]);
+        assert!((f.dc_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_db_of_unit_gain_is_zero() {
+        let h = vec![Complex::ONE, Complex::new(0.0, 1.0)];
+        let db = magnitude_db(&h);
+        assert!(db[0].abs() < 1e-12);
+        assert!(db[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_db_floors() {
+        let db = magnitude_db(&[Complex::ZERO]);
+        assert_eq!(db[0], -300.0);
+    }
+
+    #[test]
+    fn cutoff_bin_of_averager() {
+        let f = Fir::new(vec![0.25; 4]);
+        let h = f.frequency_response(64);
+        let c = cutoff_bin(&h).unwrap();
+        // 4-tap boxcar -3 dB point is near F = 0.11 -> bin ~7 of 64.
+        assert!((6..=9).contains(&c), "cutoff bin {c}");
+    }
+
+    #[test]
+    fn energy_default_impl() {
+        let f = Fir::new(vec![3.0, 4.0]);
+        assert_eq!(f.energy(), 25.0);
+    }
+}

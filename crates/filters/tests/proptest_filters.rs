@@ -1,0 +1,104 @@
+//! Property-based tests of filter design.
+
+use proptest::prelude::*;
+use psdacc_dsp::Window;
+use psdacc_fft::Complex;
+use psdacc_filters::poly::{poly_from_roots, polyval, roots};
+use psdacc_filters::{butterworth, chebyshev1, design_fir, BandSpec, LtiSystem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Windowed-sinc lowpass designs: linear phase, unit DC gain, monotone-
+    /// enough stopband (peak below the passband).
+    #[test]
+    fn fir_lowpass_properties(
+        cutoff in 0.05f64..0.45,
+        taps_sel in 0usize..5,
+    ) {
+        let taps = [11usize, 17, 25, 41, 63][taps_sel];
+        let f = design_fir(BandSpec::Lowpass { cutoff }, taps, Window::Hamming)
+            .expect("valid spec");
+        prop_assert!(f.is_linear_phase(1e-9));
+        prop_assert!((f.dc_gain() - 1.0).abs() < 1e-9);
+        let h = f.frequency_response(512);
+        let peak = h.iter().take(256).map(|v| v.norm()).fold(f64::MIN, f64::max);
+        prop_assert!(peak < 1.2, "passband overshoot {peak}");
+    }
+
+    /// Butterworth designs are stable and unit-gain at their reference
+    /// frequency for any order and cutoff.
+    #[test]
+    fn butterworth_stable_any_order(
+        order in 1usize..11,
+        cutoff in 0.05f64..0.45,
+    ) {
+        let f = butterworth(order, BandSpec::Lowpass { cutoff }).expect("valid spec");
+        prop_assert!(f.is_stable(1e-9));
+        prop_assert!((f.dc_gain_exact() - 1.0).abs() < 1e-6);
+        // Magnitude never exceeds 1 (maximally flat lowpass).
+        let h = f.frequency_response(256);
+        for v in &h {
+            prop_assert!(v.norm() < 1.0 + 1e-6);
+        }
+    }
+
+    /// Chebyshev-I designs are stable with bounded passband ripple.
+    #[test]
+    fn chebyshev_stable_with_ripple(
+        order in 2usize..9,
+        cutoff in 0.08f64..0.4,
+        ripple_db in 0.2f64..2.5,
+    ) {
+        let f = chebyshev1(order, ripple_db, BandSpec::Lowpass { cutoff })
+            .expect("valid spec");
+        prop_assert!(f.is_stable(1e-9));
+        let h = f.frequency_response(1024);
+        let peak = h.iter().take(512).map(|v| v.norm()).fold(f64::MIN, f64::max);
+        prop_assert!(peak <= 1.0 + 1e-4, "peak {peak}");
+    }
+
+    /// poly_from_roots / roots round-trip for roots in the unit disk.
+    #[test]
+    fn roots_roundtrip(
+        pts in prop::collection::vec((-0.9f64..0.9, 0.01f64..0.9), 1..5),
+    ) {
+        // Conjugate pairs keep coefficients real-ish but we work complex.
+        let rts: Vec<Complex> = pts
+            .iter()
+            .flat_map(|&(re, im)| [Complex::new(re, im), Complex::new(re, -im)])
+            .collect();
+        let poly = poly_from_roots(&rts);
+        let found = roots(&poly);
+        prop_assert_eq!(found.len(), rts.len());
+        // Every original root must be matched by some found root.
+        for r in &rts {
+            let best = found.iter().map(|f| (*f - *r).norm()).fold(f64::MAX, f64::min);
+            prop_assert!(best < 1e-5, "root {r} unmatched (closest {best})");
+        }
+        // And every found root must actually be a root.
+        let scale: f64 = poly.iter().map(|v| v.norm()).sum();
+        for f in &found {
+            prop_assert!(polyval(&poly, *f).norm() < 1e-6 * scale);
+        }
+    }
+
+    /// IIR filtering equals convolution with its (truncated) impulse
+    /// response for stable designs.
+    #[test]
+    fn iir_filter_equals_impulse_convolution(
+        order in 1usize..5,
+        cutoff in 0.1f64..0.4,
+        seed in 0u64..100,
+    ) {
+        let f = butterworth(order, BandSpec::Lowpass { cutoff }).expect("valid spec");
+        let mut gen = psdacc_dsp::SignalGenerator::new(seed);
+        let x = gen.uniform_white(128, 1.0);
+        let y = f.filter(&x);
+        let h = f.impulse_response(1 << 14, 1e-18);
+        let conv = psdacc_dsp::convolve(&h, &x);
+        for (a, b) in y.iter().zip(&conv) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the fixed-point substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fixed-point construction and arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixedError {
+    /// The requested format does not fit in the 64-bit raw representation.
+    FormatTooWide {
+        /// Requested integer bits.
+        int_bits: u32,
+        /// Requested fractional bits.
+        frac_bits: u32,
+    },
+    /// A value fell outside the representable range and wrapping/saturation
+    /// was not requested.
+    Overflow {
+        /// The offending value.
+        value: f64,
+        /// Largest representable value of the target format.
+        max: f64,
+        /// Smallest representable value of the target format.
+        min: f64,
+    },
+    /// The value is NaN or infinite and cannot be quantized.
+    NotFinite,
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::FormatTooWide { int_bits, frac_bits } => write!(
+                f,
+                "format with {int_bits} integer and {frac_bits} fractional bits exceeds the 63-bit raw budget"
+            ),
+            FixedError::Overflow { value, max, min } => {
+                write!(f, "value {value} outside representable range [{min}, {max}]")
+            }
+            FixedError::NotFinite => write!(f, "value is not finite"),
+        }
+    }
+}
+
+impl Error for FixedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = FixedError::FormatTooWide { int_bits: 40, frac_bits: 40 };
+        assert!(e.to_string().contains("40"));
+        let e = FixedError::Overflow { value: 9.0, max: 8.0, min: -8.0 };
+        assert!(e.to_string().contains("9"));
+        assert!(!FixedError::NotFinite.to_string().is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Fixed-point number formats (Q-notation).
+
+use std::fmt;
+
+use crate::error::FixedError;
+
+/// A signed two's-complement fixed-point format `Q(m, d)`: one sign bit,
+/// `m` integer bits and `d` fractional bits.
+///
+/// The representable range is `[-2^m, 2^m - 2^-d]` with resolution
+/// `q = 2^-d`.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_fixed::QFormat;
+///
+/// let fmt = QFormat::new(3, 12);
+/// assert_eq!(fmt.total_bits(), 16);
+/// assert_eq!(fmt.resolution(), 2f64.powi(-12));
+/// assert_eq!(fmt.max_value(), 8.0 - 2f64.powi(-12));
+/// assert_eq!(fmt.min_value(), -8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a format with `int_bits` integer and `frac_bits` fractional
+    /// bits (plus an implicit sign bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width exceeds 63 bits (the raw representation is
+    /// an `i64`).
+    pub fn new(int_bits: u32, frac_bits: u32) -> Self {
+        assert!(
+            int_bits + frac_bits <= 62,
+            "QFormat width {}+{}+1 exceeds the 63-bit raw budget",
+            int_bits,
+            frac_bits
+        );
+        QFormat { int_bits, frac_bits }
+    }
+
+    /// Fallible constructor for use with user-supplied widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatTooWide`] if the total width exceeds 63
+    /// bits.
+    pub fn try_new(int_bits: u32, frac_bits: u32) -> Result<Self, FixedError> {
+        if int_bits + frac_bits > 62 {
+            return Err(FixedError::FormatTooWide { int_bits, frac_bits });
+        }
+        Ok(QFormat { int_bits, frac_bits })
+    }
+
+    /// Number of integer bits (excluding sign).
+    pub fn int_bits(self) -> u32 {
+        self.int_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total storage width including the sign bit.
+    pub fn total_bits(self) -> u32 {
+        self.int_bits + self.frac_bits + 1
+    }
+
+    /// The quantization step `q = 2^-d`.
+    pub fn resolution(self) -> f64 {
+        (self.frac_bits as f64 * -1.0).exp2()
+    }
+
+    /// Largest representable value `2^m - q`.
+    pub fn max_value(self) -> f64 {
+        (self.int_bits as f64).exp2() - self.resolution()
+    }
+
+    /// Smallest representable value `-2^m`.
+    pub fn min_value(self) -> f64 {
+        -(self.int_bits as f64).exp2()
+    }
+
+    /// Largest raw integer representation.
+    pub fn max_raw(self) -> i64 {
+        (1i64 << (self.int_bits + self.frac_bits)) - 1
+    }
+
+    /// Smallest raw integer representation.
+    pub fn min_raw(self) -> i64 {
+        -(1i64 << (self.int_bits + self.frac_bits))
+    }
+
+    /// Returns a format with the same integer bits and `frac_bits` changed.
+    pub fn with_frac_bits(self, frac_bits: u32) -> Self {
+        QFormat::new(self.int_bits, frac_bits)
+    }
+
+    /// Returns a format with the same fractional bits and `int_bits` changed.
+    pub fn with_int_bits(self, int_bits: u32) -> Self {
+        QFormat::new(int_bits, self.frac_bits)
+    }
+
+    /// The format needed to hold a product of values in `self` and `rhs`
+    /// without rounding or overflow.
+    pub fn mul_format(self, rhs: QFormat) -> Result<Self, FixedError> {
+        QFormat::try_new(self.int_bits + rhs.int_bits + 1, self.frac_bits + rhs.frac_bits)
+    }
+
+    /// The format needed to hold a sum of values in `self` and `rhs` without
+    /// rounding or overflow.
+    pub fn add_format(self, rhs: QFormat) -> Result<Self, FixedError> {
+        QFormat::try_new(
+            self.int_bits.max(rhs.int_bits) + 1,
+            self.frac_bits.max(rhs.frac_bits),
+        )
+    }
+
+    /// Returns `true` when `value` is exactly representable.
+    pub fn contains(self, value: f64) -> bool {
+        if !(self.min_value()..=self.max_value()).contains(&value) {
+            return false;
+        }
+        let scaled = value * (self.frac_bits as f64).exp2();
+        scaled == scaled.round()
+    }
+}
+
+impl Default for QFormat {
+    /// `Q(15, 16)` — a comfortable general-purpose 32-bit format.
+    fn default() -> Self {
+        QFormat::new(15, 16)
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_ranges() {
+        let f = QFormat::new(7, 8);
+        assert_eq!(f.total_bits(), 16);
+        assert_eq!(f.resolution(), 1.0 / 256.0);
+        assert_eq!(f.max_value(), 128.0 - 1.0 / 256.0);
+        assert_eq!(f.min_value(), -128.0);
+        assert_eq!(f.max_raw(), 32767);
+        assert_eq!(f.min_raw(), -32768);
+    }
+
+    #[test]
+    fn try_new_rejects_wide_formats() {
+        assert!(QFormat::try_new(40, 40).is_err());
+        assert!(QFormat::try_new(31, 31).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "63-bit raw budget")]
+    fn new_panics_on_wide_format() {
+        let _ = QFormat::new(32, 32);
+    }
+
+    #[test]
+    fn contains_checks_grid_and_range() {
+        let f = QFormat::new(3, 2); // q = 0.25, range [-8, 7.75]
+        assert!(f.contains(1.25));
+        assert!(f.contains(-8.0));
+        assert!(f.contains(7.75));
+        assert!(!f.contains(8.0));
+        assert!(!f.contains(1.3));
+    }
+
+    #[test]
+    fn derived_formats() {
+        let a = QFormat::new(3, 4);
+        let b = QFormat::new(2, 6);
+        let m = a.mul_format(b).unwrap();
+        assert_eq!((m.int_bits(), m.frac_bits()), (6, 10));
+        let s = a.add_format(b).unwrap();
+        assert_eq!((s.int_bits(), s.frac_bits()), (4, 6));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(QFormat::new(3, 12).to_string(), "Q3.12");
+    }
+
+    #[test]
+    fn default_is_q15_16() {
+        let f = QFormat::default();
+        assert_eq!((f.int_bits(), f.frac_bits()), (15, 16));
+    }
+}

@@ -1,0 +1,41 @@
+//! # psdacc-fixed
+//!
+//! Fixed-point arithmetic, quantizers and the pseudo-quantization-noise (PQN)
+//! model for the `psdacc` workspace (DATE 2016 PSD accuracy-evaluation
+//! reproduction).
+//!
+//! Three layers:
+//!
+//! * [`QFormat`] / [`FixedPoint`] — bit-true integer-backed fixed-point
+//!   values with exact widening arithmetic and re-quantization,
+//! * [`Quantizer`] — fast `f64`-grid quantization used by the simulation
+//!   engine (proved consistent with the integer path by tests),
+//! * [`NoiseMoments`] — closed-form mean/variance of quantization noise for
+//!   truncation and rounding, in both the continuous-input and the
+//!   discrete-input (re-quantization) settings.
+//!
+//! # Example
+//!
+//! ```
+//! use psdacc_fixed::{NoiseMoments, Quantizer, RoundingMode};
+//!
+//! // An 8-bit truncation quantizer and its PQN description.
+//! let q = Quantizer::new(8, RoundingMode::Truncate);
+//! let noise = NoiseMoments::continuous(RoundingMode::Truncate, 8);
+//! assert!(q.error(0.123).abs() < q.step());
+//! assert!(noise.power() > 0.0);
+//! ```
+
+pub mod error;
+pub mod format;
+pub mod noise_model;
+pub mod quantizer;
+pub mod range;
+pub mod value;
+
+pub use error::FixedError;
+pub use format::QFormat;
+pub use noise_model::NoiseMoments;
+pub use quantizer::{OverflowMode, Quantizer, RoundingMode};
+pub use range::Interval;
+pub use value::FixedPoint;

@@ -1,0 +1,201 @@
+//! The pseudo-quantization-noise (PQN) model after Widrow & Kollar.
+//!
+//! Under the PQN conditions restated in Section II of the paper, the error
+//! injected by a quantizer behaves like an additive noise source that is
+//! (1) uncorrelated with the signal, (2) spectrally white, and (3) propagated
+//! linearly. Everything a *spectral* description then needs is the first two
+//! moments of one error sample, which this module provides in closed form —
+//! both for continuous-amplitude inputs and for the discrete case where the
+//! input is itself already quantized (re-quantization `d1 -> d2` bits), which
+//! is what actually happens inside a fixed-point datapath.
+
+use crate::quantizer::RoundingMode;
+
+/// First two moments of a quantization-noise source.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_fixed::{NoiseMoments, RoundingMode};
+///
+/// let m = NoiseMoments::continuous(RoundingMode::RoundNearest, 8);
+/// assert_eq!(m.mean, 0.0);
+/// let q = 2f64.powi(-8);
+/// assert!((m.variance - q * q / 12.0).abs() < 1e-20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NoiseMoments {
+    /// Expected error `E[b]`.
+    pub mean: f64,
+    /// Error variance `E[b^2] - E[b]^2`.
+    pub variance: f64,
+}
+
+impl NoiseMoments {
+    /// A zero (no-noise) source.
+    pub const ZERO: NoiseMoments = NoiseMoments { mean: 0.0, variance: 0.0 };
+
+    /// Creates moments directly.
+    pub fn new(mean: f64, variance: f64) -> Self {
+        NoiseMoments { mean, variance }
+    }
+
+    /// Moments for quantizing a *continuous-amplitude* signal to `d`
+    /// fractional bits (`q = 2^-d`).
+    ///
+    /// * truncation: mean `-q/2`, variance `q^2 / 12`
+    /// * rounding:   mean `0`,    variance `q^2 / 12`
+    pub fn continuous(mode: RoundingMode, frac_bits: i32) -> Self {
+        let q = (-frac_bits as f64).exp2();
+        let variance = q * q / 12.0;
+        let mean = match mode {
+            RoundingMode::Truncate => -q / 2.0,
+            RoundingMode::RoundNearest => 0.0,
+        };
+        NoiseMoments { mean, variance }
+    }
+
+    /// Moments for re-quantizing a signal that already lives on a
+    /// `q1 = 2^-d_in` grid down to `q2 = 2^-d_out` (`d_out < d_in`).
+    ///
+    /// With `k = q2/q1` grid points per output step (all equally likely under
+    /// PQN):
+    ///
+    /// * truncation: mean `-(q2 - q1)/2`, variance `(q2^2 - q1^2) / 12`
+    /// * rounding (ties up): mean `q1/2`, variance `(q2^2 - q1^2) / 12`
+    ///
+    /// When `d_out >= d_in` no information is discarded and the result is
+    /// [`NoiseMoments::ZERO`].
+    pub fn discrete(mode: RoundingMode, frac_bits_in: i32, frac_bits_out: i32) -> Self {
+        if frac_bits_out >= frac_bits_in {
+            return NoiseMoments::ZERO;
+        }
+        let q1 = (-frac_bits_in as f64).exp2();
+        let q2 = (-frac_bits_out as f64).exp2();
+        let variance = (q2 * q2 - q1 * q1) / 12.0;
+        let mean = match mode {
+            RoundingMode::Truncate => -(q2 - q1) / 2.0,
+            RoundingMode::RoundNearest => q1 / 2.0,
+        };
+        NoiseMoments { mean, variance }
+    }
+
+    /// Total noise power `E[b^2] = mean^2 + variance`.
+    pub fn power(self) -> f64 {
+        self.mean * self.mean + self.variance
+    }
+
+    /// Moments of the sum of two *independent* sources.
+    pub fn add_independent(self, other: NoiseMoments) -> Self {
+        NoiseMoments { mean: self.mean + other.mean, variance: self.variance + other.variance }
+    }
+
+    /// Moments after scaling the noise by a constant gain `g`.
+    pub fn scale(self, g: f64) -> Self {
+        NoiseMoments { mean: self.mean * g, variance: self.variance * g * g }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::Quantizer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn continuous_truncation() {
+        let m = NoiseMoments::continuous(RoundingMode::Truncate, 4);
+        let q = 1.0 / 16.0;
+        assert_eq!(m.mean, -q / 2.0);
+        assert!((m.variance - q * q / 12.0).abs() < 1e-18);
+        assert!((m.power() - (q * q / 12.0 + q * q / 4.0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn discrete_reduces_to_continuous_in_the_limit() {
+        let c = NoiseMoments::continuous(RoundingMode::Truncate, 8);
+        let d = NoiseMoments::discrete(RoundingMode::Truncate, 50, 8);
+        assert!((c.mean - d.mean).abs() < 1e-12 * c.mean.abs());
+        assert!((c.variance - d.variance).abs() < 1e-9 * c.variance);
+    }
+
+    #[test]
+    fn no_noise_when_precision_kept() {
+        assert_eq!(NoiseMoments::discrete(RoundingMode::Truncate, 8, 8), NoiseMoments::ZERO);
+        assert_eq!(NoiseMoments::discrete(RoundingMode::RoundNearest, 8, 12), NoiseMoments::ZERO);
+    }
+
+    /// Empirical check of the discrete model: drive a quantizer with values
+    /// uniformly distributed on the fine grid and compare measured moments.
+    #[test]
+    fn discrete_model_matches_measurement() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (d_in, d_out) = (12, 6);
+        let q1 = 2f64.powi(-d_in);
+        for &mode in &[RoundingMode::Truncate, RoundingMode::RoundNearest] {
+            let quant = Quantizer::new(d_out, mode);
+            let n = 200_000;
+            let mut sum = 0.0;
+            let mut sum2 = 0.0;
+            for _ in 0..n {
+                // Uniform on the fine grid.
+                let x = (rng.gen_range(-(1 << 14)..(1 << 14)) as f64) * q1;
+                let e = quant.error(x);
+                sum += e;
+                sum2 += e * e;
+            }
+            let mean = sum / n as f64;
+            let var = sum2 / n as f64 - mean * mean;
+            let model = NoiseMoments::discrete(mode, d_in, d_out);
+            let q2 = 2f64.powi(-d_out);
+            assert!(
+                (mean - model.mean).abs() < 0.02 * q2,
+                "{mode:?}: mean {mean} vs model {}",
+                model.mean
+            );
+            assert!(
+                (var - model.variance).abs() < 0.05 * model.variance,
+                "{mode:?}: var {var} vs model {}",
+                model.variance
+            );
+        }
+    }
+
+    /// Exhaustive check over one full output step: enumerate every fine-grid
+    /// residue once, so measured moments must match the model *exactly*.
+    #[test]
+    fn discrete_model_exact_by_enumeration() {
+        for &(d_in, d_out) in &[(6, 3), (8, 2), (10, 9)] {
+            let q1 = 2f64.powi(-d_in);
+            let k = 1i64 << (d_in - d_out);
+            for &mode in &[RoundingMode::Truncate, RoundingMode::RoundNearest] {
+                let quant = Quantizer::new(d_out, mode);
+                let mut sum = 0.0;
+                let mut sum2 = 0.0;
+                for i in 0..k {
+                    let e = quant.error(i as f64 * q1);
+                    sum += e;
+                    sum2 += e * e;
+                }
+                let mean = sum / k as f64;
+                let var = sum2 / k as f64 - mean * mean;
+                let model = NoiseMoments::discrete(mode, d_in, d_out);
+                assert!((mean - model.mean).abs() < 1e-15, "{mode:?} {d_in}->{d_out} mean");
+                assert!((var - model.variance).abs() < 1e-15, "{mode:?} {d_in}->{d_out} var");
+            }
+        }
+    }
+
+    #[test]
+    fn combination_rules() {
+        let a = NoiseMoments::new(0.1, 2.0);
+        let b = NoiseMoments::new(-0.2, 3.0);
+        let s = a.add_independent(b);
+        assert!((s.mean - -0.1).abs() < 1e-15);
+        assert_eq!(s.variance, 5.0);
+        let g = a.scale(-3.0);
+        assert!((g.mean - -0.3).abs() < 1e-15);
+        assert_eq!(g.variance, 18.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Value-domain quantization: snapping `f64` signals onto a fixed-point grid.
+//!
+//! The simulation engine (crate `psdacc-sim`) runs every benchmark twice — in
+//! full `f64` precision and in "virtual fixed point" where each designated
+//! signal is snapped to a `2^-d` grid after every operation. As long as the
+//! working values stay well within the 53-bit mantissa of `f64` (all paper
+//! benchmarks use `d <= 32` with unit-range signals), this is bit-true with
+//! respect to a genuine integer implementation; `crate::value::FixedPoint`
+//! plus the consistency tests below back that claim.
+
+use crate::error::FixedError;
+
+/// How values are mapped onto the quantization grid.
+///
+/// The paper (after Widrow & Kollar) considers two modes, matching the two
+/// cheap hardware realizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Two's-complement truncation: floor to the next lower grid point.
+    /// Biased (mean `-q/2` for continuous inputs) but free in hardware.
+    #[default]
+    Truncate,
+    /// Round to nearest, ties away from zero resolved upward (`floor(x/q + 1/2)`).
+    /// Unbiased for continuous inputs; costs an adder.
+    RoundNearest,
+}
+
+/// What happens when a value exceeds the representable range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowMode {
+    /// Clamp to the closest representable value (saturating arithmetic).
+    #[default]
+    Saturate,
+    /// Two's-complement wrap-around.
+    Wrap,
+    /// No range limit: the grid extends indefinitely. This models the paper's
+    /// setting, where range analysis is assumed to have already removed
+    /// overflows and only *precision* errors remain (Section I).
+    Unbounded,
+}
+
+/// A quantizer snapping values to a `2^-d` grid.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_fixed::{Quantizer, RoundingMode};
+///
+/// let q = Quantizer::new(4, RoundingMode::Truncate); // q = 1/16
+/// assert_eq!(q.quantize(0.1), 0.0625);
+/// let r = Quantizer::new(4, RoundingMode::RoundNearest);
+/// assert_eq!(r.quantize(0.1), 0.125);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    frac_bits: i32,
+    rounding: RoundingMode,
+    overflow: OverflowMode,
+    /// Saturation bounds used by `Saturate`/`Wrap`; `None` means unbounded.
+    range: Option<(f64, f64)>,
+}
+
+impl Quantizer {
+    /// Creates an unbounded quantizer with `frac_bits` fractional bits.
+    ///
+    /// Negative `frac_bits` produce grids coarser than 1.0 (step `2^-d`).
+    pub fn new(frac_bits: i32, rounding: RoundingMode) -> Self {
+        Quantizer { frac_bits, rounding, overflow: OverflowMode::Unbounded, range: None }
+    }
+
+    /// Adds a saturation range of `int_bits` integer bits (signed), i.e.
+    /// `[-2^m, 2^m - q]`, and the given overflow behaviour.
+    pub fn with_range(mut self, int_bits: u32, overflow: OverflowMode) -> Self {
+        let hi = (int_bits as f64).exp2();
+        self.range = Some((-hi, hi - self.step()));
+        self.overflow = overflow;
+        self
+    }
+
+    /// The grid step `q = 2^-d`.
+    pub fn step(&self) -> f64 {
+        (-self.frac_bits as f64).exp2()
+    }
+
+    /// Number of fractional bits `d`.
+    pub fn frac_bits(&self) -> i32 {
+        self.frac_bits
+    }
+
+    /// The rounding mode.
+    pub fn rounding(&self) -> RoundingMode {
+        self.rounding
+    }
+
+    /// The overflow mode.
+    pub fn overflow(&self) -> OverflowMode {
+        self.overflow
+    }
+
+    /// Snaps `x` to the grid.
+    ///
+    /// Non-finite inputs are returned unchanged (they only arise from
+    /// upstream bugs and should stay visible).
+    #[inline]
+    pub fn quantize(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return x;
+        }
+        let q = self.step();
+        let scaled = x / q;
+        let snapped = match self.rounding {
+            RoundingMode::Truncate => scaled.floor(),
+            RoundingMode::RoundNearest => (scaled + 0.5).floor(),
+        };
+        let v = snapped * q;
+        match (self.overflow, self.range) {
+            (OverflowMode::Unbounded, _) | (_, None) => v,
+            (OverflowMode::Saturate, Some((lo, hi))) => v.clamp(lo, hi),
+            (OverflowMode::Wrap, Some((lo, hi))) => {
+                let span = hi - lo + q;
+                let mut w = (v - lo) % span;
+                if w < 0.0 {
+                    w += span;
+                }
+                lo + w
+            }
+        }
+    }
+
+    /// Quantizes with an explicit error report instead of silent saturation.
+    ///
+    /// # Errors
+    ///
+    /// [`FixedError::NotFinite`] for NaN/inf inputs and
+    /// [`FixedError::Overflow`] when a range is configured and exceeded.
+    pub fn try_quantize(&self, x: f64) -> Result<f64, FixedError> {
+        if !x.is_finite() {
+            return Err(FixedError::NotFinite);
+        }
+        let v = Quantizer { overflow: OverflowMode::Unbounded, ..*self }.quantize(x);
+        if let Some((lo, hi)) = self.range {
+            if v < lo || v > hi {
+                return Err(FixedError::Overflow { value: x, max: hi, min: lo });
+            }
+        }
+        Ok(v)
+    }
+
+    /// Quantizes a whole slice in place.
+    pub fn quantize_slice(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.quantize(*x);
+        }
+    }
+
+    /// The quantization error `quantize(x) - x` for a single value.
+    #[inline]
+    pub fn error(&self, x: f64) -> f64 {
+        self.quantize(x) - x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_floors() {
+        let q = Quantizer::new(2, RoundingMode::Truncate); // step 0.25
+        assert_eq!(q.quantize(0.9), 0.75);
+        assert_eq!(q.quantize(-0.9), -1.0);
+        assert_eq!(q.quantize(0.75), 0.75);
+    }
+
+    #[test]
+    fn round_nearest_half_up() {
+        let q = Quantizer::new(2, RoundingMode::RoundNearest);
+        assert_eq!(q.quantize(0.874), 0.75);
+        assert_eq!(q.quantize(0.876), 1.0);
+        assert_eq!(q.quantize(0.875), 1.0); // tie goes up
+        assert_eq!(q.quantize(-0.875), -0.75); // tie goes up (toward +inf)
+    }
+
+    #[test]
+    fn error_is_bounded() {
+        let qt = Quantizer::new(8, RoundingMode::Truncate);
+        let qr = Quantizer::new(8, RoundingMode::RoundNearest);
+        let step = qt.step();
+        for i in -1000..1000 {
+            let x = i as f64 * 0.001234;
+            let et = qt.error(x);
+            assert!(et <= 0.0 && et > -step, "truncate error {et} out of (-q, 0]");
+            let er = qr.error(x);
+            assert!(er > -step / 2.0 - 1e-15 && er <= step / 2.0 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn idempotent_on_grid() {
+        let q = Quantizer::new(6, RoundingMode::Truncate);
+        for i in -50..50 {
+            let x = i as f64 * q.step();
+            assert_eq!(q.quantize(x), x);
+            let y = q.quantize(i as f64 * 0.0137);
+            assert_eq!(q.quantize(y), y);
+        }
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let q = Quantizer::new(4, RoundingMode::Truncate).with_range(2, OverflowMode::Saturate);
+        assert_eq!(q.quantize(10.0), 4.0 - q.step());
+        assert_eq!(q.quantize(-10.0), -4.0);
+        assert_eq!(q.quantize(1.0), 1.0);
+    }
+
+    #[test]
+    fn wrap_wraps_like_twos_complement() {
+        let q = Quantizer::new(0, RoundingMode::Truncate).with_range(2, OverflowMode::Wrap);
+        // range [-4, 3], step 1, span 8
+        assert_eq!(q.quantize(4.0), -4.0);
+        assert_eq!(q.quantize(5.0), -3.0);
+        assert_eq!(q.quantize(-5.0), 3.0);
+        assert_eq!(q.quantize(3.0), 3.0);
+    }
+
+    #[test]
+    fn try_quantize_reports_overflow() {
+        let q = Quantizer::new(4, RoundingMode::Truncate).with_range(1, OverflowMode::Saturate);
+        assert!(matches!(q.try_quantize(5.0), Err(FixedError::Overflow { .. })));
+        assert_eq!(q.try_quantize(0.5).unwrap(), 0.5);
+        assert!(matches!(q.try_quantize(f64::NAN), Err(FixedError::NotFinite)));
+    }
+
+    #[test]
+    fn non_finite_passthrough() {
+        let q = Quantizer::new(4, RoundingMode::Truncate);
+        assert!(q.quantize(f64::NAN).is_nan());
+        assert_eq!(q.quantize(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn negative_frac_bits_coarse_grid() {
+        let q = Quantizer::new(-2, RoundingMode::RoundNearest); // step 4
+        assert_eq!(q.quantize(5.0), 4.0);
+        assert_eq!(q.quantize(6.0), 8.0); // tie at 1.5 grid -> up
+    }
+
+    #[test]
+    fn slice_quantization() {
+        let q = Quantizer::new(1, RoundingMode::Truncate);
+        let mut xs = [0.3, 0.7, -0.3];
+        q.quantize_slice(&mut xs);
+        assert_eq!(xs, [0.0, 0.5, -0.5]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Interval-arithmetic range analysis.
+//!
+//! The paper's Section I splits fixed-point refinement into two halves:
+//! range analysis fixes the *integer* bits (so overflows cannot occur), and
+//! accuracy analysis — the paper's contribution — fixes the *fractional*
+//! bits. This module supplies the classic interval-arithmetic half so the
+//! workspace covers the whole refinement flow: given input ranges, it bounds
+//! every signal and converts bounds into integer bit counts.
+
+/// A closed interval `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_fixed::Interval;
+///
+/// let a = Interval::new(-1.0, 2.0);
+/// let b = a.scale(-3.0);
+/// assert_eq!(b, Interval::new(-6.0, 3.0));
+/// assert_eq!(a.add(b), Interval::new(-7.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "interval must have lo <= hi, got [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Self {
+        Interval::new(x, x)
+    }
+
+    /// The symmetric interval `[-a, a]`.
+    pub fn symmetric(a: f64) -> Self {
+        let a = a.abs();
+        Interval::new(-a, a)
+    }
+
+    /// Interval sum.
+    pub fn add(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+
+    /// Interval difference.
+    pub fn sub(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+
+    /// Scaling by a constant (sign-aware).
+    pub fn scale(self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval::new(self.lo * k, self.hi * k)
+        } else {
+            Interval::new(self.hi * k, self.lo * k)
+        }
+    }
+
+    /// Interval product (all four corner products).
+    pub fn mul(self, rhs: Interval) -> Interval {
+        let c = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
+        Interval::new(c.iter().cloned().fold(f64::MAX, f64::min), c.iter().cloned().fold(f64::MIN, f64::max))
+    }
+
+    /// Union (smallest interval containing both).
+    pub fn union(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo.min(rhs.lo), self.hi.max(rhs.hi))
+    }
+
+    /// Largest magnitude in the interval.
+    pub fn max_abs(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// `true` when `x` lies inside.
+    pub fn contains(self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+
+    /// Range of `sum_k h[k] x[n-k]` for `x` confined to `self`: the classic
+    /// worst-case (L1) bound of an FIR filter.
+    pub fn through_fir(self, taps: &[f64]) -> Interval {
+        taps.iter().fold(Interval::point(0.0), |acc, &h| acc.add(self.scale(h)))
+    }
+
+    /// Minimum signed integer bits (excluding sign) needed so that
+    /// `[-2^m, 2^m)` covers the interval.
+    pub fn required_int_bits(self) -> u32 {
+        let a = self.max_abs();
+        if a <= 0.0 {
+            return 0;
+        }
+        // Need 2^m > a for the negative edge; 2^m >= a + resolution for the
+        // positive one. Use the conservative ceil(log2(a)) with an epsilon.
+        a.log2().ceil().max(0.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(0.5, 3.0);
+        assert_eq!(a.add(b), Interval::new(-0.5, 5.0));
+        assert_eq!(a.sub(b), Interval::new(-4.0, 1.5));
+        assert_eq!(a.mul(b), Interval::new(-3.0, 6.0));
+        assert_eq!(a.union(b), Interval::new(-1.0, 3.0));
+    }
+
+    #[test]
+    fn scaling_flips_sign() {
+        let a = Interval::new(-1.0, 2.0);
+        assert_eq!(a.scale(2.0), Interval::new(-2.0, 4.0));
+        assert_eq!(a.scale(-1.0), Interval::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn fir_l1_bound() {
+        // Worst case of the averager on [-1, 1] is +-1.
+        let x = Interval::symmetric(1.0);
+        let y = x.through_fir(&[0.25; 4]);
+        assert_eq!(y, Interval::new(-1.0, 1.0));
+        // Alternating taps: L1 norm is what matters, not the DC gain.
+        let y = x.through_fir(&[0.5, -0.5]);
+        assert_eq!(y, Interval::new(-1.0, 1.0));
+    }
+
+    #[test]
+    fn int_bits() {
+        assert_eq!(Interval::symmetric(0.9).required_int_bits(), 0);
+        assert_eq!(Interval::symmetric(1.5).required_int_bits(), 1);
+        assert_eq!(Interval::symmetric(4.0).required_int_bits(), 2);
+        assert_eq!(Interval::point(0.0).required_int_bits(), 0);
+        assert_eq!(Interval::new(-8.0, 1.0).required_int_bits(), 3);
+    }
+
+    #[test]
+    fn contains_and_max_abs() {
+        let a = Interval::new(-3.0, 1.0);
+        assert!(a.contains(0.0));
+        assert!(!a.contains(1.5));
+        assert_eq!(a.max_abs(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn validates_order() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+
+    /// The bound truly is worst-case: an adversarial +-1 input achieves it.
+    #[test]
+    fn l1_bound_is_achieved() {
+        let taps = [0.3, -0.2, 0.5, 0.1];
+        let bound = Interval::symmetric(1.0).through_fir(&taps);
+        // Drive with sign(h[k]) reversed in time.
+        let l1: f64 = taps.iter().map(|h| h.abs()).sum();
+        assert!((bound.hi - l1).abs() < 1e-12);
+        let worst: f64 = taps.iter().map(|h| h * h.signum()).sum();
+        assert!((worst - l1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! Bit-true fixed-point values backed by integer arithmetic.
+//!
+//! [`FixedPoint`] stores the raw two's-complement integer alongside its
+//! [`QFormat`]. It exists to *prove* that the faster `f64`-grid quantization
+//! used by the simulation engine ([`crate::quantizer::Quantizer`]) is
+//! bit-true: the consistency tests at the bottom of this module drive both
+//! representations through the same operations and require identical results.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::FixedError;
+use crate::format::QFormat;
+use crate::quantizer::{OverflowMode, RoundingMode};
+
+/// A fixed-point number: raw integer plus format.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_fixed::{FixedPoint, QFormat, RoundingMode};
+///
+/// let fmt = QFormat::new(3, 8);
+/// let a = FixedPoint::from_f64(1.5, fmt, RoundingMode::Truncate);
+/// let b = FixedPoint::from_f64(0.25, fmt, RoundingMode::Truncate);
+/// assert_eq!(a.add_exact(b).unwrap().to_f64(), 1.75);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPoint {
+    raw: i64,
+    format: QFormat,
+}
+
+impl FixedPoint {
+    /// Zero in the given format.
+    pub fn zero(format: QFormat) -> Self {
+        FixedPoint { raw: 0, format }
+    }
+
+    /// Builds a value from its raw integer representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is outside the format's raw range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        assert!(
+            (format.min_raw()..=format.max_raw()).contains(&raw),
+            "raw value {raw} outside {format} range"
+        );
+        FixedPoint { raw, format }
+    }
+
+    /// Quantizes an `f64` into the format, saturating on overflow.
+    pub fn from_f64(x: f64, format: QFormat, rounding: RoundingMode) -> Self {
+        let scaled = x * (format.frac_bits() as f64).exp2();
+        let snapped = match rounding {
+            RoundingMode::Truncate => scaled.floor(),
+            RoundingMode::RoundNearest => (scaled + 0.5).floor(),
+        };
+        let raw = if snapped.is_nan() {
+            0
+        } else {
+            (snapped as i64).clamp(format.min_raw(), format.max_raw())
+        };
+        FixedPoint { raw, format }
+    }
+
+    /// The raw two's-complement integer.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The number's format.
+    pub fn format(self) -> QFormat {
+        self.format
+    }
+
+    /// Converts back to `f64` (exact: the mantissa always suffices for
+    /// formats up to 53 total bits).
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 * (-(self.format.frac_bits() as f64)).exp2()
+    }
+
+    /// Exact addition in the widened [`QFormat::add_format`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatTooWide`] if the widened format does not
+    /// fit the raw budget.
+    pub fn add_exact(self, rhs: FixedPoint) -> Result<FixedPoint, FixedError> {
+        let fmt = self.format.add_format(rhs.format)?;
+        let a = self.raw << (fmt.frac_bits() - self.format.frac_bits());
+        let b = rhs.raw << (fmt.frac_bits() - rhs.format.frac_bits());
+        Ok(FixedPoint { raw: a + b, format: fmt })
+    }
+
+    /// Exact multiplication in the widened [`QFormat::mul_format`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatTooWide`] if the widened format does not
+    /// fit the raw budget.
+    pub fn mul_exact(self, rhs: FixedPoint) -> Result<FixedPoint, FixedError> {
+        let fmt = self.format.mul_format(rhs.format)?;
+        let wide = self.raw as i128 * rhs.raw as i128;
+        Ok(FixedPoint { raw: wide as i64, format: fmt })
+    }
+
+    /// Re-quantizes into `target`, applying `rounding` to dropped fractional
+    /// bits and `overflow` to out-of-range magnitudes.
+    pub fn requantize(
+        self,
+        target: QFormat,
+        rounding: RoundingMode,
+        overflow: OverflowMode,
+    ) -> FixedPoint {
+        let d_self = self.format.frac_bits() as i64;
+        let d_tgt = target.frac_bits() as i64;
+        let mut raw = if d_tgt >= d_self {
+            self.raw << (d_tgt - d_self)
+        } else {
+            let shift = (d_self - d_tgt) as u32;
+            match rounding {
+                // Arithmetic right shift == floor division: exactly
+                // two's-complement truncation.
+                RoundingMode::Truncate => self.raw >> shift,
+                RoundingMode::RoundNearest => (self.raw + (1i64 << (shift - 1))) >> shift,
+            }
+        };
+        let (lo, hi) = (target.min_raw(), target.max_raw());
+        raw = match overflow {
+            OverflowMode::Unbounded => raw,
+            OverflowMode::Saturate => raw.clamp(lo, hi),
+            OverflowMode::Wrap => {
+                let span = (hi - lo + 1) as i128;
+                let w = ((raw as i128 - lo as i128).rem_euclid(span)) + lo as i128;
+                w as i64
+            }
+        };
+        FixedPoint { raw, format: target }
+    }
+}
+
+impl fmt::Display for FixedPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+impl PartialEq for FixedPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f64() == other.to_f64()
+    }
+}
+
+impl PartialOrd for FixedPoint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::Quantizer;
+
+    #[test]
+    fn f64_roundtrip_on_grid() {
+        let fmt = QFormat::new(3, 8);
+        for i in -2048..2048 {
+            let x = i as f64 / 256.0;
+            let v = FixedPoint::from_f64(x, fmt, RoundingMode::Truncate);
+            assert_eq!(v.to_f64(), x);
+        }
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        let fmt = QFormat::new(2, 4);
+        let v = FixedPoint::from_f64(100.0, fmt, RoundingMode::Truncate);
+        assert_eq!(v.to_f64(), fmt.max_value());
+        let v = FixedPoint::from_f64(-100.0, fmt, RoundingMode::Truncate);
+        assert_eq!(v.to_f64(), fmt.min_value());
+    }
+
+    #[test]
+    fn exact_add_and_mul() {
+        let fmt = QFormat::new(3, 6);
+        let a = FixedPoint::from_f64(1.5, fmt, RoundingMode::Truncate);
+        let b = FixedPoint::from_f64(-2.25, fmt, RoundingMode::Truncate);
+        assert_eq!(a.add_exact(b).unwrap().to_f64(), -0.75);
+        assert_eq!(a.mul_exact(b).unwrap().to_f64(), -3.375);
+    }
+
+    #[test]
+    fn requantize_truncate_matches_floor() {
+        let src = QFormat::new(3, 10);
+        let dst = QFormat::new(3, 4);
+        for i in -300..300 {
+            let x = i as f64 * 0.013;
+            let v = FixedPoint::from_f64(x, src, RoundingMode::Truncate);
+            let r = v.requantize(dst, RoundingMode::Truncate, OverflowMode::Saturate);
+            let expect = (v.to_f64() * 16.0).floor() / 16.0;
+            assert_eq!(r.to_f64(), expect, "x={x}");
+        }
+    }
+
+    /// The load-bearing consistency test: integer-domain arithmetic and the
+    /// f64-grid `Quantizer` must agree bit for bit.
+    #[test]
+    fn integer_and_f64_grid_quantization_agree() {
+        let src = QFormat::new(4, 16);
+        for &mode in &[RoundingMode::Truncate, RoundingMode::RoundNearest] {
+            for &d in &[2u32, 5, 9, 12] {
+                let dst = QFormat::new(4, d);
+                let q = Quantizer::new(d as i32, mode);
+                for i in -1000..1000 {
+                    let x = i as f64 * 0.01713;
+                    let vi = FixedPoint::from_f64(x, src, RoundingMode::Truncate);
+                    let via_int =
+                        vi.requantize(dst, mode, OverflowMode::Unbounded).to_f64();
+                    let via_f64 = q.quantize(vi.to_f64());
+                    assert_eq!(via_int, via_f64, "mode={mode:?} d={d} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_requantize() {
+        let src = QFormat::new(6, 4);
+        let dst = QFormat::new(2, 4);
+        let v = FixedPoint::from_f64(4.0, src, RoundingMode::Truncate);
+        let w = v.requantize(dst, RoundingMode::Truncate, OverflowMode::Wrap);
+        assert_eq!(w.to_f64(), -4.0);
+    }
+
+    #[test]
+    fn ordering_and_equality() {
+        let fmt = QFormat::new(3, 8);
+        let a = FixedPoint::from_f64(1.0, fmt, RoundingMode::Truncate);
+        let b = FixedPoint::from_f64(2.0, fmt, RoundingMode::Truncate);
+        assert!(a < b);
+        let c = FixedPoint::from_f64(1.0, QFormat::new(3, 4), RoundingMode::Truncate);
+        assert_eq!(a, c); // same real value, different format
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_raw_checks_range() {
+        let _ = FixedPoint::from_raw(1 << 20, QFormat::new(3, 8));
+    }
+}

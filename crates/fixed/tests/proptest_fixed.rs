@@ -1,0 +1,102 @@
+//! Property-based tests of the fixed-point substrate.
+
+use proptest::prelude::*;
+use psdacc_fixed::{
+    FixedPoint, NoiseMoments, OverflowMode, QFormat, Quantizer, RoundingMode,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Integer-domain and f64-grid quantization agree for every value,
+    /// width and mode.
+    #[test]
+    fn integer_grid_consistency(
+        x in -1000.0f64..1000.0,
+        d_src in 10u32..20,
+        d_dst in 1u32..10,
+        round in prop::bool::ANY,
+    ) {
+        let mode = if round { RoundingMode::RoundNearest } else { RoundingMode::Truncate };
+        let src = QFormat::new(12, d_src);
+        let dst = QFormat::new(12, d_dst);
+        let v = FixedPoint::from_f64(x, src, RoundingMode::Truncate);
+        let via_int = v.requantize(dst, mode, OverflowMode::Unbounded).to_f64();
+        let via_f64 = Quantizer::new(d_dst as i32, mode).quantize(v.to_f64());
+        prop_assert_eq!(via_int, via_f64);
+    }
+
+    /// Exact arithmetic in widened formats really is exact.
+    #[test]
+    fn widened_arithmetic_exact(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+    ) {
+        let fmt = QFormat::new(8, 10);
+        let fa = FixedPoint::from_f64(a, fmt, RoundingMode::RoundNearest);
+        let fb = FixedPoint::from_f64(b, fmt, RoundingMode::RoundNearest);
+        let sum = fa.add_exact(fb).expect("widened format fits");
+        prop_assert_eq!(sum.to_f64(), fa.to_f64() + fb.to_f64());
+        let prod = fa.mul_exact(fb).expect("widened format fits");
+        prop_assert!((prod.to_f64() - fa.to_f64() * fb.to_f64()).abs() < 1e-12);
+    }
+
+    /// Saturation clamps exactly to the format bounds.
+    #[test]
+    fn saturation_bounds(x in -1e9f64..1e9) {
+        let fmt = QFormat::new(4, 6);
+        let v = FixedPoint::from_f64(x, fmt, RoundingMode::Truncate).to_f64();
+        prop_assert!(v >= fmt.min_value() && v <= fmt.max_value());
+    }
+
+    /// Wrapping stays in range and is periodic.
+    #[test]
+    fn wrap_periodicity(x in -100.0f64..100.0) {
+        let q = Quantizer::new(3, RoundingMode::Truncate).with_range(2, OverflowMode::Wrap);
+        let span = 8.0; // [-4, 4)
+        let w1 = q.quantize(x);
+        let w2 = q.quantize(x + span);
+        prop_assert!((w1 - w2).abs() < 1e-12, "{w1} vs {w2}");
+        prop_assert!((-4.0..4.0).contains(&w1));
+    }
+
+    /// The discrete PQN model matches exhaustive enumeration for any
+    /// bit-width pair.
+    #[test]
+    fn discrete_moments_exact(d_out in 0i32..8, extra in 1i32..6) {
+        let d_in = d_out + extra;
+        let q1 = 2f64.powi(-d_in);
+        let k = 1i64 << extra;
+        for mode in [RoundingMode::Truncate, RoundingMode::RoundNearest] {
+            let quant = Quantizer::new(d_out, mode);
+            let mut sum = 0.0;
+            let mut sum2 = 0.0;
+            for i in 0..k {
+                let e = quant.error(i as f64 * q1);
+                sum += e;
+                sum2 += e * e;
+            }
+            let mean = sum / k as f64;
+            let var = sum2 / k as f64 - mean * mean;
+            let model = NoiseMoments::discrete(mode, d_in, d_out);
+            prop_assert!((mean - model.mean).abs() < 1e-12 * (1.0 + model.mean.abs()));
+            prop_assert!((var - model.variance).abs() < 1e-12 * (1.0 + model.variance));
+        }
+    }
+
+    /// Moment combination rules: independence addition and scaling.
+    #[test]
+    fn moment_algebra(
+        m1 in -1.0f64..1.0, v1 in 0.0f64..4.0,
+        m2 in -1.0f64..1.0, v2 in 0.0f64..4.0,
+        g in -3.0f64..3.0,
+    ) {
+        let a = NoiseMoments::new(m1, v1);
+        let b = NoiseMoments::new(m2, v2);
+        let s = a.add_independent(b);
+        prop_assert!((s.mean - (m1 + m2)).abs() < 1e-12);
+        prop_assert!((s.variance - (v1 + v2)).abs() < 1e-12);
+        let sc = a.scale(g);
+        prop_assert!((sc.power() - (m1 * g * m1 * g + v1 * g * g)).abs() < 1e-9);
+    }
+}

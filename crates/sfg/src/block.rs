@@ -1,0 +1,209 @@
+//! Block types that populate a signal-flow graph.
+
+use psdacc_fft::Complex;
+use psdacc_filters::{Fir, Iir, LtiSystem};
+
+/// A processing block in a single-rate LTI signal-flow graph.
+///
+/// Multirate systems (the DWT benchmark) are modeled with dedicated
+/// executors/propagators in `psdacc-wavelet`; the generic graph stays
+/// single-rate so that the per-frequency linear solve in [`crate::freq`] is
+/// exact.
+#[derive(Debug, Clone)]
+pub enum Block {
+    /// An external input port (no predecessors).
+    Input,
+    /// Multiplication by a constant.
+    Gain(f64),
+    /// A pure delay of `k >= 1` samples. Delays are the only blocks allowed
+    /// to close feedback loops.
+    Delay(usize),
+    /// An FIR filter.
+    Fir(Fir),
+    /// An IIR filter.
+    Iir(Iir),
+    /// An n-ary adder (sums all predecessors).
+    Add,
+}
+
+impl Block {
+    /// Human-readable block kind for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Block::Input => "input",
+            Block::Gain(_) => "gain",
+            Block::Delay(_) => "delay",
+            Block::Fir(_) => "fir",
+            Block::Iir(_) => "iir",
+            Block::Add => "add",
+        }
+    }
+
+    /// Number of predecessors this block requires: `None` means "one or
+    /// more" (the adder).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Block::Input => Some(0),
+            Block::Add => None,
+            _ => Some(1),
+        }
+    }
+
+    /// The block's transfer function evaluated at normalized frequency `f`
+    /// (cycles/sample). Adders and inputs are unit-transparent: summation is
+    /// handled by the graph structure.
+    pub fn transfer_at(&self, f: f64) -> Complex {
+        match self {
+            Block::Input | Block::Add => Complex::ONE,
+            Block::Gain(g) => Complex::from_re(*g),
+            Block::Delay(k) => Complex::cis(-std::f64::consts::TAU * f * *k as f64),
+            Block::Fir(fir) => {
+                fir.taps()
+                    .iter()
+                    .enumerate()
+                    .map(|(n, &h)| Complex::cis(-std::f64::consts::TAU * f * n as f64) * h)
+                    .sum()
+            }
+            Block::Iir(iir) => {
+                let z = Complex::cis(-std::f64::consts::TAU * f);
+                let num = psdacc_filters::poly::polyval_real(iir.b(), z);
+                let den = psdacc_filters::poly::polyval_real(iir.a(), z);
+                num / den
+            }
+        }
+    }
+
+    /// The block's transfer function sampled on the `n`-point grid
+    /// `F_k = k/n`.
+    pub fn frequency_response(&self, n: usize) -> Vec<Complex> {
+        match self {
+            Block::Input | Block::Add => vec![Complex::ONE; n],
+            Block::Gain(g) => vec![Complex::from_re(*g); n],
+            Block::Delay(k) => (0..n)
+                .map(|i| Complex::cis(-std::f64::consts::TAU * (i * k) as f64 / n as f64))
+                .collect(),
+            Block::Fir(fir) => fir.frequency_response(n),
+            Block::Iir(iir) => iir.frequency_response(n),
+        }
+    }
+
+    /// DC gain of the block (1 for structural blocks).
+    pub fn dc_gain(&self) -> f64 {
+        match self {
+            Block::Input | Block::Add | Block::Delay(_) => 1.0,
+            Block::Gain(g) => *g,
+            Block::Fir(fir) => fir.dc_gain(),
+            Block::Iir(iir) => iir.dc_gain(),
+        }
+    }
+
+    /// Impulse-response energy (white-noise power gain) of the block.
+    pub fn energy(&self) -> f64 {
+        match self {
+            Block::Input | Block::Add | Block::Delay(_) => 1.0,
+            Block::Gain(g) => g * g,
+            Block::Fir(fir) => fir.energy(),
+            Block::Iir(iir) => iir.energy(),
+        }
+    }
+
+    /// Impulse response of the block (structural blocks are deltas).
+    pub fn impulse_response(&self, max_len: usize, tol: f64) -> Vec<f64> {
+        match self {
+            Block::Input | Block::Add => vec![1.0],
+            Block::Gain(g) => vec![*g],
+            Block::Delay(k) => {
+                let mut h = vec![0.0; k + 1];
+                h[*k] = 1.0;
+                h
+            }
+            Block::Fir(fir) => fir.taps().to_vec(),
+            Block::Iir(iir) => iir.impulse_response(max_len, tol),
+        }
+    }
+
+    /// `true` for blocks whose output at time `t` does not depend on the
+    /// input at time `t` (pure delays): these may close feedback loops.
+    pub fn breaks_delay_free_path(&self) -> bool {
+        matches!(self, Block::Delay(k) if *k >= 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_rules() {
+        assert_eq!(Block::Input.arity(), Some(0));
+        assert_eq!(Block::Gain(2.0).arity(), Some(1));
+        assert_eq!(Block::Add.arity(), None);
+    }
+
+    #[test]
+    fn gain_response_flat() {
+        let h = Block::Gain(-2.5).frequency_response(8);
+        for v in h {
+            assert_eq!(v, Complex::from_re(-2.5));
+        }
+        assert_eq!(Block::Gain(-2.5).dc_gain(), -2.5);
+        assert_eq!(Block::Gain(-2.5).energy(), 6.25);
+    }
+
+    #[test]
+    fn delay_response_unit_magnitude() {
+        let h = Block::Delay(3).frequency_response(16);
+        for (k, v) in h.iter().enumerate() {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+            let expect = Complex::cis(-std::f64::consts::TAU * 3.0 * k as f64 / 16.0);
+            assert!((*v - expect).norm() < 1e-12);
+        }
+        assert!(Block::Delay(1).breaks_delay_free_path());
+        assert!(!Block::Delay(0).breaks_delay_free_path());
+        assert!(!Block::Gain(1.0).breaks_delay_free_path());
+    }
+
+    #[test]
+    fn fir_block_matches_filter_response() {
+        let fir = Fir::new(vec![0.5, 0.5]);
+        let direct = fir.frequency_response(8);
+        let via_block = Block::Fir(fir).frequency_response(8);
+        for (a, b) in direct.iter().zip(&via_block) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iir_block_transfer() {
+        let iir = Iir::new(vec![1.0], vec![1.0, -0.5]).unwrap();
+        let b = Block::Iir(iir);
+        assert!((b.transfer_at(0.0) - Complex::from_re(2.0)).norm() < 1e-12);
+        assert!((b.dc_gain() - 2.0).abs() < 1e-12);
+        // Energy of 0.5^n: 1/(1-0.25) = 4/3.
+        assert!((b.energy() - 4.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impulse_responses() {
+        assert_eq!(Block::Gain(3.0).impulse_response(10, 0.0), vec![3.0]);
+        assert_eq!(Block::Delay(2).impulse_response(10, 0.0), vec![0.0, 0.0, 1.0]);
+        assert_eq!(Block::Add.impulse_response(10, 0.0), vec![1.0]);
+    }
+
+    #[test]
+    fn transfer_at_matches_sampled_grid() {
+        let blocks = [
+            Block::Gain(1.5),
+            Block::Delay(2),
+            Block::Fir(Fir::new(vec![0.3, -0.2, 0.1])),
+            Block::Iir(Iir::new(vec![0.2], vec![1.0, -0.8]).unwrap()),
+        ];
+        for b in &blocks {
+            let grid = b.frequency_response(16);
+            for k in 0..16 {
+                let f = k as f64 / 16.0;
+                assert!((b.transfer_at(f) - grid[k]).norm() < 1e-9, "{} bin {k}", b.kind());
+            }
+        }
+    }
+}

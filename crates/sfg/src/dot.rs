@@ -1,0 +1,88 @@
+//! Graphviz (DOT) export of signal-flow graphs — a debugging and
+//! documentation aid for inspecting the systems under analysis.
+
+use std::fmt::Write as _;
+
+use crate::block::Block;
+use crate::graph::Sfg;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Inputs are drawn as triangles, outputs double-circled, delays as boxes
+/// labeled `z^-k`, filters with their tap/order counts.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_sfg::{Sfg, Block, to_dot};
+///
+/// let mut g = Sfg::new();
+/// let x = g.add_input();
+/// let a = g.add_block(Block::Gain(0.5), &[x])?;
+/// g.mark_output(a);
+/// let dot = to_dot(&g, "demo");
+/// assert!(dot.contains("digraph demo"));
+/// # Ok::<(), psdacc_sfg::SfgError>(())
+/// ```
+pub fn to_dot(sfg: &Sfg, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for (id, node) in sfg.iter() {
+        let (label, shape) = match &node.block {
+            Block::Input => ("in".to_string(), "triangle"),
+            Block::Gain(g) => (format!("x {g}"), "circle"),
+            Block::Delay(k) => (format!("z^-{k}"), "box"),
+            Block::Fir(f) => (format!("FIR[{}]", f.len()), "box"),
+            Block::Iir(f) => (format!("IIR(ord {})", f.order()), "box"),
+            Block::Add => ("+".to_string(), "circle"),
+        };
+        let peripheries = if sfg.outputs().contains(&id) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={}, peripheries={}];",
+            id.0, label, shape, peripheries
+        );
+    }
+    for (id, node) in sfg.iter() {
+        for p in &node.inputs {
+            let _ = writeln!(out, "  n{} -> n{};", p.0, id.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Sfg;
+    use psdacc_filters::Fir;
+
+    #[test]
+    fn renders_all_block_kinds() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let gain = g.add_block(Block::Gain(2.0), &[x]).unwrap();
+        let delay = g.add_block(Block::Delay(3), &[gain]).unwrap();
+        let fir = g.add_block(Block::Fir(Fir::new(vec![1.0, 1.0])), &[delay]).unwrap();
+        let add = g.add_block(Block::Add, &[fir, x]).unwrap();
+        g.mark_output(add);
+        let dot = to_dot(&g, "test");
+        assert!(dot.starts_with("digraph test {"));
+        assert!(dot.contains("z^-3"));
+        assert!(dot.contains("FIR[2]"));
+        assert!(dot.contains("peripheries=2"), "output must be double-circled");
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+        // Edge count: gain<-x, delay<-gain, fir<-delay, add<-fir, add<-x.
+        assert_eq!(dot.matches(" -> ").count(), 5);
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let dot = to_dot(&Sfg::new(), "empty");
+        assert!(dot.contains("digraph empty"));
+    }
+}

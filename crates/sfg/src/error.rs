@@ -1,0 +1,63 @@
+//! Error types for signal-flow-graph construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors produced by SFG construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SfgError {
+    /// A block was wired with the wrong number of predecessors.
+    ArityMismatch {
+        /// The node in question.
+        node: NodeId,
+        /// What the block requires (`None` = one or more).
+        expected: Option<usize>,
+        /// What was supplied.
+        got: usize,
+    },
+    /// A referenced node does not exist.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// The graph contains a cycle with no delay in it, which is not
+    /// realizable sample-synchronously.
+    DelayFreeCycle {
+        /// Nodes participating in the offending strongly connected component.
+        nodes: Vec<NodeId>,
+    },
+    /// No output node has been designated.
+    NoOutput,
+}
+
+impl fmt::Display for SfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfgError::ArityMismatch { node, expected, got } => match expected {
+                Some(e) => write!(f, "node {node:?} expects {e} input(s), got {got}"),
+                None => write!(f, "node {node:?} expects at least one input, got {got}"),
+            },
+            SfgError::UnknownNode { node } => write!(f, "unknown node {node:?}"),
+            SfgError::DelayFreeCycle { nodes } => {
+                write!(f, "delay-free cycle through nodes {nodes:?}")
+            }
+            SfgError::NoOutput => write!(f, "no output node designated"),
+        }
+    }
+}
+
+impl Error for SfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SfgError::DelayFreeCycle { nodes: vec![NodeId(1), NodeId(2)] };
+        assert!(e.to_string().contains("delay-free"));
+        assert!(!SfgError::NoOutput.to_string().is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! The signal-flow graph container.
+
+use crate::block::Block;
+use crate::error::SfgError;
+
+/// Identifier of a node in an [`Sfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One node: a block plus the nodes feeding it.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The processing block.
+    pub block: Block,
+    /// Predecessor nodes (signal sources feeding this block).
+    pub inputs: Vec<NodeId>,
+}
+
+/// A signal-flow graph of LTI blocks.
+///
+/// Nodes have exactly one output each; fan-out is expressed by multiple
+/// consumers listing the same predecessor. The noise model of the paper
+/// attaches additive quantization-noise sources *at node outputs*; that
+/// bookkeeping lives in `psdacc-core`.
+///
+/// # Examples
+///
+/// ```
+/// use psdacc_sfg::{Sfg, Block};
+/// use psdacc_filters::Fir;
+///
+/// // x --> FIR --> y
+/// let mut g = Sfg::new();
+/// let x = g.add_input();
+/// let f = g.add_block(Block::Fir(Fir::new(vec![0.5, 0.5])), &[x]).unwrap();
+/// g.mark_output(f);
+/// assert_eq!(g.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sfg {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl Sfg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Sfg::default()
+    }
+
+    /// Adds an external input port.
+    pub fn add_input(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { block: Block::Input, inputs: vec![] });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a processing block fed by `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SfgError::UnknownNode`] if an input id is out of range,
+    /// * [`SfgError::ArityMismatch`] if the count disagrees with
+    ///   [`Block::arity`].
+    pub fn add_block(&mut self, block: Block, inputs: &[NodeId]) -> Result<NodeId, SfgError> {
+        for &i in inputs {
+            if i.0 >= self.nodes.len() {
+                return Err(SfgError::UnknownNode { node: i });
+            }
+        }
+        let id = NodeId(self.nodes.len());
+        match block.arity() {
+            Some(n) if n != inputs.len() => {
+                return Err(SfgError::ArityMismatch { node: id, expected: Some(n), got: inputs.len() })
+            }
+            None if inputs.is_empty() => {
+                return Err(SfgError::ArityMismatch { node: id, expected: None, got: 0 })
+            }
+            _ => {}
+        }
+        self.nodes.push(Node { block, inputs: inputs.to_vec() });
+        Ok(id)
+    }
+
+    /// Rewires an existing node's inputs (used by graph transformations).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sfg::add_block`].
+    pub fn set_inputs(&mut self, node: NodeId, inputs: &[NodeId]) -> Result<(), SfgError> {
+        if node.0 >= self.nodes.len() {
+            return Err(SfgError::UnknownNode { node });
+        }
+        for &i in inputs {
+            if i.0 >= self.nodes.len() {
+                return Err(SfgError::UnknownNode { node: i });
+            }
+        }
+        match self.nodes[node.0].block.arity() {
+            Some(n) if n != inputs.len() => {
+                return Err(SfgError::ArityMismatch { node, expected: Some(n), got: inputs.len() })
+            }
+            None if inputs.is_empty() => {
+                return Err(SfgError::ArityMismatch { node, expected: None, got: 0 })
+            }
+            _ => {}
+        }
+        self.nodes[node.0].inputs = inputs.to_vec();
+        Ok(())
+    }
+
+    /// Designates a node as a system output (idempotent).
+    pub fn mark_output(&mut self, node: NodeId) {
+        if !self.outputs.contains(&node) {
+            self.outputs.push(node);
+        }
+    }
+
+    /// All nodes, indexable by `NodeId.0`.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Designated input ports, in insertion order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Designated outputs, in insertion order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterator over `(NodeId, &Node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Successor lists (inverse of the `inputs` relation).
+    pub fn successors(&self) -> Vec<Vec<NodeId>> {
+        let mut succ = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &p in &node.inputs {
+                succ[p.0].push(NodeId(i));
+            }
+        }
+        succ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_filters::Fir;
+
+    #[test]
+    fn build_simple_chain() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let gain = g.add_block(Block::Gain(2.0), &[x]).unwrap();
+        let add = g.add_block(Block::Add, &[x, gain]).unwrap();
+        g.mark_output(add);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.inputs(), &[x]);
+        assert_eq!(g.outputs(), &[add]);
+        assert_eq!(g.node(add).inputs, vec![x, gain]);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        assert!(matches!(
+            g.add_block(Block::Gain(1.0), &[x, x]),
+            Err(SfgError::ArityMismatch { .. })
+        ));
+        assert!(matches!(g.add_block(Block::Add, &[]), Err(SfgError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_node_checked() {
+        let mut g = Sfg::new();
+        assert!(matches!(
+            g.add_block(Block::Gain(1.0), &[NodeId(5)]),
+            Err(SfgError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn successors_inverse_of_inputs() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let a = g.add_block(Block::Gain(1.0), &[x]).unwrap();
+        let b = g.add_block(Block::Fir(Fir::new(vec![1.0])), &[x]).unwrap();
+        let c = g.add_block(Block::Add, &[a, b]).unwrap();
+        let succ = g.successors();
+        assert_eq!(succ[x.0], vec![a, b]);
+        assert_eq!(succ[a.0], vec![c]);
+        assert_eq!(succ[c.0], Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn mark_output_idempotent() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        g.mark_output(x);
+        g.mark_output(x);
+        assert_eq!(g.outputs().len(), 1);
+    }
+
+    #[test]
+    fn rewire_inputs() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let y = g.add_input();
+        let gain = g.add_block(Block::Gain(1.0), &[x]).unwrap();
+        g.set_inputs(gain, &[y]).unwrap();
+        assert_eq!(g.node(gain).inputs, vec![y]);
+        assert!(g.set_inputs(gain, &[x, y]).is_err());
+    }
+}

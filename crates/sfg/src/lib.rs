@@ -1,0 +1,32 @@
+//! # psdacc-sfg
+//!
+//! Signal-flow-graph substrate for the `psdacc` workspace (DATE 2016 PSD
+//! accuracy-evaluation reproduction).
+//!
+//! An LTI system is a graph of [`Block`]s ([`Sfg`]); quantization-noise
+//! sources sit at node outputs (bookkeeping in `psdacc-core`). The crate
+//! provides the two structural services every evaluation method needs:
+//!
+//! * [`topo`] — Tarjan SCC cycle detection, realizability checking (every
+//!   loop must contain a delay) and per-sample execution ordering, covering
+//!   step 1 of the paper's Section III-B;
+//! * [`freq`] — exact per-frequency resolution `(I - D(F) A) Y = U` of the
+//!   whole graph, yielding the complex response from **every node** to the
+//!   output in one linear solve per bin. Feedback loops need no textual
+//!   breaking, and reconvergent paths of the same noise source interfere
+//!   with correct phase (the correlation information PSD-agnostic methods
+//!   lose).
+
+pub mod block;
+pub mod dot;
+pub mod error;
+pub mod freq;
+pub mod graph;
+pub mod topo;
+
+pub use block::Block;
+pub use dot::to_dot;
+pub use error::SfgError;
+pub use freq::{node_responses, NodeResponses};
+pub use graph::{Node, NodeId, Sfg};
+pub use topo::{check_realizable, execution_order, is_acyclic, strongly_connected_components};

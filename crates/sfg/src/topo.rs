@@ -1,0 +1,261 @@
+//! Cycle detection (Tarjan SCC) and schedulability analysis.
+//!
+//! Step 1 of the paper's method (Section III-B) is "detect cycles in the SFG
+//! and break them". In this implementation cycles never need textual
+//! breaking: the per-frequency solver ([`crate::freq`]) handles feedback
+//! algebraically. What *does* need checking is realizability — every cycle
+//! must contain at least one pure delay — and the simulation engine needs an
+//! execution order in which delay outputs act as state.
+
+use crate::error::SfgError;
+use crate::graph::{NodeId, Sfg};
+
+/// Tarjan SCC over an explicit successor-list adjacency (iterative).
+fn scc_from_succ(n: usize, succ: &[Vec<NodeId>]) -> Vec<Vec<NodeId>> {
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            if *cursor == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *cursor < succ[v].len() {
+                let w = succ[v][*cursor].0;
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    components.push(comp);
+                }
+                dfs.pop();
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Strongly connected components of the full graph, in reverse topological
+/// order of the condensation.
+pub fn strongly_connected_components(sfg: &Sfg) -> Vec<Vec<NodeId>> {
+    scc_from_succ(sfg.len(), &sfg.successors())
+}
+
+/// `true` when the graph has no cycles (every SCC is a single node without a
+/// self-loop).
+pub fn is_acyclic(sfg: &Sfg) -> bool {
+    strongly_connected_components(sfg)
+        .iter()
+        .all(|c| c.len() == 1 && !sfg.node(c[0]).inputs.contains(&c[0]))
+}
+
+/// Successor lists of the *combinational* graph: edges into pure delays are
+/// cut, because a delay's output depends only on previous-step state.
+fn combinational_successors(sfg: &Sfg) -> Vec<Vec<NodeId>> {
+    let mut succ = vec![Vec::new(); sfg.len()];
+    for (i, node) in sfg.iter() {
+        if node.block.breaks_delay_free_path() {
+            continue;
+        }
+        for &p in &node.inputs {
+            succ[p.0].push(i);
+        }
+    }
+    succ
+}
+
+/// Verifies that every cycle goes through at least one pure delay.
+///
+/// # Errors
+///
+/// [`SfgError::DelayFreeCycle`] listing an offending component.
+pub fn check_realizable(sfg: &Sfg) -> Result<(), SfgError> {
+    let succ = combinational_successors(sfg);
+    for comp in scc_from_succ(sfg.len(), &succ) {
+        let cyclic =
+            comp.len() > 1 || succ[comp[0].0].contains(&comp[0]);
+        if cyclic {
+            return Err(SfgError::DelayFreeCycle { nodes: comp });
+        }
+    }
+    Ok(())
+}
+
+/// Topological order of the combinational graph — the per-sample execution
+/// order for the simulation engine: delays emit stored state first, then
+/// everything else fires in dependency order.
+///
+/// # Errors
+///
+/// [`SfgError::DelayFreeCycle`] if a delay-free cycle makes scheduling
+/// impossible.
+pub fn execution_order(sfg: &Sfg) -> Result<Vec<NodeId>, SfgError> {
+    let n = sfg.len();
+    let succ = combinational_successors(sfg);
+    let mut indegree = vec![0usize; n];
+    for adj in &succ {
+        for &w in adj {
+            indegree[w.0] += 1;
+        }
+    }
+    let mut queue: Vec<NodeId> = (0..n).filter(|&i| indegree[i] == 0).map(NodeId).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for &w in &succ[v.0] {
+            indegree[w.0] -= 1;
+            if indegree[w.0] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck: Vec<NodeId> = (0..n).filter(|&i| indegree[i] > 0).map(NodeId).collect();
+        return Err(SfgError::DelayFreeCycle { nodes: stuck });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use psdacc_filters::Fir;
+
+    /// x -> add -> gain -> delay -> back to add; output at add.
+    fn feedback_graph() -> (Sfg, NodeId, NodeId) {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let add = g.add_block(Block::Add, &[x]).unwrap(); // rewired below
+        let gain = g.add_block(Block::Gain(0.5), &[add]).unwrap();
+        let delay = g.add_block(Block::Delay(1), &[gain]).unwrap();
+        g.set_inputs(add, &[x, delay]).unwrap();
+        g.mark_output(add);
+        (g, x, add)
+    }
+
+    #[test]
+    fn scc_finds_the_loop() {
+        let (g, _, _) = feedback_graph();
+        let sccs = strongly_connected_components(&g);
+        let big: Vec<_> = sccs.iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0].len(), 3); // add, gain, delay
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn acyclic_graph_detected() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let a = g.add_block(Block::Fir(Fir::new(vec![1.0, 1.0])), &[x]).unwrap();
+        let b = g.add_block(Block::Gain(0.5), &[a]).unwrap();
+        g.mark_output(b);
+        assert!(is_acyclic(&g));
+        assert!(check_realizable(&g).is_ok());
+    }
+
+    #[test]
+    fn delayed_loop_is_realizable() {
+        let (g, _, _) = feedback_graph();
+        assert!(check_realizable(&g).is_ok());
+        assert!(execution_order(&g).is_ok());
+    }
+
+    #[test]
+    fn delay_free_loop_rejected() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let add = g.add_block(Block::Add, &[x]).unwrap();
+        let gain = g.add_block(Block::Gain(0.5), &[add]).unwrap();
+        g.set_inputs(add, &[x, gain]).unwrap(); // loop without delay
+        assert!(matches!(check_realizable(&g), Err(SfgError::DelayFreeCycle { .. })));
+        assert!(execution_order(&g).is_err());
+    }
+
+    #[test]
+    fn execution_order_respects_dependencies() {
+        let (g, x, add) = feedback_graph();
+        let order = execution_order(&g).unwrap();
+        assert_eq!(order.len(), g.len());
+        let pos = |id: NodeId| order.iter().position(|&v| v == id).unwrap();
+        assert!(pos(x) < pos(add));
+        let gain = NodeId(2);
+        assert!(pos(add) < pos(gain));
+    }
+
+    #[test]
+    fn self_loop_without_delay_rejected() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let add = g.add_block(Block::Add, &[x]).unwrap();
+        g.set_inputs(add, &[x, add]).unwrap();
+        assert!(matches!(check_realizable(&g), Err(SfgError::DelayFreeCycle { .. })));
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let a = g.add_block(Block::Gain(1.0), &[x]).unwrap();
+        let b = g.add_block(Block::Gain(2.0), &[x]).unwrap();
+        let c = g.add_block(Block::Add, &[a, b]).unwrap();
+        g.mark_output(c);
+        assert!(is_acyclic(&g));
+        let order = execution_order(&g).unwrap();
+        let pos = |id: NodeId| order.iter().position(|&v| v == id).unwrap();
+        assert!(pos(x) < pos(a) && pos(x) < pos(b) && pos(a) < pos(c) && pos(b) < pos(c));
+    }
+
+    #[test]
+    fn two_independent_loops_found() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        // Loop 1
+        let add1 = g.add_block(Block::Add, &[x]).unwrap();
+        let d1 = g.add_block(Block::Delay(1), &[add1]).unwrap();
+        g.set_inputs(add1, &[x, d1]).unwrap();
+        // Loop 2 fed by loop 1
+        let add2 = g.add_block(Block::Add, &[add1]).unwrap();
+        let g2 = g.add_block(Block::Gain(0.25), &[add2]).unwrap();
+        let d2 = g.add_block(Block::Delay(2), &[g2]).unwrap();
+        g.set_inputs(add2, &[add1, d2]).unwrap();
+        g.mark_output(add2);
+        let sccs = strongly_connected_components(&g);
+        let big: Vec<_> = sccs.iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(big.len(), 2);
+        assert!(check_realizable(&g).is_ok());
+    }
+}

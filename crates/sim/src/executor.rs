@@ -1,0 +1,205 @@
+//! Per-block stateful executors.
+
+use std::collections::VecDeque;
+
+use psdacc_filters::{FirState, IirState};
+use psdacc_fixed::Quantizer;
+use psdacc_sfg::Block;
+
+/// Direct-form-I IIR with the *quantized* output fed back through the
+/// recursion — the realizable fixed-point structure. The quantization noise
+/// injected at the output adder therefore recirculates through `1/A(z)`,
+/// which is exactly the shaping the paper attributes to "the recursive
+/// nature" of IIR filters (Section IV-B).
+#[derive(Debug, Clone)]
+pub struct QuantIirState {
+    b: Vec<f64>,
+    a: Vec<f64>,
+    x_hist: VecDeque<f64>,
+    y_hist: VecDeque<f64>,
+    quantizer: Quantizer,
+}
+
+impl QuantIirState {
+    fn new(b: &[f64], a: &[f64], quantizer: Quantizer) -> Self {
+        QuantIirState {
+            b: b.to_vec(),
+            a: a.to_vec(),
+            x_hist: VecDeque::from(vec![0.0; b.len()]),
+            y_hist: VecDeque::from(vec![0.0; a.len().saturating_sub(1)]),
+            quantizer,
+        }
+    }
+
+    fn push(&mut self, x: f64) -> f64 {
+        self.x_hist.push_front(x);
+        self.x_hist.pop_back();
+        let ff: f64 = self.b.iter().zip(&self.x_hist).map(|(c, v)| c * v).sum();
+        let fb: f64 = self.a.iter().skip(1).zip(&self.y_hist).map(|(c, v)| c * v).sum();
+        let y = self.quantizer.quantize(ff - fb);
+        if !self.y_hist.is_empty() {
+            self.y_hist.push_front(y);
+            self.y_hist.pop_back();
+        }
+        y
+    }
+
+    fn reset(&mut self) {
+        self.x_hist.iter_mut().for_each(|v| *v = 0.0);
+        self.y_hist.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Runtime state for one block instance.
+#[derive(Debug, Clone)]
+pub enum BlockExec {
+    /// Input port: emits the externally supplied sample.
+    Input,
+    /// Constant gain.
+    Gain(f64),
+    /// Pure delay line (front = oldest).
+    Delay(VecDeque<f64>),
+    /// FIR filter state.
+    Fir(FirState),
+    /// IIR filter state (full-precision direct-form II transposed).
+    Iir(IirState),
+    /// Fixed-point IIR: quantized output recirculates (direct form I).
+    QuantIir(QuantIirState),
+    /// N-ary adder (stateless).
+    Add,
+}
+
+impl BlockExec {
+    /// Instantiates the executor for a block.
+    ///
+    /// When `quantizer` is supplied and the block is an IIR filter, the
+    /// bit-true [`BlockExec::QuantIir`] structure (quantized feedback) is
+    /// used instead of the reference form.
+    pub fn from_block(block: &Block) -> Self {
+        Self::from_block_quantized(block, None)
+    }
+
+    /// Instantiates the executor, selecting the quantized realization where
+    /// one exists.
+    pub fn from_block_quantized(block: &Block, quantizer: Option<Quantizer>) -> Self {
+        match (block, quantizer) {
+            (Block::Iir(f), Some(q)) => BlockExec::QuantIir(QuantIirState::new(f.b(), f.a(), q)),
+            (Block::Input, _) => BlockExec::Input,
+            (Block::Gain(g), _) => BlockExec::Gain(*g),
+            (Block::Delay(k), _) => BlockExec::Delay(VecDeque::from(vec![0.0; *k])),
+            (Block::Fir(f), _) => BlockExec::Fir(f.stream()),
+            (Block::Iir(f), None) => BlockExec::Iir(f.stream()),
+            (Block::Add, _) => BlockExec::Add,
+        }
+    }
+
+    /// `true` for delay blocks, whose output is read *before* the current
+    /// input is pushed (two-phase execution).
+    pub fn is_delay(&self) -> bool {
+        matches!(self, BlockExec::Delay(_))
+    }
+
+    /// Computes the block output for the current time step.
+    ///
+    /// For delays this *peeks* the stored state; the current input is pushed
+    /// separately by [`BlockExec::commit_delay`] once all node values for the
+    /// step are known.
+    pub fn step(&mut self, input_sum: f64, external: f64) -> f64 {
+        match self {
+            BlockExec::Input => external,
+            BlockExec::Gain(g) => *g * input_sum,
+            BlockExec::Delay(buf) => buf.front().copied().unwrap_or(input_sum),
+            BlockExec::Fir(s) => s.push(input_sum),
+            BlockExec::Iir(s) => s.push(input_sum),
+            BlockExec::QuantIir(s) => s.push(input_sum),
+            BlockExec::Add => input_sum,
+        }
+    }
+
+    /// Second phase for delays: pushes the now-known current input and drops
+    /// the emitted sample.
+    pub fn commit_delay(&mut self, input: f64) {
+        if let BlockExec::Delay(buf) = self {
+            if !buf.is_empty() {
+                buf.pop_front();
+                buf.push_back(input);
+            }
+        }
+    }
+
+    /// Resets all internal state to zero.
+    pub fn reset(&mut self) {
+        match self {
+            BlockExec::Delay(buf) => buf.iter_mut().for_each(|v| *v = 0.0),
+            BlockExec::Fir(s) => s.reset(),
+            BlockExec::Iir(s) => s.reset(),
+            BlockExec::QuantIir(s) => s.reset(),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_filters::Fir;
+
+    #[test]
+    fn gain_and_add() {
+        let mut g = BlockExec::from_block(&Block::Gain(3.0));
+        assert_eq!(g.step(2.0, 0.0), 6.0);
+        let mut a = BlockExec::from_block(&Block::Add);
+        assert_eq!(a.step(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn delay_two_phase() {
+        let mut d = BlockExec::from_block(&Block::Delay(2));
+        assert!(d.is_delay());
+        // t=0: emits initial zero, then stores 1.0
+        assert_eq!(d.step(0.0, 0.0), 0.0);
+        d.commit_delay(1.0);
+        // t=1: still zero (delay 2)
+        assert_eq!(d.step(0.0, 0.0), 0.0);
+        d.commit_delay(2.0);
+        // t=2: the first pushed value appears
+        assert_eq!(d.step(0.0, 0.0), 1.0);
+        d.commit_delay(3.0);
+        assert_eq!(d.step(0.0, 0.0), 2.0);
+    }
+
+    #[test]
+    fn zero_length_delay_passthrough() {
+        // Delay(0) behaves as a wire (degenerate but defined).
+        let mut d = BlockExec::from_block(&Block::Delay(0));
+        assert_eq!(d.step(7.0, 0.0), 7.0);
+        d.commit_delay(7.0);
+        assert_eq!(d.step(9.0, 0.0), 9.0);
+    }
+
+    #[test]
+    fn fir_exec_matches_filter() {
+        let f = Fir::new(vec![0.5, -0.5]);
+        let mut e = BlockExec::from_block(&Block::Fir(f.clone()));
+        let x = [1.0, 2.0, 3.0];
+        let want = f.filter(&x);
+        for (i, &v) in x.iter().enumerate() {
+            assert!((e.step(v, 0.0) - want[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = BlockExec::from_block(&Block::Delay(1));
+        d.step(0.0, 0.0);
+        d.commit_delay(9.0);
+        d.reset();
+        assert_eq!(d.step(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn input_emits_external() {
+        let mut i = BlockExec::from_block(&Block::Input);
+        assert_eq!(i.step(0.0, 3.25), 3.25);
+    }
+}

@@ -1,0 +1,23 @@
+//! # psdacc-sim
+//!
+//! Bit-true fixed-point simulation engine for the `psdacc` workspace (DATE
+//! 2016 PSD accuracy-evaluation reproduction). This is the paper's
+//! "simulation" column: the ground truth every analytical estimate is judged
+//! against (Eq. 15).
+//!
+//! * [`SfgSimulator`] — sample-synchronous execution of a single-rate
+//!   signal-flow graph, with optional per-node [`psdacc_fixed::Quantizer`]s
+//!   and impulse-injection probes (used by the flat analytical method),
+//! * [`measure_quantization_error`] — Monte-Carlo reference-vs-quantized
+//!   error measurement with PSD capture,
+//! * [`ErrorMeasurement`] — moments + spectrum of the measured error.
+
+pub mod engine;
+pub mod executor;
+pub mod measure;
+pub mod runner;
+
+pub use engine::SfgSimulator;
+pub use executor::BlockExec;
+pub use measure::ErrorMeasurement;
+pub use runner::{measure_quantization_error, measure_quantization_error_with_input, SimulationPlan};

@@ -1,0 +1,167 @@
+//! Monte-Carlo error measurement: reference vs quantized simulation.
+
+use psdacc_dsp::SignalGenerator;
+use psdacc_fixed::Quantizer;
+use psdacc_sfg::{Sfg, SfgError};
+
+use crate::engine::SfgSimulator;
+use crate::measure::ErrorMeasurement;
+
+/// Configuration for a simulation-based error measurement.
+#[derive(Debug, Clone)]
+pub struct SimulationPlan {
+    /// Number of input samples to simulate.
+    pub samples: usize,
+    /// PSD resolution for the measured error spectrum.
+    pub nfft: usize,
+    /// RNG seed for the input signal.
+    pub seed: u64,
+    /// Peak-ish amplitude of the uniform white input.
+    pub amplitude: f64,
+    /// Samples to discard while filter transients settle.
+    pub warmup: usize,
+}
+
+impl Default for SimulationPlan {
+    fn default() -> Self {
+        SimulationPlan { samples: 100_000, nfft: 1024, seed: 0xC0FFEE, amplitude: 1.0, warmup: 256 }
+    }
+}
+
+/// Runs the paper's simulation reference on a single-rate SFG: the same
+/// white input drives a full-precision and a quantized instance of the
+/// graph; the output difference is the fixed-point error.
+///
+/// `quantizers[node]` selects which node outputs are quantized (typically
+/// the input port and every multiplicative block).
+///
+/// # Errors
+///
+/// Propagates [`SfgError`] from simulator construction (unrealizable graph).
+pub fn measure_quantization_error(
+    sfg: &Sfg,
+    quantizers: &[Option<Quantizer>],
+    plan: &SimulationPlan,
+) -> Result<ErrorMeasurement, SfgError> {
+    let mut reference = SfgSimulator::reference(sfg)?;
+    let mut quantized = SfgSimulator::new(sfg, quantizers.to_vec())?;
+    let mut gen = SignalGenerator::new(plan.seed);
+    let ports = sfg.inputs().len();
+    let mut err = Vec::with_capacity(plan.samples);
+    let mut buf = vec![0.0; ports];
+    for t in 0..plan.samples + plan.warmup {
+        for b in buf.iter_mut() {
+            *b = gen.uniform_white(1, plan.amplitude)[0];
+        }
+        let r = reference.step(&buf)[0];
+        let q = quantized.step(&buf)[0];
+        if t >= plan.warmup {
+            err.push(q - r);
+        }
+    }
+    Ok(ErrorMeasurement::from_error_signal(&err, plan.nfft))
+}
+
+/// Like [`measure_quantization_error`] but with a caller-supplied input
+/// signal per port (`signals[port][t]`), e.g. for image-driven or
+/// deterministic workloads.
+///
+/// # Errors
+///
+/// Propagates [`SfgError`] from simulator construction.
+///
+/// # Panics
+///
+/// Panics if channel lengths differ.
+pub fn measure_quantization_error_with_input(
+    sfg: &Sfg,
+    quantizers: &[Option<Quantizer>],
+    signals: &[Vec<f64>],
+    nfft: usize,
+) -> Result<ErrorMeasurement, SfgError> {
+    let mut reference = SfgSimulator::reference(sfg)?;
+    let mut quantized = SfgSimulator::new(sfg, quantizers.to_vec())?;
+    let r = reference.run(signals);
+    let q = quantized.run(signals);
+    let err: Vec<f64> = q.iter().zip(&r).map(|(a, b)| a - b).collect();
+    Ok(ErrorMeasurement::from_error_signal(&err, nfft))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_fixed::{NoiseMoments, RoundingMode};
+    use psdacc_sfg::Block;
+
+    /// Single quantizer on a wire: the measured error must match the PQN
+    /// continuous model (the end-to-end sanity check of the whole stack).
+    #[test]
+    fn single_quantizer_matches_pqn_model() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let w = g.add_block(Block::Gain(1.0), &[x]).unwrap();
+        g.mark_output(w);
+        for &mode in &[RoundingMode::Truncate, RoundingMode::RoundNearest] {
+            let d = 8;
+            let mut quant = vec![None; g.len()];
+            quant[w.0] = Some(Quantizer::new(d, mode));
+            let plan = SimulationPlan { samples: 200_000, nfft: 64, ..Default::default() };
+            let m = measure_quantization_error(&g, &quant, &plan).unwrap();
+            let model = NoiseMoments::continuous(mode, d);
+            assert!(
+                (m.mean - model.mean).abs() < 0.03 * 2f64.powi(-d),
+                "{mode:?} mean {} vs {}",
+                m.mean,
+                model.mean
+            );
+            assert!(
+                (m.variance - model.variance).abs() < 0.05 * model.variance,
+                "{mode:?} var {} vs {}",
+                m.variance,
+                model.variance
+            );
+        }
+    }
+
+    /// Quantization noise through a gain: power scales by g^2.
+    #[test]
+    fn noise_through_gain_scales() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let q_node = g.add_block(Block::Gain(1.0), &[x]).unwrap();
+        let amp = g.add_block(Block::Gain(3.0), &[q_node]).unwrap();
+        g.mark_output(amp);
+        let d = 10;
+        let mut quant = vec![None; g.len()];
+        quant[q_node.0] = Some(Quantizer::new(d, RoundingMode::RoundNearest));
+        let plan = SimulationPlan { samples: 100_000, nfft: 64, ..Default::default() };
+        let m = measure_quantization_error(&g, &quant, &plan).unwrap();
+        let model = NoiseMoments::continuous(RoundingMode::RoundNearest, d);
+        assert!((m.power - 9.0 * model.power()).abs() < 0.1 * 9.0 * model.power());
+    }
+
+    #[test]
+    fn supplied_input_variant() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let w = g.add_block(Block::Gain(1.0), &[x]).unwrap();
+        g.mark_output(w);
+        let mut quant = vec![None; g.len()];
+        quant[w.0] = Some(Quantizer::new(4, RoundingMode::Truncate));
+        let sig: Vec<f64> = (0..10_000).map(|i| ((i * 31 % 101) as f64 / 101.0) - 0.5).collect();
+        let m = measure_quantization_error_with_input(&g, &quant, &[sig], 32).unwrap();
+        assert!(m.power > 0.0);
+        assert_eq!(m.samples, 10_000);
+    }
+
+    #[test]
+    fn no_quantizers_zero_error() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let w = g.add_block(Block::Gain(2.0), &[x]).unwrap();
+        g.mark_output(w);
+        let plan = SimulationPlan { samples: 1000, nfft: 16, ..Default::default() };
+        let m = measure_quantization_error(&g, &vec![None; g.len()], &plan).unwrap();
+        assert_eq!(m.power, 0.0);
+    }
+}

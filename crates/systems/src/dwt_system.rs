@@ -1,0 +1,175 @@
+//! The paper's DWT benchmark system (Section IV-A-3): a 2-level CDF 9/7
+//! image codec, its bit-true measurement harness, and its analytical
+//! estimates.
+
+use psdacc_fft::periodogram2d;
+use psdacc_fixed::{NoiseMoments, Quantizer, RoundingMode};
+use psdacc_testimg::corpus_image;
+use psdacc_wavelet::{Dwt2d, DwtNoiseModel, Matrix, Psd2d};
+
+/// The DWT benchmark: codec + analytical models at a chosen PSD grid.
+#[derive(Debug, Clone)]
+pub struct DwtSystem {
+    codec: Dwt2d,
+    levels: usize,
+}
+
+impl DwtSystem {
+    /// Builds the paper's 2-level codec.
+    pub fn paper() -> Self {
+        DwtSystem::new(2)
+    }
+
+    /// Builds an `levels`-level codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn new(levels: usize) -> Self {
+        DwtSystem { codec: Dwt2d::new(levels), levels }
+    }
+
+    /// The underlying codec.
+    pub fn codec(&self) -> &Dwt2d {
+        &self.codec
+    }
+
+    /// Decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Bit-true error measurement on one image: returns the error field
+    /// `roundtrip_quantized - roundtrip_reference` (the input itself is
+    /// quantized first, as in the paper's setup).
+    pub fn error_field(&self, image: &Matrix, quant: &Quantizer) -> Matrix {
+        let reference = self.codec.roundtrip(image, None);
+        let mut quantized_input = image.clone();
+        quant.quantize_slice(quantized_input.data_mut());
+        let quantized = self.codec.roundtrip(&quantized_input, Some(quant));
+        quantized.sub(&reference)
+    }
+
+    /// Measures error power averaged over `images` corpus images of size
+    /// `n x n` at word-length `frac_bits`.
+    pub fn measure_power(
+        &self,
+        images: usize,
+        n: usize,
+        frac_bits: i32,
+        rounding: RoundingMode,
+    ) -> f64 {
+        let quant = Quantizer::new(frac_bits, rounding);
+        let mut total = 0.0;
+        for idx in 0..images {
+            let img = Matrix::from_vec(corpus_image(idx, n), n, n);
+            total += self.error_field(&img, &quant).power();
+        }
+        total / images.max(1) as f64
+    }
+
+    /// Measured 2-D error spectrum: periodograms of `block x block` tiles of
+    /// the error field, averaged over tiles and `images` corpus images
+    /// (the simulation side of Fig. 7).
+    pub fn measure_psd2d(
+        &self,
+        images: usize,
+        n: usize,
+        block: usize,
+        frac_bits: i32,
+        rounding: RoundingMode,
+    ) -> Vec<f64> {
+        let quant = Quantizer::new(frac_bits, rounding);
+        let mut acc = vec![0.0; block * block];
+        let mut tiles = 0usize;
+        for idx in 0..images {
+            let img = Matrix::from_vec(corpus_image(idx, n), n, n);
+            let err = self.error_field(&img, &quant);
+            for by in (0..n).step_by(block) {
+                for bx in (0..n).step_by(block) {
+                    if by + block > n || bx + block > n {
+                        continue;
+                    }
+                    let tile: Vec<f64> = (0..block * block)
+                        .map(|i| err.get(by + i / block, bx + i % block))
+                        .collect();
+                    for (a, v) in acc.iter_mut().zip(periodogram2d(&tile, block, block)) {
+                        *a += v;
+                    }
+                    tiles += 1;
+                }
+            }
+        }
+        for a in &mut acc {
+            *a /= tiles.max(1) as f64;
+        }
+        acc
+    }
+
+    /// The proposed PSD-method estimate on an `npsd_y x npsd_x` grid.
+    pub fn model_psd(&self, frac_bits: i32, rounding: RoundingMode, ny: usize, nx: usize) -> Psd2d {
+        let moments = NoiseMoments::continuous(rounding, frac_bits);
+        DwtNoiseModel::new(self.levels, ny, nx).evaluate(moments, true)
+    }
+
+    /// PSD-method estimated power.
+    pub fn model_psd_power(&self, frac_bits: i32, rounding: RoundingMode, npsd: usize) -> f64 {
+        // Square grid with ~npsd total bins (e.g. 1024 -> 32 x 32), snapped
+        // to a multiple of 4 so two levels of decimation land on integer
+        // bins.
+        let side = (((npsd as f64).sqrt() / 4.0).round() as usize).max(1) * 4;
+        self.model_psd(frac_bits, rounding, side, side).power()
+    }
+
+    /// PSD-agnostic estimated power.
+    pub fn model_agnostic_power(&self, frac_bits: i32, rounding: RoundingMode) -> f64 {
+        let moments = NoiseMoments::continuous(rounding, frac_bits);
+        DwtNoiseModel::new(self.levels, 2, 2).evaluate_agnostic(moments, true).power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DWT system end-to-end: PSD-method estimate within the paper's
+    /// deviation band of the measured power.
+    #[test]
+    fn psd_estimate_tracks_measurement() {
+        let sys = DwtSystem::paper();
+        let d = 12;
+        let measured = sys.measure_power(3, 64, d, RoundingMode::Truncate);
+        let estimated = sys.model_psd_power(d, RoundingMode::Truncate, 1024);
+        let ed = (estimated - measured) / measured;
+        assert!(ed.abs() < 0.30, "Ed {ed} (est {estimated:.3e}, meas {measured:.3e})");
+    }
+
+    #[test]
+    fn agnostic_overestimates_hugely() {
+        let sys = DwtSystem::paper();
+        let d = 12;
+        let psd = sys.model_psd_power(d, RoundingMode::Truncate, 1024);
+        let agn = sys.model_agnostic_power(d, RoundingMode::Truncate);
+        assert!(agn / psd > 3.0, "agn {agn:.3e} vs psd {psd:.3e}");
+    }
+
+    #[test]
+    fn error_power_scales_with_wordlength() {
+        let sys = DwtSystem::paper();
+        let p8 = sys.measure_power(1, 64, 8, RoundingMode::Truncate);
+        let p12 = sys.measure_power(1, 64, 12, RoundingMode::Truncate);
+        let ratio = p8 / p12;
+        // 4 bits: factor 2^8 = 256 in power.
+        assert!((ratio.log2() - 8.0).abs() < 1.0, "log2 ratio {}", ratio.log2());
+    }
+
+    #[test]
+    fn measured_psd2d_total_matches_power() {
+        let sys = DwtSystem::paper();
+        let d = 10;
+        let power = sys.measure_power(1, 64, d, RoundingMode::Truncate);
+        let psd = sys.measure_psd2d(1, 64, 32, d, RoundingMode::Truncate);
+        let total: f64 = psd.iter().sum();
+        assert!((total - power).abs() < 0.2 * power, "psd total {total} vs power {power}");
+    }
+}

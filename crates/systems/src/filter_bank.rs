@@ -1,0 +1,152 @@
+//! The Table I filter population: 147 FIR and 147 IIR filters.
+//!
+//! The paper sweeps "different functionalities (bandpass, low-pass and
+//! hi-pass), various taps ... between 16 and 128 taps for FIR filters and
+//! from 2 to 10 taps for IIR" — 147 of each. We realize that as a full
+//! factorial: 3 shapes x 7 sizes x 7 band positions = 147.
+
+use psdacc_dsp::Window;
+use psdacc_filters::{butterworth, chebyshev1, design_fir, BandSpec, FilterError, Fir, Iir};
+use psdacc_sfg::{Block, Sfg};
+
+/// FIR tap counts (odd so every shape, including highpass, is realizable).
+pub const FIR_TAPS: [usize; 7] = [17, 25, 33, 49, 65, 97, 127];
+/// IIR prototype orders, 2..=10 as in the paper.
+pub const IIR_ORDERS: [usize; 7] = [2, 3, 4, 5, 6, 8, 10];
+/// Band-position parameters (normalized frequency anchors).
+pub const BAND_ANCHORS: [f64; 7] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35];
+
+/// One entry of the filter population.
+#[derive(Debug, Clone)]
+pub struct BankEntry {
+    /// Population index (0..147).
+    pub index: usize,
+    /// Human-readable description.
+    pub description: String,
+    /// The band specification used.
+    pub spec: BandSpec,
+}
+
+fn spec_for(shape: usize, anchor: f64) -> BandSpec {
+    match shape {
+        0 => BandSpec::Lowpass { cutoff: anchor },
+        1 => BandSpec::Highpass { cutoff: anchor },
+        _ => BandSpec::Bandpass { low: anchor, high: (anchor + 0.12).min(0.45) },
+    }
+}
+
+fn describe(spec: &BandSpec) -> String {
+    match spec {
+        BandSpec::Lowpass { cutoff } => format!("lowpass fc={cutoff:.2}"),
+        BandSpec::Highpass { cutoff } => format!("highpass fc={cutoff:.2}"),
+        BandSpec::Bandpass { low, high } => format!("bandpass {low:.2}..{high:.2}"),
+        BandSpec::Bandstop { low, high } => format!("bandstop {low:.2}..{high:.2}"),
+    }
+}
+
+/// Generates the `index`-th FIR filter of the population (0..147).
+///
+/// # Errors
+///
+/// Propagates [`FilterError`] (cannot occur for in-range indices; all 147
+/// designs are validated by test).
+pub fn fir_entry(index: usize) -> Result<(BankEntry, Fir), FilterError> {
+    assert!(index < 147, "FIR population has 147 entries");
+    let shape = index / 49;
+    let taps = FIR_TAPS[(index / 7) % 7];
+    let anchor = BAND_ANCHORS[index % 7];
+    let spec = spec_for(shape, anchor);
+    let fir = design_fir(spec, taps, Window::Hamming)?;
+    let description = format!("fir[{index}] {} taps={taps}", describe(&spec));
+    Ok((BankEntry { index, description, spec }, fir))
+}
+
+/// Generates the `index`-th IIR filter of the population (0..147).
+/// Even indices use Butterworth, odd use Chebyshev-I (0.5 dB ripple),
+/// mirroring the "different functionalities" mix.
+///
+/// # Errors
+///
+/// Propagates [`FilterError`].
+pub fn iir_entry(index: usize) -> Result<(BankEntry, Iir), FilterError> {
+    assert!(index < 147, "IIR population has 147 entries");
+    let shape = index / 49;
+    let order = IIR_ORDERS[(index / 7) % 7];
+    let anchor = BAND_ANCHORS[index % 7];
+    let spec = spec_for(shape, anchor);
+    let iir = if index.is_multiple_of(2) {
+        butterworth(order, spec)?
+    } else {
+        chebyshev1(order, 0.5, spec)?
+    };
+    let description = format!("iir[{index}] {} order={order}", describe(&spec));
+    Ok((BankEntry { index, description, spec }, iir))
+}
+
+/// Wraps a FIR filter as a single-block system (input -> filter -> output).
+pub fn fir_system(fir: Fir) -> Sfg {
+    let mut g = Sfg::new();
+    let x = g.add_input();
+    let f = g.add_block(Block::Fir(fir), &[x]).expect("single-block graph is valid");
+    g.mark_output(f);
+    g
+}
+
+/// Wraps an IIR filter as a single-block system.
+pub fn iir_system(iir: Iir) -> Sfg {
+    let mut g = Sfg::new();
+    let x = g.add_input();
+    let f = g.add_block(Block::Iir(iir), &[x]).expect("single-block graph is valid");
+    g.mark_output(f);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_147_fir_designs_succeed() {
+        for i in 0..147 {
+            let (entry, fir) = fir_entry(i).unwrap_or_else(|e| panic!("fir {i}: {e}"));
+            assert!(fir.is_linear_phase(1e-9), "{}", entry.description);
+        }
+    }
+
+    #[test]
+    fn all_147_iir_designs_succeed_and_are_stable() {
+        for i in 0..147 {
+            let (entry, iir) = iir_entry(i).unwrap_or_else(|e| panic!("iir {i}: {e}"));
+            assert!(iir.is_stable(1e-9), "{}", entry.description);
+        }
+    }
+
+    #[test]
+    fn population_covers_all_shapes_and_sizes() {
+        let mut shapes = [0usize; 3];
+        let mut sizes = std::collections::HashSet::new();
+        for i in 0..147 {
+            let (entry, fir) = fir_entry(i).unwrap();
+            match entry.spec {
+                BandSpec::Lowpass { .. } => shapes[0] += 1,
+                BandSpec::Highpass { .. } => shapes[1] += 1,
+                BandSpec::Bandpass { .. } => shapes[2] += 1,
+                BandSpec::Bandstop { .. } => unreachable!(),
+            }
+            sizes.insert(fir.len());
+        }
+        assert_eq!(shapes, [49, 49, 49]);
+        assert_eq!(sizes.len(), 7);
+    }
+
+    #[test]
+    fn systems_wrap_correctly() {
+        let (_, fir) = fir_entry(0).unwrap();
+        let g = fir_system(fir);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.outputs().len(), 1);
+        let (_, iir) = iir_entry(0).unwrap();
+        let g = iir_system(iir);
+        assert_eq!(g.len(), 2);
+    }
+}

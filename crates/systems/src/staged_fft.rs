@@ -1,0 +1,166 @@
+//! A radix-2 FFT with *observable stages*, for bit-true fixed-point
+//! simulation of the paper's Fig. 2 frequency-domain filter.
+//!
+//! The fixed-point FFT quantizes every butterfly stage output; values whose
+//! incoming twiddle is exact (`+-1`, `+-j`) stay on the grid and generate no
+//! noise. The same twiddle classification drives the analytical noise
+//! model, so simulation and model describe the same machine by
+//! construction.
+
+use psdacc_fft::Complex;
+use psdacc_fixed::Quantizer;
+
+/// Quantizes both components of a complex value.
+fn quantize_c(q: &Quantizer, v: Complex) -> Complex {
+    Complex::new(q.quantize(v.re), q.quantize(v.im))
+}
+
+/// `true` when multiplying by this twiddle keeps grid values on the grid
+/// (components in {-1, 0, +1}).
+fn twiddle_exact(w: Complex) -> bool {
+    let on_grid = |x: f64| x.abs() < 1e-12 || (x.abs() - 1.0).abs() < 1e-12;
+    on_grid(w.re) && on_grid(w.im)
+}
+
+/// In-place radix-2 DIT transform with optional per-stage quantization.
+///
+/// `sign` is -1.0 for the forward kernel, +1.0 for the (unnormalized)
+/// inverse.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn staged_fft(buf: &mut [Complex], sign: f64, quant: Option<&Quantizer>) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "staged FFT needs a power-of-two length");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        if i < j as usize {
+            buf.swap(i, j as usize);
+        }
+    }
+    let mut half = 1usize;
+    while half < n {
+        let step = sign * std::f64::consts::TAU / (2 * half) as f64;
+        let mut base = 0;
+        while base < n {
+            for k in 0..half {
+                let w = Complex::cis(step * k as f64);
+                let b = buf[base + k + half] * w;
+                let a = buf[base + k];
+                let mut top = a + b;
+                let mut bottom = a - b;
+                if let Some(q) = quant {
+                    if !twiddle_exact(w) {
+                        top = quantize_c(q, top);
+                        bottom = quantize_c(q, bottom);
+                    }
+                }
+                buf[base + k] = top;
+                buf[base + k + half] = bottom;
+            }
+            base += 2 * half;
+        }
+        half *= 2;
+    }
+}
+
+/// Per-stage count of *complex values* that get freshly quantized in a
+/// size-`n` staged transform (two per noisy butterfly), and the number of
+/// remaining stages after each. Used by the analytical noise model.
+pub fn noisy_value_counts(n: usize) -> Vec<(usize, usize)> {
+    assert!(n.is_power_of_two() && n > 1, "need a power-of-two size > 1");
+    let stages = n.trailing_zeros() as usize;
+    let mut out = Vec::with_capacity(stages);
+    let mut half = 1usize;
+    let mut stage_idx = 0;
+    while half < n {
+        let step = -std::f64::consts::TAU / (2 * half) as f64;
+        let noisy_twiddles =
+            (0..half).filter(|&k| !twiddle_exact(Complex::cis(step * k as f64))).count();
+        let groups = n / (2 * half);
+        // Each group runs `half` butterflies, of which `noisy_twiddles` use
+        // an inexact twiddle; each noisy butterfly quantizes 2 values.
+        out.push((2 * noisy_twiddles * groups, stages - 1 - stage_idx));
+        half *= 2;
+        stage_idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_fft::fft_pow2;
+
+    #[test]
+    fn unquantized_matches_library_fft() {
+        let x: Vec<Complex> =
+            (0..16).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        let mut buf = x.clone();
+        staged_fft(&mut buf, -1.0, None);
+        let want = fft_pow2(&x);
+        for (a, b) in buf.iter().zip(&want) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64 * 0.1, -0.05 * i as f64)).collect();
+        let mut buf = x.clone();
+        staged_fft(&mut buf, -1.0, None);
+        staged_fft(&mut buf, 1.0, None);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a / 32.0 - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn twiddle_classification() {
+        assert!(twiddle_exact(Complex::ONE));
+        assert!(twiddle_exact(-Complex::I));
+        assert!(!twiddle_exact(Complex::cis(-std::f64::consts::FRAC_PI_4)));
+    }
+
+    #[test]
+    fn noisy_counts_for_16() {
+        // Stages of N=16: half=1 (w=1: exact), half=2 (w in {1,-j}: exact),
+        // half=4 (w in {1, e^-jpi/4, -j, e^-j3pi/4}: 2 noisy x 2 groups x 2
+        // values = 8), half=8 (w = e^-jpi k/8, k=0..7: 6 noisy x 1 group x 2
+        // = 12).
+        let counts = noisy_value_counts(16);
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts[0].0, 0);
+        assert_eq!(counts[1].0, 0);
+        assert_eq!(counts[2].0, 8);
+        assert_eq!(counts[3].0, 12);
+        // Remaining stages after each.
+        assert_eq!(counts[2].1, 1);
+        assert_eq!(counts[3].1, 0);
+    }
+
+    #[test]
+    fn quantized_fft_error_is_bounded() {
+        use psdacc_fixed::RoundingMode;
+        let q = Quantizer::new(12, RoundingMode::RoundNearest);
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::from_re(q.quantize(((i * 7 % 11) as f64 / 11.0) - 0.5)))
+            .collect();
+        let mut quantized = x.clone();
+        staged_fft(&mut quantized, -1.0, Some(&q));
+        let mut exact = x.clone();
+        staged_fft(&mut exact, -1.0, None);
+        let err: f64 =
+            quantized.iter().zip(&exact).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>() / 16.0;
+        assert!(err > 0.0, "quantization must act");
+        // Error magnitude of the order of (N-1) q^2/6 per bin.
+        let q2 = 2f64.powi(-24);
+        assert!(err < 40.0 * q2, "err {err}");
+    }
+}

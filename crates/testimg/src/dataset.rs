@@ -1,0 +1,93 @@
+//! The deterministic 196-image evaluation corpus.
+//!
+//! Mirrors the paper's "196 grayscale images extracted from USC-SIPI and
+//! RPI-CIPR image databases and from Brodatz texture images": a fixed mix
+//! of natural-spectrum fields, textures and structured content, generated
+//! reproducibly from the image index.
+
+use crate::generator::{generate, ImageClass};
+
+/// Number of images in the standard corpus (as in the paper).
+pub const CORPUS_SIZE: usize = 196;
+
+/// The class of corpus image `index` (deterministic mix: half natural-like
+/// power-law fields, a quarter textures, the rest structured content).
+pub fn corpus_class(index: usize) -> ImageClass {
+    match index % 8 {
+        0..=2 => ImageClass::PowerLaw { alpha: 1.6 + 0.2 * ((index / 8) % 5) as f64 },
+        3 | 4 => ImageClass::Texture {
+            alpha: 1.5 + 0.25 * ((index / 8) % 4) as f64,
+            frequency: 0.05 + 0.03 * ((index / 8) % 7) as f64,
+        },
+        5 => ImageClass::Grating {
+            frequency: 0.04 + 0.02 * ((index / 8) % 10) as f64,
+            angle: 0.3 * (index / 8) as f64,
+        },
+        6 => ImageClass::Blobs { count: 3 + (index / 8) % 9 },
+        _ => ImageClass::Checkerboard { cell: 2 + (index / 8) % 14 },
+    }
+}
+
+/// Generates corpus image `index` at size `n x n` (values in `[0, 1)`).
+///
+/// # Panics
+///
+/// Panics if `index >= CORPUS_SIZE` or `n` is odd/zero.
+pub fn corpus_image(index: usize, n: usize) -> Vec<f64> {
+    assert!(index < CORPUS_SIZE, "corpus has {CORPUS_SIZE} images");
+    generate(corpus_class(index), n, 0x5EED_0000 + index as u64)
+}
+
+/// Iterator over the first `count` corpus images.
+pub fn corpus_iter(count: usize, n: usize) -> impl Iterator<Item = Vec<f64>> {
+    (0..count.min(CORPUS_SIZE)).map(move |i| corpus_image(i, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus_image(17, 32);
+        let b = corpus_image(17, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corpus_has_class_variety() {
+        let mut power_law = 0;
+        let mut texture = 0;
+        let mut other = 0;
+        for i in 0..CORPUS_SIZE {
+            match corpus_class(i) {
+                ImageClass::PowerLaw { .. } => power_law += 1,
+                ImageClass::Texture { .. } => texture += 1,
+                _ => other += 1,
+            }
+        }
+        assert!(power_law >= 70, "{power_law} power-law images");
+        assert!(texture >= 45, "{texture} textures");
+        assert!(other >= 40, "{other} structured images");
+        assert_eq!(power_law + texture + other, CORPUS_SIZE);
+    }
+
+    #[test]
+    fn images_differ_across_indices() {
+        let a = corpus_image(0, 32);
+        let b = corpus_image(1, 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iterator_bounds() {
+        assert_eq!(corpus_iter(5, 16).count(), 5);
+        assert_eq!(corpus_iter(1000, 16).count(), CORPUS_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "corpus has")]
+    fn index_validated() {
+        let _ = corpus_image(CORPUS_SIZE, 32);
+    }
+}

@@ -1,0 +1,233 @@
+//! Synthetic grayscale image generators.
+//!
+//! Substitute for the USC-SIPI / RPI-CIPR / Brodatz corpora used in the
+//! paper (Section IV-A-3), which are not redistributable. What the DWT
+//! noise experiments require from an image is only that it exercises every
+//! subband with realistic spectral decay — natural images famously follow a
+//! `1/f^alpha` power law — so the core generator synthesizes Gaussian
+//! random fields with controllable spectral slope, complemented by
+//! structured classes (gratings, checkerboards, gradients, blobs) and
+//! texture-like composites.
+
+use psdacc_fft::{ifft2d, Complex};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Image classes available from the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImageClass {
+    /// Gaussian random field with `1/f^alpha` isotropic spectrum
+    /// (`alpha ~ 2` mimics natural images; 0 is white noise).
+    PowerLaw {
+        /// Spectral slope.
+        alpha: f64,
+    },
+    /// Sinusoidal grating at the given normalized frequency and angle.
+    Grating {
+        /// Cycles per pixel along the grating normal.
+        frequency: f64,
+        /// Orientation in radians.
+        angle: f64,
+    },
+    /// Checkerboard with the given cell size in pixels.
+    Checkerboard {
+        /// Cell edge length.
+        cell: usize,
+    },
+    /// Smooth diagonal gradient.
+    Gradient,
+    /// Random smooth blobs (sum of Gaussian bumps).
+    Blobs {
+        /// Number of bumps.
+        count: usize,
+    },
+    /// Brodatz-like texture: power-law base modulated by a grating.
+    Texture {
+        /// Spectral slope of the base field.
+        alpha: f64,
+        /// Modulation frequency.
+        frequency: f64,
+    },
+}
+
+/// Generates one `n x n` image with values in `[0, 1)`, deterministically
+/// from `seed`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or not even (FFT-friendly sizes expected).
+pub fn generate(class: ImageClass, n: usize, seed: u64) -> Vec<f64> {
+    assert!(n > 0 && n.is_multiple_of(2), "image size must be even and positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let raw = match class {
+        ImageClass::PowerLaw { alpha } => power_law_field(n, alpha, &mut rng),
+        ImageClass::Grating { frequency, angle } => {
+            let (fx, fy) = (frequency * angle.cos(), frequency * angle.sin());
+            let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            (0..n * n)
+                .map(|i| {
+                    let (r, c) = ((i / n) as f64, (i % n) as f64);
+                    (std::f64::consts::TAU * (fx * c + fy * r) + phase).sin()
+                })
+                .collect()
+        }
+        ImageClass::Checkerboard { cell } => {
+            let cell = cell.max(1);
+            (0..n * n)
+                .map(|i| {
+                    let (r, c) = (i / n, i % n);
+                    if ((r / cell) + (c / cell)) % 2 == 0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect()
+        }
+        ImageClass::Gradient => (0..n * n)
+            .map(|i| {
+                let (r, c) = ((i / n) as f64, (i % n) as f64);
+                (r + c) / (2.0 * n as f64) * 2.0 - 1.0
+            })
+            .collect(),
+        ImageClass::Blobs { count } => {
+            let mut img = vec![0.0; n * n];
+            for _ in 0..count.max(1) {
+                let cx: f64 = rng.gen_range(0.0..n as f64);
+                let cy: f64 = rng.gen_range(0.0..n as f64);
+                let sigma: f64 = rng.gen_range(n as f64 / 32.0..n as f64 / 6.0);
+                let amp: f64 = rng.gen_range(-1.0..1.0);
+                for r in 0..n {
+                    for c in 0..n {
+                        // Periodic distance keeps the corpus FFT-friendly.
+                        let dx = periodic_dist(c as f64, cx, n as f64);
+                        let dy = periodic_dist(r as f64, cy, n as f64);
+                        img[r * n + c] +=
+                            amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+                    }
+                }
+            }
+            img
+        }
+        ImageClass::Texture { alpha, frequency } => {
+            let base = power_law_field(n, alpha, &mut rng);
+            let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            base.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let (r, c) = ((i / n) as f64, (i % n) as f64);
+                    let m =
+                        (std::f64::consts::TAU * frequency * (r + 0.7 * c) + phase).sin();
+                    v * (1.0 + 0.5 * m)
+                })
+                .collect()
+        }
+    };
+    normalize(raw)
+}
+
+/// Gaussian random field with isotropic `1/f^alpha` power spectrum, built by
+/// shaping white noise in the 2-D frequency domain.
+fn power_law_field(n: usize, alpha: f64, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    let mut spec = vec![Complex::ZERO; n * n];
+    for ky in 0..n {
+        for kx in 0..n {
+            if kx == 0 && ky == 0 {
+                continue; // no DC: mean handled by normalize()
+            }
+            // Symmetric frequency coordinates.
+            let fx = if kx <= n / 2 { kx as f64 } else { kx as f64 - n as f64 };
+            let fy = if ky <= n / 2 { ky as f64 } else { ky as f64 - n as f64 };
+            let f = (fx * fx + fy * fy).sqrt() / n as f64;
+            let mag = f.powf(-alpha / 2.0);
+            let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            spec[ky * n + kx] = Complex::from_polar(mag, phase);
+        }
+    }
+    // Real field: take the real part of the inverse transform (equivalent to
+    // Hermitian-symmetrizing the spectrum, up to a factor of 2 in power).
+    ifft2d(&spec, n, n).iter().map(|v| v.re).collect()
+}
+
+fn periodic_dist(a: f64, b: f64, n: f64) -> f64 {
+    let d = (a - b).abs() % n;
+    d.min(n - d)
+}
+
+/// Affine-normalizes to `[0, 1)` (the 8-bit pixel range / 256).
+fn normalize(mut img: Vec<f64>) -> Vec<f64> {
+    let lo = img.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = img.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-12);
+    for v in &mut img {
+        *v = (*v - lo) / span * (255.0 / 256.0);
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_fft::periodogram2d;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(ImageClass::PowerLaw { alpha: 2.0 }, 32, 7);
+        let b = generate(ImageClass::PowerLaw { alpha: 2.0 }, 32, 7);
+        assert_eq!(a, b);
+        let c = generate(ImageClass::PowerLaw { alpha: 2.0 }, 32, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        for class in [
+            ImageClass::PowerLaw { alpha: 1.5 },
+            ImageClass::Grating { frequency: 0.1, angle: 0.5 },
+            ImageClass::Checkerboard { cell: 4 },
+            ImageClass::Gradient,
+            ImageClass::Blobs { count: 5 },
+            ImageClass::Texture { alpha: 2.0, frequency: 0.15 },
+        ] {
+            let img = generate(class, 32, 3);
+            assert_eq!(img.len(), 1024);
+            assert!(img.iter().all(|&v| (0.0..1.0).contains(&v)), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn power_law_spectrum_decays() {
+        let n = 64;
+        let img = generate(ImageClass::PowerLaw { alpha: 2.0 }, n, 11);
+        let s = periodogram2d(&img, n, n);
+        // Average power near DC ring vs near Nyquist ring.
+        let low: f64 = (1..4).map(|k| s[k] + s[k * n]).sum::<f64>() / 6.0;
+        let high: f64 =
+            (n / 2 - 3..n / 2).map(|k| s[k] + s[k * n]).sum::<f64>() / 6.0;
+        assert!(low > 10.0 * high, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn white_field_is_flat_ish() {
+        let n = 64;
+        let img = generate(ImageClass::PowerLaw { alpha: 0.0 }, n, 13);
+        let s = periodogram2d(&img, n, n);
+        let low: f64 = (1..6).map(|k| s[k]).sum::<f64>() / 5.0;
+        let high: f64 = (n / 2 - 5..n / 2).map(|k| s[k]).sum::<f64>() / 5.0;
+        assert!(low < 20.0 * high, "white field should not decay strongly");
+    }
+
+    #[test]
+    fn checkerboard_structure() {
+        let img = generate(ImageClass::Checkerboard { cell: 8 }, 32, 0);
+        assert_eq!(img[0], img[7]); // same cell
+        assert_ne!(img[0], img[8]); // adjacent cell flips
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_size_rejected() {
+        let _ = generate(ImageClass::Gradient, 31, 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # psdacc-testimg
+//!
+//! Deterministic synthetic grayscale image corpus for the `psdacc` workspace
+//! (DATE 2016 PSD accuracy-evaluation reproduction) — the stand-in for the
+//! USC-SIPI / RPI-CIPR / Brodatz images the paper's DWT experiments use
+//! (substitution rationale in `DESIGN.md` §4).
+//!
+//! * [`generator`] — seeded image classes (`1/f^alpha` random fields,
+//!   gratings, checkerboards, gradients, blobs, textures),
+//! * [`dataset`] — the fixed 196-image corpus,
+//! * [`pgm`] — PGM I/O for experiment outputs (Fig. 7 spectra).
+
+pub mod dataset;
+pub mod generator;
+pub mod pgm;
+
+pub use dataset::{corpus_class, corpus_image, corpus_iter, CORPUS_SIZE};
+pub use generator::{generate, ImageClass};
+pub use pgm::GrayImage;

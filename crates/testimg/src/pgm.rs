@@ -1,0 +1,158 @@
+//! Minimal PGM (portable graymap) I/O for experiment outputs.
+//!
+//! The Fig. 7 experiment writes the 2-D error spectra as PGM images —
+//! the same grayscale, log-normalized rendering the paper shows.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    /// Row-major pixel data.
+    pub pixels: Vec<u8>,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        GrayImage { pixels: vec![0; width * height], width, height }
+    }
+
+    /// Builds an image from `f64` samples by affine-mapping `[lo, hi]` to
+    /// `[0, 255]` (values outside are clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or `hi <= lo`.
+    pub fn from_f64(data: &[f64], width: usize, height: usize, lo: f64, hi: f64) -> Self {
+        assert_eq!(data.len(), width * height, "data length must equal width * height");
+        assert!(hi > lo, "hi must exceed lo");
+        let scale = 255.0 / (hi - lo);
+        let pixels = data
+            .iter()
+            .map(|&v| ((v - lo) * scale).round().clamp(0.0, 255.0) as u8)
+            .collect();
+        GrayImage { pixels, width, height }
+    }
+
+    /// Converts to `f64` samples in `[0, 1)` (pixel / 256 — exactly
+    /// representable with 8 fractional bits).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.pixels.iter().map(|&p| p as f64 / 256.0).collect()
+    }
+
+    /// Writes binary PGM (P5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_pgm(&self, path: &Path) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        write!(f, "P5\n{} {}\n255\n", self.width, self.height)?;
+        f.write_all(&self.pixels)
+    }
+
+    /// Reads binary PGM (P5), 8-bit only.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for malformed headers.
+    pub fn read_pgm(path: &Path) -> io::Result<Self> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        parse_pgm(&buf)
+    }
+}
+
+fn parse_pgm(buf: &[u8]) -> io::Result<GrayImage> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut pos = 0usize;
+    let mut token = || -> io::Result<String> {
+        // Skip whitespace and comments.
+        loop {
+            while pos < buf.len() && buf[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < buf.len() && buf[pos] == b'#' {
+                while pos < buf.len() && buf[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < buf.len() && !buf[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated header"));
+        }
+        Ok(String::from_utf8_lossy(&buf[start..pos]).into_owned())
+    };
+    if token()? != "P5" {
+        return Err(err("not a binary PGM (P5)"));
+    }
+    let width: usize = token()?.parse().map_err(|_| err("bad width"))?;
+    let height: usize = token()?.parse().map_err(|_| err("bad height"))?;
+    let maxval: usize = token()?.parse().map_err(|_| err("bad maxval"))?;
+    if maxval != 255 {
+        return Err(err("only 8-bit PGM supported"));
+    }
+    let data_start = pos + 1; // single whitespace after maxval
+    let need = width * height;
+    if buf.len() < data_start + need {
+        return Err(err("truncated pixel data"));
+    }
+    Ok(GrayImage {
+        pixels: buf[data_start..data_start + need].to_vec(),
+        width,
+        height,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_tempfile() {
+        let mut img = GrayImage::new(4, 3);
+        for (i, p) in img.pixels.iter_mut().enumerate() {
+            *p = (i * 21) as u8;
+        }
+        let path = std::env::temp_dir().join("psdacc_test_roundtrip.pgm");
+        img.write_pgm(&path).unwrap();
+        let back = GrayImage::read_pgm(&path).unwrap();
+        assert_eq!(img, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn from_f64_clamps_and_scales() {
+        let img = GrayImage::from_f64(&[-1.0, 0.0, 0.5, 1.0, 2.0], 5, 1, 0.0, 1.0);
+        assert_eq!(img.pixels, vec![0, 0, 128, 255, 255]);
+    }
+
+    #[test]
+    fn to_f64_range() {
+        let img = GrayImage { pixels: vec![0, 128, 255], width: 3, height: 1 };
+        let v = img.to_f64();
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 0.5);
+        assert!(v[2] < 1.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_pgm(b"P6\n1 1\n255\nx").is_err());
+        assert!(parse_pgm(b"P5\n2 2\n255\nab").is_err()); // truncated
+        assert!(parse_pgm(b"P5\n# comment\n2 1\n255\nab").is_ok());
+    }
+}

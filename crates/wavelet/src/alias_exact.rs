@@ -1,0 +1,226 @@
+//! Alias-exact noise analysis of the two-channel filter bank — an
+//! *extension* quantifying the one approximation the paper's PSD method
+//! makes on multirate systems.
+//!
+//! When a noise source's branches recombine after decimation/expansion, the
+//! paper adds their PSDs as if uncorrelated (Eq. 14). Exactly, a source
+//! `e` entering the analysis side reaches the output as
+//!
+//! `Y(F) = D(F) e(F) + A(F) e(F + 1/2)`
+//!
+//! with the *direct* gain `D(F) = 1/2 sum_i conj(Hi(F)) Gi(F)` and the
+//! *alias* gain `A(F) = 1/2 sum_i conj(Hi(F + 1/2)) Gi(F)`. For a perfect-
+//! reconstruction bank `D == 1` and `A == 0`: input-side noise passes
+//! through *unchanged*, where the uncorrelated-branch bookkeeping predicts
+//! a slightly different (colored) spectrum. Tracking `(D, A)` per source
+//! makes the 1-level model exact; the gap to the Eq. 14 mode is precisely
+//! the paper's residual DWT deviation (~1%).
+
+use psdacc_core::{downsample_psd, through_magnitude, upsample_psd, NoisePsd};
+use psdacc_fft::Complex;
+use psdacc_fixed::NoiseMoments;
+
+use crate::daub97::FilterBank97;
+
+/// Alias-exact (and Eq. 14 baseline) models of the 1-level 1-D CDF 9/7
+/// codec with quantizers at: input, both subbands, both synthesis branch
+/// outputs.
+#[derive(Debug, Clone)]
+pub struct AliasExactModel {
+    npsd: usize,
+    h0: Vec<Complex>,
+    h1: Vec<Complex>,
+    g0: Vec<Complex>,
+    g1: Vec<Complex>,
+}
+
+impl AliasExactModel {
+    /// Builds the model on an even `npsd`-bin grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `npsd` is zero or odd (the alias shift `F + 1/2` must land
+    /// on a bin).
+    pub fn new(npsd: usize) -> Self {
+        assert!(npsd > 0 && npsd.is_multiple_of(2), "alias tracking needs an even grid");
+        let fb = FilterBank97::derive();
+        AliasExactModel {
+            npsd,
+            h0: fb.h0.frequency_response(npsd),
+            h1: fb.h1.frequency_response(npsd),
+            g0: fb.g0.frequency_response(npsd),
+            g1: fb.g1.frequency_response(npsd),
+        }
+    }
+
+    /// Grid size.
+    pub fn npsd(&self) -> usize {
+        self.npsd
+    }
+
+    /// Exact contribution of the *input* quantization source: PSD shaped by
+    /// `|D(F)|^2` plus the alias image `|A(F)|^2 S(F + 1/2)`.
+    pub fn exact_input_contribution(&self, moments: NoiseMoments) -> NoisePsd {
+        let n = self.npsd;
+        let source = NoisePsd::white(moments, n);
+        let mut bins = vec![0.0; n];
+        let mut direct_dc = Complex::ZERO;
+        for k in 0..n {
+            let kk = (k + n / 2) % n;
+            let d = (self.h0[k].conj() * self.g0[k] + self.h1[k].conj() * self.g1[k]) * 0.5;
+            let a = (self.h0[kk].conj() * self.g0[k] + self.h1[kk].conj() * self.g1[k]) * 0.5;
+            bins[k] = d.norm_sqr() * source.bins()[k] + a.norm_sqr() * source.bins()[kk];
+            if k == 0 {
+                direct_dc = d;
+            }
+        }
+        NoisePsd::from_parts(bins, moments.mean * direct_dc.re)
+    }
+
+    /// The same contribution under the paper's Eq. 14 treatment: each
+    /// branch's PSD propagated independently (fold at the decimator,
+    /// compress at the expander) and the branch powers added.
+    pub fn eq14_input_contribution(&self, moments: NoiseMoments) -> NoisePsd {
+        let n = self.npsd;
+        let source = NoisePsd::white(moments, n);
+        let mut total = NoisePsd::zero(n);
+        for (h, g) in [(&self.h0, &self.g0), (&self.h1, &self.g1)] {
+            let h_mag: Vec<f64> = h.iter().map(|v| v.norm_sqr()).collect();
+            let g_mag: Vec<f64> = g.iter().map(|v| v.norm_sqr()).collect();
+            let analyzed = downsample_psd(&through_magnitude(&source, &h_mag, h[0].re), 2);
+            let synthesized = through_magnitude(&upsample_psd(&analyzed, 2), &g_mag, g[0].re);
+            total.add_assign(&synthesized);
+        }
+        total
+    }
+
+    /// Contribution of the internal sources (subband + synthesis-branch
+    /// quantizers), identical in both modes: white sources see only one
+    /// branch each, so no inter-branch correlation exists to lose.
+    pub fn internal_contribution(&self, moments: NoiseMoments) -> NoisePsd {
+        let n = self.npsd;
+        let mut total = NoisePsd::zero(n);
+        for g in [&self.g0, &self.g1] {
+            let g_mag: Vec<f64> = g.iter().map(|v| v.norm_sqr()).collect();
+            // Subband source: white at half rate, expanded then filtered.
+            let sub = through_magnitude(
+                &upsample_psd(&NoisePsd::white(moments, n), 2),
+                &g_mag,
+                g[0].re,
+            );
+            total.add_assign(&sub);
+            // Synthesis branch output source: white at full rate.
+            total.add_assign(&NoisePsd::white(moments, n));
+        }
+        total
+    }
+
+    /// Total error PSD, exact mode.
+    pub fn exact_total(&self, moments: NoiseMoments) -> NoisePsd {
+        let mut t = self.exact_input_contribution(moments);
+        t.add_assign(&self.internal_contribution(moments));
+        t
+    }
+
+    /// Total error PSD, paper (Eq. 14) mode.
+    pub fn eq14_total(&self, moments: NoiseMoments) -> NoisePsd {
+        let mut t = self.eq14_input_contribution(moments);
+        t.add_assign(&self.internal_contribution(moments));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform1d::Dwt1d;
+    use psdacc_dsp::SignalGenerator;
+    use psdacc_fixed::{Quantizer, RoundingMode};
+
+    #[test]
+    fn exact_input_contribution_is_identity_for_pr_bank() {
+        let model = AliasExactModel::new(64);
+        let m = NoiseMoments::new(0.0, 1.0);
+        let exact = model.exact_input_contribution(m);
+        // Perfect reconstruction: input noise passes through untouched.
+        assert!((exact.power() - 1.0).abs() < 1e-9, "power {}", exact.power());
+        for &b in exact.bins() {
+            assert!((b - 1.0 / 64.0).abs() < 1e-9, "spectrum must stay white");
+        }
+    }
+
+    #[test]
+    fn eq14_mode_deviates_by_a_few_percent() {
+        let model = AliasExactModel::new(256);
+        let m = NoiseMoments::new(0.0, 1.0);
+        let eq14 = model.eq14_input_contribution(m).power();
+        // The uncorrelated-branch bookkeeping cannot reproduce the exact
+        // unit power; for the near-orthonormal 9/7 bank it lands within a
+        // few percent — the magnitude of the paper's residual DWT error.
+        let gap = (eq14 - 1.0).abs();
+        assert!(gap > 0.001, "modes should differ, gap {gap}");
+        assert!(gap < 0.15, "gap should be small for 9/7, got {gap}");
+    }
+
+    /// Input-only quantization measured on the real codec: the exact model
+    /// predicts it perfectly (it is just the input noise itself), while the
+    /// Eq. 14 mode misses by its characteristic few percent.
+    #[test]
+    fn simulation_confirms_exact_mode() {
+        let dwt = Dwt1d::new();
+        let d = 10;
+        let q = Quantizer::new(d, RoundingMode::RoundNearest);
+        let mut gen = SignalGenerator::new(123);
+        let n = 1 << 14;
+        let x = gen.uniform_white(n, 1.0);
+        let xq: Vec<f64> = x.iter().map(|&v| q.quantize(v)).collect();
+        // Round trips in f64: PR makes the error exactly xq - x.
+        let (a, de) = dwt.analyze(&xq);
+        let back = dwt.synthesize(&a, &de);
+        let err: Vec<f64> = back.iter().zip(&x).map(|(u, v)| u - v).collect();
+        let measured = psdacc_dsp::power(&err);
+        let m = NoiseMoments::continuous(RoundingMode::RoundNearest, d);
+        let model = AliasExactModel::new(256);
+        let exact = model.exact_input_contribution(m).power();
+        let eq14 = model.eq14_input_contribution(m).power();
+        let err_exact = ((exact - measured) / measured).abs();
+        let err_eq14 = ((eq14 - measured) / measured).abs();
+        // The measurement itself carries ~1/sqrt(N) ~ 0.8% sampling noise,
+        // so both modes must land within it; the exact-vs-eq14 separation is
+        // asserted analytically in the other tests (the exact mode equals
+        // the true expectation by construction).
+        assert!(err_exact < 0.03, "exact mode off by {err_exact}");
+        assert!(err_eq14 < 0.05, "eq14 mode off by {err_eq14}");
+    }
+
+    /// Full codec (all quantizers): both modes are close, exact is at least
+    /// as good.
+    #[test]
+    fn full_codec_comparison() {
+        let dwt = Dwt1d::new();
+        let d = 10;
+        let q = Quantizer::new(d, RoundingMode::RoundNearest);
+        let mut gen = SignalGenerator::new(321);
+        let n = 1 << 14;
+        let x = gen.uniform_white(n, 1.0);
+        let xq: Vec<f64> = x.iter().map(|&v| q.quantize(v)).collect();
+        let (a, de) = dwt.analyze_quantized(&xq, &q);
+        let quantized = dwt.synthesize_quantized(&a, &de, &q);
+        let (ar, dr) = dwt.analyze(&x);
+        let reference = dwt.synthesize(&ar, &dr);
+        let err: Vec<f64> = quantized.iter().zip(&reference).map(|(u, v)| u - v).collect();
+        let measured = psdacc_dsp::power(&err);
+        let m = NoiseMoments::continuous(RoundingMode::RoundNearest, d);
+        let model = AliasExactModel::new(256);
+        let ed_exact = (model.exact_total(m).power() - measured) / measured;
+        let ed_eq14 = (model.eq14_total(m).power() - measured) / measured;
+        assert!(ed_exact.abs() < 0.1, "exact Ed {ed_exact}");
+        assert!(ed_eq14.abs() < 0.12, "eq14 Ed {ed_eq14}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even grid")]
+    fn odd_grid_rejected() {
+        let _ = AliasExactModel::new(33);
+    }
+}

@@ -1,0 +1,274 @@
+//! The equivalent CDF 9/7 filter bank, derived from the lifting scheme.
+//!
+//! The paper's Fig. 3 draws the DWT in filter-bank form (`HPc`/`LPc` +
+//! decimators, expanders + `LPd`/`HPd`), which is also the form the noise
+//! analysis needs (transfer functions per branch). Instead of hardcoding
+//! the 9/7 coefficient tables — whose sign/alignment conventions differ
+//! between references — the filters are *extracted by probing* the lifting
+//! implementation with unit impulses, so they are exactly the filters our
+//! transform computes, by construction.
+
+use crate::lifting;
+
+/// The four filters of a two-channel analysis/synthesis filter bank.
+///
+/// All filters are stored as periodic impulse-response tables of length
+/// `PROBE_LEN` with only a compact support populated; accessors return the
+/// compact taps together with their (possibly negative) start index.
+#[derive(Debug, Clone)]
+pub struct FilterBank97 {
+    /// Analysis lowpass: `a[k] = sum_m x[m] h0[m - 2k]`.
+    pub h0: CenteredFir,
+    /// Analysis highpass: `d[k] = sum_m x[m] h1[m - 2k - 1]` (odd-phase).
+    pub h1: CenteredFir,
+    /// Synthesis lowpass: `x0[n] = sum_k a[k] g0[n - 2k]`.
+    pub g0: CenteredFir,
+    /// Synthesis highpass: `x1[n] = sum_k d[k] g1[n - 2k - 1]`.
+    pub g1: CenteredFir,
+}
+
+/// An FIR tap set with an explicit start index (supports negative indices
+/// for zero-phase centered filters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CenteredFir {
+    /// Tap values.
+    pub taps: Vec<f64>,
+    /// Index of `taps[0]` (e.g. `-4` for a 9-tap zero-centered filter).
+    pub start: i64,
+}
+
+impl CenteredFir {
+    /// DC gain (`sum taps`).
+    pub fn dc_gain(&self) -> f64 {
+        self.taps.iter().sum()
+    }
+
+    /// Impulse-response energy (`sum taps^2`).
+    pub fn energy(&self) -> f64 {
+        self.taps.iter().map(|v| v * v).sum()
+    }
+
+    /// Gain at Nyquist (`sum (-1)^n taps[n]` at absolute index `n`).
+    pub fn nyquist_gain(&self) -> f64 {
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let n = self.start + j as i64;
+                if n.rem_euclid(2) == 0 {
+                    v
+                } else {
+                    -v
+                }
+            })
+            .sum()
+    }
+
+    /// Complex frequency response on an `n`-point grid (`F_k = k/n`),
+    /// including the phase of the `start` offset.
+    pub fn frequency_response(&self, n: usize) -> Vec<psdacc_fft::Complex> {
+        (0..n)
+            .map(|k| {
+                let f = k as f64 / n as f64;
+                self.taps
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        let m = self.start + j as i64;
+                        psdacc_fft::Complex::cis(-std::f64::consts::TAU * f * m as f64) * v
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// `|H|^2` on an `n`-point grid.
+    pub fn magnitude_squared(&self, n: usize) -> Vec<f64> {
+        self.frequency_response(n).iter().map(|v| v.norm_sqr()).collect()
+    }
+
+    /// Energy of the *decimated branch* impulse response: the response of
+    /// `filter -> keep-even-samples` to a unit impulse keeps only the taps
+    /// at even absolute indices. This is the `K_i = sum h_i^2` (paper Eq. 5)
+    /// a blind moments-only method computes for an analysis branch.
+    pub fn decimated_energy(&self) -> f64 {
+        self.taps
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| (self.start + *j as i64).rem_euclid(2) == 0)
+            .map(|(_, &v)| v * v)
+            .sum()
+    }
+
+    /// DC sum of the decimated branch impulse response (see
+    /// [`CenteredFir::decimated_energy`]).
+    pub fn decimated_dc(&self) -> f64 {
+        self.taps
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| (self.start + *j as i64).rem_euclid(2) == 0)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+}
+
+/// Signal length used for impulse probing (long enough that the 9-tap
+/// support never wraps).
+const PROBE_LEN: usize = 64;
+
+impl FilterBank97 {
+    /// Derives the filter bank from the lifting implementation.
+    pub fn derive() -> Self {
+        // h0[m]: coefficient of x[m] in a[0]. Probe every basis vector.
+        let mut h0_row = vec![0.0; PROBE_LEN];
+        let mut h1_row = vec![0.0; PROBE_LEN];
+        for m in 0..PROBE_LEN {
+            let mut x = vec![0.0; PROBE_LEN];
+            x[m] = 1.0;
+            let (a, d) = lifting::analyze(&x);
+            h0_row[m] = a[0];
+            h1_row[m] = d[0];
+        }
+        // a[0] = sum_m h0[m] x[m] with h0 centered near m = 0;
+        // d[0] = sum_m h1[m] x[m] with h1 centered near m = 1 (odd phase).
+        let h0 = compact(&h0_row, 0);
+        let h1 = compact(&h1_row, 1);
+        // g0[n]: response of synthesize(delta, 0) at n; g1 likewise.
+        let delta: Vec<f64> = {
+            let mut v = vec![0.0; PROBE_LEN / 2];
+            v[0] = 1.0;
+            v
+        };
+        let zero = vec![0.0; PROBE_LEN / 2];
+        let x0 = lifting::synthesize(&delta, &zero);
+        let x1 = lifting::synthesize(&zero, &delta);
+        let g0 = compact(&x0, 0);
+        let g1 = compact(&x1, 1);
+        FilterBank97 { h0, h1, g0, g1 }
+    }
+}
+
+/// Extracts the compact support of a periodic response, re-centering around
+/// `center` (entries at indices `> len/2` are negative indices).
+fn compact(row: &[f64], center: i64) -> CenteredFir {
+    let n = row.len() as i64;
+    let tol = 1e-12;
+    let mut entries: Vec<(i64, f64)> = row
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v.abs() > tol)
+        .map(|(i, &v)| {
+            let idx = i as i64;
+            // Map to a window centered near `center`.
+            let rel = if idx - center > n / 2 { idx - n } else { idx };
+            (rel, v)
+        })
+        .collect();
+    entries.sort_by_key(|&(i, _)| i);
+    let start = entries.first().map(|&(i, _)| i).unwrap_or(0);
+    let end = entries.last().map(|&(i, _)| i).unwrap_or(0);
+    let mut taps = vec![0.0; (end - start + 1) as usize];
+    for (i, v) in entries {
+        taps[(i - start) as usize] = v;
+    }
+    CenteredFir { taps, start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tap_counts_are_9_and_7() {
+        let fb = FilterBank97::derive();
+        assert_eq!(fb.h0.taps.len(), 9, "analysis lowpass must have 9 taps");
+        assert_eq!(fb.h1.taps.len(), 7, "analysis highpass must have 7 taps");
+        assert_eq!(fb.g0.taps.len(), 7, "synthesis lowpass must have 7 taps");
+        assert_eq!(fb.g1.taps.len(), 9, "synthesis highpass must have 9 taps");
+    }
+
+    #[test]
+    fn filters_are_symmetric() {
+        let fb = FilterBank97::derive();
+        for f in [&fb.h0, &fb.h1, &fb.g0, &fb.g1] {
+            let n = f.taps.len();
+            for i in 0..n {
+                assert!(
+                    (f.taps[i] - f.taps[n - 1 - i]).abs() < 1e-12,
+                    "taps not symmetric: {:?}",
+                    f.taps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_published_cdf97_shape() {
+        // Cross-check against the classic Daubechies-Feauveau table, up to
+        // the normalization: published analysis LP (DC gain 1) has center
+        // tap 0.602949; ours is scaled by sqrt(2).
+        let fb = FilterBank97::derive();
+        let scale = 2f64.sqrt();
+        let published_h0 = [
+            0.026748757410810,
+            -0.016864118442875,
+            -0.078223266528988,
+            0.266864118442872,
+            0.602949018236358,
+            0.266864118442872,
+            -0.078223266528988,
+            -0.016864118442875,
+            0.026748757410810,
+        ];
+        for (ours, pub_v) in fb.h0.taps.iter().zip(&published_h0) {
+            assert!(
+                (ours - pub_v * scale).abs() < 1e-9,
+                "h0 {ours} vs published {pub_v} * sqrt2"
+            );
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_gains() {
+        let fb = FilterBank97::derive();
+        let s2 = 2f64.sqrt();
+        assert!((fb.h0.dc_gain() - s2).abs() < 1e-9);
+        assert!(fb.h1.dc_gain().abs() < 1e-9, "highpass kills DC");
+        assert!((fb.h1.nyquist_gain().abs() - s2).abs() < 0.2, "highpass passes Nyquist");
+        assert!((fb.g0.dc_gain() - s2).abs() < 1e-9);
+        assert!(fb.g1.dc_gain().abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_reconstruction_identity() {
+        // Analysis is a *correlation* (`a[k] = sum_m x[m] h0[m-2k]`), so the
+        // distortion identity carries a conjugate:
+        // conj(H0) G0 + conj(H1) G1 = 2, and the alias term
+        // conj(H0(F+1/2)) G0(F) + conj(H1(F+1/2)) G1(F) = 0.
+        let fb = FilterBank97::derive();
+        let n = 64;
+        let h0 = fb.h0.frequency_response(n);
+        let h1 = fb.h1.frequency_response(n);
+        let g0 = fb.g0.frequency_response(n);
+        let g1 = fb.g1.frequency_response(n);
+        for k in 0..n {
+            let distortion = h0[k].conj() * g0[k] + h1[k].conj() * g1[k];
+            assert!(
+                (distortion - psdacc_fft::Complex::from_re(2.0)).norm() < 1e-9,
+                "distortion at bin {k}: {distortion}"
+            );
+            let kk = (k + n / 2) % n;
+            let alias = h0[kk].conj() * g0[k] + h1[kk].conj() * g1[k];
+            assert!(alias.norm() < 1e-9, "alias at bin {k}: {alias}");
+        }
+    }
+
+    #[test]
+    fn zero_phase_centering() {
+        let fb = FilterBank97::derive();
+        assert_eq!(fb.h0.start, -4);
+        assert_eq!(fb.h1.start, -2);
+        assert_eq!(fb.g0.start, -3);
+        assert_eq!(fb.g1.start, -3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # psdacc-wavelet
+//!
+//! CDF 9/7 discrete wavelet transform substrate for the `psdacc` workspace
+//! (DATE 2016 PSD accuracy-evaluation reproduction) — the paper's third
+//! benchmark (Fig. 3: 2-level Daubechies 9/7 codec).
+//!
+//! * [`lifting`] — the reference implementation (structural perfect
+//!   reconstruction),
+//! * [`daub97`] — the equivalent analysis/synthesis filter bank, derived by
+//!   probing the lifting transform (no hand-copied coefficient tables),
+//! * [`transform1d`] / [`transform2d`] — branch-form transforms with
+//!   quantization at every filter output (the bit-true codec),
+//! * [`psd2d`] — separable 2-D noise-PSD propagation,
+//! * [`noise_model`] — the analytical PSD-method and PSD-agnostic models of
+//!   the full codec.
+
+pub mod alias_exact;
+pub mod daub97;
+pub mod lifting;
+pub mod multilevel;
+pub mod noise_model;
+pub mod psd2d;
+pub mod transform1d;
+pub mod transform2d;
+
+pub use alias_exact::AliasExactModel;
+pub use daub97::{CenteredFir, FilterBank97};
+pub use multilevel::{wavedec, wavedec_quantized, waverec, waverec_quantized, Decomposition1d};
+pub use noise_model::DwtNoiseModel;
+pub use psd2d::Psd2d;
+pub use transform1d::Dwt1d;
+pub use transform2d::{Decomposition, Dwt2d, Matrix, Subbands};

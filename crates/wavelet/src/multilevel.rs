@@ -1,0 +1,183 @@
+//! Multi-level 1-D decomposition (wavedec / waverec convenience API).
+
+use psdacc_fixed::Quantizer;
+
+use crate::transform1d::Dwt1d;
+
+/// A multi-level 1-D decomposition: detail bands finest-first plus the
+/// coarsest approximation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition1d {
+    /// Detail bands, finest (level 1) first.
+    pub details: Vec<Vec<f64>>,
+    /// The coarsest approximation band.
+    pub approx: Vec<f64>,
+}
+
+impl Decomposition1d {
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Total coefficient count (equals the original signal length).
+    pub fn len(&self) -> usize {
+        self.approx.len() + self.details.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// `true` when the decomposition holds no coefficients.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Energy per band, finest detail first, approximation last — the
+    /// subband energy map used for rate-allocation style analyses.
+    pub fn band_energies(&self) -> Vec<f64> {
+        let e = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        let mut out: Vec<f64> = self.details.iter().map(|d| e(d)).collect();
+        out.push(e(&self.approx));
+        out
+    }
+}
+
+/// Multi-level analysis (`levels >= 1`), recursing on the approximation.
+///
+/// # Panics
+///
+/// Panics if the signal length is not divisible by `2^levels` or `levels`
+/// is zero.
+pub fn wavedec(dwt: &Dwt1d, x: &[f64], levels: usize) -> Decomposition1d {
+    assert!(levels > 0, "need at least one level");
+    assert!(
+        x.len() % (1 << levels) == 0,
+        "signal length {} must be divisible by 2^{levels}",
+        x.len()
+    );
+    let mut details = Vec::with_capacity(levels);
+    let mut current = x.to_vec();
+    for _ in 0..levels {
+        let (a, d) = dwt.analyze(&current);
+        details.push(d);
+        current = a;
+    }
+    Decomposition1d { details, approx: current }
+}
+
+/// Inverse of [`wavedec`].
+///
+/// # Panics
+///
+/// Panics if the band lengths are inconsistent.
+pub fn waverec(dwt: &Dwt1d, dec: &Decomposition1d) -> Vec<f64> {
+    let mut current = dec.approx.clone();
+    for d in dec.details.iter().rev() {
+        assert_eq!(current.len(), d.len(), "band length mismatch");
+        current = dwt.synthesize(&current, d);
+    }
+    current
+}
+
+/// Quantized multi-level analysis: every subband output snapped.
+///
+/// # Panics
+///
+/// Same conditions as [`wavedec`].
+pub fn wavedec_quantized(
+    dwt: &Dwt1d,
+    x: &[f64],
+    levels: usize,
+    q: &Quantizer,
+) -> Decomposition1d {
+    assert!(levels > 0, "need at least one level");
+    assert!(x.len() % (1 << levels) == 0, "length must be divisible by 2^levels");
+    let mut details = Vec::with_capacity(levels);
+    let mut current = x.to_vec();
+    for _ in 0..levels {
+        let (a, d) = dwt.analyze_quantized(&current, q);
+        details.push(d);
+        current = a;
+    }
+    Decomposition1d { details, approx: current }
+}
+
+/// Quantized multi-level synthesis: every branch filter output snapped.
+///
+/// # Panics
+///
+/// Panics if the band lengths are inconsistent.
+pub fn waverec_quantized(dwt: &Dwt1d, dec: &Decomposition1d, q: &Quantizer) -> Vec<f64> {
+    let mut current = dec.approx.clone();
+    for d in dec.details.iter().rev() {
+        assert_eq!(current.len(), d.len(), "band length mismatch");
+        current = dwt.synthesize_quantized(&current, d, q);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_fixed::RoundingMode;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.21).sin() + 0.3 * (i as f64 * 0.05).cos()).collect()
+    }
+
+    #[test]
+    fn perfect_reconstruction_multi_level() {
+        let dwt = Dwt1d::new();
+        for levels in 1..=4 {
+            let x = signal(128);
+            let dec = wavedec(&dwt, &x, levels);
+            assert_eq!(dec.levels(), levels);
+            assert_eq!(dec.len(), x.len());
+            let back = waverec(&dwt, &dec);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "levels {levels}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_shapes() {
+        let dwt = Dwt1d::new();
+        let dec = wavedec(&dwt, &signal(64), 3);
+        assert_eq!(dec.details[0].len(), 32);
+        assert_eq!(dec.details[1].len(), 16);
+        assert_eq!(dec.details[2].len(), 8);
+        assert_eq!(dec.approx.len(), 8);
+        assert_eq!(dec.band_energies().len(), 4);
+    }
+
+    #[test]
+    fn smooth_signal_energy_concentrates_in_approx() {
+        let dwt = Dwt1d::new();
+        // A slow sinusoid: detail bands should carry little energy.
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.04).sin()).collect();
+        let dec = wavedec(&dwt, &x, 2);
+        let e = dec.band_energies();
+        let details: f64 = e[..2].iter().sum();
+        let approx = e[2];
+        assert!(approx > 20.0 * details, "approx {approx} vs details {details}");
+    }
+
+    #[test]
+    fn quantized_roundtrip_error_small() {
+        let dwt = Dwt1d::new();
+        let q = Quantizer::new(12, RoundingMode::RoundNearest);
+        let x = signal(64);
+        let dec = wavedec_quantized(&dwt, &x, 2, &q);
+        let back = waverec_quantized(&dwt, &dec, &q);
+        let err: f64 =
+            back.iter().zip(&x).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / 64.0;
+        assert!(err > 0.0);
+        assert!(err < 1e-5, "error power {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn length_validation() {
+        let dwt = Dwt1d::new();
+        let _ = wavedec(&dwt, &signal(20), 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Two-dimensional noise PSDs with separable propagation rules.
+//!
+//! The DWT codec is separable, so every operation acts along one axis: the
+//! 1-D rules of `psdacc-core::propagate` (Eq. 11 shaping, decimation
+//! folding, expansion compression) are applied row-wise or column-wise on a
+//! fixed `ny x nx` bin grid. As in the 1-D case, bins carry *mass*
+//! (`sum == variance`) and the deterministic mean is tracked separately,
+//! with expansion image-lines deposited onto the axis bins.
+
+use psdacc_fixed::NoiseMoments;
+
+/// A 2-D noise PSD on a fixed `ny x nx` grid (row-major: `bins[ky][kx]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Psd2d {
+    bins: Vec<f64>,
+    nx: usize,
+    ny: usize,
+    mean: f64,
+}
+
+impl Psd2d {
+    /// All-zero PSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(ny: usize, nx: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        Psd2d { bins: vec![0.0; nx * ny], nx, ny, mean: 0.0 }
+    }
+
+    /// Spectrally white 2-D source with the given per-sample moments.
+    pub fn white(moments: NoiseMoments, ny: usize, nx: usize) -> Self {
+        let mut p = Psd2d::zero(ny, nx);
+        let level = moments.variance / (nx * ny) as f64;
+        p.bins.fill(level);
+        p.mean = moments.mean;
+        p
+    }
+
+    /// Grid width (x bins).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height (y bins).
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Bin accessor.
+    pub fn get(&self, ky: usize, kx: usize) -> f64 {
+        self.bins[ky * self.nx + kx]
+    }
+
+    /// Raw bins (row-major).
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Deterministic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Noise variance (`sum bins`).
+    pub fn variance(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Total power `mean^2 + variance`.
+    pub fn power(&self) -> f64 {
+        self.mean * self.mean + self.variance()
+    }
+
+    /// Uncorrelated sum (paper Eq. 14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ.
+    pub fn add_assign(&mut self, other: &Psd2d) {
+        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "PSD grids must match");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.mean += other.mean;
+    }
+
+    /// Shapes along the x axis: `bins[ky][kx] *= mag2_x[kx]`, mean through
+    /// the filter's DC gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mag2_x.len() != nx`.
+    pub fn apply_x(&self, mag2_x: &[f64], dc_gain: f64) -> Psd2d {
+        assert_eq!(mag2_x.len(), self.nx, "x response grid mismatch");
+        let mut out = self.clone();
+        for ky in 0..self.ny {
+            for kx in 0..self.nx {
+                out.bins[ky * self.nx + kx] *= mag2_x[kx];
+            }
+        }
+        out.mean *= dc_gain;
+        out
+    }
+
+    /// Shapes along the y axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mag2_y.len() != ny`.
+    pub fn apply_y(&self, mag2_y: &[f64], dc_gain: f64) -> Psd2d {
+        assert_eq!(mag2_y.len(), self.ny, "y response grid mismatch");
+        let mut out = self.clone();
+        for ky in 0..self.ny {
+            for kx in 0..self.nx {
+                out.bins[ky * self.nx + kx] *= mag2_y[ky];
+            }
+        }
+        out.mean *= dc_gain;
+        out
+    }
+
+    /// Decimation by `m` along x: spectral folding per row.
+    pub fn downsample_x(&self, m: usize) -> Psd2d {
+        self.map_rows(|row| fold_1d(row, m))
+    }
+
+    /// Decimation by `m` along y.
+    pub fn downsample_y(&self, m: usize) -> Psd2d {
+        self.map_cols(|col| fold_1d(col, m))
+    }
+
+    /// Zero-stuffing by `l` along x: spectral compression per row, mean
+    /// scaled by `1/l` with image lines deposited on the `ky = 0` row.
+    pub fn upsample_x(&self, l: usize) -> Psd2d {
+        let mut out = self.map_rows(|row| compress_1d(row, l));
+        out.mean = self.mean / l as f64;
+        let line = out.mean * out.mean;
+        for i in 1..l {
+            let kx = i * self.nx / l;
+            out.bins[kx % self.nx] += line;
+        }
+        out
+    }
+
+    /// Zero-stuffing by `l` along y.
+    pub fn upsample_y(&self, l: usize) -> Psd2d {
+        let mut out = self.map_cols(|col| compress_1d(col, l));
+        out.mean = self.mean / l as f64;
+        let line = out.mean * out.mean;
+        for i in 1..l {
+            let ky = i * self.ny / l;
+            out.bins[(ky % self.ny) * self.nx] += line;
+        }
+        out
+    }
+
+    /// Displayable spectrum with the mean folded into DC (paper Eq. 10
+    /// layout).
+    pub fn display_bins(&self) -> Vec<f64> {
+        let mut out = self.bins.clone();
+        out[0] += self.mean * self.mean;
+        out
+    }
+
+    fn map_rows(&self, f: impl Fn(&[f64]) -> Vec<f64>) -> Psd2d {
+        let mut out = self.clone();
+        for ky in 0..self.ny {
+            let row: Vec<f64> = self.bins[ky * self.nx..(ky + 1) * self.nx].to_vec();
+            let mapped = f(&row);
+            out.bins[ky * self.nx..(ky + 1) * self.nx].copy_from_slice(&mapped);
+        }
+        out
+    }
+
+    fn map_cols(&self, f: impl Fn(&[f64]) -> Vec<f64>) -> Psd2d {
+        let mut out = self.clone();
+        for kx in 0..self.nx {
+            let col: Vec<f64> = (0..self.ny).map(|ky| self.get(ky, kx)).collect();
+            let mapped = f(&col);
+            for (ky, &v) in mapped.iter().enumerate() {
+                out.bins[ky * self.nx + kx] = v;
+            }
+        }
+        out
+    }
+}
+
+/// 1-D fold (decimation) on bin-mass arrays, linear interpolation.
+fn fold_1d(bins: &[f64], m: usize) -> Vec<f64> {
+    assert!(m > 0);
+    if m == 1 {
+        return bins.to_vec();
+    }
+    let n = bins.len();
+    (0..n)
+        .map(|k| {
+            (0..m).map(|i| interp(bins, (k + i * n) as f64 / m as f64)).sum::<f64>() / m as f64
+        })
+        .collect()
+}
+
+/// 1-D compression (zero-stuffing) on bin-mass arrays.
+fn compress_1d(bins: &[f64], l: usize) -> Vec<f64> {
+    assert!(l > 0);
+    if l == 1 {
+        return bins.to_vec();
+    }
+    let n = bins.len();
+    (0..n).map(|k| bins[(k * l) % n] / l as f64).collect()
+}
+
+fn interp(bins: &[f64], idx: f64) -> f64 {
+    let n = bins.len();
+    let lo = idx.floor() as usize % n;
+    let hi = (lo + 1) % n;
+    let frac = idx - idx.floor();
+    bins[lo] * (1.0 - frac) + bins[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_power() {
+        let p = Psd2d::white(NoiseMoments::new(0.1, 2.0), 8, 16);
+        assert!((p.variance() - 2.0).abs() < 1e-12);
+        assert!((p.power() - 2.01).abs() < 1e-12);
+        assert_eq!(p.nx(), 16);
+        assert_eq!(p.ny(), 8);
+    }
+
+    #[test]
+    fn apply_axis_shapes_correct_dimension() {
+        let p = Psd2d::white(NoiseMoments::new(1.0, 1.0), 4, 4);
+        let mag = vec![0.0, 1.0, 2.0, 3.0];
+        let px = p.apply_x(&mag, 2.0);
+        // Column kx=0 zeroed; kx=3 tripled.
+        assert_eq!(px.get(2, 0), 0.0);
+        assert!((px.get(2, 3) - 3.0 / 16.0).abs() < 1e-12);
+        assert_eq!(px.mean(), 2.0);
+        let py = p.apply_y(&mag, -1.0);
+        assert_eq!(py.get(0, 2), 0.0);
+        assert!((py.get(3, 2) - 3.0 / 16.0).abs() < 1e-12);
+        assert_eq!(py.mean(), -1.0);
+    }
+
+    #[test]
+    fn white_noise_downsampling_preserves_power() {
+        let p = Psd2d::white(NoiseMoments::new(0.0, 1.5), 8, 8);
+        for op in [Psd2d::downsample_x, Psd2d::downsample_y] {
+            let q = op(&p, 2);
+            assert!((q.variance() - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upsampling_divides_power() {
+        let p = Psd2d::white(NoiseMoments::new(0.0, 1.0), 8, 8);
+        let q = p.upsample_x(2);
+        assert!((q.power() - 0.5).abs() < 1e-12);
+        let q = p.upsample_y(2).upsample_x(2);
+        assert!((q.power() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_images_deposit_on_axes() {
+        let p = Psd2d::white(NoiseMoments::new(1.0, 0.0), 8, 8);
+        let qx = p.upsample_x(2);
+        assert_eq!(qx.mean(), 0.5);
+        assert!((qx.get(0, 4) - 0.25).abs() < 1e-12, "image line at kx = nx/2");
+        let qy = p.upsample_y(2);
+        assert!((qy.get(4, 0) - 0.25).abs() < 1e-12, "image line at ky = ny/2");
+    }
+
+    #[test]
+    fn separable_shaping_commutes() {
+        let p = Psd2d::white(NoiseMoments::new(0.2, 1.0), 8, 8);
+        let mx: Vec<f64> = (0..8).map(|k| 1.0 + k as f64 * 0.1).collect();
+        let my: Vec<f64> = (0..8).map(|k| 2.0 - k as f64 * 0.05).collect();
+        let a = p.apply_x(&mx, 1.5).apply_y(&my, 0.5);
+        let b = p.apply_y(&my, 0.5).apply_x(&mx, 1.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_folds_mean() {
+        let p = Psd2d::white(NoiseMoments::new(0.5, 0.0), 4, 4);
+        let d = p.display_bins();
+        assert!((d[0] - 0.25).abs() < 1e-15);
+    }
+}

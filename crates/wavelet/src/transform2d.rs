@@ -1,0 +1,351 @@
+//! Two-dimensional multi-level CDF 9/7 codec in branch form (paper Fig. 3),
+//! with optional quantization at every filter output — the DWT benchmark of
+//! the paper's Section IV-A-3.
+
+use psdacc_fixed::Quantizer;
+
+use crate::transform1d::Dwt1d;
+
+/// A row-major matrix of `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Wraps existing row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows * cols");
+        Matrix { data, rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One column, copied.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Writes a column.
+    pub fn set_col(&mut self, c: usize, values: &[f64]) {
+        for (r, &v) in values.iter().enumerate() {
+            self.set(r, c, v);
+        }
+    }
+
+    /// Mean of squared entries.
+    pub fn power(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        Matrix {
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+/// One level of 2-D subband decomposition.
+#[derive(Debug, Clone)]
+pub struct Subbands {
+    /// Approximation (lowpass rows, lowpass cols).
+    pub ll: Matrix,
+    /// Horizontal detail (lowpass rows, highpass cols).
+    pub lh: Matrix,
+    /// Vertical detail.
+    pub hl: Matrix,
+    /// Diagonal detail.
+    pub hh: Matrix,
+}
+
+/// A full multi-level decomposition: `levels[0]` is the finest level; the
+/// deepest approximation is `final_ll`.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Detail subbands per level (finest first): `(lh, hl, hh)`.
+    pub details: Vec<(Matrix, Matrix, Matrix)>,
+    /// The coarsest approximation band.
+    pub final_ll: Matrix,
+}
+
+/// The 2-D codec. Quantization (when configured) happens after the row
+/// filtering pass and after the column filtering pass of every level, in
+/// both analysis and synthesis — one PQN source per filter output, matching
+/// the analytical model in [`crate::noise_model`].
+#[derive(Debug, Clone)]
+pub struct Dwt2d {
+    dwt: Dwt1d,
+    levels: usize,
+}
+
+impl Dwt2d {
+    /// Creates a codec with the given number of decomposition levels (the
+    /// paper uses 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels > 0, "need at least one level");
+        Dwt2d { dwt: Dwt1d::new(), levels }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The 1-D engine.
+    pub fn dwt1d(&self) -> &Dwt1d {
+        &self.dwt
+    }
+
+    /// One analysis level (rows then columns), optionally quantizing after
+    /// each pass.
+    pub fn analyze_level(&self, x: &Matrix, q: Option<&Quantizer>) -> Subbands {
+        let (rows, cols) = (x.rows(), x.cols());
+        assert!(rows % 2 == 0 && cols % 2 == 0, "dimensions must be even");
+        // Row pass: each row splits into L | H half-rows.
+        let mut low = Matrix::zeros(rows, cols / 2);
+        let mut high = Matrix::zeros(rows, cols / 2);
+        for r in 0..rows {
+            let (a, d) = self.dwt.analyze(x.row(r));
+            for (c, &v) in a.iter().enumerate() {
+                low.set(r, c, v);
+            }
+            for (c, &v) in d.iter().enumerate() {
+                high.set(r, c, v);
+            }
+        }
+        if let Some(q) = q {
+            q.quantize_slice(low.data_mut());
+            q.quantize_slice(high.data_mut());
+        }
+        // Column pass on both halves.
+        let mut ll = Matrix::zeros(rows / 2, cols / 2);
+        let mut lh = Matrix::zeros(rows / 2, cols / 2);
+        let mut hl = Matrix::zeros(rows / 2, cols / 2);
+        let mut hh = Matrix::zeros(rows / 2, cols / 2);
+        for c in 0..cols / 2 {
+            let (a, d) = self.dwt.analyze(&low.col(c));
+            ll.set_col(c, &a);
+            lh.set_col(c, &d);
+            let (a, d) = self.dwt.analyze(&high.col(c));
+            hl.set_col(c, &a);
+            hh.set_col(c, &d);
+        }
+        if let Some(q) = q {
+            for m in [&mut ll, &mut lh, &mut hl, &mut hh] {
+                q.quantize_slice(m.data_mut());
+            }
+        }
+        Subbands { ll, lh, hl, hh }
+    }
+
+    /// One synthesis level (columns then rows), optionally quantizing after
+    /// each branch-filter output.
+    pub fn synthesize_level(&self, sb: &Subbands, q: Option<&Quantizer>) -> Matrix {
+        let (hrows, hcols) = (sb.ll.rows(), sb.ll.cols());
+        let mut low = Matrix::zeros(2 * hrows, hcols);
+        let mut high = Matrix::zeros(2 * hrows, hcols);
+        for c in 0..hcols {
+            let col = match q {
+                Some(q) => self.dwt.synthesize_quantized(&sb.ll.col(c), &sb.lh.col(c), q),
+                None => self.dwt.synthesize(&sb.ll.col(c), &sb.lh.col(c)),
+            };
+            low.set_col(c, &col);
+            let col = match q {
+                Some(q) => self.dwt.synthesize_quantized(&sb.hl.col(c), &sb.hh.col(c), q),
+                None => self.dwt.synthesize(&sb.hl.col(c), &sb.hh.col(c)),
+            };
+            high.set_col(c, &col);
+        }
+        let mut out = Matrix::zeros(2 * hrows, 2 * hcols);
+        for r in 0..2 * hrows {
+            let row = match q {
+                Some(q) => self.dwt.synthesize_quantized(low.row(r), high.row(r), q),
+                None => self.dwt.synthesize(low.row(r), high.row(r)),
+            };
+            for (c, &v) in row.iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Full multi-level analysis.
+    pub fn forward(&self, x: &Matrix, q: Option<&Quantizer>) -> Decomposition {
+        let mut details = Vec::with_capacity(self.levels);
+        let mut current = x.clone();
+        for _ in 0..self.levels {
+            let sb = self.analyze_level(&current, q);
+            details.push((sb.lh, sb.hl, sb.hh));
+            current = sb.ll;
+        }
+        Decomposition { details, final_ll: current }
+    }
+
+    /// Full multi-level synthesis.
+    pub fn inverse(&self, dec: &Decomposition, q: Option<&Quantizer>) -> Matrix {
+        let mut current = dec.final_ll.clone();
+        for (lh, hl, hh) in dec.details.iter().rev() {
+            let sb = Subbands {
+                ll: current,
+                lh: lh.clone(),
+                hl: hl.clone(),
+                hh: hh.clone(),
+            };
+            current = self.synthesize_level(&sb, q);
+        }
+        current
+    }
+
+    /// Encode-decode round trip; with `Some(q)` this is the fixed-point
+    /// codec whose error the paper measures.
+    pub fn roundtrip(&self, x: &Matrix, q: Option<&Quantizer>) -> Matrix {
+        self.inverse(&self.forward(x, q), q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_fixed::RoundingMode;
+
+    fn test_image(n: usize) -> Matrix {
+        let data: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                (0.3 * r as f64).sin() * (0.2 * c as f64).cos() * 0.4 + 0.5
+            })
+            .collect();
+        Matrix::from_vec(data, n, n)
+    }
+
+    #[test]
+    fn perfect_reconstruction_2d() {
+        for levels in 1..=3 {
+            let codec = Dwt2d::new(levels);
+            let x = test_image(64);
+            let back = codec.roundtrip(&x, None);
+            let err = x.sub(&back).power();
+            assert!(err < 1e-20, "levels {levels}: error {err}");
+        }
+    }
+
+    #[test]
+    fn subband_shapes() {
+        let codec = Dwt2d::new(2);
+        let x = test_image(32);
+        let dec = codec.forward(&x, None);
+        assert_eq!(dec.details.len(), 2);
+        assert_eq!(dec.details[0].0.rows(), 16);
+        assert_eq!(dec.final_ll.rows(), 8);
+    }
+
+    #[test]
+    fn constant_image_lives_in_ll() {
+        let codec = Dwt2d::new(1);
+        let x = Matrix::from_vec(vec![1.0; 256], 16, 16);
+        let sb = codec.analyze_level(&x, None);
+        // LL holds the constant scaled by 2 (sqrt2 per dimension).
+        assert!((sb.ll.get(4, 4) - 2.0).abs() < 1e-9);
+        for m in [&sb.lh, &sb.hl, &sb.hh] {
+            assert!(m.power() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn quantized_roundtrip_has_small_error() {
+        let codec = Dwt2d::new(2);
+        let x = test_image(32);
+        let q = Quantizer::new(12, RoundingMode::Truncate);
+        let back = codec.roundtrip(&x, Some(&q));
+        let err = x.sub(&back).power();
+        assert!(err > 0.0, "quantization must leave a trace");
+        // 12 fractional bits: error power well below 1e-5.
+        assert!(err < 1e-5, "error power {err}");
+    }
+
+    #[test]
+    fn finer_quantization_reduces_error() {
+        let codec = Dwt2d::new(2);
+        let x = test_image(32);
+        let e8 = x
+            .sub(&codec.roundtrip(&x, Some(&Quantizer::new(8, RoundingMode::Truncate))))
+            .power();
+        let e16 = x
+            .sub(&codec.roundtrip(&x, Some(&Quantizer::new(16, RoundingMode::Truncate))))
+            .power();
+        // 8 extra bits: roughly 2^16 less power.
+        assert!(e8 / e16 > 1e3, "e8 {e8} e16 {e16}");
+    }
+
+    #[test]
+    fn matrix_basics() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.col(2), vec![0.0, 5.0]);
+        assert!((m.power() - 25.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows * cols")]
+    fn from_vec_validates() {
+        let _ = Matrix::from_vec(vec![0.0; 5], 2, 3);
+    }
+}

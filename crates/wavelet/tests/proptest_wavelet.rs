@@ -1,0 +1,87 @@
+//! Property-based tests of the wavelet substrate.
+
+use proptest::prelude::*;
+use psdacc_fixed::NoiseMoments;
+use psdacc_wavelet::{lifting, Dwt1d, Dwt2d, Matrix, Psd2d};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Perfect reconstruction of the lifting transform for any even-length
+    /// signal.
+    #[test]
+    fn lifting_perfect_reconstruction(
+        x in prop::collection::vec(-10.0f64..10.0, 4..64)
+    ) {
+        let x: Vec<f64> = if x.len() % 2 == 0 { x } else { x[..x.len() - 1].to_vec() };
+        let (a, d) = lifting::analyze(&x);
+        let back = lifting::synthesize(&a, &d);
+        let scale: f64 = x.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        for (u, v) in x.iter().zip(&back) {
+            prop_assert!((u - v).abs() < 1e-10 * scale);
+        }
+    }
+
+    /// Filter-bank form agrees with lifting on any signal.
+    #[test]
+    fn filter_bank_equals_lifting(
+        x in prop::collection::vec(-5.0f64..5.0, 16..48)
+    ) {
+        let x: Vec<f64> = if x.len() % 2 == 0 { x } else { x[..x.len() - 1].to_vec() };
+        let dwt = Dwt1d::new();
+        let (a_fb, d_fb) = dwt.analyze(&x);
+        let (a_l, d_l) = lifting::analyze(&x);
+        let scale: f64 = x.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        for k in 0..a_fb.len() {
+            prop_assert!((a_fb[k] - a_l[k]).abs() < 1e-9 * scale);
+            prop_assert!((d_fb[k] - d_l[k]).abs() < 1e-9 * scale);
+        }
+    }
+
+    /// 2-D codec reconstructs any image exactly in f64, for 1-3 levels.
+    #[test]
+    fn codec_2d_reconstruction(
+        seed in 0u64..500,
+        levels in 1usize..4,
+    ) {
+        let n = 32;
+        let mut gen = psdacc_dsp::SignalGenerator::new(seed);
+        let data = gen.uniform_white(n * n, 2.0);
+        let img = Matrix::from_vec(data, n, n);
+        let codec = Dwt2d::new(levels);
+        let back = codec.roundtrip(&img, None);
+        prop_assert!(img.sub(&back).power() < 1e-18);
+    }
+
+    /// Psd2d axis operations preserve their power contracts for any
+    /// moments: decimation keeps power, expansion divides by the factor.
+    #[test]
+    fn psd2d_power_contracts(
+        mean in -1.0f64..1.0,
+        var in 0.0f64..4.0,
+    ) {
+        let p = Psd2d::white(NoiseMoments::new(mean, var), 16, 16);
+        let down = p.downsample_x(2).downsample_y(2);
+        prop_assert!((down.variance() - var).abs() < 1e-9 * (1.0 + var));
+        let up = p.upsample_x(2);
+        prop_assert!((up.power() - p.power() / 2.0).abs() < 1e-9 * (1.0 + p.power()));
+    }
+
+    /// Quantized codec error decreases monotonically with word-length.
+    #[test]
+    fn quantized_error_monotone(seed in 0u64..50) {
+        use psdacc_fixed::{Quantizer, RoundingMode};
+        let n = 32;
+        let mut gen = psdacc_dsp::SignalGenerator::new(seed);
+        let data: Vec<f64> = gen.uniform_white(n * n, 1.0).iter().map(|v| v + 0.5).collect();
+        let img = Matrix::from_vec(data, n, n);
+        let codec = Dwt2d::new(2);
+        let err = |d: i32| {
+            let q = Quantizer::new(d, RoundingMode::Truncate);
+            img.sub(&codec.roundtrip(&img, Some(&q))).power()
+        };
+        let (e6, e10, e14) = (err(6), err(10), err(14));
+        prop_assert!(e6 > e10, "{e6} vs {e10}");
+        prop_assert!(e10 > e14, "{e10} vs {e14}");
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's Fig. 2 system end to end: overlap-save frequency-domain
+//! filtering with a stage-quantized FFT, measured against the PSD-method
+//! and PSD-agnostic estimates.
+//!
+//! ```text
+//! cargo run --release --example frequency_filter
+//! ```
+
+use psd_accuracy::dsp::SignalGenerator;
+use psd_accuracy::fixed::{NoiseMoments, Quantizer, RoundingMode};
+use psd_accuracy::systems::FreqFilterSystem;
+
+fn main() {
+    let system = FreqFilterSystem::new();
+    println!(
+        "system: {}-tap prefilter -> FFT-16 -> x Hlp[k] -> IFFT (overlap-save, hop 8)",
+        system.prefilter().len()
+    );
+
+    let mut gen = SignalGenerator::new(2024);
+    let x = gen.uniform_white(400_000, 1.0);
+
+    for d in [8, 12, 16] {
+        let rounding = RoundingMode::RoundNearest;
+        let quant = Quantizer::new(d, rounding);
+        let moments = NoiseMoments::continuous(rounding, d);
+        let (measured, _psd) = system.measure(&x, &quant, 256);
+        let estimated = system.model_psd_power(moments, 1024);
+        let agnostic = system.model_agnostic(moments).power();
+        println!(
+            "d = {d:>2}: measured {measured:.3e} | PSD method {estimated:.3e} (Ed {:+.2}%) | agnostic {agnostic:.3e} (Ed {:+.2}%)",
+            100.0 * (estimated - measured) / measured,
+            100.0 * (agnostic - measured) / measured,
+        );
+    }
+
+    // The estimated error *spectrum* is part of the method's output — the
+    // frequency repartition conventional scalar methods cannot provide
+    // (paper Section IV-E).
+    let moments = NoiseMoments::continuous(RoundingMode::RoundNearest, 12);
+    let psd = system.model_psd(moments, 64);
+    println!("\nestimated error PSD at d = 12 (64 bins, two-sided; * = relative level):");
+    let max = psd.bins().iter().cloned().fold(f64::MIN, f64::max);
+    for (k, &v) in psd.bins().iter().enumerate().take(33) {
+        let bar = "*".repeat((v / max * 50.0).round() as usize);
+        println!("  F={:.3} {bar}", k as f64 / 64.0);
+    }
+}

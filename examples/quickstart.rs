@@ -1,0 +1,54 @@
+//! Quickstart: estimate the fixed-point error of a filter analytically and
+//! check it against bit-true simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use psd_accuracy::core::{AccuracyEvaluator, Method, WordLengthPlan};
+use psd_accuracy::dsp::Window;
+use psd_accuracy::filters::{design_fir, BandSpec};
+use psd_accuracy::fixed::RoundingMode;
+use psd_accuracy::sfg::{Block, Sfg};
+use psd_accuracy::sim::SimulationPlan;
+
+fn main() {
+    // 1. Describe the system as a signal-flow graph: one 31-tap lowpass.
+    let fir = design_fir(BandSpec::Lowpass { cutoff: 0.2 }, 31, Window::Hamming)
+        .expect("valid filter spec");
+    let mut sfg = Sfg::new();
+    let x = sfg.add_input();
+    let y = sfg.add_block(Block::Fir(fir), &[x]).expect("valid wiring");
+    sfg.mark_output(y);
+
+    // 2. Build the evaluator: preprocessing (tau_pp) happens once here.
+    let evaluator = AccuracyEvaluator::new(&sfg, 1024).expect("realizable system");
+    println!("preprocessing took {:.3} ms", evaluator.preprocess_seconds() * 1e3);
+
+    // 3. Pick a word-length: 12 fractional bits, truncation everywhere.
+    let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+
+    // 4. Analytical estimates (tau_eval: microseconds each).
+    let psd = evaluator.estimate_psd(&plan);
+    let agnostic = evaluator.estimate_agnostic(&plan).expect("acyclic at block level");
+    let flat = evaluator.estimate_flat(&plan).expect("probe-able system");
+    println!("PSD method estimate: {:.4e} (in {:?})", psd.power, psd.elapsed);
+    println!("PSD-agnostic:        {:.4e}", agnostic.power);
+    println!("flat analytical:     {:.4e}", flat.power);
+
+    // 5. Ground truth by Monte-Carlo simulation.
+    let sim = SimulationPlan { samples: 200_000, ..Default::default() };
+    let comparison = evaluator.compare(&plan, &sim).expect("simulation runs");
+    println!(
+        "simulation:          {:.4e} (in {:?})",
+        comparison.simulated.power, comparison.simulated.elapsed
+    );
+    for method in [Method::PsdMethod, Method::PsdAgnostic, Method::Flat] {
+        let ed = comparison.ed_of(method).expect("estimate present");
+        println!(
+            "  Ed[{method}] = {:+.3}%  (speed-up {:.0}x)",
+            100.0 * ed,
+            comparison.speedup_of(method).expect("estimate present")
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # psd-accuracy
+//!
+//! Umbrella crate re-exporting the entire `psdacc` workspace: a reproduction
+//! of *"Leveraging Power Spectral Density for Scalable System-Level Accuracy
+//! Evaluation"* (Barrois, Parashar, Sentieys, DATE 2016).
+//!
+//! See the individual crates for details:
+//!
+//! * [`core`] — the paper's contribution: PSD-based noise propagation plus
+//!   the flat and PSD-agnostic baselines.
+//! * [`fft`], [`dsp`], [`filters`], [`fixed`], [`sfg`], [`sim`],
+//!   [`wavelet`], [`testimg`], [`systems`] — the substrates it stands on.
+
+pub use psdacc_core as core;
+pub use psdacc_dsp as dsp;
+pub use psdacc_fft as fft;
+pub use psdacc_filters as filters;
+pub use psdacc_fixed as fixed;
+pub use psdacc_sfg as sfg;
+pub use psdacc_sim as sim;
+pub use psdacc_systems as systems;
+pub use psdacc_testimg as testimg;
+pub use psdacc_wavelet as wavelet;

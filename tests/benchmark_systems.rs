@@ -1,0 +1,104 @@
+//! Workspace integration tests for the two composite benchmark systems
+//! (the Fig. 4 / Table II claims, in test form, at CI-friendly workloads).
+
+use psd_accuracy::dsp::SignalGenerator;
+use psd_accuracy::fixed::{NoiseMoments, Quantizer, RoundingMode};
+use psd_accuracy::systems::{DwtSystem, FreqFilterSystem};
+
+/// Fig. 4, frequency-filter curve: Ed stays within ~10% across bit-widths.
+#[test]
+fn freq_filter_ed_across_bitwidths() {
+    let sys = FreqFilterSystem::new();
+    let mut gen = SignalGenerator::new(11);
+    let x = gen.uniform_white(150_000, 1.0);
+    for d in [8, 16, 24] {
+        let rounding = RoundingMode::RoundNearest;
+        let (measured, _) = sys.measure(&x, &Quantizer::new(d, rounding), 128);
+        let estimated = sys.model_psd_power(NoiseMoments::continuous(rounding, d), 1024);
+        let ed = (estimated - measured) / measured;
+        assert!(ed.abs() < 0.12, "d={d}: Ed {ed}");
+    }
+}
+
+/// Fig. 4, DWT curve at a CI-friendly workload.
+#[test]
+fn dwt_ed_across_bitwidths() {
+    let sys = DwtSystem::paper();
+    for d in [8, 12, 16] {
+        let rounding = RoundingMode::RoundNearest;
+        let measured = sys.measure_power(2, 64, d, rounding);
+        let estimated = sys.model_psd_power(d, rounding, 1024);
+        let ed = (estimated - measured) / measured;
+        assert!(ed.abs() < 0.15, "d={d}: Ed {ed}");
+    }
+}
+
+/// Table II: the agnostic estimate is the outlier on both systems.
+#[test]
+fn table2_ranking_holds() {
+    let rounding = RoundingMode::RoundNearest;
+    let d = 12;
+    let moments = NoiseMoments::continuous(rounding, d);
+    // Frequency filter.
+    let freq = FreqFilterSystem::new();
+    let mut gen = SignalGenerator::new(13);
+    let x = gen.uniform_white(150_000, 1.0);
+    let (meas_f, _) = freq.measure(&x, &Quantizer::new(d, rounding), 128);
+    let ed_psd_f = (freq.model_psd_power(moments, 1024) - meas_f) / meas_f;
+    let ed_agn_f = (freq.model_agnostic(moments).power() - meas_f) / meas_f;
+    assert!(ed_agn_f.abs() > ed_psd_f.abs(), "freq: {ed_agn_f} vs {ed_psd_f}");
+    // DWT: the agnostic blow-up is orders of magnitude (paper's 610% class).
+    let dwt = DwtSystem::paper();
+    let meas_d = dwt.measure_power(2, 64, d, rounding);
+    let ed_psd_d = (dwt.model_psd_power(d, rounding, 1024) - meas_d) / meas_d;
+    let ed_agn_d = (dwt.model_agnostic_power(d, rounding) - meas_d) / meas_d;
+    assert!(ed_psd_d.abs() < 0.15, "dwt psd Ed {ed_psd_d}");
+    assert!(ed_agn_d > 1.0, "dwt agnostic should blow up, got {ed_agn_d}");
+}
+
+/// The estimated DWT error spectrum correlates with the measured one
+/// (Fig. 7's visual agreement, quantified).
+#[test]
+fn dwt_error_spectrum_correlates() {
+    let sys = DwtSystem::paper();
+    let d = 10;
+    let side = 32;
+    let measured = sys.measure_psd2d(2, 64, side, d, RoundingMode::Truncate);
+    let estimated = sys.model_psd(d, RoundingMode::Truncate, side, side);
+    let est = estimated.display_bins();
+    let log = |v: &[f64]| -> Vec<f64> { v.iter().map(|&x| x.max(1e-300).log10()).collect() };
+    let (a, b) = (log(&measured), log(&est));
+    let n = a.len() as f64;
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+    let mut num = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(&b) {
+        num += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    let corr = num / (va.sqrt() * vb.sqrt());
+    assert!(corr > 0.5, "log-spectrum correlation too weak: {corr}");
+}
+
+/// Speed-up sanity: one PSD evaluation is at least 100x faster than even a
+/// small simulation (paper: 3-5 orders at full workloads).
+#[test]
+fn estimation_is_much_faster_than_simulation() {
+    let sys = FreqFilterSystem::new();
+    let moments = NoiseMoments::continuous(RoundingMode::RoundNearest, 12);
+    let mut gen = SignalGenerator::new(17);
+    let x = gen.uniform_white(100_000, 1.0);
+    let t0 = std::time::Instant::now();
+    let _ = sys.measure(&x, &Quantizer::new(12, RoundingMode::RoundNearest), 128);
+    let sim_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let reps = 100;
+    for _ in 0..reps {
+        std::hint::black_box(sys.model_psd_power(moments, 1024));
+    }
+    let est_time = t1.elapsed() / reps;
+    let speedup = sim_time.as_secs_f64() / est_time.as_secs_f64();
+    assert!(speedup > 100.0, "speed-up only {speedup:.0}x");
+}

@@ -1,0 +1,119 @@
+//! Workspace integration tests: the three evaluation methods against
+//! bit-true simulation across system shapes (the Table I / Section IV-B
+//! claims, in test form).
+
+use psd_accuracy::core::{metrics, AccuracyEvaluator, Method, WordLengthPlan};
+use psd_accuracy::dsp::Window;
+use psd_accuracy::filters::{butterworth, chebyshev1, design_fir, BandSpec};
+use psd_accuracy::fixed::RoundingMode;
+use psd_accuracy::sfg::{Block, Sfg};
+use psd_accuracy::sim::SimulationPlan;
+
+fn single_block(block: Block) -> Sfg {
+    let mut g = Sfg::new();
+    let x = g.add_input();
+    let f = g.add_block(block, &[x]).expect("valid wiring");
+    g.mark_output(f);
+    g
+}
+
+fn sim_plan() -> SimulationPlan {
+    SimulationPlan { samples: 150_000, nfft: 256, seed: 7, ..Default::default() }
+}
+
+/// Table I, FIR half: deviations stay within a fraction of a percent.
+#[test]
+fn fir_filters_match_simulation_tightly() {
+    for (taps, cutoff) in [(17usize, 0.1), (49, 0.25), (97, 0.4)] {
+        let fir = design_fir(BandSpec::Lowpass { cutoff }, taps, Window::Hamming)
+            .expect("valid spec");
+        let g = single_block(Block::Fir(fir));
+        let eval = AccuracyEvaluator::new(&g, 1024).expect("valid system");
+        let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+        let c = eval.compare(&plan, &sim_plan()).expect("runs");
+        let ed = c.ed_of(Method::PsdMethod).expect("present");
+        assert!(ed.abs() < 0.03, "taps {taps} cutoff {cutoff}: Ed {ed}");
+    }
+}
+
+/// Table I, IIR half: recursive filters deviate more (N_PSD resolution at
+/// the poles) but stay sub-one-bit.
+#[test]
+fn iir_filters_stay_sub_one_bit() {
+    for order in [2usize, 5, 8] {
+        let iir = butterworth(order, BandSpec::Lowpass { cutoff: 0.15 }).expect("valid spec");
+        let g = single_block(Block::Iir(iir));
+        let eval = AccuracyEvaluator::new(&g, 1024).expect("valid system");
+        let plan = WordLengthPlan::uniform(12, RoundingMode::RoundNearest);
+        let c = eval.compare(&plan, &sim_plan()).expect("runs");
+        let ed = c.ed_of(Method::PsdMethod).expect("present");
+        assert!(metrics::is_sub_one_bit(ed), "order {order}: Ed {ed}");
+        assert!(ed.abs() < 0.40, "order {order}: Ed {ed} beyond paper-like bounds");
+    }
+}
+
+/// Section IV-B: flat and PSD methods coincide on elementary blocks.
+#[test]
+fn flat_equals_psd_on_elementary_blocks() {
+    let fir = design_fir(BandSpec::Bandpass { low: 0.1, high: 0.3 }, 33, Window::Blackman)
+        .expect("valid spec");
+    let g = single_block(Block::Fir(fir));
+    let eval = AccuracyEvaluator::new(&g, 2048).expect("valid system");
+    let plan = WordLengthPlan::uniform(10, RoundingMode::Truncate);
+    let psd = eval.estimate_psd(&plan).power;
+    let flat = eval.estimate_flat(&plan).expect("probe-able").power;
+    assert!(
+        ((psd - flat) / flat).abs() < 1e-9,
+        "flat {flat:.6e} vs psd {psd:.6e} must coincide"
+    );
+}
+
+/// A cascade where the agnostic white-input assumption visibly fails while
+/// the PSD method tracks simulation.
+#[test]
+fn cascade_separates_the_methods() {
+    let lp = design_fir(BandSpec::Lowpass { cutoff: 0.12 }, 33, Window::Hamming)
+        .expect("valid spec");
+    let hp = design_fir(BandSpec::Highpass { cutoff: 0.33 }, 33, Window::Hamming)
+        .expect("valid spec");
+    let mut g = Sfg::new();
+    let x = g.add_input();
+    let a = g.add_block(Block::Fir(lp), &[x]).expect("valid wiring");
+    let b = g.add_block(Block::Fir(hp), &[a]).expect("valid wiring");
+    g.mark_output(b);
+    let eval = AccuracyEvaluator::new(&g, 1024).expect("valid system");
+    let plan = WordLengthPlan::uniform(12, RoundingMode::RoundNearest);
+    let c = eval.compare(&plan, &sim_plan()).expect("runs");
+    let ed_psd = c.ed_of(Method::PsdMethod).expect("present");
+    let ed_agn = c.ed_of(Method::PsdAgnostic).expect("present");
+    assert!(ed_psd.abs() < 0.05, "PSD method should track simulation: {ed_psd}");
+    assert!(
+        ed_agn.abs() > 3.0 * ed_psd.abs().max(0.01),
+        "agnostic should deviate: psd {ed_psd} vs agnostic {ed_agn}"
+    );
+}
+
+/// Chebyshev filters (sharper resonances) still land in band.
+#[test]
+fn chebyshev_within_band() {
+    let iir = chebyshev1(4, 1.0, BandSpec::Lowpass { cutoff: 0.2 }).expect("valid spec");
+    let g = single_block(Block::Iir(iir));
+    let eval = AccuracyEvaluator::new(&g, 2048).expect("valid system");
+    let plan = WordLengthPlan::uniform(14, RoundingMode::RoundNearest);
+    let c = eval.compare(&plan, &sim_plan()).expect("runs");
+    let ed = c.ed_of(Method::PsdMethod).expect("present");
+    assert!(metrics::is_sub_one_bit(ed), "Ed {ed}");
+}
+
+/// Word-length sweep: estimates scale as 2^(-2d) exactly; simulation
+/// follows.
+#[test]
+fn wordlength_scaling_law() {
+    let fir = design_fir(BandSpec::Lowpass { cutoff: 0.3 }, 21, Window::Hamming)
+        .expect("valid spec");
+    let g = single_block(Block::Fir(fir));
+    let eval = AccuracyEvaluator::new(&g, 512).expect("valid system");
+    let p8 = eval.estimate_psd(&WordLengthPlan::uniform(8, RoundingMode::RoundNearest)).power;
+    let p14 = eval.estimate_psd(&WordLengthPlan::uniform(14, RoundingMode::RoundNearest)).power;
+    assert!(((p8 / p14).log2() - 12.0).abs() < 1e-9, "exact 2^-2d scaling for rounding");
+}

@@ -1,0 +1,164 @@
+//! Workspace-level property-based tests (proptest): invariants of the core
+//! data structures and of the accuracy-evaluation pipeline under random
+//! inputs.
+
+use proptest::prelude::*;
+use psd_accuracy::core::{NoisePsd, WordLengthPlan};
+use psd_accuracy::dsp::{periodogram, psd_power, welch, Window};
+use psd_accuracy::fft::{dft, fft, ifft, Complex};
+use psd_accuracy::filters::{design_fir, BandSpec, Fir, LtiSystem};
+use psd_accuracy::fixed::{NoiseMoments, Quantizer, RoundingMode};
+use psd_accuracy::sfg::{Block, Sfg};
+use psd_accuracy::sim::SfgSimulator;
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT of any size matches the naive DFT.
+    #[test]
+    fn fft_matches_dft(x in complex_vec(48)) {
+        let fast = fft(&x);
+        let slow = dft(&x);
+        let scale: f64 = x.iter().map(|v| v.norm()).sum::<f64>().max(1.0);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).norm() < 1e-8 * scale);
+        }
+    }
+
+    /// ifft(fft(x)) == x for any signal.
+    #[test]
+    fn fft_roundtrip(x in complex_vec(64)) {
+        let back = ifft(&fft(&x));
+        let scale: f64 = x.iter().map(|v| v.norm()).sum::<f64>().max(1.0);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).norm() < 1e-9 * scale);
+        }
+    }
+
+    /// Parseval for arbitrary real signals on the periodogram convention.
+    #[test]
+    fn periodogram_parseval(x in prop::collection::vec(-10.0f64..10.0, 1..256)) {
+        let s = periodogram(&x);
+        let power: f64 = x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
+        prop_assert!((psd_power(&s) - power).abs() < 1e-9 * power.max(1e-12));
+    }
+
+    /// Quantization error bounds hold for every value and bit-width.
+    #[test]
+    fn quantizer_error_bounds(x in -1e6f64..1e6, d in -4i32..30) {
+        let qt = Quantizer::new(d, RoundingMode::Truncate);
+        let step = qt.step();
+        let et = qt.error(x);
+        prop_assert!(et <= 0.0 && et > -step - 1e-9 * step);
+        let qr = Quantizer::new(d, RoundingMode::RoundNearest);
+        let er = qr.error(x);
+        prop_assert!(er.abs() <= step / 2.0 + 1e-9 * step);
+    }
+
+    /// Quantization is idempotent.
+    #[test]
+    fn quantizer_idempotent(x in -1e4f64..1e4, d in 0i32..24) {
+        for mode in [RoundingMode::Truncate, RoundingMode::RoundNearest] {
+            let q = Quantizer::new(d, mode);
+            let once = q.quantize(x);
+            prop_assert_eq!(q.quantize(once), once);
+        }
+    }
+
+    /// NoisePsd bookkeeping: power == mean^2 + sum(bins), addition is
+    /// commutative, scaling is quadratic in power.
+    #[test]
+    fn noise_psd_algebra(
+        mean_a in -1.0f64..1.0,
+        var_a in 0.0f64..10.0,
+        mean_b in -1.0f64..1.0,
+        var_b in 0.0f64..10.0,
+        g in -4.0f64..4.0,
+    ) {
+        let a = NoisePsd::white(NoiseMoments::new(mean_a, var_a), 32);
+        let b = NoisePsd::white(NoiseMoments::new(mean_b, var_b), 32);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert!((ab.power() - ba.power()).abs() < 1e-12);
+        prop_assert!((ab.variance() - (var_a + var_b)).abs() < 1e-9);
+        let scaled = a.scale(g);
+        prop_assert!((scaled.variance() - var_a * g * g).abs() < 1e-9 * (1.0 + var_a * g * g));
+    }
+
+    /// Any designed FIR wrapped in a graph simulates exactly like the bare
+    /// filter (engine correctness under random stimuli).
+    #[test]
+    fn graph_simulation_equals_direct_filter(
+        cutoff in 0.05f64..0.45,
+        taps_idx in 0usize..4,
+        input in prop::collection::vec(-1.0f64..1.0, 32..128),
+    ) {
+        let taps = [9, 17, 25, 33][taps_idx];
+        let fir = design_fir(BandSpec::Lowpass { cutoff }, taps, Window::Hamming)
+            .expect("valid spec");
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Fir(fir.clone()), &[x]).expect("valid wiring");
+        g.mark_output(f);
+        let mut sim = SfgSimulator::reference(&g).expect("realizable");
+        let got = sim.run(&[input.clone()]);
+        let want = fir.filter(&input);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// The PSD estimate of a single FIR equals the closed form
+    /// sigma^2 (energy + 1) + mean-path power, for any filter and width.
+    #[test]
+    fn psd_estimate_closed_form(
+        cutoff in 0.05f64..0.45,
+        d in 4i32..20,
+    ) {
+        let fir = design_fir(BandSpec::Lowpass { cutoff }, 21, Window::Hamming)
+            .expect("valid spec");
+        let energy = fir.energy();
+        let dc = fir.dc_gain();
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Fir(fir), &[x]).expect("valid wiring");
+        g.mark_output(f);
+        let eval = psd_accuracy::core::AccuracyEvaluator::new(&g, 256).expect("valid");
+        let plan = WordLengthPlan::uniform(d, RoundingMode::Truncate);
+        let est = eval.estimate_psd(&plan).power;
+        let m = NoiseMoments::continuous(RoundingMode::Truncate, d);
+        let expect = m.variance * (energy + 1.0) + (m.mean * dc + m.mean).powi(2);
+        prop_assert!((est - expect).abs() < 1e-6 * expect,
+            "est {} vs closed form {}", est, expect);
+    }
+
+    /// Welch PSD total power approximates signal power for long signals.
+    #[test]
+    fn welch_power_consistency(seed in 0u64..1000) {
+        let mut gen = psd_accuracy::dsp::SignalGenerator::new(seed);
+        let x = gen.uniform_white(1 << 13, 1.0);
+        let s = welch(&x, 64, 0.5, Window::Hann);
+        let power: f64 = x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
+        prop_assert!((psd_power(&s) - power).abs() < 0.1 * power);
+    }
+
+    /// Streaming FIR state equals batch filtering for arbitrary taps.
+    #[test]
+    fn fir_stream_equals_batch(
+        taps in prop::collection::vec(-2.0f64..2.0, 1..16),
+        input in prop::collection::vec(-5.0f64..5.0, 1..64),
+    ) {
+        let fir = Fir::new(taps);
+        let batch = fir.filter(&input);
+        let mut stream = fir.stream();
+        for (i, &v) in input.iter().enumerate() {
+            let s = stream.push(v);
+            prop_assert!((s - batch[i]).abs() < 1e-10);
+        }
+    }
+}
