@@ -33,7 +33,8 @@ pub struct AblationRow {
 pub fn run_rows(args: &Args, indices: &[usize]) -> Vec<AblationRow> {
     let d = 12;
     let plan = WordLengthPlan::uniform(d, RoundingMode::RoundNearest);
-    let sim = SimulationPlan { samples: args.samples, nfft: 256, seed: args.seed, ..Default::default() };
+    let sim =
+        SimulationPlan { samples: args.samples, nfft: 256, seed: args.seed, ..Default::default() };
     indices
         .iter()
         .map(|&i| {
@@ -73,12 +74,7 @@ pub fn run(args: &Args) {
     let rows = run_rows(args, &[0, 15, 30, 63, 98, 133]);
     let mut t = Table::new(&["filter", "Ed full", "Ed no 1/A shaping", "Ed agnostic"]);
     for r in &rows {
-        t.row(&[
-            r.description.clone(),
-            pct(r.ed_full),
-            pct(r.ed_no_shaping),
-            pct(r.ed_agnostic),
-        ]);
+        t.row(&[r.description.clone(), pct(r.ed_full), pct(r.ed_no_shaping), pct(r.ed_agnostic)]);
     }
     println!("{}", t.render());
     let _ = t.write_csv(&args.out_path("ablation.csv"));

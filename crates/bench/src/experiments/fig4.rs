@@ -36,11 +36,7 @@ pub fn sweep(args: &Args, rounding: RoundingMode) -> Vec<SweepPoint> {
             let est_f = freq_sys.model_psd_power(moments, args.npsd);
             let meas_d = dwt_sys.measure_power(args.images, args.size, d, rounding);
             let est_d = dwt_sys.model_psd_power(d, rounding, args.npsd);
-            SweepPoint {
-                d,
-                ed_freq: (est_f - meas_f) / meas_f,
-                ed_dwt: (est_d - meas_d) / meas_d,
-            }
+            SweepPoint { d, ed_freq: (est_f - meas_f) / meas_f, ed_dwt: (est_d - meas_d) / meas_d }
         })
         .collect()
 }
@@ -55,13 +51,7 @@ pub fn run(args: &Args) {
     );
     let trunc = sweep(args, RoundingMode::Truncate);
     let round = sweep(args, RoundingMode::RoundNearest);
-    let mut t = Table::new(&[
-        "d",
-        "freq (trunc)",
-        "DWT (trunc)",
-        "freq (round)",
-        "DWT (round)",
-    ]);
+    let mut t = Table::new(&["d", "freq (trunc)", "DWT (trunc)", "freq (round)", "DWT (round)"]);
     for (pt, pr) in trunc.iter().zip(&round) {
         t.row(&[
             pt.d.to_string(),

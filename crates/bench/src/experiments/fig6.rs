@@ -48,8 +48,7 @@ pub fn sweep(args: &Args, d: i32) -> (f64, f64, Vec<TimingPoint>) {
     let mut gen = SignalGenerator::new(args.seed);
     let x = gen.uniform_white(args.samples, 1.0);
     let (sim_freq, _) = time(|| freq_sys.measure(&x, &q, 256));
-    let (sim_dwt, _) =
-        time(|| dwt_sys.measure_power(args.images, args.size, d, rounding));
+    let (sim_dwt, _) = time(|| dwt_sys.measure_power(args.images, args.size, d, rounding));
     let points = NPSD_SWEEP
         .iter()
         .map(|&npsd| {
@@ -108,10 +107,8 @@ pub fn run(args: &Args) {
     }
     println!("{}", t.render());
     let _ = t.write_csv(&args.out_path("fig6.csv"));
-    let min_speedup = points
-        .iter()
-        .flat_map(|p| [p.speedup_freq, p.speedup_dwt])
-        .fold(f64::MAX, f64::min);
+    let min_speedup =
+        points.iter().flat_map(|p| [p.speedup_freq, p.speedup_dwt]).fold(f64::MAX, f64::min);
     println!(
         "minimum speed-up across the sweep: {:.0}x (paper: 3-5 orders of magnitude)",
         min_speedup

@@ -28,7 +28,11 @@ impl SystemComparison {
 }
 
 /// Runs the comparison on both benchmark systems.
-pub fn compare(args: &Args, d: i32, rounding: RoundingMode) -> (SystemComparison, SystemComparison) {
+pub fn compare(
+    args: &Args,
+    d: i32,
+    rounding: RoundingMode,
+) -> (SystemComparison, SystemComparison) {
     let freq_sys = FreqFilterSystem::new();
     let dwt_sys = DwtSystem::paper();
     let q = Quantizer::new(d, rounding);
@@ -59,24 +63,15 @@ pub fn run(args: &Args) {
     let rounding = RoundingMode::RoundNearest;
     println!("== Table II: proposed PSD method vs PSD-agnostic (d = {d}, rounding) ==\n");
     let (freq, dwt) = compare(args, d, rounding);
-    let mut t = Table::new(&[
-        "",
-        "PSD method (N_PSD=16)",
-        "PSD method (N_PSD=1024)",
-        "PSD-agnostic",
-    ]);
+    let mut t =
+        Table::new(&["", "PSD method (N_PSD=16)", "PSD method (N_PSD=1024)", "PSD-agnostic"]);
     t.row(&[
         "Freq. Filt.".into(),
         pct(freq.ed_psd_coarse),
         pct(freq.ed_psd_fine),
         pct(freq.ed_agnostic),
     ]);
-    t.row(&[
-        "DWT 9/7".into(),
-        pct(dwt.ed_psd_coarse),
-        pct(dwt.ed_psd_fine),
-        pct(dwt.ed_agnostic),
-    ]);
+    t.row(&["DWT 9/7".into(), pct(dwt.ed_psd_coarse), pct(dwt.ed_psd_fine), pct(dwt.ed_agnostic)]);
     println!("{}", t.render());
     let _ = t.write_csv(&args.out_path("table2.csv"));
     println!(

@@ -52,9 +52,7 @@ impl Args {
             let key = argv[i].as_str();
             let take = |args_i: &mut usize| -> String {
                 *args_i += 1;
-                argv.get(*args_i)
-                    .unwrap_or_else(|| panic!("missing value for {key}"))
-                    .clone()
+                argv.get(*args_i).unwrap_or_else(|| panic!("missing value for {key}")).clone()
             };
             match key {
                 "--samples" => args.samples = take(&mut i).parse().expect("--samples: integer"),

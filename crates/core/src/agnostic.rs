@@ -54,10 +54,8 @@ pub fn evaluate_agnostic(
     for &id in &order {
         let node = sfg.node(id);
         // Sum of incoming noise, assuming uncorrelated inputs.
-        let (mut m, mut v) = node
-            .inputs
-            .iter()
-            .fold((0.0, 0.0), |(m, v), p| (m + mean[p.0], v + var[p.0]));
+        let (mut m, mut v) =
+            node.inputs.iter().fold((0.0, 0.0), |(m, v), p| (m + mean[p.0], v + var[p.0]));
         // Through the block: energy for variance (white-input assumption),
         // DC gain for the mean.
         m *= node.block.dc_gain();
@@ -156,12 +154,9 @@ mod tests {
         let b = g.add_block(Block::Fir(hp), &[a]).unwrap();
         g.mark_output(b);
         // A single source at the input isolates the cascade effect.
-        let src = NoiseSource {
-            node: x,
-            moments: NoiseMoments::new(0.0, 1.0),
-            internal_feedback: None,
-        };
-        let ag = evaluate_agnostic(&g, b, &[src.clone()]).unwrap();
+        let src =
+            NoiseSource { node: x, moments: NoiseMoments::new(0.0, 1.0), internal_feedback: None };
+        let ag = evaluate_agnostic(&g, b, std::slice::from_ref(&src)).unwrap();
         let psd = evaluate_psd_method(&g, b, &[src], 1024).unwrap();
         // Agnostic: energy(LP)*energy(HP) = 0.0625. True (PSD): the band
         // rejected by HP was exactly where LP concentrated the noise, so
@@ -179,11 +174,8 @@ mod tests {
         g.mark_output(a);
         // Gain 2.0 is a power of two -> only the input source exists under a
         // plan; craft sources manually to check arithmetic.
-        let s1 = NoiseSource {
-            node: x,
-            moments: NoiseMoments::new(0.1, 1.0),
-            internal_feedback: None,
-        };
+        let s1 =
+            NoiseSource { node: x, moments: NoiseMoments::new(0.1, 1.0), internal_feedback: None };
         let s2 = NoiseSource {
             node: a,
             moments: NoiseMoments::new(-0.05, 0.5),
@@ -203,10 +195,7 @@ mod tests {
         let d = g.add_block(Block::Delay(1), &[add]).unwrap();
         g.set_inputs(add, &[x, d]).unwrap();
         g.mark_output(add);
-        assert!(matches!(
-            evaluate_agnostic(&g, add, &[]),
-            Err(SfgError::DelayFreeCycle { .. })
-        ));
+        assert!(matches!(evaluate_agnostic(&g, add, &[]), Err(SfgError::DelayFreeCycle { .. })));
     }
 
     #[test]

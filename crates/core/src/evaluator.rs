@@ -186,11 +186,8 @@ impl AccuracyEvaluator {
         sim: &SimulationPlan,
     ) -> Result<Comparison, SfgError> {
         let simulated = self.simulate(plan, sim)?;
-        let estimates = vec![
-            self.estimate_psd(plan),
-            self.estimate_agnostic(plan)?,
-            self.estimate_flat(plan)?,
-        ];
+        let estimates =
+            vec![self.estimate_psd(plan), self.estimate_agnostic(plan)?, self.estimate_flat(plan)?];
         Ok(Comparison { simulated, estimates })
     }
 }
@@ -199,9 +196,9 @@ impl AccuracyEvaluator {
 mod tests {
     use super::*;
     use crate::metrics;
+    use psdacc_dsp::Window;
     use psdacc_filters::{butterworth, design_fir, BandSpec};
     use psdacc_fixed::RoundingMode;
-    use psdacc_dsp::Window;
     use psdacc_sfg::Block;
 
     fn fir_system() -> Sfg {

@@ -129,11 +129,8 @@ mod tests {
         let x = g.add_input();
         let f = g.add_block(Block::Fir(fir.clone()), &[x]).unwrap();
         g.mark_output(f);
-        let src = NoiseSource {
-            node: x,
-            moments: NoiseMoments::new(0.0, 1.0),
-            internal_feedback: None,
-        };
+        let src =
+            NoiseSource { node: x, moments: NoiseMoments::new(0.0, 1.0), internal_feedback: None };
         let est = evaluate_flat(&g, f, &[src], 4096, 1e-18).unwrap();
         assert!((est.variance - fir.energy()).abs() < 1e-12);
         let (_, k, d) = est.path_constants[0];
@@ -188,11 +185,8 @@ mod tests {
         let delay = g.add_block(Block::Delay(1), &[gain]).unwrap();
         g.set_inputs(add, &[x, delay]).unwrap();
         g.mark_output(add);
-        let src = NoiseSource {
-            node: x,
-            moments: NoiseMoments::new(0.0, 1.0),
-            internal_feedback: None,
-        };
+        let src =
+            NoiseSource { node: x, moments: NoiseMoments::new(0.0, 1.0), internal_feedback: None };
         let est = evaluate_flat(&g, add, &[src], 1 << 16, 1e-18).unwrap();
         let expect = 1.0 / (1.0 - 0.81);
         assert!((est.variance - expect).abs() < 1e-4 * expect);
@@ -206,16 +200,10 @@ mod tests {
         let a = g.add_block(Block::Gain(2.0), &[x]).unwrap();
         g.mark_output(a);
         let mu = -0.01;
-        let s1 = NoiseSource {
-            node: x,
-            moments: NoiseMoments::new(mu, 0.0),
-            internal_feedback: None,
-        };
-        let s2 = NoiseSource {
-            node: a,
-            moments: NoiseMoments::new(mu, 0.0),
-            internal_feedback: None,
-        };
+        let s1 =
+            NoiseSource { node: x, moments: NoiseMoments::new(mu, 0.0), internal_feedback: None };
+        let s2 =
+            NoiseSource { node: a, moments: NoiseMoments::new(mu, 0.0), internal_feedback: None };
         let est = evaluate_flat(&g, a, &[s1, s2], 256, 1e-18).unwrap();
         let expect = (mu * 2.0 + mu).powi(2);
         assert!((est.power() - expect).abs() < 1e-15);

@@ -51,9 +51,7 @@ pub fn downsample_psd(psd: &NoisePsd, m: usize) -> NoisePsd {
     let n = psd.npsd();
     let bins = (0..n)
         .map(|k| {
-            (0..m)
-                .map(|i| interp_bin(psd.bins(), (k + i * n) as f64 / m as f64))
-                .sum::<f64>()
+            (0..m).map(|i| interp_bin(psd.bins(), (k + i * n) as f64 / m as f64)).sum::<f64>()
                 / m as f64
         })
         .collect();
@@ -78,9 +76,8 @@ pub fn upsample_psd(psd: &NoisePsd, l: usize) -> NoisePsd {
         return psd.clone();
     }
     let n = psd.npsd();
-    let mut bins: Vec<f64> = (0..n)
-        .map(|k| interp_bin(psd.bins(), ((k * l) % n) as f64) / l as f64)
-        .collect();
+    let mut bins: Vec<f64> =
+        (0..n).map(|k| interp_bin(psd.bins(), ((k * l) % n) as f64) / l as f64).collect();
     let mean = psd.mean() / l as f64;
     // Image lines of the mean train at F = i/l, i = 1..l-1.
     let line_mass = mean * mean;

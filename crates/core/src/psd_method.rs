@@ -56,10 +56,7 @@ pub fn evaluate_psd_method(
 
 /// Evaluation stage only (`tau_eval`), reusing cached preprocessing. This is
 /// what gets re-run for every word-length configuration during refinement.
-pub fn evaluate_with_responses(
-    responses: &NodeResponses,
-    sources: &[NoiseSource],
-) -> PsdEstimate {
+pub fn evaluate_with_responses(responses: &NodeResponses, sources: &[NoiseSource]) -> PsdEstimate {
     let npsd = responses.npsd();
     let mut total = NoisePsd::zero(npsd);
     let mut per_source = Vec::with_capacity(sources.len());
@@ -69,8 +66,7 @@ pub fn evaluate_with_responses(
             None => source_contribution(src, g, npsd),
             Some(_) => {
                 let shape = src.shaping(npsd);
-                let combined: Vec<Complex> =
-                    g.iter().zip(&shape).map(|(a, b)| *a * *b).collect();
+                let combined: Vec<Complex> = g.iter().zip(&shape).map(|(a, b)| *a * *b).collect();
                 source_contribution(src, &combined, npsd)
             }
         };
@@ -109,12 +105,7 @@ mod tests {
         let q2_12 = NoiseMoments::continuous(RoundingMode::RoundNearest, d).variance;
         // Analytic: sigma^2 * energy(h) + sigma^2 = sigma^2 (0.5 + 1).
         let expect = q2_12 * (fir.energy() + 1.0);
-        assert!(
-            (est.power() - expect).abs() < 1e-3 * expect,
-            "{} vs {}",
-            est.power(),
-            expect
-        );
+        assert!((est.power() - expect).abs() < 1e-3 * expect, "{} vs {}", est.power(), expect);
     }
 
     /// Truncation means ride the DC gains: check against hand computation.
@@ -152,12 +143,7 @@ mod tests {
         // energy of 1/(1-0.9 z^-1) = 1/(1-0.81).
         let expect = sigma2 / (1.0 - 0.81);
         // N_PSD sampling slightly misestimates the pole peak; a few percent.
-        assert!(
-            (est.power() - expect).abs() < 0.02 * expect,
-            "{} vs {}",
-            est.power(),
-            expect
-        );
+        assert!((est.power() - expect).abs() < 0.02 * expect, "{} vs {}", est.power(), expect);
     }
 
     /// Reconvergent same-source paths: PSD method captures the interference
@@ -172,11 +158,8 @@ mod tests {
         let d1 = g.add_block(Block::Delay(1), &[x]).unwrap();
         let add = g.add_block(Block::Add, &[x, d1]).unwrap();
         g.mark_output(add);
-        let src = NoiseSource {
-            node: x,
-            moments: NoiseMoments::new(0.0, 1.0),
-            internal_feedback: None,
-        };
+        let src =
+            NoiseSource { node: x, moments: NoiseMoments::new(0.0, 1.0), internal_feedback: None };
         let est = evaluate_psd_method(&g, add, &[src], 64).unwrap();
         // Total variance: integral of |1+e^-jw|^2 = 2 (same as power sum
         // here), but the *spectrum* differs: DC bin holds 4/64, Nyquist 0.

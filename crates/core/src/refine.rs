@@ -35,9 +35,8 @@ pub fn minimum_uniform_wordlength(
     max_bits: i32,
 ) -> Option<i32> {
     assert!(min_bits <= max_bits, "empty search range");
-    let meets = |d: i32| {
-        evaluator.estimate_psd(&WordLengthPlan::uniform(d, rounding)).power <= budget
-    };
+    let meets =
+        |d: i32| evaluator.estimate_psd(&WordLengthPlan::uniform(d, rounding)).power <= budget;
     if !meets(max_bits) {
         return None;
     }
@@ -82,8 +81,7 @@ pub fn greedy_refinement(
 ) -> RefinementResult {
     let sfg = evaluator.sfg().clone();
     let quantized = WordLengthPlan::uniform(start_bits, rounding).quantized_nodes(&sfg);
-    let mut bits: HashMap<NodeId, i32> =
-        quantized.iter().map(|&n| (n, start_bits)).collect();
+    let mut bits: HashMap<NodeId, i32> = quantized.iter().map(|&n| (n, start_bits)).collect();
     let mut evaluations = 0usize;
     let build = |bits: &HashMap<NodeId, i32>| {
         let mut plan = WordLengthPlan::uniform(start_bits, rounding);

@@ -68,9 +68,10 @@ impl Comparison {
 
     /// Speed-up of a method's evaluation stage relative to simulation.
     pub fn speedup_of(&self, method: Method) -> Option<f64> {
-        self.estimates.iter().find(|e| e.method == method).map(|e| {
-            self.simulated.elapsed.as_secs_f64() / e.elapsed.as_secs_f64().max(1e-12)
-        })
+        self.estimates
+            .iter()
+            .find(|e| e.method == method)
+            .map(|e| self.simulated.elapsed.as_secs_f64() / e.elapsed.as_secs_f64().max(1e-12))
     }
 }
 

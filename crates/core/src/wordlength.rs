@@ -121,8 +121,7 @@ impl WordLengthPlan {
         self.quantized_nodes(sfg)
             .into_iter()
             .map(|id| {
-                let moments =
-                    NoiseMoments::continuous(self.rounding, self.frac_bits_of(id));
+                let moments = NoiseMoments::continuous(self.rounding, self.frac_bits_of(id));
                 let internal_feedback = match &sfg.node(id).block {
                     Block::Iir(iir) => Some(iir.a().to_vec()),
                     _ => None,

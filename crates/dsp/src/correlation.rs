@@ -42,12 +42,7 @@ pub fn autocorrelation(x: &[f64], max_lag: usize, norm: Normalization) -> Vec<f6
 /// # Panics
 ///
 /// Panics if `max_lag >= min(x.len(), y.len())` or the lengths differ.
-pub fn cross_correlation(
-    x: &[f64],
-    y: &[f64],
-    max_lag: usize,
-    norm: Normalization,
-) -> Vec<f64> {
+pub fn cross_correlation(x: &[f64], y: &[f64], max_lag: usize, norm: Normalization) -> Vec<f64> {
     assert_eq!(x.len(), y.len(), "cross-correlation needs equal lengths");
     assert!(max_lag < x.len(), "max_lag must be < signal length");
     let n = x.len();
@@ -145,9 +140,7 @@ mod tests {
         let shift = 3usize;
         // y(n) = x(n - shift)  =>  E[x(n) y(n+k)] peaks at k = +shift.
         let mut y = vec![0.0; n];
-        for i in shift..n {
-            y[i] = x[i - shift];
-        }
+        y[shift..n].copy_from_slice(&x[..n - shift]);
         let max_lag = 8;
         let r = cross_correlation(&x, &y, max_lag, Normalization::Biased);
         let peak = r

@@ -34,8 +34,7 @@ pub fn periodogram_windowed(x: &[f64], window: Window) -> Vec<f64> {
     let n = x.len();
     let w = window.coefficients(n);
     let sum_w2: f64 = w.iter().map(|v| v * v).sum();
-    let buf: Vec<Complex> =
-        x.iter().zip(&w).map(|(&v, &wv)| Complex::from_re(v * wv)).collect();
+    let buf: Vec<Complex> = x.iter().zip(&w).map(|(&v, &wv)| Complex::from_re(v * wv)).collect();
     let spec = FftPlanner::new().fft(&buf);
     spec.iter().map(|v| v.norm_sqr() / (n as f64 * sum_w2)).collect()
 }
@@ -71,9 +70,7 @@ pub fn welch(x: &[f64], nfft: usize, overlap: f64, window: Window) -> Vec<f64> {
     let mut segments = 0usize;
     let mut start = 0usize;
     while start + nfft <= x.len() {
-        let buf: Vec<Complex> = (0..nfft)
-            .map(|i| Complex::from_re(x[start + i] * w[i]))
-            .collect();
+        let buf: Vec<Complex> = (0..nfft).map(|i| Complex::from_re(x[start + i] * w[i])).collect();
         let spec = planner.fft(&buf);
         for (a, s) in acc.iter_mut().zip(&spec) {
             *a += s.norm_sqr();
@@ -118,10 +115,8 @@ pub fn welch_cross(
     let mut segments = 0usize;
     let mut start = 0usize;
     while start + nfft <= x.len() {
-        let bx: Vec<Complex> =
-            (0..nfft).map(|i| Complex::from_re(x[start + i] * w[i])).collect();
-        let by: Vec<Complex> =
-            (0..nfft).map(|i| Complex::from_re(y[start + i] * w[i])).collect();
+        let bx: Vec<Complex> = (0..nfft).map(|i| Complex::from_re(x[start + i] * w[i])).collect();
+        let by: Vec<Complex> = (0..nfft).map(|i| Complex::from_re(y[start + i] * w[i])).collect();
         let sx = planner.fft(&bx);
         let sy = planner.fft(&by);
         for k in 0..nfft {
@@ -169,8 +164,7 @@ mod tests {
     fn tone_shows_at_its_bin() {
         let n = 256;
         let f = 16.0 / n as f64;
-        let x: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * f * i as f64).sin()).collect();
+        let x: Vec<f64> = (0..n).map(|i| (std::f64::consts::TAU * f * i as f64).sin()).collect();
         let s = periodogram(&x);
         // sin amplitude 1 -> power 0.5 split between bins 16 and 240.
         assert!((s[16] - 0.25).abs() < 1e-10);
@@ -212,10 +206,7 @@ mod tests {
         let sxy = welch_cross(&x, &y, nfft, 0.5, Window::Hann);
         for k in 0..nfft {
             let combined = sxx[k] + syy[k] + 2.0 * sxy[k].re;
-            assert!(
-                (szz[k] - combined).abs() < 1e-12 + 1e-9 * szz[k].abs(),
-                "bin {k}"
-            );
+            assert!((szz[k] - combined).abs() < 1e-12 + 1e-9 * szz[k].abs(), "bin {k}");
         }
     }
 
@@ -247,8 +238,7 @@ mod tests {
         let y = white(1 << 15, 10);
         let sxy = welch_cross(&x, &y, 64, 0.5, Window::Hann);
         let sxx = welch(&x, 64, 0.5, Window::Hann);
-        let mean_cross: f64 =
-            sxy.iter().map(|v| v.norm()).sum::<f64>() / 64.0;
+        let mean_cross: f64 = sxy.iter().map(|v| v.norm()).sum::<f64>() / 64.0;
         let mean_auto: f64 = sxx.iter().sum::<f64>() / 64.0;
         assert!(mean_cross < 0.1 * mean_auto, "{mean_cross} vs {mean_auto}");
     }

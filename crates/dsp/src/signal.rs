@@ -53,9 +53,7 @@ impl SignalGenerator {
     /// A sinusoid `amplitude * sin(2 pi f n + phase)` at normalized frequency
     /// `f` (cycles/sample).
     pub fn sine(&mut self, n: usize, f: f64, amplitude: f64, phase: f64) -> Vec<f64> {
-        (0..n)
-            .map(|i| amplitude * (std::f64::consts::TAU * f * i as f64 + phase).sin())
-            .collect()
+        (0..n).map(|i| amplitude * (std::f64::consts::TAU * f * i as f64 + phase).sin()).collect()
     }
 
     /// Sum of sinusoids with random phases — a benign multi-tone test signal.
@@ -165,8 +163,8 @@ mod tests {
         assert!((v - 1.0).abs() < 0.15, "variance {v}");
         // Lag-1 correlation should be close to rho.
         let m = mean(&x);
-        let c1: f64 = x.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum::<f64>()
-            / (x.len() - 1) as f64;
+        let c1: f64 =
+            x.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum::<f64>() / (x.len() - 1) as f64;
         assert!((c1 / v - 0.9).abs() < 0.05);
     }
 

@@ -1,0 +1,418 @@
+//! Batch specifications: declare workloads as data.
+//!
+//! A spec is a line-oriented text document (CLI `--spec` files and inline
+//! strings):
+//!
+//! ```text
+//! # Scenario declarations accumulate; job lines expand over all of them.
+//! scenario fir-bank index=0
+//! scenario iir-cascade stages=2 order=4 cutoff=0.2
+//! scenario dwt-pipeline levels=2
+//!
+//! # scenarios x bits x methods estimate jobs:
+//! batch npsd=256 bits=8..14 methods=psd,agnostic,flat rounding=truncate
+//!
+//! # one refinement job per scenario:
+//! refine npsd=256 budget=1e-8 start=16 min=4 rounding=nearest
+//! min-uniform npsd=256 budget=1e-8 min=2 max=24 rounding=nearest
+//!
+//! # optional worker override (CLI --threads wins):
+//! threads 8
+//! ```
+//!
+//! `bits` accepts a single value (`12`), an inclusive range (`8..14`), or a
+//! comma list (`8,10,12`). `methods` is a comma list over
+//! `psd`/`agnostic`/`flat`.
+
+use std::collections::BTreeMap;
+
+use psdacc_core::Method;
+use psdacc_fixed::RoundingMode;
+
+use crate::error::EngineError;
+use crate::job::{JobKind, JobSpec};
+use crate::scenario::Scenario;
+
+/// A parsed batch: scenarios plus the expanded job list.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSpec {
+    /// Scenarios declared so far (jobs reference them by expansion).
+    pub scenarios: Vec<Scenario>,
+    /// Fully expanded jobs, in declaration order.
+    pub jobs: Vec<JobSpec>,
+    /// Worker-thread count requested by the spec, if any.
+    pub threads: Option<usize>,
+}
+
+impl BatchSpec {
+    /// Parses a spec document.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] / [`EngineError::Scenario`] with the offending
+    /// line number.
+    pub fn parse(text: &str) -> Result<Self, EngineError> {
+        let mut spec = BatchSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            spec.parse_line(line).map_err(|e| {
+                // Unwrap the inner message so the line-number wrapper does
+                // not stutter ("batch spec error: ... batch spec error:").
+                let msg = match &e {
+                    EngineError::Spec(m) | EngineError::Scenario(m) => m.clone(),
+                    other => other.to_string(),
+                };
+                EngineError::Spec(format!("line {}: {msg}", lineno + 1))
+            })?;
+        }
+        if spec.jobs.is_empty() {
+            return Err(EngineError::Spec(
+                "spec declares no jobs (add a `batch`, `refine`, or `min-uniform` line)"
+                    .to_string(),
+            ));
+        }
+        Ok(spec)
+    }
+
+    fn parse_line(&mut self, line: &str) -> Result<(), EngineError> {
+        let mut tokens = line.split_whitespace();
+        let verb = tokens.next().expect("non-empty line");
+        let rest: Vec<&str> = tokens.collect();
+        match verb {
+            "scenario" => {
+                let name = rest
+                    .first()
+                    .ok_or_else(|| EngineError::Spec("scenario line needs a name".to_string()))?;
+                let params = key_values(&rest[1..])?;
+                self.scenarios.push(Scenario::parse(name, &params)?);
+                Ok(())
+            }
+            "batch" => {
+                let params = key_values(&rest)?;
+                self.expand_batch(&params)
+            }
+            "refine" => {
+                let params = key_values(&rest)?;
+                self.expand_refine(&params)
+            }
+            "min-uniform" => {
+                let params = key_values(&rest)?;
+                self.expand_min_uniform(&params)
+            }
+            "threads" => {
+                let n = rest
+                    .first()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        EngineError::Spec("threads needs a positive integer".to_string())
+                    })?;
+                self.threads = Some(n);
+                Ok(())
+            }
+            other => Err(EngineError::Spec(format!(
+                "unknown directive `{other}`; known: scenario, batch, refine, min-uniform, threads"
+            ))),
+        }
+    }
+
+    fn require_scenarios(&self) -> Result<(), EngineError> {
+        if self.scenarios.is_empty() {
+            return Err(EngineError::Spec(
+                "job line before any `scenario` declaration".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn expand_batch(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
+        self.require_scenarios()?;
+        known_keys(params, &["npsd", "bits", "methods", "rounding"])?;
+        let npsd = parse_npsd(params)?;
+        let rounding = parse_rounding(params)?;
+        let bits = parse_bits_list(params.get("bits").map(String::as_str).unwrap_or("12"))?;
+        let methods = parse_methods(params.get("methods").map(String::as_str).unwrap_or("psd"))?;
+        for scenario in &self.scenarios {
+            for &frac_bits in &bits {
+                for &method in &methods {
+                    self.jobs.push(JobSpec {
+                        scenario: scenario.clone(),
+                        npsd,
+                        rounding,
+                        kind: JobKind::Estimate { method, frac_bits },
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn expand_refine(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
+        self.require_scenarios()?;
+        known_keys(params, &["npsd", "budget", "start", "min", "rounding"])?;
+        let npsd = parse_npsd(params)?;
+        let rounding = parse_rounding(params)?;
+        let budget = parse_f64(params, "budget")?;
+        let start_bits = parse_i32(params, "start", 16)?;
+        let min_bits = parse_i32(params, "min", 2)?;
+        for scenario in &self.scenarios {
+            self.jobs.push(JobSpec {
+                scenario: scenario.clone(),
+                npsd,
+                rounding,
+                kind: JobKind::GreedyRefine { budget, start_bits, min_bits },
+            });
+        }
+        Ok(())
+    }
+
+    fn expand_min_uniform(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
+        self.require_scenarios()?;
+        known_keys(params, &["npsd", "budget", "min", "max", "rounding"])?;
+        let npsd = parse_npsd(params)?;
+        let rounding = parse_rounding(params)?;
+        let budget = parse_f64(params, "budget")?;
+        let min_bits = parse_i32(params, "min", 2)?;
+        let max_bits = parse_i32(params, "max", 32)?;
+        if min_bits > max_bits {
+            return Err(EngineError::Spec("min-uniform: min > max".to_string()));
+        }
+        for scenario in &self.scenarios {
+            self.jobs.push(JobSpec {
+                scenario: scenario.clone(),
+                npsd,
+                rounding,
+                kind: JobKind::MinUniform { budget, min_bits, max_bits },
+            });
+        }
+        Ok(())
+    }
+}
+
+fn key_values(tokens: &[&str]) -> Result<BTreeMap<String, String>, EngineError> {
+    let mut map = BTreeMap::new();
+    for token in tokens {
+        let (k, v) = token
+            .split_once('=')
+            .ok_or_else(|| EngineError::Spec(format!("expected key=value, got `{token}`")))?;
+        if map.insert(k.to_string(), v.to_string()).is_some() {
+            return Err(EngineError::Spec(format!("duplicate key `{k}`")));
+        }
+    }
+    Ok(map)
+}
+
+fn known_keys(params: &BTreeMap<String, String>, allowed: &[&str]) -> Result<(), EngineError> {
+    for key in params.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(EngineError::Spec(format!(
+                "unknown key `{key}` (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn parse_npsd(params: &BTreeMap<String, String>) -> Result<usize, EngineError> {
+    match params.get("npsd") {
+        None => Ok(256),
+        Some(v) => {
+            v.parse::<usize>().ok().filter(|&n| n >= 2).ok_or_else(|| {
+                EngineError::Spec(format!("npsd must be an integer >= 2, got `{v}`"))
+            })
+        }
+    }
+}
+
+fn parse_rounding(params: &BTreeMap<String, String>) -> Result<RoundingMode, EngineError> {
+    match params.get("rounding").map(String::as_str) {
+        None | Some("truncate") => Ok(RoundingMode::Truncate),
+        Some("nearest") => Ok(RoundingMode::RoundNearest),
+        Some(other) => Err(EngineError::Spec(format!(
+            "rounding must be `truncate` or `nearest`, got `{other}`"
+        ))),
+    }
+}
+
+fn parse_f64(params: &BTreeMap<String, String>, key: &str) -> Result<f64, EngineError> {
+    let v = params
+        .get(key)
+        .ok_or_else(|| EngineError::Spec(format!("missing required key `{key}`")))?;
+    v.parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .ok_or_else(|| EngineError::Spec(format!("`{key}` must be a positive number, got `{v}`")))
+}
+
+fn parse_i32(
+    params: &BTreeMap<String, String>,
+    key: &str,
+    default: i32,
+) -> Result<i32, EngineError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<i32>()
+            .map_err(|_| EngineError::Spec(format!("`{key}` must be an integer, got `{v}`"))),
+    }
+}
+
+/// Word-lengths a spec may ask for. Negative values are legal (coarser-
+/// than-integer grids are meaningful in the PQN model and exercised by the
+/// quantizer tests); the bound exists to turn obvious typos into parse
+/// errors instead of inf/zero-noise "successes".
+const BITS_RANGE: std::ops::RangeInclusive<i32> = -16..=64;
+
+/// `12`, `8..14` (inclusive), or `8,10,12`.
+fn parse_bits_list(text: &str) -> Result<Vec<i32>, EngineError> {
+    let bounded = |d: i32| -> Result<i32, EngineError> {
+        if BITS_RANGE.contains(&d) {
+            Ok(d)
+        } else {
+            Err(EngineError::Spec(format!(
+                "bits value {d} outside the supported {}..={} range",
+                BITS_RANGE.start(),
+                BITS_RANGE.end()
+            )))
+        }
+    };
+    if let Some((lo, hi)) = text.split_once("..") {
+        let lo: i32 =
+            lo.parse().map_err(|_| EngineError::Spec(format!("bad bits range start `{lo}`")))?;
+        let hi: i32 =
+            hi.parse().map_err(|_| EngineError::Spec(format!("bad bits range end `{hi}`")))?;
+        if lo > hi {
+            return Err(EngineError::Spec(format!("empty bits range `{text}`")));
+        }
+        bounded(lo)?;
+        bounded(hi)?;
+        return Ok((lo..=hi).collect());
+    }
+    text.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<i32>()
+                .map_err(|_| EngineError::Spec(format!("bad bits value `{tok}`")))
+                .and_then(bounded)
+        })
+        .collect()
+}
+
+fn parse_methods(text: &str) -> Result<Vec<Method>, EngineError> {
+    text.split(',')
+        .map(|tok| match tok.trim() {
+            "psd" => Ok(Method::PsdMethod),
+            "agnostic" => Ok(Method::PsdAgnostic),
+            "flat" => Ok(Method::Flat),
+            other => Err(EngineError::Spec(format!(
+                "unknown method `{other}` (known: psd, agnostic, flat)"
+            ))),
+        })
+        .collect()
+}
+
+/// The built-in demonstration batch: `>= 3` distinct scenario families, a
+/// word-length sweep, all three analytical methods — sized to produce at
+/// least `min_jobs` jobs (by widening the bit sweep).
+pub fn demo_spec(min_jobs: usize) -> BatchSpec {
+    let mut text = String::from(
+        "scenario fir-bank index=3\n\
+         scenario iir-bank index=10\n\
+         scenario fir-cascade stages=2 taps=21 cutoff=0.2\n\
+         scenario iir-cascade stages=2 order=4 cutoff=0.15\n\
+         scenario freq-filter\n\
+         scenario dwt-pipeline levels=2\n\
+         scenario random-sfg nodes=16 seed=42\n",
+    );
+    // 7 scenarios x 3 methods x B bit settings >= min_jobs, with the sweep
+    // capped at the supported bits ceiling (a demo cannot exceed 7 x 3 x 58
+    // = 1218 jobs; larger requests get the maximal sweep, not a panic).
+    let sweeps = min_jobs.div_ceil(7 * 3).max(2);
+    let hi = (7 + sweeps as i32 - 1).min(*BITS_RANGE.end());
+    text.push_str(&format!("batch npsd=256 bits=7..{hi} methods=psd,agnostic,flat\n"));
+    BatchSpec::parse(&text).expect("demo spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_spec_parses_and_expands() {
+        let spec = BatchSpec::parse(
+            "# demo\n\
+             scenario fir-bank index=0\n\
+             scenario iir-cascade stages=2 order=4 cutoff=0.2\n\
+             batch npsd=128 bits=8..10 methods=psd,flat rounding=nearest\n\
+             refine npsd=128 budget=1e-6 start=14 min=4\n\
+             min-uniform npsd=128 budget=1e-6 min=2 max=20\n\
+             threads 6\n",
+        )
+        .unwrap();
+        assert_eq!(spec.scenarios.len(), 2);
+        // 2 scenarios x 3 bits x 2 methods + 2 refine + 2 min-uniform.
+        assert_eq!(spec.jobs.len(), 2 * 3 * 2 + 2 + 2);
+        assert_eq!(spec.threads, Some(6));
+        assert!(matches!(spec.jobs[0].kind, JobKind::Estimate { .. }));
+        assert!(matches!(spec.jobs.last().unwrap().kind, JobKind::MinUniform { .. }));
+    }
+
+    #[test]
+    fn bits_syntaxes() {
+        assert_eq!(parse_bits_list("12").unwrap(), vec![12]);
+        assert_eq!(parse_bits_list("8..11").unwrap(), vec![8, 9, 10, 11]);
+        assert_eq!(parse_bits_list("8,12,16").unwrap(), vec![8, 12, 16]);
+        assert!(parse_bits_list("14..8").is_err());
+        assert!(parse_bits_list("x").is_err());
+    }
+
+    #[test]
+    fn absurd_bits_are_parse_errors_not_inf_results() {
+        assert!(parse_bits_list("-2000").is_err());
+        assert!(parse_bits_list("0..4000").is_err());
+        assert!(parse_bits_list("8,9,1000").is_err());
+        // The documented extremes stay legal.
+        assert!(parse_bits_list("-16..64").is_ok());
+        let err =
+            BatchSpec::parse("scenario freq-filter\nbatch bits=-2000\n").unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = BatchSpec::parse("scenario fir-bank index=0\nbogus directive\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn job_before_scenario_rejected() {
+        assert!(BatchSpec::parse("batch bits=12\n").is_err());
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        assert!(BatchSpec::parse("# nothing\n").is_err());
+        assert!(BatchSpec::parse("scenario freq-filter\n").is_err(), "no jobs");
+    }
+
+    #[test]
+    fn demo_spec_meets_acceptance_shape() {
+        let spec = demo_spec(100);
+        assert!(spec.jobs.len() >= 100, "{} jobs", spec.jobs.len());
+        let distinct: std::collections::HashSet<String> =
+            spec.scenarios.iter().map(Scenario::key).collect();
+        assert!(distinct.len() >= 3);
+    }
+
+    #[test]
+    fn demo_spec_caps_oversized_requests_instead_of_panicking() {
+        for n in [1219, 100_000] {
+            let spec = demo_spec(n);
+            assert_eq!(spec.jobs.len(), 7 * 3 * 58, "maximal sweep for request {n}");
+        }
+    }
+}

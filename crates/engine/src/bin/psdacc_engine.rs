@@ -1,0 +1,178 @@
+//! `psdacc-engine` — the batch-evaluation CLI.
+//!
+//! ```text
+//! psdacc-engine run --spec batch.txt [--threads N]   # run a spec file
+//! psdacc-engine demo [--jobs N] [--threads N]        # built-in demo batch
+//! psdacc-engine scenarios                            # list the registry
+//! ```
+//!
+//! Results stream to stdout as JSON lines (one object per job, in job
+//! order); the run summary goes to stderr so pipelines stay clean.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use psdacc_engine::{demo_spec, BatchSpec, Engine, REGISTRY};
+
+const USAGE: &str = "usage:
+  psdacc-engine run --spec FILE [--threads N]
+  psdacc-engine demo [--jobs N] [--threads N]
+  psdacc-engine scenarios
+
+Batch spec format (line-oriented; `#` comments):
+  scenario <name> [key=value ...]     declare a system (repeatable)
+  batch [npsd=256] [bits=12|8..14|8,10] [methods=psd,agnostic,flat] [rounding=truncate|nearest]
+  refine budget=<power> [npsd=..] [start=16] [min=2] [rounding=..]
+  min-uniform budget=<power> [npsd=..] [min=2] [max=32] [rounding=..]
+  threads <N>                         default worker count for the spec
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("scenarios") => {
+            println!("{:<14} {:<34} description", "name", "parameters");
+            for entry in REGISTRY {
+                println!("{:<14} {:<34} {}", entry.name, entry.params, entry.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag value` pairs, rejecting anything not in `allowed` so a
+/// misspelled flag errors instead of silently running with defaults.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<std::collections::BTreeMap<String, String>, String> {
+    let mut flags = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if !allowed.contains(&flag) {
+            return Err(format!("unknown argument `{flag}` (allowed: {})", allowed.join(", ")));
+        }
+        let value = args.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
+        flags.insert(flag.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse_positive(
+    flags: &std::collections::BTreeMap<String, String>,
+    flag: &str,
+) -> Result<Option<usize>, String> {
+    match flags.get(flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .map(Some)
+            .ok_or_else(|| format!("{flag} must be a positive integer, got `{v}`")),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, &["--spec", "--threads"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(spec_path) = flags.get("--spec") else {
+        eprintln!("run needs --spec FILE\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match BatchSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = match parse_positive(&flags, "--threads") {
+        Ok(t) => t.or(spec.threads).unwrap_or_else(default_threads),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    execute(spec, threads)
+}
+
+fn cmd_demo(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, &["--jobs", "--threads"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (jobs, threads) =
+        match (parse_positive(&flags, "--jobs"), parse_positive(&flags, "--threads")) {
+            (Ok(j), Ok(t)) => (j.unwrap_or(120), t.unwrap_or_else(|| default_threads().max(4))),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    execute(demo_spec(jobs), threads)
+}
+
+fn execute(spec: BatchSpec, threads: usize) -> ExitCode {
+    let engine = Engine::new(threads);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    // Jobs complete out of order; a reorder buffer keeps stdout in job
+    // order while still streaming each line as soon as its turn is ready.
+    let mut pending: std::collections::BTreeMap<usize, String> = std::collections::BTreeMap::new();
+    let mut next_to_print = 0usize;
+    let mut pipe_closed = false;
+    let report = engine.run_streaming(spec.jobs, |result| {
+        if pipe_closed {
+            return;
+        }
+        pending.insert(result.job, result.to_json_line());
+        while let Some(line) = pending.remove(&next_to_print) {
+            if writeln!(out, "{line}").is_err() {
+                // Broken pipe (e.g. `| head`): stop printing, let the
+                // in-flight batch finish.
+                pipe_closed = true;
+                pending.clear();
+                return;
+            }
+            next_to_print += 1;
+        }
+    });
+    eprintln!("{}", report.summary());
+    if report.failures().count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,141 @@
+//! The shared preprocessing cache.
+//!
+//! `AccuracyEvaluator::new` pays the paper's `tau_pp`: solving the graph on
+//! every PSD bin. In a batch sweeping thousands of word-length plans over a
+//! registry of scenarios, that cost must be paid **once per distinct
+//! `(scenario, npsd)` pair**, no matter how many worker threads race for the
+//! same system. This cache guarantees exactly that: the slot for each key is
+//! a `OnceLock`, so concurrent requesters block on the single builder
+//! instead of duplicating the solve.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use psdacc_core::AccuracyEvaluator;
+
+use crate::error::EngineError;
+use crate::scenario::Scenario;
+
+type Slot = Arc<OnceLock<Result<Arc<AccuracyEvaluator>, EngineError>>>;
+
+/// Concurrency-safe, build-once evaluator cache keyed by
+/// `(scenario key, npsd)`.
+#[derive(Debug, Default)]
+pub struct EvaluatorCache {
+    slots: Mutex<HashMap<(String, usize), Slot>>,
+    builds: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+/// Counters describing cache effectiveness over a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of preprocessing passes actually executed.
+    pub builds: usize,
+    /// Number of lookups served from an already-initialized slot.
+    pub hits: usize,
+    /// Number of distinct keys seen.
+    pub entries: usize,
+}
+
+impl EvaluatorCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the evaluator for `(scenario, npsd)`, building (and counting)
+    /// the preprocessing exactly once per key across all threads.
+    ///
+    /// # Errors
+    ///
+    /// Scenario build and preprocessing errors; failures are cached too, so
+    /// a failing key costs one attempt, not one per job.
+    pub fn get_or_build(
+        &self,
+        scenario: &Scenario,
+        npsd: usize,
+    ) -> Result<Arc<AccuracyEvaluator>, EngineError> {
+        self.get_or_build_traced(scenario, npsd).map(|(evaluator, _)| evaluator)
+    }
+
+    /// Like [`EvaluatorCache::get_or_build`], also reporting whether this
+    /// particular lookup was served from an already-initialized slot
+    /// (`true` = cache hit, no waiting on a builder).
+    ///
+    /// # Errors
+    ///
+    /// See [`EvaluatorCache::get_or_build`].
+    pub fn get_or_build_traced(
+        &self,
+        scenario: &Scenario,
+        npsd: usize,
+    ) -> Result<(Arc<AccuracyEvaluator>, bool), EngineError> {
+        let key = (scenario.key(), npsd);
+        let slot: Slot = {
+            let mut slots = self.slots.lock().expect("cache lock poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let hit = slot.get().is_some();
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let result = slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            let sfg = scenario.build()?;
+            Ok(Arc::new(AccuracyEvaluator::new(&sfg, npsd)?))
+        });
+        result.clone().map(|evaluator| (evaluator, hit))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            entries: self.slots.lock().expect("cache lock poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = EvaluatorCache::new();
+        let s = Scenario::FirCascade { stages: 1, taps: 15, cutoff: 0.2 };
+        let a = cache.get_or_build(&s, 128).unwrap();
+        let b = cache.get_or_build(&s, 128).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same evaluator instance shared");
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn npsd_is_part_of_the_key() {
+        let cache = EvaluatorCache::new();
+        let s = Scenario::FirCascade { stages: 1, taps: 15, cutoff: 0.2 };
+        let a = cache.get_or_build(&s, 128).unwrap();
+        let b = cache.get_or_build(&s, 256).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.npsd(), 128);
+        assert_eq!(b.npsd(), 256);
+        assert_eq!(cache.stats().builds, 2);
+    }
+
+    #[test]
+    fn failures_are_cached() {
+        let cache = EvaluatorCache::new();
+        let bad = Scenario::FirBank { index: 9999 };
+        assert!(cache.get_or_build(&bad, 64).is_err());
+        assert!(cache.get_or_build(&bad, 64).is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1, "failed build not retried");
+        assert_eq!(stats.hits, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! The engine: jobs in, ordered results out, cache and pool accounted.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cache::{CacheStats, EvaluatorCache};
+use crate::job::{run_job, JobResult, JobSpec};
+use crate::pool::{execute_observed, PoolStats};
+
+/// Parallel batch-evaluation engine with a shared preprocessing cache.
+///
+/// The cache lives as long as the engine, so successive batches keep
+/// amortizing preprocessing — a long-running service evaluates its first
+/// batch slowly and everything after at `tau_eval` cost.
+#[derive(Debug)]
+pub struct Engine {
+    cache: Arc<EvaluatorCache>,
+    threads: usize,
+}
+
+/// Everything a batch run produced.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job results, in job order.
+    pub results: Vec<JobResult>,
+    /// Cache counters after the batch.
+    pub cache: CacheStats,
+    /// Pool counters for the batch.
+    pub pool: PoolStats,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+}
+
+impl BatchReport {
+    /// Jobs that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &JobResult> {
+        self.results.iter().filter(|r| r.error.is_some())
+    }
+
+    /// Human summary line (the CLI prints this to stderr).
+    pub fn summary(&self) -> String {
+        let failed = self.failures().count();
+        format!(
+            "{} jobs on {} workers in {:.3}s ({} steals) | cache: {} keys, {} builds, {} hits | {} failed",
+            self.pool.jobs,
+            self.pool.workers,
+            self.wall_seconds,
+            self.pool.steals,
+            self.cache.entries,
+            self.cache.builds,
+            self.cache.hits,
+            failed
+        )
+    }
+}
+
+impl Engine {
+    /// Engine with `threads` workers and a fresh cache.
+    pub fn new(threads: usize) -> Self {
+        Engine { cache: Arc::new(EvaluatorCache::new()), threads: threads.max(1) }
+    }
+
+    /// Engine sharing an existing cache (e.g. across batches or with
+    /// sequential callers that want the same amortization).
+    pub fn with_cache(threads: usize, cache: Arc<EvaluatorCache>) -> Self {
+        Engine { cache, threads: threads.max(1) }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared preprocessing cache.
+    pub fn cache(&self) -> &Arc<EvaluatorCache> {
+        &self.cache
+    }
+
+    /// Runs a batch to completion and reports results in job order.
+    pub fn run(&self, jobs: Vec<JobSpec>) -> BatchReport {
+        self.run_streaming(jobs, |_result| {})
+    }
+
+    /// Like [`Engine::run`], invoking `on_result` on the calling thread as
+    /// each job completes (completion order — [`JobResult::job`] carries the
+    /// batch index), so callers can stream output while the batch is still
+    /// executing.
+    pub fn run_streaming(
+        &self,
+        jobs: Vec<JobSpec>,
+        mut on_result: impl FnMut(&JobResult),
+    ) -> BatchReport {
+        let t0 = Instant::now();
+        let cache = &self.cache;
+        let indexed: Vec<(usize, JobSpec)> = jobs.into_iter().enumerate().collect();
+        let (results, pool) = execute_observed(
+            indexed,
+            self.threads,
+            |(idx, spec)| run_job(cache, idx, &spec),
+            |_idx, result| on_result(result),
+        );
+        BatchReport {
+            results,
+            cache: cache.stats(),
+            pool,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use crate::scenario::Scenario;
+    use psdacc_core::Method;
+    use psdacc_fixed::RoundingMode;
+
+    #[test]
+    fn batch_over_one_scenario_builds_once() {
+        let engine = Engine::new(4);
+        let scenario = Scenario::FirCascade { stages: 1, taps: 15, cutoff: 0.25 };
+        let jobs: Vec<JobSpec> = (6..18)
+            .map(|bits| JobSpec {
+                scenario: scenario.clone(),
+                npsd: 128,
+                rounding: RoundingMode::Truncate,
+                kind: JobKind::Estimate { method: Method::PsdMethod, frac_bits: bits },
+            })
+            .collect();
+        let report = engine.run(jobs);
+        assert_eq!(report.results.len(), 12);
+        assert_eq!(report.cache.builds, 1, "preprocessing amortized");
+        assert_eq!(report.failures().count(), 0);
+        // Monotone: more bits, less noise.
+        let powers: Vec<f64> = report.results.iter().map(|r| r.power.unwrap()).collect();
+        assert!(powers.windows(2).all(|w| w[1] < w[0]), "{powers:?}");
+        // Job order preserved.
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.job, i);
+            assert_eq!(r.frac_bits, Some(6 + i as i32));
+        }
+    }
+
+    #[test]
+    fn cache_survives_across_batches() {
+        let engine = Engine::new(2);
+        let scenario = Scenario::FreqFilter;
+        let job = JobSpec {
+            scenario,
+            npsd: 128,
+            rounding: RoundingMode::Truncate,
+            kind: JobKind::Estimate { method: Method::PsdMethod, frac_bits: 12 },
+        };
+        let first = engine.run(vec![job.clone()]);
+        assert_eq!(first.cache.builds, 1);
+        assert!(!first.results[0].cache_hit);
+        let second = engine.run(vec![job]);
+        assert_eq!(second.cache.builds, 1, "second batch reuses the cache");
+        assert!(second.results[0].cache_hit);
+    }
+
+    #[test]
+    fn streaming_observer_sees_the_full_batch() {
+        let engine = Engine::new(4);
+        let scenario = Scenario::FirCascade { stages: 1, taps: 15, cutoff: 0.25 };
+        let jobs: Vec<JobSpec> = (6..14)
+            .map(|bits| JobSpec {
+                scenario: scenario.clone(),
+                npsd: 128,
+                rounding: RoundingMode::Truncate,
+                kind: JobKind::Estimate { method: Method::PsdMethod, frac_bits: bits },
+            })
+            .collect();
+        let mut streamed: Vec<(usize, Option<f64>)> = Vec::new();
+        let report = engine.run_streaming(jobs, |r| streamed.push((r.job, r.power)));
+        assert_eq!(streamed.len(), report.results.len());
+        for (job, power) in streamed {
+            assert_eq!(report.results[job].power, power, "streamed copy matches final");
+        }
+    }
+
+    #[test]
+    fn summary_mentions_the_load() {
+        let engine = Engine::new(2);
+        let report = engine.run(vec![JobSpec {
+            scenario: Scenario::FirCascade { stages: 1, taps: 9, cutoff: 0.3 },
+            npsd: 64,
+            rounding: RoundingMode::Truncate,
+            kind: JobKind::Estimate { method: Method::Flat, frac_bits: 10 },
+        }]);
+        let s = report.summary();
+        assert!(s.contains("1 jobs"), "{s}");
+        assert!(s.contains("0 failed"), "{s}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Engine error type.
+
+use psdacc_filters::FilterError;
+use psdacc_sfg::SfgError;
+
+/// Errors surfaced by the batch-evaluation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A scenario name or parameter set was invalid.
+    Scenario(String),
+    /// A batch specification line could not be parsed.
+    Spec(String),
+    /// Graph construction or preprocessing failed.
+    Sfg(SfgError),
+    /// Filter design inside a scenario generator failed.
+    Filter(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Scenario(msg) => write!(f, "scenario error: {msg}"),
+            EngineError::Spec(msg) => write!(f, "batch spec error: {msg}"),
+            EngineError::Sfg(e) => write!(f, "signal-flow-graph error: {e}"),
+            EngineError::Filter(msg) => write!(f, "filter design error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SfgError> for EngineError {
+    fn from(e: SfgError) -> Self {
+        EngineError::Sfg(e)
+    }
+}
+
+impl From<FilterError> for EngineError {
+    fn from(e: FilterError) -> Self {
+        EngineError::Filter(e.to_string())
+    }
+}

@@ -1,0 +1,395 @@
+//! Job specifications and results.
+//!
+//! A job is one unit of engine work: a single `tau_eval` estimate, or a
+//! whole refinement loop riding on the shared preprocessing cache. Results
+//! are flat records that serialize to JSON lines (the CLI's stream format).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use psdacc_core::{greedy_refinement, minimum_uniform_wordlength};
+use psdacc_core::{metrics, AccuracyEvaluator, Method, WordLengthPlan};
+use psdacc_fixed::RoundingMode;
+
+use crate::cache::EvaluatorCache;
+use crate::error::EngineError;
+use crate::scenario::Scenario;
+
+/// What a job computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// One analytical estimate of one uniform word-length plan.
+    Estimate {
+        /// The analytical method (`Simulation` is not an engine job).
+        method: Method,
+        /// Uniform fractional bits.
+        frac_bits: i32,
+    },
+    /// Greedy per-node word-length descent under a noise budget.
+    GreedyRefine {
+        /// Output noise-power budget.
+        budget: f64,
+        /// Uniform starting word-length.
+        start_bits: i32,
+        /// Per-node floor.
+        min_bits: i32,
+    },
+    /// Binary search for the smallest feasible uniform word-length.
+    MinUniform {
+        /// Output noise-power budget.
+        budget: f64,
+        /// Search floor.
+        min_bits: i32,
+        /// Search ceiling.
+        max_bits: i32,
+    },
+}
+
+impl JobKind {
+    /// Short label used in result records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Estimate { method: Method::PsdMethod, .. } => "psd",
+            JobKind::Estimate { method: Method::PsdAgnostic, .. } => "agnostic",
+            JobKind::Estimate { method: Method::Flat, .. } => "flat",
+            JobKind::Estimate { method: Method::Simulation, .. } => "simulation",
+            JobKind::GreedyRefine { .. } => "greedy-refine",
+            JobKind::MinUniform { .. } => "min-uniform",
+        }
+    }
+}
+
+/// One fully-specified unit of engine work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The system under evaluation.
+    pub scenario: Scenario,
+    /// PSD grid size (part of the preprocessing-cache key).
+    pub npsd: usize,
+    /// Rounding mode of every quantizer in the plan.
+    pub rounding: RoundingMode,
+    /// The computation.
+    pub kind: JobKind,
+}
+
+/// Flat result record of one job (JSON-lines friendly).
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Index of the job within its batch (results keep batch order).
+    pub job: usize,
+    /// Canonical scenario key.
+    pub scenario: String,
+    /// PSD grid size.
+    pub npsd: usize,
+    /// Job label (`psd`, `agnostic`, `flat`, `greedy-refine`, `min-uniform`).
+    pub kind: &'static str,
+    /// Uniform fractional bits (estimate jobs).
+    pub frac_bits: Option<i32>,
+    /// Estimated output noise power.
+    pub power: Option<f64>,
+    /// Estimated output noise mean.
+    pub mean: Option<f64>,
+    /// Estimated output noise variance.
+    pub variance: Option<f64>,
+    /// SQNR in dB against a unit-power white input carried to the output.
+    pub sqnr_db: Option<f64>,
+    /// Preprocessing seconds paid for this scenario (amortized when cached).
+    pub tau_pp_seconds: Option<f64>,
+    /// Seconds spent in this job's evaluation stage.
+    pub tau_eval_seconds: f64,
+    /// Whether the evaluator came from an already-initialized cache slot.
+    pub cache_hit: bool,
+    /// Refinement: total fractional bits of the refined plan.
+    pub total_bits: Option<i64>,
+    /// Refinement: `tau_eval` calls spent.
+    pub evaluations: Option<usize>,
+    /// Min-uniform: the smallest feasible `d` (absent when infeasible).
+    pub min_frac_bits: Option<i32>,
+    /// Failure description when the job errored.
+    pub error: Option<String>,
+}
+
+impl JobResult {
+    fn empty(job: usize, spec: &JobSpec) -> Self {
+        JobResult {
+            job,
+            scenario: spec.scenario.key(),
+            npsd: spec.npsd,
+            kind: spec.kind.label(),
+            frac_bits: None,
+            power: None,
+            mean: None,
+            variance: None,
+            sqnr_db: None,
+            tau_pp_seconds: None,
+            tau_eval_seconds: 0.0,
+            cache_hit: false,
+            total_bits: None,
+            evaluations: None,
+            min_frac_bits: None,
+            error: None,
+        }
+    }
+
+    /// Serializes the record as one JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.field_usize("job", self.job);
+        w.field_str("scenario", &self.scenario);
+        w.field_usize("npsd", self.npsd);
+        w.field_str("kind", self.kind);
+        if let Some(v) = self.frac_bits {
+            w.field_i64("frac_bits", v as i64);
+        }
+        if let Some(v) = self.power {
+            w.field_f64("power", v);
+        }
+        if let Some(v) = self.mean {
+            w.field_f64("mean", v);
+        }
+        if let Some(v) = self.variance {
+            w.field_f64("variance", v);
+        }
+        if let Some(v) = self.sqnr_db {
+            w.field_f64("sqnr_db", v);
+        }
+        if let Some(v) = self.tau_pp_seconds {
+            w.field_f64("tau_pp_seconds", v);
+        }
+        w.field_f64("tau_eval_seconds", self.tau_eval_seconds);
+        w.field_bool("cache_hit", self.cache_hit);
+        if let Some(v) = self.total_bits {
+            w.field_i64("total_bits", v);
+        }
+        if let Some(v) = self.evaluations {
+            w.field_usize("evaluations", v);
+        }
+        if let Some(v) = self.min_frac_bits {
+            w.field_i64("min_frac_bits", v as i64);
+        }
+        if let Some(e) = &self.error {
+            w.field_str("error", e);
+        }
+        w.finish()
+    }
+}
+
+/// Executes one job against the shared cache. Never panics on job-level
+/// failures — they land in [`JobResult::error`].
+pub fn run_job(cache: &EvaluatorCache, job_index: usize, spec: &JobSpec) -> JobResult {
+    let mut out = JobResult::empty(job_index, spec);
+    let (evaluator, hit) = match cache.get_or_build_traced(&spec.scenario, spec.npsd) {
+        Ok(pair) => pair,
+        Err(e) => {
+            out.error = Some(e.to_string());
+            return out;
+        }
+    };
+    out.cache_hit = hit;
+    out.tau_pp_seconds = Some(evaluator.preprocess_seconds());
+    match spec.kind {
+        JobKind::Estimate { method, frac_bits } => {
+            out.frac_bits = Some(frac_bits);
+            let plan = WordLengthPlan::uniform(frac_bits, spec.rounding);
+            let estimate = match method {
+                Method::PsdMethod => Ok(evaluator.estimate_psd(&plan)),
+                Method::PsdAgnostic => {
+                    evaluator.estimate_agnostic(&plan).map_err(EngineError::from)
+                }
+                Method::Flat => evaluator.estimate_flat(&plan).map_err(EngineError::from),
+                Method::Simulation => Err(EngineError::Spec(
+                    "simulation is not an engine job; use psdacc-sim directly".to_string(),
+                )),
+            };
+            match estimate {
+                Ok(est) => {
+                    out.tau_eval_seconds = est.elapsed.as_secs_f64();
+                    out.power = Some(est.power);
+                    out.mean = Some(est.mean);
+                    out.variance = Some(est.variance);
+                    out.sqnr_db = Some(metrics::sqnr_db(signal_power(&evaluator), est.power));
+                }
+                Err(e) => out.error = Some(e.to_string()),
+            }
+        }
+        JobKind::GreedyRefine { budget, start_bits, min_bits } => {
+            let t0 = Instant::now();
+            let result = greedy_refinement(&evaluator, budget, spec.rounding, start_bits, min_bits);
+            out.tau_eval_seconds = t0.elapsed().as_secs_f64();
+            out.power = Some(result.noise_power);
+            out.total_bits = Some(result.total_bits);
+            out.evaluations = Some(result.evaluations);
+        }
+        JobKind::MinUniform { budget, min_bits, max_bits } => {
+            let t0 = Instant::now();
+            let d =
+                minimum_uniform_wordlength(&evaluator, budget, spec.rounding, min_bits, max_bits);
+            out.tau_eval_seconds = t0.elapsed().as_secs_f64();
+            match d {
+                Some(d) => out.min_frac_bits = Some(d),
+                None => out.error = Some("budget infeasible within max_bits".to_string()),
+            }
+        }
+    }
+    out
+}
+
+/// Output-referred power of a unit-power white input — the signal side of
+/// the reported SQNR.
+fn signal_power(evaluator: &Arc<AccuracyEvaluator>) -> f64 {
+    evaluator.sfg().inputs().iter().map(|&input| evaluator.responses().energy(input)).sum()
+}
+
+/// Minimal JSON object writer (the workspace has no serde).
+struct JsonWriter {
+    buf: String,
+    first: bool,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(name);
+        self.buf.push_str("\":");
+    }
+
+    fn field_str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.buf.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\t' => self.buf.push_str("\\t"),
+                '\r' => self.buf.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn field_f64(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value:e}"));
+        } else {
+            // JSON has no Infinity/NaN.
+            self.buf.push_str("null");
+        }
+    }
+
+    fn field_i64(&mut self, name: &str, value: i64) {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+    }
+
+    fn field_usize(&mut self, name: &str, value: usize) {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+    }
+
+    fn field_bool(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: JobKind) -> JobSpec {
+        JobSpec {
+            scenario: Scenario::FirCascade { stages: 1, taps: 15, cutoff: 0.2 },
+            npsd: 128,
+            rounding: RoundingMode::Truncate,
+            kind,
+        }
+    }
+
+    #[test]
+    fn estimate_job_matches_direct_evaluator_call() {
+        let cache = EvaluatorCache::new();
+        let s = spec(JobKind::Estimate { method: Method::PsdMethod, frac_bits: 12 });
+        let result = run_job(&cache, 0, &s);
+        assert!(result.error.is_none(), "{:?}", result.error);
+        let sfg = s.scenario.build().unwrap();
+        let eval = AccuracyEvaluator::new(&sfg, 128).unwrap();
+        let direct = eval.estimate_psd(&WordLengthPlan::uniform(12, RoundingMode::Truncate));
+        assert_eq!(result.power, Some(direct.power), "bit-identical to sequential");
+        assert!(result.sqnr_db.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn refine_jobs_run() {
+        let cache = EvaluatorCache::new();
+        let probe = run_job(
+            &cache,
+            0,
+            &spec(JobKind::Estimate { method: Method::PsdMethod, frac_bits: 12 }),
+        );
+        let budget = probe.power.unwrap() * 1.05;
+        let greedy = run_job(
+            &cache,
+            1,
+            &spec(JobKind::GreedyRefine { budget, start_bits: 12, min_bits: 4 }),
+        );
+        assert!(greedy.error.is_none());
+        assert!(greedy.power.unwrap() <= budget);
+        assert!(greedy.evaluations.unwrap() >= 1);
+        let mu =
+            run_job(&cache, 2, &spec(JobKind::MinUniform { budget, min_bits: 2, max_bits: 24 }));
+        assert!(mu.min_frac_bits.unwrap() <= 12);
+        // All three jobs shared one preprocessing pass.
+        assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
+    fn infeasible_min_uniform_reports_error() {
+        let cache = EvaluatorCache::new();
+        let r = run_job(
+            &cache,
+            0,
+            &spec(JobKind::MinUniform { budget: 1e-300, min_bits: 2, max_bits: 8 }),
+        );
+        assert!(r.error.is_some());
+        assert!(r.min_frac_bits.is_none());
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let cache = EvaluatorCache::new();
+        let r =
+            run_job(&cache, 3, &spec(JobKind::Estimate { method: Method::Flat, frac_bits: 10 }));
+        let line = r.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"job\":3"));
+        assert!(line.contains("\"kind\":\"flat\""));
+        assert!(line.contains("\"cache_hit\":false"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.field_str("k", "a\"b\\c\nd");
+        assert_eq!(w.finish(), r#"{"k":"a\"b\\c\nd"}"#);
+    }
+}

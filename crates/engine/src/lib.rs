@@ -1,0 +1,68 @@
+//! # psdacc-engine
+//!
+//! Parallel batch-evaluation engine for the `psdacc` workspace — the
+//! paper's `tau_pp` / `tau_eval` split, industrialized.
+//!
+//! The PSD method's pitch (DATE 2016, Section IV) is that graph
+//! preprocessing is paid **once** per system and every subsequent
+//! word-length configuration costs only a cheap spectral sum. A word-length
+//! exploration campaign therefore wants three things this crate provides:
+//!
+//! * a **scenario registry** ([`scenario`]) — named, parameterized
+//!   generators for every system family in the workspace (Table I filter
+//!   banks, FIR/IIR cascades, the Fig. 2 frequency filter, CDF 9/7 wavelet
+//!   pipelines, seeded random SFGs), so workloads are declared as data;
+//! * a **work-stealing job pool** ([`pool`]) on plain `std::thread` +
+//!   channels, because job costs are wildly non-uniform (a cache miss pays
+//!   a whole preprocessing pass, a hit pays microseconds);
+//! * a **shared preprocessing cache** ([`cache`]) keyed by
+//!   `(scenario, npsd)` behind `Arc`, guaranteeing exactly one
+//!   `AccuracyEvaluator::new` per key no matter how many workers race.
+//!
+//! Jobs ([`job`]) are single estimates (`psd` / `agnostic` / `flat`) or
+//! whole refinement loops ([`psdacc_core::greedy_refinement`],
+//! [`psdacc_core::minimum_uniform_wordlength`]) riding the same cache.
+//! Batches ([`batch`]) expand compact text specs into job lists; the
+//! `psdacc-engine` binary streams results as JSON lines.
+//!
+//! ```
+//! use psdacc_engine::{BatchSpec, Engine};
+//!
+//! let spec = BatchSpec::parse(
+//!     "scenario fir-cascade stages=2 taps=15 cutoff=0.2\n\
+//!      scenario iir-cascade stages=1 order=4 cutoff=0.2\n\
+//!      batch npsd=128 bits=8..11 methods=psd,flat\n",
+//! )?;
+//! let engine = Engine::new(4);
+//! let report = engine.run(spec.jobs);
+//! assert_eq!(report.results.len(), 2 * 4 * 2);
+//! assert_eq!(report.cache.builds, 2); // one preprocessing pass per scenario
+//! # Ok::<(), psdacc_engine::EngineError>(())
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod pool;
+pub mod scenario;
+
+pub use batch::{demo_spec, BatchSpec};
+pub use cache::{CacheStats, EvaluatorCache};
+pub use engine::{BatchReport, Engine};
+pub use error::EngineError;
+pub use job::{JobKind, JobResult, JobSpec};
+pub use pool::PoolStats;
+pub use scenario::{RegistryEntry, Scenario, REGISTRY};
+
+// The engine shares evaluators across worker threads; if a refactor ever
+// makes `AccuracyEvaluator` (or a job/result type) non-thread-safe, fail
+// the build here rather than deep inside the pool.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<psdacc_core::AccuracyEvaluator>();
+    assert_send_sync::<EvaluatorCache>();
+    assert_send_sync::<JobSpec>();
+    assert_send_sync::<JobResult>();
+};

@@ -1,0 +1,472 @@
+//! The scenario registry: named, parameterized generators for every system
+//! family in the workspace.
+//!
+//! A [`Scenario`] is a *value* describing a system — workloads are declared
+//! as data (CLI spec lines, test tables) instead of hand-built graphs. Every
+//! scenario lowers to a plain [`Sfg`] via [`Scenario::build`], so all of
+//! them run through the one shared [`psdacc_core::AccuracyEvaluator`]
+//! front-end and its cached preprocessing.
+//!
+//! Families:
+//!
+//! | name            | source crate                    | parameters |
+//! |-----------------|---------------------------------|------------|
+//! | `fir-bank`      | `psdacc_systems::filter_bank`   | `index` (0..147) |
+//! | `iir-bank`      | `psdacc_systems::filter_bank`   | `index` (0..147) |
+//! | `fir-cascade`   | `psdacc_filters`                | `stages`, `taps`, `cutoff` |
+//! | `iir-cascade`   | `psdacc_filters`                | `stages`, `order`, `cutoff` |
+//! | `freq-filter`   | `psdacc_systems::freq_filter`   | — (Fig. 2 chain) |
+//! | `dwt-pipeline`  | `psdacc_wavelet` (CDF 9/7 bank) | `levels` (1..=4) |
+//! | `random-sfg`    | seeded generator over `psdacc_sfg` | `nodes`, `seed` |
+
+use std::collections::BTreeMap;
+
+use psdacc_filters::{butterworth, design_fir, BandSpec};
+use psdacc_sfg::{Block, NodeId, Sfg};
+use psdacc_systems::FreqFilterSystem;
+use psdacc_wavelet::FilterBank97;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::EngineError;
+
+/// A named, parameterized system generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// The `index`-th FIR of the Table I population (0..147).
+    FirBank {
+        /// Population index.
+        index: usize,
+    },
+    /// The `index`-th IIR of the Table I population (0..147).
+    IirBank {
+        /// Population index.
+        index: usize,
+    },
+    /// A chain of `stages` identical lowpass FIR filters.
+    FirCascade {
+        /// Number of chained filter blocks.
+        stages: usize,
+        /// Taps per stage.
+        taps: usize,
+        /// Normalized cutoff (0, 0.5).
+        cutoff: f64,
+    },
+    /// A chain of `stages` identical Butterworth lowpass IIR filters.
+    IirCascade {
+        /// Number of chained filter blocks.
+        stages: usize,
+        /// Butterworth order per stage.
+        order: usize,
+        /// Normalized cutoff (0, 0.5).
+        cutoff: f64,
+    },
+    /// The Fig. 2 frequency-filter system as its time-domain-equivalent
+    /// chain: 16-tap lowpass prefilter into the 9-tap highpass.
+    FreqFilter,
+    /// Undecimated (à trous) CDF 9/7 wavelet pipeline: `levels` analysis
+    /// stages with per-level synthesis branches summed at the output.
+    DwtPipeline {
+        /// Decomposition depth (1..=4).
+        levels: usize,
+    },
+    /// Seeded random chain-with-forks DAG over gain/delay/FIR/add blocks.
+    RandomSfg {
+        /// Number of non-input nodes.
+        nodes: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl Scenario {
+    /// Canonical identity string — the cache key and the `scenario` field of
+    /// engine results. Two scenarios with equal keys build identical graphs.
+    pub fn key(&self) -> String {
+        match self {
+            Scenario::FirBank { index } => format!("fir-bank[index={index}]"),
+            Scenario::IirBank { index } => format!("iir-bank[index={index}]"),
+            Scenario::FirCascade { stages, taps, cutoff } => {
+                format!("fir-cascade[stages={stages},taps={taps},cutoff={cutoff}]")
+            }
+            Scenario::IirCascade { stages, order, cutoff } => {
+                format!("iir-cascade[stages={stages},order={order},cutoff={cutoff}]")
+            }
+            Scenario::FreqFilter => "freq-filter".to_string(),
+            Scenario::DwtPipeline { levels } => format!("dwt-pipeline[levels={levels}]"),
+            Scenario::RandomSfg { nodes, seed } => {
+                format!("random-sfg[nodes={nodes},seed={seed}]")
+            }
+        }
+    }
+
+    /// Checks parameter ranges without paying for filter design or graph
+    /// construction — cheap enough to call per spec line at parse time.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Scenario`] for out-of-range parameters.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        match *self {
+            Scenario::FirBank { index } => check(index < 147, "fir-bank index must be < 147"),
+            Scenario::IirBank { index } => check(index < 147, "iir-bank index must be < 147"),
+            Scenario::FirCascade { stages, taps, cutoff } => {
+                check((1..=16).contains(&stages), "fir-cascade stages must be 1..=16")?;
+                check((3..=255).contains(&taps), "fir-cascade taps must be 3..=255")?;
+                check(cutoff > 0.0 && cutoff < 0.5, "fir-cascade cutoff must be in (0, 0.5)")
+            }
+            Scenario::IirCascade { stages, order, cutoff } => {
+                check((1..=16).contains(&stages), "iir-cascade stages must be 1..=16")?;
+                check((1..=10).contains(&order), "iir-cascade order must be 1..=10")?;
+                check(cutoff > 0.0 && cutoff < 0.5, "iir-cascade cutoff must be in (0, 0.5)")
+            }
+            Scenario::FreqFilter => Ok(()),
+            Scenario::DwtPipeline { levels } => {
+                check((1..=4).contains(&levels), "dwt-pipeline levels must be 1..=4")
+            }
+            Scenario::RandomSfg { nodes, .. } => {
+                check((1..=256).contains(&nodes), "random-sfg nodes must be 1..=256")
+            }
+        }
+    }
+
+    /// Builds the scenario's signal-flow graph (output marked).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Scenario`] for out-of-range parameters and any
+    /// propagated design/graph error.
+    pub fn build(&self) -> Result<Sfg, EngineError> {
+        self.validate()?;
+        match *self {
+            Scenario::FirBank { index } => {
+                let (_, fir) = psdacc_systems::filter_bank::fir_entry(index)?;
+                Ok(psdacc_systems::filter_bank::fir_system(fir))
+            }
+            Scenario::IirBank { index } => {
+                let (_, iir) = psdacc_systems::filter_bank::iir_entry(index)?;
+                Ok(psdacc_systems::filter_bank::iir_system(iir))
+            }
+            Scenario::FirCascade { stages, taps, cutoff } => {
+                let fir =
+                    design_fir(BandSpec::Lowpass { cutoff }, taps, psdacc_dsp::Window::Hamming)?;
+                let mut g = Sfg::new();
+                let mut prev = g.add_input();
+                for _ in 0..stages {
+                    prev = g.add_block(Block::Fir(fir.clone()), &[prev])?;
+                }
+                g.mark_output(prev);
+                Ok(g)
+            }
+            Scenario::IirCascade { stages, order, cutoff } => {
+                let iir = butterworth(order, BandSpec::Lowpass { cutoff })?;
+                let mut g = Sfg::new();
+                let mut prev = g.add_input();
+                for _ in 0..stages {
+                    prev = g.add_block(Block::Iir(iir.clone()), &[prev])?;
+                }
+                g.mark_output(prev);
+                Ok(g)
+            }
+            Scenario::FreqFilter => {
+                let sys = FreqFilterSystem::new();
+                let mut g = Sfg::new();
+                let x = g.add_input();
+                let pre = g.add_block(Block::Fir(sys.prefilter().clone()), &[x])?;
+                let hlp = g.add_block(Block::Fir(sys.hlp().clone()), &[pre])?;
+                g.mark_output(hlp);
+                Ok(g)
+            }
+            Scenario::DwtPipeline { levels } => build_dwt_pipeline(levels),
+            Scenario::RandomSfg { nodes, seed } => build_random_sfg(nodes, seed),
+        }
+    }
+
+    /// Parses `name key=value ...` tokens (the batch-spec scenario syntax).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Scenario`] on unknown names, unknown/missing keys, or
+    /// malformed values.
+    pub fn parse(name: &str, params: &BTreeMap<String, String>) -> Result<Self, EngineError> {
+        let get_usize = |key: &str, default: Option<usize>| -> Result<usize, EngineError> {
+            match params.get(key) {
+                Some(v) => v.parse().map_err(|_| {
+                    EngineError::Scenario(format!("{name}: `{key}` must be an integer, got `{v}`"))
+                }),
+                None => default.ok_or_else(|| {
+                    EngineError::Scenario(format!("{name}: missing required parameter `{key}`"))
+                }),
+            }
+        };
+        let get_f64 = |key: &str, default: f64| -> Result<f64, EngineError> {
+            match params.get(key) {
+                Some(v) => v.parse().map_err(|_| {
+                    EngineError::Scenario(format!("{name}: `{key}` must be a number, got `{v}`"))
+                }),
+                None => Ok(default),
+            }
+        };
+        let allowed: &[&str] = match name {
+            "fir-bank" | "iir-bank" => &["index"],
+            "fir-cascade" => &["stages", "taps", "cutoff"],
+            "iir-cascade" => &["stages", "order", "cutoff"],
+            "freq-filter" => &[],
+            "dwt-pipeline" => &["levels"],
+            "random-sfg" => &["nodes", "seed"],
+            other => {
+                return Err(EngineError::Scenario(format!(
+                    "unknown scenario `{other}`; known: {}",
+                    REGISTRY.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+                )))
+            }
+        };
+        for key in params.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(EngineError::Scenario(format!(
+                    "{name}: unknown parameter `{key}` (allowed: {})",
+                    if allowed.is_empty() { "none".to_string() } else { allowed.join(", ") }
+                )));
+            }
+        }
+        let scenario = match name {
+            "fir-bank" => Scenario::FirBank { index: get_usize("index", None)? },
+            "iir-bank" => Scenario::IirBank { index: get_usize("index", None)? },
+            "fir-cascade" => Scenario::FirCascade {
+                stages: get_usize("stages", Some(2))?,
+                taps: get_usize("taps", Some(31))?,
+                cutoff: get_f64("cutoff", 0.2)?,
+            },
+            "iir-cascade" => Scenario::IirCascade {
+                stages: get_usize("stages", Some(2))?,
+                order: get_usize("order", Some(4))?,
+                cutoff: get_f64("cutoff", 0.2)?,
+            },
+            "freq-filter" => Scenario::FreqFilter,
+            "dwt-pipeline" => Scenario::DwtPipeline { levels: get_usize("levels", Some(2))? },
+            "random-sfg" => Scenario::RandomSfg {
+                nodes: get_usize("nodes", Some(12))?,
+                seed: get_usize("seed", Some(1))? as u64,
+            },
+            _ => unreachable!("name validated above"),
+        };
+        // Range errors surface at parse time (with the spec's line number);
+        // the full graph build is deferred to the evaluator cache so design
+        // work is not paid twice per scenario.
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
+/// One registry entry (for `psdacc-engine scenarios` and docs).
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryEntry {
+    /// Scenario family name as written in batch specs.
+    pub name: &'static str,
+    /// Parameter list with defaults.
+    pub params: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The scenario families the engine knows about.
+pub const REGISTRY: &[RegistryEntry] = &[
+    RegistryEntry {
+        name: "fir-bank",
+        params: "index (required, 0..147)",
+        description: "one FIR of the paper's Table I population",
+    },
+    RegistryEntry {
+        name: "iir-bank",
+        params: "index (required, 0..147)",
+        description: "one IIR of the paper's Table I population",
+    },
+    RegistryEntry {
+        name: "fir-cascade",
+        params: "stages=2 taps=31 cutoff=0.2",
+        description: "chain of identical lowpass FIR stages",
+    },
+    RegistryEntry {
+        name: "iir-cascade",
+        params: "stages=2 order=4 cutoff=0.2",
+        description: "chain of identical Butterworth IIR stages",
+    },
+    RegistryEntry {
+        name: "freq-filter",
+        params: "(none)",
+        description: "Fig. 2 band-pass chain (prefilter + highpass)",
+    },
+    RegistryEntry {
+        name: "dwt-pipeline",
+        params: "levels=2",
+        description: "undecimated CDF 9/7 analysis/synthesis pipeline",
+    },
+    RegistryEntry {
+        name: "random-sfg",
+        params: "nodes=12 seed=1",
+        description: "seeded random chain-with-forks DAG",
+    },
+];
+
+fn check(cond: bool, msg: &str) -> Result<(), EngineError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(EngineError::Scenario(msg.to_string()))
+    }
+}
+
+/// Zero-stuffs `taps` by `factor` (à trous filter upsampling).
+fn upsample_taps(taps: &[f64], factor: usize) -> Vec<f64> {
+    if factor <= 1 {
+        return taps.to_vec();
+    }
+    let mut out = vec![0.0; (taps.len() - 1) * factor + 1];
+    for (i, &t) in taps.iter().enumerate() {
+        out[i * factor] = t;
+    }
+    out
+}
+
+/// Undecimated CDF 9/7 pipeline: level-`l` analysis filters are the 9/7
+/// pair zero-stuffed by `2^(l-1)`; each detail band (and the final
+/// approximation) passes through its synthesis filter and all branches sum
+/// into one output. A single-rate LTI realization of the wavelet codec's
+/// filter structure, suitable for SFG-based evaluation.
+fn build_dwt_pipeline(levels: usize) -> Result<Sfg, EngineError> {
+    let bank = FilterBank97::derive();
+    let h0: Vec<f64> = bank.h0.taps.clone();
+    let h1: Vec<f64> = bank.h1.taps.clone();
+    let g0: Vec<f64> = bank.g0.taps.clone();
+    let g1: Vec<f64> = bank.g1.taps.clone();
+    let mut g = Sfg::new();
+    let x = g.add_input();
+    let mut approx = x;
+    let mut branches: Vec<NodeId> = Vec::new();
+    for level in 1..=levels {
+        let stuff = 1usize << (level - 1);
+        let lo = g.add_block(
+            Block::Fir(psdacc_filters::Fir::new(upsample_taps(&h0, stuff))),
+            &[approx],
+        )?;
+        let hi = g.add_block(
+            Block::Fir(psdacc_filters::Fir::new(upsample_taps(&h1, stuff))),
+            &[approx],
+        )?;
+        let detail_synth =
+            g.add_block(Block::Fir(psdacc_filters::Fir::new(upsample_taps(&g1, stuff))), &[hi])?;
+        branches.push(detail_synth);
+        approx = lo;
+    }
+    let approx_synth = g.add_block(
+        Block::Fir(psdacc_filters::Fir::new(upsample_taps(&g0, 1 << (levels - 1)))),
+        &[approx],
+    )?;
+    branches.push(approx_synth);
+    let mut sum = branches[0];
+    for &b in &branches[1..] {
+        sum = g.add_block(Block::Add, &[sum, b])?;
+    }
+    g.mark_output(sum);
+    Ok(g)
+}
+
+/// Seeded random chain-with-forks DAG (always acyclic and realizable).
+fn build_random_sfg(nodes: usize, seed: u64) -> Result<Sfg, EngineError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5FDA_CC00);
+    let mut g = Sfg::new();
+    let x = g.add_input();
+    let mut frontier = vec![x];
+    for _ in 0..nodes {
+        let src = frontier[rng.gen_range(0usize..frontier.len())];
+        let id = match rng.gen_range(0u8..4) {
+            0 => g.add_block(Block::Gain(rng.gen_range(-1.5..1.5)), &[src])?,
+            1 => g.add_block(Block::Delay(rng.gen_range(1usize..4)), &[src])?,
+            2 => {
+                let ntaps = rng.gen_range(2usize..6);
+                let taps: Vec<f64> = (0..ntaps).map(|_| rng.gen_range(-0.8..0.8)).collect();
+                g.add_block(Block::Fir(psdacc_filters::Fir::new(taps)), &[src])?
+            }
+            _ => {
+                let other = frontier[rng.gen_range(0usize..frontier.len())];
+                g.add_block(Block::Add, &[src, other])?
+            }
+        };
+        frontier.push(id);
+    }
+    // Guarantee at least one multiplicative (noise-carrying) block feeds the
+    // output, so every plan yields a non-trivial noise budget.
+    let last = *frontier.last().expect("non-empty frontier");
+    let shaped = g.add_block(Block::Fir(psdacc_filters::Fir::new(vec![0.6, 0.3, 0.1])), &[last])?;
+    g.mark_output(shaped);
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn every_registry_entry_parses_with_defaults() {
+        for entry in REGISTRY {
+            let p =
+                if entry.name.ends_with("-bank") { params(&[("index", "3")]) } else { params(&[]) };
+            let s =
+                Scenario::parse(entry.name, &p).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            let g = s.build().expect("default scenario builds");
+            assert!(!g.outputs().is_empty(), "{}: output marked", entry.name);
+        }
+    }
+
+    #[test]
+    fn keys_are_canonical_and_distinct() {
+        let a = Scenario::FirCascade { stages: 2, taps: 31, cutoff: 0.2 };
+        let b = Scenario::FirCascade { stages: 3, taps: 31, cutoff: 0.2 };
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key(), "fir-cascade[stages=2,taps=31,cutoff=0.2]");
+    }
+
+    #[test]
+    fn random_sfg_is_deterministic_per_seed() {
+        let a = Scenario::RandomSfg { nodes: 20, seed: 7 }.build().unwrap();
+        let b = Scenario::RandomSfg { nodes: 20, seed: 7 }.build().unwrap();
+        let c = Scenario::RandomSfg { nodes: 20, seed: 8 }.build().unwrap();
+        assert_eq!(a.len(), b.len());
+        let dot_a = psdacc_sfg::to_dot(&a, "g");
+        assert_eq!(dot_a, psdacc_sfg::to_dot(&b, "g"));
+        assert_ne!(dot_a, psdacc_sfg::to_dot(&c, "g"));
+    }
+
+    #[test]
+    fn random_sfgs_are_realizable() {
+        for seed in 0..25 {
+            let g = Scenario::RandomSfg { nodes: 30, seed }.build().unwrap();
+            assert!(psdacc_sfg::is_acyclic(&g), "seed {seed}");
+            assert!(psdacc_sfg::check_realizable(&g).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dwt_pipeline_depth_scales_graph() {
+        let g1 = Scenario::DwtPipeline { levels: 1 }.build().unwrap();
+        let g3 = Scenario::DwtPipeline { levels: 3 }.build().unwrap();
+        assert!(g3.len() > g1.len());
+        assert!(psdacc_sfg::check_realizable(&g3).is_ok());
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        assert!(Scenario::FirBank { index: 147 }.build().is_err());
+        assert!(Scenario::parse("no-such", &params(&[])).is_err());
+        assert!(Scenario::parse("fir-bank", &params(&[])).is_err(), "index required");
+        assert!(Scenario::parse("fir-cascade", &params(&[("bogus", "1")])).is_err());
+        assert!(
+            Scenario::parse("fir-cascade", &params(&[("cutoff", "0.9")])).is_err(),
+            "parse validates eagerly"
+        );
+    }
+}

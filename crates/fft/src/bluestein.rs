@@ -88,7 +88,13 @@ impl BluesteinFft {
     ///
     /// Panics if `input.len()` differs from the planned size.
     pub fn transform(&self, input: &[Complex]) -> Vec<Complex> {
-        assert_eq!(input.len(), self.n, "buffer length {} != planned FFT size {}", input.len(), self.n);
+        assert_eq!(
+            input.len(),
+            self.n,
+            "buffer length {} != planned FFT size {}",
+            input.len(),
+            self.n
+        );
         let n = self.n;
         // a[k] = x[k] * chirp[k], zero padded to m.
         let mut a = vec![Complex::ZERO; self.m];
@@ -129,10 +135,7 @@ mod tests {
             let fast = plan.transform(&x);
             let slow = dft(&x);
             for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
-                assert!(
-                    (*a - *b).norm() < 1e-8 * (n as f64).max(1.0),
-                    "n={n} bin {k}: {a} vs {b}"
-                );
+                assert!((*a - *b).norm() < 1e-8 * (n as f64).max(1.0), "n={n} bin {k}: {a} vs {b}");
             }
         }
     }

@@ -105,9 +105,8 @@ mod tests {
 
     #[test]
     fn idft_inverts_dft() {
-        let x: Vec<Complex> = (0..12)
-            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
-            .collect();
+        let x: Vec<Complex> =
+            (0..12).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
         let back = idft(&dft(&x));
         for (a, b) in x.iter().zip(&back) {
             assert!((*a - *b).norm() < 1e-10);
@@ -135,9 +134,8 @@ mod tests {
 
     #[test]
     fn parseval() {
-        let x: Vec<Complex> = (0..17)
-            .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.3).cos()))
-            .collect();
+        let x: Vec<Complex> =
+            (0..17).map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.3).cos())).collect();
         let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let spec = dft(&x);
         let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;

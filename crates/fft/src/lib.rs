@@ -30,9 +30,9 @@
 //! ```
 
 pub mod bluestein;
-pub mod fft2d;
 pub mod complex;
 pub mod dft;
+pub mod fft2d;
 pub mod planner;
 pub mod radix2;
 pub mod real;

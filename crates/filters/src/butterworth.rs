@@ -2,7 +2,9 @@
 
 use psdacc_fft::Complex;
 
-use crate::bilinear::{bilinear, iir_from_digital_zpk, lp_to_bp, lp_to_bs, lp_to_hp, lp_to_lp, prewarp, Zpk};
+use crate::bilinear::{
+    bilinear, iir_from_digital_zpk, lp_to_bp, lp_to_bs, lp_to_hp, lp_to_lp, prewarp, Zpk,
+};
 use crate::error::FilterError;
 use crate::fir_design::BandSpec;
 use crate::iir::Iir;
@@ -15,9 +17,7 @@ use crate::iir::Iir;
 pub fn butterworth_prototype(order: usize) -> Zpk {
     let n = order as f64;
     let poles: Vec<Complex> = (0..order)
-        .map(|k| {
-            Complex::cis(std::f64::consts::PI * (2.0 * k as f64 + n + 1.0) / (2.0 * n))
-        })
+        .map(|k| Complex::cis(std::f64::consts::PI * (2.0 * k as f64 + n + 1.0) / (2.0 * n)))
         .collect();
     // Gain 1 at DC: H(0) = k / prod(-p); prod(-p) has magnitude 1 for the
     // Butterworth circle, so k = prod(-p).re up to rounding — compute it.
@@ -114,10 +114,7 @@ mod tests {
             let n = 2000;
             let bin = (fc * n as f64).round() as usize;
             let mag = f.frequency_response(n)[bin].norm();
-            assert!(
-                (mag - 1.0 / 2f64.sqrt()).abs() < 1e-3,
-                "order {order} fc {fc}: |H| = {mag}"
-            );
+            assert!((mag - 1.0 / 2f64.sqrt()).abs() < 1e-3, "order {order} fc {fc}: |H| = {mag}");
         }
     }
 
@@ -140,9 +137,8 @@ mod tests {
                 BandSpec::Bandpass { low: 0.1, high: 0.3 },
                 BandSpec::Bandstop { low: 0.2, high: 0.3 },
             ] {
-                let f = butterworth(order, spec).unwrap_or_else(|e| {
-                    panic!("order {order} {spec:?} failed: {e}")
-                });
+                let f = butterworth(order, spec)
+                    .unwrap_or_else(|e| panic!("order {order} {spec:?} failed: {e}"));
                 assert!(f.is_stable(1e-9), "order {order} {spec:?} unstable");
             }
         }

@@ -2,7 +2,9 @@
 
 use psdacc_fft::Complex;
 
-use crate::bilinear::{bilinear, iir_from_digital_zpk, lp_to_bp, lp_to_bs, lp_to_hp, lp_to_lp, prewarp, Zpk};
+use crate::bilinear::{
+    bilinear, iir_from_digital_zpk, lp_to_bp, lp_to_bs, lp_to_hp, lp_to_lp, prewarp, Zpk,
+};
 use crate::error::FilterError;
 use crate::fir_design::BandSpec;
 use crate::iir::Iir;
@@ -109,8 +111,9 @@ mod tests {
         let f = chebyshev1(5, ripple_db, BandSpec::Lowpass { cutoff: 0.2 }).unwrap();
         let n = 4096;
         let h = f.frequency_response(n);
-        let floor = 10f64.powf(-ripple_db / 20.0); // 1 dB down
-        // Inside the passband the magnitude stays within [floor, 1].
+        // `floor` is 1 dB down; inside the passband the magnitude stays
+        // within [floor, 1].
+        let floor = 10f64.powf(-ripple_db / 20.0);
         for k in 0..(0.19 * n as f64) as usize {
             let m = h[k].norm();
             assert!(m <= 1.0 + 1e-6, "bin {k}: {m} > 1");

@@ -38,7 +38,10 @@ impl fmt::Display for FilterError {
                 write!(f, "coefficients empty or leading denominator coefficient zero")
             }
             FilterError::InvalidCutoff { frequency } => {
-                write!(f, "cutoff frequency {frequency} outside (0, 0.5) or band edges not increasing")
+                write!(
+                    f,
+                    "cutoff frequency {frequency} outside (0, 0.5) or band edges not increasing"
+                )
             }
             FilterError::InvalidLength { taps, reason } => {
                 write!(f, "invalid tap count {taps}: {reason}")

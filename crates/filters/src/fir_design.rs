@@ -242,9 +242,7 @@ mod tests {
     fn invalid_cutoffs_rejected() {
         assert!(design_fir(BandSpec::Lowpass { cutoff: 0.6 }, 31, Window::Hann).is_err());
         assert!(design_fir(BandSpec::Lowpass { cutoff: 0.0 }, 31, Window::Hann).is_err());
-        assert!(
-            design_fir(BandSpec::Bandpass { low: 0.3, high: 0.2 }, 31, Window::Hann).is_err()
-        );
+        assert!(design_fir(BandSpec::Bandpass { low: 0.3, high: 0.2 }, 31, Window::Hann).is_err());
     }
 
     #[test]

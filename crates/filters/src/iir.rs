@@ -99,8 +99,16 @@ impl Iir {
     pub fn stream(&self) -> IirState {
         let order = self.b.len().max(self.a.len()) - 1;
         IirState {
-            b: { let mut b = self.b.clone(); b.resize(order + 1, 0.0); b },
-            a: { let mut a = self.a.clone(); a.resize(order + 1, 0.0); a },
+            b: {
+                let mut b = self.b.clone();
+                b.resize(order + 1, 0.0);
+                b
+            },
+            a: {
+                let mut a = self.a.clone();
+                a.resize(order + 1, 0.0);
+                a
+            },
             state: vec![0.0; order],
         }
     }

@@ -95,9 +95,7 @@ pub fn roots(c: &[Complex]) -> Vec<Complex> {
     let lead = coeffs[n];
     let monic: Vec<Complex> = coeffs.iter().map(|&v| v / lead).collect();
     // Initial guesses: spiral points, never symmetric wrt the real axis.
-    let mut r: Vec<Complex> = (0..n)
-        .map(|k| Complex::new(0.4, 0.9).powf(k as f64 + 1.0))
-        .collect();
+    let mut r: Vec<Complex> = (0..n).map(|k| Complex::new(0.4, 0.9).powf(k as f64 + 1.0)).collect();
     for _ in 0..600 {
         let mut max_step = 0.0f64;
         for i in 0..n {
@@ -131,9 +129,7 @@ mod tests {
 
     fn sort_by_re_im(mut v: Vec<Complex>) -> Vec<Complex> {
         v.sort_by(|a, b| {
-            (a.re, a.im)
-                .partial_cmp(&(b.re, b.im))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            (a.re, a.im).partial_cmp(&(b.re, b.im)).unwrap_or(std::cmp::Ordering::Equal)
         });
         v
     }
@@ -158,11 +154,7 @@ mod tests {
 
     #[test]
     fn from_roots_and_back() {
-        let rts = vec![
-            Complex::new(0.5, 0.5),
-            Complex::new(0.5, -0.5),
-            Complex::from_re(-2.0),
-        ];
+        let rts = vec![Complex::new(0.5, 0.5), Complex::new(0.5, -0.5), Complex::from_re(-2.0)];
         let c = poly_from_roots(&rts);
         // Real polynomial (conjugate pair + real root).
         let rc = real_coefficients(&c, 1e-12);
@@ -177,13 +169,7 @@ mod tests {
     #[test]
     fn roots_of_unity() {
         // x^4 - 1: roots are the 4th roots of unity.
-        let c = [
-            Complex::from_re(-1.0),
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ONE,
-        ];
+        let c = [Complex::from_re(-1.0), Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::ONE];
         let r = roots(&c);
         assert_eq!(r.len(), 4);
         for v in &r {
@@ -205,12 +191,7 @@ mod tests {
     #[test]
     fn zero_roots_factored() {
         // x^2 (x - 2): roots {0, 0, 2}
-        let c = [
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::from_re(-2.0),
-            Complex::ONE,
-        ];
+        let c = [Complex::ZERO, Complex::ZERO, Complex::from_re(-2.0), Complex::ONE];
         let r = sort_by_re_im(roots(&c));
         assert_eq!(r.len(), 3);
         assert!(r[0].norm() < 1e-12);
@@ -238,9 +219,8 @@ mod tests {
     #[test]
     fn high_degree_random_poly_roots_verify() {
         // Verify p(root) ~= 0 for a degree-12 polynomial.
-        let c: Vec<Complex> = (0..13)
-            .map(|i| Complex::new(((i * 7 + 3) % 11) as f64 - 5.0, 0.0))
-            .collect();
+        let c: Vec<Complex> =
+            (0..13).map(|i| Complex::new(((i * 7 + 3) % 11) as f64 - 5.0, 0.0)).collect();
         let r = roots(&c);
         assert_eq!(r.len(), 12);
         let scale: f64 = c.iter().map(|v| v.norm()).sum();

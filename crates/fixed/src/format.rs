@@ -75,7 +75,7 @@ impl QFormat {
 
     /// The quantization step `q = 2^-d`.
     pub fn resolution(self) -> f64 {
-        (self.frac_bits as f64 * -1.0).exp2()
+        (-(self.frac_bits as f64)).exp2()
     }
 
     /// Largest representable value `2^m - q`.
@@ -117,10 +117,7 @@ impl QFormat {
     /// The format needed to hold a sum of values in `self` and `rhs` without
     /// rounding or overflow.
     pub fn add_format(self, rhs: QFormat) -> Result<Self, FixedError> {
-        QFormat::try_new(
-            self.int_bits.max(rhs.int_bits) + 1,
-            self.frac_bits.max(rhs.frac_bits),
-        )
+        QFormat::try_new(self.int_bits.max(rhs.int_bits) + 1, self.frac_bits.max(rhs.frac_bits))
     }
 
     /// Returns `true` when `value` is exactly representable.

@@ -27,6 +27,11 @@ pub struct Interval {
     pub hi: f64,
 }
 
+// `add`/`sub`/`mul` intentionally mirror interval-arithmetic notation as
+// inherent methods; implementing the `std::ops` traits would invite operator
+// syntax on a type where every operation's rounding semantics should stay
+// explicit at call sites.
+#[allow(clippy::should_implement_trait)]
 impl Interval {
     /// Creates `[lo, hi]`.
     ///
@@ -72,7 +77,10 @@ impl Interval {
     /// Interval product (all four corner products).
     pub fn mul(self, rhs: Interval) -> Interval {
         let c = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
-        Interval::new(c.iter().cloned().fold(f64::MAX, f64::min), c.iter().cloned().fold(f64::MIN, f64::max))
+        Interval::new(
+            c.iter().cloned().fold(f64::MAX, f64::min),
+            c.iter().cloned().fold(f64::MIN, f64::max),
+        )
     }
 
     /// Union (smallest interval containing both).

@@ -217,8 +217,7 @@ mod tests {
                 for i in -1000..1000 {
                     let x = i as f64 * 0.01713;
                     let vi = FixedPoint::from_f64(x, src, RoundingMode::Truncate);
-                    let via_int =
-                        vi.requantize(dst, mode, OverflowMode::Unbounded).to_f64();
+                    let via_int = vi.requantize(dst, mode, OverflowMode::Unbounded).to_f64();
                     let via_f64 = q.quantize(vi.to_f64());
                     assert_eq!(via_int, via_f64, "mode={mode:?} d={d} x={x}");
                 }

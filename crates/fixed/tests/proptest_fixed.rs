@@ -1,9 +1,7 @@
 //! Property-based tests of the fixed-point substrate.
 
 use proptest::prelude::*;
-use psdacc_fixed::{
-    FixedPoint, NoiseMoments, OverflowMode, QFormat, Quantizer, RoundingMode,
-};
+use psdacc_fixed::{FixedPoint, NoiseMoments, OverflowMode, QFormat, Quantizer, RoundingMode};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -57,13 +57,12 @@ impl Block {
             Block::Input | Block::Add => Complex::ONE,
             Block::Gain(g) => Complex::from_re(*g),
             Block::Delay(k) => Complex::cis(-std::f64::consts::TAU * f * *k as f64),
-            Block::Fir(fir) => {
-                fir.taps()
-                    .iter()
-                    .enumerate()
-                    .map(|(n, &h)| Complex::cis(-std::f64::consts::TAU * f * n as f64) * h)
-                    .sum()
-            }
+            Block::Fir(fir) => fir
+                .taps()
+                .iter()
+                .enumerate()
+                .map(|(n, &h)| Complex::cis(-std::f64::consts::TAU * f * n as f64) * h)
+                .sum(),
             Block::Iir(iir) => {
                 let z = Complex::cis(-std::f64::consts::TAU * f);
                 let num = psdacc_filters::poly::polyval_real(iir.b(), z);

@@ -113,9 +113,8 @@ pub fn node_responses(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<NodeResp
             *v = Complex::ZERO;
         }
         rhs[output.0] = Complex::ONE;
-        solve_in_place(&mut m, &mut rhs, n).map_err(|_| SfgError::DelayFreeCycle {
-            nodes: vec![output],
-        })?;
+        solve_in_place(&mut m, &mut rhs, n)
+            .map_err(|_| SfgError::DelayFreeCycle { nodes: vec![output] })?;
         for s in 0..n {
             responses[s][k] = rhs[s];
         }
@@ -229,8 +228,8 @@ mod tests {
         let npsd = 16;
         let resp = node_responses(&g, add, npsd).unwrap();
         for k in 0..npsd {
-            let expect =
-                Complex::from_re(0.8) + Complex::cis(-std::f64::consts::TAU * 3.0 * k as f64 / 16.0);
+            let expect = Complex::from_re(0.8)
+                + Complex::cis(-std::f64::consts::TAU * 3.0 * k as f64 / 16.0);
             assert!((resp.of(x)[k] - expect).norm() < 1e-10, "bin {k}");
         }
         // At some frequencies the paths cancel below either branch's gain —
@@ -274,10 +273,7 @@ mod tests {
         let add = g.add_block(Block::Add, &[x]).unwrap();
         let gain = g.add_block(Block::Gain(0.9), &[add]).unwrap();
         g.set_inputs(add, &[x, gain]).unwrap();
-        assert!(matches!(
-            node_responses(&g, add, 8),
-            Err(SfgError::DelayFreeCycle { .. })
-        ));
+        assert!(matches!(node_responses(&g, add, 8), Err(SfgError::DelayFreeCycle { .. })));
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl Sfg {
         let id = NodeId(self.nodes.len());
         match block.arity() {
             Some(n) if n != inputs.len() => {
-                return Err(SfgError::ArityMismatch { node: id, expected: Some(n), got: inputs.len() })
+                return Err(SfgError::ArityMismatch {
+                    node: id,
+                    expected: Some(n),
+                    got: inputs.len(),
+                })
             }
             None if inputs.is_empty() => {
                 return Err(SfgError::ArityMismatch { node: id, expected: None, got: 0 })

@@ -101,8 +101,7 @@ fn combinational_successors(sfg: &Sfg) -> Vec<Vec<NodeId>> {
 pub fn check_realizable(sfg: &Sfg) -> Result<(), SfgError> {
     let succ = combinational_successors(sfg);
     for comp in scc_from_succ(sfg.len(), &succ) {
-        let cyclic =
-            comp.len() > 1 || succ[comp[0].0].contains(&comp[0]);
+        let cyclic = comp.len() > 1 || succ[comp[0].0].contains(&comp[0]);
         if cyclic {
             return Err(SfgError::DelayFreeCycle { nodes: comp });
         }

@@ -83,12 +83,8 @@ impl SfgSimulator {
         // Phase 1: compute all node outputs in combinational order.
         for &id in &self.order {
             let sum: f64 = self.inputs_of[id.0].iter().map(|p| self.values[p.0]).sum();
-            let ext = self
-                .input_ports
-                .iter()
-                .position(|&p| p == id)
-                .map(|i| external[i])
-                .unwrap_or(0.0);
+            let ext =
+                self.input_ports.iter().position(|&p| p == id).map(|i| external[i]).unwrap_or(0.0);
             let mut y = self.execs[id.0].step(sum, ext);
             y += self.injections[id.0];
             self.injections[id.0] = 0.0;
@@ -159,7 +155,7 @@ mod tests {
         g.mark_output(f);
         let mut sim = SfgSimulator::reference(&g).unwrap();
         let input: Vec<f64> = (0..100).map(|i| (i as f64 * 0.17).sin()).collect();
-        let got = sim.run(&[input.clone()]);
+        let got = sim.run(std::slice::from_ref(&input));
         let want = fir.filter(&input);
         for (a, b) in got.iter().zip(&want) {
             assert!((a - b).abs() < 1e-12);
@@ -193,7 +189,7 @@ mod tests {
         g.mark_output(f);
         let mut sim = SfgSimulator::reference(&g).unwrap();
         let input: Vec<f64> = (0..200).map(|i| ((i % 17) as f64 - 8.0) * 0.1).collect();
-        let got = sim.run(&[input.clone()]);
+        let got = sim.run(std::slice::from_ref(&input));
         let want = iir.filter(&input);
         for (a, b) in got.iter().zip(&want) {
             assert!((a - b).abs() < 1e-10);

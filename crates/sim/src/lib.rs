@@ -20,4 +20,6 @@ pub mod runner;
 pub use engine::SfgSimulator;
 pub use executor::BlockExec;
 pub use measure::ErrorMeasurement;
-pub use runner::{measure_quantization_error, measure_quantization_error_with_input, SimulationPlan};
+pub use runner::{
+    measure_quantization_error, measure_quantization_error_with_input, SimulationPlan,
+};

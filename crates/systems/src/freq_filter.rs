@@ -45,13 +45,11 @@ impl FreqFilterSystem {
     /// between the stages, which is what separates the PSD method from the
     /// PSD-agnostic baseline (Table II).
     pub fn new() -> Self {
-        let prefilter =
-            design_fir(BandSpec::Lowpass { cutoff: 0.25 }, 16, Window::Hamming)
-                .expect("static spec is valid");
+        let prefilter = design_fir(BandSpec::Lowpass { cutoff: 0.25 }, 16, Window::Hamming)
+            .expect("static spec is valid");
         let hlp = design_fir(BandSpec::Highpass { cutoff: 0.25 }, HLP_TAPS, Window::Hamming)
             .expect("static spec is valid");
-        let mut padded: Vec<Complex> =
-            hlp.taps().iter().map(|&v| Complex::from_re(v)).collect();
+        let mut padded: Vec<Complex> = hlp.taps().iter().map(|&v| Complex::from_re(v)).collect();
         padded.resize(NFFT, Complex::ZERO);
         let mut spectrum = padded;
         staged_fft(&mut spectrum, -1.0, None);
@@ -127,9 +125,8 @@ impl FreqFilterSystem {
         // (paper Fig. 5) comes from: the 24-tap cascade folds on a 16-point
         // grid.
         let cascade = psdacc_dsp::convolve(self.prefilter.taps(), self.hlp.taps());
-        let cascade_mag = psdacc_dsp::magnitude_squared(
-            &psdacc_dsp::fir_frequency_response(&cascade, npsd),
-        );
+        let cascade_mag =
+            psdacc_dsp::magnitude_squared(&psdacc_dsp::fir_frequency_response(&cascade, npsd));
         let hlp_mag = psdacc_dsp::magnitude_squared(&psdacc_dsp::fir_frequency_response(
             self.hlp.taps(),
             npsd,
@@ -161,12 +158,9 @@ impl FreqFilterSystem {
         let v_fft_per_bin = total_at_fft_out / NFFT as f64;
         // Power: sum over the 16 actual FFT bins; shape: the |Hlp[k]|^2
         // staircase resampled onto the PSD grid.
-        let p3_total: f64 = self
-            .hlp_spectrum
-            .iter()
-            .map(|h| v_fft_per_bin * h.norm_sqr())
-            .sum::<f64>()
-            / (2.0 * (NFFT * NFFT) as f64);
+        let p3_total: f64 =
+            self.hlp_spectrum.iter().map(|h| v_fft_per_bin * h.norm_sqr()).sum::<f64>()
+                / (2.0 * (NFFT * NFFT) as f64);
         let hlp_stair: Vec<f64> =
             (0..npsd).map(|j| self.hlp_spectrum[j * NFFT / npsd].norm_sqr()).collect();
         distribute(&mut bins, &hlp_stair, p3_total);
@@ -216,37 +210,27 @@ impl FreqFilterSystem {
             .map(|&(vals, remaining)| vals as f64 * 2.0 * sigma2 * 2f64.powi(remaining as i32))
             .sum();
         let v_fft_per_bin = total_at_fft_out / NFFT as f64;
-        let mean_hlp2 =
-            self.hlp_spectrum.iter().map(|v| v.norm_sqr()).sum::<f64>() / NFFT as f64;
+        let mean_hlp2 = self.hlp_spectrum.iter().map(|v| v.norm_sqr()).sum::<f64>() / NFFT as f64;
         let variance = sigma2 * e_pre * e_hlp          // S1 (white-input blunder)
             + sigma2 * e_hlp                           // S2
             + v_fft_per_bin * mean_hlp2 / NFFT as f64  // S3 (no real-part halving)
             + 2.0 * sigma2 / NFFT as f64               // S4
             + total_at_fft_out / ((NFFT * NFFT * NFFT) as f64) // S5
             + sigma2; // S6
-        let mean = mu * self.prefilter.dc_gain() * self.hlp.dc_gain()
-            + mu * self.hlp.dc_gain()
-            + mu;
+        let mean =
+            mu * self.prefilter.dc_gain() * self.hlp.dc_gain() + mu * self.hlp.dc_gain() + mu;
         NoiseMoments::new(mean, variance)
     }
 
     /// Measures the actual error by bit-true simulation: returns
     /// `(power, psd)` of `process(x, quant) - process(x, None)`.
-    pub fn measure(
-        &self,
-        x: &[f64],
-        quant: &Quantizer,
-        nfft_psd: usize,
-    ) -> (f64, Vec<f64>) {
+    pub fn measure(&self, x: &[f64], quant: &Quantizer, nfft_psd: usize) -> (f64, Vec<f64>) {
         let reference = self.process(x, None);
         let quantized = self.process(x, Some(quant));
         // Skip the initial transient (prefilter + first block).
         let skip = 2 * NFFT;
-        let err: Vec<f64> = quantized[skip..]
-            .iter()
-            .zip(&reference[skip..])
-            .map(|(a, b)| a - b)
-            .collect();
+        let err: Vec<f64> =
+            quantized[skip..].iter().zip(&reference[skip..]).map(|(a, b)| a - b).collect();
         let power = err.iter().map(|v| v * v).sum::<f64>() / err.len() as f64;
         let psd = psdacc_dsp::welch(&err, nfft_psd, 0.5, Window::Hann);
         (power, psd)

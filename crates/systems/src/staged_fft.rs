@@ -112,7 +112,8 @@ mod tests {
 
     #[test]
     fn inverse_roundtrip() {
-        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64 * 0.1, -0.05 * i as f64)).collect();
+        let x: Vec<Complex> =
+            (0..32).map(|i| Complex::new(i as f64 * 0.1, -0.05 * i as f64)).collect();
         let mut buf = x.clone();
         staged_fft(&mut buf, -1.0, None);
         staged_fft(&mut buf, 1.0, None);

@@ -117,8 +117,7 @@ pub fn generate(class: ImageClass, n: usize, seed: u64) -> Vec<f64> {
                 .enumerate()
                 .map(|(i, &v)| {
                     let (r, c) = ((i / n) as f64, (i % n) as f64);
-                    let m =
-                        (std::f64::consts::TAU * frequency * (r + 0.7 * c) + phase).sin();
+                    let m = (std::f64::consts::TAU * frequency * (r + 0.7 * c) + phase).sin();
                     v * (1.0 + 0.5 * m)
                 })
                 .collect()
@@ -203,8 +202,7 @@ mod tests {
         let s = periodogram2d(&img, n, n);
         // Average power near DC ring vs near Nyquist ring.
         let low: f64 = (1..4).map(|k| s[k] + s[k * n]).sum::<f64>() / 6.0;
-        let high: f64 =
-            (n / 2 - 3..n / 2).map(|k| s[k] + s[k * n]).sum::<f64>() / 6.0;
+        let high: f64 = (n / 2 - 3..n / 2).map(|k| s[k] + s[k * n]).sum::<f64>() / 6.0;
         assert!(low > 10.0 * high, "low {low} vs high {high}");
     }
 

@@ -34,10 +34,8 @@ impl GrayImage {
         assert_eq!(data.len(), width * height, "data length must equal width * height");
         assert!(hi > lo, "hi must exceed lo");
         let scale = 255.0 / (hi - lo);
-        let pixels = data
-            .iter()
-            .map(|&v| ((v - lo) * scale).round().clamp(0.0, 255.0) as u8)
-            .collect();
+        let pixels =
+            data.iter().map(|&v| ((v - lo) * scale).round().clamp(0.0, 255.0) as u8).collect();
         GrayImage { pixels, width, height }
     }
 
@@ -110,11 +108,7 @@ fn parse_pgm(buf: &[u8]) -> io::Result<GrayImage> {
     if buf.len() < data_start + need {
         return Err(err("truncated pixel data"));
     }
-    Ok(GrayImage {
-        pixels: buf[data_start..data_start + need].to_vec(),
-        width,
-        height,
-    })
+    Ok(GrayImage { pixels: buf[data_start..data_start + need].to_vec(), width, height })
 }
 
 #[cfg(test)]

@@ -103,11 +103,8 @@ impl AliasExactModel {
         for g in [&self.g0, &self.g1] {
             let g_mag: Vec<f64> = g.iter().map(|v| v.norm_sqr()).collect();
             // Subband source: white at half rate, expanded then filtered.
-            let sub = through_magnitude(
-                &upsample_psd(&NoisePsd::white(moments, n), 2),
-                &g_mag,
-                g[0].re,
-            );
+            let sub =
+                through_magnitude(&upsample_psd(&NoisePsd::white(moments, n), 2), &g_mag, g[0].re);
             total.add_assign(&sub);
             // Synthesis branch output source: white at full rate.
             total.add_assign(&NoisePsd::white(moments, n));

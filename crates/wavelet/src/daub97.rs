@@ -221,10 +221,7 @@ mod tests {
             0.026748757410810,
         ];
         for (ours, pub_v) in fb.h0.taps.iter().zip(&published_h0) {
-            assert!(
-                (ours - pub_v * scale).abs() < 1e-9,
-                "h0 {ours} vs published {pub_v} * sqrt2"
-            );
+            assert!((ours - pub_v * scale).abs() < 1e-9, "h0 {ours} vs published {pub_v} * sqrt2");
         }
     }
 

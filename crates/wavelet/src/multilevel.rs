@@ -49,7 +49,7 @@ impl Decomposition1d {
 pub fn wavedec(dwt: &Dwt1d, x: &[f64], levels: usize) -> Decomposition1d {
     assert!(levels > 0, "need at least one level");
     assert!(
-        x.len() % (1 << levels) == 0,
+        x.len().is_multiple_of(1 << levels),
         "signal length {} must be divisible by 2^{levels}",
         x.len()
     );
@@ -82,14 +82,9 @@ pub fn waverec(dwt: &Dwt1d, dec: &Decomposition1d) -> Vec<f64> {
 /// # Panics
 ///
 /// Same conditions as [`wavedec`].
-pub fn wavedec_quantized(
-    dwt: &Dwt1d,
-    x: &[f64],
-    levels: usize,
-    q: &Quantizer,
-) -> Decomposition1d {
+pub fn wavedec_quantized(dwt: &Dwt1d, x: &[f64], levels: usize, q: &Quantizer) -> Decomposition1d {
     assert!(levels > 0, "need at least one level");
-    assert!(x.len() % (1 << levels) == 0, "length must be divisible by 2^levels");
+    assert!(x.len().is_multiple_of(1 << levels), "length must be divisible by 2^levels");
     let mut details = Vec::with_capacity(levels);
     let mut current = x.to_vec();
     for _ in 0..levels {
@@ -168,8 +163,7 @@ mod tests {
         let x = signal(64);
         let dec = wavedec_quantized(&dwt, &x, 2, &q);
         let back = waverec_quantized(&dwt, &dec, &q);
-        let err: f64 =
-            back.iter().zip(&x).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / 64.0;
+        let err: f64 = back.iter().zip(&x).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / 64.0;
         assert!(err > 0.0);
         assert!(err < 1e-5, "error power {err}");
     }

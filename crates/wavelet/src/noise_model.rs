@@ -138,11 +138,8 @@ impl DwtNoiseModel {
         let mut hh = h.apply_y(&self.h1y, self.h1dc).downsample_y(2);
         white(&mut hh);
         // Deeper levels transform the LL band.
-        let ll_rec = if level + 1 < self.levels {
-            self.level_roundtrip(&ll, src, level + 1)
-        } else {
-            ll
-        };
+        let ll_rec =
+            if level + 1 < self.levels { self.level_roundtrip(&ll, src, level + 1) } else { ll };
         // Column synthesis: expand + filter per branch, each branch output
         // quantized, exact addition.
         let mut l_rec = ll_rec.upsample_y(2).apply_y(&self.g0y, self.g0dc);
@@ -226,7 +223,9 @@ mod tests {
         let data: Vec<f64> = (0..n * n)
             .map(|i| {
                 let (r, c) = (i / n, i % n);
-                0.5 + 0.2 * ((0.13 + 0.01 * s) * r as f64).sin() * ((0.07 * s).cos() + 2.0).ln()
+                0.5 + 0.2
+                    * ((0.13 + 0.01 * s) * r as f64).sin()
+                    * ((0.07 * s).cos() + 2.0).ln()
                     * ((0.19 - 0.003 * s) * c as f64).cos()
                     + 0.1 * ((r * 7 + c * 13 + seed as usize) % 101) as f64 / 101.0
             })
@@ -297,7 +296,8 @@ mod tests {
     #[test]
     fn rounding_vs_truncation_power() {
         let model = DwtNoiseModel::new(2, 32, 32);
-        let pr = model.evaluate_power(NoiseMoments::continuous(RoundingMode::RoundNearest, 10), true);
+        let pr =
+            model.evaluate_power(NoiseMoments::continuous(RoundingMode::RoundNearest, 10), true);
         let pt = model.evaluate_power(NoiseMoments::continuous(RoundingMode::Truncate, 10), true);
         // Truncation adds DC (mean) power on top of the same variance.
         assert!(pt > pr, "truncate {pt} vs round {pr}");

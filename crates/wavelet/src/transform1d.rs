@@ -165,12 +165,7 @@ mod tests {
         }
         let back = dwt.synthesize_quantized(&a, &d, &q);
         // Reconstruction error exists but is small at 6 fractional bits.
-        let err: f64 = back
-            .iter()
-            .zip(&x)
-            .map(|(u, v)| (u - v) * (u - v))
-            .sum::<f64>()
-            / 32.0;
+        let err: f64 = back.iter().zip(&x).map(|(u, v)| (u - v) * (u - v)).sum::<f64>() / 32.0;
         assert!(err > 0.0);
         assert!(err < 1e-3, "error power {err}");
     }

@@ -241,12 +241,7 @@ impl Dwt2d {
     pub fn inverse(&self, dec: &Decomposition, q: Option<&Quantizer>) -> Matrix {
         let mut current = dec.final_ll.clone();
         for (lh, hl, hh) in dec.details.iter().rev() {
-            let sb = Subbands {
-                ll: current,
-                lh: lh.clone(),
-                hl: hl.clone(),
-                hh: hh.clone(),
-            };
+            let sb = Subbands { ll: current, lh: lh.clone(), hl: hl.clone(), hh: hh.clone() };
             current = self.synthesize_level(&sb, q);
         }
         current
@@ -323,12 +318,10 @@ mod tests {
     fn finer_quantization_reduces_error() {
         let codec = Dwt2d::new(2);
         let x = test_image(32);
-        let e8 = x
-            .sub(&codec.roundtrip(&x, Some(&Quantizer::new(8, RoundingMode::Truncate))))
-            .power();
-        let e16 = x
-            .sub(&codec.roundtrip(&x, Some(&Quantizer::new(16, RoundingMode::Truncate))))
-            .power();
+        let e8 =
+            x.sub(&codec.roundtrip(&x, Some(&Quantizer::new(8, RoundingMode::Truncate)))).power();
+        let e16 =
+            x.sub(&codec.roundtrip(&x, Some(&Quantizer::new(16, RoundingMode::Truncate)))).power();
         // 8 extra bits: roughly 2^16 less power.
         assert!(e8 / e16 > 1e3, "e8 {e8} e16 {e16}");
     }

@@ -31,8 +31,14 @@ fn main() {
     let estimated = system.model_psd_power(d, rounding, 1024);
     let agnostic = system.model_agnostic_power(d, rounding);
     println!("measured (4 images): {measured:.3e}");
-    println!("PSD method:          {estimated:.3e}  (Ed {:+.2}%)", 100.0 * (estimated - measured) / measured);
-    println!("PSD-agnostic:        {agnostic:.3e}  (Ed {:+.2}%)", 100.0 * (agnostic - measured) / measured);
+    println!(
+        "PSD method:          {estimated:.3e}  (Ed {:+.2}%)",
+        100.0 * (estimated - measured) / measured
+    );
+    println!(
+        "PSD-agnostic:        {agnostic:.3e}  (Ed {:+.2}%)",
+        100.0 * (agnostic - measured) / measured
+    );
 
     // Fig. 7: the 2-D frequency repartition of the error.
     let side = 64;
@@ -52,9 +58,7 @@ fn main() {
                     (logs[y * side + x] - lo) / (hi - lo).max(1e-12);
             }
         }
-        GrayImage::from_f64(&shifted, side, side, 0.0, 1.0)
-            .write_pgm(path)
-            .expect("PGM write");
+        GrayImage::from_f64(&shifted, side, side, 0.0, 1.0).write_pgm(path).expect("PGM write");
         println!("wrote {}", path.display());
     };
     render(&measured_psd, &out.join("dwt_error_psd_simulation.pgm"));

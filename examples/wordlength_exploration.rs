@@ -18,13 +18,13 @@ fn main() {
     // A four-stage channel: lowpass FIR -> IIR equalizer -> gain -> highpass
     // FIR. Different stages attenuate noise differently, so a non-uniform
     // word-length assignment beats the uniform one.
-    let lp = design_fir(BandSpec::Lowpass { cutoff: 0.22 }, 25, Window::Hamming)
-        .expect("valid spec");
+    let lp =
+        design_fir(BandSpec::Lowpass { cutoff: 0.22 }, 25, Window::Hamming).expect("valid spec");
     let eq = butterworth(3, BandSpec::Lowpass { cutoff: 0.3 }).expect("valid spec");
     // The output stage passes only 0.35..0.5: most upstream noise is
     // attenuated, so upstream nodes can afford coarser word-lengths.
-    let hp = design_fir(BandSpec::Highpass { cutoff: 0.35 }, 25, Window::Hamming)
-        .expect("valid spec");
+    let hp =
+        design_fir(BandSpec::Highpass { cutoff: 0.35 }, 25, Window::Hamming).expect("valid spec");
     let mut sfg = Sfg::new();
     let x = sfg.add_input();
     let a = sfg.add_block(Block::Fir(lp), &[x]).expect("valid wiring");
@@ -37,12 +37,11 @@ fn main() {
     let rounding = RoundingMode::RoundNearest;
 
     // Target: the noise floor of a uniform 14-bit design.
-    let budget =
-        evaluator.estimate_psd(&WordLengthPlan::uniform(14, rounding)).power * 1.001;
+    let budget = evaluator.estimate_psd(&WordLengthPlan::uniform(14, rounding)).power * 1.001;
     println!("noise budget: {budget:.4e}");
 
-    let uniform = minimum_uniform_wordlength(&evaluator, budget, rounding, 4, 24)
-        .expect("24 bits suffice");
+    let uniform =
+        minimum_uniform_wordlength(&evaluator, budget, rounding, 4, 24).expect("24 bits suffice");
     let nodes = WordLengthPlan::uniform(uniform, rounding).quantized_nodes(&sfg);
     println!(
         "minimum uniform word-length: {uniform} bits x {} nodes = {} total bits",

@@ -8,11 +8,15 @@
 //!
 //! * [`core`] — the paper's contribution: PSD-based noise propagation plus
 //!   the flat and PSD-agnostic baselines.
+//! * [`engine`] — the parallel batch-evaluation engine: scenario registry,
+//!   work-stealing job pool, and the shared preprocessing cache that
+//!   amortizes `tau_pp` across whole word-length campaigns.
 //! * [`fft`], [`dsp`], [`filters`], [`fixed`], [`sfg`], [`sim`],
 //!   [`wavelet`], [`testimg`], [`systems`] — the substrates it stands on.
 
 pub use psdacc_core as core;
 pub use psdacc_dsp as dsp;
+pub use psdacc_engine as engine;
 pub use psdacc_fft as fft;
 pub use psdacc_filters as filters;
 pub use psdacc_fixed as fixed;

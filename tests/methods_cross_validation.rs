@@ -25,8 +25,8 @@ fn sim_plan() -> SimulationPlan {
 #[test]
 fn fir_filters_match_simulation_tightly() {
     for (taps, cutoff) in [(17usize, 0.1), (49, 0.25), (97, 0.4)] {
-        let fir = design_fir(BandSpec::Lowpass { cutoff }, taps, Window::Hamming)
-            .expect("valid spec");
+        let fir =
+            design_fir(BandSpec::Lowpass { cutoff }, taps, Window::Hamming).expect("valid spec");
         let g = single_block(Block::Fir(fir));
         let eval = AccuracyEvaluator::new(&g, 1024).expect("valid system");
         let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
@@ -62,20 +62,17 @@ fn flat_equals_psd_on_elementary_blocks() {
     let plan = WordLengthPlan::uniform(10, RoundingMode::Truncate);
     let psd = eval.estimate_psd(&plan).power;
     let flat = eval.estimate_flat(&plan).expect("probe-able").power;
-    assert!(
-        ((psd - flat) / flat).abs() < 1e-9,
-        "flat {flat:.6e} vs psd {psd:.6e} must coincide"
-    );
+    assert!(((psd - flat) / flat).abs() < 1e-9, "flat {flat:.6e} vs psd {psd:.6e} must coincide");
 }
 
 /// A cascade where the agnostic white-input assumption visibly fails while
 /// the PSD method tracks simulation.
 #[test]
 fn cascade_separates_the_methods() {
-    let lp = design_fir(BandSpec::Lowpass { cutoff: 0.12 }, 33, Window::Hamming)
-        .expect("valid spec");
-    let hp = design_fir(BandSpec::Highpass { cutoff: 0.33 }, 33, Window::Hamming)
-        .expect("valid spec");
+    let lp =
+        design_fir(BandSpec::Lowpass { cutoff: 0.12 }, 33, Window::Hamming).expect("valid spec");
+    let hp =
+        design_fir(BandSpec::Highpass { cutoff: 0.33 }, 33, Window::Hamming).expect("valid spec");
     let mut g = Sfg::new();
     let x = g.add_input();
     let a = g.add_block(Block::Fir(lp), &[x]).expect("valid wiring");
@@ -109,8 +106,8 @@ fn chebyshev_within_band() {
 /// follows.
 #[test]
 fn wordlength_scaling_law() {
-    let fir = design_fir(BandSpec::Lowpass { cutoff: 0.3 }, 21, Window::Hamming)
-        .expect("valid spec");
+    let fir =
+        design_fir(BandSpec::Lowpass { cutoff: 0.3 }, 21, Window::Hamming).expect("valid spec");
     let g = single_block(Block::Fir(fir));
     let eval = AccuracyEvaluator::new(&g, 512).expect("valid system");
     let p8 = eval.estimate_psd(&WordLengthPlan::uniform(8, RoundingMode::RoundNearest)).power;

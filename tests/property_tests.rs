@@ -106,7 +106,7 @@ proptest! {
         let f = g.add_block(Block::Fir(fir.clone()), &[x]).expect("valid wiring");
         g.mark_output(f);
         let mut sim = SfgSimulator::reference(&g).expect("realizable");
-        let got = sim.run(&[input.clone()]);
+        let got = sim.run(std::slice::from_ref(&input));
         let want = fir.filter(&input);
         for (a, b) in got.iter().zip(&want) {
             prop_assert!((a - b).abs() < 1e-10);

@@ -1,0 +1,233 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! slice of criterion the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — short warmup, then timed batches
+//! with the median-of-batches wall time reported to stdout. There is no
+//! statistical analysis, HTML report, or baseline comparison; the point is
+//! that `cargo bench` runs and prints comparable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget after warmup.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Warmup budget.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Identifier combining a function name and a parameter, printed as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` in repeated batches and records the median cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup doubles the batch size until one batch takes >= 1ms (or the
+        // warmup budget runs out), so per-batch timer overhead is negligible.
+        let warm_start = Instant::now();
+        let mut iters_per_batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || warm_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+            iters_per_batch = iters_per_batch.saturating_mul(2);
+        }
+        // Measurement: batches until the budget is spent.
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET || samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+            if samples.len() >= 500 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: f64::NAN };
+    f(&mut b);
+    println!("{label:<48} {:>12}/iter", human_time(b.ns_per_iter));
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; the shim's time-boxed
+    /// loop ignores it (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time knob (ignored, API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; output streams as benches run).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup { name, _parent: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, &mut f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; there is
+            // nothing to test here, so only bare invocations measure.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: f64::NAN };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter.is_finite() && b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("fft", 1024).id, "fft/1024");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Vendored, dependency-free subset of the `rand` crate API.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the small slice of `rand` it actually uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over primitive ranges, and [`rngs::StdRng`].
+//!
+//! `StdRng` is a xoshiro256++ generator seeded through SplitMix64 — not the
+//! same stream as upstream `rand`'s ChaCha-based `StdRng`, but statistically
+//! solid and fully deterministic per seed, which is all the workspace relies
+//! on (no test pins exact draws).
+
+use std::ops::Range;
+
+/// Low-level uniform word source. Everything else derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface; the workspace only uses [`SeedableRng::seed_from_u64`].
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open `Range`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws uniformly from `range` (`low` inclusive, `high` exclusive).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self;
+}
+
+/// Maps 64 random bits to `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<f64>) -> f64 {
+        let u = unit_f64(rng.next_u64());
+        let v = range.start + (range.end - range.start) * u;
+        // Floating rounding can land exactly on `end` (e.g. when the span is
+        // far below one ulp of the endpoints); clamp to the largest value
+        // strictly inside the half-open range.
+        if v >= range.end {
+            range.end.next_down().max(range.start)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<f32>) -> f32 {
+        f64::sample_range(rng, &((range.start as f64)..(range.end as f64))) as f32
+    }
+}
+
+/// Lemire-style unbiased bounded draw on `[0, bound)` for `bound > 0`.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling on the top of the range keeps the draw unbiased.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                let off = bounded_u64(rng, span);
+                ((range.start as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+/// The user-facing randomness interface (subset of upstream `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range, `rand` 0.8 style.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, &range)
+    }
+
+    /// Uniform draw from `[0, 1)` (f64) — upstream's `gen::<f64>()` shape is
+    /// not reproduced; this covers the common explicit case.
+    fn gen_unit(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_unit() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// SplitMix64: seed expander (public for reuse by `rand_chacha`).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for upstream `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Raw 256-bit state constructor (states must not be all-zero; the
+        /// seeding path guarantees that).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+            StdRng { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng::from_state(s)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn float_range_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn int_range_covers_and_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let x = r.gen_range(-2i32..4);
+            assert!((-2..4).contains(&x));
+            seen[(x + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+    }
+
+    /// A span far below one ulp of the endpoints must still honor the
+    /// half-open contract (the naive `end - span*EPSILON` clamp rounds
+    /// back to `end`).
+    #[test]
+    fn tiny_span_far_from_zero_stays_half_open() {
+        let mut r = StdRng::seed_from_u64(3);
+        let (start, end) = (1e10, 1e10 + 1e-5);
+        for _ in 0..10_000 {
+            let x = r.gen_range(start..end);
+            assert!(x >= start && x < end, "{x:?} escaped [{start}, {end})");
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centered() {
+        let mut r = StdRng::seed_from_u64(1234);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_range(0.0..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
