@@ -61,6 +61,34 @@ impl AccuracyEvaluator {
         Ok(AccuracyEvaluator { sfg: sfg.clone(), output, responses, preprocess_seconds })
     }
 
+    /// Rebuilds an evaluator from **already-computed** responses — the warm
+    /// path of a persistent preprocessing store. No per-bin graph solve is
+    /// performed; `preprocess_seconds` should carry the cost recorded when
+    /// the responses were first computed.
+    ///
+    /// # Errors
+    ///
+    /// [`SfgError::NoOutput`] when the graph has no designated output;
+    /// [`SfgError::ResponseShape`] when `responses` does not cover exactly
+    /// the nodes of `sfg`.
+    pub fn from_cached(
+        sfg: &Sfg,
+        responses: NodeResponses,
+        preprocess_seconds: f64,
+    ) -> Result<Self, SfgError> {
+        let output = *sfg.outputs().first().ok_or(SfgError::NoOutput)?;
+        if responses.len() != sfg.len() {
+            return Err(SfgError::ResponseShape {
+                detail: format!(
+                    "responses cover {} nodes, graph has {}",
+                    responses.len(),
+                    sfg.len()
+                ),
+            });
+        }
+        Ok(AccuracyEvaluator { sfg: sfg.clone(), output, responses, preprocess_seconds })
+    }
+
     /// The analyzed graph.
     pub fn sfg(&self) -> &Sfg {
         &self.sfg
@@ -256,6 +284,36 @@ mod tests {
             "power should scale by 2^(2*8), log2 ratio {}",
             ratio.log2()
         );
+    }
+
+    #[test]
+    fn from_cached_reproduces_estimates_bit_identically() {
+        let g = fir_system();
+        let eval = AccuracyEvaluator::new(&g, 256).unwrap();
+        let rows = eval.responses().rows().to_vec();
+        let rebuilt = AccuracyEvaluator::from_cached(
+            &g,
+            NodeResponses::from_rows(rows, 256).unwrap(),
+            eval.preprocess_seconds(),
+        )
+        .unwrap();
+        let plan = WordLengthPlan::uniform(10, RoundingMode::Truncate);
+        assert_eq!(eval.estimate_psd(&plan).power, rebuilt.estimate_psd(&plan).power);
+        assert_eq!(rebuilt.preprocess_seconds(), eval.preprocess_seconds());
+        assert_eq!(rebuilt.output(), eval.output());
+    }
+
+    #[test]
+    fn from_cached_rejects_mismatched_shapes() {
+        let g = fir_system();
+        let eval = AccuracyEvaluator::new(&g, 64).unwrap();
+        let mut rows = eval.responses().rows().to_vec();
+        rows.pop();
+        let short = NodeResponses::from_rows(rows, 64).unwrap();
+        assert!(matches!(
+            AccuracyEvaluator::from_cached(&g, short, 0.0),
+            Err(SfgError::ResponseShape { .. })
+        ));
     }
 
     #[test]

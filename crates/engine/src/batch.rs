@@ -9,6 +9,12 @@
 //! scenario iir-cascade stages=2 order=4 cutoff=0.2
 //! scenario dwt-pipeline levels=2
 //!
+//! # Parameter sweeps are first-class: integer params take inclusive
+//! # ranges (`0..146` = 147 scenarios) and any param takes comma lists.
+//! # Multi-valued params expand as a cross product.
+//! scenario fir-bank index=0..146
+//! scenario fir-cascade stages=1..4 cutoff=0.1,0.2,0.3
+//!
 //! # scenarios x bits x methods estimate jobs:
 //! batch npsd=256 bits=8..14 methods=psd,agnostic,flat rounding=truncate
 //!
@@ -16,13 +22,16 @@
 //! refine npsd=256 budget=1e-8 start=16 min=4 rounding=nearest
 //! min-uniform npsd=256 budget=1e-8 min=2 max=24 rounding=nearest
 //!
+//! # seeded Monte-Carlo reference jobs (scenarios x bits):
+//! simulate npsd=256 bits=8,12 samples=20000 nfft=256 seed=7 trials=2
+//!
 //! # optional worker override (CLI --threads wins):
 //! threads 8
 //! ```
 //!
 //! `bits` accepts a single value (`12`), an inclusive range (`8..14`), or a
-//! comma list (`8,10,12`). `methods` is a comma list over
-//! `psd`/`agnostic`/`flat`.
+//! comma list (`8,10,12`) — the same sweep syntax scenario parameters use.
+//! `methods` is a comma list over `psd`/`agnostic`/`flat`.
 
 use std::collections::BTreeMap;
 
@@ -70,7 +79,8 @@ impl BatchSpec {
         }
         if spec.jobs.is_empty() {
             return Err(EngineError::Spec(
-                "spec declares no jobs (add a `batch`, `refine`, or `min-uniform` line)"
+                "spec declares no jobs (add a `batch`, `refine`, `min-uniform`, or `simulate` \
+                 line)"
                     .to_string(),
             ));
         }
@@ -87,7 +97,11 @@ impl BatchSpec {
                     .first()
                     .ok_or_else(|| EngineError::Spec("scenario line needs a name".to_string()))?;
                 let params = key_values(&rest[1..])?;
-                self.scenarios.push(Scenario::parse(name, &params)?);
+                // Sweeps (`index=0..146`, `cutoff=0.1,0.2`) expand into one
+                // scenario per point of the parameter cross product.
+                for point in expand_param_sweeps(&params)? {
+                    self.scenarios.push(Scenario::parse(name, &point)?);
+                }
                 Ok(())
             }
             "batch" => {
@@ -102,6 +116,10 @@ impl BatchSpec {
                 let params = key_values(&rest)?;
                 self.expand_min_uniform(&params)
             }
+            "simulate" => {
+                let params = key_values(&rest)?;
+                self.expand_simulate(&params)
+            }
             "threads" => {
                 let n = rest
                     .first()
@@ -114,7 +132,8 @@ impl BatchSpec {
                 Ok(())
             }
             other => Err(EngineError::Spec(format!(
-                "unknown directive `{other}`; known: scenario, batch, refine, min-uniform, threads"
+                "unknown directive `{other}`; known: scenario, batch, refine, min-uniform, \
+                 simulate, threads"
             ))),
         }
     }
@@ -165,6 +184,34 @@ impl BatchSpec {
                 rounding,
                 kind: JobKind::GreedyRefine { budget, start_bits, min_bits },
             });
+        }
+        Ok(())
+    }
+
+    fn expand_simulate(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
+        self.require_scenarios()?;
+        known_keys(params, &["npsd", "bits", "samples", "nfft", "seed", "trials", "rounding"])?;
+        let npsd = parse_npsd(params)?;
+        let rounding = parse_rounding(params)?;
+        let bits = parse_bits_list(params.get("bits").map(String::as_str).unwrap_or("12"))?;
+        let samples = parse_usize_bounded(params, "samples", 20_000, 256..=100_000_000)?;
+        let nfft = parse_usize_bounded(params, "nfft", 256, 2..=1 << 20)?;
+        let trials = parse_usize_bounded(params, "trials", 1, 1..=1024)?;
+        let seed = match params.get("seed") {
+            None => 0xC0FFEE,
+            Some(v) => v.parse::<u64>().map_err(|_| {
+                EngineError::Spec(format!("`seed` must be a non-negative integer, got `{v}`"))
+            })?,
+        };
+        for scenario in &self.scenarios {
+            for &frac_bits in &bits {
+                self.jobs.push(JobSpec {
+                    scenario: scenario.clone(),
+                    npsd,
+                    rounding,
+                    kind: JobKind::Simulate { frac_bits, samples, nfft, seed, trials },
+                });
+            }
         }
         Ok(())
     }
@@ -261,43 +308,105 @@ fn parse_i32(
     }
 }
 
+fn parse_usize_bounded(
+    params: &BTreeMap<String, String>,
+    key: &str,
+    default: usize,
+    range: std::ops::RangeInclusive<usize>,
+) -> Result<usize, EngineError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse::<usize>().ok().filter(|n| range.contains(n)).ok_or_else(|| {
+            EngineError::Spec(format!(
+                "`{key}` must be an integer in {}..={}, got `{v}`",
+                range.start(),
+                range.end()
+            ))
+        }),
+    }
+}
+
+/// Hard ceiling on what one sweep may expand to — typos like `0..1000000`
+/// become parse errors instead of memory exhaustion.
+const MAX_SWEEP: usize = 10_000;
+
+/// Expands one spec value into its sweep members: `a..b` is an inclusive
+/// integer range (`0..146` = 147 values), `x,y,z` a comma list (any scalar
+/// type), anything else a single value.
+fn expand_values(text: &str) -> Result<Vec<String>, EngineError> {
+    if let Some((lo, hi)) = text.split_once("..") {
+        let parse = |tok: &str| -> Result<i64, EngineError> {
+            tok.parse::<i64>().map_err(|_| {
+                EngineError::Spec(format!(
+                    "bad range bound `{tok}` in `{text}` (sweep ranges are integer-only and \
+                     inclusive, e.g. `0..146`)"
+                ))
+            })
+        };
+        let (lo, hi) = (parse(lo)?, parse(hi)?);
+        if lo > hi {
+            return Err(EngineError::Spec(format!("empty range `{text}`")));
+        }
+        if (hi - lo) as usize >= MAX_SWEEP {
+            return Err(EngineError::Spec(format!(
+                "range `{text}` expands to more than {MAX_SWEEP} values"
+            )));
+        }
+        return Ok((lo..=hi).map(|v| v.to_string()).collect());
+    }
+    Ok(text.split(',').map(|tok| tok.trim().to_string()).collect())
+}
+
+/// Cross product of every parameter's sweep values, in deterministic
+/// (key-sorted, value-declared) order.
+fn expand_param_sweeps(
+    params: &BTreeMap<String, String>,
+) -> Result<Vec<BTreeMap<String, String>>, EngineError> {
+    let mut points: Vec<BTreeMap<String, String>> = vec![BTreeMap::new()];
+    for (key, value) in params {
+        let values = expand_values(value)?;
+        if points.len() * values.len() > MAX_SWEEP {
+            return Err(EngineError::Spec(format!(
+                "scenario sweep expands to more than {MAX_SWEEP} scenarios"
+            )));
+        }
+        let mut next = Vec::with_capacity(points.len() * values.len());
+        for base in &points {
+            for v in &values {
+                let mut point = base.clone();
+                point.insert(key.clone(), v.clone());
+                next.push(point);
+            }
+        }
+        points = next;
+    }
+    Ok(points)
+}
+
 /// Word-lengths a spec may ask for. Negative values are legal (coarser-
 /// than-integer grids are meaningful in the PQN model and exercised by the
 /// quantizer tests); the bound exists to turn obvious typos into parse
 /// errors instead of inf/zero-noise "successes".
 const BITS_RANGE: std::ops::RangeInclusive<i32> = -16..=64;
 
-/// `12`, `8..14` (inclusive), or `8,10,12`.
+/// `12`, `8..14` (inclusive), or `8,10,12` — [`expand_values`] sweep syntax
+/// narrowed to the supported bits range.
 fn parse_bits_list(text: &str) -> Result<Vec<i32>, EngineError> {
-    let bounded = |d: i32| -> Result<i32, EngineError> {
-        if BITS_RANGE.contains(&d) {
-            Ok(d)
-        } else {
-            Err(EngineError::Spec(format!(
-                "bits value {d} outside the supported {}..={} range",
-                BITS_RANGE.start(),
-                BITS_RANGE.end()
-            )))
-        }
-    };
-    if let Some((lo, hi)) = text.split_once("..") {
-        let lo: i32 =
-            lo.parse().map_err(|_| EngineError::Spec(format!("bad bits range start `{lo}`")))?;
-        let hi: i32 =
-            hi.parse().map_err(|_| EngineError::Spec(format!("bad bits range end `{hi}`")))?;
-        if lo > hi {
-            return Err(EngineError::Spec(format!("empty bits range `{text}`")));
-        }
-        bounded(lo)?;
-        bounded(hi)?;
-        return Ok((lo..=hi).collect());
-    }
-    text.split(',')
+    expand_values(text)?
+        .iter()
         .map(|tok| {
-            tok.trim()
+            let d = tok
                 .parse::<i32>()
-                .map_err(|_| EngineError::Spec(format!("bad bits value `{tok}`")))
-                .and_then(bounded)
+                .map_err(|_| EngineError::Spec(format!("bad bits value `{tok}`")))?;
+            if BITS_RANGE.contains(&d) {
+                Ok(d)
+            } else {
+                Err(EngineError::Spec(format!(
+                    "bits value {d} outside the supported {}..={} range",
+                    BITS_RANGE.start(),
+                    BITS_RANGE.end()
+                )))
+            }
         })
         .collect()
 }
@@ -380,6 +489,81 @@ mod tests {
         let err =
             BatchSpec::parse("scenario freq-filter\nbatch bits=-2000\n").unwrap_err().to_string();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn scenario_sweeps_expand_as_cross_products() {
+        let spec = BatchSpec::parse(
+            "scenario fir-bank index=0..3\n\
+             batch npsd=64 bits=12 methods=psd\n",
+        )
+        .unwrap();
+        assert_eq!(spec.scenarios.len(), 4);
+        assert_eq!(spec.jobs.len(), 4);
+        assert_eq!(spec.scenarios[0], Scenario::FirBank { index: 0 });
+        assert_eq!(spec.scenarios[3], Scenario::FirBank { index: 3 });
+
+        let spec = BatchSpec::parse(
+            "scenario fir-cascade stages=1..2 cutoff=0.1,0.25 taps=9\n\
+             batch npsd=64 bits=12 methods=psd\n",
+        )
+        .unwrap();
+        assert_eq!(spec.scenarios.len(), 4, "2 stages x 2 cutoffs");
+        let cutoffs: Vec<f64> = spec
+            .scenarios
+            .iter()
+            .map(|s| match s {
+                Scenario::FirCascade { cutoff, .. } => *cutoff,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert!(cutoffs.contains(&0.1) && cutoffs.contains(&0.25));
+    }
+
+    #[test]
+    fn sweep_misuse_is_rejected_with_context() {
+        // Float ranges are not a thing; the error says so.
+        let err = BatchSpec::parse("scenario fir-cascade cutoff=0.1..0.3\nbatch bits=12\n")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("integer-only"), "{err}");
+        // Oversized sweeps are parse errors, not OOM.
+        assert!(BatchSpec::parse("scenario random-sfg seed=0..99999\nbatch bits=12\n").is_err());
+        // Sweep points are validated individually (index 147 is out of range).
+        assert!(BatchSpec::parse("scenario fir-bank index=140..147\nbatch bits=12\n").is_err());
+    }
+
+    #[test]
+    fn simulate_directive_expands_scenarios_by_bits() {
+        let spec = BatchSpec::parse(
+            "scenario freq-filter\n\
+             scenario dwt-pipeline levels=1\n\
+             simulate npsd=128 bits=8,12 samples=5000 nfft=64 seed=9 trials=3\n",
+        )
+        .unwrap();
+        assert_eq!(spec.jobs.len(), 4);
+        for job in &spec.jobs {
+            match job.kind {
+                JobKind::Simulate { samples, nfft, seed, trials, frac_bits } => {
+                    assert_eq!(samples, 5000);
+                    assert_eq!(nfft, 64);
+                    assert_eq!(seed, 9);
+                    assert_eq!(trials, 3);
+                    assert!(frac_bits == 8 || frac_bits == 12);
+                }
+                ref other => panic!("{other:?}"),
+            }
+        }
+        // Defaults parse too.
+        let spec = BatchSpec::parse("scenario freq-filter\nsimulate\n").unwrap();
+        assert!(matches!(
+            spec.jobs[0].kind,
+            JobKind::Simulate { samples: 20_000, nfft: 256, seed: 0xC0FFEE, trials: 1, .. }
+        ));
+        // Bad values are rejected.
+        assert!(BatchSpec::parse("scenario freq-filter\nsimulate trials=0\n").is_err());
+        assert!(BatchSpec::parse("scenario freq-filter\nsimulate samples=10\n").is_err());
+        assert!(BatchSpec::parse("scenario freq-filter\nsimulate seed=-1\n").is_err());
     }
 
     #[test]

@@ -20,10 +20,13 @@ const USAGE: &str = "usage:
   psdacc-engine scenarios
 
 Batch spec format (line-oriented; `#` comments):
-  scenario <name> [key=value ...]     declare a system (repeatable)
+  scenario <name> [key=value ...]     declare a system (repeatable; integer
+                                      params sweep with `0..146` / `0,3,7`,
+                                      multi-valued params cross-product)
   batch [npsd=256] [bits=12|8..14|8,10] [methods=psd,agnostic,flat] [rounding=truncate|nearest]
   refine budget=<power> [npsd=..] [start=16] [min=2] [rounding=..]
   min-uniform budget=<power> [npsd=..] [min=2] [max=32] [rounding=..]
+  simulate [npsd=..] [bits=..] [samples=20000] [nfft=256] [seed=..] [trials=1] [rounding=..]
   threads <N>                         default worker count for the spec
 ";
 

@@ -19,6 +19,52 @@ use crate::scenario::Scenario;
 
 type Slot = Arc<OnceLock<Result<Arc<AccuracyEvaluator>, EngineError>>>;
 
+/// The preprocessing-cache interface the engine runs jobs against.
+///
+/// [`EvaluatorCache`] is the in-memory implementation; `psdacc-store`
+/// layers a disk-persistent store underneath the same interface so the
+/// engine transparently hits memory → disk → build.
+pub trait PreprocessCache: Send + Sync + std::fmt::Debug {
+    /// Returns the evaluator for `(scenario, npsd)`, reporting whether this
+    /// lookup was served from an already-initialized in-memory slot
+    /// (`true` = hit, no waiting on a builder or loader).
+    ///
+    /// # Errors
+    ///
+    /// Scenario build and preprocessing errors.
+    fn get_or_build_traced(
+        &self,
+        scenario: &Scenario,
+        npsd: usize,
+    ) -> Result<(Arc<AccuracyEvaluator>, bool), EngineError>;
+
+    /// Current counters.
+    fn stats(&self) -> CacheStats;
+
+    /// [`PreprocessCache::get_or_build_traced`] without the hit flag.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreprocessCache::get_or_build_traced`].
+    fn get_or_build(
+        &self,
+        scenario: &Scenario,
+        npsd: usize,
+    ) -> Result<Arc<AccuracyEvaluator>, EngineError> {
+        self.get_or_build_traced(scenario, npsd).map(|(evaluator, _)| evaluator)
+    }
+}
+
+/// Where a cache fill came from — builds and loads are counted apart so a
+/// warm persistent cache can prove it performed **zero** preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillSource {
+    /// The preprocessing pass actually ran (`tau_pp` paid here and now).
+    Built,
+    /// The evaluator was restored from somewhere cheaper (e.g. disk).
+    Loaded,
+}
+
 /// Concurrency-safe, build-once evaluator cache keyed by
 /// `(scenario key, npsd)`.
 #[derive(Debug, Default)]
@@ -37,6 +83,12 @@ pub struct CacheStats {
     pub hits: usize,
     /// Number of distinct keys seen.
     pub entries: usize,
+    /// Fills restored from a persistent store instead of being rebuilt
+    /// (always 0 for the purely in-memory cache).
+    pub disk_hits: usize,
+    /// Preprocessing results written out to a persistent store (always 0
+    /// for the purely in-memory cache).
+    pub disk_writes: usize,
 }
 
 impl EvaluatorCache {
@@ -72,6 +124,31 @@ impl EvaluatorCache {
         scenario: &Scenario,
         npsd: usize,
     ) -> Result<(Arc<AccuracyEvaluator>, bool), EngineError> {
+        self.get_or_fill_traced(scenario, npsd, || {
+            let sfg = scenario.build()?;
+            Ok((Arc::new(AccuracyEvaluator::new(&sfg, npsd)?), FillSource::Built))
+        })
+    }
+
+    /// The generalized entry point behind [`EvaluatorCache::get_or_build_traced`]:
+    /// the caller supplies how an absent key gets filled (e.g. "try disk
+    /// first, build as a last resort"), while this cache keeps the
+    /// once-per-key concurrency guarantee and the counters. Only fills
+    /// reporting [`FillSource::Built`] count as preprocessing builds.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `fill` returns; failures are cached like successes, so a
+    /// failing key costs one attempt, not one per job.
+    pub fn get_or_fill_traced<F>(
+        &self,
+        scenario: &Scenario,
+        npsd: usize,
+        fill: F,
+    ) -> Result<(Arc<AccuracyEvaluator>, bool), EngineError>
+    where
+        F: FnOnce() -> Result<(Arc<AccuracyEvaluator>, FillSource), EngineError>,
+    {
         let key = (scenario.key(), npsd);
         let slot: Slot = {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
@@ -81,10 +158,18 @@ impl EvaluatorCache {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        let result = slot.get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
-            let sfg = scenario.build()?;
-            Ok(Arc::new(AccuracyEvaluator::new(&sfg, npsd)?))
+        let result = slot.get_or_init(|| match fill() {
+            Ok((evaluator, FillSource::Built)) => {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                Ok(evaluator)
+            }
+            Ok((evaluator, FillSource::Loaded)) => Ok(evaluator),
+            Err(e) => {
+                // A failed attempt still executed (and is cached), so it
+                // counts — matching the pre-persistence accounting.
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
         });
         result.clone().map(|evaluator| (evaluator, hit))
     }
@@ -95,7 +180,23 @@ impl EvaluatorCache {
             builds: self.builds.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             entries: self.slots.lock().expect("cache lock poisoned").len(),
+            disk_hits: 0,
+            disk_writes: 0,
         }
+    }
+}
+
+impl PreprocessCache for EvaluatorCache {
+    fn get_or_build_traced(
+        &self,
+        scenario: &Scenario,
+        npsd: usize,
+    ) -> Result<(Arc<AccuracyEvaluator>, bool), EngineError> {
+        EvaluatorCache::get_or_build_traced(self, scenario, npsd)
+    }
+
+    fn stats(&self) -> CacheStats {
+        EvaluatorCache::stats(self)
     }
 }
 
@@ -126,6 +227,25 @@ mod tests {
         assert_eq!(a.npsd(), 128);
         assert_eq!(b.npsd(), 256);
         assert_eq!(cache.stats().builds, 2);
+    }
+
+    #[test]
+    fn loaded_fills_do_not_count_as_builds() {
+        let cache = EvaluatorCache::new();
+        let s = Scenario::FirCascade { stages: 1, taps: 9, cutoff: 0.3 };
+        let sfg = s.build().unwrap();
+        let ev = Arc::new(AccuracyEvaluator::new(&sfg, 32).unwrap());
+        let (got, hit) =
+            cache.get_or_fill_traced(&s, 32, || Ok((Arc::clone(&ev), FillSource::Loaded))).unwrap();
+        assert!(!hit);
+        assert!(Arc::ptr_eq(&got, &ev));
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 0, "a loaded fill is not a preprocessing build");
+        assert_eq!(stats.entries, 1);
+        // The second lookup is an ordinary memory hit.
+        let (_, hit) = cache.get_or_fill_traced(&s, 32, || panic!("slot already filled")).unwrap();
+        assert!(hit);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

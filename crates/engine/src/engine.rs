@@ -3,7 +3,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::cache::{CacheStats, EvaluatorCache};
+use crate::cache::{CacheStats, EvaluatorCache, PreprocessCache};
+use crate::error::EngineError;
 use crate::job::{run_job, JobResult, JobSpec};
 use crate::pool::{execute_observed, PoolStats};
 
@@ -11,10 +12,13 @@ use crate::pool::{execute_observed, PoolStats};
 ///
 /// The cache lives as long as the engine, so successive batches keep
 /// amortizing preprocessing — a long-running service evaluates its first
-/// batch slowly and everything after at `tau_eval` cost.
+/// batch slowly and everything after at `tau_eval` cost. Any
+/// [`PreprocessCache`] implementation can back the engine; the default is
+/// the in-memory [`EvaluatorCache`], and `psdacc-store` provides a
+/// disk-persistent one that survives process restarts.
 #[derive(Debug)]
 pub struct Engine {
-    cache: Arc<EvaluatorCache>,
+    cache: Arc<dyn PreprocessCache>,
     threads: usize,
 }
 
@@ -35,6 +39,18 @@ impl BatchReport {
     /// Jobs that failed.
     pub fn failures(&self) -> impl Iterator<Item = &JobResult> {
         self.results.iter().filter(|r| r.error.is_some())
+    }
+
+    /// Noise powers of every job, in job order — the error-returning path
+    /// for callers that need all powers present (batches mixing job kinds
+    /// or containing failures get a [`EngineError::Result`] naming the
+    /// first offending job instead of a panic).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Result`] for the first job without a power.
+    pub fn powers(&self) -> Result<Vec<f64>, EngineError> {
+        self.results.iter().map(JobResult::require_power).collect()
     }
 
     /// Human summary line (the CLI prints this to stderr).
@@ -60,9 +76,15 @@ impl Engine {
         Engine { cache: Arc::new(EvaluatorCache::new()), threads: threads.max(1) }
     }
 
-    /// Engine sharing an existing cache (e.g. across batches or with
-    /// sequential callers that want the same amortization).
+    /// Engine sharing an existing in-memory cache (e.g. across batches or
+    /// with sequential callers that want the same amortization).
     pub fn with_cache(threads: usize, cache: Arc<EvaluatorCache>) -> Self {
+        Engine { cache, threads: threads.max(1) }
+    }
+
+    /// Engine over any [`PreprocessCache`] implementation — the hook that
+    /// lets `psdacc-serve` daemons run on a disk-persistent store.
+    pub fn with_shared_cache(threads: usize, cache: Arc<dyn PreprocessCache>) -> Self {
         Engine { cache, threads: threads.max(1) }
     }
 
@@ -72,7 +94,7 @@ impl Engine {
     }
 
     /// The shared preprocessing cache.
-    pub fn cache(&self) -> &Arc<EvaluatorCache> {
+    pub fn cache(&self) -> &Arc<dyn PreprocessCache> {
         &self.cache
     }
 
@@ -91,7 +113,7 @@ impl Engine {
         mut on_result: impl FnMut(&JobResult),
     ) -> BatchReport {
         let t0 = Instant::now();
-        let cache = &self.cache;
+        let cache: &dyn PreprocessCache = self.cache.as_ref();
         let indexed: Vec<(usize, JobSpec)> = jobs.into_iter().enumerate().collect();
         let (results, pool) = execute_observed(
             indexed,
@@ -132,8 +154,9 @@ mod tests {
         assert_eq!(report.results.len(), 12);
         assert_eq!(report.cache.builds, 1, "preprocessing amortized");
         assert_eq!(report.failures().count(), 0);
-        // Monotone: more bits, less noise.
-        let powers: Vec<f64> = report.results.iter().map(|r| r.power.unwrap()).collect();
+        // Monotone: more bits, less noise. `powers()` is the error-returning
+        // accessor — a failed job surfaces as an EngineError, not a panic.
+        let powers = report.powers().expect("all jobs succeeded");
         assert!(powers.windows(2).all(|w| w[1] < w[0]), "{powers:?}");
         // Job order preserved.
         for (i, r) in report.results.iter().enumerate() {
@@ -178,6 +201,39 @@ mod tests {
         for (job, power) in streamed {
             assert_eq!(report.results[job].power, power, "streamed copy matches final");
         }
+    }
+
+    #[test]
+    fn powers_surfaces_failures_as_errors_not_panics() {
+        let engine = Engine::new(2);
+        // One good estimate, one job kind that never yields a power.
+        let scenario = Scenario::FirCascade { stages: 1, taps: 9, cutoff: 0.3 };
+        let report = engine.run(vec![
+            JobSpec {
+                scenario: scenario.clone(),
+                npsd: 64,
+                rounding: RoundingMode::Truncate,
+                kind: JobKind::Estimate { method: Method::PsdMethod, frac_bits: 10 },
+            },
+            JobSpec {
+                scenario,
+                npsd: 64,
+                rounding: RoundingMode::Truncate,
+                kind: JobKind::MinUniform { budget: 1e-6, min_bits: 2, max_bits: 24 },
+            },
+        ]);
+        let err = report.powers().unwrap_err();
+        assert!(matches!(err, crate::error::EngineError::Result(_)), "{err}");
+        assert!(err.to_string().contains("job 1"), "{err}");
+        // A failing scenario also lands in the error path, not a panic.
+        let bad = engine.run(vec![JobSpec {
+            scenario: Scenario::FirBank { index: 9999 },
+            npsd: 64,
+            rounding: RoundingMode::Truncate,
+            kind: JobKind::Estimate { method: Method::PsdMethod, frac_bits: 10 },
+        }]);
+        assert_eq!(bad.failures().count(), 1);
+        assert!(bad.powers().is_err());
     }
 
     #[test]

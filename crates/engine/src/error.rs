@@ -14,6 +14,9 @@ pub enum EngineError {
     Sfg(SfgError),
     /// Filter design inside a scenario generator failed.
     Filter(String),
+    /// A batch result could not be interpreted (failed job, or a field
+    /// requested from a job kind that does not produce it).
+    Result(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -23,6 +26,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Spec(msg) => write!(f, "batch spec error: {msg}"),
             EngineError::Sfg(e) => write!(f, "signal-flow-graph error: {e}"),
             EngineError::Filter(msg) => write!(f, "filter design error: {msg}"),
+            EngineError::Result(msg) => write!(f, "batch result error: {msg}"),
         }
     }
 }

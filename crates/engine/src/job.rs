@@ -10,9 +10,11 @@ use std::time::Instant;
 use psdacc_core::{greedy_refinement, minimum_uniform_wordlength};
 use psdacc_core::{metrics, AccuracyEvaluator, Method, WordLengthPlan};
 use psdacc_fixed::RoundingMode;
+use psdacc_sim::SimulationPlan;
 
-use crate::cache::EvaluatorCache;
+use crate::cache::PreprocessCache;
 use crate::error::EngineError;
+use crate::json::JsonWriter;
 use crate::scenario::Scenario;
 
 /// What a job computes.
@@ -43,6 +45,21 @@ pub enum JobKind {
         /// Search ceiling.
         max_bits: i32,
     },
+    /// Seeded Monte-Carlo reference measurement (`psdacc-sim`), averaged
+    /// over a fixed number of independent trials — the formerly sequential
+    /// bottleneck, now an ordinary pool job riding the shared cache.
+    Simulate {
+        /// Uniform fractional bits.
+        frac_bits: i32,
+        /// Input samples per trial.
+        samples: usize,
+        /// Welch PSD resolution of the measured error spectrum.
+        nfft: usize,
+        /// Base RNG seed; trial `t` runs with `seed + t`.
+        seed: u64,
+        /// Number of independent trials averaged.
+        trials: usize,
+    },
 }
 
 impl JobKind {
@@ -55,6 +72,7 @@ impl JobKind {
             JobKind::Estimate { method: Method::Simulation, .. } => "simulation",
             JobKind::GreedyRefine { .. } => "greedy-refine",
             JobKind::MinUniform { .. } => "min-uniform",
+            JobKind::Simulate { .. } => "simulate",
         }
     }
 }
@@ -105,6 +123,8 @@ pub struct JobResult {
     pub evaluations: Option<usize>,
     /// Min-uniform: the smallest feasible `d` (absent when infeasible).
     pub min_frac_bits: Option<i32>,
+    /// Simulate: number of Monte-Carlo trials averaged.
+    pub trials: Option<usize>,
     /// Failure description when the job errored.
     pub error: Option<String>,
 }
@@ -127,7 +147,30 @@ impl JobResult {
             total_bits: None,
             evaluations: None,
             min_frac_bits: None,
+            trials: None,
             error: None,
+        }
+    }
+
+    /// The job's noise power, or a descriptive [`EngineError::Result`] —
+    /// the non-panicking accessor for batch post-processing (a failed job,
+    /// or a kind like `min-uniform` that reports no power, must not crash
+    /// the whole batch).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Result`] naming the job and why the power is absent.
+    pub fn require_power(&self) -> Result<f64, EngineError> {
+        match (self.power, &self.error) {
+            (Some(p), _) => Ok(p),
+            (None, Some(e)) => Err(EngineError::Result(format!(
+                "job {} ({} on {}) failed: {e}",
+                self.job, self.kind, self.scenario
+            ))),
+            (None, None) => Err(EngineError::Result(format!(
+                "job {} ({} on {}) reports no power",
+                self.job, self.kind, self.scenario
+            ))),
         }
     }
 
@@ -167,6 +210,9 @@ impl JobResult {
         if let Some(v) = self.min_frac_bits {
             w.field_i64("min_frac_bits", v as i64);
         }
+        if let Some(v) = self.trials {
+            w.field_usize("trials", v);
+        }
         if let Some(e) = &self.error {
             w.field_str("error", e);
         }
@@ -176,7 +222,7 @@ impl JobResult {
 
 /// Executes one job against the shared cache. Never panics on job-level
 /// failures — they land in [`JobResult::error`].
-pub fn run_job(cache: &EvaluatorCache, job_index: usize, spec: &JobSpec) -> JobResult {
+pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) -> JobResult {
     let mut out = JobResult::empty(job_index, spec);
     let (evaluator, hit) = match cache.get_or_build_traced(&spec.scenario, spec.npsd) {
         Ok(pair) => pair,
@@ -230,6 +276,52 @@ pub fn run_job(cache: &EvaluatorCache, job_index: usize, spec: &JobSpec) -> JobR
                 None => out.error = Some("budget infeasible within max_bits".to_string()),
             }
         }
+        JobKind::Simulate { frac_bits, samples, nfft, seed, trials } => {
+            out.frac_bits = Some(frac_bits);
+            out.trials = Some(trials);
+            if trials == 0 {
+                out.error = Some("simulate needs at least one trial".to_string());
+                return out;
+            }
+            let plan = WordLengthPlan::uniform(frac_bits, spec.rounding);
+            let t0 = Instant::now();
+            // Fixed trial count with per-trial derived seeds: deterministic
+            // regardless of which worker (or machine) runs the job.
+            let mut power = 0.0;
+            let mut mean = 0.0;
+            let mut variance = 0.0;
+            let mut failed = None;
+            for trial in 0..trials {
+                let sim = SimulationPlan {
+                    samples,
+                    nfft,
+                    seed: seed.wrapping_add(trial as u64),
+                    ..SimulationPlan::default()
+                };
+                match evaluator.simulate(&plan, &sim) {
+                    Ok(est) => {
+                        power += est.power;
+                        mean += est.mean;
+                        variance += est.variance;
+                    }
+                    Err(e) => {
+                        failed = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            out.tau_eval_seconds = t0.elapsed().as_secs_f64();
+            match failed {
+                Some(e) => out.error = Some(e),
+                None => {
+                    let n = trials as f64;
+                    out.power = Some(power / n);
+                    out.mean = Some(mean / n);
+                    out.variance = Some(variance / n);
+                    out.sqnr_db = Some(metrics::sqnr_db(signal_power(&evaluator), power / n));
+                }
+            }
+        }
     }
     out
 }
@@ -240,80 +332,10 @@ fn signal_power(evaluator: &Arc<AccuracyEvaluator>) -> f64 {
     evaluator.sfg().inputs().iter().map(|&input| evaluator.responses().energy(input)).sum()
 }
 
-/// Minimal JSON object writer (the workspace has no serde).
-struct JsonWriter {
-    buf: String,
-    first: bool,
-}
-
-impl JsonWriter {
-    fn new() -> Self {
-        JsonWriter { buf: String::from("{"), first: true }
-    }
-
-    fn key(&mut self, name: &str) {
-        if !self.first {
-            self.buf.push(',');
-        }
-        self.first = false;
-        self.buf.push('"');
-        self.buf.push_str(name);
-        self.buf.push_str("\":");
-    }
-
-    fn field_str(&mut self, name: &str, value: &str) {
-        self.key(name);
-        self.buf.push('"');
-        for c in value.chars() {
-            match c {
-                '"' => self.buf.push_str("\\\""),
-                '\\' => self.buf.push_str("\\\\"),
-                '\n' => self.buf.push_str("\\n"),
-                '\t' => self.buf.push_str("\\t"),
-                '\r' => self.buf.push_str("\\r"),
-                c if (c as u32) < 0x20 => {
-                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => self.buf.push(c),
-            }
-        }
-        self.buf.push('"');
-    }
-
-    fn field_f64(&mut self, name: &str, value: f64) {
-        self.key(name);
-        if value.is_finite() {
-            self.buf.push_str(&format!("{value:e}"));
-        } else {
-            // JSON has no Infinity/NaN.
-            self.buf.push_str("null");
-        }
-    }
-
-    fn field_i64(&mut self, name: &str, value: i64) {
-        self.key(name);
-        self.buf.push_str(&value.to_string());
-    }
-
-    fn field_usize(&mut self, name: &str, value: usize) {
-        self.key(name);
-        self.buf.push_str(&value.to_string());
-    }
-
-    fn field_bool(&mut self, name: &str, value: bool) {
-        self.key(name);
-        self.buf.push_str(if value { "true" } else { "false" });
-    }
-
-    fn finish(mut self) -> String {
-        self.buf.push('}');
-        self.buf
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::EvaluatorCache;
 
     fn spec(kind: JobKind) -> JobSpec {
         JobSpec {
@@ -387,9 +409,64 @@ mod tests {
     }
 
     #[test]
-    fn json_escapes_strings() {
-        let mut w = JsonWriter::new();
-        w.field_str("k", "a\"b\\c\nd");
-        assert_eq!(w.finish(), r#"{"k":"a\"b\\c\nd"}"#);
+    fn simulate_job_matches_direct_evaluator_call() {
+        let cache = EvaluatorCache::new();
+        let kind =
+            JobKind::Simulate { frac_bits: 10, samples: 20_000, nfft: 64, seed: 77, trials: 2 };
+        let r = run_job(&cache, 0, &spec(kind));
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert_eq!(r.kind, "simulate");
+        assert_eq!(r.trials, Some(2));
+
+        // Reproduce sequentially with the same derived seeds.
+        let s = spec(JobKind::Estimate { method: Method::PsdMethod, frac_bits: 10 });
+        let sfg = s.scenario.build().unwrap();
+        let eval = AccuracyEvaluator::new(&sfg, 128).unwrap();
+        let plan = WordLengthPlan::uniform(10, RoundingMode::Truncate);
+        let mut power = 0.0;
+        for trial in 0..2u64 {
+            let sim = SimulationPlan {
+                samples: 20_000,
+                nfft: 64,
+                seed: 77 + trial,
+                ..SimulationPlan::default()
+            };
+            power += eval.simulate(&plan, &sim).unwrap().power;
+        }
+        assert_eq!(r.power, Some(power / 2.0), "bit-identical to sequential simulation");
+
+        // The measured power agrees with the analytic PSD estimate within
+        // Monte-Carlo tolerance (the paper's Ed is small for FIR chains).
+        let analytic = eval.estimate_psd(&plan).power;
+        let ratio = r.power.unwrap() / analytic;
+        assert!((0.5..2.0).contains(&ratio), "sim/psd ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_trial_simulate_is_an_error_not_a_zero() {
+        let cache = EvaluatorCache::new();
+        let r = run_job(
+            &cache,
+            0,
+            &spec(JobKind::Simulate { frac_bits: 10, samples: 1000, nfft: 32, seed: 1, trials: 0 }),
+        );
+        assert!(r.error.is_some());
+        assert!(r.power.is_none());
+        assert!(r.require_power().is_err());
+    }
+
+    #[test]
+    fn require_power_reports_absence_with_context() {
+        let cache = EvaluatorCache::new();
+        let ok =
+            run_job(&cache, 0, &spec(JobKind::Estimate { method: Method::Flat, frac_bits: 9 }));
+        assert_eq!(ok.require_power().unwrap(), ok.power.unwrap());
+        let mu = run_job(
+            &cache,
+            4,
+            &spec(JobKind::MinUniform { budget: 1e-3, min_bits: 2, max_bits: 24 }),
+        );
+        let err = mu.require_power().unwrap_err().to_string();
+        assert!(err.contains("job 4") && err.contains("min-uniform"), "{err}");
     }
 }

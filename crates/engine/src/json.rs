@@ -1,0 +1,475 @@
+//! Minimal JSON machinery shared by the engine's result stream and the
+//! `psdacc-serve` wire protocol.
+//!
+//! The workspace has no serde (the build environment has no crates.io
+//! access), so both directions are hand-rolled and deliberately small:
+//!
+//! * [`JsonWriter`] — append-only object writer producing one-line objects.
+//!   `f64` fields use `{:e}`, whose shortest-round-trip guarantee makes
+//!   string equality of emitted numbers equivalent to bit equality.
+//! * [`Json`] + [`parse`] — a recursive-descent parser for the subset the
+//!   protocol needs (objects, arrays, strings, numbers, booleans, null).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys keep the last value on
+    /// lookup, mirroring typical JSON semantics).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (last occurrence wins); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional parts).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer (rejects fractional parts).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(v) if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 => {
+                Some(*v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// A human-readable description with the byte offset of the problem.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+/// Recursion ceiling: the parser runs on untrusted network input, and a
+/// line of a few hundred thousand `[`s must be an error, not a stack
+/// overflow (which aborts the whole process, not just the connection).
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    token
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number `{token}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        // Surrogates are not paired up; the protocol never
+                        // emits them (the writer escapes only controls).
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are trustworthy).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+/// Append-only single-line JSON object writer.
+#[derive(Debug)]
+pub struct JsonWriter {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonWriter { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(name);
+        self.buf.push_str("\":");
+    }
+
+    /// Appends an escaped string into `buf`, quotes included.
+    fn push_escaped(buf: &mut String, value: &str) {
+        buf.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => buf.push_str("\\\""),
+                '\\' => buf.push_str("\\\\"),
+                '\n' => buf.push_str("\\n"),
+                '\t' => buf.push_str("\\t"),
+                '\r' => buf.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(buf, "\\u{:04x}", c as u32);
+                }
+                c => buf.push(c),
+            }
+        }
+        buf.push('"');
+    }
+
+    /// String field (escaped).
+    pub fn field_str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        Self::push_escaped(&mut self.buf, value);
+    }
+
+    /// Float field; non-finite values become `null` (JSON has no Inf/NaN).
+    pub fn field_f64(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:e}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Signed integer field.
+    pub fn field_i64(&mut self, name: &str, value: i64) {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+    }
+
+    /// Unsigned integer field (`u64` covers `usize` everywhere we build).
+    pub fn field_u64(&mut self, name: &str, value: u64) {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+    }
+
+    /// `usize` convenience over [`JsonWriter::field_u64`].
+    pub fn field_usize(&mut self, name: &str, value: usize) {
+        self.field_u64(name, value as u64);
+    }
+
+    /// Boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Raw field: `value` must itself be valid JSON (e.g. a nested object
+    /// produced by another writer, or an array assembled by the caller).
+    pub fn field_raw(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.buf.push_str(value);
+    }
+
+    /// Closes the object and returns the single-line string.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Escapes `value` as a standalone JSON string (quotes included) — for
+/// assembling arrays of strings without a writer.
+pub fn escape_str(value: &str) -> String {
+    let mut buf = String::new();
+    JsonWriter::push_escaped(&mut buf, value);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_and_parser_round_trip() {
+        let mut w = JsonWriter::new();
+        w.field_str("s", "a\"b\\c\nd");
+        w.field_f64("x", 1.25e-7);
+        w.field_i64("i", -42);
+        w.field_usize("u", 7);
+        w.field_bool("b", true);
+        w.field_raw("arr", "[1,2,3]");
+        let line = w.finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(1.25e-7));
+        assert_eq!(v.get("i").unwrap().as_i64(), Some(-42));
+        assert_eq!(v.get("u").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("arr").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for &x in &[0.1, 1.0 / 3.0, 2.5e-300, 1.7976931348623157e308, -0.0] {
+            let mut w = JsonWriter::new();
+            w.field_f64("v", x);
+            let line = w.finish();
+            let back = parse(&line).unwrap().get("v").unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.field_f64("v", f64::NAN);
+        assert_eq!(w.finish(), r#"{"v":null}"#);
+    }
+
+    #[test]
+    fn parser_accepts_the_protocol_shapes() {
+        let v = parse(r#"{"kind":"evaluate","scenario":"fir-bank index=3","npsd":256,"bits":12}"#)
+            .unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("evaluate"));
+        assert_eq!(v.get("npsd").unwrap().as_u64(), Some(256));
+        let v = parse("  [1, \"two\", null, {\"k\": false}]  ").unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 4);
+        assert_eq!(parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("1e999").is_err(), "non-finite numbers rejected");
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        let bomb = "[".repeat(200_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let objects = "{\"k\":".repeat(200_000);
+        assert!(parse(&objects).unwrap_err().contains("nesting"));
+        // Reasonable nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v = parse(r#"{"k":"héllo é \t"}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("héllo é \t"));
+        assert_eq!(escape_str("a\"b"), r#""a\"b""#);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn integer_helpers_reject_fractions() {
+        let v = parse(r#"{"a":1.5,"b":-3}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), None);
+        assert_eq!(v.get("a").unwrap().as_i64(), None);
+        assert_eq!(v.get("b").unwrap().as_i64(), Some(-3));
+        assert_eq!(v.get("b").unwrap().as_u64(), None);
+    }
+}

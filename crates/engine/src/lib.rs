@@ -45,11 +45,12 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod job;
+pub mod json;
 pub mod pool;
 pub mod scenario;
 
 pub use batch::{demo_spec, BatchSpec};
-pub use cache::{CacheStats, EvaluatorCache};
+pub use cache::{CacheStats, EvaluatorCache, FillSource, PreprocessCache};
 pub use engine::{BatchReport, Engine};
 pub use error::EngineError;
 pub use job::{JobKind, JobResult, JobSpec};

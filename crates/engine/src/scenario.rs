@@ -182,6 +182,52 @@ impl Scenario {
         }
     }
 
+    /// Renders the scenario in batch-spec syntax (`name key=value ...`) —
+    /// the wire form `psdacc-serve` ships to daemons. Round-trips through
+    /// [`Scenario::parse_spec_line`] to an identical scenario (`f64`
+    /// `Display` is shortest-round-trip, so float parameters survive
+    /// bit-exactly).
+    pub fn to_spec_line(&self) -> String {
+        match self {
+            Scenario::FirBank { index } => format!("fir-bank index={index}"),
+            Scenario::IirBank { index } => format!("iir-bank index={index}"),
+            Scenario::FirCascade { stages, taps, cutoff } => {
+                format!("fir-cascade stages={stages} taps={taps} cutoff={cutoff}")
+            }
+            Scenario::IirCascade { stages, order, cutoff } => {
+                format!("iir-cascade stages={stages} order={order} cutoff={cutoff}")
+            }
+            Scenario::FreqFilter => "freq-filter".to_string(),
+            Scenario::DwtPipeline { levels } => format!("dwt-pipeline levels={levels}"),
+            Scenario::RandomSfg { nodes, seed } => {
+                format!("random-sfg nodes={nodes} seed={seed}")
+            }
+        }
+    }
+
+    /// Parses one concrete scenario from `name key=value ...` text (no
+    /// sweep syntax — that lives in batch specs).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Scenario`] on malformed tokens or invalid scenarios.
+    pub fn parse_spec_line(text: &str) -> Result<Self, EngineError> {
+        let mut tokens = text.split_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| EngineError::Scenario("empty scenario spec".to_string()))?;
+        let mut params = BTreeMap::new();
+        for token in tokens {
+            let (k, v) = token.split_once('=').ok_or_else(|| {
+                EngineError::Scenario(format!("expected key=value, got `{token}`"))
+            })?;
+            if params.insert(k.to_string(), v.to_string()).is_some() {
+                return Err(EngineError::Scenario(format!("duplicate key `{k}`")));
+            }
+        }
+        Scenario::parse(name, &params)
+    }
+
     /// Parses `name key=value ...` tokens (the batch-spec scenario syntax).
     ///
     /// # Errors
@@ -456,6 +502,27 @@ mod tests {
         let g3 = Scenario::DwtPipeline { levels: 3 }.build().unwrap();
         assert!(g3.len() > g1.len());
         assert!(psdacc_sfg::check_realizable(&g3).is_ok());
+    }
+
+    #[test]
+    fn spec_lines_round_trip() {
+        let all = vec![
+            Scenario::FirBank { index: 3 },
+            Scenario::IirBank { index: 146 },
+            Scenario::FirCascade { stages: 2, taps: 31, cutoff: 0.2 },
+            Scenario::IirCascade { stages: 3, order: 4, cutoff: 0.15 },
+            Scenario::FreqFilter,
+            Scenario::DwtPipeline { levels: 2 },
+            Scenario::RandomSfg { nodes: 12, seed: 99 },
+        ];
+        for s in all {
+            let line = s.to_spec_line();
+            let back = Scenario::parse_spec_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, s, "{line}");
+        }
+        assert!(Scenario::parse_spec_line("").is_err());
+        assert!(Scenario::parse_spec_line("fir-bank index").is_err());
+        assert!(Scenario::parse_spec_line("fir-bank index=1 index=2").is_err());
     }
 
     #[test]

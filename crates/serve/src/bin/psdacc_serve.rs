@@ -1,0 +1,261 @@
+//! `psdacc-serve` — the networked evaluation service CLI.
+//!
+//! ```text
+//! psdacc-serve daemon --addr 127.0.0.1:7341 --store DIR [--threads N]
+//! psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] SPECFILE
+//! psdacc-serve stats  --workers HOST:PORT[,HOST:PORT...]
+//! psdacc-serve scenarios --workers HOST:PORT
+//! ```
+//!
+//! `daemon` serves forever; results stream to each client as JSON lines.
+//! `submit` shards a batch spec across daemons and prints merged result
+//! lines to stdout (summaries to stderr), exiting nonzero if any job
+//! failed. `stats` / `scenarios` print each daemon's one-line answer.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use psdacc_engine::{BatchSpec, Engine};
+use psdacc_serve::{client, Server};
+use psdacc_store::PersistentCache;
+
+const USAGE: &str = "usage:
+  psdacc-serve daemon --addr HOST:PORT [--store DIR] [--threads N]
+  psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] SPECFILE
+  psdacc-serve stats --workers HOST:PORT[,HOST:PORT...]
+  psdacc-serve scenarios --workers HOST:PORT[,HOST:PORT...]
+
+The daemon speaks newline-delimited JSON (kinds: evaluate, greedy,
+min-uniform, simulate, scenarios, stats). With --store, preprocessing
+persists to disk and restarts warm-start with zero builds. `submit`
+expands a batch spec locally, round-robins the jobs across the workers,
+and merges the streamed results back into submission order.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("daemon") => cmd_daemon(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("stats") => cmd_control(&args[1..], "stats"),
+        Some("scenarios") => cmd_control(&args[1..], "scenarios"),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag value` pairs plus at most one positional argument.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+    positional_name: Option<&str>,
+) -> Result<(BTreeMap<String, String>, Option<String>), String> {
+    let mut flags = BTreeMap::new();
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        let token = args[i].as_str();
+        if token.starts_with("--") {
+            if !allowed.contains(&token) {
+                return Err(format!(
+                    "unknown argument `{token}` (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+            let value = args.get(i + 1).ok_or_else(|| format!("missing value for {token}"))?;
+            flags.insert(token.to_string(), value.clone());
+            i += 2;
+        } else {
+            match positional_name {
+                Some(_) if positional.is_none() => {
+                    positional = Some(token.to_string());
+                    i += 1;
+                }
+                Some(name) => return Err(format!("more than one {name} given")),
+                None => return Err(format!("unexpected argument `{token}`")),
+            }
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn parse_workers(flags: &BTreeMap<String, String>) -> Result<Vec<String>, String> {
+    let raw = flags
+        .get("--workers")
+        .ok_or_else(|| "missing --workers HOST:PORT[,HOST:PORT...]".to_string())?;
+    let workers: Vec<String> =
+        raw.split(',').map(str::trim).filter(|w| !w.is_empty()).map(String::from).collect();
+    if workers.is_empty() {
+        return Err("empty --workers list".to_string());
+    }
+    Ok(workers)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+fn cmd_daemon(args: &[String]) -> ExitCode {
+    let (flags, _) = match parse_flags(args, &["--addr", "--store", "--threads"], None) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(addr) = flags.get("--addr") else {
+        eprintln!("daemon needs --addr HOST:PORT\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let threads = match flags.get("--threads").map(|v| v.parse::<usize>()) {
+        None => default_threads(),
+        Some(Ok(n)) if n >= 1 => n,
+        _ => {
+            eprintln!("--threads must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = match flags.get("--store") {
+        Some(dir) => match PersistentCache::open(dir) {
+            Ok(cache) => Engine::with_shared_cache(threads, Arc::new(cache)),
+            Err(e) => {
+                eprintln!("cannot open store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Engine::new(threads),
+    };
+    let server = match Server::bind(addr, engine) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => eprintln!(
+            "psdacc-serve: listening on {bound} with {threads} threads{}",
+            match flags.get("--store") {
+                Some(dir) => format!(", store {dir}"),
+                None => ", in-memory cache".to_string(),
+            }
+        ),
+        Err(e) => eprintln!("psdacc-serve: {e}"),
+    }
+    server.run();
+    ExitCode::SUCCESS
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let (flags, positional) =
+        match parse_flags(args, &["--workers", "--timeout-seconds"], Some("SPECFILE")) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let workers = match parse_workers(&flags) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(spec_path) = positional else {
+        eprintln!("submit needs a SPECFILE\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match BatchSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Wait for every daemon so `daemon & submit` scripting just works.
+    let timeout = flags.get("--timeout-seconds").and_then(|v| v.parse::<u64>().ok()).unwrap_or(30);
+    for worker in &workers {
+        if let Err(e) = client::wait_ready(worker, Duration::from_secs(timeout)) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let stdout = std::io::stdout();
+    let outcome = {
+        let mut out = stdout.lock();
+        client::submit_streaming(&workers, &spec.jobs, |line| {
+            use std::io::Write as _;
+            let _ = writeln!(out, "{line}");
+        })
+    };
+    match outcome {
+        Ok(outcome) => {
+            for (worker, summary) in workers.iter().zip(&outcome.summaries) {
+                eprintln!("{worker}: {summary}");
+            }
+            eprintln!(
+                "{} jobs across {} workers | {} failed",
+                outcome.lines.len(),
+                workers.len(),
+                outcome.failed
+            );
+            if outcome.failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_control(args: &[String], kind: &str) -> ExitCode {
+    let (flags, _) = match parse_flags(args, &["--workers"], None) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = match parse_workers(&flags) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for worker in &workers {
+        match client::request_control(worker, kind) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("{worker}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,48 @@
+//! Serve error type.
+
+use psdacc_engine::EngineError;
+use psdacc_store::StoreError;
+
+/// Errors surfaced by the evaluation service (daemon and client sides).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or file I/O failure.
+    Io(String),
+    /// A protocol line could not be parsed or violated the protocol.
+    Protocol(String),
+    /// Engine-level failure (spec parsing, scenario construction).
+    Engine(EngineError),
+    /// Persistent-store failure.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "serve I/O error: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,36 @@
+//! # psdacc-serve
+//!
+//! The workspace's first cross-process scaling path: a std-only TCP
+//! daemon exposing the batch-evaluation engine over a newline-delimited
+//! JSON protocol, plus the sharding client that fans a batch spec across
+//! several daemons and merges the streamed results back in order.
+//!
+//! The paper's `tau_pp`/`tau_eval` economics want a **service**, not a
+//! one-shot CLI: precision decisions get re-queried continuously (dynamic
+//! precision scaling), and every query after the first should cost
+//! `tau_eval`. The daemon holds its engine — and, when started with
+//! `--store`, a [`psdacc_store::PersistentCache`] — for its whole
+//! lifetime, so amortization spans connections *and restarts*:
+//!
+//! ```text
+//! psdacc-serve daemon --addr 127.0.0.1:7341 --store /var/cache/psdacc &
+//! psdacc-serve daemon --addr 127.0.0.1:7342 --store /var/cache/psdacc &
+//! psdacc-serve submit --workers 127.0.0.1:7341,127.0.0.1:7342 batch.spec
+//! ```
+//!
+//! `submit` expands the spec locally, round-robins jobs across the
+//! workers tagged with their submission index, and re-merges the streams,
+//! producing result lines identical to a local `psdacc-engine run` of the
+//! same spec (timing fields aside). See [`protocol`] for the wire format,
+//! [`server`] for connection semantics, [`client`] for the sharding
+//! merge.
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::{request_control, submit, submit_streaming, wait_ready, ShardOutcome};
+pub use error::ServeError;
+pub use protocol::{job_request_line, parse_request, result_line, Request};
+pub use server::{Server, ServerHandle, ServerState};

@@ -1,0 +1,459 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request and response is one JSON object per line. A client
+//! connection writes requests, half-closes its write side, and reads
+//! responses until EOF. Request kinds:
+//!
+//! ```text
+//! {"kind":"evaluate","scenario":"fir-bank index=3","npsd":256,
+//!  "method":"psd","bits":12,"rounding":"truncate","id":0}
+//! {"kind":"greedy","scenario":"freq-filter","budget":1e-8,"start":16,"min":4}
+//! {"kind":"min-uniform","scenario":"freq-filter","budget":1e-8,"min":2,"max":24}
+//! {"kind":"simulate","scenario":"freq-filter","bits":12,"samples":20000,
+//!  "nfft":256,"seed":"7","trials":2}
+//! {"kind":"scenarios"}
+//! {"kind":"stats"}
+//! ```
+//!
+//! `scenario` is the engine's spec-line syntax (`name key=value ...`).
+//! `id` tags the response (`"job"` field) so a sharding client can merge
+//! streams back into submission order; when omitted, the daemon numbers
+//! requests per connection. `seed` may be a JSON number or a string (a
+//! string preserves full `u64` range; JSON numbers are doubles).
+//!
+//! Control kinds (`scenarios`, `stats`) are answered immediately. Job
+//! kinds are queued and executed as **one engine batch** when the client
+//! half-closes, so a connection's jobs share the work-stealing pool and
+//! stream back in completion order, followed by one `{"kind":"summary"}`
+//! line.
+
+use psdacc_engine::json::{self, Json, JsonWriter};
+use psdacc_engine::{JobKind, JobResult, JobSpec, Scenario};
+use psdacc_fixed::RoundingMode;
+
+use crate::error::ServeError;
+
+/// Per-line size cap on both sides of the wire. Real protocol lines are
+/// hundreds of bytes; a peer streaming gigabytes with no `\n` must hit an
+/// error, not grow an unbounded buffer.
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Reads one newline-terminated line, enforcing [`MAX_LINE_BYTES`].
+/// Returns `Ok(None)` at EOF.
+///
+/// # Errors
+///
+/// I/O errors, plus `InvalidData` for an oversized line.
+pub fn read_capped_line<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<Option<String>> {
+    use std::io::{BufRead as _, Read as _};
+    let mut take = reader.by_ref().take(MAX_LINE_BYTES);
+    let mut line = String::new();
+    let n = take.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n as u64 == MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("line exceeds the {MAX_LINE_BYTES}-byte protocol limit"),
+        ));
+    }
+    Ok(Some(line))
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A unit of engine work tagged with the response id.
+    Job {
+        /// Echoed as the result's `job` field.
+        id: usize,
+        /// The work.
+        spec: JobSpec,
+    },
+    /// List the scenario registry.
+    Scenarios,
+    /// Report engine/cache/store counters.
+    Stats,
+}
+
+/// Parses one request line; `default_id` tags job requests that carry no
+/// explicit `id`.
+///
+/// # Errors
+///
+/// A human-readable message (sent back to the client verbatim).
+pub fn parse_request(line: &str, default_id: usize) -> Result<Request, String> {
+    let value = json::parse(line)?;
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs a string `kind` field".to_string())?;
+    match kind {
+        "scenarios" => Ok(Request::Scenarios),
+        "stats" => Ok(Request::Stats),
+        "evaluate" | "greedy" | "min-uniform" | "simulate" => {
+            let id = match value.get("id") {
+                None => default_id,
+                Some(v) => v
+                    .as_u64()
+                    .map(|v| v as usize)
+                    .ok_or_else(|| "`id` must be a non-negative integer".to_string())?,
+            };
+            let spec = parse_job_spec(kind, &value)?;
+            Ok(Request::Job { id, spec })
+        }
+        other => Err(format!(
+            "unknown kind `{other}` (known: evaluate, greedy, min-uniform, simulate, scenarios, \
+             stats)"
+        )),
+    }
+}
+
+fn parse_job_spec(kind: &str, value: &Json) -> Result<JobSpec, String> {
+    let scenario_text = value
+        .get("scenario")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "job request needs a string `scenario` field".to_string())?;
+    let scenario = Scenario::parse_spec_line(scenario_text).map_err(|e| e.to_string())?;
+    // The daemon faces untrusted peers, so the wire enforces the same
+    // bounds the batch-spec parser does — nfft=0 would panic a pool
+    // worker, and absurd sizes are resource exhaustion, not jobs.
+    let npsd = opt_usize_bounded(value, "npsd", 256, 2..=1 << 20)?;
+    let rounding = match value.get("rounding").map(|v| v.as_str()) {
+        None | Some(Some("truncate")) => RoundingMode::Truncate,
+        Some(Some("nearest")) => RoundingMode::RoundNearest,
+        _ => return Err("`rounding` must be \"truncate\" or \"nearest\"".to_string()),
+    };
+    let kind = match kind {
+        "evaluate" => {
+            let method = match value.get("method").map(|v| v.as_str()) {
+                None | Some(Some("psd")) => psdacc_core::Method::PsdMethod,
+                Some(Some("agnostic")) => psdacc_core::Method::PsdAgnostic,
+                Some(Some("flat")) => psdacc_core::Method::Flat,
+                _ => return Err("`method` must be \"psd\", \"agnostic\", or \"flat\"".to_string()),
+            };
+            JobKind::Estimate { method, frac_bits: req_i32(value, "bits")? }
+        }
+        "greedy" => JobKind::GreedyRefine {
+            budget: req_budget(value)?,
+            start_bits: opt_i32(value, "start", 16)?,
+            min_bits: opt_i32(value, "min", 2)?,
+        },
+        "min-uniform" => {
+            let min_bits = opt_i32(value, "min", 2)?;
+            let max_bits = opt_i32(value, "max", 32)?;
+            if min_bits > max_bits {
+                return Err("`min` must not exceed `max`".to_string());
+            }
+            JobKind::MinUniform { budget: req_budget(value)?, min_bits, max_bits }
+        }
+        "simulate" => JobKind::Simulate {
+            frac_bits: req_i32(value, "bits")?,
+            samples: opt_usize_bounded(value, "samples", 20_000, 256..=100_000_000)?,
+            nfft: opt_usize_bounded(value, "nfft", 256, 2..=1 << 20)?,
+            seed: opt_seed(value)?,
+            trials: opt_usize_bounded(value, "trials", 1, 1..=1024)?,
+        },
+        _ => unreachable!("caller matched job kinds"),
+    };
+    Ok(JobSpec { scenario, npsd, rounding, kind })
+}
+
+fn req_i32(value: &Json, key: &str) -> Result<i32, String> {
+    value
+        .get(key)
+        .and_then(Json::as_i64)
+        .and_then(|v| i32::try_from(v).ok())
+        .ok_or_else(|| format!("`{key}` must be an integer"))
+}
+
+fn opt_i32(value: &Json, key: &str, default: i32) -> Result<i32, String> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_i64()
+            .and_then(|v| i32::try_from(v).ok())
+            .ok_or_else(|| format!("`{key}` must be an integer")),
+    }
+}
+
+fn opt_usize_bounded(
+    value: &Json,
+    key: &str,
+    default: usize,
+    range: std::ops::RangeInclusive<usize>,
+) -> Result<usize, String> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().map(|v| v as usize).filter(|v| range.contains(v)).ok_or_else(|| {
+            format!("`{key}` must be an integer in {}..={}", range.start(), range.end())
+        }),
+    }
+}
+
+fn req_budget(value: &Json) -> Result<f64, String> {
+    value
+        .get("budget")
+        .and_then(Json::as_f64)
+        .filter(|b| b.is_finite() && *b > 0.0)
+        .ok_or_else(|| "`budget` must be a positive number".to_string())
+}
+
+/// `seed` travels as a string to preserve the full `u64` range (JSON
+/// numbers are doubles); plain numbers are accepted for hand-written
+/// requests.
+fn opt_seed(value: &Json) -> Result<u64, String> {
+    match value.get("seed") {
+        None => Ok(0xC0FFEE),
+        Some(Json::Str(s)) => {
+            s.parse::<u64>().map_err(|_| "`seed` string must be a u64".to_string())
+        }
+        Some(v) => v.as_u64().ok_or_else(|| "`seed` must be a non-negative integer".to_string()),
+    }
+}
+
+/// Renders a [`JobSpec`] as the request line the daemon will parse back
+/// into an identical spec — the client side of the shard protocol.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for the one spec the wire cannot carry
+/// faithfully: `Estimate { method: Simulation }` (use
+/// [`JobKind::Simulate`] instead — silently shipping a different
+/// estimator would be a wrong-answer bug, not a convenience).
+pub fn job_request_line(id: usize, spec: &JobSpec) -> Result<String, ServeError> {
+    if matches!(spec.kind, JobKind::Estimate { method: psdacc_core::Method::Simulation, .. }) {
+        return Err(ServeError::Protocol(
+            "Estimate { method: Simulation } has no wire form; use JobKind::Simulate".to_string(),
+        ));
+    }
+    let mut w = JsonWriter::new();
+    w.field_usize("id", id);
+    let kind = match &spec.kind {
+        JobKind::Estimate { .. } => "evaluate",
+        JobKind::GreedyRefine { .. } => "greedy",
+        JobKind::MinUniform { .. } => "min-uniform",
+        JobKind::Simulate { .. } => "simulate",
+    };
+    w.field_str("kind", kind);
+    w.field_str("scenario", &spec.scenario.to_spec_line());
+    w.field_usize("npsd", spec.npsd);
+    w.field_str(
+        "rounding",
+        match spec.rounding {
+            RoundingMode::Truncate => "truncate",
+            RoundingMode::RoundNearest => "nearest",
+        },
+    );
+    match &spec.kind {
+        JobKind::Estimate { method, frac_bits } => {
+            w.field_str(
+                "method",
+                match method {
+                    psdacc_core::Method::PsdMethod => "psd",
+                    psdacc_core::Method::PsdAgnostic => "agnostic",
+                    psdacc_core::Method::Flat => "flat",
+                    psdacc_core::Method::Simulation => unreachable!("rejected above"),
+                },
+            );
+            w.field_i64("bits", *frac_bits as i64);
+        }
+        JobKind::GreedyRefine { budget, start_bits, min_bits } => {
+            w.field_f64("budget", *budget);
+            w.field_i64("start", *start_bits as i64);
+            w.field_i64("min", *min_bits as i64);
+        }
+        JobKind::MinUniform { budget, min_bits, max_bits } => {
+            w.field_f64("budget", *budget);
+            w.field_i64("min", *min_bits as i64);
+            w.field_i64("max", *max_bits as i64);
+        }
+        JobKind::Simulate { frac_bits, samples, nfft, seed, trials } => {
+            w.field_i64("bits", *frac_bits as i64);
+            w.field_usize("samples", *samples);
+            w.field_usize("nfft", *nfft);
+            w.field_str("seed", &seed.to_string());
+            w.field_usize("trials", *trials);
+        }
+    }
+    Ok(w.finish())
+}
+
+/// Renders a result line with the `job` field remapped to the request id.
+pub fn result_line(id: usize, result: &JobResult) -> String {
+    let mut tagged = result.clone();
+    tagged.job = id;
+    tagged.to_json_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_core::Method;
+
+    fn specs() -> Vec<JobSpec> {
+        let scenario = Scenario::FirCascade { stages: 2, taps: 15, cutoff: 0.2 };
+        vec![
+            JobSpec {
+                scenario: scenario.clone(),
+                npsd: 128,
+                rounding: RoundingMode::Truncate,
+                kind: JobKind::Estimate { method: Method::PsdAgnostic, frac_bits: -3 },
+            },
+            JobSpec {
+                scenario: Scenario::FirBank { index: 9 },
+                npsd: 256,
+                rounding: RoundingMode::RoundNearest,
+                kind: JobKind::GreedyRefine { budget: 1.25e-9, start_bits: 16, min_bits: 4 },
+            },
+            JobSpec {
+                scenario: Scenario::FreqFilter,
+                npsd: 64,
+                rounding: RoundingMode::Truncate,
+                kind: JobKind::MinUniform { budget: 3.0e-7, min_bits: 2, max_bits: 24 },
+            },
+            JobSpec {
+                scenario,
+                npsd: 128,
+                rounding: RoundingMode::RoundNearest,
+                kind: JobKind::Simulate {
+                    frac_bits: 10,
+                    samples: 50_000,
+                    nfft: 128,
+                    seed: u64::MAX - 7,
+                    trials: 3,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn unshippable_simulation_method_is_rejected_not_swapped() {
+        let spec = JobSpec {
+            scenario: Scenario::FreqFilter,
+            npsd: 128,
+            rounding: RoundingMode::Truncate,
+            kind: JobKind::Estimate { method: Method::Simulation, frac_bits: 10 },
+        };
+        assert!(job_request_line(0, &spec).is_err());
+    }
+
+    #[test]
+    fn every_job_kind_round_trips_exactly() {
+        for (i, spec) in specs().into_iter().enumerate() {
+            let line = job_request_line(40 + i, &spec).unwrap();
+            match parse_request(&line, 0).unwrap_or_else(|e| panic!("{line}: {e}")) {
+                Request::Job { id, spec: back } => {
+                    assert_eq!(id, 40 + i);
+                    assert_eq!(back, spec, "{line}");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_kinds_parse() {
+        assert_eq!(parse_request(r#"{"kind":"scenarios"}"#, 0), Ok(Request::Scenarios));
+        assert_eq!(parse_request(r#"{"kind":"stats"}"#, 0), Ok(Request::Stats));
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let r =
+            parse_request(r#"{"kind":"evaluate","scenario":"freq-filter","bits":12}"#, 5).unwrap();
+        match r {
+            Request::Job { id, spec } => {
+                assert_eq!(id, 5, "default id used");
+                assert_eq!(spec.npsd, 256);
+                assert_eq!(spec.rounding, RoundingMode::Truncate);
+                assert_eq!(
+                    spec.kind,
+                    JobKind::Estimate { method: Method::PsdMethod, frac_bits: 12 }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let r =
+            parse_request(r#"{"kind":"simulate","scenario":"freq-filter","bits":8}"#, 0).unwrap();
+        match r {
+            Request::Job { spec, .. } => assert_eq!(
+                spec.kind,
+                JobKind::Simulate {
+                    frac_bits: 8,
+                    samples: 20_000,
+                    nfft: 256,
+                    seed: 0xC0FFEE,
+                    trials: 1
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for (line, needle) in [
+            ("not json", "bad literal"),
+            (r#"{"no":"kind"}"#, "kind"),
+            (r#"{"kind":"bogus"}"#, "unknown kind"),
+            (r#"{"kind":"evaluate","bits":12}"#, "scenario"),
+            (r#"{"kind":"evaluate","scenario":"freq-filter"}"#, "bits"),
+            (r#"{"kind":"evaluate","scenario":"no-such","bits":12}"#, "unknown scenario"),
+            (r#"{"kind":"greedy","scenario":"freq-filter","budget":-1}"#, "budget"),
+            (r#"{"kind":"greedy","scenario":"freq-filter"}"#, "budget"),
+            (
+                r#"{"kind":"min-uniform","scenario":"freq-filter","budget":1e-9,"min":9,"max":3}"#,
+                "min",
+            ),
+            (r#"{"kind":"evaluate","scenario":"freq-filter","bits":12,"id":-1}"#, "id"),
+            (r#"{"kind":"evaluate","scenario":"freq-filter","bits":12,"npsd":1}"#, "npsd"),
+            (
+                r#"{"kind":"evaluate","scenario":"freq-filter","bits":12,"rounding":"up"}"#,
+                "rounding",
+            ),
+        ] {
+            let err = parse_request(line, 0).unwrap_err();
+            assert!(err.contains(needle), "`{line}` -> `{err}` (wanted `{needle}`)");
+        }
+    }
+
+    #[test]
+    fn hostile_sizes_are_rejected_at_the_wire() {
+        // nfft=0 would panic a pool worker deep in the Welch PSD; absurd
+        // sample/npsd counts are resource exhaustion. All parse errors.
+        for line in [
+            r#"{"kind":"simulate","scenario":"freq-filter","bits":8,"nfft":0}"#,
+            r#"{"kind":"simulate","scenario":"freq-filter","bits":8,"trials":0}"#,
+            r#"{"kind":"simulate","scenario":"freq-filter","bits":8,"samples":10}"#,
+            r#"{"kind":"simulate","scenario":"freq-filter","bits":8,"samples":999999999999}"#,
+            r#"{"kind":"evaluate","scenario":"freq-filter","bits":8,"npsd":1000000000}"#,
+        ] {
+            assert!(parse_request(line, 0).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_errors_not_allocations() {
+        let mut input = std::io::Cursor::new(vec![b'x'; 2 * 1024 * 1024]);
+        let err = read_capped_line(&mut std::io::BufReader::new(&mut input)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Normal lines and EOF behave like BufRead::lines.
+        let mut ok = std::io::BufReader::new(std::io::Cursor::new(b"a\nb".to_vec()));
+        assert_eq!(read_capped_line(&mut ok).unwrap().as_deref(), Some("a\n"));
+        assert_eq!(read_capped_line(&mut ok).unwrap().as_deref(), Some("b"));
+        assert_eq!(read_capped_line(&mut ok).unwrap(), None);
+    }
+
+    #[test]
+    fn result_line_carries_the_request_id() {
+        use psdacc_engine::EvaluatorCache;
+        let cache = EvaluatorCache::new();
+        let spec = &specs()[0];
+        let result = psdacc_engine::job::run_job(&cache, 0, spec);
+        let line = result_line(991, &result);
+        let v = psdacc_engine::json::parse(&line).unwrap();
+        assert_eq!(v.get("job").unwrap().as_u64(), Some(991));
+    }
+}

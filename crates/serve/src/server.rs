@@ -1,0 +1,269 @@
+//! The TCP daemon: accept loop, per-connection protocol driver, and the
+//! graceful-shutdown handle used by tests and the CLI.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use psdacc_engine::json::JsonWriter;
+use psdacc_engine::{Engine, JobSpec, REGISTRY};
+
+use crate::error::ServeError;
+use crate::protocol::{parse_request, read_capped_line, result_line, Request};
+
+/// Shared daemon state: the engine (whose cache may be disk-persistent)
+/// plus service counters.
+#[derive(Debug)]
+pub struct ServerState {
+    engine: Engine,
+    jobs_served: AtomicUsize,
+    connections: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// The engine serving this daemon.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Renders the `stats` response line.
+    pub fn stats_line(&self) -> String {
+        let cache = self.engine.cache().stats();
+        let mut w = JsonWriter::new();
+        w.field_str("kind", "stats");
+        w.field_usize("threads", self.engine.threads());
+        w.field_usize("jobs_served", self.jobs_served.load(Ordering::Relaxed));
+        w.field_usize("connections", self.connections.load(Ordering::Relaxed));
+        w.field_usize("cache_builds", cache.builds);
+        w.field_usize("cache_hits", cache.hits);
+        w.field_usize("cache_entries", cache.entries);
+        w.field_usize("disk_hits", cache.disk_hits);
+        w.field_usize("disk_writes", cache.disk_writes);
+        w.finish()
+    }
+}
+
+/// A bound-but-not-yet-serving daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// Handle over a daemon running on a background thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7341`, port 0 for ephemeral) over an
+    /// engine whose cache decides the persistence story.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn bind(addr: &str, engine: Engine) -> Result<Self, ServeError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| ServeError::Io(format!("bind {addr}: {e}")))?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                engine,
+                jobs_served: AtomicUsize::new(0),
+                connections: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket has no local address.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        self.listener.local_addr().map_err(|e| ServeError::Io(e.to_string()))
+    }
+
+    /// Serves until the shutdown flag is raised (never, unless a
+    /// [`ServerHandle`] exists). Connection handlers run on their own
+    /// threads; each connection's jobs run as one engine batch.
+    pub fn run(&self) {
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || {
+                        state.connections.fetch_add(1, Ordering::Relaxed);
+                        if let Err(e) = handle_connection(&state, stream) {
+                            eprintln!("psdacc-serve: connection error: {e}");
+                        }
+                    });
+                }
+                Err(e) => eprintln!("psdacc-serve: accept error: {e}"),
+            }
+        }
+    }
+
+    /// Moves the daemon onto a background thread, returning the handle
+    /// that can stop it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the local address cannot be read.
+    pub fn spawn(self) -> Result<ServerHandle, ServeError> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let accept_thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, state, accept_thread })
+    }
+}
+
+impl ServerHandle {
+    /// Where the daemon listens.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Daemon state (stats, engine access).
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Raises the shutdown flag, wakes the accept loop, and joins it.
+    /// In-flight connections finish on their own threads.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Drives one connection: control requests answered immediately, job
+/// requests collected until the client half-closes, then executed as one
+/// batch with results streamed back in completion order.
+fn handle_connection(state: &ServerState, stream: TcpStream) -> Result<(), ServeError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    let mut ids: Vec<usize> = Vec::new();
+    let mut lineno = 0usize;
+    while let Some(line) = read_capped_line(&mut reader)? {
+        lineno += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(line.trim_end(), jobs.len()) {
+            Ok(Request::Job { id, spec }) => {
+                ids.push(id);
+                jobs.push(spec);
+            }
+            Ok(Request::Scenarios) => {
+                writeln!(writer, "{}", scenarios_line())?;
+                writer.flush()?;
+            }
+            Ok(Request::Stats) => {
+                writeln!(writer, "{}", state.stats_line())?;
+                writer.flush()?;
+            }
+            Err(e) => {
+                let mut w = JsonWriter::new();
+                w.field_str("kind", "error");
+                w.field_usize("line", lineno);
+                w.field_str("error", &e);
+                writeln!(writer, "{}", w.finish())?;
+                writer.flush()?;
+            }
+        }
+    }
+    if jobs.is_empty() {
+        return writer.flush().map_err(ServeError::from);
+    }
+    let njobs = jobs.len();
+    let mut write_error: Option<std::io::Error> = None;
+    let report = state.engine.run_streaming(jobs, |result| {
+        if write_error.is_some() {
+            return;
+        }
+        // `result.job` is the batch index; the wire carries the request id.
+        let line = result_line(ids[result.job], result);
+        if let Err(e) = writeln!(writer, "{line}").and_then(|()| writer.flush()) {
+            write_error = Some(e);
+        }
+    });
+    state.jobs_served.fetch_add(njobs, Ordering::Relaxed);
+    if let Some(e) = write_error {
+        return Err(ServeError::Io(format!("client went away mid-batch: {e}")));
+    }
+    let mut w = JsonWriter::new();
+    w.field_str("kind", "summary");
+    w.field_usize("jobs", report.pool.jobs);
+    w.field_usize("failed", report.failures().count());
+    w.field_usize("steals", report.pool.steals);
+    w.field_usize("cache_builds", report.cache.builds);
+    w.field_usize("disk_hits", report.cache.disk_hits);
+    w.field_f64("wall_seconds", report.wall_seconds);
+    writeln!(writer, "{}", w.finish())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Renders the `scenarios` response line.
+fn scenarios_line() -> String {
+    let entries: Vec<String> = REGISTRY
+        .iter()
+        .map(|entry| {
+            let mut w = JsonWriter::new();
+            w.field_str("name", entry.name);
+            w.field_str("params", entry.params);
+            w.field_str("description", entry.description);
+            w.finish()
+        })
+        .collect();
+    let mut w = JsonWriter::new();
+    w.field_str("kind", "scenarios");
+    w.field_usize("count", REGISTRY.len());
+    w.field_raw("entries", &format!("[{}]", entries.join(",")));
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_engine::json;
+
+    #[test]
+    fn scenarios_line_is_valid_json_covering_the_registry() {
+        let v = json::parse(&scenarios_line()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("scenarios"));
+        let entries = v.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), REGISTRY.len());
+        assert!(entries
+            .iter()
+            .any(|e| e.get("name").and_then(json::Json::as_str) == Some("fir-bank")));
+    }
+
+    #[test]
+    fn stats_line_reflects_engine_shape() {
+        let state = ServerState {
+            engine: Engine::new(3),
+            jobs_served: AtomicUsize::new(17),
+            connections: AtomicUsize::new(2),
+            shutdown: AtomicBool::new(false),
+        };
+        let v = json::parse(&state.stats_line()).unwrap();
+        assert_eq!(v.get("threads").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("jobs_served").unwrap().as_u64(), Some(17));
+        assert_eq!(v.get("cache_builds").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("disk_hits").unwrap().as_u64(), Some(0));
+    }
+}

@@ -1,0 +1,191 @@
+//! Loopback integration: daemons on 127.0.0.1 must produce results
+//! **bit-identical** to the in-process engine, a warm restart over the
+//! same store must perform zero preprocessing builds, and the 2-daemon
+//! sharded submit must merge back into exactly the single-process output.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use psdacc_engine::json::{self, Json};
+use psdacc_engine::{BatchSpec, Engine};
+use psdacc_serve::{client, Server, ServerHandle};
+use psdacc_store::PersistentCache;
+
+/// Three scenario families x estimates, refinement, min-uniform, and a
+/// small seeded simulation — every protocol job kind.
+const SPEC: &str = "scenario fir-cascade stages=2 taps=15 cutoff=0.2\n\
+                    scenario freq-filter\n\
+                    scenario dwt-pipeline levels=1\n\
+                    batch npsd=128 bits=8..11 methods=psd,flat\n\
+                    refine npsd=128 budget=1e-6 start=14 min=4\n\
+                    min-uniform npsd=128 budget=1e-6 min=2 max=24\n\
+                    simulate npsd=128 bits=10 samples=4096 nfft=64 seed=11 trials=1\n";
+
+/// Distinct `(scenario, npsd)` keys in [`SPEC`].
+const SPEC_KEYS: usize = 3;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psdacc-serve-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_memory_daemon(threads: usize) -> ServerHandle {
+    Server::bind("127.0.0.1:0", Engine::new(threads)).unwrap().spawn().unwrap()
+}
+
+fn spawn_store_daemon(dir: &PathBuf, threads: usize) -> ServerHandle {
+    let cache = Arc::new(PersistentCache::open(dir).unwrap());
+    Server::bind("127.0.0.1:0", Engine::with_shared_cache(threads, cache)).unwrap().spawn().unwrap()
+}
+
+/// A result line minus its run-dependent fields (timings, cache hit flag):
+/// everything that remains must be bit-identical across processes.
+fn stable_fields(line: &str) -> Vec<(String, Json)> {
+    match json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}")) {
+        Json::Obj(fields) => fields
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(k.as_str(), "tau_pp_seconds" | "tau_eval_seconds" | "cache_hit")
+            })
+            .collect(),
+        other => panic!("result line is not an object: {other:?}"),
+    }
+}
+
+fn stat(line: &str, field: &str) -> u64 {
+    json::parse(line).unwrap().get(field).and_then(Json::as_u64).unwrap()
+}
+
+/// The acceptance shape: a 2-daemon sharded `submit` produces output
+/// bit-identical to a single-process engine run of the same spec.
+#[test]
+fn two_daemon_shard_matches_single_process_engine_bit_for_bit() {
+    let spec = BatchSpec::parse(SPEC).unwrap();
+    let expected: Vec<String> =
+        Engine::new(4).run(spec.jobs.clone()).results.iter().map(|r| r.to_json_line()).collect();
+
+    let a = spawn_memory_daemon(2);
+    let b = spawn_memory_daemon(2);
+    let workers = vec![a.addr().to_string(), b.addr().to_string()];
+    let mut streamed: Vec<String> = Vec::new();
+    let outcome = client::submit_streaming(&workers, &spec.jobs, |line| {
+        streamed.push(line.to_string());
+    })
+    .unwrap();
+
+    assert_eq!(outcome.lines.len(), expected.len());
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(outcome.summaries.len(), 2, "one summary per worker");
+    assert_eq!(streamed, outcome.lines, "streaming callback saw the merged order");
+    for (got, want) in outcome.lines.iter().zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    // Shard really happened: both daemons served jobs.
+    for worker in &workers {
+        let stats = client::request_control(worker, "stats").unwrap();
+        assert!(stat(&stats, "jobs_served") > 0, "{stats}");
+    }
+    a.shutdown();
+    b.shutdown();
+}
+
+/// The acceptance criterion for persistence: cold daemon builds and
+/// persists; a fresh daemon on the same store serves the same batch with
+/// **zero** preprocessing builds, bit-identically.
+#[test]
+fn warm_daemon_restart_serves_with_zero_builds() {
+    let dir = tmp_dir("warm");
+    let spec = BatchSpec::parse(SPEC).unwrap();
+
+    let cold = spawn_store_daemon(&dir, 3);
+    let cold_addr = cold.addr().to_string();
+    let cold_outcome = client::submit(std::slice::from_ref(&cold_addr), &spec.jobs).unwrap();
+    assert_eq!(cold_outcome.failed, 0);
+    let stats = client::request_control(&cold_addr, "stats").unwrap();
+    assert_eq!(stat(&stats, "cache_builds") as usize, SPEC_KEYS, "{stats}");
+    assert_eq!(stat(&stats, "disk_writes") as usize, SPEC_KEYS, "{stats}");
+    assert_eq!(stat(&stats, "disk_hits"), 0, "{stats}");
+    cold.shutdown();
+
+    // "Restart": a brand-new daemon process state over the same directory.
+    let warm = spawn_store_daemon(&dir, 3);
+    let warm_addr = warm.addr().to_string();
+    let warm_outcome = client::submit(std::slice::from_ref(&warm_addr), &spec.jobs).unwrap();
+    assert_eq!(warm_outcome.failed, 0);
+    let stats = client::request_control(&warm_addr, "stats").unwrap();
+    assert_eq!(stat(&stats, "cache_builds"), 0, "warm start must not preprocess: {stats}");
+    assert_eq!(stat(&stats, "disk_hits") as usize, SPEC_KEYS, "{stats}");
+    warm.shutdown();
+
+    assert_eq!(cold_outcome.lines.len(), warm_outcome.lines.len());
+    for (c, w) in cold_outcome.lines.iter().zip(&warm_outcome.lines) {
+        assert_eq!(stable_fields(c), stable_fields(w), "\ncold: {c}\nwarm: {w}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Control requests answer immediately, malformed lines get error
+/// responses without killing the connection, and job errors come back as
+/// result records.
+#[test]
+fn protocol_robustness_over_a_raw_socket() {
+    let daemon = spawn_memory_daemon(2);
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+
+    // Garbage line -> error response, connection stays up.
+    writeln!(&stream, "this is not json").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v = json::parse(line.trim_end()).unwrap();
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("error"));
+    assert_eq!(v.get("line").unwrap().as_u64(), Some(1));
+
+    // scenarios still answered on the same connection.
+    line.clear();
+    writeln!(&stream, "{{\"kind\":\"scenarios\"}}").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v = json::parse(line.trim_end()).unwrap();
+    assert_eq!(v.get("count").unwrap().as_u64(), Some(7));
+
+    // A job against an invalid scenario parameter fails at parse time with
+    // a described error...
+    line.clear();
+    writeln!(&stream, "{{\"kind\":\"evaluate\",\"scenario\":\"fir-bank index=9999\",\"bits\":12}}")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v = json::parse(line.trim_end()).unwrap();
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("error"));
+
+    // ...while a valid job queued before EOF comes back as a result plus a
+    // summary after half-close.
+    writeln!(
+        &stream,
+        "{{\"kind\":\"evaluate\",\"scenario\":\"freq-filter\",\"bits\":12,\"id\":5}}"
+    )
+    .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let rest: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(rest.len(), 2, "{rest:?}");
+    let result = json::parse(&rest[0]).unwrap();
+    assert_eq!(result.get("job").unwrap().as_u64(), Some(5));
+    assert!(result.get("power").unwrap().as_f64().unwrap() > 0.0);
+    let summary = json::parse(&rest[1]).unwrap();
+    assert_eq!(summary.get("kind").unwrap().as_str(), Some("summary"));
+    assert_eq!(summary.get("jobs").unwrap().as_u64(), Some(1));
+    assert_eq!(summary.get("failed").unwrap().as_u64(), Some(0));
+    daemon.shutdown();
+}
+
+/// `wait_ready` turns `daemon & submit` scripting into a non-race.
+#[test]
+fn wait_ready_sees_a_live_daemon_and_times_out_on_a_dead_one() {
+    let daemon = spawn_memory_daemon(1);
+    client::wait_ready(&daemon.addr().to_string(), std::time::Duration::from_secs(10)).unwrap();
+    let addr = daemon.addr();
+    daemon.shutdown();
+    assert!(client::wait_ready(&addr.to_string(), std::time::Duration::from_millis(200)).is_err());
+}

@@ -30,6 +30,12 @@ pub enum SfgError {
     },
     /// No output node has been designated.
     NoOutput,
+    /// Externally supplied preprocessing data (persisted node responses)
+    /// does not fit the graph it is being attached to.
+    ResponseShape {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SfgError {
@@ -44,6 +50,9 @@ impl fmt::Display for SfgError {
                 write!(f, "delay-free cycle through nodes {nodes:?}")
             }
             SfgError::NoOutput => write!(f, "no output node designated"),
+            SfgError::ResponseShape { detail } => {
+                write!(f, "node responses do not fit the graph: {detail}")
+            }
         }
     }
 }

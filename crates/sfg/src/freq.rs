@@ -30,9 +30,37 @@ pub struct NodeResponses {
 }
 
 impl NodeResponses {
+    /// Reassembles responses from raw rows (`rows[s][k]` = response of
+    /// source `s` at bin `k`) — the deserialization entry point for
+    /// persistence layers that cache preprocessing across processes.
+    ///
+    /// # Errors
+    ///
+    /// [`SfgError::ResponseShape`] when `npsd == 0` or any row's length
+    /// differs from `npsd`.
+    pub fn from_rows(rows: Vec<Vec<Complex>>, npsd: usize) -> Result<Self, SfgError> {
+        if npsd == 0 {
+            return Err(SfgError::ResponseShape { detail: "npsd must be >= 1".to_string() });
+        }
+        for (s, row) in rows.iter().enumerate() {
+            if row.len() != npsd {
+                return Err(SfgError::ResponseShape {
+                    detail: format!("row {s} has {} bins, expected {npsd}", row.len()),
+                });
+            }
+        }
+        Ok(NodeResponses { responses: rows, npsd })
+    }
+
     /// The response vector of one source node.
     pub fn of(&self, node: NodeId) -> &[Complex] {
         &self.responses[node.0]
+    }
+
+    /// All rows in node order (`rows()[s][k]`) — the serialization view
+    /// matching [`NodeResponses::from_rows`].
+    pub fn rows(&self) -> &[Vec<Complex>] {
+        &self.responses
     }
 
     /// Grid size.

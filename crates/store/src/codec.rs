@@ -1,0 +1,308 @@
+//! The on-disk record format: a hand-rolled, versioned, checksummed binary
+//! codec for one preprocessing result (`NodeResponses` + identity
+//! metadata). The workspace has no serde — and would not want it here: the
+//! payload is a dense `f64` matrix whose bit-exactness *is* the contract.
+//!
+//! # Format (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic + version: b"PSDRSP01" (bump the digits on change)
+//! 8       4     u32 scenario-key byte length K (<= 4096)
+//! 12      K     scenario key, UTF-8 (the canonical `Scenario::key()` text)
+//! 12+K    4     u32 npsd
+//! 16+K    4     u32 node count N
+//! 20+K    8     f64 preprocess_seconds (tau_pp paid when first computed)
+//! 28+K    16*N*npsd   payload: row-major (re, im) f64 pairs, node-major
+//! end-8   8     u64 FNV-1a checksum over every preceding byte
+//! ```
+//!
+//! Decoding verifies, in order: minimum length, magic/version, checksum
+//! (over the whole prefix, so truncation and bit rot are both caught
+//! before any field is trusted), then structural consistency (declared key
+//! length and matrix dimensions must exactly account for the remaining
+//! bytes). `f64` values travel as raw bits — a round trip is bit-identical
+//! by construction, including negative zero and subnormals.
+
+use psdacc_fft::Complex;
+use psdacc_sfg::NodeResponses;
+
+use crate::error::StoreError;
+
+/// Magic prefix including the format version.
+pub const MAGIC: &[u8; 8] = b"PSDRSP01";
+
+/// Sanity bound on the embedded scenario key (real keys are tens of bytes).
+const MAX_KEY_LEN: usize = 4096;
+
+/// One decoded store record: identity metadata plus the response matrix.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Canonical scenario key the responses were computed for.
+    pub scenario_key: String,
+    /// PSD grid size.
+    pub npsd: usize,
+    /// Preprocessing seconds paid when the responses were first computed.
+    pub preprocess_seconds: f64,
+    /// `rows[s][k]` = response of source `s` at bin `k`.
+    pub rows: Vec<Vec<Complex>>,
+}
+
+impl Record {
+    /// Captures an evaluator's responses for persistence.
+    pub fn from_responses(
+        scenario_key: &str,
+        responses: &NodeResponses,
+        preprocess_seconds: f64,
+    ) -> Self {
+        Record {
+            scenario_key: scenario_key.to_string(),
+            npsd: responses.npsd(),
+            preprocess_seconds,
+            rows: responses.rows().to_vec(),
+        }
+    }
+
+    /// The wire form of [`Record::rows`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] when the key exceeds the format bound.
+    pub fn encode(&self) -> Result<Vec<u8>, StoreError> {
+        let key = self.scenario_key.as_bytes();
+        if key.len() > MAX_KEY_LEN {
+            return Err(StoreError::Codec(format!(
+                "scenario key of {} bytes exceeds the {MAX_KEY_LEN}-byte format bound",
+                key.len()
+            )));
+        }
+        let payload = self.rows.len() * self.npsd * 16;
+        let mut buf = Vec::with_capacity(8 + 4 + key.len() + 4 + 4 + 8 + payload + 8);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        buf.extend_from_slice(key);
+        buf.extend_from_slice(&(self.npsd as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.rows.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.preprocess_seconds.to_le_bytes());
+        for row in &self.rows {
+            debug_assert_eq!(row.len(), self.npsd, "rows are rectangular");
+            for c in row {
+                buf.extend_from_slice(&c.re.to_le_bytes());
+                buf.extend_from_slice(&c.im.to_le_bytes());
+            }
+        }
+        let checksum = fnv1a64(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        Ok(buf)
+    }
+
+    /// Parses and verifies one record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] describing exactly which guard tripped
+    /// (truncation, bad magic, checksum mismatch, inconsistent dimensions).
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        // Smallest possible record: empty key, zero nodes.
+        let min = 8 + 4 + 4 + 4 + 8 + 8;
+        if bytes.len() < min {
+            return Err(StoreError::Codec(format!(
+                "truncated record: {} bytes, minimum {min}",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(StoreError::Codec(format!(
+                "bad magic {:02x?} (expected {MAGIC:02x?} — wrong file or format version)",
+                &bytes[..8]
+            )));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        let actual = fnv1a64(body);
+        if stored != actual {
+            return Err(StoreError::Codec(format!(
+                "checksum mismatch: stored {stored:016x}, computed {actual:016x} (corrupt or \
+                 torn write)"
+            )));
+        }
+        let mut cur = Cursor { bytes: body, pos: 8 };
+        let key_len = cur.u32()? as usize;
+        if key_len > MAX_KEY_LEN {
+            return Err(StoreError::Codec(format!("declared key length {key_len} out of range")));
+        }
+        let key_bytes = cur.take(key_len)?;
+        let scenario_key = std::str::from_utf8(key_bytes)
+            .map_err(|e| StoreError::Codec(format!("scenario key is not UTF-8: {e}")))?
+            .to_string();
+        let npsd = cur.u32()? as usize;
+        let nodes = cur.u32()? as usize;
+        let preprocess_seconds = cur.f64()?;
+        let expected_payload = nodes
+            .checked_mul(npsd)
+            .and_then(|cells| cells.checked_mul(16))
+            .ok_or_else(|| StoreError::Codec("payload size overflows".to_string()))?;
+        if cur.remaining() != expected_payload {
+            return Err(StoreError::Codec(format!(
+                "payload is {} bytes, header declares {nodes} nodes x {npsd} bins = \
+                 {expected_payload}",
+                cur.remaining()
+            )));
+        }
+        let mut rows = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let mut row = Vec::with_capacity(npsd);
+            for _ in 0..npsd {
+                let re = cur.f64()?;
+                let im = cur.f64()?;
+                row.push(Complex::new(re, im));
+            }
+            rows.push(row);
+        }
+        Ok(Record { scenario_key, npsd, preprocess_seconds, rows })
+    }
+
+    /// Converts the decoded rows into [`NodeResponses`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] when the rows do not form a valid response set
+    /// (cannot happen for records produced by [`Record::encode`]).
+    pub fn into_responses(self) -> Result<NodeResponses, StoreError> {
+        NodeResponses::from_rows(self.rows, self.npsd).map_err(|e| StoreError::Codec(e.to_string()))
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and plenty for catching
+/// truncation and bit rot (malice is out of scope for a local cache).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| StoreError::Codec("record ends mid-field".to_string()))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record {
+            scenario_key: "fir-cascade[stages=2,taps=5,cutoff=0.2]".to_string(),
+            npsd: 4,
+            preprocess_seconds: 0.125,
+            rows: (0..3)
+                .map(|s| {
+                    (0..4)
+                        .map(|k| Complex::new(s as f64 + 0.1 * k as f64, -(k as f64) / 3.0))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let rec = sample();
+        let bytes = rec.encode().unwrap();
+        let back = Record::decode(&bytes).unwrap();
+        assert_eq!(back.scenario_key, rec.scenario_key);
+        assert_eq!(back.npsd, rec.npsd);
+        assert_eq!(back.preprocess_seconds.to_bits(), rec.preprocess_seconds.to_bits());
+        assert_eq!(back.rows.len(), rec.rows.len());
+        for (a, b) in back.rows.iter().zip(&rec.rows) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn special_floats_survive() {
+        let mut rec = sample();
+        rec.rows[0][0] = Complex::new(-0.0, f64::MIN_POSITIVE / 4.0); // subnormal
+        rec.rows[0][1] = Complex::new(f64::MAX, f64::MIN);
+        let back = Record::decode(&rec.encode().unwrap()).unwrap();
+        assert_eq!(back.rows[0][0].re.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.rows[0][1].re, f64::MAX);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample().encode().unwrap();
+        for len in 0..bytes.len() {
+            assert!(Record::decode(&bytes[..len]).is_err(), "accepted {len}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let bytes = sample().encode().unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(Record::decode(&bad).is_err(), "accepted flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_its_own_error() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[7] = b'9';
+        let err = Record::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn zero_node_record_is_legal() {
+        let rec = Record {
+            scenario_key: "k".to_string(),
+            npsd: 8,
+            preprocess_seconds: 0.0,
+            rows: vec![],
+        };
+        let back = Record::decode(&rec.encode().unwrap()).unwrap();
+        assert!(back.rows.is_empty());
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

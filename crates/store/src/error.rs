@@ -1,0 +1,44 @@
+//! Store error type.
+
+use psdacc_engine::EngineError;
+
+/// Errors surfaced by the persistent preprocessing store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (path is included in the message).
+    Io(String),
+    /// A record failed to encode or decode (corruption, truncation,
+    /// version mismatch, inconsistent dimensions).
+    Codec(String),
+    /// The record decoded fine but belongs to a different key than the
+    /// lookup asked for (hash collision or a misplaced file).
+    WrongKey {
+        /// Key the lookup wanted.
+        expected: String,
+        /// Key the file carries.
+        found: String,
+    },
+    /// Scenario build or preprocessing failure bubbled up from the engine.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store I/O error: {msg}"),
+            StoreError::Codec(msg) => write!(f, "store codec error: {msg}"),
+            StoreError::WrongKey { expected, found } => {
+                write!(f, "store record is for key `{found}`, lookup wanted `{expected}`")
+            }
+            StoreError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<EngineError> for StoreError {
+    fn from(e: EngineError) -> Self {
+        StoreError::Engine(e)
+    }
+}
