@@ -1,8 +1,12 @@
 //! Criterion bench: the tau_eval stage (paper Section III-B) — one
-//! PSD-method evaluation per word-length configuration, expected O(N_PSD).
+//! PSD-method evaluation per word-length configuration, expected O(N_PSD)
+//! on both the single-rate (complex responses) and the multirate (fold/
+//! image kernel) paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psdacc_core::{evaluate_with_responses, AccuracyEvaluator, WordLengthPlan};
+use psdacc_core::{
+    evaluate_with_multirate, evaluate_with_responses, AccuracyEvaluator, WordLengthPlan,
+};
 use psdacc_fixed::RoundingMode;
 use psdacc_systems::filter_bank::{fir_entry, fir_system};
 
@@ -14,11 +18,27 @@ fn bench_tau_eval(c: &mut Criterion) {
     for &npsd in &[64usize, 256, 1024, 4096] {
         let eval = AccuracyEvaluator::new(&sfg, npsd).expect("valid system");
         group.bench_with_input(BenchmarkId::from_parameter(npsd), &npsd, |b, _| {
-            b.iter(|| evaluate_with_responses(eval.responses(), &sources));
+            let responses = eval.preprocessed().as_single_rate().expect("single-rate system");
+            b.iter(|| evaluate_with_responses(responses, &sources));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_tau_eval);
+fn bench_tau_eval_multirate(c: &mut Criterion) {
+    let sfg = psdacc_systems::dwt_decimated::analysis_synthesis(2).expect("codec builds");
+    let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+    let sources = plan.noise_sources(&sfg);
+    let mut group = c.benchmark_group("tau_eval_multirate");
+    for &npsd in &[64usize, 256, 1024, 4096] {
+        let eval = AccuracyEvaluator::new(&sfg, npsd).expect("valid system");
+        group.bench_with_input(BenchmarkId::from_parameter(npsd), &npsd, |b, _| {
+            let kernels = eval.preprocessed().as_multirate().expect("multirate system");
+            b.iter(|| evaluate_with_multirate(kernels, &sources));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tau_eval, bench_tau_eval_multirate);
 criterion_main!(benches);

@@ -3,12 +3,12 @@
 
 use std::time::Instant;
 
-use psdacc_sfg::{node_responses, NodeId, NodeResponses, Sfg, SfgError};
+use psdacc_sfg::{preprocess, NodeId, Preprocessed, Sfg, SfgError};
 use psdacc_sim::{measure_quantization_error, SimulationPlan};
 
 use crate::agnostic::evaluate_agnostic;
 use crate::flat::evaluate_flat;
-use crate::psd_method::evaluate_with_responses;
+use crate::psd_method::{evaluate_with_multirate, evaluate_with_responses};
 use crate::report::{Comparison, Estimate, Method};
 use crate::wordlength::WordLengthPlan;
 
@@ -41,52 +41,65 @@ use crate::wordlength::WordLengthPlan;
 pub struct AccuracyEvaluator {
     sfg: Sfg,
     output: NodeId,
-    responses: NodeResponses,
+    preprocessed: Preprocessed,
     preprocess_seconds: f64,
 }
 
 impl AccuracyEvaluator {
     /// Builds an evaluator for the first marked output of `sfg`, sampling
-    /// PSDs on `npsd` bins.
+    /// PSDs on `npsd` bins (the input-rate grid; multirate graphs scale
+    /// each rate region's grid accordingly).
     ///
     /// # Errors
     ///
     /// [`SfgError::NoOutput`] when the graph has no designated output, plus
-    /// any realizability error from the frequency solver.
+    /// any realizability or rate-consistency error from preprocessing.
     pub fn new(sfg: &Sfg, npsd: usize) -> Result<Self, SfgError> {
         let output = *sfg.outputs().first().ok_or(SfgError::NoOutput)?;
         let t0 = Instant::now();
-        let responses = node_responses(sfg, output, npsd)?;
+        let preprocessed = preprocess(sfg, output, npsd)?;
         let preprocess_seconds = t0.elapsed().as_secs_f64();
-        Ok(AccuracyEvaluator { sfg: sfg.clone(), output, responses, preprocess_seconds })
+        Ok(AccuracyEvaluator { sfg: sfg.clone(), output, preprocessed, preprocess_seconds })
     }
 
-    /// Rebuilds an evaluator from **already-computed** responses — the warm
-    /// path of a persistent preprocessing store. No per-bin graph solve is
-    /// performed; `preprocess_seconds` should carry the cost recorded when
-    /// the responses were first computed.
+    /// Rebuilds an evaluator from **already-computed** preprocessing — the
+    /// warm path of a persistent store. No solve is performed;
+    /// `preprocess_seconds` should carry the cost recorded when the
+    /// preprocessing was first computed.
     ///
     /// # Errors
     ///
     /// [`SfgError::NoOutput`] when the graph has no designated output;
-    /// [`SfgError::ResponseShape`] when `responses` does not cover exactly
-    /// the nodes of `sfg`.
+    /// [`SfgError::ResponseShape`] when `preprocessed` does not cover
+    /// exactly the nodes of `sfg` or its form does not match the graph's
+    /// rate structure.
     pub fn from_cached(
         sfg: &Sfg,
-        responses: NodeResponses,
+        preprocessed: Preprocessed,
         preprocess_seconds: f64,
     ) -> Result<Self, SfgError> {
         let output = *sfg.outputs().first().ok_or(SfgError::NoOutput)?;
-        if responses.len() != sfg.len() {
+        if preprocessed.len() != sfg.len() {
             return Err(SfgError::ResponseShape {
                 detail: format!(
-                    "responses cover {} nodes, graph has {}",
-                    responses.len(),
+                    "preprocessing covers {} nodes, graph has {}",
+                    preprocessed.len(),
                     sfg.len()
                 ),
             });
         }
-        Ok(AccuracyEvaluator { sfg: sfg.clone(), output, responses, preprocess_seconds })
+        let multirate_graph = psdacc_sfg::is_multirate(sfg);
+        let multirate_data = preprocessed.as_multirate().is_some();
+        if multirate_graph != multirate_data {
+            return Err(SfgError::ResponseShape {
+                detail: format!(
+                    "graph is {} but the cached preprocessing is {}",
+                    if multirate_graph { "multirate" } else { "single-rate" },
+                    if multirate_data { "multirate" } else { "single-rate" },
+                ),
+            });
+        }
+        Ok(AccuracyEvaluator { sfg: sfg.clone(), output, preprocessed, preprocess_seconds })
     }
 
     /// The analyzed graph.
@@ -99,9 +112,9 @@ impl AccuracyEvaluator {
         self.output
     }
 
-    /// PSD grid size.
+    /// PSD grid size (input-rate grid).
     pub fn npsd(&self) -> usize {
-        self.responses.npsd()
+        self.preprocessed.npsd()
     }
 
     /// Wall-clock seconds spent in preprocessing (`tau_pp`).
@@ -109,16 +122,19 @@ impl AccuracyEvaluator {
         self.preprocess_seconds
     }
 
-    /// Cached source-to-output responses (e.g. for custom propagation).
-    pub fn responses(&self) -> &NodeResponses {
-        &self.responses
+    /// Cached preprocessing (exact responses or multirate kernels).
+    pub fn preprocessed(&self) -> &Preprocessed {
+        &self.preprocessed
     }
 
     /// Proposed PSD method (`tau_eval` stage only — reuses the cache).
     pub fn estimate_psd(&self, plan: &WordLengthPlan) -> Estimate {
         let sources = plan.noise_sources(&self.sfg);
         let t0 = Instant::now();
-        let est = evaluate_with_responses(&self.responses, &sources);
+        let est = match &self.preprocessed {
+            Preprocessed::SingleRate(responses) => evaluate_with_responses(responses, &sources),
+            Preprocessed::Multirate(kernels) => evaluate_with_multirate(kernels, &sources),
+        };
         let elapsed = t0.elapsed();
         Estimate {
             method: Method::PsdMethod,
@@ -153,7 +169,11 @@ impl AccuracyEvaluator {
     ///
     /// # Errors
     ///
-    /// Propagates simulator-construction errors.
+    /// [`SfgError::Multirate`] on multirate graphs — a single impulse probe
+    /// only captures one decimator phase of a periodically time-varying
+    /// path, so Eq. 5's `K_i` is undefined (the guard lives in
+    /// [`evaluate_flat`]). Otherwise propagates simulator-construction
+    /// errors.
     pub fn estimate_flat(&self, plan: &WordLengthPlan) -> Result<Estimate, SfgError> {
         let sources = plan.noise_sources(&self.sfg);
         let t0 = Instant::now();
@@ -225,7 +245,7 @@ mod tests {
     use super::*;
     use crate::metrics;
     use psdacc_dsp::Window;
-    use psdacc_filters::{butterworth, design_fir, BandSpec};
+    use psdacc_filters::{butterworth, design_fir, BandSpec, Fir};
     use psdacc_fixed::RoundingMode;
     use psdacc_sfg::Block;
 
@@ -288,12 +308,13 @@ mod tests {
 
     #[test]
     fn from_cached_reproduces_estimates_bit_identically() {
+        use psdacc_sfg::NodeResponses;
         let g = fir_system();
         let eval = AccuracyEvaluator::new(&g, 256).unwrap();
-        let rows = eval.responses().rows().to_vec();
+        let rows = eval.preprocessed().as_single_rate().unwrap().rows().to_vec();
         let rebuilt = AccuracyEvaluator::from_cached(
             &g,
-            NodeResponses::from_rows(rows, 256).unwrap(),
+            Preprocessed::SingleRate(NodeResponses::from_rows(rows, 256).unwrap()),
             eval.preprocess_seconds(),
         )
         .unwrap();
@@ -305,15 +326,71 @@ mod tests {
 
     #[test]
     fn from_cached_rejects_mismatched_shapes() {
+        use psdacc_sfg::NodeResponses;
         let g = fir_system();
         let eval = AccuracyEvaluator::new(&g, 64).unwrap();
-        let mut rows = eval.responses().rows().to_vec();
+        let mut rows = eval.preprocessed().as_single_rate().unwrap().rows().to_vec();
         rows.pop();
         let short = NodeResponses::from_rows(rows, 64).unwrap();
         assert!(matches!(
-            AccuracyEvaluator::from_cached(&g, short, 0.0),
+            AccuracyEvaluator::from_cached(&g, Preprocessed::SingleRate(short), 0.0),
             Err(SfgError::ResponseShape { .. })
         ));
+    }
+
+    #[test]
+    fn from_cached_rejects_wrong_preprocessing_form() {
+        use psdacc_sfg::Block;
+        // Multirate kernels attached to a single-rate graph (and vice
+        // versa) must be refused even when the node counts line up.
+        let g = fir_system();
+        let mut m = Sfg::new();
+        let x = m.add_input();
+        let d = m.add_block(Block::Downsample(2), &[x]).unwrap();
+        m.mark_output(d);
+        let multi = AccuracyEvaluator::new(&m, 32).unwrap();
+        let kernels = multi.preprocessed().clone();
+        assert!(matches!(
+            AccuracyEvaluator::from_cached(&g, kernels, 0.0),
+            Err(SfgError::ResponseShape { .. })
+        ));
+        let single = AccuracyEvaluator::new(&g, 32).unwrap().preprocessed().clone();
+        assert!(matches!(
+            AccuracyEvaluator::from_cached(&m, single, 0.0),
+            Err(SfgError::ResponseShape { .. })
+        ));
+    }
+
+    /// End-to-end multirate check at the evaluator level: a decimated
+    /// two-channel branch pair evaluated analytically vs the bit-true
+    /// multirate simulator.
+    #[test]
+    fn multirate_psd_estimate_matches_simulation() {
+        use psdacc_sfg::Block;
+        // Orthonormal Haar bank: irrational taps keep the PQN source model
+        // valid (integer/half taps would quantize to the grid noiselessly).
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let lp = g.add_block(Block::Fir(Fir::new(vec![s, s])), &[x]).unwrap();
+        let hp = g.add_block(Block::Fir(Fir::new(vec![s, -s])), &[x]).unwrap();
+        let dl = g.add_block(Block::Downsample(2), &[lp]).unwrap();
+        let dh = g.add_block(Block::Downsample(2), &[hp]).unwrap();
+        let ul = g.add_block(Block::Upsample(2), &[dl]).unwrap();
+        let uh = g.add_block(Block::Upsample(2), &[dh]).unwrap();
+        let gl = g.add_block(Block::Fir(Fir::new(vec![s, s])), &[ul]).unwrap();
+        let gh = g.add_block(Block::Fir(Fir::new(vec![-s, s])), &[uh]).unwrap();
+        let sum = g.add_block(Block::Add, &[gl, gh]).unwrap();
+        g.mark_output(sum);
+        let eval = AccuracyEvaluator::new(&g, 128).unwrap();
+        let plan = WordLengthPlan::uniform(10, RoundingMode::RoundNearest);
+        let est = eval.estimate_psd(&plan);
+        let sim = SimulationPlan { samples: 400_000, nfft: 128, ..Default::default() };
+        let measured = eval.simulate(&plan, &sim).unwrap();
+        let ed = (est.power - measured.power) / measured.power;
+        assert!(ed.abs() < 0.1, "multirate Ed {ed} (est {}, meas {})", est.power, measured.power);
+        // The flat method must refuse rather than silently probe one phase.
+        assert!(matches!(eval.estimate_flat(&plan), Err(SfgError::Multirate { .. })));
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl FlatEstimate {
 ///
 /// # Errors
 ///
-/// Propagates [`SfgError`] from simulator construction.
+/// [`SfgError::Multirate`] on multirate graphs — a single impulse probe
+/// captures only one decimator phase of a periodically time-varying path,
+/// so Eq. 5's `K_i` would be silently phase-biased. Otherwise propagates
+/// [`SfgError`] from simulator construction.
 pub fn evaluate_flat(
     sfg: &Sfg,
     output: NodeId,
@@ -54,6 +57,11 @@ pub fn evaluate_flat(
     max_len: usize,
     tol: f64,
 ) -> Result<FlatEstimate, SfgError> {
+    if psdacc_sfg::is_multirate(sfg) {
+        return Err(SfgError::Multirate {
+            detail: "flat path probing is phase-dependent on time-varying graphs".to_string(),
+        });
+    }
     let mut sim = SfgSimulator::reference(sfg)?;
     let zero_inputs = vec![0.0; sfg.inputs().len()];
     let mut mean = 0.0;
@@ -190,6 +198,24 @@ mod tests {
         let est = evaluate_flat(&g, add, &[src], 1 << 16, 1e-18).unwrap();
         let expect = 1.0 / (1.0 - 0.81);
         assert!((est.variance - expect).abs() < 1e-4 * expect);
+    }
+
+    #[test]
+    fn multirate_graphs_are_refused_at_the_entry_point() {
+        // The guard must live here, not only in the evaluator wrapper: a
+        // direct caller probing a down/up graph would otherwise get a
+        // silently phase-biased K_i.
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let down = g.add_block(Block::Downsample(2), &[x]).unwrap();
+        let up = g.add_block(Block::Upsample(2), &[down]).unwrap();
+        g.mark_output(up);
+        let src =
+            NoiseSource { node: x, moments: NoiseMoments::new(0.0, 1.0), internal_feedback: None };
+        assert!(matches!(
+            evaluate_flat(&g, up, &[src], 256, 1e-12),
+            Err(SfgError::Multirate { .. })
+        ));
     }
 
     #[test]

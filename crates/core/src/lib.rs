@@ -38,7 +38,9 @@ pub use flat::{evaluate_flat, FlatEstimate};
 pub use metrics::{ed, equivalent_bit_deviation, is_sub_one_bit, sqnr_db};
 pub use noise_psd::NoisePsd;
 pub use propagate::{downsample_psd, through_magnitude, through_response, upsample_psd};
-pub use psd_method::{evaluate_psd_method, evaluate_with_responses, PsdEstimate};
+pub use psd_method::{
+    evaluate_psd_method, evaluate_with_multirate, evaluate_with_responses, PsdEstimate,
+};
 pub use refine::{greedy_refinement, minimum_uniform_wordlength, RefinementResult};
 pub use report::{Comparison, Estimate, Method};
 pub use wordlength::{NoiseSource, WordLengthPlan};

@@ -17,7 +17,7 @@
 //! region, which is precisely what the PSD-agnostic baseline cannot do.
 
 use psdacc_fft::Complex;
-use psdacc_sfg::{node_responses, NodeId, NodeResponses, Sfg, SfgError};
+use psdacc_sfg::{node_responses, MultirateResponses, NodeId, NodeResponses, Sfg, SfgError};
 
 use crate::noise_psd::NoisePsd;
 use crate::wordlength::NoiseSource;
@@ -79,6 +79,42 @@ pub fn evaluate_with_responses(responses: &NodeResponses, sources: &[NoiseSource
 fn source_contribution(src: &NoiseSource, g: &[Complex], npsd: usize) -> NoisePsd {
     let white = NoisePsd::white(src.moments, npsd);
     crate::propagate::through_response(&white, g)
+}
+
+/// Evaluation stage (`tau_eval`) over **multirate** preprocessing: each
+/// source's white PSD is already folded/imaged into an output-referred
+/// kernel, so evaluating a word-length plan is one scale-and-accumulate
+/// per source — `sigma^2` times the variance kernel plus `mu^2` times the
+/// mean-image kernel, with the mean riding the scalar DC path.
+///
+/// Multirate graphs carry no IIR blocks (rejected during preprocessing),
+/// so no source needs internal `1/A(z)` shaping here.
+pub fn evaluate_with_multirate(
+    responses: &MultirateResponses,
+    sources: &[NoiseSource],
+) -> PsdEstimate {
+    let n = responses.npsd_out();
+    let mut total = NoisePsd::zero(n);
+    let mut per_source = Vec::with_capacity(sources.len());
+    for src in sources {
+        debug_assert!(
+            src.internal_feedback.is_none(),
+            "multirate graphs reject IIR blocks at preprocessing"
+        );
+        let kernel = responses.kernel(src.node);
+        let sigma2 = src.moments.variance;
+        let mu = src.moments.mean;
+        let bins: Vec<f64> = kernel
+            .variance
+            .iter()
+            .zip(&kernel.mean_sq)
+            .map(|(&v, &m)| sigma2 * v + mu * mu * m)
+            .collect();
+        let contribution = NoisePsd::from_parts(bins, mu * kernel.dc);
+        per_source.push((src.node, contribution.power()));
+        total.add_assign(&contribution);
+    }
+    PsdEstimate { psd: total, per_source }
 }
 
 #[cfg(test)]

@@ -91,7 +91,13 @@ impl WordLengthPlan {
                 !(a > 0.0 && a.log2().fract().abs() < 1e-12)
             }
             Block::Fir(_) | Block::Iir(_) => true,
-            Block::Input | Block::Delay(_) | Block::Add => false,
+            // Rate changers move (or zero-stuff) samples without arithmetic:
+            // no requantization, no noise source.
+            Block::Input
+            | Block::Delay(_)
+            | Block::Add
+            | Block::Downsample(_)
+            | Block::Upsample(_) => false,
         }
     }
 

@@ -8,7 +8,7 @@
 //! a `OnceLock`, so concurrent requesters block on the single builder
 //! instead of duplicating the solve.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -41,6 +41,13 @@ pub trait PreprocessCache: Send + Sync + std::fmt::Debug {
     /// Current counters.
     fn stats(&self) -> CacheStats;
 
+    /// Per-scenario hit/miss counters, sorted by scenario key (aggregated
+    /// over `npsd` variants). The default implementation reports nothing —
+    /// caches that track per-key effectiveness override it.
+    fn scenario_stats(&self) -> Vec<ScenarioCacheStats> {
+        Vec::new()
+    }
+
     /// [`PreprocessCache::get_or_build_traced`] without the hit flag.
     ///
     /// # Errors
@@ -65,6 +72,19 @@ pub enum FillSource {
     Loaded,
 }
 
+/// Per-scenario cache effectiveness over a cache's lifetime: how many
+/// lookups found the scenario's slot already initialized (`hits`) versus
+/// had to wait on a fill (`misses`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioCacheStats {
+    /// Canonical scenario key (`Scenario::key()`).
+    pub scenario: String,
+    /// Lookups served from an already-initialized slot.
+    pub hits: usize,
+    /// Lookups that triggered (or waited on) a fill.
+    pub misses: usize,
+}
+
 /// Concurrency-safe, build-once evaluator cache keyed by
 /// `(scenario key, npsd)`.
 #[derive(Debug, Default)]
@@ -72,6 +92,8 @@ pub struct EvaluatorCache {
     slots: Mutex<HashMap<(String, usize), Slot>>,
     builds: AtomicUsize,
     hits: AtomicUsize,
+    /// `scenario key -> (hits, misses)`, aggregated over npsd variants.
+    per_scenario: Mutex<BTreeMap<String, (usize, usize)>>,
 }
 
 /// Counters describing cache effectiveness over a batch.
@@ -149,7 +171,8 @@ impl EvaluatorCache {
     where
         F: FnOnce() -> Result<(Arc<AccuracyEvaluator>, FillSource), EngineError>,
     {
-        let key = (scenario.key(), npsd);
+        let scenario_key = scenario.key();
+        let key = (scenario_key.clone(), npsd);
         let slot: Slot = {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
             Arc::clone(slots.entry(key).or_default())
@@ -157,6 +180,15 @@ impl EvaluatorCache {
         let hit = slot.get().is_some();
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut per = self.per_scenario.lock().expect("cache lock poisoned");
+            let counters = per.entry(scenario_key).or_insert((0, 0));
+            if hit {
+                counters.0 += 1;
+            } else {
+                counters.1 += 1;
+            }
         }
         let result = slot.get_or_init(|| match fill() {
             Ok((evaluator, FillSource::Built)) => {
@@ -184,6 +216,20 @@ impl EvaluatorCache {
             disk_writes: 0,
         }
     }
+
+    /// Per-scenario hit/miss counters, sorted by scenario key.
+    pub fn scenario_stats(&self) -> Vec<ScenarioCacheStats> {
+        self.per_scenario
+            .lock()
+            .expect("cache lock poisoned")
+            .iter()
+            .map(|(scenario, &(hits, misses))| ScenarioCacheStats {
+                scenario: scenario.clone(),
+                hits,
+                misses,
+            })
+            .collect()
+    }
 }
 
 impl PreprocessCache for EvaluatorCache {
@@ -197,6 +243,10 @@ impl PreprocessCache for EvaluatorCache {
 
     fn stats(&self) -> CacheStats {
         EvaluatorCache::stats(self)
+    }
+
+    fn scenario_stats(&self) -> Vec<ScenarioCacheStats> {
+        EvaluatorCache::scenario_stats(self)
     }
 }
 
@@ -246,6 +296,24 @@ mod tests {
         let (_, hit) = cache.get_or_fill_traced(&s, 32, || panic!("slot already filled")).unwrap();
         assert!(hit);
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn per_scenario_counters_track_hits_and_misses() {
+        let cache = EvaluatorCache::new();
+        let a = Scenario::FirCascade { stages: 1, taps: 9, cutoff: 0.3 };
+        let b = Scenario::FreqFilter;
+        cache.get_or_build(&a, 32).unwrap(); // miss
+        cache.get_or_build(&a, 32).unwrap(); // hit
+        cache.get_or_build(&a, 64).unwrap(); // miss (new npsd, same scenario)
+        cache.get_or_build(&b, 32).unwrap(); // miss
+        let stats = cache.scenario_stats();
+        assert_eq!(stats.len(), 2);
+        // Sorted by key: "fir-cascade[...]" < "freq-filter".
+        assert_eq!(stats[0].scenario, a.key());
+        assert_eq!((stats[0].hits, stats[0].misses), (1, 2));
+        assert_eq!(stats[1].scenario, b.key());
+        assert_eq!((stats[1].hits, stats[1].misses), (0, 1));
     }
 
     #[test]

@@ -327,9 +327,10 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
 }
 
 /// Output-referred power of a unit-power white input — the signal side of
-/// the reported SQNR.
+/// the reported SQNR. `Preprocessed::energy` covers both the single-rate
+/// and the multirate (folded/imaged) path gain.
 fn signal_power(evaluator: &Arc<AccuracyEvaluator>) -> f64 {
-    evaluator.sfg().inputs().iter().map(|&input| evaluator.responses().energy(input)).sum()
+    evaluator.sfg().inputs().iter().map(|&input| evaluator.preprocessed().energy(input)).sum()
 }
 
 #[cfg(test)]

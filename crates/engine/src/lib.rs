@@ -50,7 +50,7 @@ pub mod pool;
 pub mod scenario;
 
 pub use batch::{demo_spec, BatchSpec};
-pub use cache::{CacheStats, EvaluatorCache, FillSource, PreprocessCache};
+pub use cache::{CacheStats, EvaluatorCache, FillSource, PreprocessCache, ScenarioCacheStats};
 pub use engine::{BatchReport, Engine};
 pub use error::EngineError;
 pub use job::{JobKind, JobResult, JobSpec};

@@ -17,7 +17,15 @@
 //! | `iir-cascade`   | `psdacc_filters`                | `stages`, `order`, `cutoff` |
 //! | `freq-filter`   | `psdacc_systems::freq_filter`   | — (Fig. 2 chain) |
 //! | `dwt-pipeline`  | `psdacc_wavelet` (CDF 9/7 bank) | `levels` (1..=4) |
+//! | `dwt-decimated` | `psdacc_systems::dwt_decimated` | `levels` (1..=4) |
+//! | `dwt-packet`    | `psdacc_systems::dwt_decimated` | `depth` (1..=3) |
 //! | `random-sfg`    | seeded generator over `psdacc_sfg` | `nodes`, `seed` |
+//!
+//! The `dwt-decimated` / `dwt-packet` families are *true multirate* graphs
+//! (`Downsample` / `Upsample` blocks): evaluation takes the fold/image PSD
+//! path in `psdacc_sfg::multirate`, and `npsd` must be divisible by
+//! `2^levels` (respectively `2^depth`) so every rate region gets an
+//! integer grid.
 
 use std::collections::BTreeMap;
 
@@ -70,6 +78,18 @@ pub enum Scenario {
         /// Decomposition depth (1..=4).
         levels: usize,
     },
+    /// Decimated CDF 9/7 analysis/synthesis codec (octave decomposition)
+    /// as a true multirate graph.
+    DwtDecimated {
+        /// Decomposition depth (1..=4).
+        levels: usize,
+    },
+    /// Decimated CDF 9/7 wavelet-packet bank (both bands split at every
+    /// level: `2^depth` uniform subbands).
+    DwtPacket {
+        /// Tree depth (1..=3).
+        depth: usize,
+    },
     /// Seeded random chain-with-forks DAG over gain/delay/FIR/add blocks.
     RandomSfg {
         /// Number of non-input nodes.
@@ -94,6 +114,8 @@ impl Scenario {
             }
             Scenario::FreqFilter => "freq-filter".to_string(),
             Scenario::DwtPipeline { levels } => format!("dwt-pipeline[levels={levels}]"),
+            Scenario::DwtDecimated { levels } => format!("dwt-decimated[levels={levels}]"),
+            Scenario::DwtPacket { depth } => format!("dwt-packet[depth={depth}]"),
             Scenario::RandomSfg { nodes, seed } => {
                 format!("random-sfg[nodes={nodes},seed={seed}]")
             }
@@ -123,6 +145,12 @@ impl Scenario {
             Scenario::FreqFilter => Ok(()),
             Scenario::DwtPipeline { levels } => {
                 check((1..=4).contains(&levels), "dwt-pipeline levels must be 1..=4")
+            }
+            Scenario::DwtDecimated { levels } => {
+                check((1..=4).contains(&levels), "dwt-decimated levels must be 1..=4")
+            }
+            Scenario::DwtPacket { depth } => {
+                check((1..=3).contains(&depth), "dwt-packet depth must be 1..=3")
             }
             Scenario::RandomSfg { nodes, .. } => {
                 check((1..=256).contains(&nodes), "random-sfg nodes must be 1..=256")
@@ -178,6 +206,10 @@ impl Scenario {
                 Ok(g)
             }
             Scenario::DwtPipeline { levels } => build_dwt_pipeline(levels),
+            Scenario::DwtDecimated { levels } => {
+                Ok(psdacc_systems::dwt_decimated::analysis_synthesis(levels)?)
+            }
+            Scenario::DwtPacket { depth } => Ok(psdacc_systems::dwt_decimated::packet_bank(depth)?),
             Scenario::RandomSfg { nodes, seed } => build_random_sfg(nodes, seed),
         }
     }
@@ -199,6 +231,8 @@ impl Scenario {
             }
             Scenario::FreqFilter => "freq-filter".to_string(),
             Scenario::DwtPipeline { levels } => format!("dwt-pipeline levels={levels}"),
+            Scenario::DwtDecimated { levels } => format!("dwt-decimated levels={levels}"),
+            Scenario::DwtPacket { depth } => format!("dwt-packet depth={depth}"),
             Scenario::RandomSfg { nodes, seed } => {
                 format!("random-sfg nodes={nodes} seed={seed}")
             }
@@ -259,6 +293,8 @@ impl Scenario {
             "iir-cascade" => &["stages", "order", "cutoff"],
             "freq-filter" => &[],
             "dwt-pipeline" => &["levels"],
+            "dwt-decimated" => &["levels"],
+            "dwt-packet" => &["depth"],
             "random-sfg" => &["nodes", "seed"],
             other => {
                 return Err(EngineError::Scenario(format!(
@@ -290,6 +326,8 @@ impl Scenario {
             },
             "freq-filter" => Scenario::FreqFilter,
             "dwt-pipeline" => Scenario::DwtPipeline { levels: get_usize("levels", Some(2))? },
+            "dwt-decimated" => Scenario::DwtDecimated { levels: get_usize("levels", Some(2))? },
+            "dwt-packet" => Scenario::DwtPacket { depth: get_usize("depth", Some(2))? },
             "random-sfg" => Scenario::RandomSfg {
                 nodes: get_usize("nodes", Some(12))?,
                 seed: get_usize("seed", Some(1))? as u64,
@@ -346,6 +384,16 @@ pub const REGISTRY: &[RegistryEntry] = &[
         name: "dwt-pipeline",
         params: "levels=2",
         description: "undecimated CDF 9/7 analysis/synthesis pipeline",
+    },
+    RegistryEntry {
+        name: "dwt-decimated",
+        params: "levels=2",
+        description: "decimated CDF 9/7 octave codec (true multirate; npsd divisible by 2^levels)",
+    },
+    RegistryEntry {
+        name: "dwt-packet",
+        params: "depth=2",
+        description: "decimated CDF 9/7 wavelet-packet bank (2^depth uniform subbands)",
     },
     RegistryEntry {
         name: "random-sfg",
@@ -505,6 +553,19 @@ mod tests {
     }
 
     #[test]
+    fn decimated_families_build_multirate_graphs() {
+        let octave = Scenario::DwtDecimated { levels: 2 }.build().unwrap();
+        assert!(psdacc_sfg::is_multirate(&octave));
+        assert!(psdacc_sfg::check_realizable(&octave).is_ok());
+        let packet = Scenario::DwtPacket { depth: 2 }.build().unwrap();
+        assert!(psdacc_sfg::is_multirate(&packet));
+        assert!(packet.len() > octave.len(), "packet splits both bands");
+        assert!(Scenario::DwtDecimated { levels: 5 }.validate().is_err());
+        assert!(Scenario::DwtPacket { depth: 4 }.validate().is_err());
+        assert_eq!(Scenario::DwtDecimated { levels: 2 }.key(), "dwt-decimated[levels=2]");
+    }
+
+    #[test]
     fn spec_lines_round_trip() {
         let all = vec![
             Scenario::FirBank { index: 3 },
@@ -513,6 +574,8 @@ mod tests {
             Scenario::IirCascade { stages: 3, order: 4, cutoff: 0.15 },
             Scenario::FreqFilter,
             Scenario::DwtPipeline { levels: 2 },
+            Scenario::DwtDecimated { levels: 3 },
+            Scenario::DwtPacket { depth: 2 },
             Scenario::RandomSfg { nodes: 12, seed: 99 },
         ];
         for s in all {

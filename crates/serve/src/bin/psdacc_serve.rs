@@ -22,16 +22,18 @@ use psdacc_serve::{client, Server};
 use psdacc_store::PersistentCache;
 
 const USAGE: &str = "usage:
-  psdacc-serve daemon --addr HOST:PORT [--store DIR] [--threads N]
+  psdacc-serve daemon --addr HOST:PORT [--store DIR] [--store-max-entries N] [--threads N]
   psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] SPECFILE
   psdacc-serve stats --workers HOST:PORT[,HOST:PORT...]
   psdacc-serve scenarios --workers HOST:PORT[,HOST:PORT...]
 
 The daemon speaks newline-delimited JSON (kinds: evaluate, greedy,
 min-uniform, simulate, scenarios, stats). With --store, preprocessing
-persists to disk and restarts warm-start with zero builds. `submit`
-expands a batch spec locally, round-robins the jobs across the workers,
-and merges the streamed results back into submission order.
+persists to disk and restarts warm-start with zero builds;
+--store-max-entries caps the on-disk record count (LRU eviction, loads
+keep entries hot). `submit` expands a batch spec locally, round-robins
+the jobs across the workers, and merges the streamed results back into
+submission order.
 ";
 
 fn main() -> ExitCode {
@@ -104,13 +106,14 @@ fn default_threads() -> usize {
 }
 
 fn cmd_daemon(args: &[String]) -> ExitCode {
-    let (flags, _) = match parse_flags(args, &["--addr", "--store", "--threads"], None) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (flags, _) =
+        match parse_flags(args, &["--addr", "--store", "--store-max-entries", "--threads"], None) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
     let Some(addr) = flags.get("--addr") else {
         eprintln!("daemon needs --addr HOST:PORT\n{USAGE}");
         return ExitCode::FAILURE;
@@ -123,8 +126,20 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let max_entries = match flags.get("--store-max-entries").map(|v| v.parse::<usize>()) {
+        None => None,
+        Some(Ok(n)) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("--store-max-entries must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    if max_entries.is_some() && !flags.contains_key("--store") {
+        eprintln!("--store-max-entries needs --store DIR");
+        return ExitCode::FAILURE;
+    }
     let engine = match flags.get("--store") {
-        Some(dir) => match PersistentCache::open(dir) {
+        Some(dir) => match PersistentCache::open_with_limit(dir, max_entries) {
             Ok(cache) => Engine::with_shared_cache(threads, Arc::new(cache)),
             Err(e) => {
                 eprintln!("cannot open store {dir}: {e}");

@@ -28,7 +28,9 @@ impl ServerState {
         &self.engine
     }
 
-    /// Renders the `stats` response line.
+    /// Renders the `stats` response line, including per-scenario cache
+    /// hit/miss counts (sorted by scenario key; empty until the daemon has
+    /// served a job).
     pub fn stats_line(&self) -> String {
         let cache = self.engine.cache().stats();
         let mut w = JsonWriter::new();
@@ -41,6 +43,20 @@ impl ServerState {
         w.field_usize("cache_entries", cache.entries);
         w.field_usize("disk_hits", cache.disk_hits);
         w.field_usize("disk_writes", cache.disk_writes);
+        let per_scenario: Vec<String> = self
+            .engine
+            .cache()
+            .scenario_stats()
+            .iter()
+            .map(|s| {
+                let mut entry = JsonWriter::new();
+                entry.field_str("scenario", &s.scenario);
+                entry.field_usize("hits", s.hits);
+                entry.field_usize("misses", s.misses);
+                entry.finish()
+            })
+            .collect();
+        w.field_raw("scenario_cache", &format!("[{}]", per_scenario.join(",")));
         w.finish()
     }
 }
@@ -265,5 +281,39 @@ mod tests {
         assert_eq!(v.get("jobs_served").unwrap().as_u64(), Some(17));
         assert_eq!(v.get("cache_builds").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("disk_hits").unwrap().as_u64(), Some(0));
+        assert!(v.get("scenario_cache").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_line_carries_per_scenario_counters() {
+        use psdacc_engine::{JobKind, JobSpec, Scenario};
+        use psdacc_fixed::RoundingMode;
+        let state = ServerState {
+            // One worker keeps the hit/miss split deterministic (racing
+            // workers may both see an uninitialized slot as a miss).
+            engine: Engine::new(1),
+            jobs_served: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        };
+        let scenario = Scenario::FirCascade { stages: 1, taps: 9, cutoff: 0.3 };
+        let job = |bits| JobSpec {
+            scenario: scenario.clone(),
+            npsd: 32,
+            rounding: RoundingMode::Truncate,
+            kind: JobKind::Estimate { method: psdacc_core::Method::PsdMethod, frac_bits: bits },
+        };
+        state.engine.run(vec![job(8), job(10), job(12)]);
+        let v = json::parse(&state.stats_line()).unwrap();
+        let entries = v.get("scenario_cache").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("scenario").and_then(json::Json::as_str),
+            Some(scenario.key().as_str())
+        );
+        let hits = entries[0].get("hits").unwrap().as_u64().unwrap();
+        let misses = entries[0].get("misses").unwrap().as_u64().unwrap();
+        assert_eq!(hits + misses, 3, "one lookup per job");
+        assert_eq!(misses, 1, "single build, rest hits");
     }
 }

@@ -3,20 +3,23 @@
 use psdacc_fft::Complex;
 use psdacc_filters::{Fir, Iir, LtiSystem};
 
-/// A processing block in a single-rate LTI signal-flow graph.
+/// A processing block in a signal-flow graph.
 ///
-/// Multirate systems (the DWT benchmark) are modeled with dedicated
-/// executors/propagators in `psdacc-wavelet`; the generic graph stays
-/// single-rate so that the per-frequency linear solve in [`crate::freq`] is
-/// exact.
+/// Most blocks are single-rate LTI and are resolved exactly by the
+/// per-frequency linear solve in [`crate::freq`]. The two rate changers
+/// ([`Block::Downsample`], [`Block::Upsample`]) are linear but *periodically
+/// time-varying*: graphs containing them take the analytical path in
+/// [`crate::multirate`], which folds/images PSDs across per-rate-region
+/// frequency grids instead of solving one global linear system.
 #[derive(Debug, Clone)]
 pub enum Block {
     /// An external input port (no predecessors).
     Input,
     /// Multiplication by a constant.
     Gain(f64),
-    /// A pure delay of `k >= 1` samples. Delays are the only blocks allowed
-    /// to close feedback loops.
+    /// A pure delay of `k >= 1` samples (counted in the block's *local*
+    /// sample rate). Delays are the only blocks allowed to close feedback
+    /// loops.
     Delay(usize),
     /// An FIR filter.
     Fir(Fir),
@@ -24,6 +27,13 @@ pub enum Block {
     Iir(Iir),
     /// An n-ary adder (sums all predecessors).
     Add,
+    /// Decimator: keeps every `M`-th input sample (`M >= 1`), dividing the
+    /// sample rate by `M`. Factor 1 is an exact wire.
+    Downsample(usize),
+    /// Expander: inserts `L - 1` zeros after every input sample
+    /// (`L >= 1`), multiplying the sample rate by `L`. Factor 1 is an
+    /// exact wire.
+    Upsample(usize),
 }
 
 impl Block {
@@ -36,7 +46,27 @@ impl Block {
             Block::Fir(_) => "fir",
             Block::Iir(_) => "iir",
             Block::Add => "add",
+            Block::Downsample(_) => "downsample",
+            Block::Upsample(_) => "upsample",
         }
+    }
+
+    /// Rate change `(numerator, denominator)` the block applies to its input
+    /// sample rate: `(1, M)` for a decimator, `(L, 1)` for an expander,
+    /// `(1, 1)` for everything else.
+    pub fn rate_change(&self) -> (usize, usize) {
+        match self {
+            Block::Downsample(m) => (1, *m),
+            Block::Upsample(l) => (*l, 1),
+            _ => (1, 1),
+        }
+    }
+
+    /// `true` for rate changers with an effective factor (`M`/`L` greater
+    /// than 1). Factor-1 rate blocks are exact wires and keep the graph on
+    /// the single-rate path.
+    pub fn changes_rate(&self) -> bool {
+        matches!(self, Block::Downsample(f) | Block::Upsample(f) if *f > 1)
     }
 
     /// Number of predecessors this block requires: `None` means "one or
@@ -51,10 +81,12 @@ impl Block {
 
     /// The block's transfer function evaluated at normalized frequency `f`
     /// (cycles/sample). Adders and inputs are unit-transparent: summation is
-    /// handled by the graph structure.
+    /// handled by the graph structure. Rate changers report a unit transfer
+    /// — exact for factor 1 (a wire); graphs with effective rate changers
+    /// never reach the LTI solve (see [`crate::multirate`]).
     pub fn transfer_at(&self, f: f64) -> Complex {
         match self {
-            Block::Input | Block::Add => Complex::ONE,
+            Block::Input | Block::Add | Block::Downsample(_) | Block::Upsample(_) => Complex::ONE,
             Block::Gain(g) => Complex::from_re(*g),
             Block::Delay(k) => Complex::cis(-std::f64::consts::TAU * f * *k as f64),
             Block::Fir(fir) => fir
@@ -76,7 +108,9 @@ impl Block {
     /// `F_k = k/n`.
     pub fn frequency_response(&self, n: usize) -> Vec<Complex> {
         match self {
-            Block::Input | Block::Add => vec![Complex::ONE; n],
+            Block::Input | Block::Add | Block::Downsample(_) | Block::Upsample(_) => {
+                vec![Complex::ONE; n]
+            }
             Block::Gain(g) => vec![Complex::from_re(*g); n],
             Block::Delay(k) => (0..n)
                 .map(|i| Complex::cis(-std::f64::consts::TAU * (i * k) as f64 / n as f64))
@@ -86,20 +120,38 @@ impl Block {
         }
     }
 
-    /// DC gain of the block (1 for structural blocks).
+    /// DC gain of the block (1 for structural blocks). Rate changers pass
+    /// a unit impulse unchanged, so their impulse-response DC sum is 1 —
+    /// the value a moments-only (PSD-agnostic) characterization uses,
+    /// blind to the fact that zero-stuffing dilutes a *stationary* mean to
+    /// `1/L`. The multirate PSD path handles rate changers exactly instead
+    /// of through this scalar.
     pub fn dc_gain(&self) -> f64 {
         match self {
-            Block::Input | Block::Add | Block::Delay(_) => 1.0,
+            Block::Input
+            | Block::Add
+            | Block::Delay(_)
+            | Block::Downsample(_)
+            | Block::Upsample(_) => 1.0,
             Block::Gain(g) => *g,
             Block::Fir(fir) => fir.dc_gain(),
             Block::Iir(iir) => iir.dc_gain(),
         }
     }
 
-    /// Impulse-response energy (white-noise power gain) of the block.
+    /// Impulse-response energy (white-noise power gain) of the block. Rate
+    /// changers pass a unit impulse unchanged (energy 1) — again the blind
+    /// per-block characterization of hierarchical moment methods, which
+    /// over-counts stationary noise through an expander by `L` (the
+    /// paper's Table II DWT blow-up). The multirate PSD path applies the
+    /// exact `1/L` power map instead.
     pub fn energy(&self) -> f64 {
         match self {
-            Block::Input | Block::Add | Block::Delay(_) => 1.0,
+            Block::Input
+            | Block::Add
+            | Block::Delay(_)
+            | Block::Downsample(_)
+            | Block::Upsample(_) => 1.0,
             Block::Gain(g) => g * g,
             Block::Fir(fir) => fir.energy(),
             Block::Iir(iir) => iir.energy(),
@@ -109,7 +161,7 @@ impl Block {
     /// Impulse response of the block (structural blocks are deltas).
     pub fn impulse_response(&self, max_len: usize, tol: f64) -> Vec<f64> {
         match self {
-            Block::Input | Block::Add => vec![1.0],
+            Block::Input | Block::Add | Block::Downsample(_) | Block::Upsample(_) => vec![1.0],
             Block::Gain(g) => vec![*g],
             Block::Delay(k) => {
                 let mut h = vec![0.0; k + 1];
@@ -187,6 +239,41 @@ mod tests {
         assert_eq!(Block::Gain(3.0).impulse_response(10, 0.0), vec![3.0]);
         assert_eq!(Block::Delay(2).impulse_response(10, 0.0), vec![0.0, 0.0, 1.0]);
         assert_eq!(Block::Add.impulse_response(10, 0.0), vec![1.0]);
+    }
+
+    #[test]
+    fn rate_changers_report_their_factors() {
+        assert_eq!(Block::Downsample(4).rate_change(), (1, 4));
+        assert_eq!(Block::Upsample(3).rate_change(), (3, 1));
+        assert_eq!(Block::Gain(2.0).rate_change(), (1, 1));
+        assert!(Block::Downsample(2).changes_rate());
+        assert!(Block::Upsample(2).changes_rate());
+        assert!(!Block::Downsample(1).changes_rate(), "factor 1 is a wire");
+        assert!(!Block::Upsample(1).changes_rate());
+        assert!(!Block::Fir(Fir::new(vec![1.0])).changes_rate());
+        assert_eq!(Block::Downsample(2).kind(), "downsample");
+        assert_eq!(Block::Upsample(2).kind(), "upsample");
+        assert_eq!(Block::Downsample(2).arity(), Some(1));
+    }
+
+    #[test]
+    fn rate_changer_moment_maps() {
+        // Impulse-response characterization: both rate changers pass a
+        // delta, so the blind per-block energy/DC is 1 (the PSD-agnostic
+        // baseline's view; the multirate PSD path applies exact maps).
+        assert_eq!(Block::Downsample(3).energy(), 1.0);
+        assert_eq!(Block::Downsample(3).dc_gain(), 1.0);
+        assert_eq!(Block::Upsample(4).energy(), 1.0);
+        assert_eq!(Block::Upsample(4).dc_gain(), 1.0);
+        // Factor-1 rate blocks are exact wires everywhere.
+        for b in [Block::Downsample(1), Block::Upsample(1)] {
+            assert_eq!(b.energy(), 1.0);
+            assert_eq!(b.dc_gain(), 1.0);
+            assert_eq!(b.impulse_response(8, 0.0), vec![1.0]);
+            for v in b.frequency_response(8) {
+                assert_eq!(v, Complex::ONE);
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub fn to_dot(sfg: &Sfg, name: &str) -> String {
             Block::Fir(f) => (format!("FIR[{}]", f.len()), "box"),
             Block::Iir(f) => (format!("IIR(ord {})", f.order()), "box"),
             Block::Add => ("+".to_string(), "circle"),
+            Block::Downsample(m) => (format!("v{m}"), "invtrapezium"),
+            Block::Upsample(l) => (format!("^{l}"), "trapezium"),
         };
         let peripheries = if sfg.outputs().contains(&id) { 2 } else { 1 };
         let _ = writeln!(

@@ -36,6 +36,22 @@ pub enum SfgError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// Per-node sample rates cannot be assigned consistently: a junction
+    /// receives inputs at different rates, a rate factor is zero, or a
+    /// feedback loop passes through a rate changer.
+    RateMismatch {
+        /// The node at which the inconsistency was detected.
+        node: NodeId,
+        /// Human-readable description of the conflict.
+        detail: String,
+    },
+    /// The requested operation is undefined on a multirate graph (e.g. the
+    /// single-rate per-frequency solve, or flat time-domain path probing on
+    /// a periodically time-varying system).
+    Multirate {
+        /// What was attempted and why it cannot work.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SfgError {
@@ -52,6 +68,12 @@ impl fmt::Display for SfgError {
             SfgError::NoOutput => write!(f, "no output node designated"),
             SfgError::ResponseShape { detail } => {
                 write!(f, "node responses do not fit the graph: {detail}")
+            }
+            SfgError::RateMismatch { node, detail } => {
+                write!(f, "inconsistent sample rates at node {node:?}: {detail}")
+            }
+            SfgError::Multirate { detail } => {
+                write!(f, "unsupported on a multirate graph: {detail}")
             }
         }
     }

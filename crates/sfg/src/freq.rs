@@ -96,12 +96,94 @@ impl NodeResponses {
     }
 }
 
+/// Preprocessing (`tau_pp`) result for one `(graph, output, npsd)` triple:
+/// the exact per-frequency solve for single-rate graphs, or per-source
+/// fold/image kernels for graphs with effective rate changers.
+///
+/// Produced by [`preprocess`], consumed by `psdacc-core`'s evaluator and
+/// persisted by `psdacc-store`.
+#[derive(Debug, Clone)]
+pub enum Preprocessed {
+    /// Exact complex source-to-output responses (single-rate LTI graphs).
+    SingleRate(NodeResponses),
+    /// Per-source PSD kernels across rate regions (multirate graphs).
+    Multirate(crate::multirate::MultirateResponses),
+}
+
+impl Preprocessed {
+    /// Input-rate grid size (the `npsd` the preprocessing was requested
+    /// with — the cache-key component).
+    pub fn npsd(&self) -> usize {
+        match self {
+            Preprocessed::SingleRate(r) => r.npsd(),
+            Preprocessed::Multirate(m) => m.npsd(),
+        }
+    }
+
+    /// Number of source nodes covered.
+    pub fn len(&self) -> usize {
+        match self {
+            Preprocessed::SingleRate(r) => r.len(),
+            Preprocessed::Multirate(m) => m.len(),
+        }
+    }
+
+    /// `true` when no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// White-noise power gain from a node's output to the graph output.
+    pub fn energy(&self, node: NodeId) -> f64 {
+        match self {
+            Preprocessed::SingleRate(r) => r.energy(node),
+            Preprocessed::Multirate(m) => m.energy(node),
+        }
+    }
+
+    /// The exact single-rate responses, when this is the single-rate form.
+    pub fn as_single_rate(&self) -> Option<&NodeResponses> {
+        match self {
+            Preprocessed::SingleRate(r) => Some(r),
+            Preprocessed::Multirate(_) => None,
+        }
+    }
+
+    /// The multirate kernels, when this is the multirate form.
+    pub fn as_multirate(&self) -> Option<&crate::multirate::MultirateResponses> {
+        match self {
+            Preprocessed::SingleRate(_) => None,
+            Preprocessed::Multirate(m) => Some(m),
+        }
+    }
+}
+
+/// The `tau_pp` entry point: dispatches between the exact single-rate
+/// per-frequency solve ([`node_responses`]) and the multirate fold/image
+/// propagation ([`crate::multirate::multirate_responses`]), which solves
+/// each rate region on its own frequency grid.
+///
+/// # Errors
+///
+/// Whatever the selected path reports (see [`node_responses`] and
+/// [`crate::multirate::multirate_responses`]).
+pub fn preprocess(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<Preprocessed, SfgError> {
+    if crate::multirate::is_multirate(sfg) {
+        crate::multirate::multirate_responses(sfg, output, npsd).map(Preprocessed::Multirate)
+    } else {
+        node_responses(sfg, output, npsd).map(Preprocessed::SingleRate)
+    }
+}
+
 /// Computes [`NodeResponses`] from every node to `output` on an `npsd`-point
 /// grid.
 ///
 /// # Errors
 ///
 /// * [`SfgError::UnknownNode`] / [`SfgError::NoOutput`] for bad arguments,
+/// * [`SfgError::Multirate`] when the graph contains an effective rate
+///   changer — the per-bin linear system only describes LTI graphs; use
+///   [`preprocess`] to dispatch automatically,
 /// * [`SfgError::DelayFreeCycle`] if the graph is not realizable (checked up
 ///   front: a delay-free loop would make the frequency-domain system
 ///   singular at every bin).
@@ -111,6 +193,12 @@ pub fn node_responses(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<NodeResp
     }
     if npsd == 0 {
         return Err(SfgError::NoOutput);
+    }
+    if crate::multirate::is_multirate(sfg) {
+        return Err(SfgError::Multirate {
+            detail: "the per-frequency linear solve only describes single-rate LTI graphs"
+                .to_string(),
+        });
     }
     crate::topo::check_realizable(sfg)?;
     let n = sfg.len();
@@ -302,6 +390,31 @@ mod tests {
         let gain = g.add_block(Block::Gain(0.9), &[add]).unwrap();
         g.set_inputs(add, &[x, gain]).unwrap();
         assert!(matches!(node_responses(&g, add, 8), Err(SfgError::DelayFreeCycle { .. })));
+    }
+
+    #[test]
+    fn preprocess_dispatches_on_rate_structure() {
+        // Single-rate graph: the exact solve.
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let f = g.add_block(Block::Fir(Fir::new(vec![0.5, 0.5])), &[x]).unwrap();
+        g.mark_output(f);
+        let pre = preprocess(&g, f, 16).unwrap();
+        assert!(pre.as_single_rate().is_some());
+        assert_eq!(pre.npsd(), 16);
+        assert_eq!(pre.len(), 2);
+        assert!((pre.energy(x) - 0.5).abs() < 1e-12);
+
+        // Multirate graph: kernels, and the LTI solver refuses.
+        let mut m = Sfg::new();
+        let x = m.add_input();
+        let d = m.add_block(Block::Downsample(2), &[x]).unwrap();
+        m.mark_output(d);
+        assert!(matches!(node_responses(&m, d, 16), Err(SfgError::Multirate { .. })));
+        let pre = preprocess(&m, d, 16).unwrap();
+        assert!(pre.as_multirate().is_some());
+        assert!(pre.as_single_rate().is_none());
+        assert!((pre.energy(x) - 1.0).abs() < 1e-12, "decimation preserves noise power");
     }
 
     #[test]

@@ -15,18 +15,25 @@
 //!   output in one linear solve per bin. Feedback loops need no textual
 //!   breaking, and reconvergent paths of the same noise source interfere
 //!   with correct phase (the correlation information PSD-agnostic methods
-//!   lose).
+//!   lose);
+//! * [`multirate`] — rational per-node sample rates for graphs containing
+//!   [`Block::Downsample`] / [`Block::Upsample`], and the analytical PSD
+//!   propagation (fold at decimators, image at expanders, Eq. 14 addition
+//!   at junctions) that replaces the linear solve on such graphs. The
+//!   [`freq::preprocess`] entry point dispatches between the two paths.
 
 pub mod block;
 pub mod dot;
 pub mod error;
 pub mod freq;
 pub mod graph;
+pub mod multirate;
 pub mod topo;
 
 pub use block::Block;
 pub use dot::to_dot;
 pub use error::SfgError;
-pub use freq::{node_responses, NodeResponses};
+pub use freq::{node_responses, preprocess, NodeResponses, Preprocessed};
 pub use graph::{Node, NodeId, Sfg};
+pub use multirate::{is_multirate, multirate_responses, node_rates, MultirateResponses, Rate};
 pub use topo::{check_realizable, execution_order, is_acyclic, strongly_connected_components};

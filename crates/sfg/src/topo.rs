@@ -93,17 +93,33 @@ fn combinational_successors(sfg: &Sfg) -> Vec<Vec<NodeId>> {
     succ
 }
 
-/// Verifies that every cycle goes through at least one pure delay.
+/// Verifies that every cycle goes through at least one pure delay, and —
+/// when the graph contains rate changers — that per-node sample rates are
+/// consistent and no feedback loop crosses a rate boundary.
 ///
 /// # Errors
 ///
-/// [`SfgError::DelayFreeCycle`] listing an offending component.
+/// [`SfgError::DelayFreeCycle`] listing an offending component,
+/// [`SfgError::RateMismatch`] for inconsistent rates, and
+/// [`SfgError::Multirate`] for a rate changer inside a loop (its output
+/// rate would have to differ from its own input rate).
 pub fn check_realizable(sfg: &Sfg) -> Result<(), SfgError> {
     let succ = combinational_successors(sfg);
     for comp in scc_from_succ(sfg.len(), &succ) {
         let cyclic = comp.len() > 1 || succ[comp[0].0].contains(&comp[0]);
         if cyclic {
             return Err(SfgError::DelayFreeCycle { nodes: comp });
+        }
+    }
+    if crate::multirate::is_multirate(sfg) {
+        crate::multirate::node_rates(sfg)?;
+        for comp in strongly_connected_components(sfg) {
+            let cyclic = comp.len() > 1 || sfg.node(comp[0]).inputs.contains(&comp[0]);
+            if cyclic && comp.iter().any(|&v| sfg.node(v).block.changes_rate()) {
+                return Err(SfgError::Multirate {
+                    detail: format!("feedback loop {comp:?} passes through a rate changer"),
+                });
+            }
         }
     }
     Ok(())
@@ -236,6 +252,45 @@ mod tests {
         let order = execution_order(&g).unwrap();
         let pos = |id: NodeId| order.iter().position(|&v| v == id).unwrap();
         assert!(pos(x) < pos(a) && pos(x) < pos(b) && pos(a) < pos(c) && pos(b) < pos(c));
+    }
+
+    #[test]
+    fn rate_changer_inside_a_loop_rejected() {
+        // add -> down2 -> up2 -> delay -> add: rates are self-consistent,
+        // but PSD propagation through a time-varying loop is undefined.
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let add = g.add_block(Block::Add, &[x]).unwrap();
+        let down = g.add_block(Block::Downsample(2), &[add]).unwrap();
+        let up = g.add_block(Block::Upsample(2), &[down]).unwrap();
+        let delay = g.add_block(Block::Delay(1), &[up]).unwrap();
+        g.set_inputs(add, &[x, delay]).unwrap();
+        g.mark_output(add);
+        assert!(matches!(check_realizable(&g), Err(SfgError::Multirate { .. })));
+        // The same loop without rate changers is fine.
+        let mut ok = Sfg::new();
+        let x = ok.add_input();
+        let add = ok.add_block(Block::Add, &[x]).unwrap();
+        let delay = ok.add_block(Block::Delay(1), &[add]).unwrap();
+        ok.set_inputs(add, &[x, delay]).unwrap();
+        assert!(check_realizable(&ok).is_ok());
+    }
+
+    #[test]
+    fn acyclic_multirate_graph_is_realizable() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let down = g.add_block(Block::Downsample(2), &[x]).unwrap();
+        let up = g.add_block(Block::Upsample(2), &[down]).unwrap();
+        g.mark_output(up);
+        assert!(check_realizable(&g).is_ok());
+        // Inconsistent junction rates are caught here too.
+        let mut bad = Sfg::new();
+        let x = bad.add_input();
+        let down = bad.add_block(Block::Downsample(2), &[x]).unwrap();
+        let add = bad.add_block(Block::Add, &[x, down]).unwrap();
+        bad.mark_output(add);
+        assert!(matches!(check_realizable(&bad), Err(SfgError::RateMismatch { .. })));
     }
 
     #[test]

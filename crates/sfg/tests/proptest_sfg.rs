@@ -4,7 +4,8 @@ use proptest::prelude::*;
 use psdacc_fft::Complex;
 use psdacc_filters::Fir;
 use psdacc_sfg::{
-    check_realizable, execution_order, is_acyclic, node_responses, Block, NodeId, Sfg,
+    check_realizable, execution_order, is_acyclic, multirate_responses, node_responses, Block,
+    NodeId, Sfg,
 };
 
 /// Builds a random acyclic chain-with-forks graph from a recipe.
@@ -112,6 +113,65 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// `Downsample(1)` / `Upsample(1)` are identities for PSD propagation:
+    /// a random LTI chain with unit-factor rate blocks spliced between
+    /// every stage yields exactly the same input-to-output response (the
+    /// single-rate solve) and the same input noise kernel (the multirate
+    /// fold/image path) as the plain chain.
+    #[test]
+    fn unit_rate_factors_are_psd_propagation_identities(
+        stages in prop::collection::vec((-1.0f64..1.0, 0u8..2), 1..6),
+        npsd_pow in 3u32..6,
+    ) {
+        let npsd = 1usize << npsd_pow;
+        let mut plain = Sfg::new();
+        let px = plain.add_input();
+        let mut prev = px;
+        for &(gain, _) in &stages {
+            prev = plain
+                .add_block(Block::Fir(Fir::new(vec![0.6, gain, -0.2])), &[prev])
+                .expect("valid");
+        }
+        plain.mark_output(prev);
+
+        let mut spliced = Sfg::new();
+        let sx = spliced.add_input();
+        let mut prev = sx;
+        for &(gain, which) in &stages {
+            let rate = if which == 0 { Block::Downsample(1) } else { Block::Upsample(1) };
+            prev = spliced.add_block(rate, &[prev]).expect("valid");
+            prev = spliced
+                .add_block(Block::Fir(Fir::new(vec![0.6, gain, -0.2])), &[prev])
+                .expect("valid");
+        }
+        let tail = spliced.add_block(Block::Upsample(1), &[prev]).expect("valid");
+        spliced.mark_output(tail);
+
+        // Single-rate solve: identical input-to-output responses.
+        let plain_resp = node_responses(&plain, *plain.outputs().first().unwrap(), npsd)
+            .expect("solvable");
+        let spliced_resp = node_responses(&spliced, tail, npsd).expect("solvable");
+        for k in 0..npsd {
+            prop_assert!(
+                (plain_resp.of(px)[k] - spliced_resp.of(sx)[k]).norm() < 1e-9,
+                "bin {k}"
+            );
+        }
+        // Multirate fold/image path: identical input kernels, zero image
+        // mass, identical DC path.
+        let plain_multi = multirate_responses(&plain, *plain.outputs().first().unwrap(), npsd)
+            .expect("propagates");
+        let spliced_multi = multirate_responses(&spliced, tail, npsd).expect("propagates");
+        prop_assert_eq!(spliced_multi.npsd_out(), npsd, "unit factors keep the grid");
+        let a = plain_multi.kernel(px);
+        let b = spliced_multi.kernel(sx);
+        for k in 0..npsd {
+            prop_assert!((a.variance[k] - b.variance[k]).abs() < 1e-12, "bin {k}");
+            prop_assert!(b.mean_sq[k].abs() < 1e-15, "unit expanders deposit no image lines");
+        }
+        prop_assert!((a.dc - b.dc).abs() < 1e-12);
     }
 
     /// Probing the simulator matches the frequency solver: the DFT of the

@@ -5,14 +5,28 @@
 //! driven by the same input realize the paper's "simulation" reference: the
 //! difference of their outputs is the fixed-point error signal whose power
 //! and PSD the analytical methods predict.
+//!
+//! # Multirate execution
+//!
+//! Graphs containing `Downsample` / `Upsample` blocks run on one global
+//! clock at the input rate. Every node is assigned a firing period `p`
+//! (the reciprocal of its [`psdacc_sfg::multirate`] rate): the node
+//! computes only on steps where `tick % p == 0` and holds its last value in
+//! between. Same-rate consumers co-fire with their producers, decimators
+//! fire on a subset of producer firings (keeping every `M`-th sample), and
+//! expanders fire `L` times per producer firing, emitting the fresh sample
+//! once and zeros otherwise — exact zero-stuffing. Delays and filter states
+//! advance in *local* samples. Rates faster than the external input (a
+//! non-integer period) are rejected: they would need sub-steps of the
+//! input clock.
 
 use psdacc_fixed::Quantizer;
-use psdacc_sfg::{execution_order, NodeId, Sfg, SfgError};
+use psdacc_sfg::{execution_order, multirate, NodeId, Sfg, SfgError};
 
 use crate::executor::BlockExec;
 
-/// A bit-true (or reference, when no quantizers are attached) executor for a
-/// single-rate signal-flow graph.
+/// A bit-true (or reference, when no quantizers are attached) executor for
+/// a signal-flow graph (single-rate or decimating multirate).
 #[derive(Debug, Clone)]
 pub struct SfgSimulator {
     order: Vec<NodeId>,
@@ -23,6 +37,10 @@ pub struct SfgSimulator {
     quantizers: Vec<Option<Quantizer>>,
     values: Vec<f64>,
     injections: Vec<f64>,
+    /// Firing period per node, in input-rate ticks (all 1 on single-rate
+    /// graphs).
+    periods: Vec<u64>,
+    tick: u64,
 }
 
 impl SfgSimulator {
@@ -31,9 +49,38 @@ impl SfgSimulator {
     ///
     /// # Errors
     ///
-    /// [`SfgError::DelayFreeCycle`] if the graph is not realizable.
+    /// [`SfgError::DelayFreeCycle`] if the graph is not realizable;
+    /// [`SfgError::RateMismatch`] / [`SfgError::Multirate`] for
+    /// inconsistent rates, rate changers in feedback loops, or nodes
+    /// running faster than the external input.
     pub fn new(sfg: &Sfg, quantizers: Vec<Option<Quantizer>>) -> Result<Self, SfgError> {
         let order = execution_order(sfg)?;
+        let periods = if multirate::is_multirate(sfg) {
+            psdacc_sfg::check_realizable(sfg)?;
+            multirate::node_rates(sfg)?
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    if r.num() == 1 {
+                        Ok(r.den())
+                    } else {
+                        // Covers both genuinely faster nodes (e.g. rate 2)
+                        // and slower-but-fractional ones (e.g. 2/3): either
+                        // way the firing period is not a whole number of
+                        // input ticks.
+                        Err(SfgError::Multirate {
+                            detail: format!(
+                                "node {:?} runs at rate {r}, which has no integer firing \
+                                 period on the input clock",
+                                NodeId(i)
+                            ),
+                        })
+                    }
+                })
+                .collect::<Result<Vec<u64>, SfgError>>()?
+        } else {
+            vec![1; sfg.len()]
+        };
         let mut q = quantizers;
         q.resize(sfg.len(), None);
         Ok(SfgSimulator {
@@ -50,6 +97,8 @@ impl SfgSimulator {
             quantizers: q,
             values: vec![0.0; sfg.len()],
             injections: vec![0.0; sfg.len()],
+            periods,
+            tick: 0,
         })
     }
 
@@ -80,8 +129,14 @@ impl SfgSimulator {
             "expected {} input samples",
             self.input_ports.len()
         );
-        // Phase 1: compute all node outputs in combinational order.
+        // Phase 1: compute all node outputs in combinational order. Nodes
+        // whose firing period does not divide the current tick are skipped
+        // and hold their previous value (only same-or-slower-rate consumers
+        // read it, and they co-fire with the producer).
         for &id in &self.order {
+            if !self.tick.is_multiple_of(self.periods[id.0]) {
+                continue;
+            }
             let sum: f64 = self.inputs_of[id.0].iter().map(|p| self.values[p.0]).sum();
             let ext =
                 self.input_ports.iter().position(|&p| p == id).map(|i| external[i]).unwrap_or(0.0);
@@ -93,14 +148,21 @@ impl SfgSimulator {
             }
             self.values[id.0] = y;
         }
-        // Phase 2: commit delay inputs.
+        // Phase 2: commit delay inputs (delays advance in local samples).
         for &id in &self.order {
-            if self.execs[id.0].is_delay() {
+            if self.execs[id.0].is_delay() && self.tick.is_multiple_of(self.periods[id.0]) {
                 let sum: f64 = self.inputs_of[id.0].iter().map(|p| self.values[p.0]).sum();
                 self.execs[id.0].commit_delay(sum);
             }
         }
+        self.tick += 1;
         self.outputs.iter().map(|o| self.values[o.0]).collect()
+    }
+
+    /// Firing period of a node in input-rate ticks (1 on single-rate
+    /// graphs).
+    pub fn period_of(&self, node: NodeId) -> u64 {
+        self.periods[node.0]
     }
 
     /// Runs a whole multi-channel input (`signals[port][t]`) and collects the
@@ -129,13 +191,14 @@ impl SfgSimulator {
         self.values[node.0]
     }
 
-    /// Resets all state (delay lines, filter states, node values).
+    /// Resets all state (delay lines, filter states, node values, clock).
     pub fn reset(&mut self) {
         for e in &mut self.execs {
             e.reset();
         }
         self.values.fill(0.0);
         self.injections.fill(0.0);
+        self.tick = 0;
     }
 }
 
@@ -247,6 +310,78 @@ mod tests {
         let first = sim.run(&[vec![1.0, 0.5, 0.25]]);
         sim.reset();
         let second = sim.run(&[vec![1.0, 0.5, 0.25]]);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn down_up_pair_masks_odd_samples() {
+        // x -> v2 -> ^2 keeps even-index samples and stuffs zeros between.
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let down = g.add_block(Block::Downsample(2), &[x]).unwrap();
+        let up = g.add_block(Block::Upsample(2), &[down]).unwrap();
+        g.mark_output(up);
+        let mut sim = SfgSimulator::reference(&g).unwrap();
+        assert_eq!(sim.period_of(down), 2);
+        assert_eq!(sim.period_of(up), 1);
+        let input: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let got = sim.run(&[input]);
+        assert_eq!(got, vec![1.0, 0.0, 3.0, 0.0, 5.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn filter_at_half_rate_sees_the_decimated_stream() {
+        // x -> v2 -> FIR(1, 1): at the half rate the filter sums the two
+        // most recent *subband* samples, i.e. x[2k] + x[2k-2].
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let down = g.add_block(Block::Downsample(2), &[x]).unwrap();
+        let f = g.add_block(Block::Fir(Fir::new(vec![1.0, 1.0])), &[down]).unwrap();
+        let up = g.add_block(Block::Upsample(2), &[f]).unwrap();
+        g.mark_output(up);
+        let mut sim = SfgSimulator::reference(&g).unwrap();
+        let input: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let got = sim.run(&[input]);
+        assert_eq!(got, vec![1.0, 0.0, 4.0, 0.0, 8.0, 0.0, 12.0, 0.0]);
+    }
+
+    #[test]
+    fn delay_at_half_rate_counts_local_samples() {
+        // A Delay(1) in the half-rate region delays by one subband sample
+        // (two input ticks once re-expanded).
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let down = g.add_block(Block::Downsample(2), &[x]).unwrap();
+        let d = g.add_block(Block::Delay(1), &[down]).unwrap();
+        let up = g.add_block(Block::Upsample(2), &[d]).unwrap();
+        g.mark_output(up);
+        let mut sim = SfgSimulator::reference(&g).unwrap();
+        let input: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let got = sim.run(&[input]);
+        assert_eq!(got, vec![0.0, 0.0, 1.0, 0.0, 3.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn rates_faster_than_the_input_are_rejected() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let up = g.add_block(Block::Upsample(2), &[x]).unwrap();
+        g.mark_output(up);
+        assert!(matches!(SfgSimulator::reference(&g), Err(SfgError::Multirate { .. })));
+    }
+
+    #[test]
+    fn multirate_reset_restores_phase() {
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let down = g.add_block(Block::Downsample(2), &[x]).unwrap();
+        let up = g.add_block(Block::Upsample(2), &[down]).unwrap();
+        g.mark_output(up);
+        let mut sim = SfgSimulator::reference(&g).unwrap();
+        let input: Vec<f64> = vec![5.0, 6.0, 7.0];
+        let first = sim.run(std::slice::from_ref(&input));
+        sim.reset();
+        let second = sim.run(std::slice::from_ref(&input));
         assert_eq!(first, second);
     }
 

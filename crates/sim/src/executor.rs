@@ -67,6 +67,17 @@ pub enum BlockExec {
     QuantIir(QuantIirState),
     /// N-ary adder (stateless).
     Add,
+    /// Decimator: fires only on every `M`-th input sample (the simulator
+    /// schedules it), where it passes the input through unchanged.
+    Downsample,
+    /// Expander: fires `L` times per input sample; emits the input on the
+    /// first firing of each group and the `L - 1` stuffed zeros after.
+    Upsample {
+        /// Expansion factor.
+        l: usize,
+        /// Firings since the last input sample (0 = fresh input).
+        phase: usize,
+    },
 }
 
 impl BlockExec {
@@ -90,6 +101,8 @@ impl BlockExec {
             (Block::Fir(f), _) => BlockExec::Fir(f.stream()),
             (Block::Iir(f), None) => BlockExec::Iir(f.stream()),
             (Block::Add, _) => BlockExec::Add,
+            (Block::Downsample(_), _) => BlockExec::Downsample,
+            (Block::Upsample(l), _) => BlockExec::Upsample { l: (*l).max(1), phase: 0 },
         }
     }
 
@@ -113,6 +126,12 @@ impl BlockExec {
             BlockExec::Iir(s) => s.push(input_sum),
             BlockExec::QuantIir(s) => s.push(input_sum),
             BlockExec::Add => input_sum,
+            BlockExec::Downsample => input_sum,
+            BlockExec::Upsample { l, phase } => {
+                let emit = if *phase == 0 { input_sum } else { 0.0 };
+                *phase = (*phase + 1) % *l;
+                emit
+            }
         }
     }
 
@@ -134,6 +153,7 @@ impl BlockExec {
             BlockExec::Fir(s) => s.reset(),
             BlockExec::Iir(s) => s.reset(),
             BlockExec::QuantIir(s) => s.reset(),
+            BlockExec::Upsample { phase, .. } => *phase = 0,
             _ => {}
         }
     }

@@ -45,6 +45,7 @@ pub fn measure_quantization_error(
 ) -> Result<ErrorMeasurement, SfgError> {
     let mut reference = SfgSimulator::reference(sfg)?;
     let mut quantized = SfgSimulator::new(sfg, quantizers.to_vec())?;
+    check_output_rate(sfg, &reference)?;
     let mut gen = SignalGenerator::new(plan.seed);
     let ports = sfg.inputs().len();
     let mut err = Vec::with_capacity(plan.samples);
@@ -81,10 +82,29 @@ pub fn measure_quantization_error_with_input(
 ) -> Result<ErrorMeasurement, SfgError> {
     let mut reference = SfgSimulator::reference(sfg)?;
     let mut quantized = SfgSimulator::new(sfg, quantizers.to_vec())?;
+    check_output_rate(sfg, &reference)?;
     let r = reference.run(signals);
     let q = quantized.run(signals);
     let err: Vec<f64> = q.iter().zip(&r).map(|(a, b)| a - b).collect();
     Ok(ErrorMeasurement::from_error_signal(&err, nfft))
+}
+
+/// An error measurement samples the output once per input tick, so outputs
+/// running slower than the input would contribute held (stale) samples and
+/// bias the statistics.
+fn check_output_rate(sfg: &Sfg, sim: &SfgSimulator) -> Result<(), SfgError> {
+    for &out in sfg.outputs() {
+        if sim.period_of(out) != 1 {
+            return Err(SfgError::Multirate {
+                detail: format!(
+                    "output {out:?} fires every {} ticks; error measurement needs an \
+                     input-rate output",
+                    sim.period_of(out)
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -32,9 +32,24 @@ impl PersistentCache {
     ///
     /// [`StoreError::Io`] when the directory cannot be created.
     pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with_limit(dir, None)
+    }
+
+    /// Like [`PersistentCache::open`], capping the on-disk record count:
+    /// when a write pushes the store past `max_entries`, the
+    /// least-recently-used records (by modification time — loads touch it)
+    /// are evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open_with_limit(
+        dir: impl Into<std::path::PathBuf>,
+        max_entries: Option<usize>,
+    ) -> Result<Self, StoreError> {
         Ok(PersistentCache {
             memory: EvaluatorCache::new(),
-            store: Store::open(dir)?,
+            store: Store::open_with_limit(dir, max_entries)?,
             disk_hits: AtomicUsize::new(0),
             disk_writes: AtomicUsize::new(0),
         })
@@ -58,12 +73,14 @@ impl PersistentCache {
                 return None;
             }
         };
-        // Rebuilding the graph is cheap (filter design), unlike the per-bin
-        // solve the record spares us.
+        // Rebuilding the graph is cheap (filter design), unlike the
+        // per-bin solve or multirate kernel propagation the record spares
+        // us. `from_cached` verifies the record's flavor matches the
+        // graph's rate structure.
         let sfg = scenario.build().ok()?;
         let tau_pp = record.preprocess_seconds;
-        match record.into_responses().and_then(|responses| {
-            AccuracyEvaluator::from_cached(&sfg, responses, tau_pp)
+        match record.into_preprocessed().and_then(|preprocessed| {
+            AccuracyEvaluator::from_cached(&sfg, preprocessed, tau_pp)
                 .map_err(|e| StoreError::Codec(e.to_string()))
         }) {
             Ok(evaluator) => Some(Arc::new(evaluator)),
@@ -89,9 +106,9 @@ impl PreprocessCache for PersistentCache {
             }
             let sfg = scenario.build()?;
             let evaluator = Arc::new(AccuracyEvaluator::new(&sfg, npsd)?);
-            let record = Record::from_responses(
+            let record = Record::from_preprocessed(
                 &scenario.key(),
-                evaluator.responses(),
+                evaluator.preprocessed(),
                 evaluator.preprocess_seconds(),
             );
             match self.store.save(&record) {
@@ -115,6 +132,10 @@ impl PreprocessCache for PersistentCache {
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
             ..self.memory.stats()
         }
+    }
+
+    fn scenario_stats(&self) -> Vec<psdacc_engine::ScenarioCacheStats> {
+        self.memory.scenario_stats()
     }
 }
 

@@ -24,10 +24,13 @@ use crate::error::StoreError;
 /// File extension for store records ("node-response preprocessing").
 pub const EXTENSION: &str = "npr";
 
-/// A directory of persisted preprocessing records.
+/// A directory of persisted preprocessing records, optionally capped to a
+/// maximum record count with least-recently-used eviction (recency =
+/// modification time; loads touch it, so hot entries survive).
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
+    max_entries: Option<usize>,
 }
 
 /// Distinguishes tmp files written by this process (pid alone is not
@@ -35,16 +38,35 @@ pub struct Store {
 static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
 
 impl Store {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) an uncapped store rooted at `root`.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] when the directory cannot be created.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with_limit(root, None)
+    }
+
+    /// Opens a store capped at `max_entries` records (LRU by mtime). A cap
+    /// of `Some(0)` is treated as unlimited (a store that can hold nothing
+    /// is a misconfiguration, not a useful mode).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open_with_limit(
+        root: impl Into<PathBuf>,
+        max_entries: Option<usize>,
+    ) -> Result<Self, StoreError> {
         let root = root.into();
         std::fs::create_dir_all(&root)
             .map_err(|e| StoreError::Io(format!("create {}: {e}", root.display())))?;
-        Ok(Store { root })
+        Ok(Store { root, max_entries: max_entries.filter(|&n| n > 0) })
+    }
+
+    /// The configured record-count cap, if any.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
     }
 
     /// The store's root directory.
@@ -86,6 +108,13 @@ impl Store {
                 found: format!("{}#{}", record.scenario_key, record.npsd),
             });
         }
+        // Touch the record so LRU eviction sees it as recently used
+        // (best-effort: a read-only store still serves loads).
+        if self.max_entries.is_some() {
+            if let Ok(file) = std::fs::File::options().append(true).open(&path) {
+                let _ = file.set_modified(std::time::SystemTime::now());
+            }
+        }
         Ok(Some(record))
     }
 
@@ -117,7 +146,48 @@ impl Store {
             let _ = std::fs::remove_file(&tmp);
             return Err(StoreError::Io(format!("write {}: {e}", path.display())));
         }
+        self.enforce_limit(&path);
         Ok(())
+    }
+
+    /// Evicts the least-recently-used records (by mtime) until the store
+    /// is back within `max_entries`. Best-effort: eviction failures cost
+    /// disk space, never correctness, so they are logged and swallowed.
+    /// The record just written is never evicted — under a cap of 1 the
+    /// newest entry is the one worth keeping.
+    fn enforce_limit(&self, just_written: &Path) {
+        let Some(cap) = self.max_entries else { return };
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("psdacc-store: cannot scan {} for eviction: {e}", self.root.display());
+                return;
+            }
+        };
+        let mut records: Vec<(std::time::SystemTime, PathBuf)> = entries
+            .filter_map(|entry| {
+                let path = entry.ok()?.path();
+                if path.extension().and_then(|x| x.to_str()) != Some(EXTENSION)
+                    || path == just_written
+                {
+                    return None;
+                }
+                let mtime = path.metadata().and_then(|m| m.modified()).ok()?;
+                Some((mtime, path))
+            })
+            .collect();
+        // `records` excludes the protected fresh write, so the cap leaves
+        // room for it: keep at most `cap - 1` others.
+        let keep = cap.saturating_sub(1);
+        if records.len() <= keep {
+            return;
+        }
+        records.sort_by_key(|(mtime, _)| *mtime);
+        for (_, path) in records.drain(..records.len() - keep) {
+            if let Err(e) = std::fs::remove_file(&path) {
+                eprintln!("psdacc-store: cannot evict {}: {e}", path.display());
+            }
+        }
     }
 
     /// Removes the record for one address (used to clear corrupt files so
@@ -172,8 +242,17 @@ mod tests {
             scenario_key: key.to_string(),
             npsd,
             preprocess_seconds: 0.5,
+            flavor: crate::codec::RecordFlavor::SingleRate,
             rows: vec![vec![Complex::new(1.0, -2.0); npsd]; 2],
         }
+    }
+
+    /// Pins a record file's mtime (so LRU ordering is deterministic in
+    /// tests, no sleeps).
+    fn set_mtime(store: &Store, key: &str, npsd: usize, seconds: u64) {
+        let path = store.path_for(key, npsd);
+        let file = std::fs::File::options().append(true).open(path).unwrap();
+        file.set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(seconds)).unwrap();
     }
 
     #[test]
@@ -240,6 +319,49 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn max_entries_cap_is_enforced_lru() {
+        let store = Store::open_with_limit(tmp_root("evict"), Some(2)).unwrap();
+        assert_eq!(store.max_entries(), Some(2));
+        store.save(&record("k0", 4)).unwrap();
+        set_mtime(&store, "k0", 4, 1000);
+        store.save(&record("k1", 4)).unwrap();
+        set_mtime(&store, "k1", 4, 2000);
+        store.save(&record("k2", 4)).unwrap();
+        assert_eq!(store.record_count().unwrap(), 2, "cap enforced");
+        assert!(store.load("k0", 4).unwrap().is_none(), "oldest evicted");
+        assert!(store.load("k1", 4).unwrap().is_some());
+        assert!(store.load("k2", 4).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn loads_keep_hot_entries_alive() {
+        let store = Store::open_with_limit(tmp_root("hot"), Some(2)).unwrap();
+        store.save(&record("hot", 4)).unwrap();
+        set_mtime(&store, "hot", 4, 1000);
+        store.save(&record("cold", 4)).unwrap();
+        set_mtime(&store, "cold", 4, 2000);
+        // Touch the older record: the load bumps its mtime past "cold".
+        assert!(store.load("hot", 4).unwrap().is_some());
+        store.save(&record("k2", 4)).unwrap();
+        assert_eq!(store.record_count().unwrap(), 2);
+        assert!(store.load("hot", 4).unwrap().is_some(), "hot entry survived");
+        assert!(store.load("cold", 4).unwrap().is_none(), "cold entry evicted");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn zero_cap_means_unlimited() {
+        let store = Store::open_with_limit(tmp_root("zerocap"), Some(0)).unwrap();
+        assert_eq!(store.max_entries(), None);
+        for i in 0..4 {
+            store.save(&record(&format!("k{i}"), 4)).unwrap();
+        }
+        assert_eq!(store.record_count().unwrap(), 4);
         let _ = std::fs::remove_dir_all(store.root());
     }
 

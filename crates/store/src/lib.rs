@@ -43,6 +43,6 @@ pub mod error;
 pub mod layout;
 
 pub use cache::PersistentCache;
-pub use codec::Record;
+pub use codec::{Record, RecordFlavor};
 pub use error::StoreError;
 pub use layout::Store;

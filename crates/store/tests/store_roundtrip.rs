@@ -24,6 +24,8 @@ fn golden_round_trip_is_bit_identical() {
         Scenario::FirBank { index: 7 },
         Scenario::IirCascade { stages: 2, order: 4, cutoff: 0.15 },
         Scenario::DwtPipeline { levels: 2 },
+        Scenario::DwtDecimated { levels: 2 },
+        Scenario::DwtPacket { depth: 1 },
         Scenario::RandomSfg { nodes: 18, seed: 3 },
     ];
     let dir = tmp_dir("golden");
@@ -32,20 +34,20 @@ fn golden_round_trip_is_bit_identical() {
         let key = scenario.key();
         let sfg = scenario.build().unwrap();
         let evaluator = AccuracyEvaluator::new(&sfg, 128).unwrap();
-        store
-            .save(&Record::from_responses(
-                &key,
-                evaluator.responses(),
-                evaluator.preprocess_seconds(),
-            ))
-            .unwrap();
+        let original = Record::from_preprocessed(
+            &key,
+            evaluator.preprocessed(),
+            evaluator.preprocess_seconds(),
+        );
+        store.save(&original).unwrap();
         let record = store.load(&key, 128).unwrap().expect("saved record loads");
         assert_eq!(record.scenario_key, key);
         assert_eq!(record.npsd, 128);
+        assert_eq!(record.flavor, original.flavor);
         assert_eq!(record.preprocess_seconds.to_bits(), evaluator.preprocess_seconds().to_bits());
-        let original = evaluator.responses().rows();
-        assert_eq!(record.rows.len(), original.len(), "{key}: node count");
-        for (node, (got, want)) in record.rows.iter().zip(original).enumerate() {
+        assert_eq!(record.rows.len(), original.rows.len(), "{key}: node count");
+        for (node, (got, want)) in record.rows.iter().zip(&original.rows).enumerate() {
+            assert_eq!(got.len(), want.len(), "{key} node {node}: row width");
             for (bin, (g, w)) in got.iter().zip(want).enumerate() {
                 assert_eq!(g.re.to_bits(), w.re.to_bits(), "{key} node {node} bin {bin} re");
                 assert_eq!(g.im.to_bits(), w.im.to_bits(), "{key} node {node} bin {bin} im");
@@ -65,7 +67,9 @@ fn real_record_rejects_truncation_and_corruption() {
     let scenario = Scenario::FreqFilter;
     let sfg = scenario.build().unwrap();
     let evaluator = AccuracyEvaluator::new(&sfg, 64).unwrap();
-    store.save(&Record::from_responses(&scenario.key(), evaluator.responses(), 0.25)).unwrap();
+    store
+        .save(&Record::from_preprocessed(&scenario.key(), evaluator.preprocessed(), 0.25))
+        .unwrap();
     let path = store.path_for(&scenario.key(), 64);
     let bytes = std::fs::read(&path).unwrap();
 
@@ -95,6 +99,7 @@ fn warm_engine_serves_bit_identical_results_with_zero_builds() {
         Scenario::FirCascade { stages: 2, taps: 15, cutoff: 0.2 },
         Scenario::FreqFilter,
         Scenario::DwtPipeline { levels: 1 },
+        Scenario::DwtDecimated { levels: 2 },
     ]
     .into_iter()
     .flat_map(|scenario| {
@@ -110,15 +115,15 @@ fn warm_engine_serves_bit_identical_results_with_zero_builds() {
     let cold_cache = Arc::new(PersistentCache::open(&dir).unwrap());
     let cold = Engine::with_shared_cache(4, cold_cache.clone()).run(jobs.clone());
     assert_eq!(cold.failures().count(), 0);
-    assert_eq!(cold.cache.builds, 3, "one build per distinct scenario");
-    assert_eq!(cold.cache.disk_writes, 3);
-    assert_eq!(cold_cache.store().record_count().unwrap(), 3);
+    assert_eq!(cold.cache.builds, 4, "one build per distinct scenario");
+    assert_eq!(cold.cache.disk_writes, 4);
+    assert_eq!(cold_cache.store().record_count().unwrap(), 4);
 
     let warm_cache = Arc::new(PersistentCache::open(&dir).unwrap());
     let warm = Engine::with_shared_cache(4, warm_cache).run(jobs);
     assert_eq!(warm.failures().count(), 0);
     assert_eq!(warm.cache.builds, 0, "warm restart: zero preprocessing builds");
-    assert_eq!(warm.cache.disk_hits, 3);
+    assert_eq!(warm.cache.disk_hits, 4);
 
     for (a, b) in cold.results.iter().zip(&warm.results) {
         assert_eq!(a.power, b.power, "job {}", a.job);

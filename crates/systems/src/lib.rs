@@ -8,8 +8,11 @@
 //! * [`freq_filter`] — the Fig. 2 frequency-domain band-pass system
 //!   (overlap-save, stage-quantized FFT in [`staged_fft`]),
 //! * [`dwt_system`] — the Fig. 3 2-level CDF 9/7 image codec on the
-//!   synthetic corpus.
+//!   synthetic corpus,
+//! * [`dwt_decimated`] — the decimated CDF 9/7 filter banks as true
+//!   multirate signal-flow graphs (octave codec + wavelet-packet bank).
 
+pub mod dwt_decimated;
 pub mod dwt_system;
 pub mod filter_bank;
 pub mod freq_filter;
