@@ -1,10 +1,20 @@
 //! **Fig. 4**: estimation deviation `Ed` versus fractional bit-width `d`
 //! (8..=32 in steps of 4) for the frequency-filtering and DWT systems.
+//!
+//! Ported to run as **engine batches** (matching table1/table2): for each
+//! bit-width and each system, a seeded Monte-Carlo reference
+//! (`JobKind::Simulate`) and a PSD estimate are jobs on the work-stealing
+//! pool, sharing one preprocessing pass per system. The systems are the
+//! registry scenarios `freq-filter` (Fig. 2 band-pass chain) and
+//! `dwt-decimated levels=2` (the true multirate CDF 9/7 codec). With
+//! `--daemons` the whole batch dispatches through the `psdacc-sched`
+//! coordinator across a daemon fleet instead — same numbers, any fleet.
 
-use psdacc_dsp::SignalGenerator;
-use psdacc_fixed::{NoiseMoments, Quantizer, RoundingMode};
-use psdacc_systems::{DwtSystem, FreqFilterSystem};
+use psdacc_core::Method;
+use psdacc_engine::{JobKind, JobSpec, Scenario};
+use psdacc_fixed::RoundingMode;
 
+use crate::fleet::{backend_label, batch_powers};
 use crate::harness::{pct, Args, Table};
 
 /// The paper's bit-width sweep.
@@ -21,21 +31,35 @@ pub struct SweepPoint {
     pub ed_dwt: f64,
 }
 
-/// Runs the sweep and returns the points.
+/// Jobs for one bit-width, in the fixed order the extraction expects:
+/// per system, the simulation reference then the PSD estimate.
+fn point_jobs(args: &Args, d: i32, rounding: RoundingMode) -> Vec<JobSpec> {
+    let systems = [Scenario::FreqFilter, Scenario::DwtDecimated { levels: 2 }];
+    let mut jobs = Vec::with_capacity(systems.len() * 2);
+    for scenario in systems {
+        let job = |kind| JobSpec { scenario: scenario.clone(), npsd: args.npsd, rounding, kind };
+        jobs.push(job(JobKind::Simulate {
+            frac_bits: d,
+            samples: args.samples,
+            nfft: 256,
+            seed: args.seed,
+            trials: 1,
+        }));
+        jobs.push(job(JobKind::Estimate { method: Method::PsdMethod, frac_bits: d }));
+    }
+    jobs
+}
+
+/// Runs the sweep as one engine (or fleet) batch and returns the points.
 pub fn sweep(args: &Args, rounding: RoundingMode) -> Vec<SweepPoint> {
-    let freq_sys = FreqFilterSystem::new();
-    let dwt_sys = DwtSystem::paper();
-    let mut gen = SignalGenerator::new(args.seed);
-    let x = gen.uniform_white(args.samples, 1.0);
+    let jobs: Vec<JobSpec> =
+        BIT_WIDTHS.iter().flat_map(|&d| point_jobs(args, d, rounding)).collect();
+    let powers = batch_powers(args, jobs);
     BIT_WIDTHS
         .iter()
-        .map(|&d| {
-            let q = Quantizer::new(d, rounding);
-            let moments = NoiseMoments::continuous(rounding, d);
-            let (meas_f, _) = freq_sys.measure(&x, &q, 256);
-            let est_f = freq_sys.model_psd_power(moments, args.npsd);
-            let meas_d = dwt_sys.measure_power(args.images, args.size, d, rounding);
-            let est_d = dwt_sys.model_psd_power(d, rounding, args.npsd);
+        .zip(powers.chunks_exact(4))
+        .map(|(&d, chunk)| {
+            let [meas_f, est_f, meas_d, est_d] = chunk else { unreachable!("chunks of 4") };
             SweepPoint { d, ed_freq: (est_f - meas_f) / meas_f, ed_dwt: (est_d - meas_d) / meas_d }
         })
         .collect()
@@ -46,8 +70,10 @@ pub fn sweep(args: &Args, rounding: RoundingMode) -> Vec<SweepPoint> {
 pub fn run(args: &Args) {
     println!("== Fig. 4: Ed versus fractional bit-width d ==");
     println!(
-        "(N_PSD = {}, {} samples / {} images of {}x{})\n",
-        args.npsd, args.samples, args.images, args.size, args.size
+        "(N_PSD = {}, {} samples per simulation reference; {})\n",
+        args.npsd,
+        args.samples,
+        backend_label(args)
     );
     let trunc = sweep(args, RoundingMode::Truncate);
     let round = sweep(args, RoundingMode::RoundNearest);

@@ -21,6 +21,10 @@ pub struct Args {
     pub out: PathBuf,
     /// Paper-scale workloads (1e6-1e7 samples, 196 images of 512x512).
     pub full: bool,
+    /// `psdacc-serve` daemon addresses; when non-empty, engine-batch
+    /// experiments dispatch through the `psdacc-sched` coordinator
+    /// instead of the local engine.
+    pub daemons: Vec<String>,
 }
 
 impl Default for Args {
@@ -33,6 +37,7 @@ impl Default for Args {
             seed: 0xBA55,
             out: PathBuf::from("target/experiments"),
             full: false,
+            daemons: Vec::new(),
         }
     }
 }
@@ -62,8 +67,16 @@ impl Args {
                 "--seed" => args.seed = take(&mut i).parse().expect("--seed: integer"),
                 "--out" => args.out = PathBuf::from(take(&mut i)),
                 "--full" => args.full = true,
+                "--daemons" => {
+                    args.daemons = take(&mut i)
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|d| !d.is_empty())
+                        .map(String::from)
+                        .collect();
+                }
                 other => panic!(
-                    "unknown argument {other}; known: --samples --images --size --npsd --seed --out --full"
+                    "unknown argument {other}; known: --samples --images --size --npsd --seed --out --full --daemons"
                 ),
             }
             i += 1;

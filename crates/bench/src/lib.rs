@@ -9,8 +9,15 @@
 //! `--out`, `--full`) are parsed by [`Args`]; defaults are scaled down from
 //! the paper's 1e6-1e7 sample counts so the full suite runs in minutes, and
 //! `--full` restores paper-scale workloads.
+//!
+//! Engine-batch experiments (table1, table2, fig4, fig5) additionally take
+//! `--daemons HOST:PORT[,...]` to dispatch their batches through the
+//! `psdacc-sched` work-stealing coordinator across running `psdacc-serve`
+//! daemons instead of the local engine ([`fleet`]), with identical numbers
+//! either way.
 
 pub mod experiments;
+pub mod fleet;
 pub mod harness;
 
 pub use harness::{Args, Table};

@@ -39,16 +39,20 @@ use psdacc_core::Method;
 use psdacc_fixed::RoundingMode;
 
 use crate::error::EngineError;
-use crate::job::{JobKind, JobSpec};
 use crate::scenario::Scenario;
+use crate::units::{DirectiveKind, JobDirective};
 
-/// A parsed batch: scenarios plus the expanded job list.
+/// A parsed batch: scenario declarations plus job directives.
+///
+/// Directives stay **unexpanded**; [`BatchSpec::units`] walks the
+/// `scenario x bits x method` cross products lazily, and
+/// [`BatchSpec::jobs`] collects them (see [`crate::units`]).
 #[derive(Debug, Clone, Default)]
 pub struct BatchSpec {
-    /// Scenarios declared so far (jobs reference them by expansion).
+    /// Scenarios declared so far (directives reference them by position).
     pub scenarios: Vec<Scenario>,
-    /// Fully expanded jobs, in declaration order.
-    pub jobs: Vec<JobSpec>,
+    /// Parsed job directives, in declaration order.
+    directives: Vec<JobDirective>,
     /// Worker-thread count requested by the spec, if any.
     pub threads: Option<usize>,
 }
@@ -77,7 +81,7 @@ impl BatchSpec {
                 EngineError::Spec(format!("line {}: {msg}", lineno + 1))
             })?;
         }
-        if spec.jobs.is_empty() {
+        if spec.directives.is_empty() {
             return Err(EngineError::Spec(
                 "spec declares no jobs (add a `batch`, `refine`, `min-uniform`, or `simulate` \
                  line)"
@@ -85,6 +89,12 @@ impl BatchSpec {
             ));
         }
         Ok(spec)
+    }
+
+    /// The parsed job directives (crate-internal: [`crate::units`] expands
+    /// them).
+    pub(crate) fn directives(&self) -> &[JobDirective] {
+        &self.directives
     }
 
     fn parse_line(&mut self, line: &str) -> Result<(), EngineError> {
@@ -147,95 +157,68 @@ impl BatchSpec {
         Ok(())
     }
 
+    fn push_directive(
+        &mut self,
+        params: &BTreeMap<String, String>,
+        kind: DirectiveKind,
+    ) -> Result<(), EngineError> {
+        self.directives.push(JobDirective {
+            scenario_end: self.scenarios.len(),
+            npsd: parse_npsd(params)?,
+            rounding: parse_rounding(params)?,
+            kind,
+        });
+        Ok(())
+    }
+
     fn expand_batch(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
         self.require_scenarios()?;
         known_keys(params, &["npsd", "bits", "methods", "rounding"])?;
-        let npsd = parse_npsd(params)?;
-        let rounding = parse_rounding(params)?;
         let bits = parse_bits_list(params.get("bits").map(String::as_str).unwrap_or("12"))?;
         let methods = parse_methods(params.get("methods").map(String::as_str).unwrap_or("psd"))?;
-        for scenario in &self.scenarios {
-            for &frac_bits in &bits {
-                for &method in &methods {
-                    self.jobs.push(JobSpec {
-                        scenario: scenario.clone(),
-                        npsd,
-                        rounding,
-                        kind: JobKind::Estimate { method, frac_bits },
-                    });
-                }
-            }
-        }
-        Ok(())
+        self.push_directive(params, DirectiveKind::Estimates { bits, methods })
     }
 
     fn expand_refine(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
         self.require_scenarios()?;
         known_keys(params, &["npsd", "budget", "start", "min", "rounding"])?;
-        let npsd = parse_npsd(params)?;
-        let rounding = parse_rounding(params)?;
-        let budget = parse_f64(params, "budget")?;
-        let start_bits = parse_i32(params, "start", 16)?;
-        let min_bits = parse_i32(params, "min", 2)?;
-        for scenario in &self.scenarios {
-            self.jobs.push(JobSpec {
-                scenario: scenario.clone(),
-                npsd,
-                rounding,
-                kind: JobKind::GreedyRefine { budget, start_bits, min_bits },
-            });
-        }
-        Ok(())
+        let kind = DirectiveKind::Refine {
+            budget: parse_f64(params, "budget")?,
+            start_bits: parse_i32(params, "start", 16)?,
+            min_bits: parse_i32(params, "min", 2)?,
+        };
+        self.push_directive(params, kind)
     }
 
     fn expand_simulate(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
         self.require_scenarios()?;
         known_keys(params, &["npsd", "bits", "samples", "nfft", "seed", "trials", "rounding"])?;
-        let npsd = parse_npsd(params)?;
-        let rounding = parse_rounding(params)?;
-        let bits = parse_bits_list(params.get("bits").map(String::as_str).unwrap_or("12"))?;
-        let samples = parse_usize_bounded(params, "samples", 20_000, 256..=100_000_000)?;
-        let nfft = parse_usize_bounded(params, "nfft", 256, 2..=1 << 20)?;
-        let trials = parse_usize_bounded(params, "trials", 1, 1..=1024)?;
-        let seed = match params.get("seed") {
-            None => 0xC0FFEE,
-            Some(v) => v.parse::<u64>().map_err(|_| {
-                EngineError::Spec(format!("`seed` must be a non-negative integer, got `{v}`"))
-            })?,
+        let kind = DirectiveKind::Simulate {
+            bits: parse_bits_list(params.get("bits").map(String::as_str).unwrap_or("12"))?,
+            samples: parse_usize_bounded(params, "samples", 20_000, 256..=100_000_000)?,
+            nfft: parse_usize_bounded(params, "nfft", 256, 2..=1 << 20)?,
+            seed: match params.get("seed") {
+                None => 0xC0FFEE,
+                Some(v) => v.parse::<u64>().map_err(|_| {
+                    EngineError::Spec(format!("`seed` must be a non-negative integer, got `{v}`"))
+                })?,
+            },
+            trials: parse_usize_bounded(params, "trials", 1, 1..=1024)?,
         };
-        for scenario in &self.scenarios {
-            for &frac_bits in &bits {
-                self.jobs.push(JobSpec {
-                    scenario: scenario.clone(),
-                    npsd,
-                    rounding,
-                    kind: JobKind::Simulate { frac_bits, samples, nfft, seed, trials },
-                });
-            }
-        }
-        Ok(())
+        self.push_directive(params, kind)
     }
 
     fn expand_min_uniform(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
         self.require_scenarios()?;
         known_keys(params, &["npsd", "budget", "min", "max", "rounding"])?;
-        let npsd = parse_npsd(params)?;
-        let rounding = parse_rounding(params)?;
-        let budget = parse_f64(params, "budget")?;
         let min_bits = parse_i32(params, "min", 2)?;
         let max_bits = parse_i32(params, "max", 32)?;
         if min_bits > max_bits {
             return Err(EngineError::Spec("min-uniform: min > max".to_string()));
         }
-        for scenario in &self.scenarios {
-            self.jobs.push(JobSpec {
-                scenario: scenario.clone(),
-                npsd,
-                rounding,
-                kind: JobKind::MinUniform { budget, min_bits, max_bits },
-            });
-        }
-        Ok(())
+        let kind =
+            DirectiveKind::MinUniform { budget: parse_f64(params, "budget")?, min_bits, max_bits };
+        self.push_directive(params, kind)
     }
 }
 
@@ -449,6 +432,7 @@ pub fn demo_spec(min_jobs: usize) -> BatchSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobKind;
 
     #[test]
     fn full_spec_parses_and_expands() {
@@ -464,10 +448,12 @@ mod tests {
         .unwrap();
         assert_eq!(spec.scenarios.len(), 2);
         // 2 scenarios x 3 bits x 2 methods + 2 refine + 2 min-uniform.
-        assert_eq!(spec.jobs.len(), 2 * 3 * 2 + 2 + 2);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 2 * 3 * 2 + 2 + 2);
+        assert_eq!(spec.num_units(), jobs.len());
         assert_eq!(spec.threads, Some(6));
-        assert!(matches!(spec.jobs[0].kind, JobKind::Estimate { .. }));
-        assert!(matches!(spec.jobs.last().unwrap().kind, JobKind::MinUniform { .. }));
+        assert!(matches!(jobs[0].kind, JobKind::Estimate { .. }));
+        assert!(matches!(jobs.last().unwrap().kind, JobKind::MinUniform { .. }));
     }
 
     #[test]
@@ -499,7 +485,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(spec.scenarios.len(), 4);
-        assert_eq!(spec.jobs.len(), 4);
+        assert_eq!(spec.num_units(), 4);
         assert_eq!(spec.scenarios[0], Scenario::FirBank { index: 0 });
         assert_eq!(spec.scenarios[3], Scenario::FirBank { index: 3 });
 
@@ -541,8 +527,9 @@ mod tests {
              simulate npsd=128 bits=8,12 samples=5000 nfft=64 seed=9 trials=3\n",
         )
         .unwrap();
-        assert_eq!(spec.jobs.len(), 4);
-        for job in &spec.jobs {
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 4);
+        for job in &jobs {
             match job.kind {
                 JobKind::Simulate { samples, nfft, seed, trials, frac_bits } => {
                     assert_eq!(samples, 5000);
@@ -557,7 +544,7 @@ mod tests {
         // Defaults parse too.
         let spec = BatchSpec::parse("scenario freq-filter\nsimulate\n").unwrap();
         assert!(matches!(
-            spec.jobs[0].kind,
+            spec.jobs()[0].kind,
             JobKind::Simulate { samples: 20_000, nfft: 256, seed: 0xC0FFEE, trials: 1, .. }
         ));
         // Bad values are rejected.
@@ -586,7 +573,7 @@ mod tests {
     #[test]
     fn demo_spec_meets_acceptance_shape() {
         let spec = demo_spec(100);
-        assert!(spec.jobs.len() >= 100, "{} jobs", spec.jobs.len());
+        assert!(spec.num_units() >= 100, "{} jobs", spec.num_units());
         let distinct: std::collections::HashSet<String> =
             spec.scenarios.iter().map(Scenario::key).collect();
         assert!(distinct.len() >= 3);
@@ -596,7 +583,7 @@ mod tests {
     fn demo_spec_caps_oversized_requests_instead_of_panicking() {
         for n in [1219, 100_000] {
             let spec = demo_spec(n);
-            assert_eq!(spec.jobs.len(), 7 * 3 * 58, "maximal sweep for request {n}");
+            assert_eq!(spec.num_units(), 7 * 3 * 58, "maximal sweep for request {n}");
         }
     }
 }

@@ -156,7 +156,7 @@ fn execute(spec: BatchSpec, threads: usize) -> ExitCode {
     let mut pending: std::collections::BTreeMap<usize, String> = std::collections::BTreeMap::new();
     let mut next_to_print = 0usize;
     let mut pipe_closed = false;
-    let report = engine.run_streaming(spec.jobs, |result| {
+    let report = engine.run_streaming(spec.jobs(), |result| {
         if pipe_closed {
             return;
         }

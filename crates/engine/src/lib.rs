@@ -34,11 +34,17 @@
 //!      batch npsd=128 bits=8..11 methods=psd,flat\n",
 //! )?;
 //! let engine = Engine::new(4);
-//! let report = engine.run(spec.jobs);
+//! let report = engine.run(spec.jobs());
 //! assert_eq!(report.results.len(), 2 * 4 * 2);
 //! assert_eq!(report.cache.builds, 2); // one preprocessing pass per scenario
 //! # Ok::<(), psdacc_engine::EngineError>(())
 //! ```
+//!
+//! Specs expand through one shared path: [`BatchSpec::units`] lazily
+//! yields [`units::WorkUnit`]s (id-tagged [`JobSpec`]s) in submission
+//! order, so the local CLI, the `psdacc-serve` sharding client, and the
+//! `psdacc-sched` fleet coordinator all see the identical ordered job
+//! list.
 
 pub mod batch;
 pub mod cache;
@@ -48,6 +54,7 @@ pub mod job;
 pub mod json;
 pub mod pool;
 pub mod scenario;
+pub mod units;
 
 pub use batch::{demo_spec, BatchSpec};
 pub use cache::{CacheStats, EvaluatorCache, FillSource, PreprocessCache, ScenarioCacheStats};
@@ -56,6 +63,7 @@ pub use error::EngineError;
 pub use job::{JobKind, JobResult, JobSpec};
 pub use pool::PoolStats;
 pub use scenario::{RegistryEntry, Scenario, REGISTRY};
+pub use units::{Units, WorkUnit};
 
 // The engine shares evaluators across worker threads; if a refactor ever
 // makes `AccuracyEvaluator` (or a job/result type) non-thread-safe, fail

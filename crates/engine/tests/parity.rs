@@ -107,13 +107,14 @@ fn refinement_jobs_match_sequential_refinement() {
 #[test]
 fn demo_batch_acceptance() {
     let spec = psdacc_engine::demo_spec(100);
-    assert!(spec.jobs.len() >= 100);
+    let jobs = spec.jobs();
+    assert!(jobs.len() >= 100);
     let distinct: std::collections::HashSet<(String, usize)> =
-        spec.jobs.iter().map(|j| (j.scenario.key(), j.npsd)).collect();
+        jobs.iter().map(|j| (j.scenario.key(), j.npsd)).collect();
     assert!(distinct.len() >= 3);
 
     let engine = Engine::new(4);
-    let report = engine.run(spec.jobs.clone());
+    let report = engine.run(jobs.clone());
     assert_eq!(report.pool.workers, 4);
     assert_eq!(report.failures().count(), 0);
     assert_eq!(
@@ -123,7 +124,7 @@ fn demo_batch_acceptance() {
     );
 
     // Spot-check parity on every 10th job to keep runtime modest.
-    for (spec, result) in spec.jobs.iter().zip(&report.results).step_by(10) {
+    for (spec, result) in jobs.iter().zip(&report.results).step_by(10) {
         let JobKind::Estimate { method, frac_bits } = spec.kind else { continue };
         let sfg = spec.scenario.build().unwrap();
         let evaluator = AccuracyEvaluator::new(&sfg, spec.npsd).unwrap();

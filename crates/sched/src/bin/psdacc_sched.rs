@@ -1,0 +1,222 @@
+//! `psdacc-sched` — the fleet-coordinator CLI.
+//!
+//! ```text
+//! psdacc-sched submit --daemons HOST:PORT[,HOST:PORT...] SPECFILE
+//!                     [--static] [--window-factor N] [--timeout-seconds N]
+//!                     [--stats-json PATH]
+//! ```
+//!
+//! Expands a batch spec locally and dispatches it across the daemons with
+//! pull-based work stealing (each daemon's in-flight window sized by its
+//! advertised worker count; stragglers' queued units re-routed to idle
+//! daemons; a dead daemon's units retried once elsewhere). Merged result
+//! lines stream to stdout in submission order — bit-identical to a local
+//! `psdacc-engine run` on every stable field — and one `{"kind":"fleet"}`
+//! stats line (steal / re-dispatch counters, per-daemon accounting) goes
+//! to stderr, or to `--stats-json PATH` for scripts. `--static` falls
+//! back to `psdacc-serve`'s round-robin sharding.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use psdacc_engine::BatchSpec;
+use psdacc_sched::{run_fleet, FleetConfig};
+use psdacc_serve::client;
+
+const USAGE: &str = "usage:
+  psdacc-sched submit --daemons HOST:PORT[,HOST:PORT...] SPECFILE
+                      [--static] [--window-factor N] [--timeout-seconds N] [--stats-json PATH]
+
+Dispatches a batch spec across psdacc-serve daemons with pull-based work
+stealing: per-daemon in-flight windows sized by advertised capacity,
+idle daemons stealing stragglers' queued units, dead daemons' units
+retried once elsewhere, results merged back in submission order
+(bit-identical to a single-process run). --static uses the legacy
+round-robin sharding instead.
+";
+
+struct SubmitArgs {
+    daemons: Vec<String>,
+    spec_path: String,
+    static_shard: bool,
+    window_factor: usize,
+    timeout: Duration,
+    stats_json: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("submit") => match parse_submit(&args[1..]) {
+            Ok(args) => cmd_submit(&args),
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
+    let mut daemons: Vec<String> = Vec::new();
+    let mut spec_path: Option<String> = None;
+    let mut static_shard = false;
+    let mut window_factor = 2usize;
+    let mut timeout = Duration::from_secs(30);
+    let mut stats_json = None;
+    let mut i = 0;
+    while i < args.len() {
+        let token = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match token {
+            "--daemons" => {
+                daemons = value("--daemons")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|d| !d.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--static" => static_shard = true,
+            "--window-factor" => {
+                window_factor = value("--window-factor")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--window-factor must be a positive integer")?;
+            }
+            "--timeout-seconds" => {
+                timeout = Duration::from_secs(
+                    value("--timeout-seconds")?
+                        .parse::<u64>()
+                        .map_err(|_| "--timeout-seconds must be a non-negative integer")?,
+                );
+            }
+            "--stats-json" => stats_json = Some(value("--stats-json")?),
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown argument `{other}` (allowed: --daemons, --static, \
+                     --window-factor, --timeout-seconds, --stats-json)"
+                ));
+            }
+            positional => {
+                if spec_path.is_some() {
+                    return Err("more than one SPECFILE given".to_string());
+                }
+                spec_path = Some(positional.to_string());
+            }
+        }
+        i += 1;
+    }
+    if daemons.is_empty() {
+        return Err("missing --daemons HOST:PORT[,HOST:PORT...]".to_string());
+    }
+    if static_shard && stats_json.is_some() {
+        return Err("--stats-json reports coordinator scheduling stats, which static round-robin \
+             sharding does not produce; drop --static or --stats-json"
+            .to_string());
+    }
+    let spec_path = spec_path.ok_or("submit needs a SPECFILE")?;
+    Ok(SubmitArgs { daemons, spec_path, static_shard, window_factor, timeout, stats_json })
+}
+
+fn cmd_submit(args: &SubmitArgs) -> ExitCode {
+    let text = match std::fs::read_to_string(&args.spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match BatchSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = spec.jobs();
+    // Wait for every daemon concurrently; a dead fleet fails fast with
+    // every unreachable address named.
+    if let Err(e) = client::wait_all_ready(&args.daemons, args.timeout) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let stdout = std::io::stdout();
+    if args.static_shard {
+        let outcome = {
+            let mut out = stdout.lock();
+            client::submit_streaming(&args.daemons, &jobs, |line| {
+                use std::io::Write as _;
+                let _ = writeln!(out, "{line}");
+            })
+        };
+        return match outcome {
+            Ok(outcome) => {
+                eprintln!(
+                    "{} jobs across {} daemons (static round-robin) | {} failed",
+                    outcome.lines.len(),
+                    args.daemons.len(),
+                    outcome.failed
+                );
+                if outcome.failed == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let config = FleetConfig { window_factor: args.window_factor, ..FleetConfig::default() };
+    let outcome = {
+        let mut out = stdout.lock();
+        run_fleet(&args.daemons, &jobs, &config, |line| {
+            use std::io::Write as _;
+            let _ = writeln!(out, "{line}");
+        })
+    };
+    match outcome {
+        Ok(outcome) => {
+            let stats_line = outcome.stats.to_json_line();
+            eprintln!("{stats_line}");
+            if let Some(path) = &args.stats_json {
+                if let Err(e) = std::fs::write(path, format!("{stats_line}\n")) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!(
+                "{} units across {} daemons | {} steals, {} re-dispatched | {} failed",
+                outcome.stats.units,
+                args.daemons.len(),
+                outcome.stats.steals,
+                outcome.stats.redispatched,
+                outcome.stats.failed
+            );
+            if outcome.stats.failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The fleet coordinator: live connection per daemon, pull-based
+//! dispatch against the shared [`queue`](crate::queue), and the in-order
+//! merge that keeps fleet output bit-identical to a single-process run.
+//!
+//! Per daemon, two threads share one TCP connection driven in the serve
+//! protocol's `evaluate_units` mode:
+//!
+//! * the **sender** pulls units from the queue (own deque, then steals)
+//!   whenever the daemon's in-flight window has room, and half-closes the
+//!   write side when the run concludes;
+//! * the **reader** forwards result lines to the merger and, on a
+//!   premature EOF or read error, declares the daemon dead — which
+//!   re-routes its queued units and retries its in-flight units once on
+//!   the surviving daemons.
+//!
+//! The merger (the calling thread) re-assembles results by unit id,
+//! emitting each line the moment the next-in-order id completes. Since
+//! unit ids are the spec's submission order and every daemon computes
+//! `run_job` deterministically, the merged stream equals the local
+//! engine's output on every stable field, regardless of which daemon
+//! served which unit, how many units were stolen, or whether a daemon
+//! died mid-batch.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use psdacc_engine::json::{self, Json, JsonWriter};
+use psdacc_engine::JobSpec;
+use psdacc_serve::protocol::{job_request_line, read_capped_line};
+use psdacc_serve::{client, PROTOCOL_REVISION};
+
+use crate::error::SchedError;
+use crate::queue::{FleetQueue, QueueCounters, Unit};
+
+/// Coordinator policy knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// In-flight window per daemon = advertised workers x this factor.
+    /// Factor 2 (default) keeps every daemon worker busy while a refill
+    /// is on the wire; factor 1 is strict one-unit-per-worker.
+    pub window_factor: usize,
+    /// Per-candidate TCP connect bound and `hello` reply deadline — an
+    /// unreachable daemon is a fast, named setup error, never a hang.
+    pub connect_timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { window_factor: 2, connect_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// One daemon's view in the fleet stats.
+#[derive(Debug, Clone)]
+pub struct DaemonReport {
+    /// Daemon address as given.
+    pub addr: String,
+    /// Worker count the daemon advertised in its `hello`.
+    pub workers: usize,
+    /// In-flight window the coordinator granted it.
+    pub window: usize,
+    /// Units this daemon completed.
+    pub served: usize,
+    /// Whether the daemon died mid-batch.
+    pub dead: bool,
+}
+
+/// Scheduling outcome counters (the proof of dynamic behavior).
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Total units dispatched.
+    pub units: usize,
+    /// Units served from a daemon other than the one they were dealt to.
+    pub steals: usize,
+    /// In-flight units of dead daemons retried elsewhere.
+    pub redispatched: usize,
+    /// Queued units of dead daemons re-routed elsewhere.
+    pub rerouted: usize,
+    /// Results carrying an `error` field.
+    pub failed: usize,
+    /// Per-daemon accounting, in the order the daemons were given.
+    pub daemons: Vec<DaemonReport>,
+}
+
+impl FleetStats {
+    /// One-line JSON rendering (the CLI's stderr / `--stats-json` shape).
+    pub fn to_json_line(&self) -> String {
+        let daemons: Vec<String> = self
+            .daemons
+            .iter()
+            .map(|d| {
+                let mut w = JsonWriter::new();
+                w.field_str("addr", &d.addr);
+                w.field_usize("workers", d.workers);
+                w.field_usize("window", d.window);
+                w.field_usize("served", d.served);
+                w.field_bool("dead", d.dead);
+                w.finish()
+            })
+            .collect();
+        let mut w = JsonWriter::new();
+        w.field_str("kind", "fleet");
+        w.field_usize("units", self.units);
+        w.field_usize("steals", self.steals);
+        w.field_usize("redispatched", self.redispatched);
+        w.field_usize("rerouted", self.rerouted);
+        w.field_usize("failed", self.failed);
+        w.field_raw("daemons", &format!("[{}]", daemons.join(",")));
+        w.finish()
+    }
+}
+
+/// What a fleet run produced.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Result JSON lines, in submission (unit-id) order.
+    pub lines: Vec<String>,
+    /// Scheduling stats.
+    pub stats: FleetStats,
+}
+
+/// A connected, capacity-advertised daemon (post-`hello`).
+struct DaemonLink {
+    addr: String,
+    stream: TcpStream,
+    workers: usize,
+}
+
+/// Messages the per-daemon threads emit toward the merger. Death notices
+/// travel through the same channel as results so the merger processes a
+/// daemon's already-delivered results **before** its death — mpsc
+/// preserves per-sender order, so a unit whose result beat the crash is
+/// never miscounted as lost.
+enum Msg {
+    Result { daemon: usize, id: usize, line: String, failed: bool },
+    Summary,
+    Dead { daemon: usize, reason: String },
+}
+
+/// Runs `jobs` across the fleet, streaming merged result lines through
+/// `on_line` in submission order.
+///
+/// # Errors
+///
+/// [`SchedError::Io`] listing **every** unreachable daemon during setup;
+/// [`SchedError::Protocol`] for malformed daemon traffic;
+/// [`SchedError::Fleet`] when the run cannot complete (a unit lost two
+/// daemons, or no live daemon remains).
+pub fn run_fleet(
+    daemons: &[String],
+    jobs: &[JobSpec],
+    config: &FleetConfig,
+    mut on_line: impl FnMut(&str),
+) -> Result<FleetOutcome, SchedError> {
+    if daemons.is_empty() {
+        return Err(SchedError::Protocol("no daemons given".to_string()));
+    }
+    if jobs.is_empty() {
+        return Err(SchedError::Protocol("empty job list".to_string()));
+    }
+    // Render every request line up front: an unshippable job is a setup
+    // error, not a mid-batch surprise.
+    let units: Vec<Unit> = jobs
+        .iter()
+        .enumerate()
+        .map(|(id, spec)| Ok(Unit { id, line: job_request_line(id, spec)?, attempts: 0 }))
+        .collect::<Result<_, SchedError>>()?;
+    let links = connect_fleet(daemons, config)?;
+    let windows: Vec<usize> =
+        links.iter().map(|l| l.workers.max(1) * config.window_factor.max(1)).collect();
+    let queue = FleetQueue::new(units, windows.clone());
+
+    let (tx, rx) = mpsc::channel::<Msg>();
+    let mut lines: Vec<Option<String>> = vec![None; jobs.len()];
+    let mut next_to_emit = 0usize;
+    let mut failed = 0usize;
+    let mut completed = 0usize;
+    std::thread::scope(|scope| {
+        for (d, link) in links.iter().enumerate() {
+            let queue = &queue;
+            let sender_tx = tx.clone();
+            let reader_tx = tx.clone();
+            scope.spawn(move || sender_loop(d, link, queue, &sender_tx));
+            scope.spawn(move || reader_loop(d, link, queue, &reader_tx));
+        }
+        drop(tx);
+        // The merger: emit the contiguous prefix as it becomes available.
+        for msg in rx {
+            let Msg::Result { daemon, id, line, failed: f } = msg else {
+                if let Msg::Dead { daemon, reason } = msg {
+                    queue.mark_dead(daemon, &reason);
+                }
+                continue;
+            };
+            if id >= lines.len() {
+                queue.set_fatal(format!("{}: result id {id} out of range", links[daemon].addr));
+                continue;
+            }
+            let fresh = lines[id].is_none();
+            queue.complete(daemon, id, fresh);
+            if !fresh {
+                // A re-dispatched unit's first answer raced in already;
+                // deterministic jobs make the copies identical, so drop it.
+                continue;
+            }
+            if f {
+                failed += 1;
+            }
+            completed += 1;
+            lines[id] = Some(line);
+            while next_to_emit < lines.len() {
+                match &lines[next_to_emit] {
+                    Some(line) => {
+                        on_line(line);
+                        next_to_emit += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    });
+    if let Some(fatal) = queue.fatal() {
+        return Err(SchedError::Fleet(fatal));
+    }
+    if completed != jobs.len() {
+        return Err(SchedError::Fleet(format!(
+            "run ended with {completed} of {} units complete",
+            jobs.len()
+        )));
+    }
+    let counters: QueueCounters = queue.counters();
+    let served = queue.served();
+    let stats = FleetStats {
+        units: jobs.len(),
+        steals: counters.steals,
+        redispatched: counters.redispatched,
+        rerouted: counters.rerouted,
+        failed,
+        daemons: links
+            .iter()
+            .enumerate()
+            .map(|(d, link)| DaemonReport {
+                addr: link.addr.clone(),
+                workers: link.workers,
+                window: windows[d],
+                served: served[d],
+                dead: queue.is_dead(d),
+            })
+            .collect(),
+    };
+    Ok(FleetOutcome { lines: lines.into_iter().flatten().collect(), stats })
+}
+
+/// Connects and `hello`-handshakes every daemon, collecting **all**
+/// failures so a half-dead fleet reports every dead address at once.
+fn connect_fleet(daemons: &[String], config: &FleetConfig) -> Result<Vec<DaemonLink>, SchedError> {
+    let mut results: Vec<Option<Result<DaemonLink, SchedError>>> =
+        (0..daemons.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            daemons.iter().map(|addr| scope.spawn(move || connect_daemon(addr, config))).collect();
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("connect thread"));
+        }
+    });
+    let mut links = Vec::with_capacity(daemons.len());
+    let mut failures = Vec::new();
+    for result in results.into_iter().flatten() {
+        match result {
+            Ok(link) => links.push(link),
+            Err(e) => failures.push(e.to_string()),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(SchedError::Io(format!(
+            "{} of {} daemons failed setup: {}",
+            failures.len(),
+            daemons.len(),
+            failures.join("; ")
+        )));
+    }
+    Ok(links)
+}
+
+fn connect_daemon(addr: &str, config: &FleetConfig) -> Result<DaemonLink, SchedError> {
+    let stream = client::connect_with_timeout(addr, config.connect_timeout)?;
+    // Bound the handshake too: a listener that accepts but never answers
+    // must not hang the whole fleet.
+    stream.set_read_timeout(Some(config.connect_timeout))?;
+    {
+        let mut writer = BufWriter::new(&stream);
+        writeln!(writer, "{{\"kind\":\"hello\"}}")?;
+        writer.flush()?;
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let line = read_capped_line(&mut reader)?
+        .ok_or_else(|| SchedError::Protocol(format!("{addr}: closed during hello")))?;
+    let reply = json::parse(line.trim_end())
+        .map_err(|e| SchedError::Protocol(format!("{addr}: bad hello reply: {e}")))?;
+    if reply.get("kind").and_then(Json::as_str) != Some("hello") {
+        return Err(SchedError::Protocol(format!(
+            "{addr}: expected a hello reply, got: {}",
+            line.trim_end()
+        )));
+    }
+    let workers = reply
+        .get("workers")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SchedError::Protocol(format!("{addr}: hello reply without workers")))?
+        as usize;
+    if let Some(protocol) = reply.get("protocol").and_then(Json::as_u64) {
+        if protocol < PROTOCOL_REVISION as u64 {
+            return Err(SchedError::Protocol(format!(
+                "{addr}: daemon speaks protocol {protocol}, coordinator needs \
+                 {PROTOCOL_REVISION} (evaluate_units)"
+            )));
+        }
+    }
+    // Unit execution may legitimately take long (cold preprocessing).
+    stream.set_read_timeout(None)?;
+    Ok(DaemonLink { addr: addr.to_string(), stream, workers })
+}
+
+/// Feeds one daemon: `evaluate_units`, then units as the window allows,
+/// then half-close. A write failure declares the daemon dead (through
+/// the merger channel, so in-transit results are counted first).
+fn sender_loop(d: usize, link: &DaemonLink, queue: &FleetQueue, tx: &mpsc::Sender<Msg>) {
+    let run = || -> std::io::Result<()> {
+        let mut writer = BufWriter::new(link.stream.try_clone()?);
+        writeln!(writer, "{{\"kind\":\"evaluate_units\"}}")?;
+        writer.flush()?;
+        while let Some((_id, line)) = queue.acquire(d) {
+            writeln!(writer, "{line}")?;
+            writer.flush()?;
+        }
+        writer.flush()?;
+        link.stream.shutdown(Shutdown::Write)?;
+        Ok(())
+    };
+    if let Err(e) = run() {
+        let _ =
+            tx.send(Msg::Dead { daemon: d, reason: format!("write to {} failed: {e}", link.addr) });
+    }
+}
+
+/// Drains one daemon's result stream into the merger. EOF before the run
+/// concluded — or any read/parse failure — declares the daemon dead.
+fn reader_loop(d: usize, link: &DaemonLink, queue: &FleetQueue, tx: &mpsc::Sender<Msg>) {
+    let dead = |reason: String| {
+        let _ = tx.send(Msg::Dead { daemon: d, reason });
+    };
+    let mut reader = match link.stream.try_clone() {
+        Ok(stream) => BufReader::new(stream),
+        Err(e) => {
+            dead(format!("clone of {} failed: {e}", link.addr));
+            return;
+        }
+    };
+    loop {
+        match read_capped_line(&mut reader) {
+            Ok(Some(line)) => {
+                let trimmed = line.trim_end();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let value = match json::parse(trimmed) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        queue.set_fatal(format!("{}: bad response line: {e}", link.addr));
+                        return;
+                    }
+                };
+                match value.get("kind").and_then(Json::as_str) {
+                    Some("summary") => {
+                        let _ = tx.send(Msg::Summary);
+                    }
+                    Some("error") => {
+                        let detail = value
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unspecified")
+                            .to_string();
+                        queue.set_fatal(format!("{}: daemon rejected: {detail}", link.addr));
+                        return;
+                    }
+                    _ => {
+                        let Some(id) = value.get("job").and_then(Json::as_u64) else {
+                            queue.set_fatal(format!(
+                                "{}: result line without job id: {trimmed}",
+                                link.addr
+                            ));
+                            return;
+                        };
+                        let failed = value.get("error").is_some();
+                        let _ = tx.send(Msg::Result {
+                            daemon: d,
+                            id: id as usize,
+                            line: trimmed.to_string(),
+                            failed,
+                        });
+                    }
+                }
+            }
+            Ok(None) => {
+                if !queue.is_finished() {
+                    dead(format!("{} closed mid-batch", link.addr));
+                }
+                return;
+            }
+            Err(e) => {
+                if !queue.is_finished() {
+                    dead(format!("read from {} failed: {e}", link.addr));
+                }
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Scheduler error type.
+
+use psdacc_engine::EngineError;
+use psdacc_serve::ServeError;
+
+/// Errors surfaced by the fleet coordinator.
+#[derive(Debug)]
+pub enum SchedError {
+    /// Socket or file I/O failure (includes fleet-setup reachability,
+    /// where the message lists every dead daemon address).
+    Io(String),
+    /// A daemon violated the wire protocol.
+    Protocol(String),
+    /// The run could not complete: a unit lost two daemons, or no live
+    /// daemon remained with units outstanding.
+    Fleet(String),
+    /// Engine-level failure (spec parsing, scenario construction).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Io(msg) => write!(f, "sched I/O error: {msg}"),
+            SchedError::Protocol(msg) => write!(f, "sched protocol error: {msg}"),
+            SchedError::Fleet(msg) => write!(f, "fleet error: {msg}"),
+            SchedError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<EngineError> for SchedError {
+    fn from(e: EngineError) -> Self {
+        SchedError::Engine(e)
+    }
+}
+
+impl From<ServeError> for SchedError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Io(msg) => SchedError::Io(msg),
+            ServeError::Protocol(msg) => SchedError::Protocol(msg),
+            ServeError::Engine(e) => SchedError::Engine(e),
+            other => SchedError::Io(other.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for SchedError {
+    fn from(e: std::io::Error) -> Self {
+        SchedError::Io(e.to_string())
+    }
+}

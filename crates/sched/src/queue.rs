@@ -1,0 +1,332 @@
+//! The coordinator-side fleet queue: per-daemon unit deques, bounded
+//! in-flight windows, cross-daemon stealing, and death re-dispatch —
+//! `psdacc-engine`'s worker-pool architecture lifted one level, from
+//! threads on one machine to daemons on a fleet.
+//!
+//! Units are dealt round-robin onto per-daemon deques up front. Each
+//! daemon's sender pulls from its **own** deque (front) while its
+//! in-flight window has room; a daemon whose deque runs dry steals from
+//! the **back** of the longest live victim's deque — so a straggler's
+//! queued (not yet sent) units drain toward idle daemons, exactly like
+//! the engine pool's owner/thief split. Completions free window slots and
+//! wake waiting senders; a dead daemon's queued units re-route and its
+//! in-flight units retry **once** elsewhere.
+//!
+//! Everything lives behind one `Mutex` + `Condvar`. Fleet units are
+//! coarse (an evaluation, at worst a preprocessing pass), so the lock is
+//! nowhere near contention; the blocking semantics are the point.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// One schedulable unit: the pre-rendered request line for job `id` (the
+/// line already carries the id, so any daemon can serve it).
+#[derive(Debug, Clone)]
+pub(crate) struct Unit {
+    pub(crate) id: usize,
+    pub(crate) line: String,
+    /// Dispatch attempts that ended with a dead daemon. A unit whose
+    /// second dispatch also dies takes the whole batch down (fatal) —
+    /// "retry once elsewhere", not an infinite crash loop.
+    pub(crate) attempts: u32,
+}
+
+/// Monotonic scheduling counters, reported in the fleet stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Units a daemon pulled from another daemon's deque.
+    pub steals: usize,
+    /// In-flight units of a dead daemon retried on another daemon.
+    pub redispatched: usize,
+    /// Queued (never-sent) units of a dead daemon re-routed elsewhere.
+    pub rerouted: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Per-daemon pending deques (coordinator side, stealable).
+    queues: Vec<VecDeque<Unit>>,
+    /// Per-daemon sent-but-unanswered units, by id (recoverable on death).
+    in_flight: Vec<HashMap<usize, Unit>>,
+    /// Per-daemon in-flight cap (advertised workers x window factor).
+    window: Vec<usize>,
+    /// Daemons declared dead (connection failed mid-batch).
+    dead: Vec<bool>,
+    /// Per-daemon completed-unit counts.
+    served: Vec<usize>,
+    /// Units not yet completed anywhere.
+    remaining: usize,
+    counters: QueueCounters,
+    /// First unrecoverable failure; poisons the whole run.
+    fatal: Option<String>,
+    /// All units complete — senders should half-close.
+    done: bool,
+}
+
+/// The shared queue (see module docs).
+#[derive(Debug)]
+pub(crate) struct FleetQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl FleetQueue {
+    /// Builds the queue with units already dealt round-robin:
+    /// `unit i -> daemon i % n`.
+    pub(crate) fn new(units: Vec<Unit>, windows: Vec<usize>) -> Self {
+        let n = windows.len();
+        let mut queues: Vec<VecDeque<Unit>> = (0..n).map(|_| VecDeque::new()).collect();
+        let remaining = units.len();
+        for (i, unit) in units.into_iter().enumerate() {
+            queues[i % n].push_back(unit);
+        }
+        FleetQueue {
+            inner: Mutex::new(Inner {
+                queues,
+                in_flight: (0..n).map(|_| HashMap::new()).collect(),
+                window: windows.iter().map(|&w| w.max(1)).collect(),
+                dead: vec![false; n],
+                served: vec![0; n],
+                remaining,
+                counters: QueueCounters::default(),
+                fatal: None,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until daemon `d` may send another unit (own deque first,
+    /// then a steal from the longest live victim), the run finishes, or
+    /// `d` is marked dead. `None` means "half-close and stop sending".
+    pub(crate) fn acquire(&self, d: usize) -> Option<(usize, String)> {
+        let mut g = self.inner.lock().expect("fleet queue lock");
+        loop {
+            if g.done || g.fatal.is_some() || g.dead[d] {
+                return None;
+            }
+            if g.in_flight[d].len() < g.window[d] {
+                let unit = match g.queues[d].pop_front() {
+                    Some(unit) => Some(unit),
+                    None => {
+                        // Steal from the back of the longest live victim.
+                        let victim = (0..g.queues.len())
+                            .filter(|&v| v != d && !g.dead[v] && !g.queues[v].is_empty())
+                            .max_by_key(|&v| g.queues[v].len());
+                        victim.map(|v| {
+                            g.counters.steals += 1;
+                            g.queues[v].pop_back().expect("victim checked non-empty")
+                        })
+                    }
+                };
+                if let Some(unit) = unit {
+                    let handout = (unit.id, unit.line.clone());
+                    g.in_flight[d].insert(unit.id, unit);
+                    return Some(handout);
+                }
+            }
+            g = self.cv.wait(g).expect("fleet queue wait");
+        }
+    }
+
+    /// Records a result for unit `id` from daemon `d`: frees the window
+    /// slot, and (when `fresh`, i.e. the merger had not seen this id yet)
+    /// counts the completion — the last fresh completion flips `done` and
+    /// wakes every sender to half-close.
+    pub(crate) fn complete(&self, d: usize, id: usize, fresh: bool) {
+        let mut g = self.inner.lock().expect("fleet queue lock");
+        g.in_flight[d].remove(&id);
+        g.served[d] += 1;
+        if fresh {
+            g.remaining = g.remaining.saturating_sub(1);
+            if g.remaining == 0 {
+                g.done = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Declares daemon `d` dead (idempotent): queued units re-route to
+    /// live daemons, in-flight units retry once elsewhere; a unit dying
+    /// twice — or dying with no live daemon left — is fatal.
+    pub(crate) fn mark_dead(&self, d: usize, reason: &str) {
+        let mut g = self.inner.lock().expect("fleet queue lock");
+        if g.dead[d] || g.done {
+            return;
+        }
+        g.dead[d] = true;
+        let mut orphans: Vec<Unit> = g.queues[d].drain(..).collect();
+        g.counters.rerouted += orphans.len();
+        let recovered: Vec<Unit> = {
+            let mut units: Vec<Unit> = g.in_flight[d].drain().map(|(_, u)| u).collect();
+            units.sort_by_key(|u| u.id); // deterministic re-dispatch order
+            units
+        };
+        for mut unit in recovered {
+            unit.attempts += 1;
+            if unit.attempts > 1 {
+                g.fatal = Some(format!(
+                    "unit {} lost two daemons (second failure: {reason}); giving up",
+                    unit.id
+                ));
+                break;
+            }
+            g.counters.redispatched += 1;
+            orphans.push(unit);
+        }
+        let live: Vec<usize> = (0..g.queues.len()).filter(|&i| !g.dead[i]).collect();
+        if live.is_empty() {
+            if g.remaining > 0 && g.fatal.is_none() {
+                g.fatal = Some(format!(
+                    "no live daemons left with {} units incomplete (last failure: {reason})",
+                    g.remaining
+                ));
+            }
+        } else {
+            for (i, unit) in orphans.into_iter().enumerate() {
+                g.queues[live[i % live.len()]].push_back(unit);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Poisons the run with an unrecoverable error (first one wins).
+    pub(crate) fn set_fatal(&self, reason: String) {
+        let mut g = self.inner.lock().expect("fleet queue lock");
+        if g.fatal.is_none() {
+            g.fatal = Some(reason);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Whether the run has concluded (all units done, or fatal).
+    pub(crate) fn is_finished(&self) -> bool {
+        let g = self.inner.lock().expect("fleet queue lock");
+        g.done || g.fatal.is_some()
+    }
+
+    /// Whether daemon `d` was declared dead.
+    pub(crate) fn is_dead(&self, d: usize) -> bool {
+        self.inner.lock().expect("fleet queue lock").dead[d]
+    }
+
+    /// The first fatal error, if any.
+    pub(crate) fn fatal(&self) -> Option<String> {
+        self.inner.lock().expect("fleet queue lock").fatal.clone()
+    }
+
+    /// Scheduling counters snapshot.
+    pub(crate) fn counters(&self) -> QueueCounters {
+        self.inner.lock().expect("fleet queue lock").counters
+    }
+
+    /// Per-daemon completed-unit counts.
+    pub(crate) fn served(&self) -> Vec<usize> {
+        self.inner.lock().expect("fleet queue lock").served.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(id: usize) -> Unit {
+        Unit { id, line: format!("line-{id}"), attempts: 0 }
+    }
+
+    fn queue(nunits: usize, windows: &[usize]) -> FleetQueue {
+        FleetQueue::new((0..nunits).map(unit).collect(), windows.to_vec())
+    }
+
+    #[test]
+    fn own_queue_first_then_steal_from_longest() {
+        let q = queue(6, &[4, 4]); // deal: d0 = {0,2,4}, d1 = {1,3,5}
+        assert_eq!(q.acquire(0).unwrap().0, 0);
+        assert_eq!(q.acquire(0).unwrap().0, 2);
+        assert_eq!(q.acquire(0).unwrap().0, 4);
+        // d0's deque is dry: the next acquire steals from d1's back.
+        assert_eq!(q.acquire(0).unwrap().0, 5);
+        assert_eq!(q.counters().steals, 1);
+        // d1 still gets its own front.
+        assert_eq!(q.acquire(1).unwrap().0, 1);
+    }
+
+    #[test]
+    fn window_blocks_until_completion_then_refills() {
+        let q = queue(4, &[1, 1]);
+        assert_eq!(q.acquire(0).unwrap().0, 0);
+        // Window full: a second acquire would block, so drive it from a
+        // thread and release it by completing the first unit.
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| q.acquire(0).map(|(id, _)| id));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            q.complete(0, 0, true);
+            assert_eq!(t.join().unwrap(), Some(2));
+        });
+    }
+
+    #[test]
+    fn completions_flip_done_and_release_everyone() {
+        let q = queue(2, &[2, 2]);
+        let (a, _) = q.acquire(0).unwrap();
+        let (b, _) = q.acquire(1).unwrap();
+        q.complete(0, a, true);
+        q.complete(1, b, true);
+        assert!(q.is_finished());
+        assert_eq!(q.acquire(0), None);
+        assert_eq!(q.served(), vec![1, 1]);
+    }
+
+    #[test]
+    fn dead_daemon_redispatches_in_flight_and_reroutes_queued() {
+        let q = queue(6, &[2, 2]); // d0 = {0,2,4}, d1 = {1,3,5}
+        let _ = q.acquire(0).unwrap(); // 0 in flight on d0
+        let _ = q.acquire(0).unwrap(); // 2 in flight on d0
+        q.mark_dead(0, "test kill");
+        assert!(q.is_dead(0));
+        let c = q.counters();
+        assert_eq!(c.redispatched, 2, "in-flight 0 and 2 retried");
+        assert_eq!(c.rerouted, 1, "queued 4 re-routed");
+        // d1 now drains everything — its own units plus all of d0's —
+        // while dead d0 gets nothing.
+        assert_eq!(q.acquire(0), None);
+        let mut got = Vec::new();
+        for _ in 0..6 {
+            let (id, _) = q.acquire(1).unwrap();
+            q.complete(1, id, true);
+            got.push(id);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5], "every unit served exactly once");
+        assert!(q.is_finished());
+        assert!(q.fatal().is_none());
+    }
+
+    #[test]
+    fn second_death_of_the_same_unit_is_fatal() {
+        let q = queue(2, &[1, 1]);
+        let (id0, _) = q.acquire(0).unwrap();
+        q.mark_dead(0, "first kill");
+        // id0 was re-dispatched onto d1's queue; pull it there and die.
+        loop {
+            let (id, _) = q.acquire(1).unwrap();
+            if id == id0 {
+                break;
+            }
+            q.complete(1, id, true);
+        }
+        q.mark_dead(1, "second kill");
+        let fatal = q.fatal().expect("fatal after two deaths");
+        assert!(fatal.contains(&format!("unit {id0}")), "{fatal}");
+        assert_eq!(q.acquire(1), None);
+    }
+
+    #[test]
+    fn losing_every_daemon_is_fatal() {
+        let q = queue(4, &[1, 1]);
+        q.mark_dead(0, "kill a");
+        q.mark_dead(1, "kill b");
+        let fatal = q.fatal().expect("no live daemons");
+        assert!(fatal.contains("no live daemons"), "{fatal}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Fleet-coordinator integration: work-stealing dispatch across loopback
+//! daemons must produce output **bit-identical** to a single-process
+//! engine run — including under deliberate skew (one daemon slowed by
+//! injected per-unit delay) and under failure (one daemon killed
+//! mid-batch) — with steal / re-dispatch counters proving the dynamic
+//! behavior actually happened.
+
+use std::time::Duration;
+
+use psdacc_engine::json::{self, Json};
+use psdacc_engine::{BatchSpec, Engine};
+use psdacc_sched::{run_fleet, FleetConfig};
+use psdacc_serve::{client, Server, ServerConfig, ServerHandle};
+
+/// Two scenario families x a bits sweep, plus refinement and simulation
+/// jobs — enough units for stealing to be inevitable under skew, cheap
+/// enough to keep the suite fast. 24 units total.
+const SPEC: &str = "scenario fir-cascade stages=1 taps=9 cutoff=0.3\n\
+                    scenario freq-filter\n\
+                    batch npsd=64 bits=6..15 methods=psd\n\
+                    min-uniform npsd=64 budget=1e-6 min=2 max=24\n\
+                    simulate npsd=64 bits=8 samples=1024 nfft=32 seed=11 trials=1\n";
+
+fn spawn_daemon(threads: usize, config: ServerConfig) -> ServerHandle {
+    Server::bind_with("127.0.0.1:0", Engine::new(threads), config).unwrap().spawn().unwrap()
+}
+
+/// A result line minus its run-dependent fields (timings, cache hit flag):
+/// everything that remains must be bit-identical across processes.
+fn stable_fields(line: &str) -> Vec<(String, Json)> {
+    match json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}")) {
+        Json::Obj(fields) => fields
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(k.as_str(), "tau_pp_seconds" | "tau_eval_seconds" | "cache_hit")
+            })
+            .collect(),
+        other => panic!("result line is not an object: {other:?}"),
+    }
+}
+
+fn expected_lines(spec: &BatchSpec) -> Vec<String> {
+    Engine::new(4).run(spec.jobs()).results.iter().map(|r| r.to_json_line()).collect()
+}
+
+/// The tentpole acceptance shape: a deliberately skewed 2-daemon fleet
+/// (one daemon slowed by injected per-unit delay) merges bit-identically
+/// to the single-process engine, with a nonzero steal count proving the
+/// fast daemon drained the straggler's queue.
+#[test]
+fn skewed_fleet_merges_bit_identically_with_steals() {
+    let spec = BatchSpec::parse(SPEC).unwrap();
+    let expected = expected_lines(&spec);
+
+    let slow = spawn_daemon(
+        1,
+        ServerConfig { chaos_unit_delay: Duration::from_millis(30), ..ServerConfig::default() },
+    );
+    let fast = spawn_daemon(2, ServerConfig::default());
+    let daemons = vec![slow.addr().to_string(), fast.addr().to_string()];
+
+    let mut streamed: Vec<String> = Vec::new();
+    let outcome = run_fleet(&daemons, &spec.jobs(), &FleetConfig::default(), |line| {
+        streamed.push(line.to_string());
+    })
+    .unwrap();
+
+    assert_eq!(outcome.lines.len(), expected.len());
+    assert_eq!(streamed, outcome.lines, "streaming callback saw the merged order");
+    for (got, want) in outcome.lines.iter().zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    let stats = &outcome.stats;
+    assert_eq!(stats.units, expected.len());
+    assert_eq!(stats.failed, 0);
+    assert!(stats.steals > 0, "fast daemon must have stolen from the straggler: {stats:?}");
+    assert_eq!(stats.redispatched, 0, "no deaths in this run: {stats:?}");
+    assert!(stats.daemons.iter().all(|d| !d.dead), "{stats:?}");
+    assert!(stats.daemons.iter().all(|d| d.served > 0), "both daemons served: {stats:?}");
+    // The fast daemon carried more of the load than the straggler.
+    assert!(
+        stats.daemons[1].served > stats.daemons[0].served,
+        "load did not tilt toward the fast daemon: {stats:?}"
+    );
+    // Capacity advertisement flowed through hello into the windows.
+    assert_eq!(stats.daemons[0].workers, 1, "{stats:?}");
+    assert_eq!(stats.daemons[1].workers, 2, "{stats:?}");
+
+    // Satellite: the daemons' stats replies carry per-verb latency
+    // histograms populated by the unit-mode executions.
+    let daemon_stats = client::request_control(&daemons[1], "stats").unwrap();
+    let v = json::parse(&daemon_stats).unwrap();
+    let latency = v.get("latency").unwrap().as_array().unwrap();
+    assert_eq!(latency.len(), 4, "{daemon_stats}");
+    let evaluate =
+        latency.iter().find(|e| e.get("verb").and_then(Json::as_str) == Some("evaluate")).unwrap();
+    assert!(evaluate.get("count").unwrap().as_u64().unwrap() > 0, "{daemon_stats}");
+    assert!(v.get("units_served").unwrap().as_u64().unwrap() > 0, "{daemon_stats}");
+
+    slow.shutdown();
+    fast.shutdown();
+}
+
+/// The failure acceptance shape: one daemon dies abruptly mid-batch
+/// (chaos kill after 3 served units); its unanswered units retry on the
+/// survivor and the merged output is still complete and bit-identical.
+#[test]
+fn daemon_killed_mid_batch_redispatches_and_stays_bit_identical() {
+    let spec = BatchSpec::parse(SPEC).unwrap();
+    let expected = expected_lines(&spec);
+
+    let doomed = spawn_daemon(
+        1,
+        ServerConfig {
+            // Die right after the first served unit, while the second unit
+            // of the initial window is still in flight: the delay paces the
+            // single worker so that second unit cannot have completed yet,
+            // making a nonzero re-dispatch deterministic.
+            chaos_unit_delay: Duration::from_millis(10),
+            chaos_die_after_units: Some(1),
+            ..ServerConfig::default()
+        },
+    );
+    let survivor = spawn_daemon(2, ServerConfig::default());
+    let daemons = vec![doomed.addr().to_string(), survivor.addr().to_string()];
+
+    let outcome = run_fleet(&daemons, &spec.jobs(), &FleetConfig::default(), |_| {}).unwrap();
+
+    assert_eq!(outcome.lines.len(), expected.len(), "batch completed despite the death");
+    for (got, want) in outcome.lines.iter().zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    let stats = &outcome.stats;
+    assert_eq!(stats.failed, 0);
+    assert!(stats.daemons[0].dead, "the chaos daemon must be reported dead: {stats:?}");
+    assert!(!stats.daemons[1].dead, "{stats:?}");
+    assert!(
+        stats.redispatched > 0,
+        "in-flight units of the dead daemon must retry elsewhere: {stats:?}"
+    );
+    assert!(stats.daemons[0].served >= 1, "the daemon died mid-batch, not at start: {stats:?}");
+    // Served counts may exceed the unit total by the (benign) duplicates a
+    // re-dispatch race produces; together they must cover everything.
+    assert!(
+        stats.daemons[0].served + stats.daemons[1].served >= expected.len(),
+        "survivor picked up everything the dead daemon did not finish: {stats:?}"
+    );
+
+    doomed.shutdown();
+    survivor.shutdown();
+}
+
+/// Fleet setup fails fast with every unreachable daemon named — no
+/// connect hang, no partial dispatch.
+#[test]
+fn unreachable_daemons_fail_fast_with_addresses_named() {
+    let live = spawn_daemon(1, ServerConfig::default());
+    let dead_a = "127.0.0.1:1".to_string();
+    let dead_b = "127.0.0.1:2".to_string();
+    let daemons = vec![live.addr().to_string(), dead_a.clone(), dead_b.clone()];
+    let spec = BatchSpec::parse(SPEC).unwrap();
+
+    let t0 = std::time::Instant::now();
+    let err = run_fleet(&daemons, &spec.jobs(), &FleetConfig::default(), |_| {}).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains(&dead_a) && msg.contains(&dead_b), "{msg}");
+    assert!(msg.contains("2 of 3"), "{msg}");
+    assert!(t0.elapsed() < Duration::from_secs(30), "setup must not hang");
+    live.shutdown();
+}
+
+/// A single-daemon "fleet" degenerates to a correct, complete run (and
+/// exercises the window-refill path with zero stealing opportunities).
+#[test]
+fn single_daemon_fleet_is_complete_and_identical() {
+    let spec = BatchSpec::parse(SPEC).unwrap();
+    let expected = expected_lines(&spec);
+    let daemon = spawn_daemon(2, ServerConfig::default());
+    let outcome = run_fleet(
+        &[daemon.addr().to_string()],
+        &spec.jobs(),
+        &FleetConfig { window_factor: 1, ..FleetConfig::default() },
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(outcome.lines.len(), expected.len());
+    for (got, want) in outcome.lines.iter().zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    assert_eq!(outcome.stats.steals, 0);
+    assert_eq!(outcome.stats.daemons[0].served, expected.len());
+    daemon.shutdown();
+}

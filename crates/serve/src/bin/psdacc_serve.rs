@@ -23,17 +23,22 @@ use psdacc_store::PersistentCache;
 
 const USAGE: &str = "usage:
   psdacc-serve daemon --addr HOST:PORT [--store DIR] [--store-max-entries N] [--threads N]
+                      [--max-connections N] [--chaos-unit-delay-ms MS] [--chaos-die-after-units N]
   psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] SPECFILE
   psdacc-serve stats --workers HOST:PORT[,HOST:PORT...]
   psdacc-serve scenarios --workers HOST:PORT[,HOST:PORT...]
 
 The daemon speaks newline-delimited JSON (kinds: evaluate, greedy,
-min-uniform, simulate, scenarios, stats). With --store, preprocessing
-persists to disk and restarts warm-start with zero builds;
---store-max-entries caps the on-disk record count (LRU eviction, loads
-keep entries hot). `submit` expands a batch spec locally, round-robins
-the jobs across the workers, and merges the streamed results back into
-submission order.
+min-uniform, simulate, evaluate_units, hello, scenarios, stats). With
+--store, preprocessing persists to disk and restarts warm-start with
+zero builds; --store-max-entries caps the on-disk record count (LRU
+eviction, loads keep entries hot). --max-connections refuses connections
+beyond the cap with one error line (backpressure). The --chaos-* flags
+inject faults (per-unit delay; abrupt mid-stream death after N units)
+for scheduler testing and CI. `submit` expands a batch spec locally,
+round-robins the jobs across the workers, and merges the streamed
+results back into submission order; for dynamic work-stealing dispatch
+across a heterogeneous fleet use `psdacc-sched submit` instead.
 ";
 
 fn main() -> ExitCode {
@@ -106,14 +111,22 @@ fn default_threads() -> usize {
 }
 
 fn cmd_daemon(args: &[String]) -> ExitCode {
-    let (flags, _) =
-        match parse_flags(args, &["--addr", "--store", "--store-max-entries", "--threads"], None) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{e}\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let allowed = [
+        "--addr",
+        "--store",
+        "--store-max-entries",
+        "--threads",
+        "--max-connections",
+        "--chaos-unit-delay-ms",
+        "--chaos-die-after-units",
+    ];
+    let (flags, _) = match parse_flags(args, &allowed, None) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(addr) = flags.get("--addr") else {
         eprintln!("daemon needs --addr HOST:PORT\n{USAGE}");
         return ExitCode::FAILURE;
@@ -138,6 +151,31 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
         eprintln!("--store-max-entries needs --store DIR");
         return ExitCode::FAILURE;
     }
+    let mut config = psdacc_serve::ServerConfig::default();
+    match flags.get("--max-connections").map(|v| v.parse::<usize>()) {
+        None => {}
+        Some(Ok(n)) if n >= 1 => config.max_connections = Some(n),
+        _ => {
+            eprintln!("--max-connections must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    }
+    match flags.get("--chaos-unit-delay-ms").map(|v| v.parse::<u64>()) {
+        None => {}
+        Some(Ok(ms)) => config.chaos_unit_delay = Duration::from_millis(ms),
+        _ => {
+            eprintln!("--chaos-unit-delay-ms must be a non-negative integer");
+            return ExitCode::FAILURE;
+        }
+    }
+    match flags.get("--chaos-die-after-units").map(|v| v.parse::<usize>()) {
+        None => {}
+        Some(Ok(n)) if n >= 1 => config.chaos_die_after_units = Some(n),
+        _ => {
+            eprintln!("--chaos-die-after-units must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    }
     let engine = match flags.get("--store") {
         Some(dir) => match PersistentCache::open_with_limit(dir, max_entries) {
             Ok(cache) => Engine::with_shared_cache(threads, Arc::new(cache)),
@@ -148,7 +186,7 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
         },
         None => Engine::new(threads),
     };
-    let server = match Server::bind(addr, engine) {
+    let server = match Server::bind_with(addr, engine, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -203,18 +241,18 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Wait for every daemon so `daemon & submit` scripting just works.
+    // Wait for every daemon (concurrently) so `daemon & submit` scripting
+    // just works — and so a dead fleet fails fast with *every* unreachable
+    // address named, not a serial hang per corpse.
     let timeout = flags.get("--timeout-seconds").and_then(|v| v.parse::<u64>().ok()).unwrap_or(30);
-    for worker in &workers {
-        if let Err(e) = client::wait_ready(worker, Duration::from_secs(timeout)) {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+    if let Err(e) = client::wait_all_ready(&workers, Duration::from_secs(timeout)) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     let stdout = std::io::stdout();
     let outcome = {
         let mut out = stdout.lock();
-        client::submit_streaming(&workers, &spec.jobs, |line| {
+        client::submit_streaming(&workers, &spec.jobs(), |line| {
             use std::io::Write as _;
             let _ = writeln!(out, "{line}");
         })

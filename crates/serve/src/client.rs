@@ -9,7 +9,7 @@
 //! fields), while the preprocessing and evaluation ran on N machines.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, TcpStream};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -18,6 +18,46 @@ use psdacc_engine::JobSpec;
 
 use crate::error::ServeError;
 use crate::protocol::{job_request_line, read_capped_line};
+
+/// Default bound on one connection attempt. An unreachable daemon must be
+/// a prompt, named error — not a connect() hanging for the kernel's
+/// multi-minute SYN retry budget.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Resolves `addr` and connects with [`CONNECT_TIMEOUT`] per candidate
+/// address. Every failure names the daemon address, so a dead fleet
+/// member is identifiable from the error alone.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] naming `addr` when it does not resolve or no
+/// candidate accepts within the timeout.
+pub fn connect(addr: &str) -> Result<TcpStream, ServeError> {
+    connect_with_timeout(addr, CONNECT_TIMEOUT)
+}
+
+/// [`connect`] with an explicit per-candidate timeout.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] naming `addr`.
+pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<TcpStream, ServeError> {
+    let candidates: Vec<_> = addr
+        .to_socket_addrs()
+        .map_err(|e| ServeError::Io(format!("daemon address {addr} does not resolve: {e}")))?
+        .collect();
+    let mut last: Option<std::io::Error> = None;
+    for candidate in &candidates {
+        match TcpStream::connect_timeout(candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ServeError::Io(match last {
+        Some(e) => format!("daemon at {addr} is unreachable: {e}"),
+        None => format!("daemon address {addr} resolves to nothing"),
+    }))
+}
 
 /// What a sharded submission produced.
 #[derive(Debug)]
@@ -135,8 +175,7 @@ fn drive_worker(
     share: &[(usize, &JobSpec)],
     tx: &mpsc::Sender<Result<WorkerMsg, ServeError>>,
 ) -> Result<(), ServeError> {
-    let stream =
-        TcpStream::connect(addr).map_err(|e| ServeError::Io(format!("connect {addr}: {e}")))?;
+    let stream = connect(addr)?;
     let reader = BufReader::new(stream.try_clone()?);
     {
         let mut writer = BufWriter::new(&stream);
@@ -202,8 +241,7 @@ enum WorkerMsg {
 ///
 /// [`ServeError::Io`] / [`ServeError::Protocol`].
 pub fn request_control(addr: &str, kind: &str) -> Result<String, ServeError> {
-    let stream =
-        TcpStream::connect(addr).map_err(|e| ServeError::Io(format!("connect {addr}: {e}")))?;
+    let stream = connect(addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     {
         let mut writer = BufWriter::new(&stream);
@@ -216,6 +254,39 @@ pub fn request_control(addr: &str, kind: &str) -> Result<String, ServeError> {
         .filter(|l| !l.is_empty())
         .ok_or_else(|| ServeError::Protocol(format!("{addr}: empty control response")))?;
     Ok(line)
+}
+
+/// [`wait_ready`] over a whole worker list, probing **concurrently** and
+/// collecting every failure — so a submission against a fleet with three
+/// dead daemons reports all three addresses at once after one timeout,
+/// instead of serially burning one timeout per corpse.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] listing every unreachable address.
+pub fn wait_all_ready(workers: &[String], timeout: Duration) -> Result<(), ServeError> {
+    let mut failures: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let probes: Vec<_> = workers
+            .iter()
+            .map(|worker| scope.spawn(move || wait_ready(worker, timeout).err()))
+            .collect();
+        for (worker, probe) in workers.iter().zip(probes) {
+            if let Some(e) = probe.join().expect("probe thread") {
+                failures.push(format!("{worker} ({e})"));
+            }
+        }
+    });
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(ServeError::Io(format!(
+            "{} of {} daemons unreachable: {}",
+            failures.len(),
+            workers.len(),
+            failures.join(", ")
+        )))
+    }
 }
 
 /// Polls a daemon's `stats` endpoint until it answers (startup

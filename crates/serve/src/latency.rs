@@ -1,0 +1,149 @@
+//! Per-verb service-latency histograms for the daemon `stats` reply.
+//!
+//! Buckets are log-spaced in microseconds: bucket `i` counts jobs whose
+//! service time fell in `[2^i, 2^(i+1))` µs (bucket 0 additionally absorbs
+//! sub-microsecond jobs, the last bucket absorbs everything from ~34 s
+//! up). Log bucketing keeps the histogram a fixed, tiny array while still
+//! resolving the spread that matters here — cache hits are microseconds,
+//! preprocessing misses are seconds, and a fleet scheduler sizing in-flight
+//! windows wants to see both modes, not their useless average.
+//!
+//! All counters are relaxed atomics: recording happens on connection and
+//! pool threads, reading happens in `stats`, and neither side needs more
+//! than eventual consistency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use psdacc_engine::json::JsonWriter;
+use psdacc_engine::JobKind;
+
+/// Number of log-spaced buckets (`2^25` µs ≈ 33.5 s top bucket).
+pub const NUM_BUCKETS: usize = 26;
+
+/// The job verbs of the wire protocol, in stats-reply order.
+pub const VERBS: [&str; 4] = ["evaluate", "greedy", "min-uniform", "simulate"];
+
+/// One verb's histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (us.max(1).ilog2() as usize).min(NUM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Histograms for every job verb of the protocol.
+#[derive(Debug, Default)]
+pub struct LatencyRegistry {
+    per_verb: [Histogram; VERBS.len()],
+}
+
+impl LatencyRegistry {
+    /// Records the service time of one executed job.
+    pub fn record(&self, kind: &JobKind, elapsed: Duration) {
+        self.per_verb[verb_index(kind)].record(elapsed);
+    }
+
+    /// The histogram for one verb (by [`VERBS`] index).
+    pub fn verb(&self, index: usize) -> &Histogram {
+        &self.per_verb[index]
+    }
+
+    /// Renders the `latency` field value of the `stats` reply: one object
+    /// per verb (all verbs always present, so clients can rely on the
+    /// shape), each with `count`, `total_us`, and the full bucket array.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = VERBS
+            .iter()
+            .zip(&self.per_verb)
+            .map(|(verb, hist)| {
+                let mut w = JsonWriter::new();
+                w.field_str("verb", verb);
+                w.field_usize("count", hist.count.load(Ordering::Relaxed) as usize);
+                w.field_usize("total_us", hist.total_us.load(Ordering::Relaxed) as usize);
+                let buckets: Vec<String> =
+                    hist.buckets.iter().map(|b| b.load(Ordering::Relaxed).to_string()).collect();
+                w.field_raw("buckets", &format!("[{}]", buckets.join(",")));
+                w.finish()
+            })
+            .collect();
+        format!("[{}]", entries.join(","))
+    }
+}
+
+/// Maps a job kind to its verb's [`VERBS`] index.
+fn verb_index(kind: &JobKind) -> usize {
+    match kind {
+        JobKind::Estimate { .. } => 0,
+        JobKind::GreedyRefine { .. } => 1,
+        JobKind::MinUniform { .. } => 2,
+        JobKind::Simulate { .. } => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_engine::json::{self, Json};
+
+    #[test]
+    fn buckets_are_log_spaced() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0)); // -> bucket 0
+        h.record(Duration::from_micros(1)); // -> bucket 0
+        h.record(Duration::from_micros(3)); // -> bucket 1
+        h.record(Duration::from_micros(1000)); // [512, 1024) -> bucket 9
+        h.record(Duration::from_secs(3600)); // overflow -> last bucket
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 2);
+        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[9].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[NUM_BUCKETS - 1].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn registry_renders_every_verb() {
+        let reg = LatencyRegistry::default();
+        reg.record(
+            &JobKind::Estimate { method: psdacc_core::Method::PsdMethod, frac_bits: 12 },
+            Duration::from_micros(40),
+        );
+        reg.record(
+            &JobKind::Simulate { frac_bits: 8, samples: 1024, nfft: 64, seed: 1, trials: 1 },
+            Duration::from_millis(12),
+        );
+        let v = json::parse(&reg.to_json()).unwrap();
+        let entries = v.as_array().unwrap();
+        assert_eq!(entries.len(), VERBS.len());
+        let by_verb = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.get("verb").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("verb {name} missing"))
+        };
+        assert_eq!(by_verb("evaluate").get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(by_verb("simulate").get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(by_verb("greedy").get("count").unwrap().as_u64(), Some(0));
+        let buckets = by_verb("evaluate").get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), NUM_BUCKETS);
+        // 40 us -> [32, 64) -> bucket 5.
+        assert_eq!(buckets[5].as_u64(), Some(1));
+        assert_eq!(by_verb("evaluate").get("total_us").unwrap().as_u64(), Some(40));
+    }
+}

@@ -21,16 +21,24 @@
 //! `submit` expands the spec locally, round-robins jobs across the
 //! workers tagged with their submission index, and re-merges the streams,
 //! producing result lines identical to a local `psdacc-engine run` of the
-//! same spec (timing fields aside). See [`protocol`] for the wire format,
-//! [`server`] for connection semantics, [`client`] for the sharding
-//! merge.
+//! same spec (timing fields aside). For *dynamic* dispatch — per-daemon
+//! in-flight windows, work stealing, failure re-dispatch — the
+//! `psdacc-sched` coordinator drives the daemon's `evaluate_units` mode
+//! instead. See [`protocol`] for the wire format, [`server`] for
+//! connection semantics (including `ServerConfig` limits and chaos
+//! fault-injection), [`client`] for the sharding merge, [`latency`] for
+//! the per-verb histograms in `stats`.
 
 pub mod client;
 pub mod error;
+pub mod latency;
 pub mod protocol;
 pub mod server;
 
-pub use client::{request_control, submit, submit_streaming, wait_ready, ShardOutcome};
+pub use client::{
+    connect, connect_with_timeout, request_control, submit, submit_streaming, wait_all_ready,
+    wait_ready, ShardOutcome, CONNECT_TIMEOUT,
+};
 pub use error::ServeError;
 pub use protocol::{job_request_line, parse_request, result_line, Request};
-pub use server::{Server, ServerHandle, ServerState};
+pub use server::{Server, ServerConfig, ServerHandle, ServerState, PROTOCOL_REVISION};

@@ -13,6 +13,8 @@
 //!  "nfft":256,"seed":"7","trials":2}
 //! {"kind":"scenarios"}
 //! {"kind":"stats"}
+//! {"kind":"hello"}
+//! {"kind":"evaluate_units"}
 //! ```
 //!
 //! `scenario` is the engine's spec-line syntax (`name key=value ...`).
@@ -21,11 +23,18 @@
 //! requests per connection. `seed` may be a JSON number or a string (a
 //! string preserves full `u64` range; JSON numbers are doubles).
 //!
-//! Control kinds (`scenarios`, `stats`) are answered immediately. Job
-//! kinds are queued and executed as **one engine batch** when the client
-//! half-closes, so a connection's jobs share the work-stealing pool and
-//! stream back in completion order, followed by one `{"kind":"summary"}`
-//! line.
+//! Control kinds (`scenarios`, `stats`, `hello`) are answered immediately.
+//! Job kinds are queued and executed as **one engine batch** when the
+//! client half-closes, so a connection's jobs share the work-stealing pool
+//! and stream back in completion order, followed by one
+//! `{"kind":"summary"}` line.
+//!
+//! `evaluate_units` (sent before any job request) switches the connection
+//! into **unit-streaming mode** instead: each job request executes as soon
+//! as it arrives, up to the daemon's worker count concurrently, with its
+//! result written back the moment it completes. The `psdacc-sched`
+//! coordinator drives this mode to keep a bounded in-flight window per
+//! daemon and refill it on every completion.
 
 use psdacc_engine::json::{self, Json, JsonWriter};
 use psdacc_engine::{JobKind, JobResult, JobSpec, Scenario};
@@ -75,6 +84,13 @@ pub enum Request {
     Scenarios,
     /// Report engine/cache/store counters.
     Stats,
+    /// Advertise daemon capacity (worker count, protocol revision).
+    Hello,
+    /// Switch the connection into unit-streaming mode: subsequent job
+    /// requests execute as they arrive (up to the daemon's worker count
+    /// concurrently) and results stream back the moment each completes —
+    /// the mode the `psdacc-sched` coordinator drives.
+    EvaluateUnits,
 }
 
 /// Parses one request line; `default_id` tags job requests that carry no
@@ -92,6 +108,8 @@ pub fn parse_request(line: &str, default_id: usize) -> Result<Request, String> {
     match kind {
         "scenarios" => Ok(Request::Scenarios),
         "stats" => Ok(Request::Stats),
+        "hello" => Ok(Request::Hello),
+        "evaluate_units" => Ok(Request::EvaluateUnits),
         "evaluate" | "greedy" | "min-uniform" | "simulate" => {
             let id = match value.get("id") {
                 None => default_id,
@@ -104,8 +122,8 @@ pub fn parse_request(line: &str, default_id: usize) -> Result<Request, String> {
             Ok(Request::Job { id, spec })
         }
         other => Err(format!(
-            "unknown kind `{other}` (known: evaluate, greedy, min-uniform, simulate, scenarios, \
-             stats)"
+            "unknown kind `{other}` (known: evaluate, greedy, min-uniform, simulate, \
+             evaluate_units, hello, scenarios, stats)"
         )),
     }
 }
@@ -357,6 +375,8 @@ mod tests {
     fn control_kinds_parse() {
         assert_eq!(parse_request(r#"{"kind":"scenarios"}"#, 0), Ok(Request::Scenarios));
         assert_eq!(parse_request(r#"{"kind":"stats"}"#, 0), Ok(Request::Stats));
+        assert_eq!(parse_request(r#"{"kind":"hello"}"#, 0), Ok(Request::Hello));
+        assert_eq!(parse_request(r#"{"kind":"evaluate_units"}"#, 0), Ok(Request::EvaluateUnits));
     }
 
     #[test]

@@ -1,43 +1,107 @@
-//! The TCP daemon: accept loop, per-connection protocol driver, and the
-//! graceful-shutdown handle used by tests and the CLI.
+//! The TCP daemon: accept loop, per-connection protocol driver (batch and
+//! unit-streaming modes), and the graceful-shutdown handle used by tests
+//! and the CLI.
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use psdacc_engine::job::run_job;
 use psdacc_engine::json::JsonWriter;
 use psdacc_engine::{Engine, JobSpec, REGISTRY};
 
 use crate::error::ServeError;
+use crate::latency::LatencyRegistry;
 use crate::protocol::{parse_request, read_capped_line, result_line, Request};
+
+/// Revision of the wire protocol this daemon speaks (`hello` advertises
+/// it; revision 2 added `hello` / `evaluate_units`).
+pub const PROTOCOL_REVISION: usize = 2;
+
+/// Daemon-level service policy plus fault-injection knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Accept limit: connections beyond this many concurrently-served ones
+    /// are answered with one `{"kind":"error",...}` line and closed
+    /// immediately — explicit backpressure instead of an unbounded thread
+    /// pile-up. `None` = unlimited.
+    pub max_connections: Option<usize>,
+    /// Fault injection: artificial delay before every unit executed in
+    /// unit-streaming mode. Models a slow/overloaded machine so schedulers
+    /// and CI can prove work actually re-routes around stragglers.
+    pub chaos_unit_delay: Duration,
+    /// Fault injection: after this many units served (daemon lifetime
+    /// total), abruptly shut both socket directions of the serving
+    /// connection — a mid-batch crash, as seen by the peer.
+    pub chaos_die_after_units: Option<usize>,
+}
 
 /// Shared daemon state: the engine (whose cache may be disk-persistent)
 /// plus service counters.
 #[derive(Debug)]
 pub struct ServerState {
     engine: Engine,
+    config: ServerConfig,
     jobs_served: AtomicUsize,
+    units_served: AtomicUsize,
     connections: AtomicUsize,
+    active_connections: AtomicUsize,
+    rejected_connections: AtomicUsize,
+    latency: LatencyRegistry,
     shutdown: AtomicBool,
 }
 
 impl ServerState {
+    fn new(engine: Engine, config: ServerConfig) -> Self {
+        ServerState {
+            engine,
+            config,
+            jobs_served: AtomicUsize::new(0),
+            units_served: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            active_connections: AtomicUsize::new(0),
+            rejected_connections: AtomicUsize::new(0),
+            latency: LatencyRegistry::default(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
     /// The engine serving this daemon.
     pub fn engine(&self) -> &Engine {
         &self.engine
     }
 
+    /// Renders the `hello` response line: capacity advertisement for
+    /// schedulers (worker count sizes the in-flight window).
+    pub fn hello_line(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.field_str("kind", "hello");
+        w.field_usize("protocol", PROTOCOL_REVISION);
+        w.field_usize("workers", self.engine.threads());
+        w.finish()
+    }
+
     /// Renders the `stats` response line, including per-scenario cache
     /// hit/miss counts (sorted by scenario key; empty until the daemon has
-    /// served a job).
+    /// served a job) and per-verb log-bucketed latency histograms.
     pub fn stats_line(&self) -> String {
         let cache = self.engine.cache().stats();
         let mut w = JsonWriter::new();
         w.field_str("kind", "stats");
         w.field_usize("threads", self.engine.threads());
         w.field_usize("jobs_served", self.jobs_served.load(Ordering::Relaxed));
+        w.field_usize("units_served", self.units_served.load(Ordering::Relaxed));
         w.field_usize("connections", self.connections.load(Ordering::Relaxed));
+        w.field_usize("active_connections", self.active_connections.load(Ordering::Relaxed));
+        if let Some(max) = self.config.max_connections {
+            w.field_usize("max_connections", max);
+            w.field_usize(
+                "rejected_connections",
+                self.rejected_connections.load(Ordering::Relaxed),
+            );
+        }
         w.field_usize("cache_builds", cache.builds);
         w.field_usize("cache_hits", cache.hits);
         w.field_usize("cache_entries", cache.entries);
@@ -57,6 +121,7 @@ impl ServerState {
             })
             .collect();
         w.field_raw("scenario_cache", &format!("[{}]", per_scenario.join(",")));
+        w.field_raw("latency", &self.latency.to_json());
         w.finish()
     }
 }
@@ -78,23 +143,26 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7341`, port 0 for ephemeral) over an
-    /// engine whose cache decides the persistence story.
+    /// engine whose cache decides the persistence story, with default
+    /// service policy.
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the address cannot be bound.
     pub fn bind(addr: &str, engine: Engine) -> Result<Self, ServeError> {
+        Self::bind_with(addr, engine, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with an explicit [`ServerConfig`] (connection
+    /// limits, fault injection).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn bind_with(addr: &str, engine: Engine, config: ServerConfig) -> Result<Self, ServeError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| ServeError::Io(format!("bind {addr}: {e}")))?;
-        Ok(Server {
-            listener,
-            state: Arc::new(ServerState {
-                engine,
-                jobs_served: AtomicUsize::new(0),
-                connections: AtomicUsize::new(0),
-                shutdown: AtomicBool::new(false),
-            }),
-        })
+        Ok(Server { listener, state: Arc::new(ServerState::new(engine, config)) })
     }
 
     /// The bound address (useful with port 0).
@@ -108,7 +176,9 @@ impl Server {
 
     /// Serves until the shutdown flag is raised (never, unless a
     /// [`ServerHandle`] exists). Connection handlers run on their own
-    /// threads; each connection's jobs run as one engine batch.
+    /// threads; each connection's jobs run as one engine batch (or stream
+    /// unit-by-unit in `evaluate_units` mode). Connections beyond
+    /// `max_connections` are refused with one error line.
     pub fn run(&self) {
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
@@ -117,9 +187,21 @@ impl Server {
             match stream {
                 Ok(stream) => {
                     let state = Arc::clone(&self.state);
+                    // The accept loop is the only incrementer, so this
+                    // load-then-add admission check cannot over-admit.
+                    if let Some(max) = state.config.max_connections {
+                        if state.active_connections.load(Ordering::Relaxed) >= max {
+                            state.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                            refuse_connection(stream, max);
+                            continue;
+                        }
+                    }
+                    state.active_connections.fetch_add(1, Ordering::Relaxed);
                     std::thread::spawn(move || {
                         state.connections.fetch_add(1, Ordering::Relaxed);
-                        if let Err(e) = handle_connection(&state, stream) {
+                        let result = handle_connection(&state, &stream);
+                        state.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        if let Err(e) = result {
                             eprintln!("psdacc-serve: connection error: {e}");
                         }
                     });
@@ -164,12 +246,23 @@ impl ServerHandle {
     }
 }
 
+/// Answers an over-limit connection with one error line and closes it —
+/// the peer learns *why* instead of seeing an unexplained hang.
+fn refuse_connection(mut stream: TcpStream, max: usize) {
+    let mut w = JsonWriter::new();
+    w.field_str("kind", "error");
+    w.field_str("error", &format!("connection limit ({max}) reached, retry later"));
+    let _ = writeln!(stream, "{}", w.finish());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 /// Drives one connection: control requests answered immediately, job
 /// requests collected until the client half-closes, then executed as one
-/// batch with results streamed back in completion order.
-fn handle_connection(state: &ServerState, stream: TcpStream) -> Result<(), ServeError> {
+/// batch with results streamed back in completion order. A leading
+/// `evaluate_units` request switches to unit-streaming mode instead.
+fn handle_connection(state: &ServerState, stream: &TcpStream) -> Result<(), ServeError> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(stream.try_clone()?);
     let mut jobs: Vec<JobSpec> = Vec::new();
     let mut ids: Vec<usize> = Vec::new();
     let mut lineno = 0usize;
@@ -191,14 +284,19 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> Result<(), Serve
                 writeln!(writer, "{}", state.stats_line())?;
                 writer.flush()?;
             }
-            Err(e) => {
-                let mut w = JsonWriter::new();
-                w.field_str("kind", "error");
-                w.field_usize("line", lineno);
-                w.field_str("error", &e);
-                writeln!(writer, "{}", w.finish())?;
+            Ok(Request::Hello) => {
+                writeln!(writer, "{}", state.hello_line())?;
                 writer.flush()?;
             }
+            Ok(Request::EvaluateUnits) => {
+                if jobs.is_empty() {
+                    writer.flush()?;
+                    drop(writer);
+                    return handle_unit_mode(state, &mut reader, stream);
+                }
+                write_error_line(&mut writer, lineno, "evaluate_units must precede job requests")?;
+            }
+            Err(e) => write_error_line(&mut writer, lineno, &e)?,
         }
     }
     if jobs.is_empty() {
@@ -206,7 +304,15 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> Result<(), Serve
     }
     let njobs = jobs.len();
     let mut write_error: Option<std::io::Error> = None;
+    let kinds: Vec<psdacc_engine::JobKind> = jobs.iter().map(|j| j.kind.clone()).collect();
     let report = state.engine.run_streaming(jobs, |result| {
+        // Service time of this job: the evaluation stage plus the
+        // preprocessing pass when this job actually paid for it.
+        let mut seconds = result.tau_eval_seconds;
+        if !result.cache_hit {
+            seconds += result.tau_pp_seconds.unwrap_or(0.0);
+        }
+        state.latency.record(&kinds[result.job], Duration::from_secs_f64(seconds.max(0.0)));
         if write_error.is_some() {
             return;
         }
@@ -231,6 +337,156 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> Result<(), Serve
     writeln!(writer, "{}", w.finish())?;
     writer.flush()?;
     Ok(())
+}
+
+/// Renders the one `{"kind":"error",...}` line shape both connection
+/// modes speak.
+fn error_line(lineno: usize, error: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.field_str("kind", "error");
+    w.field_usize("line", lineno);
+    w.field_str("error", error);
+    w.finish()
+}
+
+fn write_error_line<W: Write>(writer: &mut W, lineno: usize, error: &str) -> std::io::Result<()> {
+    writeln!(writer, "{}", error_line(lineno, error))?;
+    writer.flush()
+}
+
+/// Unit-streaming mode: jobs execute the moment they arrive, up to the
+/// engine's worker count concurrently, and each result is written back as
+/// soon as it completes (any order — results carry their request id).
+///
+/// Backpressure is structural: the executor feed channel is bounded, so a
+/// peer that outruns the daemon blocks in the kernel's TCP window instead
+/// of growing an unbounded queue. On client half-close the executors
+/// drain, then one `{"kind":"summary","mode":"units",...}` line ends the
+/// stream.
+fn handle_unit_mode<R: BufRead>(
+    state: &ServerState,
+    reader: &mut R,
+    stream: &TcpStream,
+) -> Result<(), ServeError> {
+    let threads = state.engine.threads().max(1);
+    let writer = Mutex::new(BufWriter::new(stream.try_clone()?));
+    let (tx, rx) = mpsc::sync_channel::<(usize, JobSpec)>(threads * 2);
+    let rx = Mutex::new(rx);
+    let died = AtomicBool::new(false);
+    let executed = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let mut auto_id = 0usize;
+    let mut lineno = 0usize;
+    let mut read_error: Option<std::io::Error> = None;
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        for _ in 0..threads {
+            scope.spawn(|| unit_executor(state, &rx, &writer, stream, &died, &executed, &failed));
+        }
+        let tx = tx; // moved into the scope so executors see EOF at drop
+        loop {
+            let line = match read_capped_line(reader) {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                // Read failures (I/O, or the MAX_LINE_BYTES protocol cap)
+                // must surface like batch mode's, not masquerade as a
+                // clean half-close; stop feeding and report below.
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            lineno += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_request(line.trim_end(), auto_id) {
+                Ok(Request::Job { id, spec }) => {
+                    auto_id += 1;
+                    if tx.send((id, spec)).is_err() {
+                        break;
+                    }
+                }
+                Ok(Request::Stats) => write_locked(&writer, &state.stats_line())?,
+                Ok(Request::Hello) => write_locked(&writer, &state.hello_line())?,
+                Ok(Request::Scenarios) => write_locked(&writer, &scenarios_line())?,
+                // Idempotent: the connection is already in unit mode.
+                Ok(Request::EvaluateUnits) => {}
+                Err(e) => write_locked(&writer, &error_line(lineno, &e))?,
+            }
+        }
+        Ok(())
+    })?;
+    if died.load(Ordering::SeqCst) {
+        // Chaos kill: the socket is already torn down; no summary.
+        return Ok(());
+    }
+    if let Some(e) = read_error {
+        // Tell the peer (best effort) and the daemon log why the stream
+        // ended without a summary.
+        let _ = write_locked(&writer, &error_line(lineno + 1, &e.to_string()));
+        return Err(ServeError::Io(format!("unit stream read failed: {e}")));
+    }
+    let mut w = JsonWriter::new();
+    w.field_str("kind", "summary");
+    w.field_str("mode", "units");
+    w.field_usize("jobs", executed.load(Ordering::Relaxed));
+    w.field_usize("failed", failed.load(Ordering::Relaxed));
+    write_locked(&writer, &w.finish())?;
+    Ok(())
+}
+
+fn write_locked(writer: &Mutex<BufWriter<TcpStream>>, line: &str) -> Result<(), ServeError> {
+    let mut w = writer.lock().expect("writer lock");
+    writeln!(w, "{line}")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// One unit-mode executor: pull a unit, (chaos-)execute, write the result,
+/// repeat until the feed channel closes.
+fn unit_executor(
+    state: &ServerState,
+    rx: &Mutex<mpsc::Receiver<(usize, JobSpec)>>,
+    writer: &Mutex<BufWriter<TcpStream>>,
+    stream: &TcpStream,
+    died: &AtomicBool,
+    executed: &AtomicUsize,
+    failed: &AtomicUsize,
+) {
+    loop {
+        // Holding the lock across the blocking recv is deliberate: exactly
+        // one idle executor waits in recv at a time, takes the unit,
+        // releases, and executes while the next idle executor moves into
+        // recv — so execution still overlaps across all executors.
+        let msg = rx.lock().expect("unit feed lock").recv();
+        let Ok((id, spec)) = msg else { return };
+        if died.load(Ordering::SeqCst) {
+            continue; // drain the feed without executing after a chaos kill
+        }
+        if !state.config.chaos_unit_delay.is_zero() {
+            std::thread::sleep(state.config.chaos_unit_delay);
+        }
+        let t0 = Instant::now();
+        let result = run_job(state.engine.cache().as_ref(), 0, &spec);
+        state.latency.record(&spec.kind, t0.elapsed());
+        if result.error.is_some() {
+            failed.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_locked(writer, &result_line(id, &result)).is_err() {
+            // Client went away; keep draining so the reader can unwind.
+            died.store(true, Ordering::SeqCst);
+            continue;
+        }
+        state.jobs_served.fetch_add(1, Ordering::Relaxed);
+        let served = state.units_served.fetch_add(1, Ordering::Relaxed) + 1;
+        executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(limit) = state.config.chaos_die_after_units {
+            if served >= limit && !died.swap(true, Ordering::SeqCst) {
+                // Simulated crash: both directions down, mid-stream.
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
 }
 
 /// Renders the `scenarios` response line.
@@ -270,32 +526,39 @@ mod tests {
 
     #[test]
     fn stats_line_reflects_engine_shape() {
-        let state = ServerState {
-            engine: Engine::new(3),
-            jobs_served: AtomicUsize::new(17),
-            connections: AtomicUsize::new(2),
-            shutdown: AtomicBool::new(false),
-        };
+        let state = ServerState::new(Engine::new(3), ServerConfig::default());
+        state.jobs_served.store(17, Ordering::Relaxed);
+        state.connections.store(2, Ordering::Relaxed);
         let v = json::parse(&state.stats_line()).unwrap();
         assert_eq!(v.get("threads").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("jobs_served").unwrap().as_u64(), Some(17));
+        assert_eq!(v.get("units_served").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("cache_builds").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("disk_hits").unwrap().as_u64(), Some(0));
         assert!(v.get("scenario_cache").unwrap().as_array().unwrap().is_empty());
+        // Latency histograms are always present, one entry per verb.
+        let latency = v.get("latency").unwrap().as_array().unwrap();
+        assert_eq!(latency.len(), crate::latency::VERBS.len());
+        // No limit configured: the cap fields stay absent.
+        assert!(v.get("max_connections").is_none());
     }
 
     #[test]
-    fn stats_line_carries_per_scenario_counters() {
+    fn hello_line_advertises_capacity() {
+        let state = ServerState::new(Engine::new(5), ServerConfig::default());
+        let v = json::parse(&state.hello_line()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("hello"));
+        assert_eq!(v.get("workers").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("protocol").unwrap().as_u64(), Some(PROTOCOL_REVISION as u64));
+    }
+
+    #[test]
+    fn stats_line_carries_per_scenario_counters_and_latency() {
         use psdacc_engine::{JobKind, JobSpec, Scenario};
         use psdacc_fixed::RoundingMode;
-        let state = ServerState {
-            // One worker keeps the hit/miss split deterministic (racing
-            // workers may both see an uninitialized slot as a miss).
-            engine: Engine::new(1),
-            jobs_served: AtomicUsize::new(0),
-            connections: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-        };
+        // One worker keeps the hit/miss split deterministic (racing
+        // workers may both see an uninitialized slot as a miss).
+        let state = ServerState::new(Engine::new(1), ServerConfig::default());
         let scenario = Scenario::FirCascade { stages: 1, taps: 9, cutoff: 0.3 };
         let job = |bits| JobSpec {
             scenario: scenario.clone(),
@@ -304,6 +567,9 @@ mod tests {
             kind: JobKind::Estimate { method: psdacc_core::Method::PsdMethod, frac_bits: bits },
         };
         state.engine.run(vec![job(8), job(10), job(12)]);
+        // The engine ran directly (not through a connection), so feed the
+        // histogram the way a connection would.
+        state.latency.record(&job(8).kind, Duration::from_micros(120));
         let v = json::parse(&state.stats_line()).unwrap();
         let entries = v.get("scenario_cache").unwrap().as_array().unwrap();
         assert_eq!(entries.len(), 1);
@@ -315,5 +581,20 @@ mod tests {
         let misses = entries[0].get("misses").unwrap().as_u64().unwrap();
         assert_eq!(hits + misses, 3, "one lookup per job");
         assert_eq!(misses, 1, "single build, rest hits");
+        let latency = v.get("latency").unwrap().as_array().unwrap();
+        let evaluate = latency
+            .iter()
+            .find(|e| e.get("verb").and_then(json::Json::as_str) == Some("evaluate"))
+            .unwrap();
+        assert_eq!(evaluate.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn configured_limit_appears_in_stats() {
+        let config = ServerConfig { max_connections: Some(7), ..ServerConfig::default() };
+        let state = ServerState::new(Engine::new(1), config);
+        let v = json::parse(&state.stats_line()).unwrap();
+        assert_eq!(v.get("max_connections").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("rejected_connections").unwrap().as_u64(), Some(0));
     }
 }

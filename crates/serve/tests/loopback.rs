@@ -65,13 +65,13 @@ fn stat(line: &str, field: &str) -> u64 {
 fn two_daemon_shard_matches_single_process_engine_bit_for_bit() {
     let spec = BatchSpec::parse(SPEC).unwrap();
     let expected: Vec<String> =
-        Engine::new(4).run(spec.jobs.clone()).results.iter().map(|r| r.to_json_line()).collect();
+        Engine::new(4).run(spec.jobs()).results.iter().map(|r| r.to_json_line()).collect();
 
     let a = spawn_memory_daemon(2);
     let b = spawn_memory_daemon(2);
     let workers = vec![a.addr().to_string(), b.addr().to_string()];
     let mut streamed: Vec<String> = Vec::new();
-    let outcome = client::submit_streaming(&workers, &spec.jobs, |line| {
+    let outcome = client::submit_streaming(&workers, &spec.jobs(), |line| {
         streamed.push(line.to_string());
     })
     .unwrap();
@@ -102,7 +102,7 @@ fn warm_daemon_restart_serves_with_zero_builds() {
 
     let cold = spawn_store_daemon(&dir, 3);
     let cold_addr = cold.addr().to_string();
-    let cold_outcome = client::submit(std::slice::from_ref(&cold_addr), &spec.jobs).unwrap();
+    let cold_outcome = client::submit(std::slice::from_ref(&cold_addr), &spec.jobs()).unwrap();
     assert_eq!(cold_outcome.failed, 0);
     let stats = client::request_control(&cold_addr, "stats").unwrap();
     assert_eq!(stat(&stats, "cache_builds") as usize, SPEC_KEYS, "{stats}");
@@ -113,7 +113,7 @@ fn warm_daemon_restart_serves_with_zero_builds() {
     // "Restart": a brand-new daemon process state over the same directory.
     let warm = spawn_store_daemon(&dir, 3);
     let warm_addr = warm.addr().to_string();
-    let warm_outcome = client::submit(std::slice::from_ref(&warm_addr), &spec.jobs).unwrap();
+    let warm_outcome = client::submit(std::slice::from_ref(&warm_addr), &spec.jobs()).unwrap();
     assert_eq!(warm_outcome.failed, 0);
     let stats = client::request_control(&warm_addr, "stats").unwrap();
     assert_eq!(stat(&stats, "cache_builds"), 0, "warm start must not preprocess: {stats}");
@@ -144,13 +144,13 @@ fn decimated_dwt_batch_shards_and_persists_bit_identically() {
     let spec = BatchSpec::parse(spec_text).unwrap();
     let keys = 3; // dwt-decimated[1], dwt-decimated[2], dwt-packet[1]
     let expected: Vec<String> =
-        Engine::new(4).run(spec.jobs.clone()).results.iter().map(|r| r.to_json_line()).collect();
+        Engine::new(4).run(spec.jobs()).results.iter().map(|r| r.to_json_line()).collect();
 
     let dir = tmp_dir("decimated");
     let a = spawn_store_daemon(&dir, 2);
     let b = spawn_store_daemon(&dir, 2);
     let workers = vec![a.addr().to_string(), b.addr().to_string()];
-    let outcome = client::submit(&workers, &spec.jobs).unwrap();
+    let outcome = client::submit(&workers, &spec.jobs()).unwrap();
     assert_eq!(outcome.failed, 0);
     assert_eq!(outcome.lines.len(), expected.len());
     for (got, want) in outcome.lines.iter().zip(&expected) {
@@ -163,7 +163,7 @@ fn decimated_dwt_batch_shards_and_persists_bit_identically() {
     // disk, zero preprocessing builds, bit-identical results again.
     let warm = spawn_store_daemon(&dir, 2);
     let warm_addr = warm.addr().to_string();
-    let warm_outcome = client::submit(std::slice::from_ref(&warm_addr), &spec.jobs).unwrap();
+    let warm_outcome = client::submit(std::slice::from_ref(&warm_addr), &spec.jobs()).unwrap();
     assert_eq!(warm_outcome.failed, 0);
     let stats = client::request_control(&warm_addr, "stats").unwrap();
     assert_eq!(stat(&stats, "cache_builds"), 0, "warm start must not preprocess: {stats}");
@@ -243,4 +243,178 @@ fn wait_ready_sees_a_live_daemon_and_times_out_on_a_dead_one() {
     let addr = daemon.addr();
     daemon.shutdown();
     assert!(client::wait_ready(&addr.to_string(), std::time::Duration::from_millis(200)).is_err());
+}
+
+/// An unreachable worker is a prompt error naming the dead address — on
+/// the direct submit path and on the all-workers readiness probe (which
+/// must name *every* dead address, not serially time out on the first).
+#[test]
+fn unreachable_workers_fail_fast_with_their_addresses_named() {
+    let live = spawn_memory_daemon(1);
+    let live_addr = live.addr().to_string();
+    // Port 1 on loopback: connection refused immediately.
+    let dead_a = "127.0.0.1:1".to_string();
+    let dead_b = "127.0.0.1:2".to_string();
+
+    let spec = BatchSpec::parse("scenario freq-filter\nbatch npsd=64 bits=10\n").unwrap();
+    let t0 = std::time::Instant::now();
+    let err = client::submit(std::slice::from_ref(&dead_a), &spec.jobs()).unwrap_err();
+    assert!(err.to_string().contains(&dead_a), "{err}");
+    assert!(t0.elapsed() < std::time::Duration::from_secs(30), "no connect hang");
+
+    let workers = vec![live_addr, dead_a.clone(), dead_b.clone()];
+    let err = client::wait_all_ready(&workers, std::time::Duration::from_millis(300)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains(&dead_a) && msg.contains(&dead_b), "{msg}");
+    assert!(msg.contains("2 of 3"), "{msg}");
+    live.shutdown();
+}
+
+/// After a served batch the `stats` reply carries per-verb log-bucketed
+/// latency histograms with non-zero counts for every verb the batch used.
+#[test]
+fn stats_reply_carries_latency_histograms() {
+    let daemon = spawn_memory_daemon(2);
+    let addr = daemon.addr().to_string();
+    let spec = BatchSpec::parse(SPEC).unwrap();
+    client::submit(std::slice::from_ref(&addr), &spec.jobs()).unwrap();
+    let stats = client::request_control(&addr, "stats").unwrap();
+    let v = json::parse(&stats).unwrap();
+    let latency = v.get("latency").unwrap().as_array().unwrap();
+    assert_eq!(latency.len(), 4, "{stats}");
+    for verb in ["evaluate", "greedy", "min-uniform", "simulate"] {
+        let entry = latency
+            .iter()
+            .find(|e| e.get("verb").and_then(Json::as_str) == Some(verb))
+            .unwrap_or_else(|| panic!("verb {verb} missing: {stats}"));
+        assert!(entry.get("count").unwrap().as_u64().unwrap() > 0, "verb {verb} unused: {stats}");
+        let buckets = entry.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), psdacc_serve::latency::NUM_BUCKETS);
+        let total: u64 = buckets.iter().map(|b| b.as_u64().unwrap()).sum();
+        assert_eq!(total, entry.get("count").unwrap().as_u64().unwrap(), "{stats}");
+    }
+    daemon.shutdown();
+}
+
+/// Connections beyond `--max-connections` get one explanatory error line
+/// and a closed socket, while admitted connections keep working.
+#[test]
+fn connection_limit_refuses_with_an_error_line() {
+    use psdacc_serve::ServerConfig;
+    let config = ServerConfig { max_connections: Some(1), ..ServerConfig::default() };
+    let daemon = Server::bind_with("127.0.0.1:0", Engine::new(1), config).unwrap().spawn().unwrap();
+
+    // First connection occupies the only slot (held open, no half-close).
+    // The single-threaded accept loop admits connections in connect order,
+    // so this one is accepted (and stays active, blocked in read) before
+    // any probe below is looked at.
+    let held = TcpStream::connect(daemon.addr()).unwrap();
+    // Probe with a read timeout: a refused probe gets the error line; in
+    // the unlikely window where the probe lands before `held` is admitted,
+    // the read times out and we retry on a fresh socket.
+    let mut refused_line = None;
+    for _ in 0..100 {
+        let over = TcpStream::connect(daemon.addr()).unwrap();
+        over.set_read_timeout(Some(std::time::Duration::from_millis(200))).unwrap();
+        let mut reader = BufReader::new(over);
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {
+                refused_line = Some(line);
+                break;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+    let line = refused_line.expect("over-limit connection never refused");
+    let v = json::parse(line.trim_end()).unwrap();
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("error"));
+    assert!(v.get("error").unwrap().as_str().unwrap().contains("connection limit (1)"), "{line}");
+
+    // The held connection still serves.
+    let mut reader = BufReader::new(held.try_clone().unwrap());
+    writeln!(&held, "{{\"kind\":\"hello\"}}").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(json::parse(reply.trim_end()).unwrap().get("kind").unwrap().as_str(), Some("hello"));
+    // Both fds (the socket and its reader clone) must drop for the daemon
+    // to see EOF and release the slot.
+    drop(reader);
+    drop(held);
+
+    // Slot freed: new connections are admitted again (stats answers).
+    let mut ok = false;
+    for _ in 0..100 {
+        // A probe landing before the slot frees gets the refusal line
+        // (kind `error`) back — keep polling until a real stats reply.
+        if let Ok(stats) = client::request_control(&daemon.addr().to_string(), "stats") {
+            let v = json::parse(&stats).unwrap();
+            if v.get("kind").and_then(Json::as_str) == Some("stats") {
+                assert_eq!(v.get("max_connections").unwrap().as_u64(), Some(1));
+                assert!(v.get("rejected_connections").unwrap().as_u64().unwrap() >= 1);
+                ok = true;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(ok, "slot never freed after the held connection closed");
+    daemon.shutdown();
+}
+
+/// Unit-streaming mode over a raw socket: jobs execute as they arrive,
+/// results come back tagged (any order), control requests interleave, and
+/// half-close yields a `mode:"units"` summary.
+#[test]
+fn evaluate_units_mode_streams_results_as_they_complete() {
+    let daemon = spawn_memory_daemon(2);
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    writeln!(&stream, "{{\"kind\":\"evaluate_units\"}}").unwrap();
+    writeln!(
+        &stream,
+        "{{\"kind\":\"evaluate\",\"scenario\":\"freq-filter\",\"npsd\":64,\"bits\":12,\"id\":7}}"
+    )
+    .unwrap();
+    writeln!(
+        &stream,
+        "{{\"kind\":\"evaluate\",\"scenario\":\"freq-filter\",\"npsd\":64,\"bits\":10,\"id\":3}}"
+    )
+    .unwrap();
+    // A control request interleaves mid-stream.
+    writeln!(&stream, "{{\"kind\":\"hello\"}}").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    let parsed: Vec<Json> = lines.iter().map(|l| json::parse(l).unwrap()).collect();
+    let ids: Vec<u64> = parsed
+        .iter()
+        .filter(|v| v.get("power").is_some())
+        .map(|v| v.get("job").unwrap().as_u64().unwrap())
+        .collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![3, 7], "{lines:?}");
+    assert!(parsed.iter().any(|v| v.get("kind").and_then(Json::as_str) == Some("hello")));
+    let summary = parsed.last().unwrap();
+    assert_eq!(summary.get("kind").unwrap().as_str(), Some("summary"));
+    assert_eq!(summary.get("mode").unwrap().as_str(), Some("units"));
+    assert_eq!(summary.get("jobs").unwrap().as_u64(), Some(2));
+    assert_eq!(summary.get("failed").unwrap().as_u64(), Some(0));
+
+    // The unit results are bit-identical to the engine's own evaluation.
+    let spec = BatchSpec::parse("scenario freq-filter\nbatch npsd=64 bits=10,12\n").unwrap();
+    let expected = Engine::new(1).run(spec.jobs());
+    let by_id = |id: u64| parsed.iter().find(|v| v.get("job").and_then(Json::as_u64) == Some(id));
+    assert_eq!(
+        by_id(3).unwrap().get("power").unwrap().as_f64(),
+        expected.results[0].power,
+        "bits=10"
+    );
+    assert_eq!(
+        by_id(7).unwrap().get("power").unwrap().as_f64(),
+        expected.results[1].power,
+        "bits=12"
+    );
+    daemon.shutdown();
 }
