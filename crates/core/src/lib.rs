@@ -41,6 +41,9 @@ pub use propagate::{downsample_psd, through_magnitude, through_response, upsampl
 pub use psd_method::{
     evaluate_psd_method, evaluate_with_multirate, evaluate_with_responses, PsdEstimate,
 };
-pub use refine::{greedy_refinement, minimum_uniform_wordlength, RefinementResult};
+pub use refine::{
+    greedy_refinement, greedy_refinement_from, minimum_uniform_wordlength,
+    minimum_uniform_wordlength_from, RefinementResult,
+};
 pub use report::{Comparison, Estimate, Method};
 pub use wordlength::{NoiseSource, WordLengthPlan};

@@ -34,9 +34,39 @@ pub fn minimum_uniform_wordlength(
     min_bits: i32,
     max_bits: i32,
 ) -> Option<i32> {
+    minimum_uniform_wordlength_from(
+        evaluator,
+        budget,
+        &WordLengthPlan::uniform(min_bits, rounding),
+        min_bits,
+        max_bits,
+    )
+}
+
+/// [`minimum_uniform_wordlength`] searching over copies of `template` with
+/// only `frac_bits` swept — so the template's rounding mode, input
+/// quantization, and **exact-node exemptions** (graph scenarios with
+/// `"role":"exact"` nodes) shape every candidate plan identically to the
+/// estimate jobs of the same scenario.
+///
+/// # Panics
+///
+/// Panics if `min_bits > max_bits`.
+pub fn minimum_uniform_wordlength_from(
+    evaluator: &AccuracyEvaluator,
+    budget: f64,
+    template: &WordLengthPlan,
+    min_bits: i32,
+    max_bits: i32,
+) -> Option<i32> {
     assert!(min_bits <= max_bits, "empty search range");
-    let meets =
-        |d: i32| evaluator.estimate_psd(&WordLengthPlan::uniform(d, rounding)).power <= budget;
+    let plan_at = |d: i32| {
+        let mut plan = template.clone();
+        plan.frac_bits = d;
+        plan.overrides.clear();
+        plan
+    };
+    let meets = |d: i32| evaluator.estimate_psd(&plan_at(d)).power <= budget;
     if !meets(max_bits) {
         return None;
     }
@@ -79,12 +109,38 @@ pub fn greedy_refinement(
     start_bits: i32,
     min_bits: i32,
 ) -> RefinementResult {
+    greedy_refinement_from(
+        evaluator,
+        budget,
+        &WordLengthPlan::uniform(start_bits, rounding),
+        start_bits,
+        min_bits,
+    )
+}
+
+/// [`greedy_refinement`] descending from copies of `template` (its
+/// rounding mode, input quantization, and exact-node exemptions apply to
+/// every trial plan; only per-node `frac_bits` overrides move). Nodes the
+/// template exempts are never quantized and never appear in the descent.
+pub fn greedy_refinement_from(
+    evaluator: &AccuracyEvaluator,
+    budget: f64,
+    template: &WordLengthPlan,
+    start_bits: i32,
+    min_bits: i32,
+) -> RefinementResult {
     let sfg = evaluator.sfg().clone();
-    let quantized = WordLengthPlan::uniform(start_bits, rounding).quantized_nodes(&sfg);
+    let base = {
+        let mut plan = template.clone();
+        plan.frac_bits = start_bits;
+        plan.overrides.clear();
+        plan
+    };
+    let quantized = base.quantized_nodes(&sfg);
     let mut bits: HashMap<NodeId, i32> = quantized.iter().map(|&n| (n, start_bits)).collect();
     let mut evaluations = 0usize;
     let build = |bits: &HashMap<NodeId, i32>| {
-        let mut plan = WordLengthPlan::uniform(start_bits, rounding);
+        let mut plan = base.clone();
         for (&node, &d) in bits {
             plan = plan.with_override(node, d);
         }
@@ -180,6 +236,35 @@ mod tests {
             uniform_bits
         );
         assert!(result.evaluations > 3, "the loop actually ran");
+    }
+
+    #[test]
+    fn template_exemptions_shape_both_refinement_loops() {
+        let g = two_stage_system();
+        let eval = AccuracyEvaluator::new(&g, 256).unwrap();
+        let rounding = RoundingMode::RoundNearest;
+        let second_fir = NodeId(2);
+        let template = WordLengthPlan::uniform(0, rounding).with_exact_nodes([second_fir]);
+        // Greedy: the exempt node is never part of the descent.
+        let budget = eval
+            .estimate_psd(&{
+                let mut p = template.clone();
+                p.frac_bits = 12;
+                p
+            })
+            .power
+            * 1.02;
+        let result = greedy_refinement_from(&eval, budget, &template, 12, 4);
+        assert!(result.noise_power <= budget);
+        assert!(
+            !result.plan.quantized_nodes(&g).contains(&second_fir),
+            "exempt node stays unquantized through refinement"
+        );
+        // Min-uniform: the exempt system needs fewer bits than the full one
+        // at the same budget (one noise source removed).
+        let with = minimum_uniform_wordlength_from(&eval, 1e-8, &template, 2, 32).unwrap();
+        let without = minimum_uniform_wordlength(&eval, 1e-8, rounding, 2, 32).unwrap();
+        assert!(with <= without, "exemption cannot need more bits ({with} vs {without})");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * IIR quantization happens *inside* the recursion (direct form I), so its
 //!   source is shaped by `1/A(z)` before reaching the block output.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use psdacc_fft::Complex;
 use psdacc_fixed::{NoiseMoments, Quantizer, RoundingMode};
@@ -62,18 +62,38 @@ pub struct WordLengthPlan {
     /// Whether the external inputs are quantized (the paper's benchmarks
     /// quantize them).
     pub quantize_inputs: bool,
+    /// Nodes exempted from quantization entirely (a `GraphSpec` node with
+    /// role `exact`): they never carry a quantizer and inject no noise,
+    /// regardless of block kind. Empty for the builtin scenarios, so the
+    /// historical uniform-plan behavior is unchanged.
+    pub exact_nodes: HashSet<NodeId>,
 }
 
 impl WordLengthPlan {
     /// Uniform plan: every quantization point uses `frac_bits` bits (the
     /// setting of the paper's experiments, which sweep a single `d`).
     pub fn uniform(frac_bits: i32, rounding: RoundingMode) -> Self {
-        WordLengthPlan { frac_bits, rounding, overrides: HashMap::new(), quantize_inputs: true }
+        WordLengthPlan {
+            frac_bits,
+            rounding,
+            overrides: HashMap::new(),
+            quantize_inputs: true,
+            exact_nodes: HashSet::new(),
+        }
     }
 
     /// Overrides the word-length of one node (builder style).
     pub fn with_override(mut self, node: NodeId, frac_bits: i32) -> Self {
         self.overrides.insert(node, frac_bits);
+        self
+    }
+
+    /// Marks nodes as exact — no quantizer, no noise source — regardless
+    /// of block kind (builder style). This is how `GraphSpec` role
+    /// declarations reach both the analytical methods and the bit-true
+    /// simulation, which share [`WordLengthPlan::quantized_nodes`].
+    pub fn with_exact_nodes(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.exact_nodes.extend(nodes);
         self
     }
 
@@ -104,9 +124,12 @@ impl WordLengthPlan {
     /// The nodes that carry quantizers under this plan.
     pub fn quantized_nodes(&self, sfg: &Sfg) -> Vec<NodeId> {
         sfg.iter()
-            .filter(|(id, node)| match node.block {
-                Block::Input => self.quantize_inputs && sfg.inputs().contains(id),
-                ref b => Self::is_noisy_block(b),
+            .filter(|(id, node)| {
+                !self.exact_nodes.contains(id)
+                    && match node.block {
+                        Block::Input => self.quantize_inputs && sfg.inputs().contains(id),
+                        ref b => Self::is_noisy_block(b),
+                    }
             })
             .map(|(id, _)| id)
             .collect()
@@ -172,6 +195,23 @@ mod tests {
         let (g, x, ..) = sample_graph();
         let mut plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
         plan.quantize_inputs = false;
+        assert!(!plan.quantized_nodes(&g).contains(&x));
+    }
+
+    #[test]
+    fn exact_nodes_are_exempt_everywhere() {
+        let (g, x, gain, _, fir, iir) = sample_graph();
+        let plan =
+            WordLengthPlan::uniform(12, RoundingMode::Truncate).with_exact_nodes([gain, fir]);
+        let nodes = plan.quantized_nodes(&g);
+        assert!(nodes.contains(&x) && nodes.contains(&iir));
+        assert!(!nodes.contains(&gain) && !nodes.contains(&fir), "exact roles exempt");
+        // Quantizers and noise sources share the exemption.
+        let q = plan.quantizers(&g);
+        assert!(q[gain.0].is_none() && q[fir.0].is_none());
+        assert!(plan.noise_sources(&g).iter().all(|s| s.node != gain && s.node != fir));
+        // Inputs can be exempted too.
+        let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate).with_exact_nodes([x]);
         assert!(!plan.quantized_nodes(&g).contains(&x));
     }
 

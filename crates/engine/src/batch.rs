@@ -39,6 +39,7 @@ use psdacc_core::Method;
 use psdacc_fixed::RoundingMode;
 
 use crate::error::EngineError;
+use crate::provider::{self, ScenarioRegistry};
 use crate::scenario::Scenario;
 use crate::units::{DirectiveKind, JobDirective};
 
@@ -58,27 +59,45 @@ pub struct BatchSpec {
 }
 
 impl BatchSpec {
-    /// Parses a spec document.
+    /// Parses a spec document against the default scenario providers (the
+    /// builtin families plus inline `graph={...}` lines). Specs that
+    /// reference *named* runtime-defined scenarios need
+    /// [`BatchSpec::parse_with`] and a populated registry.
     ///
     /// # Errors
     ///
     /// [`EngineError::Spec`] / [`EngineError::Scenario`] with the offending
-    /// line number.
+    /// 1-based line number and line text.
     pub fn parse(text: &str) -> Result<Self, EngineError> {
+        Self::parse_with(text, &ScenarioRegistry::new())
+    }
+
+    /// [`BatchSpec::parse`] against an explicit [`ScenarioRegistry`], so
+    /// spec lines may reference scenarios registered at runtime
+    /// (`scenario my-codec` after a `define_scenario` / `--graph`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] / [`EngineError::Scenario`] with the offending
+    /// 1-based line number and line text.
+    pub fn parse_with(text: &str, registry: &ScenarioRegistry) -> Result<Self, EngineError> {
         let mut spec = BatchSpec::default();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            spec.parse_line(line).map_err(|e| {
+            spec.parse_line(line, registry).map_err(|e| {
                 // Unwrap the inner message so the line-number wrapper does
                 // not stutter ("batch spec error: ... batch spec error:").
                 let msg = match &e {
                     EngineError::Spec(m) | EngineError::Scenario(m) => m.clone(),
                     other => other.to_string(),
                 };
-                EngineError::Spec(format!("line {}: {msg}", lineno + 1))
+                // Multi-line specs are debugged from this one string: name
+                // the line *and* show its text, so the fix needs no
+                // cross-referencing against the spec file.
+                EngineError::Spec(format!("line {}: {msg} [in `{line}`]", lineno + 1))
             })?;
         }
         if spec.directives.is_empty() {
@@ -97,12 +116,20 @@ impl BatchSpec {
         &self.directives
     }
 
-    fn parse_line(&mut self, line: &str) -> Result<(), EngineError> {
-        let mut tokens = line.split_whitespace();
-        let verb = tokens.next().expect("non-empty line");
-        let rest: Vec<&str> = tokens.collect();
+    fn parse_line(&mut self, line: &str, registry: &ScenarioRegistry) -> Result<(), EngineError> {
+        let (verb, remainder) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let rest: Vec<&str> = remainder.split_whitespace().collect();
         match verb {
             "scenario" => {
+                // Inline graph declarations take the raw remainder of the
+                // line (the JSON may contain spaces) — no sweep syntax.
+                if provider::inline_graph_json(remainder).is_some() {
+                    self.scenarios.push(registry.parse_spec_line(remainder)?);
+                    return Ok(());
+                }
                 let name = rest
                     .first()
                     .ok_or_else(|| EngineError::Spec("scenario line needs a name".to_string()))?;
@@ -110,7 +137,7 @@ impl BatchSpec {
                 // Sweeps (`index=0..146`, `cutoff=0.1,0.2`) expand into one
                 // scenario per point of the parameter cross product.
                 for point in expand_param_sweeps(&params)? {
-                    self.scenarios.push(Scenario::parse(name, &point)?);
+                    self.scenarios.push(registry.parse(name, &point)?);
                 }
                 Ok(())
             }
@@ -554,9 +581,56 @@ mod tests {
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
+    fn errors_carry_line_numbers_and_offending_text() {
         let err = BatchSpec::parse("scenario fir-bank index=0\nbogus directive\n").unwrap_err();
-        assert!(err.to_string().contains("line 2"), "{err}");
+        let text = err.to_string();
+        assert!(text.contains("line 2"), "{text}");
+        assert!(text.contains("`bogus directive`"), "offending text quoted: {text}");
+        // Scenario-level defects carry the same context.
+        let err = BatchSpec::parse("scenario fir-bank index=banana\nbatch bits=12\n").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 1") && text.contains("`scenario fir-bank index=banana`"));
+        assert!(text.contains("must be an integer"), "{text}");
+    }
+
+    #[test]
+    fn inline_graph_scenarios_parse_with_spaces_in_the_json() {
+        let spec = BatchSpec::parse(
+            "scenario graph={\"nodes\": [ {\"name\":\"x\",\"block\":\"input\"}, \
+             {\"name\":\"g\",\"block\":\"gain\",\"gain\":0.5,\"inputs\":[\"x\"]} ], \
+             \"outputs\": [\"g\"] }\n\
+             batch npsd=64 bits=10 methods=psd\n",
+        )
+        .unwrap();
+        assert_eq!(spec.scenarios.len(), 1);
+        assert!(matches!(spec.scenarios[0], Scenario::Graph(_)));
+        assert!(spec.scenarios[0].key().starts_with("graph["));
+        // A defective inline graph is a line-numbered error, not a panic.
+        let err = BatchSpec::parse("scenario graph={\"nodes\":[]}\nbatch bits=12\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn named_dynamic_scenarios_resolve_through_the_registry() {
+        let registry = ScenarioRegistry::new();
+        registry
+            .define_graph_json(
+                "my-codec",
+                r#"{"nodes":[{"name":"x","block":"input"},
+                             {"name":"g","block":"gain","gain":0.25,"inputs":["x"]}],
+                    "outputs":["g"]}"#,
+            )
+            .unwrap();
+        let spec = BatchSpec::parse_with(
+            "scenario my-codec\nscenario freq-filter\nbatch npsd=64 bits=10 methods=psd\n",
+            &registry,
+        )
+        .unwrap();
+        assert_eq!(spec.scenarios.len(), 2);
+        assert_eq!(spec.scenarios[0].to_spec_line(), "my-codec");
+        // Without the registry the name is an error naming the line.
+        let err = BatchSpec::parse("scenario my-codec\nbatch bits=12\n").unwrap_err().to_string();
+        assert!(err.contains("line 1") && err.contains("my-codec"), "{err}");
     }
 
     #[test]

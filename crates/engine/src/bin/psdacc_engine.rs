@@ -1,21 +1,25 @@
 //! `psdacc-engine` — the batch-evaluation CLI.
 //!
 //! ```text
-//! psdacc-engine run --spec batch.txt [--threads N]   # run a spec file
+//! psdacc-engine run --spec batch.txt [--graph NAME=FILE]... [--threads N]
 //! psdacc-engine demo [--jobs N] [--threads N]        # built-in demo batch
 //! psdacc-engine scenarios                            # list the registry
 //! ```
 //!
 //! Results stream to stdout as JSON lines (one object per job, in job
 //! order); the run summary goes to stderr so pipelines stay clean.
+//! `--graph NAME=FILE` (repeatable) registers a declarative `GraphSpec`
+//! JSON file as a named scenario before the spec is parsed, so spec lines
+//! may reference it as `scenario NAME`; inline `scenario graph={...}`
+//! lines need no registration.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use psdacc_engine::{demo_spec, BatchSpec, Engine, REGISTRY};
+use psdacc_engine::{demo_spec, BatchSpec, Engine, ScenarioRegistry};
 
 const USAGE: &str = "usage:
-  psdacc-engine run --spec FILE [--threads N]
+  psdacc-engine run --spec FILE [--graph NAME=FILE]... [--threads N]
   psdacc-engine demo [--jobs N] [--threads N]
   psdacc-engine scenarios
 
@@ -23,6 +27,8 @@ Batch spec format (line-oriented; `#` comments):
   scenario <name> [key=value ...]     declare a system (repeatable; integer
                                       params sweep with `0..146` / `0,3,7`,
                                       multi-valued params cross-product)
+  scenario graph={...}                declare an inline GraphSpec (JSON:
+                                      nodes/outputs; see README)
   batch [npsd=256] [bits=12|8..14|8,10] [methods=psd,agnostic,flat] [rounding=truncate|nearest]
   refine budget=<power> [npsd=..] [start=16] [min=2] [rounding=..]
   min-uniform budget=<power> [npsd=..] [min=2] [max=32] [rounding=..]
@@ -36,10 +42,20 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("scenarios") => {
-            println!("{:<14} {:<34} description", "name", "parameters");
-            for entry in REGISTRY {
-                println!("{:<14} {:<34} {}", entry.name, entry.params, entry.description);
+            println!("{:<14} {:<8} {:<34} description", "name", "provider", "parameters");
+            for family in ScenarioRegistry::new().families() {
+                println!(
+                    "{:<14} {:<8} {:<34} {}",
+                    family.name,
+                    family.provider,
+                    family.params_summary(),
+                    family.description
+                );
             }
+            println!(
+                "{:<14} {:<8} {:<34} inline declarative GraphSpec (JSON nodes/outputs)",
+                "graph={...}", "dynamic", "(self-describing)"
+            );
             ExitCode::SUCCESS
         }
         Some("--help") | Some("-h") | None => {
@@ -55,11 +71,13 @@ fn main() -> ExitCode {
 
 /// Parses `--flag value` pairs, rejecting anything not in `allowed` so a
 /// misspelled flag errors instead of silently running with defaults.
+/// `--graph` is repeatable; its values are collected separately.
 fn parse_flags(
     args: &[String],
     allowed: &[&str],
-) -> Result<std::collections::BTreeMap<String, String>, String> {
+) -> Result<(std::collections::BTreeMap<String, String>, Vec<String>), String> {
     let mut flags = std::collections::BTreeMap::new();
+    let mut graphs = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -67,10 +85,14 @@ fn parse_flags(
             return Err(format!("unknown argument `{flag}` (allowed: {})", allowed.join(", ")));
         }
         let value = args.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
-        flags.insert(flag.to_string(), value.clone());
+        if flag == "--graph" {
+            graphs.push(value.clone());
+        } else {
+            flags.insert(flag.to_string(), value.clone());
+        }
         i += 2;
     }
-    Ok(flags)
+    Ok((flags, graphs))
 }
 
 fn parse_positive(
@@ -93,7 +115,7 @@ fn default_threads() -> usize {
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args, &["--spec", "--threads"]) {
+    let (flags, graphs) = match parse_flags(args, &["--spec", "--threads", "--graph"]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("{e}");
@@ -111,7 +133,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec = match BatchSpec::parse(&text) {
+    let registry = ScenarioRegistry::new();
+    if let Err(e) = registry.define_graph_files(&graphs) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let spec = match BatchSpec::parse_with(&text, &registry) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{spec_path}: {e}");
@@ -129,7 +156,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
 }
 
 fn cmd_demo(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args, &["--jobs", "--threads"]) {
+    let (flags, _) = match parse_flags(args, &["--jobs", "--threads"]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("{e}");

@@ -1,7 +1,7 @@
 //! Engine error type.
 
 use psdacc_filters::FilterError;
-use psdacc_sfg::SfgError;
+use psdacc_sfg::{GraphSpecError, SfgError};
 
 /// Errors surfaced by the batch-evaluation engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,6 +10,9 @@ pub enum EngineError {
     Scenario(String),
     /// A batch specification line could not be parsed.
     Spec(String),
+    /// A declarative graph scenario was malformed or structurally invalid
+    /// (typed defect from `psdacc_sfg::spec`).
+    GraphSpec(GraphSpecError),
     /// Graph construction or preprocessing failed.
     Sfg(SfgError),
     /// Filter design inside a scenario generator failed.
@@ -24,6 +27,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Scenario(msg) => write!(f, "scenario error: {msg}"),
             EngineError::Spec(msg) => write!(f, "batch spec error: {msg}"),
+            EngineError::GraphSpec(e) => write!(f, "graph scenario error: {e}"),
             EngineError::Sfg(e) => write!(f, "signal-flow-graph error: {e}"),
             EngineError::Filter(msg) => write!(f, "filter design error: {msg}"),
             EngineError::Result(msg) => write!(f, "batch result error: {msg}"),
@@ -36,6 +40,12 @@ impl std::error::Error for EngineError {}
 impl From<SfgError> for EngineError {
     fn from(e: SfgError) -> Self {
         EngineError::Sfg(e)
+    }
+}
+
+impl From<GraphSpecError> for EngineError {
+    fn from(e: GraphSpecError) -> Self {
+        EngineError::GraphSpec(e)
     }
 }
 

@@ -1,0 +1,476 @@
+//! The JSON wire form of [`GraphSpec`] and the content-addressed
+//! [`GraphScenario`] built on it.
+//!
+//! `psdacc-sfg` owns the `GraphSpec` data model and its compilation into a
+//! validated graph; this module owns how a spec travels and how it is
+//! identified:
+//!
+//! * [`parse_graph_spec`] / [`graph_spec_from_str`] — the JSON decoder
+//!   (shape errors become typed [`GraphSpecError`]s, never panics: specs
+//!   arrive from spec files and network peers);
+//! * [`canonical_json`] — the **canonical** single-line rendering: fixed
+//!   field order, floats in shortest-round-trip `{:e}` form, optional
+//!   fields omitted at their defaults, no whitespace. Serialize → parse →
+//!   serialize is a fixpoint, so canonical-text equality is spec equality;
+//! * [`GraphScenario`] — a validated spec plus its canonical text and
+//!   128-bit content hash. The hash is the scenario's identity everywhere:
+//!   the engine cache key, the `psdacc-store` disk address, and the
+//!   `scenario` field of results are all `graph[<hash>]`, so two daemons
+//!   that each receive the same definition agree on every key without
+//!   coordination.
+
+use std::sync::Arc;
+
+use psdacc_sfg::spec::MAX_SPEC_NODES;
+use psdacc_sfg::{BlockSpec, GraphSpec, GraphSpecError, NodeId, NodeRole, NodeSpec};
+
+use crate::json::{self, Json, JsonWriter};
+
+/// 64-bit FNV-1a (the workspace's standing offline hash).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// 32-hex-character content hash of the canonical text: two decorrelated
+/// 64-bit FNV-1a words over the length-prefixed text (forward and
+/// reversed), so colliding specs must also agree on byte length.
+///
+/// Unlike builtin scenario keys — where the store verifies the full key
+/// text on load and a hash collision degrades to a cache miss — the hash
+/// here **is** the identity (`graph[<hash>]`), so a collision between two
+/// distinct specs would silently share preprocessing. With 128
+/// decorrelated bits plus the length pin that is negligible for accidental
+/// collisions; FNV is not cryptographic, though, so a store/daemon shared
+/// with *adversarial* scenario definers is outside the threat model (the
+/// same trust line the serve layer draws — it has no authentication
+/// either; see the ROADMAP's service-hardening item).
+pub fn content_hash(canonical: &str) -> String {
+    let pinned = format!("{}:{canonical}", canonical.len());
+    let h1 = fnv1a64(pinned.as_bytes());
+    let reversed: Vec<u8> = pinned.bytes().rev().collect();
+    let h2 = fnv1a64(&reversed) ^ h1.rotate_left(32);
+    format!("{h1:016x}{h2:016x}")
+}
+
+fn malformed(detail: impl Into<String>) -> GraphSpecError {
+    GraphSpecError::Malformed { detail: detail.into() }
+}
+
+fn float_list(value: &Json, node: &str, key: &str) -> Result<Vec<f64>, GraphSpecError> {
+    let items =
+        value.get(key).and_then(Json::as_array).ok_or_else(|| GraphSpecError::BadParameter {
+            node: node.to_string(),
+            detail: format!("`{key}` must be an array of numbers"),
+        })?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64().ok_or_else(|| GraphSpecError::BadParameter {
+                node: node.to_string(),
+                detail: format!("`{key}` must contain only numbers"),
+            })
+        })
+        .collect()
+}
+
+fn req_usize(value: &Json, node: &str, key: &str) -> Result<usize, GraphSpecError> {
+    value.get(key).and_then(Json::as_u64).map(|v| v as usize).ok_or_else(|| {
+        GraphSpecError::BadParameter {
+            node: node.to_string(),
+            detail: format!("`{key}` must be a non-negative integer"),
+        }
+    })
+}
+
+/// The JSON fields each block kind accepts (beyond `name`, `block`,
+/// `inputs`, `role`).
+fn allowed_params(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "gain" => &["gain"],
+        "delay" => &["samples"],
+        "fir" => &["taps"],
+        "iir" => &["b", "a"],
+        "downsample" | "upsample" => &["factor"],
+        _ => &[],
+    }
+}
+
+fn parse_node(value: &Json) -> Result<NodeSpec, GraphSpecError> {
+    let fields = match value {
+        Json::Obj(fields) => fields,
+        _ => return Err(malformed("every node must be a JSON object")),
+    };
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("node without a string `name` field"))?
+        .to_string();
+    let kind = value
+        .get("block")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed(format!("node `{name}` needs a string `block` field")))?;
+    let params = allowed_params(kind);
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "name" | "block" | "inputs" | "role")
+            && !params.contains(&key.as_str())
+        {
+            return Err(GraphSpecError::BadParameter {
+                node: name.clone(),
+                detail: format!("unknown field `{key}` for block kind `{kind}`"),
+            });
+        }
+    }
+    let block = match kind {
+        "input" => BlockSpec::Input,
+        "add" => BlockSpec::Add,
+        "gain" => BlockSpec::Gain {
+            gain: value.get("gain").and_then(Json::as_f64).ok_or_else(|| {
+                GraphSpecError::BadParameter {
+                    node: name.clone(),
+                    detail: "`gain` must be a number".to_string(),
+                }
+            })?,
+        },
+        "delay" => BlockSpec::Delay { samples: req_usize(value, &name, "samples")? },
+        "fir" => BlockSpec::Fir { taps: float_list(value, &name, "taps")? },
+        "iir" => {
+            BlockSpec::Iir { b: float_list(value, &name, "b")?, a: float_list(value, &name, "a")? }
+        }
+        "downsample" => BlockSpec::Downsample { factor: req_usize(value, &name, "factor")? },
+        "upsample" => BlockSpec::Upsample { factor: req_usize(value, &name, "factor")? },
+        other => return Err(GraphSpecError::UnknownBlock { node: name, kind: other.to_string() }),
+    };
+    let inputs = match value.get("inputs") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| malformed(format!("node `{name}`: `inputs` must be an array")))?
+            .iter()
+            .map(|i| {
+                i.as_str().map(str::to_string).ok_or_else(|| {
+                    malformed(format!("node `{name}`: `inputs` must contain node names"))
+                })
+            })
+            .collect::<Result<Vec<String>, GraphSpecError>>()?,
+    };
+    let role = match value.get("role").map(|v| v.as_str()) {
+        None | Some(Some("auto")) => NodeRole::Auto,
+        Some(Some("exact")) => NodeRole::Exact,
+        _ => {
+            return Err(GraphSpecError::BadParameter {
+                node: name,
+                detail: "`role` must be \"auto\" or \"exact\"".to_string(),
+            })
+        }
+    };
+    Ok(NodeSpec { name, block, inputs, role })
+}
+
+/// Decodes a parsed JSON document into a [`GraphSpec`] (shape validation
+/// only — call [`GraphSpec::compile`], or go through
+/// [`GraphScenario::new`], for full structural validation).
+///
+/// # Errors
+///
+/// Typed [`GraphSpecError`]s for every malformation.
+pub fn parse_graph_spec(value: &Json) -> Result<GraphSpec, GraphSpecError> {
+    let fields = match value {
+        Json::Obj(fields) => fields,
+        _ => return Err(malformed("graph spec must be a JSON object")),
+    };
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "nodes" | "outputs") {
+            return Err(malformed(format!("unknown top-level field `{key}`")));
+        }
+    }
+    let nodes = value
+        .get("nodes")
+        .and_then(Json::as_array)
+        .ok_or_else(|| malformed("graph spec needs a `nodes` array"))?;
+    if nodes.len() > MAX_SPEC_NODES {
+        return Err(GraphSpecError::TooLarge { nodes: nodes.len() });
+    }
+    let nodes = nodes.iter().map(parse_node).collect::<Result<Vec<NodeSpec>, GraphSpecError>>()?;
+    let outputs = value
+        .get("outputs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| malformed("graph spec needs an `outputs` array"))?
+        .iter()
+        .map(|o| {
+            o.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| malformed("`outputs` must contain node names"))
+        })
+        .collect::<Result<Vec<String>, GraphSpecError>>()?;
+    Ok(GraphSpec { nodes, outputs })
+}
+
+/// [`parse_graph_spec`] over raw JSON text.
+///
+/// # Errors
+///
+/// [`GraphSpecError::Malformed`] for JSON syntax errors, plus every shape
+/// error of [`parse_graph_spec`].
+pub fn graph_spec_from_str(text: &str) -> Result<GraphSpec, GraphSpecError> {
+    let value = json::parse(text).map_err(|e| malformed(format!("bad JSON: {e}")))?;
+    parse_graph_spec(&value)
+}
+
+fn push_float_array(w: &mut JsonWriter, key: &str, values: &[f64]) {
+    let rendered: Vec<String> = values.iter().map(|v| format!("{v:e}")).collect();
+    w.field_raw(key, &format!("[{}]", rendered.join(",")));
+}
+
+/// Renders the canonical single-line JSON form: fixed field order, floats
+/// in `{:e}` (shortest round trip — string equality is bit equality),
+/// optional fields omitted at their defaults, no whitespace. This text is
+/// the hashing and equality domain of [`GraphScenario`].
+pub fn canonical_json(spec: &GraphSpec) -> String {
+    let nodes: Vec<String> = spec
+        .nodes
+        .iter()
+        .map(|node| {
+            let mut w = JsonWriter::new();
+            w.field_str("name", &node.name);
+            w.field_str("block", node.block.kind());
+            match &node.block {
+                BlockSpec::Input | BlockSpec::Add => {}
+                BlockSpec::Gain { gain } => w.field_f64("gain", *gain),
+                BlockSpec::Delay { samples } => w.field_usize("samples", *samples),
+                BlockSpec::Fir { taps } => push_float_array(&mut w, "taps", taps),
+                BlockSpec::Iir { b, a } => {
+                    push_float_array(&mut w, "b", b);
+                    push_float_array(&mut w, "a", a);
+                }
+                BlockSpec::Downsample { factor } => w.field_usize("factor", *factor),
+                BlockSpec::Upsample { factor } => w.field_usize("factor", *factor),
+            }
+            if !node.inputs.is_empty() {
+                let inputs: Vec<String> = node.inputs.iter().map(|i| json::escape_str(i)).collect();
+                w.field_raw("inputs", &format!("[{}]", inputs.join(",")));
+            }
+            if node.role != NodeRole::Auto {
+                w.field_str("role", node.role.name());
+            }
+            w.finish()
+        })
+        .collect();
+    let outputs: Vec<String> = spec.outputs.iter().map(|o| json::escape_str(o)).collect();
+    let mut w = JsonWriter::new();
+    w.field_raw("nodes", &format!("[{}]", nodes.join(",")));
+    w.field_raw("outputs", &format!("[{}]", outputs.join(",")));
+    w.finish()
+}
+
+/// A runtime-defined scenario: a validated [`GraphSpec`] plus its
+/// canonical text and content hash.
+///
+/// Identity is the **content hash** — the optional registration name is
+/// display/addressing metadata only, so a renamed re-registration of the
+/// same graph shares every cache entry and store record with the
+/// original, and equality ignores the name.
+#[derive(Debug, Clone)]
+pub struct GraphScenario {
+    name: Option<Arc<str>>,
+    spec: Arc<GraphSpec>,
+    canonical: Arc<str>,
+    hash: Arc<str>,
+}
+
+impl PartialEq for GraphScenario {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical == other.canonical
+    }
+}
+
+impl GraphScenario {
+    /// Validates `spec` (a full compile, so structurally broken specs are
+    /// rejected at definition time, not at first evaluation) and computes
+    /// its canonical form and content hash.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::EngineError::GraphSpec`] with the typed defect.
+    pub fn new(spec: GraphSpec, name: Option<String>) -> Result<Self, crate::EngineError> {
+        spec.compile()?;
+        let canonical = canonical_json(&spec);
+        let hash = content_hash(&canonical);
+        Ok(GraphScenario {
+            name: name.map(Into::into),
+            spec: Arc::new(spec),
+            canonical: canonical.into(),
+            hash: hash.into(),
+        })
+    }
+
+    /// [`GraphScenario::new`] over raw JSON text.
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphScenario::new`] and [`graph_spec_from_str`].
+    pub fn from_json(text: &str, name: Option<String>) -> Result<Self, crate::EngineError> {
+        Self::new(graph_spec_from_str(text)?, name)
+    }
+
+    /// The registration name, if the scenario was defined with one.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &GraphSpec {
+        &self.spec
+    }
+
+    /// The canonical JSON text (hashing/equality domain).
+    pub fn canonical_json(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 32-hex-character content hash.
+    pub fn hash(&self) -> &str {
+        &self.hash
+    }
+
+    /// The canonical scenario key: `graph[<hash>]`. Content-addressed, so
+    /// it is stable across registration names, processes, and machines.
+    pub fn key(&self) -> String {
+        format!("graph[{}]", self.hash)
+    }
+
+    /// Nodes the spec declares exact (word-length-plan exemptions).
+    pub fn exact_nodes(&self) -> Vec<NodeId> {
+        self.spec.exact_nodes()
+    }
+
+    /// A copy registered under `name` (content identity unchanged).
+    pub fn named(&self, name: &str) -> Self {
+        GraphScenario { name: Some(name.into()), ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_sfg::NodeSpec;
+
+    fn demo() -> GraphSpec {
+        GraphSpec {
+            nodes: vec![
+                NodeSpec::new("x", BlockSpec::Input, &[]),
+                NodeSpec::new("lp", BlockSpec::Fir { taps: vec![0.5, 0.25, -0.125] }, &["x"]),
+                NodeSpec::new("d2", BlockSpec::Downsample { factor: 2 }, &["lp"]),
+                NodeSpec::new("u2", BlockSpec::Upsample { factor: 2 }, &["d2"]),
+                NodeSpec {
+                    name: "post".to_string(),
+                    block: BlockSpec::Gain { gain: 0.5 },
+                    inputs: vec!["u2".to_string()],
+                    role: NodeRole::Exact,
+                },
+            ],
+            outputs: vec!["post".to_string()],
+        }
+    }
+
+    #[test]
+    fn canonical_round_trip_is_a_fixpoint() {
+        let spec = demo();
+        let text = canonical_json(&spec);
+        let back = graph_spec_from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(canonical_json(&back), text, "serialize∘parse is identity on canonical text");
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_field_reordering() {
+        let text = r#"{ "outputs": ["g"],
+                       "nodes": [ {"inputs": [], "block": "input", "name": "x"},
+                                  {"name":"g","inputs":["x"],"gain": 2.5,"block":"gain"} ] }"#;
+        let spec = graph_spec_from_str(text).unwrap();
+        assert_eq!(spec.nodes.len(), 2);
+        assert_eq!(spec.nodes[1].block, BlockSpec::Gain { gain: 2.5 });
+        // Non-canonical input canonicalizes to the same text as the value.
+        assert_eq!(canonical_json(&spec), canonical_json(&graph_spec_from_str(text).unwrap()));
+    }
+
+    #[test]
+    fn malformations_are_typed_errors() {
+        for (text, check) in [
+            ("[]", "object"),
+            ("{\"nodes\":3,\"outputs\":[]}", "nodes"),
+            ("{\"nodes\":[],\"bogus\":1,\"outputs\":[]}", "bogus"),
+            ("{\"nodes\":[{\"block\":\"gain\"}],\"outputs\":[]}", "name"),
+            ("{\"nodes\":[{\"name\":\"x\"}],\"outputs\":[]}", "block"),
+            ("not json at all", "JSON"),
+        ] {
+            let err = graph_spec_from_str(text).unwrap_err();
+            assert!(err.to_string().contains(check), "`{text}` -> {err}");
+        }
+        // Unknown block kind and bad role are their own variants.
+        assert!(matches!(
+            graph_spec_from_str(r#"{"nodes":[{"name":"x","block":"warp"}],"outputs":["x"]}"#),
+            Err(GraphSpecError::UnknownBlock { .. })
+        ));
+        assert!(matches!(
+            graph_spec_from_str(
+                r#"{"nodes":[{"name":"x","block":"input","role":"fuzzy"}],"outputs":["x"]}"#
+            ),
+            Err(GraphSpecError::BadParameter { .. })
+        ));
+        // Stray parameters for the declared kind are rejected (a typoed
+        // field must not silently fall back to a default).
+        assert!(matches!(
+            graph_spec_from_str(
+                r#"{"nodes":[{"name":"x","block":"input","factor":2}],"outputs":["x"]}"#
+            ),
+            Err(GraphSpecError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn hash_is_content_addressed_and_name_blind() {
+        let a = GraphScenario::new(demo(), None).unwrap();
+        let b = GraphScenario::new(demo(), Some("codec".to_string())).unwrap();
+        assert_eq!(a, b, "name does not affect identity");
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a.key(), format!("graph[{}]", a.hash()));
+        assert_eq!(a.hash().len(), 32);
+
+        let mut other = demo();
+        other.nodes[1].block = BlockSpec::Fir { taps: vec![0.5, 0.25, -0.1875] };
+        let c = GraphScenario::new(other, None).unwrap();
+        assert_ne!(a.hash(), c.hash(), "one tap changed, new identity");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn definition_time_validation_rejects_broken_specs() {
+        let mut broken = demo();
+        broken.outputs = vec!["nope".to_string()];
+        assert!(GraphScenario::new(broken, None).is_err());
+        assert!(GraphScenario::from_json("{\"nodes\":[]}", None).is_err());
+    }
+
+    #[test]
+    fn exact_roles_survive_the_wire() {
+        let a = GraphScenario::new(demo(), None).unwrap();
+        let back = GraphScenario::from_json(a.canonical_json(), None).unwrap();
+        assert_eq!(back.exact_nodes(), vec![NodeId(4)]);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn floats_hash_bit_exactly() {
+        let mut spec = demo();
+        spec.nodes[1].block = BlockSpec::Fir { taps: vec![1.0 / 3.0, 2.5e-300] };
+        let a = GraphScenario::new(spec, None).unwrap();
+        let b = GraphScenario::from_json(a.canonical_json(), None).unwrap();
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert_eq!(a.hash(), b.hash());
+    }
+}

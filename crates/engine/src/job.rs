@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use psdacc_core::{greedy_refinement, minimum_uniform_wordlength};
+use psdacc_core::{greedy_refinement_from, minimum_uniform_wordlength_from};
 use psdacc_core::{metrics, AccuracyEvaluator, Method, WordLengthPlan};
 use psdacc_fixed::RoundingMode;
 use psdacc_sim::SimulationPlan;
@@ -88,6 +88,17 @@ pub struct JobSpec {
     pub rounding: RoundingMode,
     /// The computation.
     pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// The uniform word-length plan this job evaluates at `frac_bits`,
+    /// honoring the scenario's word-length-plan roles (graph-scenario
+    /// nodes declared `exact` carry no quantizer; builtin scenarios have
+    /// none, so their plans are the plain uniform plan as always).
+    pub fn plan(&self, frac_bits: i32) -> WordLengthPlan {
+        WordLengthPlan::uniform(frac_bits, self.rounding)
+            .with_exact_nodes(self.scenario.exact_nodes())
+    }
 }
 
 /// Flat result record of one job (JSON-lines friendly).
@@ -236,7 +247,7 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
     match spec.kind {
         JobKind::Estimate { method, frac_bits } => {
             out.frac_bits = Some(frac_bits);
-            let plan = WordLengthPlan::uniform(frac_bits, spec.rounding);
+            let plan = spec.plan(frac_bits);
             let estimate = match method {
                 Method::PsdMethod => Ok(evaluator.estimate_psd(&plan)),
                 Method::PsdAgnostic => {
@@ -260,7 +271,16 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
         }
         JobKind::GreedyRefine { budget, start_bits, min_bits } => {
             let t0 = Instant::now();
-            let result = greedy_refinement(&evaluator, budget, spec.rounding, start_bits, min_bits);
+            // The template plan carries the scenario's exact-node roles, so
+            // refinement and the estimate jobs of the same scenario agree
+            // on which nodes are noise sources.
+            let result = greedy_refinement_from(
+                &evaluator,
+                budget,
+                &spec.plan(start_bits),
+                start_bits,
+                min_bits,
+            );
             out.tau_eval_seconds = t0.elapsed().as_secs_f64();
             out.power = Some(result.noise_power);
             out.total_bits = Some(result.total_bits);
@@ -268,8 +288,13 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
         }
         JobKind::MinUniform { budget, min_bits, max_bits } => {
             let t0 = Instant::now();
-            let d =
-                minimum_uniform_wordlength(&evaluator, budget, spec.rounding, min_bits, max_bits);
+            let d = minimum_uniform_wordlength_from(
+                &evaluator,
+                budget,
+                &spec.plan(min_bits),
+                min_bits,
+                max_bits,
+            );
             out.tau_eval_seconds = t0.elapsed().as_secs_f64();
             match d {
                 Some(d) => out.min_frac_bits = Some(d),
@@ -283,7 +308,7 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
                 out.error = Some("simulate needs at least one trial".to_string());
                 return out;
             }
-            let plan = WordLengthPlan::uniform(frac_bits, spec.rounding);
+            let plan = spec.plan(frac_bits);
             let t0 = Instant::now();
             // Fixed trial count with per-trial derived seeds: deterministic
             // regardless of which worker (or machine) runs the job.

@@ -8,10 +8,16 @@
 //! word-length configuration costs only a cheap spectral sum. A word-length
 //! exploration campaign therefore wants three things this crate provides:
 //!
-//! * a **scenario registry** ([`scenario`]) — named, parameterized
-//!   generators for every system family in the workspace (Table I filter
-//!   banks, FIR/IIR cascades, the Fig. 2 frequency filter, CDF 9/7 wavelet
-//!   pipelines, seeded random SFGs), so workloads are declared as data;
+//! * an **open scenario API** ([`scenario`], [`provider`], [`graphspec`])
+//!   — named, parameterized generators for every builtin system family
+//!   (Table I filter banks, FIR/IIR cascades, the Fig. 2 frequency filter,
+//!   CDF 9/7 wavelet pipelines, decimated codecs, seeded random SFGs)
+//!   behind a [`ScenarioProvider`] registry, plus **runtime-defined**
+//!   scenarios: any [`psdacc_sfg::GraphSpec`] is a scenario, inline in
+//!   spec files (`scenario graph={...}`) or registered by name
+//!   ([`ScenarioRegistry::define_graph`] — the serve `define_scenario`
+//!   verb), identified everywhere by the content hash of its canonical
+//!   JSON;
 //! * a **work-stealing job pool** ([`pool`]) on plain `std::thread` +
 //!   channels, because job costs are wildly non-uniform (a cache miss pays
 //!   a whole preprocessing pass, a hit pays microseconds);
@@ -50,9 +56,11 @@ pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod graphspec;
 pub mod job;
 pub mod json;
 pub mod pool;
+pub mod provider;
 pub mod scenario;
 pub mod units;
 
@@ -60,9 +68,13 @@ pub use batch::{demo_spec, BatchSpec};
 pub use cache::{CacheStats, EvaluatorCache, FillSource, PreprocessCache, ScenarioCacheStats};
 pub use engine::{BatchReport, Engine};
 pub use error::EngineError;
+pub use graphspec::{canonical_json, graph_spec_from_str, GraphScenario};
 pub use job::{JobKind, JobResult, JobSpec};
 pub use pool::PoolStats;
-pub use scenario::{RegistryEntry, Scenario, REGISTRY};
+pub use provider::{
+    BuiltinProvider, FamilyInfo, GraphProvider, ParamSpec, ScenarioProvider, ScenarioRegistry,
+};
+pub use scenario::Scenario;
 pub use units::{Units, WorkUnit};
 
 // The engine shares evaluators across worker threads; if a refactor ever

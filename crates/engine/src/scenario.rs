@@ -1,5 +1,5 @@
-//! The scenario registry: named, parameterized generators for every system
-//! family in the workspace.
+//! Scenario values: named, parameterized generators for every system
+//! family in the workspace, plus runtime-defined graph scenarios.
 //!
 //! A [`Scenario`] is a *value* describing a system — workloads are declared
 //! as data (CLI spec lines, test tables) instead of hand-built graphs. Every
@@ -7,7 +7,16 @@
 //! them run through the one shared [`psdacc_core::AccuracyEvaluator`]
 //! front-end and its cached preprocessing.
 //!
-//! Families:
+//! The scenario space is **open**: besides the builtin families below
+//! (served by [`crate::provider::BuiltinProvider`]), any system expressible
+//! as a [`psdacc_sfg::GraphSpec`] is a scenario — inline in a batch spec
+//! (`scenario graph={...}`), or registered under a name at runtime (the
+//! `define_scenario` wire verb; [`crate::provider::ScenarioRegistry`]).
+//! Graph scenarios are identified by the content hash of their canonical
+//! JSON, so caches, persisted preprocessing, and result streams agree on
+//! their identity across processes and machines.
+//!
+//! Builtin families:
 //!
 //! | name            | source crate                    | parameters |
 //! |-----------------|---------------------------------|------------|
@@ -37,6 +46,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::EngineError;
+use crate::graphspec::GraphScenario;
+use crate::provider::ScenarioRegistry;
 
 /// A named, parameterized system generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +108,12 @@ pub enum Scenario {
         /// Generator seed.
         seed: u64,
     },
+    /// A runtime-defined declarative graph ([`psdacc_sfg::GraphSpec`]),
+    /// identified by the content hash of its canonical JSON. Inline in
+    /// specs as `graph={...}`, or registered under a name via
+    /// [`ScenarioRegistry::define_graph`] / the serve `define_scenario`
+    /// verb.
+    Graph(GraphScenario),
 }
 
 impl Scenario {
@@ -119,6 +136,17 @@ impl Scenario {
             Scenario::RandomSfg { nodes, seed } => {
                 format!("random-sfg[nodes={nodes},seed={seed}]")
             }
+            Scenario::Graph(g) => g.key(),
+        }
+    }
+
+    /// Nodes a word-length plan must leave unquantized (role `exact` in a
+    /// graph scenario's spec; always empty for builtin families). Node ids
+    /// refer to the graph [`Scenario::build`] returns.
+    pub fn exact_nodes(&self) -> Vec<psdacc_sfg::NodeId> {
+        match self {
+            Scenario::Graph(g) => g.exact_nodes(),
+            _ => Vec::new(),
         }
     }
 
@@ -155,6 +183,8 @@ impl Scenario {
             Scenario::RandomSfg { nodes, .. } => {
                 check((1..=256).contains(&nodes), "random-sfg nodes must be 1..=256")
             }
+            // Graph scenarios are validated (full compile) at construction.
+            Scenario::Graph(_) => Ok(()),
         }
     }
 
@@ -211,6 +241,7 @@ impl Scenario {
             }
             Scenario::DwtPacket { depth } => Ok(psdacc_systems::dwt_decimated::packet_bank(depth)?),
             Scenario::RandomSfg { nodes, seed } => build_random_sfg(nodes, seed),
+            Scenario::Graph(ref g) => g.spec().compile().map_err(EngineError::from),
         }
     }
 
@@ -219,6 +250,12 @@ impl Scenario {
     /// [`Scenario::parse_spec_line`] to an identical scenario (`f64`
     /// `Display` is shortest-round-trip, so float parameters survive
     /// bit-exactly).
+    ///
+    /// Graph scenarios render as their registration name when they have
+    /// one (the receiving daemon resolves it against its registry — which
+    /// is why `psdacc-sched` forwards definitions to every daemon before
+    /// streaming units), and as self-contained inline `graph={...}` JSON
+    /// otherwise.
     pub fn to_spec_line(&self) -> String {
         match self {
             Scenario::FirBank { index } => format!("fir-bank index={index}"),
@@ -236,171 +273,38 @@ impl Scenario {
             Scenario::RandomSfg { nodes, seed } => {
                 format!("random-sfg nodes={nodes} seed={seed}")
             }
+            Scenario::Graph(g) => match g.name() {
+                Some(name) => name.to_string(),
+                None => format!("graph={}", g.canonical_json()),
+            },
         }
     }
 
     /// Parses one concrete scenario from `name key=value ...` text (no
-    /// sweep syntax — that lives in batch specs).
+    /// sweep syntax — that lives in batch specs), against the default
+    /// provider set: the builtin families plus inline `graph={...}` JSON.
+    /// Named dynamic scenarios need a populated registry — use
+    /// [`ScenarioRegistry::parse_spec_line`].
     ///
     /// # Errors
     ///
-    /// [`EngineError::Scenario`] on malformed tokens or invalid scenarios.
+    /// [`EngineError::Scenario`] on malformed tokens or invalid scenarios,
+    /// [`EngineError::GraphSpec`] for defective inline graphs.
     pub fn parse_spec_line(text: &str) -> Result<Self, EngineError> {
-        let mut tokens = text.split_whitespace();
-        let name = tokens
-            .next()
-            .ok_or_else(|| EngineError::Scenario("empty scenario spec".to_string()))?;
-        let mut params = BTreeMap::new();
-        for token in tokens {
-            let (k, v) = token.split_once('=').ok_or_else(|| {
-                EngineError::Scenario(format!("expected key=value, got `{token}`"))
-            })?;
-            if params.insert(k.to_string(), v.to_string()).is_some() {
-                return Err(EngineError::Scenario(format!("duplicate key `{k}`")));
-            }
-        }
-        Scenario::parse(name, &params)
+        ScenarioRegistry::new().parse_spec_line(text)
     }
 
-    /// Parses `name key=value ...` tokens (the batch-spec scenario syntax).
+    /// Parses `name key=value ...` tokens (the batch-spec scenario syntax)
+    /// against the default provider set — see [`Scenario::parse_spec_line`].
     ///
     /// # Errors
     ///
     /// [`EngineError::Scenario`] on unknown names, unknown/missing keys, or
     /// malformed values.
     pub fn parse(name: &str, params: &BTreeMap<String, String>) -> Result<Self, EngineError> {
-        let get_usize = |key: &str, default: Option<usize>| -> Result<usize, EngineError> {
-            match params.get(key) {
-                Some(v) => v.parse().map_err(|_| {
-                    EngineError::Scenario(format!("{name}: `{key}` must be an integer, got `{v}`"))
-                }),
-                None => default.ok_or_else(|| {
-                    EngineError::Scenario(format!("{name}: missing required parameter `{key}`"))
-                }),
-            }
-        };
-        let get_f64 = |key: &str, default: f64| -> Result<f64, EngineError> {
-            match params.get(key) {
-                Some(v) => v.parse().map_err(|_| {
-                    EngineError::Scenario(format!("{name}: `{key}` must be a number, got `{v}`"))
-                }),
-                None => Ok(default),
-            }
-        };
-        let allowed: &[&str] = match name {
-            "fir-bank" | "iir-bank" => &["index"],
-            "fir-cascade" => &["stages", "taps", "cutoff"],
-            "iir-cascade" => &["stages", "order", "cutoff"],
-            "freq-filter" => &[],
-            "dwt-pipeline" => &["levels"],
-            "dwt-decimated" => &["levels"],
-            "dwt-packet" => &["depth"],
-            "random-sfg" => &["nodes", "seed"],
-            other => {
-                return Err(EngineError::Scenario(format!(
-                    "unknown scenario `{other}`; known: {}",
-                    REGISTRY.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
-                )))
-            }
-        };
-        for key in params.keys() {
-            if !allowed.contains(&key.as_str()) {
-                return Err(EngineError::Scenario(format!(
-                    "{name}: unknown parameter `{key}` (allowed: {})",
-                    if allowed.is_empty() { "none".to_string() } else { allowed.join(", ") }
-                )));
-            }
-        }
-        let scenario = match name {
-            "fir-bank" => Scenario::FirBank { index: get_usize("index", None)? },
-            "iir-bank" => Scenario::IirBank { index: get_usize("index", None)? },
-            "fir-cascade" => Scenario::FirCascade {
-                stages: get_usize("stages", Some(2))?,
-                taps: get_usize("taps", Some(31))?,
-                cutoff: get_f64("cutoff", 0.2)?,
-            },
-            "iir-cascade" => Scenario::IirCascade {
-                stages: get_usize("stages", Some(2))?,
-                order: get_usize("order", Some(4))?,
-                cutoff: get_f64("cutoff", 0.2)?,
-            },
-            "freq-filter" => Scenario::FreqFilter,
-            "dwt-pipeline" => Scenario::DwtPipeline { levels: get_usize("levels", Some(2))? },
-            "dwt-decimated" => Scenario::DwtDecimated { levels: get_usize("levels", Some(2))? },
-            "dwt-packet" => Scenario::DwtPacket { depth: get_usize("depth", Some(2))? },
-            "random-sfg" => Scenario::RandomSfg {
-                nodes: get_usize("nodes", Some(12))?,
-                seed: get_usize("seed", Some(1))? as u64,
-            },
-            _ => unreachable!("name validated above"),
-        };
-        // Range errors surface at parse time (with the spec's line number);
-        // the full graph build is deferred to the evaluator cache so design
-        // work is not paid twice per scenario.
-        scenario.validate()?;
-        Ok(scenario)
+        ScenarioRegistry::new().parse(name, params)
     }
 }
-
-/// One registry entry (for `psdacc-engine scenarios` and docs).
-#[derive(Debug, Clone, Copy)]
-pub struct RegistryEntry {
-    /// Scenario family name as written in batch specs.
-    pub name: &'static str,
-    /// Parameter list with defaults.
-    pub params: &'static str,
-    /// One-line description.
-    pub description: &'static str,
-}
-
-/// The scenario families the engine knows about.
-pub const REGISTRY: &[RegistryEntry] = &[
-    RegistryEntry {
-        name: "fir-bank",
-        params: "index (required, 0..147)",
-        description: "one FIR of the paper's Table I population",
-    },
-    RegistryEntry {
-        name: "iir-bank",
-        params: "index (required, 0..147)",
-        description: "one IIR of the paper's Table I population",
-    },
-    RegistryEntry {
-        name: "fir-cascade",
-        params: "stages=2 taps=31 cutoff=0.2",
-        description: "chain of identical lowpass FIR stages",
-    },
-    RegistryEntry {
-        name: "iir-cascade",
-        params: "stages=2 order=4 cutoff=0.2",
-        description: "chain of identical Butterworth IIR stages",
-    },
-    RegistryEntry {
-        name: "freq-filter",
-        params: "(none)",
-        description: "Fig. 2 band-pass chain (prefilter + highpass)",
-    },
-    RegistryEntry {
-        name: "dwt-pipeline",
-        params: "levels=2",
-        description: "undecimated CDF 9/7 analysis/synthesis pipeline",
-    },
-    RegistryEntry {
-        name: "dwt-decimated",
-        params: "levels=2",
-        description: "decimated CDF 9/7 octave codec (true multirate; npsd divisible by 2^levels)",
-    },
-    RegistryEntry {
-        name: "dwt-packet",
-        params: "depth=2",
-        description: "decimated CDF 9/7 wavelet-packet bank (2^depth uniform subbands)",
-    },
-    RegistryEntry {
-        name: "random-sfg",
-        params: "nodes=12 seed=1",
-        description: "seeded random chain-with-forks DAG",
-    },
-];
 
 fn check(cond: bool, msg: &str) -> Result<(), EngineError> {
     if cond {
@@ -505,14 +409,17 @@ mod tests {
     }
 
     #[test]
-    fn every_registry_entry_parses_with_defaults() {
-        for entry in REGISTRY {
-            let p =
-                if entry.name.ends_with("-bank") { params(&[("index", "3")]) } else { params(&[]) };
-            let s =
-                Scenario::parse(entry.name, &p).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+    fn every_builtin_family_parses_with_defaults() {
+        for family in ScenarioRegistry::new().families() {
+            let p = if family.name.ends_with("-bank") {
+                params(&[("index", "3")])
+            } else {
+                params(&[])
+            };
+            let s = Scenario::parse(&family.name, &p)
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name));
             let g = s.build().expect("default scenario builds");
-            assert!(!g.outputs().is_empty(), "{}: output marked", entry.name);
+            assert!(!g.outputs().is_empty(), "{}: output marked", family.name);
         }
     }
 
@@ -577,6 +484,15 @@ mod tests {
             Scenario::DwtDecimated { levels: 3 },
             Scenario::DwtPacket { depth: 2 },
             Scenario::RandomSfg { nodes: 12, seed: 99 },
+            Scenario::Graph(
+                crate::graphspec::GraphScenario::from_json(
+                    r#"{"nodes":[{"name":"x","block":"input"},
+                                 {"name":"g","block":"gain","gain":0.7,"inputs":["x"]}],
+                        "outputs":["g"]}"#,
+                    None,
+                )
+                .unwrap(),
+            ),
         ];
         for s in all {
             let line = s.to_spec_line();

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! psdacc-sched submit --daemons HOST:PORT[,HOST:PORT...] SPECFILE
-//!                     [--static] [--window-factor N] [--timeout-seconds N]
-//!                     [--stats-json PATH]
+//!                     [--graph NAME=FILE]... [--static] [--window-factor N]
+//!                     [--timeout-seconds N] [--stats-json PATH]
 //! ```
 //!
 //! Expands a batch spec locally and dispatches it across the daemons with
@@ -15,29 +15,39 @@
 //! stats line (steal / re-dispatch counters, per-daemon accounting) goes
 //! to stderr, or to `--stats-json PATH` for scripts. `--static` falls
 //! back to `psdacc-serve`'s round-robin sharding.
+//!
+//! `--graph NAME=FILE` (repeatable) registers a declarative `GraphSpec`
+//! JSON file as a named scenario: locally (so the spec parses) and on
+//! **every** daemon via `define_scenario` before any unit streams — work
+//! stealing may hand any unit to any daemon, so definitions must be
+//! fleet-wide.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use psdacc_engine::BatchSpec;
+use psdacc_engine::{BatchSpec, ScenarioRegistry};
 use psdacc_sched::{run_fleet, FleetConfig};
 use psdacc_serve::client;
 
 const USAGE: &str = "usage:
   psdacc-sched submit --daemons HOST:PORT[,HOST:PORT...] SPECFILE
-                      [--static] [--window-factor N] [--timeout-seconds N] [--stats-json PATH]
+                      [--graph NAME=FILE]... [--static] [--window-factor N]
+                      [--timeout-seconds N] [--stats-json PATH]
 
 Dispatches a batch spec across psdacc-serve daemons with pull-based work
 stealing: per-daemon in-flight windows sized by advertised capacity,
 idle daemons stealing stragglers' queued units, dead daemons' units
 retried once elsewhere, results merged back in submission order
 (bit-identical to a single-process run). --static uses the legacy
-round-robin sharding instead.
+round-robin sharding instead. --graph NAME=FILE (repeatable) registers a
+GraphSpec JSON file as scenario NAME locally and on every daemon
+(define_scenario) before units stream.
 ";
 
 struct SubmitArgs {
     daemons: Vec<String>,
     spec_path: String,
+    graphs: Vec<String>,
     static_shard: bool,
     window_factor: usize,
     timeout: Duration,
@@ -72,6 +82,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
     let mut window_factor = 2usize;
     let mut timeout = Duration::from_secs(30);
     let mut stats_json = None;
+    let mut graphs: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let token = args[i].as_str();
@@ -104,9 +115,10 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
                 );
             }
             "--stats-json" => stats_json = Some(value("--stats-json")?),
+            "--graph" => graphs.push(value("--graph")?),
             other if other.starts_with("--") => {
                 return Err(format!(
-                    "unknown argument `{other}` (allowed: --daemons, --static, \
+                    "unknown argument `{other}` (allowed: --daemons, --graph, --static, \
                      --window-factor, --timeout-seconds, --stats-json)"
                 ));
             }
@@ -128,7 +140,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
             .to_string());
     }
     let spec_path = spec_path.ok_or("submit needs a SPECFILE")?;
-    Ok(SubmitArgs { daemons, spec_path, static_shard, window_factor, timeout, stats_json })
+    Ok(SubmitArgs { daemons, spec_path, graphs, static_shard, window_factor, timeout, stats_json })
 }
 
 fn cmd_submit(args: &SubmitArgs) -> ExitCode {
@@ -139,7 +151,15 @@ fn cmd_submit(args: &SubmitArgs) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec = match BatchSpec::parse(&text) {
+    let registry = ScenarioRegistry::new();
+    let definitions = match registry.define_graph_files(&args.graphs) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match BatchSpec::parse_with(&text, &registry) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{}: {e}", args.spec_path);
@@ -155,6 +175,12 @@ fn cmd_submit(args: &SubmitArgs) -> ExitCode {
     }
     let stdout = std::io::stdout();
     if args.static_shard {
+        // Static sharding has no handshake phase; register definitions on
+        // every worker up front instead.
+        if let Err(e) = client::define_scenarios(&args.daemons, &definitions) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
         let outcome = {
             let mut out = stdout.lock();
             client::submit_streaming(&args.daemons, &jobs, |line| {
@@ -182,7 +208,8 @@ fn cmd_submit(args: &SubmitArgs) -> ExitCode {
             }
         };
     }
-    let config = FleetConfig { window_factor: args.window_factor, ..FleetConfig::default() };
+    let config =
+        FleetConfig { window_factor: args.window_factor, definitions, ..FleetConfig::default() };
     let outcome = {
         let mut out = stdout.lock();
         run_fleet(&args.daemons, &jobs, &config, |line| {

@@ -28,8 +28,10 @@ use std::time::Duration;
 
 use psdacc_engine::json::{self, Json, JsonWriter};
 use psdacc_engine::JobSpec;
-use psdacc_serve::protocol::{job_request_line, read_capped_line};
-use psdacc_serve::{client, PROTOCOL_REVISION};
+use psdacc_serve::protocol::{
+    define_request_line, job_request_line, parse_define_ack, read_capped_line,
+};
+use psdacc_serve::{client, ScenarioDefinition, PROTOCOL_REVISION};
 
 use crate::error::SchedError;
 use crate::queue::{FleetQueue, QueueCounters, Unit};
@@ -44,11 +46,22 @@ pub struct FleetConfig {
     /// Per-candidate TCP connect bound and `hello` reply deadline — an
     /// unreachable daemon is a fast, named setup error, never a hang.
     pub connect_timeout: Duration,
+    /// Named graph definitions forwarded to **every** daemon (via
+    /// `define_scenario`) during the handshake, before any unit streams.
+    /// Work stealing and death re-dispatch may hand any unit to any
+    /// daemon, so a unit referencing a runtime-defined scenario by name
+    /// must resolve on the whole fleet — forwarding up front is what
+    /// makes that unconditional.
+    pub definitions: Vec<ScenarioDefinition>,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        FleetConfig { window_factor: 2, connect_timeout: Duration::from_secs(5) }
+        FleetConfig {
+            window_factor: 2,
+            connect_timeout: Duration::from_secs(5),
+            definitions: Vec::new(),
+        }
     }
 }
 
@@ -314,8 +327,27 @@ fn connect_daemon(addr: &str, config: &FleetConfig) -> Result<DaemonLink, SchedE
         if protocol < PROTOCOL_REVISION as u64 {
             return Err(SchedError::Protocol(format!(
                 "{addr}: daemon speaks protocol {protocol}, coordinator needs \
-                 {PROTOCOL_REVISION} (evaluate_units)"
+                 {PROTOCOL_REVISION} (evaluate_units, define_scenario)"
             )));
+        }
+    }
+    // Forward every named graph definition before any unit may reference
+    // it — still under the handshake read deadline, so a daemon that
+    // swallows definitions without answering is a fast, named error.
+    if !config.definitions.is_empty() {
+        {
+            let mut writer = BufWriter::new(&stream);
+            for (name, json) in &config.definitions {
+                writeln!(writer, "{}", define_request_line(name, json))?;
+            }
+            writer.flush()?;
+        }
+        for (name, _) in &config.definitions {
+            let line = read_capped_line(&mut reader)?.ok_or_else(|| {
+                SchedError::Protocol(format!("{addr}: closed before acknowledging `{name}`"))
+            })?;
+            parse_define_ack(line.trim_end())
+                .map_err(|e| SchedError::Protocol(format!("{addr}: define `{name}`: {e}")))?;
         }
     }
     // Unit execution may legitimately take long (cold preprocessing).

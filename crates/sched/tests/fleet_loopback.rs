@@ -191,3 +191,80 @@ fn single_daemon_fleet_is_complete_and_identical() {
     assert_eq!(outcome.stats.daemons[0].served, expected.len());
     daemon.shutdown();
 }
+
+/// The open-scenario-API acceptance shape at the fleet layer: a
+/// runtime-defined `GraphSpec` scenario, forwarded to **every** daemon via
+/// the coordinator's handshake (`FleetConfig::definitions`), evaluates
+/// across a skewed 2-daemon fleet bit-identically to a local
+/// single-process run — stealing and all, since any daemon may end up
+/// serving a unit that names the dynamic scenario.
+#[test]
+fn defined_graph_scenario_runs_bit_identically_across_the_fleet() {
+    const GRAPH: &str = r#"{"nodes":[{"name":"x","block":"input"},
+        {"name":"h","block":"fir","taps":[0.35,0.35,0.2,0.1],"inputs":["x"]},
+        {"name":"d2","block":"downsample","factor":2,"inputs":["h"]},
+        {"name":"u2","block":"upsample","factor":2,"inputs":["d2"]},
+        {"name":"g","block":"fir","taps":[0.6,0.4],"inputs":["u2"]}],
+        "outputs":["g"]}"#;
+    const DYN_SPEC: &str = "scenario fleet-codec\n\
+                            scenario fir-cascade stages=1 taps=9 cutoff=0.3\n\
+                            batch npsd=64 bits=6..13 methods=psd\n\
+                            simulate npsd=64 bits=8 samples=1024 nfft=32 seed=3 trials=1\n";
+
+    // Local reference through the same registry mechanics.
+    let registry = psdacc_engine::ScenarioRegistry::new();
+    let defined = registry.define_graph_json("fleet-codec", GRAPH).unwrap();
+    let spec = BatchSpec::parse_with(DYN_SPEC, &registry).unwrap();
+    let expected = expected_lines(&spec);
+
+    // Skewed fleet (stealing inevitable) with the definition forwarded at
+    // handshake time.
+    let slow = spawn_daemon(
+        1,
+        ServerConfig { chaos_unit_delay: Duration::from_millis(20), ..ServerConfig::default() },
+    );
+    let fast = spawn_daemon(2, ServerConfig::default());
+    let daemons = vec![slow.addr().to_string(), fast.addr().to_string()];
+    let config = FleetConfig {
+        definitions: vec![("fleet-codec".to_string(), defined.canonical_json().to_string())],
+        ..FleetConfig::default()
+    };
+    let outcome = run_fleet(&daemons, &spec.jobs(), &config, |_line| {}).unwrap();
+
+    assert_eq!(outcome.stats.failed, 0, "{:?}", outcome.stats);
+    assert_eq!(outcome.lines.len(), expected.len());
+    for (got, want) in outcome.lines.iter().zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    assert!(outcome.stats.steals > 0, "skew forces steals: {:?}", outcome.stats);
+    assert!(outcome.stats.daemons.iter().all(|d| d.served > 0), "{:?}", outcome.stats);
+    // Dynamic-scenario rows really flowed through the fleet, keyed by hash.
+    let dynamic_rows = outcome.lines.iter().filter(|l| l.contains(&defined.key())).count();
+    assert_eq!(dynamic_rows, 9, "8 bits points + 1 simulate on the defined graph");
+    // Both daemons registered the definition during the handshake.
+    for addr in &daemons {
+        let stats = client::request_control(addr, "stats").unwrap();
+        let v = json::parse(&stats).unwrap();
+        assert_eq!(v.get("dynamic_scenarios").unwrap().as_u64(), Some(1), "{stats}");
+    }
+
+    // Without the forwarded definition the fleet fails fast, naming the
+    // scenario, instead of silently computing something else.
+    let err = run_fleet(&daemons2_without_defs(), &spec.jobs(), &FleetConfig::default(), |_| {});
+    assert!(err.is_err());
+    let msg = err.unwrap_err().to_string();
+    assert!(msg.contains("fleet-codec"), "{msg}");
+
+    slow.shutdown();
+    fast.shutdown();
+}
+
+/// A fresh 1-daemon fleet with no definitions (for the negative path of
+/// the test above). Kept alive via a leaked handle — the daemon dies with
+/// the test process.
+fn daemons2_without_defs() -> Vec<String> {
+    let daemon = spawn_daemon(1, ServerConfig::default());
+    let addr = daemon.addr().to_string();
+    std::mem::forget(daemon);
+    vec![addr]
+}

@@ -2,34 +2,40 @@
 //!
 //! ```text
 //! psdacc-serve daemon --addr 127.0.0.1:7341 --store DIR [--threads N]
-//! psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] SPECFILE
+//! psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] [--graph NAME=FILE]... SPECFILE
 //! psdacc-serve stats  --workers HOST:PORT[,HOST:PORT...]
 //! psdacc-serve scenarios --workers HOST:PORT
+//! psdacc-serve describe --workers HOST:PORT
 //! ```
 //!
 //! `daemon` serves forever; results stream to each client as JSON lines.
 //! `submit` shards a batch spec across daemons and prints merged result
 //! lines to stdout (summaries to stderr), exiting nonzero if any job
-//! failed. `stats` / `scenarios` print each daemon's one-line answer.
+//! failed; `--graph NAME=FILE` (repeatable) registers a declarative
+//! `GraphSpec` on **every** worker via `define_scenario` before the batch
+//! is submitted, so spec lines may reference it as `scenario NAME`.
+//! `stats` / `scenarios` / `describe` print each daemon's one-line answer.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use psdacc_engine::{BatchSpec, Engine};
+use psdacc_engine::{BatchSpec, Engine, ScenarioRegistry};
 use psdacc_serve::{client, Server};
 use psdacc_store::PersistentCache;
 
 const USAGE: &str = "usage:
   psdacc-serve daemon --addr HOST:PORT [--store DIR] [--store-max-entries N] [--threads N]
                       [--max-connections N] [--chaos-unit-delay-ms MS] [--chaos-die-after-units N]
-  psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] SPECFILE
+  psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] [--graph NAME=FILE]... SPECFILE
   psdacc-serve stats --workers HOST:PORT[,HOST:PORT...]
   psdacc-serve scenarios --workers HOST:PORT[,HOST:PORT...]
+  psdacc-serve describe --workers HOST:PORT[,HOST:PORT...]
 
 The daemon speaks newline-delimited JSON (kinds: evaluate, greedy,
-min-uniform, simulate, evaluate_units, hello, scenarios, stats). With
+min-uniform, simulate, define_scenario, describe, evaluate_units, hello,
+scenarios, stats). With
 --store, preprocessing persists to disk and restarts warm-start with
 zero builds; --store-max-entries caps the on-disk record count (LRU
 eviction, loads keep entries hot). --max-connections refuses connections
@@ -48,6 +54,7 @@ fn main() -> ExitCode {
         Some("submit") => cmd_submit(&args[1..]),
         Some("stats") => cmd_control(&args[1..], "stats"),
         Some("scenarios") => cmd_control(&args[1..], "scenarios"),
+        Some("describe") => cmd_control(&args[1..], "describe"),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -59,13 +66,19 @@ fn main() -> ExitCode {
     }
 }
 
+/// Single-valued flags, repeated `--graph` values, and the positional
+/// argument of one parsed command line.
+type ParsedArgs = (BTreeMap<String, String>, Vec<String>, Option<String>);
+
 /// Parses `--flag value` pairs plus at most one positional argument.
+/// `--graph` is repeatable; its values are collected separately.
 fn parse_flags(
     args: &[String],
     allowed: &[&str],
     positional_name: Option<&str>,
-) -> Result<(BTreeMap<String, String>, Option<String>), String> {
+) -> Result<ParsedArgs, String> {
     let mut flags = BTreeMap::new();
+    let mut graphs = Vec::new();
     let mut positional = None;
     let mut i = 0;
     while i < args.len() {
@@ -78,7 +91,11 @@ fn parse_flags(
                 ));
             }
             let value = args.get(i + 1).ok_or_else(|| format!("missing value for {token}"))?;
-            flags.insert(token.to_string(), value.clone());
+            if token == "--graph" {
+                graphs.push(value.clone());
+            } else {
+                flags.insert(token.to_string(), value.clone());
+            }
             i += 2;
         } else {
             match positional_name {
@@ -91,7 +108,7 @@ fn parse_flags(
             }
         }
     }
-    Ok((flags, positional))
+    Ok((flags, graphs, positional))
 }
 
 fn parse_workers(flags: &BTreeMap<String, String>) -> Result<Vec<String>, String> {
@@ -120,7 +137,7 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
         "--chaos-unit-delay-ms",
         "--chaos-die-after-units",
     ];
-    let (flags, _) = match parse_flags(args, &allowed, None) {
+    let (flags, _, _) = match parse_flags(args, &allowed, None) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}\n{USAGE}");
@@ -208,8 +225,8 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
 }
 
 fn cmd_submit(args: &[String]) -> ExitCode {
-    let (flags, positional) =
-        match parse_flags(args, &["--workers", "--timeout-seconds"], Some("SPECFILE")) {
+    let (flags, graphs, positional) =
+        match parse_flags(args, &["--workers", "--timeout-seconds", "--graph"], Some("SPECFILE")) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("{e}\n{USAGE}");
@@ -234,7 +251,15 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec = match BatchSpec::parse(&text) {
+    let registry = ScenarioRegistry::new();
+    let definitions = match registry.define_graph_files(&graphs) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match BatchSpec::parse_with(&text, &registry) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{spec_path}: {e}");
@@ -246,6 +271,12 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     // address named, not a serial hang per corpse.
     let timeout = flags.get("--timeout-seconds").and_then(|v| v.parse::<u64>().ok()).unwrap_or(30);
     if let Err(e) = client::wait_all_ready(&workers, Duration::from_secs(timeout)) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    // Registered graphs must exist on every worker before any shard may
+    // reference them by name.
+    if let Err(e) = client::define_scenarios(&workers, &definitions) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
@@ -282,7 +313,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
 }
 
 fn cmd_control(args: &[String], kind: &str) -> ExitCode {
-    let (flags, _) = match parse_flags(args, &["--workers"], None) {
+    let (flags, _, _) = match parse_flags(args, &["--workers"], None) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}\n{USAGE}");

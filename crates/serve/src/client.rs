@@ -17,7 +17,11 @@ use psdacc_engine::json::{self, Json};
 use psdacc_engine::JobSpec;
 
 use crate::error::ServeError;
-use crate::protocol::{job_request_line, read_capped_line};
+use crate::protocol::{define_request_line, job_request_line, parse_define_ack, read_capped_line};
+
+/// One named graph definition to forward to daemons: `(name, canonical
+/// GraphSpec JSON)`.
+pub type ScenarioDefinition = (String, String);
 
 /// Default bound on one connection attempt. An unreachable daemon must be
 /// a prompt, named error — not a connect() hanging for the kernel's
@@ -197,6 +201,9 @@ fn drive_worker(
             Some("summary") => {
                 let _ = tx.send(Ok(WorkerMsg::Summary { worker: worker_index, line }));
             }
+            // Definition acknowledgements are not results; skip them so a
+            // submission may interleave defines with job lines.
+            Some("scenario_defined") => {}
             Some("error") => {
                 let detail =
                     value.get("error").and_then(Json::as_str).unwrap_or("unspecified").to_string();
@@ -232,6 +239,50 @@ enum WorkerMsg {
         /// Raw JSON line.
         line: String,
     },
+}
+
+/// Registers the given graph definitions on **every** worker (one
+/// connection per worker, acknowledgements verified), so subsequent
+/// submissions may reference them by name no matter which daemon a job
+/// lands on. Definitions are content-addressed, so re-registering on a
+/// warm daemon is a no-op for its caches.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] for unreachable workers, [`ServeError::Protocol`]
+/// when any daemon rejects a definition (the error names both the worker
+/// and the definition).
+pub fn define_scenarios(
+    workers: &[String],
+    definitions: &[ScenarioDefinition],
+) -> Result<(), ServeError> {
+    if definitions.is_empty() {
+        return Ok(());
+    }
+    for worker in workers {
+        let stream = connect(worker)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        {
+            let mut writer = BufWriter::new(&stream);
+            for (name, json) in definitions {
+                writeln!(writer, "{}", define_request_line(name, json))?;
+            }
+            writer.flush()?;
+        }
+        stream.shutdown(Shutdown::Write)?;
+        for (name, _) in definitions {
+            let line = read_capped_line(&mut reader)?
+                .map(|l| l.trim_end().to_string())
+                .ok_or_else(|| {
+                    ServeError::Protocol(format!(
+                        "{worker}: connection closed before acknowledging `{name}`"
+                    ))
+                })?;
+            parse_define_ack(&line)
+                .map_err(|e| ServeError::Protocol(format!("{worker}: define `{name}`: {e}")))?;
+        }
+    }
+    Ok(())
 }
 
 /// Sends one control request (`"stats"` or `"scenarios"`) and returns the

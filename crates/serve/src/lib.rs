@@ -36,9 +36,11 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{
-    connect, connect_with_timeout, request_control, submit, submit_streaming, wait_all_ready,
-    wait_ready, ShardOutcome, CONNECT_TIMEOUT,
+    connect, connect_with_timeout, define_scenarios, request_control, submit, submit_streaming,
+    wait_all_ready, wait_ready, ScenarioDefinition, ShardOutcome, CONNECT_TIMEOUT,
 };
 pub use error::ServeError;
-pub use protocol::{job_request_line, parse_request, result_line, Request};
+pub use protocol::{
+    define_request_line, job_request_line, parse_define_ack, parse_request, result_line, Request,
+};
 pub use server::{Server, ServerConfig, ServerHandle, ServerState, PROTOCOL_REVISION};

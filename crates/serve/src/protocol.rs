@@ -11,23 +11,35 @@
 //! {"kind":"min-uniform","scenario":"freq-filter","budget":1e-8,"min":2,"max":24}
 //! {"kind":"simulate","scenario":"freq-filter","bits":12,"samples":20000,
 //!  "nfft":256,"seed":"7","trials":2}
+//! {"kind":"define_scenario","name":"my-codec","graph":{"nodes":[...],"outputs":[...]}}
 //! {"kind":"scenarios"}
+//! {"kind":"describe","family":"fir-cascade"}
 //! {"kind":"stats"}
 //! {"kind":"hello"}
 //! {"kind":"evaluate_units"}
 //! ```
 //!
-//! `scenario` is the engine's spec-line syntax (`name key=value ...`).
-//! `id` tags the response (`"job"` field) so a sharding client can merge
-//! streams back into submission order; when omitted, the daemon numbers
-//! requests per connection. `seed` may be a JSON number or a string (a
-//! string preserves full `u64` range; JSON numbers are doubles).
+//! `scenario` is the engine's spec-line syntax (`name key=value ...` for a
+//! registered family — builtin or `define_scenario`-registered — or
+//! `graph={...}` with an inline `GraphSpec`). `id` tags the response
+//! (`"job"` field) so a sharding client can merge streams back into
+//! submission order; when omitted, the daemon numbers requests per
+//! connection. `seed` may be a JSON number or a string (a string preserves
+//! full `u64` range; JSON numbers are doubles).
 //!
-//! Control kinds (`scenarios`, `stats`, `hello`) are answered immediately.
-//! Job kinds are queued and executed as **one engine batch** when the
-//! client half-closes, so a connection's jobs share the work-stealing pool
-//! and stream back in completion order, followed by one
-//! `{"kind":"summary"}` line.
+//! `define_scenario` validates a declarative graph and registers it on the
+//! daemon under `name` (acknowledged with one
+//! `{"kind":"scenario_defined","name":...,"scenario":"graph[<hash>]",...}`
+//! line); subsequent job requests — on *any* connection — may then name
+//! it in their `scenario` field. Identity is the content hash of the
+//! graph's canonical JSON, so two daemons given the same definition agree
+//! on every cache key and store address without coordination.
+//!
+//! Control kinds (`scenarios`, `describe`, `stats`, `hello`,
+//! `define_scenario`) are answered immediately. Job kinds are queued and
+//! executed as **one engine batch** when the client half-closes, so a
+//! connection's jobs share the work-stealing pool and stream back in
+//! completion order, followed by one `{"kind":"summary"}` line.
 //!
 //! `evaluate_units` (sent before any job request) switches the connection
 //! into **unit-streaming mode** instead: each job request executes as soon
@@ -36,9 +48,11 @@
 //! coordinator drives this mode to keep a bounded in-flight window per
 //! daemon and refill it on every completion.
 
+use psdacc_engine::graphspec::parse_graph_spec;
 use psdacc_engine::json::{self, Json, JsonWriter};
-use psdacc_engine::{JobKind, JobResult, JobSpec, Scenario};
+use psdacc_engine::{JobKind, JobResult, JobSpec, ScenarioRegistry};
 use psdacc_fixed::RoundingMode;
+use psdacc_sfg::GraphSpec;
 
 use crate::error::ServeError;
 
@@ -82,6 +96,19 @@ pub enum Request {
     },
     /// List the scenario registry.
     Scenarios,
+    /// Report per-family parameter schemas (optionally one family).
+    Describe {
+        /// Narrow to one family, when given.
+        family: Option<String>,
+    },
+    /// Register a declarative graph scenario under a name.
+    DefineScenario {
+        /// Registration name (spec-line addressable afterwards).
+        name: String,
+        /// The shape-checked spec (full structural validation happens at
+        /// registration).
+        spec: GraphSpec,
+    },
     /// Report engine/cache/store counters.
     Stats,
     /// Advertise daemon capacity (worker count, protocol revision).
@@ -94,12 +121,17 @@ pub enum Request {
 }
 
 /// Parses one request line; `default_id` tags job requests that carry no
-/// explicit `id`.
+/// explicit `id`. Scenario fields resolve against `registry`, so jobs may
+/// name scenarios registered earlier via `define_scenario`.
 ///
 /// # Errors
 ///
 /// A human-readable message (sent back to the client verbatim).
-pub fn parse_request(line: &str, default_id: usize) -> Result<Request, String> {
+pub fn parse_request(
+    line: &str,
+    default_id: usize,
+    registry: &ScenarioRegistry,
+) -> Result<Request, String> {
     let value = json::parse(line)?;
     let kind = value
         .get("kind")
@@ -110,6 +142,27 @@ pub fn parse_request(line: &str, default_id: usize) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "hello" => Ok(Request::Hello),
         "evaluate_units" => Ok(Request::EvaluateUnits),
+        "describe" => {
+            let family = match value.get("family") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str().ok_or_else(|| "`family` must be a string".to_string())?.to_string(),
+                ),
+            };
+            Ok(Request::Describe { family })
+        }
+        "define_scenario" => {
+            let name = value
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "define_scenario needs a string `name` field".to_string())?
+                .to_string();
+            let graph = value
+                .get("graph")
+                .ok_or_else(|| "define_scenario needs a `graph` object".to_string())?;
+            let spec = parse_graph_spec(graph).map_err(|e| e.to_string())?;
+            Ok(Request::DefineScenario { name, spec })
+        }
         "evaluate" | "greedy" | "min-uniform" | "simulate" => {
             let id = match value.get("id") {
                 None => default_id,
@@ -118,22 +171,49 @@ pub fn parse_request(line: &str, default_id: usize) -> Result<Request, String> {
                     .map(|v| v as usize)
                     .ok_or_else(|| "`id` must be a non-negative integer".to_string())?,
             };
-            let spec = parse_job_spec(kind, &value)?;
+            let spec = parse_job_spec(kind, &value, registry)?;
             Ok(Request::Job { id, spec })
         }
         other => Err(format!(
             "unknown kind `{other}` (known: evaluate, greedy, min-uniform, simulate, \
-             evaluate_units, hello, scenarios, stats)"
+             define_scenario, describe, evaluate_units, hello, scenarios, stats)"
         )),
     }
 }
 
-fn parse_job_spec(kind: &str, value: &Json) -> Result<JobSpec, String> {
+fn parse_job_spec(
+    kind: &str,
+    value: &Json,
+    registry: &ScenarioRegistry,
+) -> Result<JobSpec, String> {
     let scenario_text = value
         .get("scenario")
         .and_then(Json::as_str)
         .ok_or_else(|| "job request needs a string `scenario` field".to_string())?;
-    let scenario = Scenario::parse_spec_line(scenario_text).map_err(|e| e.to_string())?;
+    let scenario = registry.parse_spec_line(scenario_text).map_err(|e| e.to_string())?;
+    // Name indirection is pinned by content: clients send the hash they
+    // expect alongside a graph scenario's name, so a definition replaced
+    // between registration and this job is a loud error instead of a
+    // silently different system.
+    if let Some(expected) = value.get("scenario_sha") {
+        let expected =
+            expected.as_str().ok_or_else(|| "`scenario_sha` must be a string".to_string())?;
+        match &scenario {
+            psdacc_engine::Scenario::Graph(g) if g.hash() == expected => {}
+            psdacc_engine::Scenario::Graph(g) => {
+                return Err(format!(
+                    "scenario `{scenario_text}` resolves to graph[{}] on this daemon, but the \
+                     request expects graph[{expected}] — was the definition replaced mid-batch?",
+                    g.hash()
+                ))
+            }
+            _ => {
+                return Err(format!(
+                    "`scenario_sha` given for `{scenario_text}`, which is not a graph scenario"
+                ))
+            }
+        }
+    }
     // The daemon faces untrusted peers, so the wire enforces the same
     // bounds the batch-spec parser does — nfft=0 would panic a pool
     // worker, and absurd sizes are resource exhaustion, not jobs.
@@ -256,6 +336,12 @@ pub fn job_request_line(id: usize, spec: &JobSpec) -> Result<String, ServeError>
     };
     w.field_str("kind", kind);
     w.field_str("scenario", &spec.scenario.to_spec_line());
+    if let psdacc_engine::Scenario::Graph(g) = &spec.scenario {
+        // Pin the content identity: the daemon rejects the job if its
+        // registry resolves the name to a different graph (see
+        // `parse_job_spec`). Redundant-but-harmless for the inline form.
+        w.field_str("scenario_sha", g.hash());
+    }
     w.field_usize("npsd", spec.npsd);
     w.field_str(
         "rounding",
@@ -305,10 +391,53 @@ pub fn result_line(id: usize, result: &JobResult) -> String {
     tagged.to_json_line()
 }
 
+/// Renders the `define_scenario` request line for a named graph
+/// definition (`graph_json` must be a valid `GraphSpec` document —
+/// [`psdacc_engine::canonical_json`] output round-trips exactly).
+pub fn define_request_line(name: &str, graph_json: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.field_str("kind", "define_scenario");
+    w.field_str("name", name);
+    w.field_raw("graph", graph_json);
+    w.finish()
+}
+
+/// Parses a daemon's `scenario_defined` acknowledgement, returning the
+/// content-addressed scenario key it registered.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for rejections or unexpected lines.
+pub fn parse_define_ack(line: &str) -> Result<String, ServeError> {
+    let value = json::parse(line)
+        .map_err(|e| ServeError::Protocol(format!("bad define_scenario reply: {e}")))?;
+    match value.get("kind").and_then(Json::as_str) {
+        Some("scenario_defined") => value
+            .get("scenario")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Protocol("scenario_defined without a key".to_string())),
+        Some("error") => Err(ServeError::Protocol(format!(
+            "daemon rejected definition: {}",
+            value.get("error").and_then(Json::as_str).unwrap_or("unspecified")
+        ))),
+        _ => Err(ServeError::Protocol(format!("unexpected define_scenario reply: {line}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use psdacc_core::Method;
+    use psdacc_engine::Scenario;
+
+    fn reg() -> ScenarioRegistry {
+        ScenarioRegistry::new()
+    }
+
+    fn parse_request_reg(line: &str, default_id: usize) -> Result<Request, String> {
+        parse_request(line, default_id, &ScenarioRegistry::new())
+    }
 
     fn specs() -> Vec<JobSpec> {
         let scenario = Scenario::FirCascade { stages: 2, taps: 15, cutoff: 0.2 };
@@ -361,7 +490,7 @@ mod tests {
     fn every_job_kind_round_trips_exactly() {
         for (i, spec) in specs().into_iter().enumerate() {
             let line = job_request_line(40 + i, &spec).unwrap();
-            match parse_request(&line, 0).unwrap_or_else(|e| panic!("{line}: {e}")) {
+            match parse_request(&line, 0, &reg()).unwrap_or_else(|e| panic!("{line}: {e}")) {
                 Request::Job { id, spec: back } => {
                     assert_eq!(id, 40 + i);
                     assert_eq!(back, spec, "{line}");
@@ -371,18 +500,109 @@ mod tests {
         }
     }
 
+    const DEMO_GRAPH: &str = r#"{"nodes":[{"name":"x","block":"input"},{"name":"g","block":"gain","gain":0.3,"inputs":["x"]}],"outputs":["g"]}"#;
+
+    #[test]
+    fn define_scenario_and_describe_parse() {
+        let line = define_request_line("my-codec", DEMO_GRAPH);
+        match parse_request_reg(&line, 0).unwrap() {
+            Request::DefineScenario { name, spec } => {
+                assert_eq!(name, "my-codec");
+                assert_eq!(spec.nodes.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request_reg(r#"{"kind":"describe"}"#, 0),
+            Ok(Request::Describe { family: None })
+        );
+        assert_eq!(
+            parse_request_reg(r#"{"kind":"describe","family":"fir-bank"}"#, 0),
+            Ok(Request::Describe { family: Some("fir-bank".to_string()) })
+        );
+        // Malformed graphs are parse errors, not daemon panics.
+        for bad in [
+            r#"{"kind":"define_scenario","graph":{}}"#,
+            r#"{"kind":"define_scenario","name":"x"}"#,
+            r#"{"kind":"define_scenario","name":"x","graph":{"nodes":[{"name":"n","block":"warp"}],"outputs":[]}}"#,
+        ] {
+            assert!(parse_request_reg(bad, 0).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn named_and_inline_graph_scenarios_round_trip_on_the_wire() {
+        let registry = reg();
+        let defined = registry.define_graph_json("my-codec", DEMO_GRAPH).unwrap();
+        // Named: the job line carries the name; the daemon-side registry
+        // resolves it back to the same content identity.
+        let spec = JobSpec {
+            scenario: Scenario::Graph(defined.clone()),
+            npsd: 64,
+            rounding: RoundingMode::Truncate,
+            kind: JobKind::Estimate { method: Method::PsdMethod, frac_bits: 9 },
+        };
+        let line = job_request_line(3, &spec).unwrap();
+        assert!(line.contains("\"scenario\":\"my-codec\""), "{line}");
+        match parse_request(&line, 0, &registry).unwrap() {
+            Request::Job { id, spec: back } => {
+                assert_eq!(id, 3);
+                assert_eq!(back, spec, "content identity survives the name indirection");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A daemon missing the definition rejects with a clear error.
+        let err = parse_request(&line, 0, &reg()).unwrap_err();
+        assert!(err.contains("my-codec"), "{err}");
+        // A daemon whose definition was *replaced* rejects too: the job
+        // line pins the content hash, so name indirection can never
+        // silently evaluate a different system.
+        let replaced = reg();
+        replaced.define_graph_json("my-codec", &DEMO_GRAPH.replace("0.3", "0.31")).unwrap();
+        let err = parse_request(&line, 0, &replaced).unwrap_err();
+        assert!(err.contains("replaced mid-batch"), "{err}");
+        // Anonymous: self-contained inline JSON, no registry state needed.
+        let anon = JobSpec {
+            scenario: Scenario::Graph(
+                psdacc_engine::GraphScenario::from_json(DEMO_GRAPH, None).unwrap(),
+            ),
+            ..spec.clone()
+        };
+        let line = job_request_line(4, &anon).unwrap();
+        assert!(line.contains("graph={"), "{line}");
+        match parse_request(&line, 0, &reg()).unwrap() {
+            Request::Job { spec: back, .. } => assert_eq!(back, anon),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn define_ack_round_trip() {
+        let mut w = JsonWriter::new();
+        w.field_str("kind", "scenario_defined");
+        w.field_str("name", "my-codec");
+        w.field_str("scenario", "graph[abc]");
+        let ack = w.finish();
+        assert_eq!(parse_define_ack(&ack).unwrap(), "graph[abc]");
+        assert!(parse_define_ack(r#"{"kind":"error","error":"bad graph"}"#).is_err());
+        assert!(parse_define_ack("garbage").is_err());
+    }
+
     #[test]
     fn control_kinds_parse() {
-        assert_eq!(parse_request(r#"{"kind":"scenarios"}"#, 0), Ok(Request::Scenarios));
-        assert_eq!(parse_request(r#"{"kind":"stats"}"#, 0), Ok(Request::Stats));
-        assert_eq!(parse_request(r#"{"kind":"hello"}"#, 0), Ok(Request::Hello));
-        assert_eq!(parse_request(r#"{"kind":"evaluate_units"}"#, 0), Ok(Request::EvaluateUnits));
+        assert_eq!(parse_request_reg(r#"{"kind":"scenarios"}"#, 0), Ok(Request::Scenarios));
+        assert_eq!(parse_request_reg(r#"{"kind":"stats"}"#, 0), Ok(Request::Stats));
+        assert_eq!(parse_request_reg(r#"{"kind":"hello"}"#, 0), Ok(Request::Hello));
+        assert_eq!(
+            parse_request_reg(r#"{"kind":"evaluate_units"}"#, 0),
+            Ok(Request::EvaluateUnits)
+        );
     }
 
     #[test]
     fn defaults_fill_in() {
-        let r =
-            parse_request(r#"{"kind":"evaluate","scenario":"freq-filter","bits":12}"#, 5).unwrap();
+        let r = parse_request_reg(r#"{"kind":"evaluate","scenario":"freq-filter","bits":12}"#, 5)
+            .unwrap();
         match r {
             Request::Job { id, spec } => {
                 assert_eq!(id, 5, "default id used");
@@ -395,8 +615,8 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let r =
-            parse_request(r#"{"kind":"simulate","scenario":"freq-filter","bits":8}"#, 0).unwrap();
+        let r = parse_request_reg(r#"{"kind":"simulate","scenario":"freq-filter","bits":8}"#, 0)
+            .unwrap();
         match r {
             Request::Job { spec, .. } => assert_eq!(
                 spec.kind,
@@ -434,7 +654,7 @@ mod tests {
                 "rounding",
             ),
         ] {
-            let err = parse_request(line, 0).unwrap_err();
+            let err = parse_request(line, 0, &reg()).unwrap_err();
             assert!(err.contains(needle), "`{line}` -> `{err}` (wanted `{needle}`)");
         }
     }
@@ -450,7 +670,7 @@ mod tests {
             r#"{"kind":"simulate","scenario":"freq-filter","bits":8,"samples":999999999999}"#,
             r#"{"kind":"evaluate","scenario":"freq-filter","bits":8,"npsd":1000000000}"#,
         ] {
-            assert!(parse_request(line, 0).is_err(), "{line}");
+            assert!(parse_request(line, 0, &reg()).is_err(), "{line}");
         }
     }
 

@@ -10,15 +10,17 @@ use std::time::{Duration, Instant};
 
 use psdacc_engine::job::run_job;
 use psdacc_engine::json::JsonWriter;
-use psdacc_engine::{Engine, JobSpec, REGISTRY};
+use psdacc_engine::{Engine, JobSpec, ScenarioRegistry};
+use psdacc_sfg::GraphSpec;
 
 use crate::error::ServeError;
 use crate::latency::LatencyRegistry;
 use crate::protocol::{parse_request, read_capped_line, result_line, Request};
 
 /// Revision of the wire protocol this daemon speaks (`hello` advertises
-/// it; revision 2 added `hello` / `evaluate_units`).
-pub const PROTOCOL_REVISION: usize = 2;
+/// it; revision 2 added `hello` / `evaluate_units`, revision 3 added
+/// `define_scenario` / `describe` and registry-resolved scenario fields).
+pub const PROTOCOL_REVISION: usize = 3;
 
 /// Daemon-level service policy plus fault-injection knobs.
 #[derive(Debug, Clone, Default)]
@@ -43,6 +45,7 @@ pub struct ServerConfig {
 #[derive(Debug)]
 pub struct ServerState {
     engine: Engine,
+    registry: ScenarioRegistry,
     config: ServerConfig,
     jobs_served: AtomicUsize,
     units_served: AtomicUsize,
@@ -57,6 +60,7 @@ impl ServerState {
     fn new(engine: Engine, config: ServerConfig) -> Self {
         ServerState {
             engine,
+            registry: ScenarioRegistry::new(),
             config,
             jobs_served: AtomicUsize::new(0),
             units_served: AtomicUsize::new(0),
@@ -73,6 +77,37 @@ impl ServerState {
         &self.engine
     }
 
+    /// The daemon-wide scenario registry: definitions registered on one
+    /// connection are visible to every other (clones share providers).
+    pub fn registry(&self) -> &ScenarioRegistry {
+        &self.registry
+    }
+
+    /// Registers a graph definition and renders the acknowledgement (or
+    /// rejection) line — shared by both connection modes.
+    fn define_scenario_line(&self, lineno: usize, name: &str, spec: GraphSpec) -> String {
+        match self.registry.define_graph(name, spec) {
+            Ok(defined) => {
+                let mut w = JsonWriter::new();
+                w.field_str("kind", "scenario_defined");
+                w.field_str("name", name);
+                w.field_str("scenario", &defined.key());
+                w.field_usize("nodes", defined.spec().nodes.len());
+                w.field_usize("dynamic", self.registry.dynamic_count());
+                w.finish()
+            }
+            Err(e) => error_line(lineno, &e.to_string()),
+        }
+    }
+
+    /// Renders the `describe` reply (or rejection) line.
+    fn describe_line(&self, lineno: usize, family: Option<&str>) -> String {
+        match self.registry.describe_json_line(family) {
+            Ok(line) => line,
+            Err(e) => error_line(lineno, &e.to_string()),
+        }
+    }
+
     /// Renders the `hello` response line: capacity advertisement for
     /// schedulers (worker count sizes the in-flight window).
     pub fn hello_line(&self) -> String {
@@ -83,14 +118,17 @@ impl ServerState {
         w.finish()
     }
 
-    /// Renders the `stats` response line, including per-scenario cache
-    /// hit/miss counts (sorted by scenario key; empty until the daemon has
-    /// served a job) and per-verb log-bucketed latency histograms.
+    /// Renders the `stats` response line: protocol revision and the count
+    /// of dynamically registered scenarios, per-scenario cache hit/miss
+    /// counts (sorted by scenario key; empty until the daemon has served a
+    /// job), and per-verb log-bucketed latency histograms.
     pub fn stats_line(&self) -> String {
         let cache = self.engine.cache().stats();
         let mut w = JsonWriter::new();
         w.field_str("kind", "stats");
+        w.field_usize("protocol", PROTOCOL_REVISION);
         w.field_usize("threads", self.engine.threads());
+        w.field_usize("dynamic_scenarios", self.registry.dynamic_count());
         w.field_usize("jobs_served", self.jobs_served.load(Ordering::Relaxed));
         w.field_usize("units_served", self.units_served.load(Ordering::Relaxed));
         w.field_usize("connections", self.connections.load(Ordering::Relaxed));
@@ -271,13 +309,21 @@ fn handle_connection(state: &ServerState, stream: &TcpStream) -> Result<(), Serv
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(line.trim_end(), jobs.len()) {
+        match parse_request(line.trim_end(), jobs.len(), &state.registry) {
             Ok(Request::Job { id, spec }) => {
                 ids.push(id);
                 jobs.push(spec);
             }
             Ok(Request::Scenarios) => {
-                writeln!(writer, "{}", scenarios_line())?;
+                writeln!(writer, "{}", state.registry.scenarios_json_line())?;
+                writer.flush()?;
+            }
+            Ok(Request::Describe { family }) => {
+                writeln!(writer, "{}", state.describe_line(lineno, family.as_deref()))?;
+                writer.flush()?;
+            }
+            Ok(Request::DefineScenario { name, spec }) => {
+                writeln!(writer, "{}", state.define_scenario_line(lineno, &name, spec))?;
                 writer.flush()?;
             }
             Ok(Request::Stats) => {
@@ -399,7 +445,7 @@ fn handle_unit_mode<R: BufRead>(
             if line.trim().is_empty() {
                 continue;
             }
-            match parse_request(line.trim_end(), auto_id) {
+            match parse_request(line.trim_end(), auto_id, &state.registry) {
                 Ok(Request::Job { id, spec }) => {
                     auto_id += 1;
                     if tx.send((id, spec)).is_err() {
@@ -408,7 +454,15 @@ fn handle_unit_mode<R: BufRead>(
                 }
                 Ok(Request::Stats) => write_locked(&writer, &state.stats_line())?,
                 Ok(Request::Hello) => write_locked(&writer, &state.hello_line())?,
-                Ok(Request::Scenarios) => write_locked(&writer, &scenarios_line())?,
+                Ok(Request::Scenarios) => {
+                    write_locked(&writer, &state.registry.scenarios_json_line())?
+                }
+                Ok(Request::Describe { family }) => {
+                    write_locked(&writer, &state.describe_line(lineno, family.as_deref()))?
+                }
+                Ok(Request::DefineScenario { name, spec }) => {
+                    write_locked(&writer, &state.define_scenario_line(lineno, &name, spec))?
+                }
                 // Idempotent: the connection is already in unit mode.
                 Ok(Request::EvaluateUnits) => {}
                 Err(e) => write_locked(&writer, &error_line(lineno, &e))?,
@@ -489,39 +543,27 @@ fn unit_executor(
     }
 }
 
-/// Renders the `scenarios` response line.
-fn scenarios_line() -> String {
-    let entries: Vec<String> = REGISTRY
-        .iter()
-        .map(|entry| {
-            let mut w = JsonWriter::new();
-            w.field_str("name", entry.name);
-            w.field_str("params", entry.params);
-            w.field_str("description", entry.description);
-            w.finish()
-        })
-        .collect();
-    let mut w = JsonWriter::new();
-    w.field_str("kind", "scenarios");
-    w.field_usize("count", REGISTRY.len());
-    w.field_raw("entries", &format!("[{}]", entries.join(",")));
-    w.finish()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use psdacc_engine::json;
 
+    const DEMO_GRAPH: &str = r#"{"nodes":[{"name":"x","block":"input"},{"name":"g","block":"gain","gain":0.3,"inputs":["x"]}],"outputs":["g"]}"#;
+
     #[test]
     fn scenarios_line_is_valid_json_covering_the_registry() {
-        let v = json::parse(&scenarios_line()).unwrap();
+        let state = ServerState::new(Engine::new(1), ServerConfig::default());
+        let v = json::parse(&state.registry().scenarios_json_line()).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("scenarios"));
         let entries = v.get("entries").unwrap().as_array().unwrap();
-        assert_eq!(entries.len(), REGISTRY.len());
+        assert_eq!(entries.len(), 9);
+        assert_eq!(v.get("dynamic").unwrap().as_u64(), Some(0));
         assert!(entries
             .iter()
             .any(|e| e.get("name").and_then(json::Json::as_str) == Some("fir-bank")));
+        assert!(entries
+            .iter()
+            .all(|e| e.get("provider").and_then(json::Json::as_str) == Some("builtin")));
     }
 
     #[test]
@@ -530,7 +572,9 @@ mod tests {
         state.jobs_served.store(17, Ordering::Relaxed);
         state.connections.store(2, Ordering::Relaxed);
         let v = json::parse(&state.stats_line()).unwrap();
+        assert_eq!(v.get("protocol").unwrap().as_u64(), Some(PROTOCOL_REVISION as u64));
         assert_eq!(v.get("threads").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("dynamic_scenarios").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("jobs_served").unwrap().as_u64(), Some(17));
         assert_eq!(v.get("units_served").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("cache_builds").unwrap().as_u64(), Some(0));
@@ -541,6 +585,39 @@ mod tests {
         assert_eq!(latency.len(), crate::latency::VERBS.len());
         // No limit configured: the cap fields stay absent.
         assert!(v.get("max_connections").is_none());
+    }
+
+    #[test]
+    fn define_scenario_registers_and_counts_in_stats() {
+        let state = ServerState::new(Engine::new(1), ServerConfig::default());
+        let spec = psdacc_engine::graph_spec_from_str(DEMO_GRAPH).unwrap();
+        let ack = state.define_scenario_line(1, "my-codec", spec.clone());
+        let v = json::parse(&ack).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("scenario_defined"));
+        assert_eq!(v.get("nodes").unwrap().as_u64(), Some(2));
+        assert!(v.get("scenario").unwrap().as_str().unwrap().starts_with("graph["));
+        let stats = json::parse(&state.stats_line()).unwrap();
+        assert_eq!(stats.get("dynamic_scenarios").unwrap().as_u64(), Some(1));
+        // Registered scenarios appear in the scenarios listing as dynamic.
+        let list = json::parse(&state.registry().scenarios_json_line()).unwrap();
+        assert_eq!(list.get("dynamic").unwrap().as_u64(), Some(1));
+        // Reserved names are rejected with an error line, not a panic.
+        let rejected = state.define_scenario_line(2, "fir-bank", spec);
+        let v = json::parse(&rejected).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("error"));
+    }
+
+    #[test]
+    fn describe_line_reports_schemas_and_rejects_unknowns() {
+        let state = ServerState::new(Engine::new(1), ServerConfig::default());
+        let v = json::parse(&state.describe_line(1, Some("fir-cascade"))).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("describe"));
+        let fam = &v.get("families").unwrap().as_array().unwrap()[0];
+        assert_eq!(fam.get("params").unwrap().as_array().unwrap().len(), 3);
+        let err = json::parse(&state.describe_line(2, Some("nope"))).unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("error"));
+        let all = json::parse(&state.describe_line(3, None)).unwrap();
+        assert_eq!(all.get("count").unwrap().as_u64(), Some(9));
     }
 
     #[test]

@@ -204,7 +204,10 @@ fn protocol_robustness_over_a_raw_socket() {
     writeln!(&stream, "{{\"kind\":\"scenarios\"}}").unwrap();
     reader.read_line(&mut line).unwrap();
     let v = json::parse(line.trim_end()).unwrap();
-    assert_eq!(v.get("count").unwrap().as_u64(), Some(psdacc_engine::REGISTRY.len() as u64));
+    assert_eq!(
+        v.get("count").unwrap().as_u64(),
+        Some(psdacc_engine::ScenarioRegistry::new().families().len() as u64)
+    );
 
     // A job against an invalid scenario parameter fails at parse time with
     // a described error...
@@ -417,4 +420,110 @@ fn evaluate_units_mode_streams_results_as_they_complete() {
         "bits=12"
     );
     daemon.shutdown();
+}
+
+/// The open-scenario-API acceptance shape at the serve layer: a graph
+/// defined over the wire on **both** daemons of a shard evaluates through
+/// `submit` bit-identically to a local single-process engine run, and the
+/// definition is observable via `stats` / `scenarios` / `describe`.
+#[test]
+fn defined_graph_scenario_shards_bit_identically_to_local_run() {
+    const GRAPH: &str = r#"{"nodes":[{"name":"x","block":"input"},
+        {"name":"lp","block":"fir","taps":[0.4,0.3,0.2,0.1],"inputs":["x"]},
+        {"name":"d2","block":"downsample","factor":2,"inputs":["lp"]},
+        {"name":"u2","block":"upsample","factor":2,"inputs":["d2"]},
+        {"name":"post","block":"fir","taps":[0.5,0.5],"inputs":["u2"]},
+        {"name":"trim","block":"gain","gain":0.5,"inputs":["post"],"role":"exact"}],
+        "outputs":["trim"]}"#;
+    const DYN_SPEC: &str = "scenario my-codec\n\
+                            scenario freq-filter\n\
+                            batch npsd=64 bits=8..10 methods=psd,agnostic\n\
+                            simulate npsd=64 bits=9 samples=2048 nfft=64 seed=5 trials=1\n";
+
+    // Local reference: same registry mechanics, single process.
+    let registry = psdacc_engine::ScenarioRegistry::new();
+    let defined = registry.define_graph_json("my-codec", GRAPH).unwrap();
+    let spec = BatchSpec::parse_with(DYN_SPEC, &registry).unwrap();
+    let expected: Vec<String> =
+        Engine::new(4).run(spec.jobs()).results.iter().map(|r| r.to_json_line()).collect();
+
+    // Fleet: define over the wire on both daemons, then shard.
+    let a = spawn_memory_daemon(2);
+    let b = spawn_memory_daemon(2);
+    let workers = vec![a.addr().to_string(), b.addr().to_string()];
+    let definitions = vec![("my-codec".to_string(), defined.canonical_json().to_string())];
+    client::define_scenarios(&workers, &definitions).unwrap();
+    let outcome = client::submit(&workers, &spec.jobs()).unwrap();
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(outcome.lines.len(), expected.len());
+    for (got, want) in outcome.lines.iter().zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    // The dynamic scenario's rows carry its content-hash key.
+    let dynamic_rows = outcome.lines.iter().filter(|l| l.contains(&defined.key())).count();
+    assert_eq!(dynamic_rows, 7, "3 bits x 2 methods + 1 simulate on the defined graph");
+
+    // Both daemons know about the definition.
+    for worker in &workers {
+        let stats = client::request_control(worker, "stats").unwrap();
+        assert_eq!(stat(&stats, "dynamic_scenarios"), 1, "{stats}");
+        assert_eq!(stat(&stats, "protocol"), psdacc_serve::PROTOCOL_REVISION as u64, "{stats}");
+        let scenarios = client::request_control(worker, "scenarios").unwrap();
+        assert_eq!(stat(&scenarios, "dynamic"), 1, "{scenarios}");
+        assert!(scenarios.contains("my-codec"), "{scenarios}");
+        let describe = client::request_control(worker, "describe").unwrap();
+        let v = json::parse(&describe).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("describe"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(10), "{describe}");
+    }
+    // An undefined daemon rejects the named scenario with a clear error.
+    let lonely = spawn_memory_daemon(1);
+    let err = client::submit(&[lonely.addr().to_string()], &spec.jobs()).unwrap_err();
+    assert!(err.to_string().contains("my-codec"), "{err}");
+    lonely.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+/// Dynamic scenarios persist like builtins: a daemon restart over the same
+/// store serves a re-defined identical graph with zero preprocessing
+/// builds (the content hash is the disk address).
+#[test]
+fn defined_graph_scenario_warm_restarts_from_the_store() {
+    const GRAPH: &str = r#"{"nodes":[{"name":"x","block":"input"},
+        {"name":"f","block":"iir","b":[0.2],"a":[1.0,-0.6],"inputs":["x"]}],
+        "outputs":["f"]}"#;
+    let dir = tmp_dir("dynwarm");
+    let registry = psdacc_engine::ScenarioRegistry::new();
+    let defined = registry.define_graph_json("warm-codec", GRAPH).unwrap();
+    let spec = BatchSpec::parse_with(
+        "scenario warm-codec\nbatch npsd=64 bits=8..12 methods=psd\n",
+        &registry,
+    )
+    .unwrap();
+    let definitions = vec![("warm-codec".to_string(), defined.canonical_json().to_string())];
+
+    let cold = spawn_store_daemon(&dir, 2);
+    let cold_addr = vec![cold.addr().to_string()];
+    client::define_scenarios(&cold_addr, &definitions).unwrap();
+    let cold_outcome = client::submit(&cold_addr, &spec.jobs()).unwrap();
+    assert_eq!(cold_outcome.failed, 0);
+    let stats = client::request_control(&cold_addr[0], "stats").unwrap();
+    assert_eq!(stat(&stats, "cache_builds"), 1, "{stats}");
+    assert_eq!(stat(&stats, "disk_writes"), 1, "{stats}");
+    cold.shutdown();
+
+    let warm = spawn_store_daemon(&dir, 2);
+    let warm_addr = vec![warm.addr().to_string()];
+    client::define_scenarios(&warm_addr, &definitions).unwrap();
+    let warm_outcome = client::submit(&warm_addr, &spec.jobs()).unwrap();
+    assert_eq!(warm_outcome.failed, 0);
+    let stats = client::request_control(&warm_addr[0], "stats").unwrap();
+    assert_eq!(stat(&stats, "cache_builds"), 0, "re-defined identical graph: {stats}");
+    assert_eq!(stat(&stats, "disk_hits"), 1, "{stats}");
+    for (a, b) in cold_outcome.lines.iter().zip(&warm_outcome.lines) {
+        assert_eq!(stable_fields(a), stable_fields(b));
+    }
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -88,6 +88,49 @@ impl Sfg {
         Ok(id)
     }
 
+    /// Builds a whole graph from parallel `(block, inputs)` descriptions,
+    /// where `NodeId(i)` refers to the `i`-th entry of `nodes` — the
+    /// compilation target of declarative graph descriptions
+    /// ([`crate::spec::GraphSpec`]).
+    ///
+    /// Unlike incremental [`Sfg::add_block`] construction, edges may point
+    /// *forward* in declaration order: all nodes are created first, then
+    /// every edge list is validated and attached, so feedback loops (which
+    /// must contain a delay to be realizable — checked separately by
+    /// [`crate::topo::check_realizable`]) need no special declaration
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// * [`SfgError::UnknownNode`] for an edge or output referencing an
+    ///   index outside `nodes`,
+    /// * [`SfgError::ArityMismatch`] when an edge list disagrees with its
+    ///   block's [`Block::arity`].
+    pub fn from_nodes(
+        nodes: Vec<(Block, Vec<NodeId>)>,
+        outputs: &[NodeId],
+    ) -> Result<Self, SfgError> {
+        let mut g = Sfg::default();
+        // Create every node first so edges may reference later nodes.
+        for (block, _) in &nodes {
+            let id = NodeId(g.nodes.len());
+            if matches!(block, Block::Input) {
+                g.inputs.push(id);
+            }
+            g.nodes.push(Node { block: block.clone(), inputs: vec![] });
+        }
+        for (i, (_, inputs)) in nodes.iter().enumerate() {
+            g.set_inputs(NodeId(i), inputs)?;
+        }
+        for &out in outputs {
+            if out.0 >= g.nodes.len() {
+                return Err(SfgError::UnknownNode { node: out });
+            }
+            g.mark_output(out);
+        }
+        Ok(g)
+    }
+
     /// Rewires an existing node's inputs (used by graph transformations).
     ///
     /// # Errors
@@ -231,6 +274,38 @@ mod tests {
         g.mark_output(x);
         g.mark_output(x);
         assert_eq!(g.outputs().len(), 1);
+    }
+
+    #[test]
+    fn from_nodes_allows_forward_feedback_edges() {
+        // x --> add --> gain, with the add also fed back from a later
+        // delay of the gain: add's edge list references node 3 before it
+        // exists in declaration order.
+        let nodes = vec![
+            (Block::Input, vec![]),
+            (Block::Add, vec![NodeId(0), NodeId(3)]),
+            (Block::Gain(0.5), vec![NodeId(1)]),
+            (Block::Delay(1), vec![NodeId(2)]),
+        ];
+        let g = Sfg::from_nodes(nodes, &[NodeId(2)]).unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.inputs(), &[NodeId(0)]);
+        assert_eq!(g.outputs(), &[NodeId(2)]);
+        assert_eq!(g.node(NodeId(1)).inputs, vec![NodeId(0), NodeId(3)]);
+        assert!(crate::topo::check_realizable(&g).is_ok(), "loop has a delay");
+    }
+
+    #[test]
+    fn from_nodes_validates_edges_and_outputs() {
+        let dangling = Sfg::from_nodes(vec![(Block::Gain(1.0), vec![NodeId(7)])], &[NodeId(0)]);
+        assert!(matches!(dangling, Err(SfgError::UnknownNode { node: NodeId(7) })));
+        let arity = Sfg::from_nodes(
+            vec![(Block::Input, vec![]), (Block::Gain(1.0), vec![NodeId(0), NodeId(0)])],
+            &[NodeId(1)],
+        );
+        assert!(matches!(arity, Err(SfgError::ArityMismatch { .. })));
+        let out = Sfg::from_nodes(vec![(Block::Input, vec![])], &[NodeId(9)]);
+        assert!(matches!(out, Err(SfgError::UnknownNode { node: NodeId(9) })));
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   [`Block::Downsample`] / [`Block::Upsample`], and the analytical PSD
 //!   propagation (fold at decimators, image at expanders, Eq. 14 addition
 //!   at junctions) that replaces the linear solve on such graphs. The
-//!   [`freq::preprocess`] entry point dispatches between the two paths.
+//!   [`freq::preprocess`] entry point dispatches between the two paths;
+//! * [`spec`] — declarative [`GraphSpec`] descriptions (systems as data:
+//!   named nodes, block parameters, probed outputs, word-length-plan
+//!   roles) that compile into fully validated graphs, with every defect a
+//!   typed [`GraphSpecError`]. The open scenario API of `psdacc-engine`
+//!   and the `define_scenario` wire verb of `psdacc-serve` build on it.
 
 pub mod block;
 pub mod dot;
@@ -28,6 +33,7 @@ pub mod error;
 pub mod freq;
 pub mod graph;
 pub mod multirate;
+pub mod spec;
 pub mod topo;
 
 pub use block::Block;
@@ -36,4 +42,5 @@ pub use error::SfgError;
 pub use freq::{node_responses, preprocess, NodeResponses, Preprocessed};
 pub use graph::{Node, NodeId, Sfg};
 pub use multirate::{is_multirate, multirate_responses, node_rates, MultirateResponses, Rate};
+pub use spec::{BlockSpec, GraphSpec, GraphSpecError, NodeRole, NodeSpec};
 pub use topo::{check_realizable, execution_order, is_acyclic, strongly_connected_components};

@@ -1,0 +1,575 @@
+//! Declarative graph descriptions: systems as *data*.
+//!
+//! A [`GraphSpec`] is the open half of the scenario API — where the engine's
+//! builtin families are Rust constructors, a `GraphSpec` describes an
+//! arbitrary signal-flow graph as plain data (node list with named edges,
+//! block parameters, probed outputs, word-length-plan roles) that any layer
+//! can ship around: batch-spec files inline it, `psdacc-serve` registers it
+//! over the wire, and `psdacc-store` keys persisted preprocessing by its
+//! content hash.
+//!
+//! This module owns the data model, validation, and compilation to a
+//! checked [`Sfg`]; the JSON wire form (and the canonical text used for
+//! content hashing) lives in `psdacc-engine`, next to the JSON machinery.
+//!
+//! Every defect in a spec is a **typed** [`GraphSpecError`] — a dangling
+//! edge, an unknown block kind, a rate changer inside a feedback loop, all
+//! of them are rejected with a descriptive error and never a panic, because
+//! specs arrive from untrusted spec files and network peers.
+
+use std::collections::BTreeMap;
+
+use psdacc_filters::{Fir, Iir};
+
+use crate::block::Block;
+use crate::error::SfgError;
+use crate::graph::{NodeId, Sfg};
+use crate::topo::check_realizable;
+
+/// Hard ceiling on spec size: a hostile peer declaring millions of nodes
+/// must hit a typed error, not memory exhaustion.
+pub const MAX_SPEC_NODES: usize = 4096;
+
+/// Longest node name accepted (names travel in error messages and keys).
+pub const MAX_NAME_LEN: usize = 64;
+
+/// Largest delay accepted per node. Simulation allocates a line of this
+/// many samples per delay block, so an unbounded value would let one
+/// `define_scenario` request abort a daemon on its first evaluation (an
+/// allocation failure is not a catchable job error).
+pub const MAX_DELAY_SAMPLES: usize = 1 << 16;
+
+/// Largest rate-change factor accepted. Multirate preprocessing solves
+/// each rate region on an `npsd x rate` grid, so the factor multiplies
+/// every per-bin cost and allocation.
+pub const MAX_RATE_FACTOR: usize = 1 << 10;
+
+/// Longest coefficient list (FIR taps, IIR `b`/`a`) accepted per block.
+pub const MAX_COEFFS: usize = 1 << 16;
+
+/// One block description, by kind and parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockSpec {
+    /// External input port.
+    Input,
+    /// Multiplication by a constant.
+    Gain {
+        /// The coefficient.
+        gain: f64,
+    },
+    /// Pure delay of `samples >= 1` local-rate samples.
+    Delay {
+        /// The delay length.
+        samples: usize,
+    },
+    /// FIR filter with explicit taps.
+    Fir {
+        /// Tap list (non-empty, finite).
+        taps: Vec<f64>,
+    },
+    /// IIR filter `B(z)/A(z)`.
+    Iir {
+        /// Numerator coefficients.
+        b: Vec<f64>,
+        /// Denominator coefficients (`a[0]` must be nonzero).
+        a: Vec<f64>,
+    },
+    /// N-ary adder.
+    Add,
+    /// Decimator keeping every `factor`-th sample (`factor >= 1`).
+    Downsample {
+        /// The decimation factor.
+        factor: usize,
+    },
+    /// Expander inserting `factor - 1` zeros per sample (`factor >= 1`).
+    Upsample {
+        /// The expansion factor.
+        factor: usize,
+    },
+}
+
+impl BlockSpec {
+    /// The spec-level kind name (the `"block"` field of the JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BlockSpec::Input => "input",
+            BlockSpec::Gain { .. } => "gain",
+            BlockSpec::Delay { .. } => "delay",
+            BlockSpec::Fir { .. } => "fir",
+            BlockSpec::Iir { .. } => "iir",
+            BlockSpec::Add => "add",
+            BlockSpec::Downsample { .. } => "downsample",
+            BlockSpec::Upsample { .. } => "upsample",
+        }
+    }
+
+    /// Validates parameters and lowers to an executable [`Block`].
+    fn to_block(&self, node: &str) -> Result<Block, GraphSpecError> {
+        let bad = |detail: String| GraphSpecError::BadParameter { node: node.to_string(), detail };
+        match self {
+            BlockSpec::Input => Ok(Block::Input),
+            BlockSpec::Add => Ok(Block::Add),
+            BlockSpec::Gain { gain } => {
+                if !gain.is_finite() {
+                    return Err(bad(format!("gain must be finite, got {gain}")));
+                }
+                Ok(Block::Gain(*gain))
+            }
+            BlockSpec::Delay { samples } => {
+                if !(1..=MAX_DELAY_SAMPLES).contains(samples) {
+                    return Err(bad(format!(
+                        "delay needs samples in 1..={MAX_DELAY_SAMPLES}, got {samples}"
+                    )));
+                }
+                Ok(Block::Delay(*samples))
+            }
+            BlockSpec::Fir { taps } => {
+                if taps.is_empty() || taps.len() > MAX_COEFFS {
+                    return Err(bad(format!(
+                        "fir needs 1..={MAX_COEFFS} taps, got {}",
+                        taps.len()
+                    )));
+                }
+                if let Some(t) = taps.iter().find(|t| !t.is_finite()) {
+                    return Err(bad(format!("fir tap must be finite, got {t}")));
+                }
+                Ok(Block::Fir(Fir::new(taps.clone())))
+            }
+            BlockSpec::Iir { b, a } => {
+                if b.len() > MAX_COEFFS || a.len() > MAX_COEFFS {
+                    return Err(bad(format!("iir needs at most {MAX_COEFFS} coefficients")));
+                }
+                if b.iter().chain(a.iter()).any(|c| !c.is_finite()) {
+                    return Err(bad("iir coefficients must be finite".to_string()));
+                }
+                let iir = Iir::new(b.clone(), a.clone())
+                    .map_err(|e| bad(format!("iir coefficients rejected: {e}")))?;
+                Ok(Block::Iir(iir))
+            }
+            BlockSpec::Downsample { factor } => {
+                if !(1..=MAX_RATE_FACTOR).contains(factor) {
+                    return Err(bad(format!(
+                        "downsample needs factor in 1..={MAX_RATE_FACTOR}, got {factor}"
+                    )));
+                }
+                Ok(Block::Downsample(*factor))
+            }
+            BlockSpec::Upsample { factor } => {
+                if !(1..=MAX_RATE_FACTOR).contains(factor) {
+                    return Err(bad(format!(
+                        "upsample needs factor in 1..={MAX_RATE_FACTOR}, got {factor}"
+                    )));
+                }
+                Ok(Block::Upsample(*factor))
+            }
+        }
+    }
+}
+
+/// How a node participates in word-length plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeRole {
+    /// The block kind decides (multiplicative blocks requantize — the
+    /// default rule shared with the builtin scenarios).
+    #[default]
+    Auto,
+    /// The node is exact: it never carries a quantizer and injects no
+    /// noise, regardless of block kind (e.g. a multiplier whose
+    /// coefficient is known to be representable exactly).
+    Exact,
+}
+
+impl NodeRole {
+    /// The spec-level role name (the optional `"role"` JSON field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeRole::Auto => "auto",
+            NodeRole::Exact => "exact",
+        }
+    }
+}
+
+/// One declared node: a named block with named input edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Unique node name (referenced by edges and outputs).
+    pub name: String,
+    /// The block.
+    pub block: BlockSpec,
+    /// Names of the nodes feeding this block, in port order.
+    pub inputs: Vec<String>,
+    /// Word-length-plan role.
+    pub role: NodeRole,
+}
+
+impl NodeSpec {
+    /// Node with the default [`NodeRole::Auto`] role.
+    pub fn new(name: impl Into<String>, block: BlockSpec, inputs: &[&str]) -> Self {
+        NodeSpec {
+            name: name.into(),
+            block,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            role: NodeRole::Auto,
+        }
+    }
+}
+
+/// A declarative signal-flow-graph description.
+///
+/// `NodeId(i)` of the compiled graph is the `i`-th node of `nodes`, so a
+/// spec's declaration order *is* the compiled graph's node numbering —
+/// which is what lets per-node data (roles, word-length overrides) survive
+/// compilation without a name table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GraphSpec {
+    /// The nodes, in declaration order.
+    pub nodes: Vec<NodeSpec>,
+    /// Names of the probed output nodes, in declaration order.
+    pub outputs: Vec<String>,
+}
+
+/// Typed rejection reasons for invalid graph specs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpecError {
+    /// The spec declares no nodes.
+    Empty,
+    /// The spec declares more than [`MAX_SPEC_NODES`] nodes.
+    TooLarge {
+        /// Declared node count.
+        nodes: usize,
+    },
+    /// A node name is empty, too long, or uses characters outside
+    /// `[A-Za-z0-9_.-]`.
+    BadName {
+        /// The offending name.
+        name: String,
+    },
+    /// Two nodes share a name.
+    DuplicateNode {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An edge references a node that is not declared.
+    DanglingEdge {
+        /// The node whose edge dangles.
+        node: String,
+        /// The missing input name.
+        input: String,
+    },
+    /// An output references a node that is not declared.
+    UnknownOutput {
+        /// The missing output name.
+        name: String,
+    },
+    /// A block kind name is not recognized (JSON form only).
+    UnknownBlock {
+        /// The node declaring it.
+        node: String,
+        /// The unrecognized kind.
+        kind: String,
+    },
+    /// A block parameter is missing, out of range, or ill-typed.
+    BadParameter {
+        /// The node declaring it.
+        node: String,
+        /// What is wrong.
+        detail: String,
+    },
+    /// The spec designates no outputs.
+    NoOutput,
+    /// The JSON document does not have the expected shape.
+    Malformed {
+        /// What is wrong.
+        detail: String,
+    },
+    /// The described graph is structurally invalid (wrong arity, a
+    /// delay-free cycle, inconsistent sample rates, a rate changer inside
+    /// a feedback loop, ...).
+    Graph(SfgError),
+}
+
+impl std::fmt::Display for GraphSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphSpecError::Empty => write!(f, "graph spec declares no nodes"),
+            GraphSpecError::TooLarge { nodes } => {
+                write!(f, "graph spec declares {nodes} nodes (limit {MAX_SPEC_NODES})")
+            }
+            GraphSpecError::BadName { name } => write!(
+                f,
+                "bad node name `{name}` (1..={MAX_NAME_LEN} characters of [A-Za-z0-9_.-])"
+            ),
+            GraphSpecError::DuplicateNode { name } => write!(f, "duplicate node name `{name}`"),
+            GraphSpecError::DanglingEdge { node, input } => {
+                write!(f, "node `{node}` reads from undeclared node `{input}`")
+            }
+            GraphSpecError::UnknownOutput { name } => {
+                write!(f, "output `{name}` is not a declared node")
+            }
+            GraphSpecError::UnknownBlock { node, kind } => write!(
+                f,
+                "node `{node}` declares unknown block kind `{kind}` (known: input, gain, \
+                 delay, fir, iir, add, downsample, upsample)"
+            ),
+            GraphSpecError::BadParameter { node, detail } => {
+                write!(f, "node `{node}`: {detail}")
+            }
+            GraphSpecError::NoOutput => write!(f, "graph spec designates no outputs"),
+            GraphSpecError::Malformed { detail } => write!(f, "malformed graph spec: {detail}"),
+            GraphSpecError::Graph(e) => write!(f, "graph spec compiles to an invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphSpecError {}
+
+impl From<SfgError> for GraphSpecError {
+    fn from(e: SfgError) -> Self {
+        GraphSpecError::Graph(e)
+    }
+}
+
+/// `true` when `name` is a legal node name.
+pub fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+}
+
+impl GraphSpec {
+    /// Validates the spec and compiles it to a realizable [`Sfg`].
+    ///
+    /// The returned graph is fully checked: names resolved, arities
+    /// verified, every feedback loop contains a delay, and (for multirate
+    /// graphs) per-node sample rates are consistent — so a compiled spec
+    /// is safe to hand straight to preprocessing.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphSpecError`] describing the first defect found.
+    pub fn compile(&self) -> Result<Sfg, GraphSpecError> {
+        if self.nodes.is_empty() {
+            return Err(GraphSpecError::Empty);
+        }
+        if self.nodes.len() > MAX_SPEC_NODES {
+            return Err(GraphSpecError::TooLarge { nodes: self.nodes.len() });
+        }
+        let mut ids: BTreeMap<&str, NodeId> = BTreeMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !is_valid_name(&node.name) {
+                return Err(GraphSpecError::BadName { name: node.name.clone() });
+            }
+            if ids.insert(&node.name, NodeId(i)).is_some() {
+                return Err(GraphSpecError::DuplicateNode { name: node.name.clone() });
+            }
+        }
+        let mut lowered: Vec<(Block, Vec<NodeId>)> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let block = node.block.to_block(&node.name)?;
+            let inputs = node
+                .inputs
+                .iter()
+                .map(|input| {
+                    ids.get(input.as_str()).copied().ok_or_else(|| GraphSpecError::DanglingEdge {
+                        node: node.name.clone(),
+                        input: input.clone(),
+                    })
+                })
+                .collect::<Result<Vec<NodeId>, GraphSpecError>>()?;
+            lowered.push((block, inputs));
+        }
+        if self.outputs.is_empty() {
+            return Err(GraphSpecError::NoOutput);
+        }
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|name| {
+                ids.get(name.as_str())
+                    .copied()
+                    .ok_or_else(|| GraphSpecError::UnknownOutput { name: name.clone() })
+            })
+            .collect::<Result<Vec<NodeId>, GraphSpecError>>()?;
+        let sfg = Sfg::from_nodes(lowered, &outputs)?;
+        // Structural soundness beyond wiring: every loop delayed, and (for
+        // multirate graphs) a consistent rate assignment — this is where a
+        // rate changer inside a feedback loop is rejected.
+        check_realizable(&sfg)?;
+        if crate::multirate::is_multirate(&sfg) {
+            crate::multirate::node_rates(&sfg)?;
+        }
+        Ok(sfg)
+    }
+
+    /// `NodeId`s of nodes declared with [`NodeRole::Exact`] — the set a
+    /// word-length plan exempts from quantization. Ids follow declaration
+    /// order, matching the compiled graph.
+    pub fn exact_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.role == NodeRole::Exact)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> GraphSpec {
+        GraphSpec {
+            nodes: vec![
+                NodeSpec::new("x", BlockSpec::Input, &[]),
+                NodeSpec::new("lp", BlockSpec::Fir { taps: vec![0.5, 0.5] }, &["x"]),
+                NodeSpec::new("g", BlockSpec::Gain { gain: 0.25 }, &["lp"]),
+            ],
+            outputs: vec!["g".to_string()],
+        }
+    }
+
+    #[test]
+    fn valid_spec_compiles_to_checked_graph() {
+        let sfg = chain().compile().unwrap();
+        assert_eq!(sfg.len(), 3);
+        assert_eq!(sfg.inputs().len(), 1);
+        assert_eq!(sfg.outputs(), &[NodeId(2)]);
+        assert_eq!(sfg.node(NodeId(1)).block.kind(), "fir");
+    }
+
+    #[test]
+    fn multirate_spec_compiles_with_rate_check() {
+        let spec = GraphSpec {
+            nodes: vec![
+                NodeSpec::new("x", BlockSpec::Input, &[]),
+                NodeSpec::new("h", BlockSpec::Fir { taps: vec![0.5, 0.5] }, &["x"]),
+                NodeSpec::new("d", BlockSpec::Downsample { factor: 2 }, &["h"]),
+                NodeSpec::new("u", BlockSpec::Upsample { factor: 2 }, &["d"]),
+                NodeSpec::new("s", BlockSpec::Fir { taps: vec![1.0, 1.0] }, &["u"]),
+            ],
+            outputs: vec!["s".to_string()],
+        };
+        let sfg = spec.compile().unwrap();
+        assert!(crate::multirate::is_multirate(&sfg));
+    }
+
+    #[test]
+    fn dangling_edge_and_unknown_output_are_typed() {
+        let mut spec = chain();
+        spec.nodes[1].inputs = vec!["nope".to_string()];
+        assert_eq!(
+            spec.compile().unwrap_err(),
+            GraphSpecError::DanglingEdge { node: "lp".to_string(), input: "nope".to_string() }
+        );
+        let mut spec = chain();
+        spec.outputs = vec!["nope".to_string()];
+        assert_eq!(
+            spec.compile().unwrap_err(),
+            GraphSpecError::UnknownOutput { name: "nope".to_string() }
+        );
+    }
+
+    #[test]
+    fn name_rules_enforced() {
+        let mut spec = chain();
+        spec.nodes[0].name = "has space".to_string();
+        assert!(matches!(spec.compile(), Err(GraphSpecError::BadName { .. })));
+        let mut spec = chain();
+        spec.nodes[1].name = "x".to_string();
+        assert!(matches!(spec.compile(), Err(GraphSpecError::DuplicateNode { .. })));
+        assert!(is_valid_name("a.b-c_9"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name(&"x".repeat(MAX_NAME_LEN + 1)));
+    }
+
+    #[test]
+    fn parameter_rules_enforced() {
+        let cases = vec![
+            BlockSpec::Gain { gain: f64::NAN },
+            BlockSpec::Delay { samples: 0 },
+            BlockSpec::Fir { taps: vec![] },
+            BlockSpec::Fir { taps: vec![1.0, f64::INFINITY] },
+            BlockSpec::Downsample { factor: 0 },
+            BlockSpec::Upsample { factor: 0 },
+            BlockSpec::Iir { b: vec![1.0], a: vec![] },
+            // Resource bombs are typed errors, not daemon-aborting
+            // allocations at first evaluation.
+            BlockSpec::Delay { samples: MAX_DELAY_SAMPLES + 1 },
+            BlockSpec::Downsample { factor: MAX_RATE_FACTOR + 1 },
+            BlockSpec::Upsample { factor: MAX_RATE_FACTOR + 1 },
+            BlockSpec::Fir { taps: vec![0.5; MAX_COEFFS + 1] },
+            BlockSpec::Iir { b: vec![1.0], a: vec![0.0; MAX_COEFFS + 1] },
+        ];
+        for block in cases {
+            let spec = GraphSpec {
+                nodes: vec![
+                    NodeSpec::new("x", BlockSpec::Input, &[]),
+                    NodeSpec::new("b", block.clone(), &["x"]),
+                ],
+                outputs: vec!["b".to_string()],
+            };
+            assert!(
+                matches!(spec.compile(), Err(GraphSpecError::BadParameter { .. })),
+                "{block:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_defects_are_graph_errors() {
+        // Delay-free feedback loop.
+        let spec = GraphSpec {
+            nodes: vec![
+                NodeSpec::new("x", BlockSpec::Input, &[]),
+                NodeSpec::new("a", BlockSpec::Add, &["x", "g"]),
+                NodeSpec::new("g", BlockSpec::Gain { gain: 0.5 }, &["a"]),
+            ],
+            outputs: vec!["g".to_string()],
+        };
+        assert!(matches!(
+            spec.compile(),
+            Err(GraphSpecError::Graph(SfgError::DelayFreeCycle { .. }))
+        ));
+        // Rate changer inside a feedback loop.
+        let spec = GraphSpec {
+            nodes: vec![
+                NodeSpec::new("x", BlockSpec::Input, &[]),
+                NodeSpec::new("a", BlockSpec::Add, &["x", "z"]),
+                NodeSpec::new("d", BlockSpec::Downsample { factor: 2 }, &["a"]),
+                NodeSpec::new("u", BlockSpec::Upsample { factor: 2 }, &["d"]),
+                NodeSpec::new("z", BlockSpec::Delay { samples: 1 }, &["u"]),
+            ],
+            outputs: vec!["u".to_string()],
+        };
+        assert!(matches!(spec.compile(), Err(GraphSpecError::Graph(_))), "{:?}", spec.compile());
+        // Wrong arity (two edges into a gain).
+        let spec = GraphSpec {
+            nodes: vec![
+                NodeSpec::new("x", BlockSpec::Input, &[]),
+                NodeSpec::new("g", BlockSpec::Gain { gain: 0.5 }, &["x", "x"]),
+            ],
+            outputs: vec!["g".to_string()],
+        };
+        assert!(matches!(
+            spec.compile(),
+            Err(GraphSpecError::Graph(SfgError::ArityMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_and_outputless_specs_rejected() {
+        assert_eq!(GraphSpec::default().compile().unwrap_err(), GraphSpecError::Empty);
+        let spec =
+            GraphSpec { nodes: vec![NodeSpec::new("x", BlockSpec::Input, &[])], outputs: vec![] };
+        assert_eq!(spec.compile().unwrap_err(), GraphSpecError::NoOutput);
+    }
+
+    #[test]
+    fn exact_roles_map_to_declaration_ids() {
+        let mut spec = chain();
+        spec.nodes[1].role = NodeRole::Exact;
+        assert_eq!(spec.exact_nodes(), vec![NodeId(1)]);
+        assert_eq!(chain().exact_nodes(), Vec::<NodeId>::new());
+    }
+}
