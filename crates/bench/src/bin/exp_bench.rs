@@ -1,0 +1,58 @@
+//! The perf baseline: times preprocess, tau_eval, and a 2-daemon fleet
+//! batch, and writes `BENCH_psd.json` (see `psdacc_bench::perf`).
+//!
+//! ```text
+//! cargo run -p psdacc-bench --release --bin exp_bench -- --iters 50
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: exp_bench [--iters N] [--npsd N] [--out PATH]");
+    eprintln!("  --iters N   timed iterations per experiment (default 20)");
+    eprintln!("  --npsd N    PSD resolution for preprocess/tau_eval (default 256)");
+    eprintln!("  --out PATH  output file (default BENCH_psd.json)");
+    exit(2);
+}
+
+fn main() {
+    let mut iters = 20usize;
+    let mut npsd = 256usize;
+    let mut out = PathBuf::from("BENCH_psd.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--iters" => iters = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--npsd" => npsd = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out = PathBuf::from(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if iters == 0 || npsd == 0 {
+        usage();
+    }
+
+    eprintln!("[bench] baseline: {iters} iters, npsd={npsd}");
+    let report = psdacc_bench::run_baseline(npsd, iters);
+    for r in &report.results {
+        eprintln!(
+            "[bench] {:<12} p50={} ns  p95={} ns  {:.1} units/s",
+            r.name, r.p50_ns, r.p95_ns, r.throughput_units_per_s
+        );
+    }
+    let line = report.to_json_line();
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("[bench] cannot write {}: {e}", out.display());
+        exit(1);
+    }
+    println!("{line}");
+    eprintln!("[bench] wrote {}", out.display());
+}

@@ -19,5 +19,7 @@
 pub mod experiments;
 pub mod fleet;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{Args, Table};
+pub use perf::{run_baseline, BenchReport, BenchResult};

@@ -1,0 +1,197 @@
+//! The first performance baseline: `BENCH_psd.json`.
+//!
+//! Times the paper's two cost centers — the preprocessing pass (`tau_pp`:
+//! building an [`AccuracyEvaluator`], i.e. the PSD propagation tables)
+//! and a single analytical estimate (`tau_eval`) — plus a full
+//! work-stealing fleet batch over two in-process loopback daemons, and
+//! writes the derived percentiles as one JSON line:
+//!
+//! ```json
+//! {"kind":"bench","results":[
+//!   {"name":"preprocess","iters":20,"p50_ns":1048576,"p95_ns":2097152,
+//!    "throughput_units_per_s":812.5}, ...]}
+//! ```
+//!
+//! Per-iteration times land in a `psdacc_obs` log-bucketed histogram, so
+//! `p50_ns`/`p95_ns` follow the same bucket-upper-bound convention as
+//! every other percentile in the workspace (values are bucket upper
+//! bounds, at most 2x overestimates). Throughput is exact:
+//! `units / total wall time`. CI runs this at low iteration counts purely
+//! to validate the schema; baselines worth comparing come from dedicated
+//! runs at higher `iters`.
+
+use std::time::Instant;
+
+use psdacc_core::{AccuracyEvaluator, WordLengthPlan};
+use psdacc_engine::json::JsonWriter;
+use psdacc_engine::{BatchSpec, Engine, Scenario};
+use psdacc_fixed::RoundingMode;
+use psdacc_obs::Histogram;
+use psdacc_sched::{run_fleet, FleetConfig};
+use psdacc_serve::Server;
+
+/// One timed experiment of the baseline.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Experiment name (`preprocess`, `tau_eval`, `fleet_batch`).
+    pub name: &'static str,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Median per-iteration time, ns (bucket upper bound).
+    pub p50_ns: u64,
+    /// 95th-percentile per-iteration time, ns (bucket upper bound).
+    pub p95_ns: u64,
+    /// Work units completed per second of wall time.
+    pub throughput_units_per_s: f64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.field_str("name", self.name);
+        w.field_usize("iters", self.iters);
+        w.field_u64("p50_ns", self.p50_ns);
+        w.field_u64("p95_ns", self.p95_ns);
+        w.field_f64("throughput_units_per_s", self.throughput_units_per_s);
+        w.finish()
+    }
+}
+
+/// The full baseline report (`BENCH_psd.json` content).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// One entry per timed experiment.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// Serializes as one JSON line (the `BENCH_psd.json` schema).
+    pub fn to_json_line(&self) -> String {
+        let entries: Vec<String> = self.results.iter().map(BenchResult::to_json).collect();
+        let mut w = JsonWriter::new();
+        w.field_str("kind", "bench");
+        w.field_raw("results", &format!("[{}]", entries.join(",")));
+        w.finish()
+    }
+}
+
+/// Times `iters` runs of `work` (which completes `units_per_iter` units
+/// each run) and derives the percentile/throughput record.
+pub fn measure(
+    name: &'static str,
+    iters: usize,
+    units_per_iter: usize,
+    mut work: impl FnMut(),
+) -> BenchResult {
+    let hist = Histogram::default();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let it = Instant::now();
+        work();
+        hist.record(it.elapsed());
+    }
+    let total = t0.elapsed().as_secs_f64();
+    let snap = hist.snapshot();
+    BenchResult {
+        name,
+        iters,
+        p50_ns: snap.quantile_ns(0.50).unwrap_or(0),
+        p95_ns: snap.quantile_ns(0.95).unwrap_or(0),
+        throughput_units_per_s: if total > 0.0 {
+            (iters * units_per_iter) as f64 / total
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The spec the `fleet_batch` experiment dispatches (20 units: a bits
+/// sweep, a refinement, and a seeded simulation over one scenario).
+const FLEET_SPEC: &str = "scenario fir-cascade stages=1 taps=9 cutoff=0.3\n\
+                          batch npsd=64 bits=4..21 methods=psd\n\
+                          min-uniform npsd=64 budget=1e-6 min=2 max=24\n\
+                          simulate npsd=64 bits=8 samples=1024 nfft=32 seed=7 trials=1\n";
+
+/// Runs the whole baseline: `preprocess` and `tau_eval` at `npsd`, and a
+/// work-stealing fleet batch across two in-process loopback daemons.
+///
+/// # Panics
+///
+/// Panics when a scenario fails to build or the loopback fleet cannot
+/// run — baseline-binary style (there is nothing to degrade to).
+pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
+    let iters = iters.max(1);
+    let sfg = Scenario::FirCascade { stages: 2, taps: 15, cutoff: 0.2 }
+        .build()
+        .expect("baseline scenario builds");
+
+    // tau_pp: the preprocessing pass (PSD propagation tables), paid once
+    // per (scenario, npsd) and amortized by every cache layer above.
+    let preprocess = measure("preprocess", iters, 1, || {
+        let evaluator = AccuracyEvaluator::new(&sfg, npsd).expect("preprocess");
+        std::hint::black_box(&evaluator);
+    });
+
+    // tau_eval: one analytical PSD estimate against a built evaluator —
+    // the per-query cost the paper's economics amortize toward.
+    let evaluator = AccuracyEvaluator::new(&sfg, npsd).expect("preprocess");
+    let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+    let tau_eval = measure("tau_eval", iters, 1, || {
+        std::hint::black_box(evaluator.estimate_psd(&plan).power);
+    });
+
+    // A fleet batch end to end: two loopback daemons, work-stealing
+    // dispatch, in-order merge. Throughput counts units, not iterations.
+    let spec = BatchSpec::parse(FLEET_SPEC).expect("fleet spec parses");
+    let jobs = spec.jobs();
+    let a = Server::bind("127.0.0.1:0", Engine::new(2)).unwrap().spawn().unwrap();
+    let b = Server::bind("127.0.0.1:0", Engine::new(2)).unwrap().spawn().unwrap();
+    let daemons = vec![a.addr().to_string(), b.addr().to_string()];
+    let fleet_iters = iters.clamp(1, 5);
+    let fleet = measure("fleet_batch", fleet_iters, jobs.len(), || {
+        let outcome =
+            run_fleet(&daemons, &jobs, &FleetConfig::default(), |_| {}).expect("fleet batch");
+        assert_eq!(outcome.stats.failed, 0, "{:?}", outcome.stats);
+    });
+    a.shutdown();
+    b.shutdown();
+
+    BenchReport { results: vec![preprocess, tau_eval, fleet] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_engine::json::{self, Json};
+
+    #[test]
+    fn baseline_report_carries_every_experiment_with_valid_schema() {
+        let report = run_baseline(64, 2);
+        let line = report.to_json_line();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("bench"));
+        let results = v.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 3, "{line}");
+        let names: Vec<&str> =
+            results.iter().map(|r| r.get("name").and_then(Json::as_str).unwrap()).collect();
+        assert_eq!(names, vec!["preprocess", "tau_eval", "fleet_batch"]);
+        for r in results {
+            assert!(r.get("iters").unwrap().as_u64().unwrap() >= 1, "{line}");
+            let p50 = r.get("p50_ns").unwrap().as_u64().unwrap();
+            let p95 = r.get("p95_ns").unwrap().as_u64().unwrap();
+            assert!(p50 > 0 && p50 <= p95, "{line}");
+            assert!(r.get("throughput_units_per_s").unwrap().as_f64().unwrap() > 0.0, "{line}");
+        }
+    }
+
+    #[test]
+    fn measure_derives_percentiles_from_the_histogram() {
+        let r = measure("spin", 8, 3, || std::thread::sleep(std::time::Duration::from_micros(50)));
+        assert_eq!(r.iters, 8);
+        // 50 µs sleeps land well above zero and below a second.
+        assert!(r.p50_ns >= 50_000, "{r:?}");
+        assert!(r.p95_ns < 1_000_000_000, "{r:?}");
+        // 8 iterations x 3 units in ~8 x 50 µs.
+        assert!(r.throughput_units_per_s > 100.0, "{r:?}");
+    }
+}

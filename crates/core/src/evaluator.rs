@@ -59,6 +59,10 @@ impl AccuracyEvaluator {
         let t0 = Instant::now();
         let preprocessed = preprocess(sfg, output, npsd)?;
         let preprocess_seconds = t0.elapsed().as_secs_f64();
+        #[cfg(feature = "obs")]
+        if let Some(reg) = psdacc_obs::stage::registry() {
+            reg.histogram("core_tau_pp_ns").record(t0.elapsed());
+        }
         Ok(AccuracyEvaluator { sfg: sfg.clone(), output, preprocessed, preprocess_seconds })
     }
 
@@ -136,6 +140,10 @@ impl AccuracyEvaluator {
             Preprocessed::Multirate(kernels) => evaluate_with_multirate(kernels, &sources),
         };
         let elapsed = t0.elapsed();
+        #[cfg(feature = "obs")]
+        if let Some(reg) = psdacc_obs::stage::registry() {
+            reg.histogram("core_tau_eval_ns").record(elapsed);
+        }
         Estimate {
             method: Method::PsdMethod,
             power: est.power(),

@@ -111,6 +111,9 @@ pub struct CacheStats {
     /// Preprocessing results written out to a persistent store (always 0
     /// for the purely in-memory cache).
     pub disk_writes: usize,
+    /// Records evicted from a capacity-capped persistent store (always 0
+    /// for the purely in-memory cache).
+    pub evictions: usize,
 }
 
 impl EvaluatorCache {
@@ -214,6 +217,7 @@ impl EvaluatorCache {
             entries: self.slots.lock().expect("cache lock poisoned").len(),
             disk_hits: 0,
             disk_writes: 0,
+            evictions: 0,
         }
     }
 

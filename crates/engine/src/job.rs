@@ -12,6 +12,8 @@ use psdacc_core::{metrics, AccuracyEvaluator, Method, WordLengthPlan};
 use psdacc_fixed::RoundingMode;
 use psdacc_sim::SimulationPlan;
 
+use psdacc_obs::{SpanId, Tracer};
+
 use crate::cache::PreprocessCache;
 use crate::error::EngineError;
 use crate::json::JsonWriter;
@@ -231,19 +233,76 @@ impl JobResult {
     }
 }
 
+/// Trace context for one job: where its spans hang in a larger trace.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitTrace<'a> {
+    /// The collecting tracer.
+    pub tracer: &'a Tracer,
+    /// Parent span for this job's spans (e.g. the daemon's per-unit span).
+    pub parent: Option<SpanId>,
+    /// Unit id stamped on every span, for cross-process correlation.
+    pub unit: Option<u64>,
+}
+
 /// Executes one job against the shared cache. Never panics on job-level
 /// failures — they land in [`JobResult::error`].
 pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) -> JobResult {
+    run_job_traced(cache, job_index, spec, None)
+}
+
+/// [`run_job`] with per-stage tracing: a `unit.cache_lookup` span (with
+/// the hit flag), a `unit.preprocess` span on misses — reconstructed from
+/// the evaluator's recorded `tau_pp` rather than re-measured, so it is
+/// the historical build cost when the miss was served by a disk load —
+/// and a `unit.tau_eval` span around the job body. Tracing is
+/// observational only: the computation is byte-for-byte `run_job`.
+pub fn run_job_traced(
+    cache: &dyn PreprocessCache,
+    job_index: usize,
+    spec: &JobSpec,
+    trace: Option<&UnitTrace<'_>>,
+) -> JobResult {
     let mut out = JobResult::empty(job_index, spec);
+    let lookup = trace.and_then(|t| t.tracer.start("unit.cache_lookup", t.parent, t.unit));
     let (evaluator, hit) = match cache.get_or_build_traced(&spec.scenario, spec.npsd) {
         Ok(pair) => pair,
         Err(e) => {
             out.error = Some(e.to_string());
+            if let Some(t) = trace {
+                t.tracer.end_with(lookup, vec![("error".to_string(), "true".to_string())]);
+            }
             return out;
         }
     };
     out.cache_hit = hit;
     out.tau_pp_seconds = Some(evaluator.preprocess_seconds());
+    if let Some(t) = trace {
+        let lookup_id = lookup.as_ref().map(|s| s.id);
+        t.tracer.end_with(lookup, vec![("cache_hit".to_string(), hit.to_string())]);
+        if !hit {
+            let dur_ns = (evaluator.preprocess_seconds().max(0.0) * 1e9) as u64;
+            let start_ns = t.tracer.now_ns().saturating_sub(dur_ns);
+            t.tracer.span_at(
+                "unit.preprocess",
+                lookup_id,
+                t.unit,
+                start_ns,
+                dur_ns,
+                vec![("recorded".to_string(), "true".to_string())],
+            );
+        }
+    }
+    let eval = trace.and_then(|t| t.tracer.start("unit.tau_eval", t.parent, t.unit));
+    execute_kind(&mut out, &evaluator, spec);
+    if let Some(t) = trace {
+        t.tracer.end_with(eval, vec![("kind".to_string(), out.kind.to_string())]);
+    }
+    out
+}
+
+/// The job body shared by the traced and untraced paths: runs `spec.kind`
+/// against the resolved evaluator, filling `out`.
+fn execute_kind(out: &mut JobResult, evaluator: &Arc<AccuracyEvaluator>, spec: &JobSpec) {
     match spec.kind {
         JobKind::Estimate { method, frac_bits } => {
             out.frac_bits = Some(frac_bits);
@@ -264,7 +323,7 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
                     out.power = Some(est.power);
                     out.mean = Some(est.mean);
                     out.variance = Some(est.variance);
-                    out.sqnr_db = Some(metrics::sqnr_db(signal_power(&evaluator), est.power));
+                    out.sqnr_db = Some(metrics::sqnr_db(signal_power(evaluator), est.power));
                 }
                 Err(e) => out.error = Some(e.to_string()),
             }
@@ -275,7 +334,7 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
             // refinement and the estimate jobs of the same scenario agree
             // on which nodes are noise sources.
             let result = greedy_refinement_from(
-                &evaluator,
+                evaluator,
                 budget,
                 &spec.plan(start_bits),
                 start_bits,
@@ -289,7 +348,7 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
         JobKind::MinUniform { budget, min_bits, max_bits } => {
             let t0 = Instant::now();
             let d = minimum_uniform_wordlength_from(
-                &evaluator,
+                evaluator,
                 budget,
                 &spec.plan(min_bits),
                 min_bits,
@@ -306,7 +365,7 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
             out.trials = Some(trials);
             if trials == 0 {
                 out.error = Some("simulate needs at least one trial".to_string());
-                return out;
+                return;
             }
             let plan = spec.plan(frac_bits);
             let t0 = Instant::now();
@@ -343,12 +402,11 @@ pub fn run_job(cache: &dyn PreprocessCache, job_index: usize, spec: &JobSpec) ->
                     out.power = Some(power / n);
                     out.mean = Some(mean / n);
                     out.variance = Some(variance / n);
-                    out.sqnr_db = Some(metrics::sqnr_db(signal_power(&evaluator), power / n));
+                    out.sqnr_db = Some(metrics::sqnr_db(signal_power(evaluator), power / n));
                 }
             }
         }
     }
-    out
 }
 
 /// Output-referred power of a unit-power white input — the signal side of

@@ -58,18 +58,22 @@ pub mod engine;
 pub mod error;
 pub mod graphspec;
 pub mod job;
-pub mod json;
 pub mod pool;
 pub mod provider;
 pub mod scenario;
 pub mod units;
+
+// The JSON machinery moved to `psdacc-obs` (the observability layer needs
+// it below the engine); this re-export keeps `psdacc_engine::json` paths
+// working unchanged.
+pub use psdacc_obs::json;
 
 pub use batch::{demo_spec, BatchSpec};
 pub use cache::{CacheStats, EvaluatorCache, FillSource, PreprocessCache, ScenarioCacheStats};
 pub use engine::{BatchReport, Engine};
 pub use error::EngineError;
 pub use graphspec::{canonical_json, graph_spec_from_str, GraphScenario};
-pub use job::{JobKind, JobResult, JobSpec};
+pub use job::{run_job, run_job_traced, JobKind, JobResult, JobSpec, UnitTrace};
 pub use pool::PoolStats;
 pub use provider::{
     BuiltinProvider, FamilyInfo, GraphProvider, ParamSpec, ScenarioProvider, ScenarioRegistry,

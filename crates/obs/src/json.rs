@@ -1,5 +1,8 @@
-//! Minimal JSON machinery shared by the engine's result stream and the
-//! `psdacc-serve` wire protocol.
+//! Minimal JSON machinery shared by the engine's result stream, the
+//! `psdacc-serve` wire protocol, and the observability layer (metric
+//! snapshots and trace JSONL). It lives in `psdacc-obs` — the one crate
+//! every layer can depend on — and is re-exported as
+//! `psdacc_engine::json` for the existing call sites.
 //!
 //! The workspace has no serde (the build environment has no crates.io
 //! access), so both directions are hand-rolled and deliberately small:
@@ -88,6 +91,54 @@ impl Json {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// Re-serializes this value as one JSON line. Numbers render via
+    /// `{:e}` when fractional (shortest-round-trip) and as plain integers
+    /// when integral, matching what [`JsonWriter`] emits; object key
+    /// order is preserved.
+    pub fn to_json_line(&self) -> String {
+        let mut buf = String::new();
+        self.write_into(&mut buf);
+        buf
+    }
+
+    fn write_into(&self, buf: &mut String) {
+        match self {
+            Json::Null => buf.push_str("null"),
+            Json::Bool(b) => buf.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) if !v.is_finite() => buf.push_str("null"),
+            Json::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+                    let _ = write!(buf, "{}", *v as i64);
+                } else {
+                    let _ = write!(buf, "{v:e}");
+                }
+            }
+            Json::Str(s) => buf.push_str(&escape_str(s)),
+            Json::Arr(items) => {
+                buf.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    item.write_into(buf);
+                }
+                buf.push(']');
+            }
+            Json::Obj(fields) => {
+                buf.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    buf.push_str(&escape_str(k));
+                    buf.push(':');
+                    v.write_into(buf);
+                }
+                buf.push('}');
+            }
         }
     }
 }
@@ -456,6 +507,25 @@ mod tests {
         let v = parse(r#"{"k":"héllo é \t"}"#).unwrap();
         assert_eq!(v.get("k").unwrap().as_str(), Some("héllo é \t"));
         assert_eq!(escape_str("a\"b"), r#""a\"b""#);
+    }
+
+    #[test]
+    fn reserialization_is_a_fixpoint_on_writer_output() {
+        // parse ∘ to_json_line is identity on anything a JsonWriter (or
+        // the nested raw fields it carries) can emit.
+        for line in [
+            r#"{"kind":"evaluate","scenario":"a b","npsd":256,"x":1.25e-7,"neg":-42}"#,
+            r#"{"arr":[1,"two",null,{"k":false}],"s":"q\"w\\e\nr"}"#,
+            r#"{}"#,
+            r#"[0,-0.5,18446744073709551615]"#,
+        ] {
+            let v = parse(line).unwrap();
+            let re = v.to_json_line();
+            assert_eq!(parse(&re).unwrap(), v, "{line} -> {re}");
+        }
+        // Integral floats render as integers, fractional via {:e}.
+        assert_eq!(Json::Num(256.0).to_json_line(), "256");
+        assert_eq!(Json::Num(0.1).to_json_line(), format!("{:e}", 0.1f64));
     }
 
     #[test]

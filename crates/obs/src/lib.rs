@@ -1,0 +1,31 @@
+//! `psdacc-obs` — unified observability for the psdacc stack.
+//!
+//! Three pieces, std-only, shared by every layer:
+//!
+//! * [`metrics`] — a named registry of counters, gauges, and log-bucketed
+//!   duration histograms, with canonical JSON and Prometheus-style text
+//!   expositions. Replaces the bespoke stats structs that serve, sched,
+//!   engine, and store each grew independently.
+//! * [`trace`] — structured spans/events as JSONL, with ids that survive
+//!   the wire so a fleet run merges daemon-side spans into one
+//!   end-to-end trace.
+//! * [`stage`] — a process-global sink for feature-gated stage timers in
+//!   the numeric hot paths (`freq::preprocess`, `tau_pp`), costing one
+//!   atomic load when not installed.
+//!
+//! The [`json`] module (writer + parser) also lives here — it predates
+//! this crate in `psdacc-engine`, which still re-exports it.
+//!
+//! Observability is **behavior-neutral by construction**: nothing in this
+//! crate feeds back into evaluation, so results are bit-identical with
+//! tracing/metrics on or off (asserted end-to-end by the fleet tests).
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod stage;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, NUM_BUCKETS};
+pub use trace::{EventKind, OpenSpan, Severity, SpanId, TraceEvent, TraceStore, Tracer, MAX_TS_NS};

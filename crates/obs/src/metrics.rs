@@ -1,0 +1,495 @@
+//! The unified metrics registry: named counters, gauges, and log-bucketed
+//! duration histograms, with two expositions — a canonical single-line
+//! JSON object (machine-diffable, key-sorted) and a Prometheus-style text
+//! format (scrapeable).
+//!
+//! # Naming scheme
+//!
+//! Metric names are `snake_case`, prefixed by the owning layer
+//! (`serve_`, `sched_`, `engine_`, `store_`, `sfg_`, `core_`), suffixed
+//! by unit or kind: `_total` for monotone counters, `_ns` for duration
+//! histograms, bare for gauges. A single label may be appended in braces,
+//! `name{key=value}` — e.g. `serve_latency_ns{verb=evaluate}`. The label
+//! is part of the registry key; the Prometheus exposition re-renders it
+//! as a proper label pair.
+//!
+//! # Histogram buckets and quantiles
+//!
+//! Buckets are log-spaced in **nanoseconds**: bucket `i` counts
+//! observations in `[2^i, 2^(i+1))` ns (bucket 0 also absorbs 0–1 ns, the
+//! last bucket absorbs everything from ~39 h up). 48 buckets cover the
+//! whole range this stack sees, from sub-µs stage timers to multi-second
+//! preprocessing builds. Derived quantiles use the **bucket-upper-bound
+//! convention**: `quantile(q)` returns the upper bound `2^(i+1)` of the
+//! bucket holding the `ceil(q·count)`-th observation — a conservative
+//! overestimate by at most 2×, and stable under merging.
+//!
+//! All cells are relaxed atomics: writers are hot paths, readers are
+//! `stats`/`metrics` verbs, and eventual consistency is all either needs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::JsonWriter;
+
+/// Number of log-spaced histogram buckets (`2^47` ns ≈ 39 h top bucket).
+pub const NUM_BUCKETS: usize = 48;
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (pool occupancy, cache
+/// entries, active connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-bucketed duration histogram (see the module docs for the bucket
+/// and quantile conventions).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// An owned point-in-time copy of a [`Histogram`], for quantile math and
+/// rendering without holding the live cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total observation count.
+    pub count: u64,
+    /// Sum of all observed durations, in nanoseconds (saturating).
+    pub total_ns: u64,
+}
+
+/// Maps a nanosecond value to its bucket index.
+fn bucket_index(ns: u64) -> usize {
+    (ns.max(1).ilog2() as usize).min(NUM_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.record_ns(ns);
+    }
+
+    /// Records one observation given directly in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes an owned snapshot of the current cells.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (0 < q ≤ 1) in nanoseconds, by the bucket-
+    /// upper-bound convention; `None` for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(upper_bound_ns(i));
+            }
+        }
+        Some(upper_bound_ns(NUM_BUCKETS - 1))
+    }
+
+    /// Renders the histogram body fields (`count`, `total_ns`, `p50_ns`,
+    /// `p95_ns`, `p99_ns`, `buckets`) into an existing writer.
+    pub fn write_fields(&self, w: &mut JsonWriter) {
+        w.field_u64("count", self.count);
+        w.field_u64("total_ns", self.total_ns);
+        w.field_u64("p50_ns", self.quantile_ns(0.50).unwrap_or(0));
+        w.field_u64("p95_ns", self.quantile_ns(0.95).unwrap_or(0));
+        w.field_u64("p99_ns", self.quantile_ns(0.99).unwrap_or(0));
+        let cells: Vec<String> = self.buckets.iter().map(u64::to_string).collect();
+        w.field_raw("buckets", &format!("[{}]", cells.join(",")));
+    }
+
+    /// The histogram as a standalone one-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_fields(&mut w);
+        w.finish()
+    }
+}
+
+/// The exclusive upper bound of bucket `i`, in nanoseconds (saturating
+/// for the open-ended last bucket).
+pub fn upper_bound_ns(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+/// One registered metric.
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. Handles are `Arc`s: look a metric up
+/// once, keep the handle on the hot path, and let readers render
+/// snapshots concurrently.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().expect("metrics lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().expect("metrics lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().expect("metrics lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// The canonical JSON exposition: one object, keys sorted (the
+    /// registry map is a `BTreeMap`, so iteration order is the schema).
+    /// Counters and gauges render as numbers; histograms as objects with
+    /// `count`/`total_ns`/`p50_ns`/`p95_ns`/`p99_ns`/`buckets`.
+    pub fn to_json_line(&self) -> String {
+        let map = self.metrics.lock().expect("metrics lock");
+        let mut w = JsonWriter::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => w.field_u64(name, c.get()),
+                Metric::Gauge(g) => w.field_i64(name, g.get()),
+                Metric::Histogram(h) => w.field_raw(name, &h.snapshot().to_json()),
+            }
+        }
+        w.finish()
+    }
+
+    /// The Prometheus-style text exposition. `name{key=value}` registry
+    /// keys become `name{key="value"}` sample labels; histograms render
+    /// cumulative `_bucket{le="..."}` series plus `_sum` (seconds) and
+    /// `_count`, per the Prometheus histogram convention.
+    pub fn to_prometheus(&self) -> String {
+        let map = self.metrics.lock().expect("metrics lock");
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            let (base, label) = split_label(name);
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&sample(base, label, None, &c.get().to_string()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&sample(base, label, None, &g.get().to_string()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cum = 0u64;
+                    for (i, &n) in snap.buckets.iter().enumerate() {
+                        cum += n;
+                        // Skip interior empty prefixes/suffixes? No: a
+                        // fixed 48-series exposition per histogram is
+                        // noisy. Emit only buckets up to the last
+                        // non-empty one, then `+Inf`.
+                        if n == 0 && snap.buckets[i..].iter().all(|&m| m == 0) {
+                            break;
+                        }
+                        let le = upper_bound_ns(i).to_string();
+                        out.push_str(&sample(
+                            &format!("{base}_bucket"),
+                            label,
+                            Some(("le", &le)),
+                            &cum.to_string(),
+                        ));
+                    }
+                    out.push_str(&sample(
+                        &format!("{base}_bucket"),
+                        label,
+                        Some(("le", "+Inf")),
+                        &snap.count.to_string(),
+                    ));
+                    out.push_str(&sample(
+                        &format!("{base}_sum"),
+                        label,
+                        None,
+                        &format!("{:e}", snap.total_ns as f64 / 1e9),
+                    ));
+                    out.push_str(&sample(
+                        &format!("{base}_count"),
+                        label,
+                        None,
+                        &snap.count.to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits a registry key `name{key=value}` into `(name, Some((key, value)))`.
+fn split_label(name: &str) -> (&str, Option<(&str, &str)>) {
+    let Some(open) = name.find('{') else { return (name, None) };
+    let Some(inner) = name[open + 1..].strip_suffix('}') else { return (name, None) };
+    let Some((k, v)) = inner.split_once('=') else { return (name, None) };
+    (&name[..open], Some((k, v)))
+}
+
+/// One Prometheus text-format sample line. `extra` is an additional label
+/// pair (used for histogram `le`).
+fn sample(
+    name: &str,
+    label: Option<(&str, &str)>,
+    extra: Option<(&str, &str)>,
+    value: &str,
+) -> String {
+    let mut pairs = Vec::new();
+    if let Some((k, v)) = label {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{}}} {value}\n", pairs.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn buckets_are_log_spaced_in_ns() {
+        let h = Histogram::default();
+        h.record(Duration::from_nanos(0)); // -> bucket 0
+        h.record(Duration::from_nanos(1)); // -> bucket 0
+        h.record(Duration::from_nanos(3)); // -> bucket 1
+        h.record(Duration::from_micros(1)); // [512, 1024) ns -> bucket 9
+        h.record(Duration::from_secs(200_000)); // overflow -> last bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[9], 1);
+        assert_eq!(s.buckets[NUM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_use_the_bucket_upper_bound() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record_ns(100); // bucket 6: [64, 128)
+        }
+        h.record_ns(1 << 20); // bucket 20
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.50), Some(128), "p50 = upper bound of bucket 6");
+        assert_eq!(s.quantile_ns(0.95), Some(128));
+        assert_eq!(s.quantile_ns(0.99), Some(128), "rank 99 of 100 still in bucket 6");
+        assert_eq!(s.quantile_ns(1.0), Some(1 << 21), "max = upper bound of bucket 20");
+        assert_eq!(
+            HistogramSnapshot { buckets: [0; NUM_BUCKETS], count: 0, total_ns: 0 }.quantile_ns(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn registry_json_is_key_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total").add(3);
+        reg.gauge("a_gauge").set(-2);
+        reg.histogram("c_ns").record(Duration::from_micros(40));
+        let line = reg.to_json_line();
+        assert!(line.find("\"a_gauge\"").unwrap() < line.find("\"b_total\"").unwrap());
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("a_gauge").unwrap().as_i64(), Some(-2));
+        assert_eq!(v.get("b_total").unwrap().as_u64(), Some(3));
+        let h = v.get("c_ns").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("buckets").unwrap().as_array().unwrap().len(), NUM_BUCKETS);
+        // 40 µs = 40000 ns -> bucket 15 ([32768, 65536)) -> p50 = 65536.
+        assert_eq!(h.get("p50_ns").unwrap().as_u64(), Some(65536));
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total").inc();
+        reg.counter("x_total").inc();
+        assert_eq!(reg.counter("x_total").get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_labels_and_le_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve_jobs_total{verb=evaluate}").add(5);
+        reg.gauge("engine_cache_entries").set(2);
+        reg.histogram("serve_latency_ns{verb=evaluate}").record_ns(100);
+        let text = reg.to_prometheus();
+        assert!(text.contains("serve_jobs_total{verb=\"evaluate\"} 5\n"), "{text}");
+        assert!(text.contains("engine_cache_entries 2\n"));
+        assert!(
+            text.contains("serve_latency_ns_bucket{verb=\"evaluate\",le=\"128\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("serve_latency_ns_bucket{verb=\"evaluate\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("serve_latency_ns_count{verb=\"evaluate\"} 1\n"));
+        assert!(text.contains("serve_latency_ns_sum{verb=\"evaluate\"} 1e-7\n"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_increments() {
+        let reg = Arc::new(MetricsRegistry::new());
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("hammer_total");
+                    let h = reg.histogram("hammer_ns");
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record_ns(i as u64);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(reg.counter("hammer_total").get(), (THREADS * PER_THREAD) as u64);
+        let s = reg.histogram("hammer_ns").snapshot();
+        assert_eq!(s.count, (THREADS * PER_THREAD) as u64);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count, "every observation landed in a bucket");
+    }
+}

@@ -1,0 +1,94 @@
+//! Global stage-timer sink for hot-path profiling hooks.
+//!
+//! Kernel crates (`psdacc-sfg`, `psdacc-core`) cannot thread a registry
+//! handle through their public APIs without polluting them, so profiling
+//! hooks go through one process-global sink instead: a harness that wants
+//! stage timings calls [`install`] once, and the feature-gated hooks in
+//! the kernels call [`timer`]/[`record`]. When nothing is installed —
+//! the default, and the only state production daemons run in unless asked
+//! — both calls are a single relaxed atomic load and return immediately,
+//! and no `Instant::now()` is taken. Stage timing is observational only:
+//! it never changes control flow, so results are bit-identical either way.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+
+static SINK: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs the process-global stage-metrics sink. First install wins;
+/// later calls return `false` and leave the original in place.
+pub fn install(registry: Arc<MetricsRegistry>) -> bool {
+    let won = SINK.set(registry).is_ok();
+    if won {
+        INSTALLED.store(true, Ordering::Release);
+    }
+    won
+}
+
+/// Whether a sink is installed (one relaxed load — the hot-path guard).
+pub fn enabled() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// The installed registry, if any.
+pub fn registry() -> Option<&'static Arc<MetricsRegistry>> {
+    if enabled() {
+        SINK.get()
+    } else {
+        None
+    }
+}
+
+/// Starts a stage timer; `None` (cost: one load) when no sink is
+/// installed.
+pub fn timer() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Records `start`'s elapsed time into histogram `name` — a no-op when
+/// `start` is `None`, so call sites need no branching.
+pub fn record(name: &str, start: Option<Instant>) {
+    if let (Some(start), Some(reg)) = (start, registry()) {
+        reg.histogram(name).record(start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test process shares the global sink, so all behaviors are
+    // exercised in a single test body, ordered around one install.
+    #[test]
+    fn sink_lifecycle() {
+        // Before install: timers cost nothing and record() is a no-op.
+        assert!(!enabled());
+        assert!(timer().is_none());
+        record("pre_install_ns", timer());
+
+        let reg = Arc::new(MetricsRegistry::new());
+        assert!(install(Arc::clone(&reg)));
+        assert!(enabled());
+
+        let t = timer();
+        assert!(t.is_some());
+        record("stage_ns", t);
+        assert_eq!(reg.histogram("stage_ns").count(), 1);
+        // The no-op path still works with a sink installed.
+        record("stage_ns", None);
+        assert_eq!(reg.histogram("stage_ns").count(), 1);
+
+        // Second install loses; the original registry keeps receiving.
+        assert!(!install(Arc::new(MetricsRegistry::new())));
+        record("stage_ns", timer());
+        assert_eq!(reg.histogram("stage_ns").count(), 2);
+    }
+}

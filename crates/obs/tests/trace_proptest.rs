@@ -1,0 +1,72 @@
+//! Property test: trace JSONL serialization is a fixpoint under
+//! serialize ∘ parse — any `TraceEvent` survives a round trip through its
+//! wire line exactly, and the parsed event re-serializes byte-identically.
+
+use proptest::prelude::*;
+
+use psdacc_obs::trace::MAX_TS_NS;
+use psdacc_obs::{EventKind, Severity, SpanId, TraceEvent};
+
+/// Name/batch corpus: dot-scoped ASCII like real spans, plus strings that
+/// stress the JSON escaping (quotes, backslashes, controls, non-ASCII).
+const NAMES: [&str; 6] =
+    ["fleet.batch", "serve.unit", "unit.tau_eval", "weird \"name\"\n\\", "héllo·τ", ""];
+
+/// Characters field values are drawn from (escaping-hostile on purpose).
+const VALUE_CHARS: [char; 12] =
+    ['a', 'z', '0', '"', '\\', '\n', '\t', '\r', ' ', 'é', '·', '\u{1}'];
+
+fn arb_string(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..VALUE_CHARS.len(), 0..max_len)
+        .prop_map(|ids| ids.into_iter().map(|i| VALUE_CHARS[i]).collect())
+}
+
+/// Field keys: plain ASCII identifiers (the writer emits keys verbatim,
+/// so keys are restricted by contract; values are arbitrary).
+fn arb_key() -> impl Strategy<Value = String> {
+    const KEY_CHARS: [char; 8] = ['a', 'b', 'k', 'x', '_', '0', '7', 'z'];
+    prop::collection::vec(0usize..KEY_CHARS.len(), 1..8)
+        .prop_map(|ids| ids.into_iter().map(|i| KEY_CHARS[i]).collect())
+}
+
+fn arb_fields() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((arb_key(), arb_string(12)), 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_is_a_fixpoint(
+        ts_ns in 0..MAX_TS_NS,
+        name_idx in 0usize..NAMES.len(),
+        is_span in prop::bool::ANY,
+        dur_ns in 0..MAX_TS_NS,
+        span in 0u64..u64::MAX,
+        has_parent in prop::bool::ANY,
+        parent in 0u64..u64::MAX,
+        batch in arb_string(12),
+        unit in 0..MAX_TS_NS,
+        has_unit in prop::bool::ANY,
+        has_daemon in prop::bool::ANY,
+        warn in prop::bool::ANY,
+        fields in arb_fields(),
+    ) {
+        let event = TraceEvent {
+            ts_ns,
+            name: NAMES[name_idx].to_string(),
+            kind: if is_span { EventKind::Span { dur_ns } } else { EventKind::Event },
+            span: SpanId(span),
+            parent: has_parent.then_some(SpanId(parent)),
+            batch,
+            unit: has_unit.then_some(unit),
+            daemon: has_daemon.then(|| "127.0.0.1:7455".to_string()),
+            severity: if warn { Severity::Warn } else { Severity::Info },
+            fields,
+        };
+        let line = event.to_json_line();
+        let back = TraceEvent::parse(&line).unwrap();
+        prop_assert_eq!(&back, &event);
+        prop_assert_eq!(back.to_json_line(), line);
+    }
+}

@@ -26,13 +26,16 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use psdacc_engine::{BatchSpec, ScenarioRegistry};
-use psdacc_sched::{run_fleet, FleetConfig};
+use psdacc_sched::{fetch_fleet_trace, run_fleet, FleetConfig};
 use psdacc_serve::client;
 
 const USAGE: &str = "usage:
   psdacc-sched submit --daemons HOST:PORT[,HOST:PORT...] SPECFILE
                       [--graph NAME=FILE]... [--static] [--window-factor N]
                       [--timeout-seconds N] [--stats-json PATH]
+                      [--trace PATH] [--batch ID]
+  psdacc-sched trace  --daemons HOST:PORT[,HOST:PORT...] --batch ID
+                      [--timeout-seconds N]
 
 Dispatches a batch spec across psdacc-serve daemons with pull-based work
 stealing: per-daemon in-flight windows sized by advertised capacity,
@@ -42,6 +45,13 @@ retried once elsewhere, results merged back in submission order
 round-robin sharding instead. --graph NAME=FILE (repeatable) registers a
 GraphSpec JSON file as scenario NAME locally and on every daemon
 (define_scenario) before units stream.
+
+--trace PATH records an end-to-end trace of the run: coordinator spans
+(fleet.batch root, per-unit roundtrips, dispatch/steal events) merged
+with every daemon's per-unit stage spans, written to PATH as JSONL.
+--batch ID names the trace batch (default: derived from the wall clock).
+`trace` fetches the daemons' retained trace for a batch id after the
+fact and prints it as JSONL to stdout.
 ";
 
 struct SubmitArgs {
@@ -52,6 +62,8 @@ struct SubmitArgs {
     window_factor: usize,
     timeout: Duration,
     stats_json: Option<String>,
+    trace: Option<String>,
+    batch: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -64,12 +76,78 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
         Some(other) => {
             eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fetches the daemons' retained traces for one batch id and prints the
+/// merged JSONL to stdout.
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut daemons: Vec<String> = Vec::new();
+    let mut batch: Option<String> = None;
+    let mut timeout = Duration::from_secs(30);
+    let mut i = 0;
+    while i < args.len() {
+        let token = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        let parsed = match token {
+            "--daemons" => value("--daemons").map(|v| {
+                daemons = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|d| !d.is_empty())
+                    .map(String::from)
+                    .collect();
+            }),
+            "--batch" => value("--batch").map(|v| batch = Some(v)),
+            "--timeout-seconds" => value("--timeout-seconds").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| timeout = Duration::from_secs(n))
+                    .map_err(|_| "--timeout-seconds must be a non-negative integer".to_string())
+            }),
+            other => Err(format!(
+                "unknown argument `{other}` (allowed: --daemons, --batch, \
+                                  --timeout-seconds)"
+            )),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    let Some(batch) = batch else {
+        eprintln!("trace needs --batch ID\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if daemons.is_empty() {
+        eprintln!("missing --daemons HOST:PORT[,HOST:PORT...]\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    match fetch_fleet_trace(&daemons, &batch, timeout) {
+        Ok(events) => {
+            let mut out = String::new();
+            for event in &events {
+                out.push_str(&event.to_json_line());
+                out.push('\n');
+            }
+            print!("{out}");
+            eprintln!("{} events from {} daemons for batch {batch}", events.len(), daemons.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
             ExitCode::FAILURE
         }
     }
@@ -83,6 +161,8 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
     let mut timeout = Duration::from_secs(30);
     let mut stats_json = None;
     let mut graphs: Vec<String> = Vec::new();
+    let mut trace = None;
+    let mut batch = None;
     let mut i = 0;
     while i < args.len() {
         let token = args[i].as_str();
@@ -116,10 +196,12 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
             }
             "--stats-json" => stats_json = Some(value("--stats-json")?),
             "--graph" => graphs.push(value("--graph")?),
+            "--trace" => trace = Some(value("--trace")?),
+            "--batch" => batch = Some(value("--batch")?),
             other if other.starts_with("--") => {
                 return Err(format!(
                     "unknown argument `{other}` (allowed: --daemons, --graph, --static, \
-                     --window-factor, --timeout-seconds, --stats-json)"
+                     --window-factor, --timeout-seconds, --stats-json, --trace, --batch)"
                 ));
             }
             positional => {
@@ -139,8 +221,28 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
              sharding does not produce; drop --static or --stats-json"
             .to_string());
     }
+    if static_shard && trace.is_some() {
+        return Err(
+            "--trace records the coordinator's end-to-end trace, which static round-robin \
+             sharding does not produce; drop --static or --trace"
+                .to_string(),
+        );
+    }
+    if batch.is_some() && trace.is_none() {
+        return Err("--batch names the trace batch and needs --trace PATH".to_string());
+    }
     let spec_path = spec_path.ok_or("submit needs a SPECFILE")?;
-    Ok(SubmitArgs { daemons, spec_path, graphs, static_shard, window_factor, timeout, stats_json })
+    Ok(SubmitArgs {
+        daemons,
+        spec_path,
+        graphs,
+        static_shard,
+        window_factor,
+        timeout,
+        stats_json,
+        trace,
+        batch,
+    })
 }
 
 fn cmd_submit(args: &SubmitArgs) -> ExitCode {
@@ -208,8 +310,23 @@ fn cmd_submit(args: &SubmitArgs) -> ExitCode {
             }
         };
     }
-    let config =
-        FleetConfig { window_factor: args.window_factor, definitions, ..FleetConfig::default() };
+    // The trace batch id: caller-chosen, or derived from the wall clock
+    // so concurrent submits against the same daemons stay distinct.
+    let batch = args.trace.as_ref().map(|_| {
+        args.batch.clone().unwrap_or_else(|| {
+            let wall = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            format!("fleet-{:08x}", (wall ^ u64::from(std::process::id())) & 0xffff_ffff)
+        })
+    });
+    let config = FleetConfig {
+        window_factor: args.window_factor,
+        definitions,
+        trace: batch.clone(),
+        ..FleetConfig::default()
+    };
     let outcome = {
         let mut out = stdout.lock();
         run_fleet(&args.daemons, &jobs, &config, |line| {
@@ -226,6 +343,22 @@ fn cmd_submit(args: &SubmitArgs) -> ExitCode {
                     eprintln!("cannot write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
+            }
+            if let Some(path) = &args.trace {
+                let mut body = String::new();
+                for event in &outcome.trace {
+                    body.push_str(&event.to_json_line());
+                    body.push('\n');
+                }
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "trace: {} events for batch {} -> {path}",
+                    outcome.trace.len(),
+                    batch.as_deref().unwrap_or("?")
+                );
             }
             eprintln!(
                 "{} units across {} daemons | {} steals, {} re-dispatched | {} failed",

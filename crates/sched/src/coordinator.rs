@@ -24,12 +24,16 @@
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use psdacc_engine::json::{self, Json, JsonWriter};
 use psdacc_engine::JobSpec;
+use psdacc_obs::{Histogram, MetricsRegistry, Severity, SpanId, TraceEvent, Tracer};
+use psdacc_serve::latency::{verb_of, VERBS};
 use psdacc_serve::protocol::{
-    define_request_line, job_request_line, parse_define_ack, read_capped_line,
+    define_request_line, evaluate_units_line, job_request_line, parse_define_ack,
+    parse_trace_reply, read_capped_line, trace_request_line, TraceContext,
 };
 use psdacc_serve::{client, ScenarioDefinition, PROTOCOL_REVISION};
 
@@ -53,6 +57,14 @@ pub struct FleetConfig {
     /// must resolve on the whole fleet — forwarding up front is what
     /// makes that unconditional.
     pub definitions: Vec<ScenarioDefinition>,
+    /// Batch id to trace under. `Some(batch)` makes the coordinator
+    /// record a `fleet.batch` root span, dispatch/completion spans, and
+    /// structured warning events; the batch id and root span id travel on
+    /// the `evaluate_units` line so every daemon's per-unit spans parent
+    /// under the same root, and the daemons' retained traces are fetched
+    /// and merged after the run. `None` (default) records nothing —
+    /// results are bit-identical either way.
+    pub trace: Option<String>,
 }
 
 impl Default for FleetConfig {
@@ -61,6 +73,7 @@ impl Default for FleetConfig {
             window_factor: 2,
             connect_timeout: Duration::from_secs(5),
             definitions: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -80,6 +93,64 @@ pub struct DaemonReport {
     pub dead: bool,
 }
 
+/// One structured scheduling incident (daemon death, displaced unit),
+/// surfaced in the fleet stats and `--stats-json` so scripts can react to
+/// *which* daemon failed and *which* units moved, not just counters.
+#[derive(Debug, Clone)]
+pub struct FleetEvent {
+    /// Incident kind: `daemon_dead`, `unit_redispatched`, `unit_rerouted`,
+    /// or `trace_fetch_failed`.
+    pub name: String,
+    /// The daemon address involved.
+    pub daemon: String,
+    /// The displaced unit, for per-unit incidents.
+    pub unit: Option<u64>,
+    /// Human-readable context (the failure reason).
+    pub detail: String,
+}
+
+impl FleetEvent {
+    fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.field_str("name", &self.name);
+        w.field_str("daemon", &self.daemon);
+        if let Some(unit) = self.unit {
+            w.field_u64("unit", unit);
+        }
+        w.field_str("detail", &self.detail);
+        w.finish()
+    }
+}
+
+/// Derived roundtrip-latency percentiles for one protocol verb, computed
+/// from the coordinator's log-bucketed histogram (bucket-upper-bound
+/// convention — see `psdacc_obs::metrics`).
+#[derive(Debug, Clone)]
+pub struct VerbLatency {
+    /// Protocol verb (`evaluate`, `greedy`, `min-uniform`, `simulate`).
+    pub verb: &'static str,
+    /// Completed roundtrips recorded for this verb.
+    pub count: u64,
+    /// Median roundtrip, ns.
+    pub p50_ns: u64,
+    /// 95th-percentile roundtrip, ns.
+    pub p95_ns: u64,
+    /// 99th-percentile roundtrip, ns.
+    pub p99_ns: u64,
+}
+
+impl VerbLatency {
+    fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.field_str("verb", self.verb);
+        w.field_u64("count", self.count);
+        w.field_u64("p50_ns", self.p50_ns);
+        w.field_u64("p95_ns", self.p95_ns);
+        w.field_u64("p99_ns", self.p99_ns);
+        w.finish()
+    }
+}
+
 /// Scheduling outcome counters (the proof of dynamic behavior).
 #[derive(Debug, Clone)]
 pub struct FleetStats {
@@ -95,6 +166,11 @@ pub struct FleetStats {
     pub failed: usize,
     /// Per-daemon accounting, in the order the daemons were given.
     pub daemons: Vec<DaemonReport>,
+    /// Structured incidents (deaths, displaced units), in occurrence order.
+    pub events: Vec<FleetEvent>,
+    /// Coordinator-side roundtrip percentiles per verb (always all four
+    /// verbs, unused ones with zero counts).
+    pub latency: Vec<VerbLatency>,
 }
 
 impl FleetStats {
@@ -113,6 +189,8 @@ impl FleetStats {
                 w.finish()
             })
             .collect();
+        let events: Vec<String> = self.events.iter().map(FleetEvent::to_json).collect();
+        let latency: Vec<String> = self.latency.iter().map(VerbLatency::to_json).collect();
         let mut w = JsonWriter::new();
         w.field_str("kind", "fleet");
         w.field_usize("units", self.units);
@@ -121,6 +199,8 @@ impl FleetStats {
         w.field_usize("rerouted", self.rerouted);
         w.field_usize("failed", self.failed);
         w.field_raw("daemons", &format!("[{}]", daemons.join(",")));
+        w.field_raw("events", &format!("[{}]", events.join(",")));
+        w.field_raw("latency", &format!("[{}]", latency.join(",")));
         w.finish()
     }
 }
@@ -132,6 +212,10 @@ pub struct FleetOutcome {
     pub lines: Vec<String>,
     /// Scheduling stats.
     pub stats: FleetStats,
+    /// The merged end-to-end trace (coordinator spans plus every live
+    /// daemon's fetched spans, stamped with their daemon address). Empty
+    /// unless [`FleetConfig::trace`] was set.
+    pub trace: Vec<TraceEvent>,
 }
 
 /// A connected, capacity-advertised daemon (post-`hello`).
@@ -178,24 +262,49 @@ pub fn run_fleet(
     let units: Vec<Unit> = jobs
         .iter()
         .enumerate()
-        .map(|(id, spec)| Ok(Unit { id, line: job_request_line(id, spec)?, attempts: 0 }))
+        .map(|(id, spec)| Ok(Unit::new(id, job_request_line(id, spec)?, verb_of(&spec.kind))))
         .collect::<Result<_, SchedError>>()?;
     let links = connect_fleet(daemons, config)?;
     let windows: Vec<usize> =
         links.iter().map(|l| l.workers.max(1) * config.window_factor.max(1)).collect();
     let queue = FleetQueue::new(units, windows.clone());
 
+    // Observability is opt-in and observational: a disabled tracer makes
+    // every recording call a no-op branch, and nothing below feeds back
+    // into scheduling decisions.
+    let tracer = match &config.trace {
+        Some(batch) => Tracer::new(batch),
+        None => Tracer::disabled(),
+    };
+    let root = tracer.start("fleet.batch", None, None);
+    let root_id = root.as_ref().map(|s| s.id);
+    let open_line = evaluate_units_line(
+        config
+            .trace
+            .as_ref()
+            .map(|batch| TraceContext { batch: batch.clone(), span: root_id })
+            .as_ref(),
+    );
+    let metrics = MetricsRegistry::new();
+    let roundtrip: [Arc<Histogram>; VERBS.len()] = std::array::from_fn(|i| {
+        metrics.histogram(&format!("fleet_roundtrip_ns{{verb={}}}", VERBS[i]))
+    });
+
     let (tx, rx) = mpsc::channel::<Msg>();
     let mut lines: Vec<Option<String>> = vec![None; jobs.len()];
     let mut next_to_emit = 0usize;
     let mut failed = 0usize;
     let mut completed = 0usize;
+    let mut events: Vec<FleetEvent> = Vec::new();
     std::thread::scope(|scope| {
         for (d, link) in links.iter().enumerate() {
             let queue = &queue;
             let sender_tx = tx.clone();
             let reader_tx = tx.clone();
-            scope.spawn(move || sender_loop(d, link, queue, &sender_tx));
+            let tracer = &tracer;
+            let open_line = open_line.as_str();
+            scope
+                .spawn(move || sender_loop(d, link, queue, &sender_tx, tracer, root_id, open_line));
             scope.spawn(move || reader_loop(d, link, queue, &reader_tx));
         }
         drop(tx);
@@ -203,7 +312,44 @@ pub fn run_fleet(
         for msg in rx {
             let Msg::Result { daemon, id, line, failed: f } = msg else {
                 if let Msg::Dead { daemon, reason } = msg {
-                    queue.mark_dead(daemon, &reason);
+                    let report = queue.mark_dead(daemon, &reason);
+                    let addr = &links[daemon].addr;
+                    events.push(FleetEvent {
+                        name: "daemon_dead".to_string(),
+                        daemon: addr.clone(),
+                        unit: None,
+                        detail: reason.clone(),
+                    });
+                    tracer.event(
+                        "fleet.daemon_dead",
+                        Severity::Warn,
+                        root_id,
+                        None,
+                        vec![
+                            ("daemon".to_string(), addr.clone()),
+                            ("reason".to_string(), reason.clone()),
+                        ],
+                    );
+                    for (name, ids) in [
+                        ("unit_redispatched", &report.redispatched),
+                        ("unit_rerouted", &report.rerouted),
+                    ] {
+                        for &unit in ids {
+                            events.push(FleetEvent {
+                                name: name.to_string(),
+                                daemon: addr.clone(),
+                                unit: Some(unit as u64),
+                                detail: format!("displaced by death of {addr}"),
+                            });
+                            tracer.event(
+                                &format!("fleet.{name}"),
+                                Severity::Warn,
+                                root_id,
+                                Some(unit as u64),
+                                vec![("daemon".to_string(), addr.clone())],
+                            );
+                        }
+                    }
                 }
                 continue;
             };
@@ -212,11 +358,33 @@ pub fn run_fleet(
                 continue;
             }
             let fresh = lines[id].is_none();
-            queue.complete(daemon, id, fresh);
+            let completion = queue.complete(daemon, id, fresh);
+            if let Some(done) = &completion {
+                let verb = VERBS.iter().position(|&v| v == done.verb).unwrap_or(0);
+                roundtrip[verb].record(done.roundtrip);
+            }
             if !fresh {
                 // A re-dispatched unit's first answer raced in already;
                 // deterministic jobs make the copies identical, so drop it.
                 continue;
+            }
+            if let Some(done) = &completion {
+                // The coordinator's view of the unit: send to merged
+                // result, covering the wire both ways plus daemon-side
+                // queueing and execution (whose finer spans the daemon
+                // records under the same root).
+                let rt_ns = done.roundtrip.as_nanos().min(u128::from(psdacc_obs::MAX_TS_NS)) as u64;
+                tracer.span_at(
+                    "fleet.unit",
+                    root_id,
+                    Some(id as u64),
+                    tracer.now_ns().saturating_sub(rt_ns),
+                    rt_ns,
+                    vec![
+                        ("daemon".to_string(), links[daemon].addr.clone()),
+                        ("verb".to_string(), done.verb.to_string()),
+                    ],
+                );
             }
             if f {
                 failed += 1;
@@ -245,6 +413,28 @@ pub fn run_fleet(
     }
     let counters: QueueCounters = queue.counters();
     let served = queue.served();
+    tracer.end_with(root, vec![("units".to_string(), jobs.len().to_string())]);
+    // Merge: coordinator events first, then each live daemon's retained
+    // trace stamped with its address. A fetch failure downgrades to a
+    // structured event — the run itself already succeeded.
+    let mut trace = tracer.snapshot();
+    if tracer.is_enabled() {
+        let batch = tracer.batch().to_string();
+        for (d, link) in links.iter().enumerate() {
+            if queue.is_dead(d) {
+                continue;
+            }
+            match fetch_daemon_trace(&link.addr, &batch, config.connect_timeout) {
+                Ok(fetched) => trace.extend(fetched),
+                Err(e) => events.push(FleetEvent {
+                    name: "trace_fetch_failed".to_string(),
+                    daemon: link.addr.clone(),
+                    unit: None,
+                    detail: e.to_string(),
+                }),
+            }
+        }
+    }
     let stats = FleetStats {
         units: jobs.len(),
         steals: counters.steals,
@@ -262,8 +452,73 @@ pub fn run_fleet(
                 dead: queue.is_dead(d),
             })
             .collect(),
+        events,
+        latency: VERBS
+            .iter()
+            .zip(&roundtrip)
+            .map(|(&verb, hist)| {
+                let snap = hist.snapshot();
+                VerbLatency {
+                    verb,
+                    count: snap.count,
+                    p50_ns: snap.quantile_ns(0.50).unwrap_or(0),
+                    p95_ns: snap.quantile_ns(0.95).unwrap_or(0),
+                    p99_ns: snap.quantile_ns(0.99).unwrap_or(0),
+                }
+            })
+            .collect(),
     };
-    Ok(FleetOutcome { lines: lines.into_iter().flatten().collect(), stats })
+    Ok(FleetOutcome { lines: lines.into_iter().flatten().collect(), stats, trace })
+}
+
+/// Fetches the retained daemon-side trace for `batch` from one daemon,
+/// stamping every event with the daemon's address.
+///
+/// # Errors
+///
+/// [`SchedError::Io`] when the daemon is unreachable;
+/// [`SchedError::Protocol`] when it does not retain the batch or answers
+/// malformed.
+pub fn fetch_daemon_trace(
+    addr: &str,
+    batch: &str,
+    timeout: Duration,
+) -> Result<Vec<TraceEvent>, SchedError> {
+    let stream = client::connect_with_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    {
+        let mut writer = BufWriter::new(&stream);
+        writeln!(writer, "{}", trace_request_line(batch))?;
+        writer.flush()?;
+    }
+    let mut reader = BufReader::new(stream);
+    let line = read_capped_line(&mut reader)?
+        .ok_or_else(|| SchedError::Protocol(format!("{addr}: closed during trace fetch")))?;
+    let mut events = parse_trace_reply(line.trim_end())
+        .map_err(|e| SchedError::Protocol(format!("{addr}: {e}")))?;
+    for event in &mut events {
+        event.daemon = Some(addr.to_string());
+    }
+    Ok(events)
+}
+
+/// Fetches and merges the retained traces for `batch` from every daemon —
+/// the standalone path behind `psdacc-sched trace`, for scraping a trace
+/// after the submitting process is gone.
+///
+/// # Errors
+///
+/// The first per-daemon failure (see [`fetch_daemon_trace`]).
+pub fn fetch_fleet_trace(
+    daemons: &[String],
+    batch: &str,
+    timeout: Duration,
+) -> Result<Vec<TraceEvent>, SchedError> {
+    let mut merged = Vec::new();
+    for addr in daemons {
+        merged.extend(fetch_daemon_trace(addr, batch, timeout)?);
+    }
+    Ok(merged)
 }
 
 /// Connects and `hello`-handshakes every daemon, collecting **all**
@@ -355,17 +610,39 @@ fn connect_daemon(addr: &str, config: &FleetConfig) -> Result<DaemonLink, SchedE
     Ok(DaemonLink { addr: addr.to_string(), stream, workers })
 }
 
-/// Feeds one daemon: `evaluate_units`, then units as the window allows,
-/// then half-close. A write failure declares the daemon dead (through
-/// the merger channel, so in-transit results are counted first).
-fn sender_loop(d: usize, link: &DaemonLink, queue: &FleetQueue, tx: &mpsc::Sender<Msg>) {
+/// Feeds one daemon: the `evaluate_units` opener (carrying the trace
+/// context when tracing), then units as the window allows, then
+/// half-close. Every dispatch records a `fleet.dispatch` event with the
+/// unit's queue wait and whether it was stolen. A write failure declares
+/// the daemon dead (through the merger channel, so in-transit results
+/// are counted first).
+fn sender_loop(
+    d: usize,
+    link: &DaemonLink,
+    queue: &FleetQueue,
+    tx: &mpsc::Sender<Msg>,
+    tracer: &Tracer,
+    root: Option<SpanId>,
+    open_line: &str,
+) {
     let run = || -> std::io::Result<()> {
         let mut writer = BufWriter::new(link.stream.try_clone()?);
-        writeln!(writer, "{{\"kind\":\"evaluate_units\"}}")?;
+        writeln!(writer, "{open_line}")?;
         writer.flush()?;
-        while let Some((_id, line)) = queue.acquire(d) {
-            writeln!(writer, "{line}")?;
+        while let Some(dispatch) = queue.acquire(d) {
+            writeln!(writer, "{}", dispatch.line)?;
             writer.flush()?;
+            tracer.event(
+                "fleet.dispatch",
+                Severity::Info,
+                root,
+                Some(dispatch.id as u64),
+                vec![
+                    ("daemon".to_string(), link.addr.clone()),
+                    ("stolen".to_string(), dispatch.stolen.to_string()),
+                    ("queue_wait_ns".to_string(), dispatch.queue_wait.as_nanos().to_string()),
+                ],
+            );
         }
         writer.flush()?;
         link.stream.shutdown(Shutdown::Write)?;

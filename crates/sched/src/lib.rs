@@ -38,6 +38,9 @@ pub mod coordinator;
 pub mod error;
 pub mod queue;
 
-pub use coordinator::{run_fleet, DaemonReport, FleetConfig, FleetOutcome, FleetStats};
+pub use coordinator::{
+    fetch_daemon_trace, fetch_fleet_trace, run_fleet, DaemonReport, FleetConfig, FleetEvent,
+    FleetOutcome, FleetStats, VerbLatency,
+};
 pub use error::SchedError;
 pub use queue::QueueCounters;

@@ -18,6 +18,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// One schedulable unit: the pre-rendered request line for job `id` (the
 /// line already carries the id, so any daemon can serve it).
@@ -25,10 +26,54 @@ use std::sync::{Condvar, Mutex};
 pub(crate) struct Unit {
     pub(crate) id: usize,
     pub(crate) line: String,
+    /// The unit's protocol verb (`evaluate`, `greedy`, ...), carried so
+    /// completions feed the coordinator's per-verb latency histograms.
+    pub(crate) verb: &'static str,
     /// Dispatch attempts that ended with a dead daemon. A unit whose
     /// second dispatch also dies takes the whole batch down (fatal) —
     /// "retry once elsewhere", not an infinite crash loop.
     pub(crate) attempts: u32,
+    /// When the unit last entered a deque (reset on re-route), so a
+    /// dispatch can report how long the unit sat queued.
+    pub(crate) enqueued: Instant,
+}
+
+impl Unit {
+    pub(crate) fn new(id: usize, line: String, verb: &'static str) -> Unit {
+        Unit { id, line, verb, attempts: 0, enqueued: Instant::now() }
+    }
+}
+
+/// What [`FleetQueue::acquire`] hands a sender: the wire line plus the
+/// scheduling context the coordinator's trace wants to record.
+#[derive(Debug)]
+pub(crate) struct Dispatch {
+    pub(crate) id: usize,
+    pub(crate) line: String,
+    /// Whether the unit came off another daemon's deque.
+    pub(crate) stolen: bool,
+    /// Time the unit sat queued before this dispatch.
+    pub(crate) queue_wait: Duration,
+}
+
+/// What [`FleetQueue::complete`] reports back for a unit this daemon
+/// actually had in flight (absent for duplicate answers whose in-flight
+/// entry was already drained by a death).
+#[derive(Debug)]
+pub(crate) struct Completion {
+    pub(crate) verb: &'static str,
+    /// Send-to-result wall time on this daemon's connection.
+    pub(crate) roundtrip: Duration,
+}
+
+/// The units a death displaced, by id — the coordinator turns these into
+/// structured warning events.
+#[derive(Debug, Default)]
+pub(crate) struct DeathReport {
+    /// Queued (never-sent) units re-routed to live daemons.
+    pub(crate) rerouted: Vec<usize>,
+    /// In-flight units retried once on live daemons.
+    pub(crate) redispatched: Vec<usize>,
 }
 
 /// Monotonic scheduling counters, reported in the fleet stats.
@@ -46,8 +91,9 @@ pub struct QueueCounters {
 struct Inner {
     /// Per-daemon pending deques (coordinator side, stealable).
     queues: Vec<VecDeque<Unit>>,
-    /// Per-daemon sent-but-unanswered units, by id (recoverable on death).
-    in_flight: Vec<HashMap<usize, Unit>>,
+    /// Per-daemon sent-but-unanswered units with their send time, by id
+    /// (recoverable on death, timeable on completion).
+    in_flight: Vec<HashMap<usize, (Unit, Instant)>>,
     /// Per-daemon in-flight cap (advertised workers x window factor).
     window: Vec<usize>,
     /// Daemons declared dead (connection failed mid-batch).
@@ -99,7 +145,7 @@ impl FleetQueue {
     /// Blocks until daemon `d` may send another unit (own deque first,
     /// then a steal from the longest live victim), the run finishes, or
     /// `d` is marked dead. `None` means "half-close and stop sending".
-    pub(crate) fn acquire(&self, d: usize) -> Option<(usize, String)> {
+    pub(crate) fn acquire(&self, d: usize) -> Option<Dispatch> {
         let mut g = self.inner.lock().expect("fleet queue lock");
         loop {
             if g.done || g.fatal.is_some() || g.dead[d] {
@@ -107,7 +153,7 @@ impl FleetQueue {
             }
             if g.in_flight[d].len() < g.window[d] {
                 let unit = match g.queues[d].pop_front() {
-                    Some(unit) => Some(unit),
+                    Some(unit) => Some((unit, false)),
                     None => {
                         // Steal from the back of the longest live victim.
                         let victim = (0..g.queues.len())
@@ -115,13 +161,18 @@ impl FleetQueue {
                             .max_by_key(|&v| g.queues[v].len());
                         victim.map(|v| {
                             g.counters.steals += 1;
-                            g.queues[v].pop_back().expect("victim checked non-empty")
+                            (g.queues[v].pop_back().expect("victim checked non-empty"), true)
                         })
                     }
                 };
-                if let Some(unit) = unit {
-                    let handout = (unit.id, unit.line.clone());
-                    g.in_flight[d].insert(unit.id, unit);
+                if let Some((unit, stolen)) = unit {
+                    let handout = Dispatch {
+                        id: unit.id,
+                        line: unit.line.clone(),
+                        stolen,
+                        queue_wait: unit.enqueued.elapsed(),
+                    };
+                    g.in_flight[d].insert(unit.id, (unit, Instant::now()));
                     return Some(handout);
                 }
             }
@@ -132,10 +183,13 @@ impl FleetQueue {
     /// Records a result for unit `id` from daemon `d`: frees the window
     /// slot, and (when `fresh`, i.e. the merger had not seen this id yet)
     /// counts the completion — the last fresh completion flips `done` and
-    /// wakes every sender to half-close.
-    pub(crate) fn complete(&self, d: usize, id: usize, fresh: bool) {
+    /// wakes every sender to half-close. Returns the completed unit's verb
+    /// and roundtrip when `d` actually had the unit in flight.
+    pub(crate) fn complete(&self, d: usize, id: usize, fresh: bool) -> Option<Completion> {
         let mut g = self.inner.lock().expect("fleet queue lock");
-        g.in_flight[d].remove(&id);
+        let timing = g.in_flight[d]
+            .remove(&id)
+            .map(|(unit, sent)| Completion { verb: unit.verb, roundtrip: sent.elapsed() });
         g.served[d] += 1;
         if fresh {
             g.remaining = g.remaining.saturating_sub(1);
@@ -144,21 +198,25 @@ impl FleetQueue {
             }
         }
         self.cv.notify_all();
+        timing
     }
 
     /// Declares daemon `d` dead (idempotent): queued units re-route to
     /// live daemons, in-flight units retry once elsewhere; a unit dying
-    /// twice — or dying with no live daemon left — is fatal.
-    pub(crate) fn mark_dead(&self, d: usize, reason: &str) {
+    /// twice — or dying with no live daemon left — is fatal. The report
+    /// lists every displaced unit id, for structured warning events.
+    pub(crate) fn mark_dead(&self, d: usize, reason: &str) -> DeathReport {
         let mut g = self.inner.lock().expect("fleet queue lock");
+        let mut report = DeathReport::default();
         if g.dead[d] || g.done {
-            return;
+            return report;
         }
         g.dead[d] = true;
         let mut orphans: Vec<Unit> = g.queues[d].drain(..).collect();
         g.counters.rerouted += orphans.len();
+        report.rerouted = orphans.iter().map(|u| u.id).collect();
         let recovered: Vec<Unit> = {
-            let mut units: Vec<Unit> = g.in_flight[d].drain().map(|(_, u)| u).collect();
+            let mut units: Vec<Unit> = g.in_flight[d].drain().map(|(_, (u, _))| u).collect();
             units.sort_by_key(|u| u.id); // deterministic re-dispatch order
             units
         };
@@ -172,6 +230,7 @@ impl FleetQueue {
                 break;
             }
             g.counters.redispatched += 1;
+            report.redispatched.push(unit.id);
             orphans.push(unit);
         }
         let live: Vec<usize> = (0..g.queues.len()).filter(|&i| !g.dead[i]).collect();
@@ -183,11 +242,13 @@ impl FleetQueue {
                 ));
             }
         } else {
-            for (i, unit) in orphans.into_iter().enumerate() {
+            for (i, mut unit) in orphans.into_iter().enumerate() {
+                unit.enqueued = Instant::now();
                 g.queues[live[i % live.len()]].push_back(unit);
             }
         }
         self.cv.notify_all();
+        report
     }
 
     /// Poisons the run with an unrecoverable error (first one wins).
@@ -231,7 +292,7 @@ mod tests {
     use super::*;
 
     fn unit(id: usize) -> Unit {
-        Unit { id, line: format!("line-{id}"), attempts: 0 }
+        Unit::new(id, format!("line-{id}"), "evaluate")
     }
 
     fn queue(nunits: usize, windows: &[usize]) -> FleetQueue {
@@ -241,26 +302,32 @@ mod tests {
     #[test]
     fn own_queue_first_then_steal_from_longest() {
         let q = queue(6, &[4, 4]); // deal: d0 = {0,2,4}, d1 = {1,3,5}
-        assert_eq!(q.acquire(0).unwrap().0, 0);
-        assert_eq!(q.acquire(0).unwrap().0, 2);
-        assert_eq!(q.acquire(0).unwrap().0, 4);
+        assert_eq!(q.acquire(0).unwrap().id, 0);
+        assert_eq!(q.acquire(0).unwrap().id, 2);
+        let own = q.acquire(0).unwrap();
+        assert_eq!(own.id, 4);
+        assert!(!own.stolen);
         // d0's deque is dry: the next acquire steals from d1's back.
-        assert_eq!(q.acquire(0).unwrap().0, 5);
+        let stolen = q.acquire(0).unwrap();
+        assert_eq!(stolen.id, 5);
+        assert!(stolen.stolen, "a cross-deque pull must be flagged");
         assert_eq!(q.counters().steals, 1);
         // d1 still gets its own front.
-        assert_eq!(q.acquire(1).unwrap().0, 1);
+        assert_eq!(q.acquire(1).unwrap().id, 1);
     }
 
     #[test]
     fn window_blocks_until_completion_then_refills() {
         let q = queue(4, &[1, 1]);
-        assert_eq!(q.acquire(0).unwrap().0, 0);
+        assert_eq!(q.acquire(0).unwrap().id, 0);
         // Window full: a second acquire would block, so drive it from a
         // thread and release it by completing the first unit.
         std::thread::scope(|scope| {
-            let t = scope.spawn(|| q.acquire(0).map(|(id, _)| id));
+            let t = scope.spawn(|| q.acquire(0).map(|d| d.id));
             std::thread::sleep(std::time::Duration::from_millis(30));
-            q.complete(0, 0, true);
+            let done = q.complete(0, 0, true).expect("unit 0 was in flight");
+            assert_eq!(done.verb, "evaluate");
+            assert!(done.roundtrip >= std::time::Duration::from_millis(30));
             assert_eq!(t.join().unwrap(), Some(2));
         });
     }
@@ -268,12 +335,12 @@ mod tests {
     #[test]
     fn completions_flip_done_and_release_everyone() {
         let q = queue(2, &[2, 2]);
-        let (a, _) = q.acquire(0).unwrap();
-        let (b, _) = q.acquire(1).unwrap();
+        let a = q.acquire(0).unwrap().id;
+        let b = q.acquire(1).unwrap().id;
         q.complete(0, a, true);
         q.complete(1, b, true);
         assert!(q.is_finished());
-        assert_eq!(q.acquire(0), None);
+        assert!(q.acquire(0).is_none());
         assert_eq!(q.served(), vec![1, 1]);
     }
 
@@ -282,17 +349,22 @@ mod tests {
         let q = queue(6, &[2, 2]); // d0 = {0,2,4}, d1 = {1,3,5}
         let _ = q.acquire(0).unwrap(); // 0 in flight on d0
         let _ = q.acquire(0).unwrap(); // 2 in flight on d0
-        q.mark_dead(0, "test kill");
+        let report = q.mark_dead(0, "test kill");
         assert!(q.is_dead(0));
+        assert_eq!(report.redispatched, vec![0, 2], "in-flight 0 and 2 retried");
+        assert_eq!(report.rerouted, vec![4], "queued 4 re-routed");
         let c = q.counters();
-        assert_eq!(c.redispatched, 2, "in-flight 0 and 2 retried");
-        assert_eq!(c.rerouted, 1, "queued 4 re-routed");
+        assert_eq!(c.redispatched, 2);
+        assert_eq!(c.rerouted, 1);
+        // A second death report is empty — the counters never double.
+        let again = q.mark_dead(0, "test kill");
+        assert!(again.rerouted.is_empty() && again.redispatched.is_empty());
         // d1 now drains everything — its own units plus all of d0's —
         // while dead d0 gets nothing.
-        assert_eq!(q.acquire(0), None);
+        assert!(q.acquire(0).is_none());
         let mut got = Vec::new();
         for _ in 0..6 {
-            let (id, _) = q.acquire(1).unwrap();
+            let id = q.acquire(1).unwrap().id;
             q.complete(1, id, true);
             got.push(id);
         }
@@ -305,11 +377,11 @@ mod tests {
     #[test]
     fn second_death_of_the_same_unit_is_fatal() {
         let q = queue(2, &[1, 1]);
-        let (id0, _) = q.acquire(0).unwrap();
+        let id0 = q.acquire(0).unwrap().id;
         q.mark_dead(0, "first kill");
         // id0 was re-dispatched onto d1's queue; pull it there and die.
         loop {
-            let (id, _) = q.acquire(1).unwrap();
+            let id = q.acquire(1).unwrap().id;
             if id == id0 {
                 break;
             }
@@ -318,7 +390,7 @@ mod tests {
         q.mark_dead(1, "second kill");
         let fatal = q.fatal().expect("fatal after two deaths");
         assert!(fatal.contains(&format!("unit {id0}")), "{fatal}");
-        assert_eq!(q.acquire(1), None);
+        assert!(q.acquire(1).is_none());
     }
 
     #[test]

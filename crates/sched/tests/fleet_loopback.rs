@@ -9,7 +9,8 @@ use std::time::Duration;
 
 use psdacc_engine::json::{self, Json};
 use psdacc_engine::{BatchSpec, Engine};
-use psdacc_sched::{run_fleet, FleetConfig};
+use psdacc_obs::{EventKind, TraceEvent};
+use psdacc_sched::{fetch_fleet_trace, run_fleet, FleetConfig};
 use psdacc_serve::{client, Server, ServerConfig, ServerHandle};
 
 /// Two scenario families x a bits sweep, plus refinement and simulation
@@ -146,8 +147,129 @@ fn daemon_killed_mid_batch_redispatches_and_stays_bit_identical() {
         "survivor picked up everything the dead daemon did not finish: {stats:?}"
     );
 
+    // Satellite: the death and every displaced unit surface as structured
+    // events naming the daemon address and unit ids — in the stats struct
+    // and in the `--stats-json` line.
+    let doomed_addr = &stats.daemons[0].addr;
+    let dead_events: Vec<_> = stats.events.iter().filter(|e| e.name == "daemon_dead").collect();
+    assert_eq!(dead_events.len(), 1, "{:?}", stats.events);
+    assert_eq!(&dead_events[0].daemon, doomed_addr);
+    assert!(!dead_events[0].detail.is_empty(), "death events carry the failure reason");
+    let redispatch_events: Vec<_> =
+        stats.events.iter().filter(|e| e.name == "unit_redispatched").collect();
+    assert_eq!(redispatch_events.len(), stats.redispatched, "one event per re-dispatched unit");
+    assert!(redispatch_events.iter().all(|e| e.unit.is_some() && &e.daemon == doomed_addr));
+    let line = stats.to_json_line();
+    assert!(line.contains("\"daemon_dead\""), "{line}");
+    assert!(line.contains("\"unit_redispatched\""), "{line}");
+    let v = json::parse(&line).unwrap();
+    let events = v.get("events").unwrap().as_array().unwrap();
+    assert!(
+        events.iter().any(|e| e.get("name").and_then(Json::as_str) == Some("daemon_dead")
+            && e.get("daemon").and_then(Json::as_str) == Some(doomed_addr)),
+        "{line}"
+    );
+
     doomed.shutdown();
     survivor.shutdown();
+}
+
+/// The observability acceptance shape: a traced, skewed 2-daemon fleet
+/// run produces a merged end-to-end trace in which every unit's
+/// daemon-side spans parent correctly under the coordinator's root span —
+/// and the results are bit-identical to the same run with tracing off.
+#[test]
+fn traced_fleet_run_merges_parented_spans_and_stays_bit_identical() {
+    let spec = BatchSpec::parse(SPEC).unwrap();
+    let expected = expected_lines(&spec);
+    let slow = spawn_daemon(
+        1,
+        ServerConfig { chaos_unit_delay: Duration::from_millis(30), ..ServerConfig::default() },
+    );
+    let fast = spawn_daemon(2, ServerConfig::default());
+    let daemons = vec![slow.addr().to_string(), fast.addr().to_string()];
+
+    let traced_config =
+        FleetConfig { trace: Some("fleet-it-trace".to_string()), ..FleetConfig::default() };
+    let traced = run_fleet(&daemons, &spec.jobs(), &traced_config, |_| {}).unwrap();
+    let untraced = run_fleet(&daemons, &spec.jobs(), &FleetConfig::default(), |_| {}).unwrap();
+
+    // Tracing-on vs tracing-off bit-identity (and both match the local
+    // engine), plus the untraced run really recorded nothing.
+    assert_eq!(traced.lines.len(), expected.len());
+    for ((got, off), want) in traced.lines.iter().zip(&untraced.lines).zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(off), "\ntraced: {got}\nuntraced: {off}");
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    assert!(untraced.trace.is_empty(), "tracing off must record nothing");
+
+    // The merged trace: one coordinator root, every unit's daemon-side
+    // span parented under it and stamped with its daemon's address.
+    let trace = &traced.trace;
+    let roots: Vec<&TraceEvent> = trace.iter().filter(|e| e.name == "fleet.batch").collect();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    let root = roots[0];
+    assert!(matches!(root.kind, EventKind::Span { dur_ns } if dur_ns > 0));
+    assert_eq!(root.batch, "fleet-it-trace");
+    for unit in 0..expected.len() as u64 {
+        let serve_span = trace
+            .iter()
+            .find(|e| e.name == "serve.unit" && e.unit == Some(unit))
+            .unwrap_or_else(|| panic!("unit {unit} has no daemon-side span"));
+        assert_eq!(
+            serve_span.parent,
+            Some(root.span),
+            "unit {unit}'s daemon span must parent under the coordinator root"
+        );
+        let daemon = serve_span.daemon.as_ref().expect("merged spans carry their daemon");
+        assert!(daemons.contains(daemon), "{daemon}");
+        // The daemon recorded the unit's stage breakdown under its span.
+        assert!(
+            trace.iter().any(|e| e.name == "unit.tau_eval" && e.parent == Some(serve_span.span)),
+            "unit {unit} missing its tau_eval stage span"
+        );
+        // ...and the coordinator recorded the unit's roundtrip.
+        assert!(
+            trace.iter().any(|e| e.name == "fleet.unit"
+                && e.unit == Some(unit)
+                && e.parent == Some(root.span)),
+            "unit {unit} missing its coordinator roundtrip span"
+        );
+    }
+    // Dispatch events carry the queue wait; the skew forced steals.
+    let dispatches: Vec<&TraceEvent> =
+        trace.iter().filter(|e| e.name == "fleet.dispatch").collect();
+    assert!(dispatches.len() >= expected.len(), "one dispatch event per send");
+    assert!(dispatches.iter().all(|e| e.fields.iter().any(|(k, _)| k == "queue_wait_ns")));
+    assert!(
+        dispatches.iter().any(|e| e.fields.iter().any(|(k, v)| k == "stolen" && v == "true")),
+        "the skewed run must record stolen dispatches"
+    );
+    // Every line of the merged trace survives JSONL round-trip.
+    for event in trace {
+        assert_eq!(&TraceEvent::parse(&event.to_json_line()).unwrap(), event);
+    }
+
+    // Derived per-verb roundtrip percentiles rode along in the stats.
+    assert_eq!(traced.stats.latency.len(), 4);
+    let evaluate = traced.stats.latency.iter().find(|l| l.verb == "evaluate").unwrap();
+    assert!(evaluate.count > 0);
+    assert!(evaluate.p50_ns > 0 && evaluate.p50_ns <= evaluate.p95_ns);
+    assert!(evaluate.p95_ns <= evaluate.p99_ns);
+    let stats_line = traced.stats.to_json_line();
+    assert!(stats_line.contains("\"p95_ns\""), "{stats_line}");
+
+    // The standalone scrape path sees the daemons' retained spans too.
+    let scraped = fetch_fleet_trace(&daemons, "fleet-it-trace", Duration::from_secs(10)).unwrap();
+    assert!(scraped.iter().any(|e| e.name == "serve.unit"));
+    assert!(scraped.iter().all(|e| e.daemon.is_some()));
+    assert!(
+        fetch_fleet_trace(&daemons, "no-such-batch", Duration::from_secs(10)).is_err(),
+        "an unknown batch is a named error"
+    );
+
+    slow.shutdown();
+    fast.shutdown();
 }
 
 /// Fleet setup fails fast with every unreachable daemon named — no

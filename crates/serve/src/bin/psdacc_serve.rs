@@ -30,12 +30,15 @@ const USAGE: &str = "usage:
                       [--max-connections N] [--chaos-unit-delay-ms MS] [--chaos-die-after-units N]
   psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] [--graph NAME=FILE]... SPECFILE
   psdacc-serve stats --workers HOST:PORT[,HOST:PORT...]
+  psdacc-serve metrics --workers HOST:PORT[,HOST:PORT...] [--format text|json]
   psdacc-serve scenarios --workers HOST:PORT[,HOST:PORT...]
   psdacc-serve describe --workers HOST:PORT[,HOST:PORT...]
 
 The daemon speaks newline-delimited JSON (kinds: evaluate, greedy,
 min-uniform, simulate, define_scenario, describe, evaluate_units, hello,
-scenarios, stats). With
+metrics, scenarios, stats, trace). `metrics` prints each daemon's
+Prometheus text exposition (or the canonical JSON registry with
+--format json). With
 --store, preprocessing persists to disk and restarts warm-start with
 zero builds; --store-max-entries caps the on-disk record count (LRU
 eviction, loads keep entries hot). --max-connections refuses connections
@@ -53,6 +56,7 @@ fn main() -> ExitCode {
         Some("daemon") => cmd_daemon(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("stats") => cmd_control(&args[1..], "stats"),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("scenarios") => cmd_control(&args[1..], "scenarios"),
         Some("describe") => cmd_control(&args[1..], "describe"),
         Some("--help") | Some("-h") | None => {
@@ -309,6 +313,69 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `metrics`: fetch each daemon's metrics exposition. Text (Prometheus)
+/// by default; `--format json` prints the canonical registry object.
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let (flags, _, _) = match parse_flags(args, &["--workers", "--format"], None) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = match parse_workers(&flags) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let as_json = match flags.get("--format").map(String::as_str) {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("--format must be `text` or `json`, not `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for worker in &workers {
+        match client::request_control(worker, "metrics") {
+            Ok(line) => {
+                let field = if as_json { "metrics" } else { "text" };
+                let rendered = psdacc_engine::json::parse(&line).ok().and_then(|v| {
+                    let f = v.get(field)?;
+                    Some(if as_json { f.to_json_line() } else { f.as_str()?.to_string() })
+                });
+                match rendered {
+                    Some(text) => {
+                        if workers.len() > 1 {
+                            println!("# daemon {worker}");
+                        }
+                        print!("{text}");
+                        if as_json {
+                            println!();
+                        }
+                    }
+                    None => {
+                        eprintln!("{worker}: unexpected metrics reply: {line}");
+                        ok = false;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{worker}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -1,60 +1,44 @@
 //! Per-verb service-latency histograms for the daemon `stats` reply.
 //!
-//! Buckets are log-spaced in microseconds: bucket `i` counts jobs whose
-//! service time fell in `[2^i, 2^(i+1))` µs (bucket 0 additionally absorbs
-//! sub-microsecond jobs, the last bucket absorbs everything from ~34 s
-//! up). Log bucketing keeps the histogram a fixed, tiny array while still
-//! resolving the spread that matters here — cache hits are microseconds,
-//! preprocessing misses are seconds, and a fleet scheduler sizing in-flight
-//! windows wants to see both modes, not their useless average.
-//!
-//! All counters are relaxed atomics: recording happens on connection and
-//! pool threads, reading happens in `stats`, and neither side needs more
-//! than eventual consistency.
+//! Each verb's histogram is a [`psdacc_obs::Histogram`] registered in the
+//! daemon's [`MetricsRegistry`] under `serve_latency_ns{verb=...}`, so the
+//! `stats` reply and the `metrics` exposition render the *same* cells —
+//! there is one source of truth for service latency. Buckets are
+//! log-spaced in nanoseconds (see the `psdacc_obs::metrics` docs for the
+//! bucket and quantile conventions); log bucketing keeps the histogram a
+//! fixed, tiny array while still resolving the spread that matters here —
+//! cache hits are microseconds, preprocessing misses are seconds, and a
+//! fleet scheduler sizing in-flight windows wants to see both modes, not
+//! their useless average.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use psdacc_engine::json::JsonWriter;
 use psdacc_engine::JobKind;
-
-/// Number of log-spaced buckets (`2^25` µs ≈ 33.5 s top bucket).
-pub const NUM_BUCKETS: usize = 26;
+use psdacc_obs::{Histogram, MetricsRegistry};
 
 /// The job verbs of the wire protocol, in stats-reply order.
 pub const VERBS: [&str; 4] = ["evaluate", "greedy", "min-uniform", "simulate"];
 
-/// One verb's histogram.
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; NUM_BUCKETS],
-    count: AtomicU64,
-    total_us: AtomicU64,
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn record(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (us.max(1).ilog2() as usize).min(NUM_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Observation count.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-}
-
 /// Histograms for every job verb of the protocol.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LatencyRegistry {
-    per_verb: [Histogram; VERBS.len()],
+    per_verb: [Arc<Histogram>; VERBS.len()],
 }
 
 impl LatencyRegistry {
+    /// Registers one histogram per verb in `metrics` (named
+    /// `serve_latency_ns{verb=...}`); the returned registry holds the hot
+    /// handles so recording never takes the registry lock.
+    pub fn new(metrics: &MetricsRegistry) -> Self {
+        LatencyRegistry {
+            per_verb: std::array::from_fn(|i| {
+                metrics.histogram(&format!("serve_latency_ns{{verb={}}}", VERBS[i]))
+            }),
+        }
+    }
+
     /// Records the service time of one executed job.
     pub fn record(&self, kind: &JobKind, elapsed: Duration) {
         self.per_verb[verb_index(kind)].record(elapsed);
@@ -67,7 +51,9 @@ impl LatencyRegistry {
 
     /// Renders the `latency` field value of the `stats` reply: one object
     /// per verb (all verbs always present, so clients can rely on the
-    /// shape), each with `count`, `total_us`, and the full bucket array.
+    /// shape), each with `count`, `total_ns`, derived `p50_ns` / `p95_ns`
+    /// / `p99_ns` (bucket-upper-bound convention), and the full bucket
+    /// array.
     pub fn to_json(&self) -> String {
         let entries: Vec<String> = VERBS
             .iter()
@@ -75,16 +61,19 @@ impl LatencyRegistry {
             .map(|(verb, hist)| {
                 let mut w = JsonWriter::new();
                 w.field_str("verb", verb);
-                w.field_usize("count", hist.count.load(Ordering::Relaxed) as usize);
-                w.field_usize("total_us", hist.total_us.load(Ordering::Relaxed) as usize);
-                let buckets: Vec<String> =
-                    hist.buckets.iter().map(|b| b.load(Ordering::Relaxed).to_string()).collect();
-                w.field_raw("buckets", &format!("[{}]", buckets.join(",")));
+                hist.snapshot().write_fields(&mut w);
                 w.finish()
             })
             .collect();
         format!("[{}]", entries.join(","))
     }
+}
+
+/// The protocol verb a job kind records under — shared by the daemon's
+/// latency registry and the fleet coordinator's roundtrip histograms, so
+/// both layers bucket by the same names.
+pub fn verb_of(kind: &JobKind) -> &'static str {
+    VERBS[verb_index(kind)]
 }
 
 /// Maps a job kind to its verb's [`VERBS`] index.
@@ -103,23 +92,9 @@ mod tests {
     use psdacc_engine::json::{self, Json};
 
     #[test]
-    fn buckets_are_log_spaced() {
-        let h = Histogram::default();
-        h.record(Duration::from_micros(0)); // -> bucket 0
-        h.record(Duration::from_micros(1)); // -> bucket 0
-        h.record(Duration::from_micros(3)); // -> bucket 1
-        h.record(Duration::from_micros(1000)); // [512, 1024) -> bucket 9
-        h.record(Duration::from_secs(3600)); // overflow -> last bucket
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 2);
-        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 1);
-        assert_eq!(h.buckets[9].load(Ordering::Relaxed), 1);
-        assert_eq!(h.buckets[NUM_BUCKETS - 1].load(Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn registry_renders_every_verb() {
-        let reg = LatencyRegistry::default();
+    fn registry_renders_every_verb_with_percentiles() {
+        let metrics = MetricsRegistry::new();
+        let reg = LatencyRegistry::new(&metrics);
         reg.record(
             &JobKind::Estimate { method: psdacc_core::Method::PsdMethod, frac_bits: 12 },
             Duration::from_micros(40),
@@ -141,9 +116,28 @@ mod tests {
         assert_eq!(by_verb("simulate").get("count").unwrap().as_u64(), Some(1));
         assert_eq!(by_verb("greedy").get("count").unwrap().as_u64(), Some(0));
         let buckets = by_verb("evaluate").get("buckets").unwrap().as_array().unwrap();
-        assert_eq!(buckets.len(), NUM_BUCKETS);
-        // 40 us -> [32, 64) -> bucket 5.
-        assert_eq!(buckets[5].as_u64(), Some(1));
-        assert_eq!(by_verb("evaluate").get("total_us").unwrap().as_u64(), Some(40));
+        assert_eq!(buckets.len(), psdacc_obs::NUM_BUCKETS);
+        // 40 µs = 40000 ns -> bucket 15 ([32768, 65536)).
+        assert_eq!(buckets[15].as_u64(), Some(1));
+        assert_eq!(by_verb("evaluate").get("total_ns").unwrap().as_u64(), Some(40_000));
+        // One observation: every derived percentile is that bucket's
+        // upper bound.
+        for p in ["p50_ns", "p95_ns", "p99_ns"] {
+            assert_eq!(by_verb("evaluate").get(p).unwrap().as_u64(), Some(65_536), "{p}");
+        }
+        // Empty verbs render zero percentiles, not nulls.
+        assert_eq!(by_verb("greedy").get("p99_ns").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn stats_reply_and_metrics_exposition_share_cells() {
+        let metrics = MetricsRegistry::new();
+        let reg = LatencyRegistry::new(&metrics);
+        reg.record(
+            &JobKind::Estimate { method: psdacc_core::Method::PsdMethod, frac_bits: 12 },
+            Duration::from_nanos(100),
+        );
+        assert_eq!(metrics.histogram("serve_latency_ns{verb=evaluate}").count(), 1);
+        assert!(metrics.to_prometheus().contains("serve_latency_ns_count{verb=\"evaluate\"} 1\n"));
     }
 }

@@ -41,6 +41,7 @@ pub use client::{
 };
 pub use error::ServeError;
 pub use protocol::{
-    define_request_line, job_request_line, parse_define_ack, parse_request, result_line, Request,
+    define_request_line, evaluate_units_line, job_request_line, parse_define_ack, parse_request,
+    parse_trace_reply, result_line, trace_request_line, Request, TraceContext,
 };
 pub use server::{Server, ServerConfig, ServerHandle, ServerState, PROTOCOL_REVISION};

@@ -15,8 +15,10 @@
 //! {"kind":"scenarios"}
 //! {"kind":"describe","family":"fir-cascade"}
 //! {"kind":"stats"}
+//! {"kind":"metrics"}
 //! {"kind":"hello"}
-//! {"kind":"evaluate_units"}
+//! {"kind":"evaluate_units","trace":{"batch":"fleet-1a2b","span":"00c0ffee00000001"}}
+//! {"kind":"trace","batch":"fleet-1a2b"}
 //! ```
 //!
 //! `scenario` is the engine's spec-line syntax (`name key=value ...` for a
@@ -47,11 +49,22 @@
 //! result written back the moment it completes. The `psdacc-sched`
 //! coordinator drives this mode to keep a bounded in-flight window per
 //! daemon and refill it on every completion.
+//!
+//! The optional `trace` object on `evaluate_units` (protocol revision 4)
+//! carries the coordinator's trace context: `batch` names the fleet batch
+//! and `span` is the 16-hex-digit coordinator root span. The daemon then
+//! records per-unit spans parented under that root and retains them until
+//! the coordinator fetches them with `{"kind":"trace","batch":...}` —
+//! answered with one `{"kind":"trace","batch":...,"events":[...]}` line
+//! whose `events` are [`psdacc_obs::TraceEvent`] objects. `metrics` (also
+//! revision 4) returns the daemon's metrics registry as canonical JSON
+//! plus the Prometheus text exposition escaped into a `text` field.
 
 use psdacc_engine::graphspec::parse_graph_spec;
 use psdacc_engine::json::{self, Json, JsonWriter};
 use psdacc_engine::{JobKind, JobResult, JobSpec, ScenarioRegistry};
 use psdacc_fixed::RoundingMode;
+use psdacc_obs::{SpanId, TraceEvent};
 use psdacc_sfg::GraphSpec;
 
 use crate::error::ServeError;
@@ -84,6 +97,18 @@ pub fn read_capped_line<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<
     Ok(Some(line))
 }
 
+/// The coordinator-side trace context carried on an `evaluate_units`
+/// line: which fleet batch the units belong to and which coordinator
+/// span the daemon's per-unit spans should parent under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Fleet batch id — the key the coordinator later fetches the
+    /// daemon-side trace by.
+    pub batch: String,
+    /// Coordinator root span for the batch, if the coordinator traces.
+    pub span: Option<SpanId>,
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -111,13 +136,25 @@ pub enum Request {
     },
     /// Report engine/cache/store counters.
     Stats,
+    /// Report the metrics registry (canonical JSON + Prometheus text).
+    Metrics,
     /// Advertise daemon capacity (worker count, protocol revision).
     Hello,
     /// Switch the connection into unit-streaming mode: subsequent job
     /// requests execute as they arrive (up to the daemon's worker count
     /// concurrently) and results stream back the moment each completes —
-    /// the mode the `psdacc-sched` coordinator drives.
-    EvaluateUnits,
+    /// the mode the `psdacc-sched` coordinator drives. The optional
+    /// trace context makes the daemon record per-unit spans for the
+    /// named batch.
+    EvaluateUnits {
+        /// Coordinator trace context, when the fleet run traces.
+        trace: Option<TraceContext>,
+    },
+    /// Fetch the retained daemon-side trace of one batch.
+    Trace {
+        /// The batch id given in the `evaluate_units` trace context.
+        batch: String,
+    },
 }
 
 /// Parses one request line; `default_id` tags job requests that carry no
@@ -140,8 +177,38 @@ pub fn parse_request(
     match kind {
         "scenarios" => Ok(Request::Scenarios),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "hello" => Ok(Request::Hello),
-        "evaluate_units" => Ok(Request::EvaluateUnits),
+        "evaluate_units" => {
+            let trace = match value.get("trace") {
+                None => None,
+                Some(t) => {
+                    let batch = t
+                        .get("batch")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "`trace` needs a string `batch` field".to_string())?
+                        .to_string();
+                    let span = match t.get("span") {
+                        None => None,
+                        Some(s) => Some(
+                            s.as_str()
+                                .and_then(SpanId::from_hex)
+                                .ok_or_else(|| "`trace.span` must be a hex span id".to_string())?,
+                        ),
+                    };
+                    Some(TraceContext { batch, span })
+                }
+            };
+            Ok(Request::EvaluateUnits { trace })
+        }
+        "trace" => {
+            let batch = value
+                .get("batch")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "trace needs a string `batch` field".to_string())?
+                .to_string();
+            Ok(Request::Trace { batch })
+        }
         "describe" => {
             let family = match value.get("family") {
                 None => None,
@@ -176,7 +243,7 @@ pub fn parse_request(
         }
         other => Err(format!(
             "unknown kind `{other}` (known: evaluate, greedy, min-uniform, simulate, \
-             define_scenario, describe, evaluate_units, hello, scenarios, stats)"
+             define_scenario, describe, evaluate_units, hello, metrics, scenarios, stats, trace)"
         )),
     }
 }
@@ -425,6 +492,59 @@ pub fn parse_define_ack(line: &str) -> Result<String, ServeError> {
     }
 }
 
+/// Renders the `evaluate_units` request line, with the coordinator trace
+/// context when the fleet run traces.
+pub fn evaluate_units_line(trace: Option<&TraceContext>) -> String {
+    let mut w = JsonWriter::new();
+    w.field_str("kind", "evaluate_units");
+    if let Some(ctx) = trace {
+        let mut tw = JsonWriter::new();
+        tw.field_str("batch", &ctx.batch);
+        if let Some(span) = ctx.span {
+            tw.field_str("span", &span.to_hex());
+        }
+        w.field_raw("trace", &tw.finish());
+    }
+    w.finish()
+}
+
+/// Renders the `trace` request line fetching one batch's daemon-side
+/// trace.
+pub fn trace_request_line(batch: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.field_str("kind", "trace");
+    w.field_str("batch", batch);
+    w.finish()
+}
+
+/// Parses a daemon's `trace` reply into the carried events.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for rejections, malformed events, or
+/// unexpected lines.
+pub fn parse_trace_reply(line: &str) -> Result<Vec<TraceEvent>, ServeError> {
+    let value =
+        json::parse(line).map_err(|e| ServeError::Protocol(format!("bad trace reply: {e}")))?;
+    match value.get("kind").and_then(Json::as_str) {
+        Some("trace") => value
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ServeError::Protocol("trace reply without events".to_string()))?
+            .iter()
+            .map(|e| {
+                TraceEvent::from_json(e)
+                    .map_err(|err| ServeError::Protocol(format!("bad trace event: {err}")))
+            })
+            .collect(),
+        Some("error") => Err(ServeError::Protocol(format!(
+            "daemon rejected trace fetch: {}",
+            value.get("error").and_then(Json::as_str).unwrap_or("unspecified")
+        ))),
+        _ => Err(ServeError::Protocol(format!("unexpected trace reply: {line}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,11 +712,68 @@ mod tests {
     fn control_kinds_parse() {
         assert_eq!(parse_request_reg(r#"{"kind":"scenarios"}"#, 0), Ok(Request::Scenarios));
         assert_eq!(parse_request_reg(r#"{"kind":"stats"}"#, 0), Ok(Request::Stats));
+        assert_eq!(parse_request_reg(r#"{"kind":"metrics"}"#, 0), Ok(Request::Metrics));
         assert_eq!(parse_request_reg(r#"{"kind":"hello"}"#, 0), Ok(Request::Hello));
         assert_eq!(
             parse_request_reg(r#"{"kind":"evaluate_units"}"#, 0),
-            Ok(Request::EvaluateUnits)
+            Ok(Request::EvaluateUnits { trace: None })
         );
+        assert_eq!(
+            parse_request_reg(r#"{"kind":"trace","batch":"b7"}"#, 0),
+            Ok(Request::Trace { batch: "b7".to_string() })
+        );
+        assert!(parse_request_reg(r#"{"kind":"trace"}"#, 0).is_err());
+    }
+
+    #[test]
+    fn evaluate_units_trace_context_round_trips() {
+        // Bare: no trace context on the wire.
+        let line = evaluate_units_line(None);
+        assert_eq!(line, r#"{"kind":"evaluate_units"}"#);
+        assert_eq!(parse_request_reg(&line, 0), Ok(Request::EvaluateUnits { trace: None }));
+        // Full context: batch and coordinator root span survive.
+        let ctx = TraceContext {
+            batch: "fleet-1a2b".to_string(),
+            span: Some(SpanId(0x00c0_ffee_0000_0001)),
+        };
+        let line = evaluate_units_line(Some(&ctx));
+        assert_eq!(
+            parse_request_reg(&line, 0),
+            Ok(Request::EvaluateUnits { trace: Some(ctx.clone()) })
+        );
+        // Batch-only context (coordinator not tracing spans itself).
+        let ctx = TraceContext { batch: "b".to_string(), span: None };
+        let line = evaluate_units_line(Some(&ctx));
+        assert_eq!(parse_request_reg(&line, 0), Ok(Request::EvaluateUnits { trace: Some(ctx) }));
+        // Malformed contexts are loud errors.
+        for bad in [
+            r#"{"kind":"evaluate_units","trace":{}}"#,
+            r#"{"kind":"evaluate_units","trace":{"batch":"b","span":"zz"}}"#,
+        ] {
+            assert!(parse_request_reg(bad, 0).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn trace_reply_round_trips() {
+        let event = TraceEvent {
+            ts_ns: 5,
+            name: "serve.unit".to_string(),
+            kind: psdacc_obs::EventKind::Span { dur_ns: 9 },
+            span: SpanId(3),
+            parent: Some(SpanId(1)),
+            batch: "b".to_string(),
+            unit: Some(0),
+            daemon: None,
+            severity: psdacc_obs::Severity::Info,
+            fields: Vec::new(),
+        };
+        let reply =
+            format!(r#"{{"kind":"trace","batch":"b","events":[{}]}}"#, event.to_json_line());
+        assert_eq!(parse_trace_reply(&reply).unwrap(), vec![event]);
+        assert!(parse_trace_reply(r#"{"kind":"error","error":"no such batch"}"#).is_err());
+        assert!(parse_trace_reply("garbage").is_err());
+        assert_eq!(trace_request_line("b"), r#"{"kind":"trace","batch":"b"}"#);
     }
 
     #[test]

@@ -8,19 +8,26 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use psdacc_engine::job::run_job;
+use psdacc_engine::job::{run_job_traced, UnitTrace};
 use psdacc_engine::json::JsonWriter;
 use psdacc_engine::{Engine, JobSpec, ScenarioRegistry};
+use psdacc_obs::{Counter, Gauge, MetricsRegistry, OpenSpan, TraceStore, Tracer};
 use psdacc_sfg::GraphSpec;
 
 use crate::error::ServeError;
 use crate::latency::LatencyRegistry;
-use crate::protocol::{parse_request, read_capped_line, result_line, Request};
+use crate::protocol::{parse_request, read_capped_line, result_line, Request, TraceContext};
 
 /// Revision of the wire protocol this daemon speaks (`hello` advertises
 /// it; revision 2 added `hello` / `evaluate_units`, revision 3 added
-/// `define_scenario` / `describe` and registry-resolved scenario fields).
-pub const PROTOCOL_REVISION: usize = 3;
+/// `define_scenario` / `describe` and registry-resolved scenario fields,
+/// revision 4 added `metrics` / `trace` and the `evaluate_units` trace
+/// context).
+pub const PROTOCOL_REVISION: usize = 4;
+
+/// How many batches' daemon-side traces are retained for coordinator
+/// fetch (older batches evict FIFO).
+const TRACE_BATCH_CAP: usize = 8;
 
 /// Daemon-level service policy plus fault-injection knobs.
 #[derive(Debug, Clone, Default)]
@@ -41,33 +48,39 @@ pub struct ServerConfig {
 }
 
 /// Shared daemon state: the engine (whose cache may be disk-persistent)
-/// plus service counters.
+/// plus the metrics registry every service counter lives in.
 #[derive(Debug)]
 pub struct ServerState {
     engine: Engine,
     registry: ScenarioRegistry,
     config: ServerConfig,
-    jobs_served: AtomicUsize,
-    units_served: AtomicUsize,
-    connections: AtomicUsize,
-    active_connections: AtomicUsize,
-    rejected_connections: AtomicUsize,
+    metrics: Arc<MetricsRegistry>,
+    jobs_served: Arc<Counter>,
+    units_served: Arc<Counter>,
+    connections: Arc<Counter>,
+    active_connections: Arc<Gauge>,
+    rejected_connections: Arc<Counter>,
     latency: LatencyRegistry,
+    traces: TraceStore,
     shutdown: AtomicBool,
 }
 
 impl ServerState {
     fn new(engine: Engine, config: ServerConfig) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let latency = LatencyRegistry::new(&metrics);
         ServerState {
             engine,
             registry: ScenarioRegistry::new(),
             config,
-            jobs_served: AtomicUsize::new(0),
-            units_served: AtomicUsize::new(0),
-            connections: AtomicUsize::new(0),
-            active_connections: AtomicUsize::new(0),
-            rejected_connections: AtomicUsize::new(0),
-            latency: LatencyRegistry::default(),
+            jobs_served: metrics.counter("serve_jobs_total"),
+            units_served: metrics.counter("serve_units_total"),
+            connections: metrics.counter("serve_connections_total"),
+            active_connections: metrics.gauge("serve_active_connections"),
+            rejected_connections: metrics.counter("serve_rejected_connections_total"),
+            latency,
+            traces: TraceStore::new(TRACE_BATCH_CAP),
+            metrics,
             shutdown: AtomicBool::new(false),
         }
     }
@@ -81,6 +94,66 @@ impl ServerState {
     /// connection are visible to every other (clones share providers).
     pub fn registry(&self) -> &ScenarioRegistry {
         &self.registry
+    }
+
+    /// The daemon-wide metrics registry (service counters, per-verb
+    /// latency, and — when built with the `obs` feature — hot-path stage
+    /// timers).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The retained per-batch daemon-side traces.
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// Mirrors the engine/store cache counters into the metrics registry
+    /// as gauges (they are sampled snapshots of another layer's cells,
+    /// not counters the daemon owns), so one exposition covers every
+    /// layer.
+    fn sync_layer_metrics(&self) {
+        let cache = self.engine.cache().stats();
+        let m = &self.metrics;
+        m.gauge("engine_cache_builds").set(cache.builds as i64);
+        m.gauge("engine_cache_hits").set(cache.hits as i64);
+        m.gauge("engine_cache_entries").set(cache.entries as i64);
+        m.gauge("store_disk_hits").set(cache.disk_hits as i64);
+        m.gauge("store_disk_writes").set(cache.disk_writes as i64);
+        m.gauge("store_evictions").set(cache.evictions as i64);
+    }
+
+    /// Renders the `metrics` response line: the registry's canonical JSON
+    /// object under `metrics`, plus the Prometheus text exposition
+    /// escaped into `text` (one line on the wire, newline-separated once
+    /// unescaped).
+    pub fn metrics_line(&self) -> String {
+        self.sync_layer_metrics();
+        let mut w = JsonWriter::new();
+        w.field_str("kind", "metrics");
+        w.field_usize("protocol", PROTOCOL_REVISION);
+        w.field_raw("metrics", &self.metrics.to_json_line());
+        w.field_str("text", &self.metrics.to_prometheus());
+        w.finish()
+    }
+
+    /// Renders the `trace` response line for one batch: every retained
+    /// daemon-side event, as the JSONL objects inlined into an array. An
+    /// unknown (or already-evicted) batch is an error line, so a
+    /// coordinator fetching too late learns why the trace is incomplete.
+    pub fn trace_line(&self, lineno: usize, batch: &str) -> String {
+        match self.traces.get(batch) {
+            Some(tracer) => {
+                let events: Vec<String> =
+                    tracer.snapshot().iter().map(|e| e.to_json_line()).collect();
+                let mut w = JsonWriter::new();
+                w.field_str("kind", "trace");
+                w.field_str("batch", batch);
+                w.field_raw("events", &format!("[{}]", events.join(",")));
+                w.finish()
+            }
+            None => error_line(lineno, &format!("no trace retained for batch `{batch}`")),
+        }
     }
 
     /// Registers a graph definition and renders the acknowledgement (or
@@ -129,22 +202,20 @@ impl ServerState {
         w.field_usize("protocol", PROTOCOL_REVISION);
         w.field_usize("threads", self.engine.threads());
         w.field_usize("dynamic_scenarios", self.registry.dynamic_count());
-        w.field_usize("jobs_served", self.jobs_served.load(Ordering::Relaxed));
-        w.field_usize("units_served", self.units_served.load(Ordering::Relaxed));
-        w.field_usize("connections", self.connections.load(Ordering::Relaxed));
-        w.field_usize("active_connections", self.active_connections.load(Ordering::Relaxed));
+        w.field_u64("jobs_served", self.jobs_served.get());
+        w.field_u64("units_served", self.units_served.get());
+        w.field_u64("connections", self.connections.get());
+        w.field_i64("active_connections", self.active_connections.get());
         if let Some(max) = self.config.max_connections {
             w.field_usize("max_connections", max);
-            w.field_usize(
-                "rejected_connections",
-                self.rejected_connections.load(Ordering::Relaxed),
-            );
+            w.field_u64("rejected_connections", self.rejected_connections.get());
         }
         w.field_usize("cache_builds", cache.builds);
         w.field_usize("cache_hits", cache.hits);
         w.field_usize("cache_entries", cache.entries);
         w.field_usize("disk_hits", cache.disk_hits);
         w.field_usize("disk_writes", cache.disk_writes);
+        w.field_usize("evictions", cache.evictions);
         let per_scenario: Vec<String> = self
             .engine
             .cache()
@@ -228,17 +299,17 @@ impl Server {
                     // The accept loop is the only incrementer, so this
                     // load-then-add admission check cannot over-admit.
                     if let Some(max) = state.config.max_connections {
-                        if state.active_connections.load(Ordering::Relaxed) >= max {
-                            state.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                        if state.active_connections.get() >= max as i64 {
+                            state.rejected_connections.inc();
                             refuse_connection(stream, max);
                             continue;
                         }
                     }
-                    state.active_connections.fetch_add(1, Ordering::Relaxed);
+                    state.active_connections.add(1);
                     std::thread::spawn(move || {
-                        state.connections.fetch_add(1, Ordering::Relaxed);
+                        state.connections.inc();
                         let result = handle_connection(&state, &stream);
-                        state.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        state.active_connections.add(-1);
                         if let Err(e) = result {
                             eprintln!("psdacc-serve: connection error: {e}");
                         }
@@ -330,15 +401,23 @@ fn handle_connection(state: &ServerState, stream: &TcpStream) -> Result<(), Serv
                 writeln!(writer, "{}", state.stats_line())?;
                 writer.flush()?;
             }
+            Ok(Request::Metrics) => {
+                writeln!(writer, "{}", state.metrics_line())?;
+                writer.flush()?;
+            }
+            Ok(Request::Trace { batch }) => {
+                writeln!(writer, "{}", state.trace_line(lineno, &batch))?;
+                writer.flush()?;
+            }
             Ok(Request::Hello) => {
                 writeln!(writer, "{}", state.hello_line())?;
                 writer.flush()?;
             }
-            Ok(Request::EvaluateUnits) => {
+            Ok(Request::EvaluateUnits { trace }) => {
                 if jobs.is_empty() {
                     writer.flush()?;
                     drop(writer);
-                    return handle_unit_mode(state, &mut reader, stream);
+                    return handle_unit_mode(state, &mut reader, stream, trace);
                 }
                 write_error_line(&mut writer, lineno, "evaluate_units must precede job requests")?;
             }
@@ -368,7 +447,7 @@ fn handle_connection(state: &ServerState, stream: &TcpStream) -> Result<(), Serv
             write_error = Some(e);
         }
     });
-    state.jobs_served.fetch_add(njobs, Ordering::Relaxed);
+    state.jobs_served.add(njobs as u64);
     if let Some(e) = write_error {
         return Err(ServeError::Io(format!("client went away mid-batch: {e}")));
     }
@@ -400,6 +479,23 @@ fn write_error_line<W: Write>(writer: &mut W, lineno: usize, error: &str) -> std
     writer.flush()
 }
 
+/// One queued unit: request id, the work, and the daemon-side `serve.unit`
+/// span opened when the request line was parsed (so the span covers
+/// channel queue time as well as execution).
+type UnitFeed = (usize, JobSpec, Option<OpenSpan>);
+
+/// Everything a unit executor shares with the reader loop — bundled so
+/// the executor signature stays readable.
+struct UnitMode<'a> {
+    state: &'a ServerState,
+    writer: &'a Mutex<BufWriter<TcpStream>>,
+    stream: &'a TcpStream,
+    tracer: &'a Tracer,
+    died: &'a AtomicBool,
+    executed: &'a AtomicUsize,
+    failed: &'a AtomicUsize,
+}
+
 /// Unit-streaming mode: jobs execute the moment they arrive, up to the
 /// engine's worker count concurrently, and each result is written back as
 /// soon as it completes (any order — results carry their request id).
@@ -409,24 +505,46 @@ fn write_error_line<W: Write>(writer: &mut W, lineno: usize, error: &str) -> std
 /// of growing an unbounded queue. On client half-close the executors
 /// drain, then one `{"kind":"summary","mode":"units",...}` line ends the
 /// stream.
+///
+/// With a trace context, every unit records a `serve.unit` span parented
+/// under the coordinator's root span, with `unit.parse` /
+/// `unit.cache_lookup` / `unit.preprocess` / `unit.tau_eval` /
+/// `unit.serialize` children — the per-unit timing breakdown the merged
+/// fleet trace is built from. Tracing never alters results: the tracer
+/// only ever *observes* timings around the identical execution path.
 fn handle_unit_mode<R: BufRead>(
     state: &ServerState,
     reader: &mut R,
     stream: &TcpStream,
+    trace_ctx: Option<TraceContext>,
 ) -> Result<(), ServeError> {
     let threads = state.engine.threads().max(1);
     let writer = Mutex::new(BufWriter::new(stream.try_clone()?));
-    let (tx, rx) = mpsc::sync_channel::<(usize, JobSpec)>(threads * 2);
+    let tracer = match &trace_ctx {
+        Some(ctx) => state.traces.create(&ctx.batch),
+        None => Arc::new(Tracer::disabled()),
+    };
+    let root_span = trace_ctx.as_ref().and_then(|ctx| ctx.span);
+    let (tx, rx) = mpsc::sync_channel::<UnitFeed>(threads * 2);
     let rx = Mutex::new(rx);
     let died = AtomicBool::new(false);
     let executed = AtomicUsize::new(0);
     let failed = AtomicUsize::new(0);
+    let ctx = UnitMode {
+        state,
+        writer: &writer,
+        stream,
+        tracer: &tracer,
+        died: &died,
+        executed: &executed,
+        failed: &failed,
+    };
     let mut auto_id = 0usize;
     let mut lineno = 0usize;
     let mut read_error: Option<std::io::Error> = None;
     std::thread::scope(|scope| -> Result<(), ServeError> {
         for _ in 0..threads {
-            scope.spawn(|| unit_executor(state, &rx, &writer, stream, &died, &executed, &failed));
+            scope.spawn(|| unit_executor(&ctx, &rx));
         }
         let tx = tx; // moved into the scope so executors see EOF at drop
         loop {
@@ -445,14 +563,32 @@ fn handle_unit_mode<R: BufRead>(
             if line.trim().is_empty() {
                 continue;
             }
+            let parse_start = tracer.now_ns();
             match parse_request(line.trim_end(), auto_id, &state.registry) {
                 Ok(Request::Job { id, spec }) => {
                     auto_id += 1;
-                    if tx.send((id, spec)).is_err() {
+                    let unit_span = tracer.start("serve.unit", root_span, Some(id as u64));
+                    if let Some(span) = &unit_span {
+                        // The parse happened before the span could exist;
+                        // record it as a measured child ending now.
+                        tracer.span_at(
+                            "unit.parse",
+                            Some(span.id),
+                            Some(id as u64),
+                            parse_start,
+                            tracer.now_ns().saturating_sub(parse_start),
+                            Vec::new(),
+                        );
+                    }
+                    if tx.send((id, spec, unit_span)).is_err() {
                         break;
                     }
                 }
                 Ok(Request::Stats) => write_locked(&writer, &state.stats_line())?,
+                Ok(Request::Metrics) => write_locked(&writer, &state.metrics_line())?,
+                Ok(Request::Trace { batch }) => {
+                    write_locked(&writer, &state.trace_line(lineno, &batch))?
+                }
                 Ok(Request::Hello) => write_locked(&writer, &state.hello_line())?,
                 Ok(Request::Scenarios) => {
                     write_locked(&writer, &state.registry.scenarios_json_line())?
@@ -464,7 +600,7 @@ fn handle_unit_mode<R: BufRead>(
                     write_locked(&writer, &state.define_scenario_line(lineno, &name, spec))?
                 }
                 // Idempotent: the connection is already in unit mode.
-                Ok(Request::EvaluateUnits) => {}
+                Ok(Request::EvaluateUnits { .. }) => {}
                 Err(e) => write_locked(&writer, &error_line(lineno, &e))?,
             }
         }
@@ -498,46 +634,47 @@ fn write_locked(writer: &Mutex<BufWriter<TcpStream>>, line: &str) -> Result<(), 
 
 /// One unit-mode executor: pull a unit, (chaos-)execute, write the result,
 /// repeat until the feed channel closes.
-fn unit_executor(
-    state: &ServerState,
-    rx: &Mutex<mpsc::Receiver<(usize, JobSpec)>>,
-    writer: &Mutex<BufWriter<TcpStream>>,
-    stream: &TcpStream,
-    died: &AtomicBool,
-    executed: &AtomicUsize,
-    failed: &AtomicUsize,
-) {
+fn unit_executor(ctx: &UnitMode<'_>, rx: &Mutex<mpsc::Receiver<UnitFeed>>) {
+    let state = ctx.state;
     loop {
         // Holding the lock across the blocking recv is deliberate: exactly
         // one idle executor waits in recv at a time, takes the unit,
         // releases, and executes while the next idle executor moves into
         // recv — so execution still overlaps across all executors.
         let msg = rx.lock().expect("unit feed lock").recv();
-        let Ok((id, spec)) = msg else { return };
-        if died.load(Ordering::SeqCst) {
+        let Ok((id, spec, unit_span)) = msg else { return };
+        if ctx.died.load(Ordering::SeqCst) {
             continue; // drain the feed without executing after a chaos kill
         }
         if !state.config.chaos_unit_delay.is_zero() {
             std::thread::sleep(state.config.chaos_unit_delay);
         }
+        let parent = unit_span.as_ref().map(|s| s.id);
+        let unit_trace = UnitTrace { tracer: ctx.tracer, parent, unit: Some(id as u64) };
         let t0 = Instant::now();
-        let result = run_job(state.engine.cache().as_ref(), 0, &spec);
+        let result = run_job_traced(state.engine.cache().as_ref(), 0, &spec, Some(&unit_trace));
         state.latency.record(&spec.kind, t0.elapsed());
         if result.error.is_some() {
-            failed.fetch_add(1, Ordering::Relaxed);
+            ctx.failed.fetch_add(1, Ordering::Relaxed);
         }
-        if write_locked(writer, &result_line(id, &result)).is_err() {
+        let serialize = ctx.tracer.start("unit.serialize", parent, Some(id as u64));
+        let line = result_line(id, &result);
+        let wrote = write_locked(ctx.writer, &line);
+        ctx.tracer.end(serialize);
+        ctx.tracer.end(unit_span);
+        if wrote.is_err() {
             // Client went away; keep draining so the reader can unwind.
-            died.store(true, Ordering::SeqCst);
+            ctx.died.store(true, Ordering::SeqCst);
             continue;
         }
-        state.jobs_served.fetch_add(1, Ordering::Relaxed);
-        let served = state.units_served.fetch_add(1, Ordering::Relaxed) + 1;
-        executed.fetch_add(1, Ordering::Relaxed);
+        state.jobs_served.inc();
+        state.units_served.inc();
+        let served = state.units_served.get() as usize;
+        ctx.executed.fetch_add(1, Ordering::Relaxed);
         if let Some(limit) = state.config.chaos_die_after_units {
-            if served >= limit && !died.swap(true, Ordering::SeqCst) {
+            if served >= limit && !ctx.died.swap(true, Ordering::SeqCst) {
                 // Simulated crash: both directions down, mid-stream.
-                let _ = stream.shutdown(Shutdown::Both);
+                let _ = ctx.stream.shutdown(Shutdown::Both);
             }
         }
     }
@@ -569,8 +706,8 @@ mod tests {
     #[test]
     fn stats_line_reflects_engine_shape() {
         let state = ServerState::new(Engine::new(3), ServerConfig::default());
-        state.jobs_served.store(17, Ordering::Relaxed);
-        state.connections.store(2, Ordering::Relaxed);
+        state.jobs_served.add(17);
+        state.connections.add(2);
         let v = json::parse(&state.stats_line()).unwrap();
         assert_eq!(v.get("protocol").unwrap().as_u64(), Some(PROTOCOL_REVISION as u64));
         assert_eq!(v.get("threads").unwrap().as_u64(), Some(3));
@@ -579,12 +716,58 @@ mod tests {
         assert_eq!(v.get("units_served").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("cache_builds").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("disk_hits").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("evictions").unwrap().as_u64(), Some(0));
         assert!(v.get("scenario_cache").unwrap().as_array().unwrap().is_empty());
-        // Latency histograms are always present, one entry per verb.
+        // Latency histograms are always present, one entry per verb, with
+        // derived percentiles.
         let latency = v.get("latency").unwrap().as_array().unwrap();
         assert_eq!(latency.len(), crate::latency::VERBS.len());
+        assert!(latency.iter().all(|e| e.get("p95_ns").is_some()));
         // No limit configured: the cap fields stay absent.
         assert!(v.get("max_connections").is_none());
+    }
+
+    #[test]
+    fn metrics_line_carries_json_registry_and_prometheus_text() {
+        let state = ServerState::new(Engine::new(2), ServerConfig::default());
+        state.jobs_served.add(4);
+        state.latency.record(
+            &psdacc_engine::JobKind::Estimate {
+                method: psdacc_core::Method::PsdMethod,
+                frac_bits: 8,
+            },
+            Duration::from_micros(50),
+        );
+        let v = json::parse(&state.metrics_line()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("metrics"));
+        let m = v.get("metrics").unwrap();
+        assert_eq!(m.get("serve_jobs_total").unwrap().as_u64(), Some(4));
+        // Engine/store counters are mirrored into the same exposition.
+        assert_eq!(m.get("engine_cache_builds").unwrap().as_i64(), Some(0));
+        assert_eq!(m.get("store_evictions").unwrap().as_i64(), Some(0));
+        let hist = m.get("serve_latency_ns{verb=evaluate}").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        // The Prometheus text rides along escaped; unescaped it is
+        // line-oriented and label-bearing.
+        let text = v.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("serve_jobs_total 4\n"), "{text}");
+        assert!(text.contains("serve_latency_ns_count{verb=\"evaluate\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn trace_line_returns_retained_batches_and_rejects_unknown() {
+        let state = ServerState::new(Engine::new(1), ServerConfig::default());
+        let tracer = state.traces.create("batch-1");
+        let span = tracer.start("serve.unit", None, Some(0));
+        tracer.end(span);
+        let v = json::parse(&state.trace_line(1, "batch-1")).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("trace"));
+        assert_eq!(v.get("batch").unwrap().as_str(), Some("batch-1"));
+        let events = v.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("serve.unit"));
+        let err = json::parse(&state.trace_line(2, "no-such-batch")).unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("error"));
     }
 
     #[test]

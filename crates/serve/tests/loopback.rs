@@ -292,7 +292,8 @@ fn stats_reply_carries_latency_histograms() {
             .unwrap_or_else(|| panic!("verb {verb} missing: {stats}"));
         assert!(entry.get("count").unwrap().as_u64().unwrap() > 0, "verb {verb} unused: {stats}");
         let buckets = entry.get("buckets").unwrap().as_array().unwrap();
-        assert_eq!(buckets.len(), psdacc_serve::latency::NUM_BUCKETS);
+        assert_eq!(buckets.len(), psdacc_obs::NUM_BUCKETS);
+        assert!(entry.get("p95_ns").unwrap().as_u64().is_some(), "{stats}");
         let total: u64 = buckets.iter().map(|b| b.as_u64().unwrap()).sum();
         assert_eq!(total, entry.get("count").unwrap().as_u64().unwrap(), "{stats}");
     }
@@ -419,6 +420,89 @@ fn evaluate_units_mode_streams_results_as_they_complete() {
         expected.results[1].power,
         "bits=12"
     );
+    daemon.shutdown();
+}
+
+/// Unit-streaming with a wire trace context: the daemon records a
+/// `serve.unit` span per unit parented under the coordinator's span, with
+/// parse/cache/preprocess/tau_eval/serialize children, all retrievable
+/// via the `trace` control verb — and results stay bit-identical to an
+/// untraced run.
+#[test]
+fn evaluate_units_trace_context_yields_parented_daemon_spans() {
+    use psdacc_serve::TraceContext;
+
+    let daemon = spawn_memory_daemon(2);
+    let run = |trace: Option<&TraceContext>| -> Vec<String> {
+        let stream = TcpStream::connect(daemon.addr()).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        writeln!(&stream, "{}", psdacc_serve::evaluate_units_line(trace)).unwrap();
+        for (id, bits) in [(7u64, 12u64), (3, 10)] {
+            writeln!(
+                &stream,
+                "{{\"kind\":\"evaluate\",\"scenario\":\"freq-filter\",\"npsd\":64,\
+                 \"bits\":{bits},\"id\":{id}}}"
+            )
+            .unwrap();
+        }
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        reader.lines().map(|l| l.unwrap()).collect()
+    };
+
+    let root = psdacc_obs::SpanId::from_hex("00c0ffee00000001").unwrap();
+    let ctx = TraceContext { batch: "it-batch".to_string(), span: Some(root) };
+    let traced = run(Some(&ctx));
+    let untraced = run(None);
+
+    // Observability is behavior-neutral: same stable fields, traced or not.
+    let results = |lines: &[String]| -> Vec<Vec<(String, Json)>> {
+        let mut rows: Vec<(u64, Vec<(String, Json)>)> = lines
+            .iter()
+            .filter(|l| l.contains("\"power\""))
+            .map(|l| (stat(l, "job"), stable_fields(l)))
+            .collect();
+        rows.sort_by_key(|(id, _)| *id);
+        rows.into_iter().map(|(_, f)| f).collect()
+    };
+    assert_eq!(results(&traced), results(&untraced));
+
+    // Fetch the daemon-side trace for the batch.
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    writeln!(&stream, "{}", psdacc_serve::trace_request_line("it-batch")).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let events = psdacc_serve::parse_trace_reply(line.trim_end()).unwrap();
+    assert!(!events.is_empty(), "{line}");
+
+    // Every unit span parents directly under the coordinator's root span.
+    let unit_spans: Vec<_> = events.iter().filter(|e| e.name == "serve.unit").collect();
+    assert_eq!(unit_spans.len(), 2, "{line}");
+    for span in &unit_spans {
+        assert_eq!(span.parent, Some(root), "serve.unit must parent under the wire span");
+        assert_eq!(span.batch, "it-batch");
+        assert!(span.unit == Some(3) || span.unit == Some(7));
+    }
+    // Each unit carries the full stage breakdown as children of its span.
+    for parent in &unit_spans {
+        for stage in ["unit.parse", "unit.cache_lookup", "unit.tau_eval", "unit.serialize"] {
+            assert!(
+                events.iter().any(|e| e.name == stage && e.parent == Some(parent.span)),
+                "missing {stage} under {:?}: {line}",
+                parent.unit
+            );
+        }
+    }
+    // At least one unit missed the cold cache: its lookup span has a
+    // reconstructed `unit.preprocess` child carrying the build cost.
+    assert!(events.iter().any(|e| e.name == "unit.preprocess"), "{line}");
+    // An unknown batch is a clean error, not a hang.
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    writeln!(&stream, "{}", psdacc_serve::trace_request_line("no-such-batch")).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(psdacc_serve::parse_trace_reply(line.trim_end()).is_err(), "{line}");
     daemon.shutdown();
 }
 

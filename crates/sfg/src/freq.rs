@@ -168,11 +168,16 @@ impl Preprocessed {
 /// Whatever the selected path reports (see [`node_responses`] and
 /// [`crate::multirate::multirate_responses`]).
 pub fn preprocess(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<Preprocessed, SfgError> {
-    if crate::multirate::is_multirate(sfg) {
+    #[cfg(feature = "obs")]
+    let timer = psdacc_obs::stage::timer();
+    let result = if crate::multirate::is_multirate(sfg) {
         crate::multirate::multirate_responses(sfg, output, npsd).map(Preprocessed::Multirate)
     } else {
         node_responses(sfg, output, npsd).map(Preprocessed::SingleRate)
-    }
+    };
+    #[cfg(feature = "obs")]
+    psdacc_obs::stage::record("sfg_preprocess_ns", timer);
+    result
 }
 
 /// Computes [`NodeResponses`] from every node to `output` on an `npsd`-point
@@ -203,8 +208,14 @@ pub fn node_responses(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<NodeResp
     crate::topo::check_realizable(sfg)?;
     let n = sfg.len();
     // Precompute block responses on the grid (the paper's tau_pp stage).
+    #[cfg(feature = "obs")]
+    let block_timer = psdacc_obs::stage::timer();
     let block_resp: Vec<Vec<Complex>> =
         sfg.nodes().iter().map(|node| node.block.frequency_response(npsd)).collect();
+    #[cfg(feature = "obs")]
+    psdacc_obs::stage::record("sfg_freq_block_response_ns", block_timer);
+    #[cfg(feature = "obs")]
+    let solve_timer = psdacc_obs::stage::timer();
     let mut responses = vec![vec![Complex::ZERO; npsd]; n];
     // Reusable buffers.
     let mut m = vec![Complex::ZERO; n * n];
@@ -235,6 +246,8 @@ pub fn node_responses(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<NodeResp
             responses[s][k] = rhs[s];
         }
     }
+    #[cfg(feature = "obs")]
+    psdacc_obs::stage::record("sfg_freq_solve_ns", solve_timer);
     Ok(NodeResponses { responses, npsd })
 }
 

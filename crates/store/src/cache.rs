@@ -130,6 +130,7 @@ impl PreprocessCache for PersistentCache {
         CacheStats {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            evictions: self.store.evictions(),
             ..self.memory.stats()
         }
     }

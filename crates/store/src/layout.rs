@@ -31,6 +31,7 @@ pub const EXTENSION: &str = "npr";
 pub struct Store {
     root: PathBuf,
     max_entries: Option<usize>,
+    evictions: AtomicU64,
 }
 
 /// Distinguishes tmp files written by this process (pid alone is not
@@ -61,12 +62,21 @@ impl Store {
         let root = root.into();
         std::fs::create_dir_all(&root)
             .map_err(|e| StoreError::Io(format!("create {}: {e}", root.display())))?;
-        Ok(Store { root, max_entries: max_entries.filter(|&n| n > 0) })
+        Ok(Store {
+            root,
+            max_entries: max_entries.filter(|&n| n > 0),
+            evictions: AtomicU64::new(0),
+        })
     }
 
     /// The configured record-count cap, if any.
     pub fn max_entries(&self) -> Option<usize> {
         self.max_entries
+    }
+
+    /// Records evicted by this store instance (LRU cap enforcement).
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed) as usize
     }
 
     /// The store's root directory.
@@ -184,8 +194,11 @@ impl Store {
         }
         records.sort_by_key(|(mtime, _)| *mtime);
         for (_, path) in records.drain(..records.len() - keep) {
-            if let Err(e) = std::fs::remove_file(&path) {
-                eprintln!("psdacc-store: cannot evict {}: {e}", path.display());
+            match std::fs::remove_file(&path) {
+                Ok(()) => {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => eprintln!("psdacc-store: cannot evict {}: {e}", path.display()),
             }
         }
     }
