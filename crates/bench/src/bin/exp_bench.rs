@@ -1,25 +1,40 @@
-//! The perf baseline: times preprocess, tau_eval, and a 2-daemon fleet
-//! batch, and writes `BENCH_psd.json` (see `psdacc_bench::perf`).
+//! The perf suite: times the workspace hot paths (preprocess single-
+//! and multirate, tau_eval, GraphSpec compile, store codec, cache
+//! warm/cold, fleet batches at 1/2/4 daemons) and writes the versioned
+//! `BENCH_psd.json` line (see `psdacc_bench::perf`). With `--compare`
+//! it also diffs the fresh run against a committed baseline and exits
+//! nonzero past the regression threshold (see `psdacc_bench::compare`).
 //!
 //! ```text
 //! cargo run -p psdacc-bench --release --bin exp_bench -- --iters 50
+//! cargo run -p psdacc-bench --release --bin exp_bench -- \
+//!     --compare BENCH_psd.json --threshold 50 --iters 3
 //! ```
 
 use std::path::PathBuf;
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!("usage: exp_bench [--iters N] [--npsd N] [--out PATH]");
-    eprintln!("  --iters N   timed iterations per experiment (default 20)");
-    eprintln!("  --npsd N    PSD resolution for preprocess/tau_eval (default 256)");
-    eprintln!("  --out PATH  output file (default BENCH_psd.json)");
+    eprintln!(
+        "usage: exp_bench [--iters N] [--npsd N] [--out PATH] [--compare BASELINE] \
+         [--threshold PCT]"
+    );
+    eprintln!("  --iters N          timed iterations per probe (default 20)");
+    eprintln!("  --npsd N           PSD resolution for the numeric probes (default 256)");
+    eprintln!("  --out PATH         output file (default BENCH_psd.json, or");
+    eprintln!("                     BENCH_fresh.json when --compare would be clobbered)");
+    eprintln!("  --compare BASELINE diff the fresh run against this committed baseline;");
+    eprintln!("                     exit 1 when a probe's throughput drops past threshold");
+    eprintln!("  --threshold PCT    regression gate in percent (default 20)");
     exit(2);
 }
 
 fn main() {
     let mut iters = 20usize;
     let mut npsd = 256usize;
-    let mut out = PathBuf::from("BENCH_psd.json");
+    let mut out: Option<PathBuf> = None;
+    let mut compare_path: Option<PathBuf> = None;
+    let mut threshold = 20.0f64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -31,7 +46,14 @@ fn main() {
         match args[i].as_str() {
             "--iters" => iters = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--npsd" => npsd = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--out" => out = PathBuf::from(value(&mut i)),
+            "--out" => out = Some(PathBuf::from(value(&mut i))),
+            "--compare" => compare_path = Some(PathBuf::from(value(&mut i))),
+            "--threshold" => {
+                threshold = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if threshold.is_nan() || threshold < 0.0 {
+                    usage();
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -39,13 +61,35 @@ fn main() {
     if iters == 0 || npsd == 0 {
         usage();
     }
+    // Default output: the baseline path — unless that very file is the
+    // comparison target, in which case the fresh run must not clobber
+    // the baseline it is being judged against.
+    let out = out.unwrap_or_else(|| {
+        let default = PathBuf::from("BENCH_psd.json");
+        match &compare_path {
+            Some(base) if *base == default => PathBuf::from("BENCH_fresh.json"),
+            _ => default,
+        }
+    });
 
-    eprintln!("[bench] baseline: {iters} iters, npsd={npsd}");
+    // Parse the baseline before spending minutes on the run.
+    let baseline = compare_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("[bench] cannot read baseline {}: {e}", path.display());
+            exit(2);
+        });
+        psdacc_bench::parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("[bench] baseline {}: {e}", path.display());
+            exit(2);
+        })
+    });
+
+    eprintln!("[bench] suite: {iters} iters, npsd={npsd}");
     let report = psdacc_bench::run_baseline(npsd, iters);
     for r in &report.results {
         eprintln!(
-            "[bench] {:<12} p50={} ns  p95={} ns  {:.1} units/s",
-            r.name, r.p50_ns, r.p95_ns, r.throughput_units_per_s
+            "[bench] {:<20} p50={} ns  p95={} ns  mean={} ns  {:.1} units/s",
+            r.name, r.p50_ns, r.p95_ns, r.mean_ns, r.throughput_units_per_s
         );
     }
     let line = report.to_json_line();
@@ -55,4 +99,18 @@ fn main() {
     }
     println!("{line}");
     eprintln!("[bench] wrote {}", out.display());
+
+    if let Some((version, baseline)) = baseline {
+        let cmp =
+            psdacc_bench::compare(version, &baseline, &report, threshold).unwrap_or_else(|e| {
+                eprintln!("[bench] {e}");
+                exit(2);
+            });
+        eprint!("{}", cmp.to_text());
+        if cmp.regressed() {
+            eprintln!("[bench] REGRESSION: throughput dropped more than {threshold}% vs baseline");
+            exit(1);
+        }
+        eprintln!("[bench] within {threshold}% of baseline");
+    }
 }

@@ -1,0 +1,296 @@
+//! Baseline comparison: `exp_bench --compare BASELINE [--threshold PCT]`.
+//!
+//! Diffs a fresh [`BenchReport`](crate::perf::BenchReport) against a
+//! committed `BENCH_psd.json` baseline per probe and decides whether the
+//! build got slower. The gate keys off **throughput** (units per second
+//! of wall time), which is exact — unlike the histogram percentiles,
+//! which are derived and (before interpolation) quantized — so a small
+//! threshold is meaningful even at CI's low iteration counts. The
+//! interpolated `p50_ns` delta rides along in the table as the
+//! "where did it move" signal.
+//!
+//! A probe regresses when its throughput dropped by more than
+//! `threshold_pct` percent. Probes present on only one side are
+//! reported (`missing` / `added`) but do not gate — a baseline from an
+//! older suite revision should ask for regeneration, not fail the build
+//! with a misleading "regression". Schema-version mismatches are an
+//! error outright: probe semantics may have changed between versions,
+//! so the numbers are not comparable.
+
+use psdacc_engine::json::{self, Json};
+
+use crate::perf::{BenchReport, BenchResult, SCHEMA_VERSION};
+
+/// One probe's baseline-vs-fresh delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeDelta {
+    /// Probe name.
+    pub name: String,
+    /// Baseline median, ns.
+    pub base_p50_ns: u64,
+    /// Fresh median, ns.
+    pub fresh_p50_ns: u64,
+    /// Baseline throughput, units/s.
+    pub base_throughput: f64,
+    /// Fresh throughput, units/s.
+    pub fresh_throughput: f64,
+    /// Throughput change in percent; negative = got slower.
+    pub delta_pct: f64,
+    /// Whether the slowdown exceeds the gate threshold.
+    pub regressed: bool,
+}
+
+/// The full comparison of a fresh run against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Gate: a probe regresses when throughput drops more than this many
+    /// percent.
+    pub threshold_pct: f64,
+    /// Per-probe deltas, in fresh-run order.
+    pub deltas: Vec<ProbeDelta>,
+    /// Baseline probes absent from the fresh run.
+    pub missing: Vec<String>,
+    /// Fresh probes absent from the baseline.
+    pub added: Vec<String>,
+}
+
+/// Parses a `BENCH_psd.json` line back into a [`BenchReport`].
+///
+/// Accepts the current versioned schema and the unversioned v1 layout
+/// (no `version` / `meta` / `mean_ns`) so pre-suite baselines still
+/// parse — [`compare`] then rejects the version mismatch with a message
+/// that says to regenerate, which beats a parse error.
+///
+/// # Errors
+///
+/// A message naming the offending field when the text is not a bench
+/// report.
+pub fn parse_report(text: &str) -> Result<(u64, BenchReport), String> {
+    let v = json::parse(text.trim()).map_err(|e| format!("not JSON: {e}"))?;
+    if v.get("kind").and_then(Json::as_str) != Some("bench") {
+        return Err("not a bench report (kind != \"bench\")".to_string());
+    }
+    let version = v.get("version").and_then(Json::as_u64).unwrap_or(1);
+    let meta = crate::perf::BenchMeta {
+        iters: field_u64(&v, "meta.iters").unwrap_or(0) as usize,
+        npsd: field_u64(&v, "meta.npsd").unwrap_or(0) as usize,
+        host_threads: field_u64(&v, "meta.host_threads").unwrap_or(0) as usize,
+    };
+    let results = v
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or("bench report has no results array")?
+        .iter()
+        .map(|r| {
+            Ok(BenchResult {
+                name: r
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("result missing name")?
+                    .to_string(),
+                iters: r.get("iters").and_then(Json::as_u64).ok_or("result missing iters")?
+                    as usize,
+                p50_ns: r.get("p50_ns").and_then(Json::as_u64).ok_or("result missing p50_ns")?,
+                p95_ns: r.get("p95_ns").and_then(Json::as_u64).ok_or("result missing p95_ns")?,
+                mean_ns: r.get("mean_ns").and_then(Json::as_u64).unwrap_or(0),
+                throughput_units_per_s: r
+                    .get("throughput_units_per_s")
+                    .and_then(Json::as_f64)
+                    .ok_or("result missing throughput_units_per_s")?,
+            })
+        })
+        .collect::<Result<Vec<_>, &str>>()
+        .map_err(String::from)?;
+    Ok((version, BenchReport { meta, results }))
+}
+
+fn field_u64(v: &Json, dotted: &str) -> Option<u64> {
+    let mut cursor = v;
+    for part in dotted.split('.') {
+        cursor = cursor.get(part)?;
+    }
+    cursor.as_u64()
+}
+
+/// Compares a fresh run against a parsed baseline.
+///
+/// # Errors
+///
+/// When the baseline's schema version differs from [`SCHEMA_VERSION`]
+/// (probe semantics are not comparable across versions — regenerate the
+/// baseline instead).
+pub fn compare(
+    baseline_version: u64,
+    baseline: &BenchReport,
+    fresh: &BenchReport,
+    threshold_pct: f64,
+) -> Result<Comparison, String> {
+    if baseline_version != SCHEMA_VERSION {
+        return Err(format!(
+            "baseline is schema v{baseline_version}, this binary writes v{SCHEMA_VERSION}; \
+             regenerate the baseline (exp_bench --iters 20 --out BENCH_psd.json)"
+        ));
+    }
+    let mut deltas = Vec::new();
+    let mut added = Vec::new();
+    for f in &fresh.results {
+        let Some(b) = baseline.results.iter().find(|b| b.name == f.name) else {
+            added.push(f.name.clone());
+            continue;
+        };
+        let delta_pct = if b.throughput_units_per_s > 0.0 {
+            (f.throughput_units_per_s - b.throughput_units_per_s) / b.throughput_units_per_s * 100.0
+        } else {
+            0.0
+        };
+        deltas.push(ProbeDelta {
+            name: f.name.clone(),
+            base_p50_ns: b.p50_ns,
+            fresh_p50_ns: f.p50_ns,
+            base_throughput: b.throughput_units_per_s,
+            fresh_throughput: f.throughput_units_per_s,
+            delta_pct,
+            regressed: delta_pct < -threshold_pct,
+        });
+    }
+    let missing = baseline
+        .results
+        .iter()
+        .filter(|b| !fresh.results.iter().any(|f| f.name == b.name))
+        .map(|b| b.name.clone())
+        .collect();
+    Ok(Comparison { threshold_pct, deltas, missing, added })
+}
+
+impl Comparison {
+    /// Whether any probe crossed the regression threshold.
+    pub fn regressed(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Renders the human regression table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{:<22} {:>14} {:>14} {:>14} {:>14} {:>9}  gate(>{:.0}%)\n",
+            "probe",
+            "base p50",
+            "fresh p50",
+            "base units/s",
+            "fresh units/s",
+            "delta",
+            self.threshold_pct,
+        );
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<22} {:>11} ns {:>11} ns {:>14.1} {:>14.1} {:>+8.1}%  {}\n",
+                d.name,
+                d.base_p50_ns,
+                d.fresh_p50_ns,
+                d.base_throughput,
+                d.fresh_throughput,
+                d.delta_pct,
+                if d.regressed { "REGRESSED" } else { "ok" },
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("{name:<22} in baseline only (suite changed? regenerate)\n"));
+        }
+        for name in &self.added {
+            out.push_str(&format!("{name:<22} in fresh run only (not gated)\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{BenchMeta, SCHEMA_VERSION};
+
+    fn probe(name: &str, p50_ns: u64, throughput: f64) -> BenchResult {
+        BenchResult {
+            name: name.to_string(),
+            iters: 20,
+            p50_ns,
+            p95_ns: p50_ns * 2,
+            mean_ns: p50_ns,
+            throughput_units_per_s: throughput,
+        }
+    }
+
+    fn report(results: Vec<BenchResult>) -> BenchReport {
+        BenchReport { meta: BenchMeta { iters: 20, npsd: 256, host_threads: 4 }, results }
+    }
+
+    #[test]
+    fn identical_runs_pass_and_round_trip_through_the_schema() {
+        let r = report(vec![probe("preprocess", 1000, 500.0), probe("tau_eval", 90, 9000.0)]);
+        let (version, parsed) = parse_report(&r.to_json_line()).unwrap();
+        assert_eq!(version, SCHEMA_VERSION);
+        assert_eq!(parsed, r, "schema round trip is lossless");
+        let cmp = compare(version, &parsed, &r, 10.0).unwrap();
+        assert!(!cmp.regressed());
+        assert!(cmp.deltas.iter().all(|d| d.delta_pct.abs() < 1e-9 && !d.regressed));
+        assert!(cmp.missing.is_empty() && cmp.added.is_empty());
+    }
+
+    #[test]
+    fn injected_regression_trips_the_gate() {
+        let base = report(vec![probe("preprocess", 1000, 500.0), probe("tau_eval", 90, 9000.0)]);
+        // preprocess got 40% slower by throughput; tau_eval is fine.
+        let fresh = report(vec![probe("preprocess", 1700, 300.0), probe("tau_eval", 90, 9100.0)]);
+        let cmp = compare(SCHEMA_VERSION, &base, &fresh, 20.0).unwrap();
+        assert!(cmp.regressed());
+        let pre = cmp.deltas.iter().find(|d| d.name == "preprocess").unwrap();
+        assert!(pre.regressed);
+        assert!((pre.delta_pct - -40.0).abs() < 1e-9, "{}", pre.delta_pct);
+        let tau = cmp.deltas.iter().find(|d| d.name == "tau_eval").unwrap();
+        assert!(!tau.regressed);
+        let text = cmp.to_text();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("preprocess"), "{text}");
+    }
+
+    #[test]
+    fn slowdowns_inside_the_threshold_pass() {
+        let base = report(vec![probe("preprocess", 1000, 500.0)]);
+        let fresh = report(vec![probe("preprocess", 1100, 450.0)]); // -10%
+        let cmp = compare(SCHEMA_VERSION, &base, &fresh, 20.0).unwrap();
+        assert!(!cmp.regressed());
+        assert!((cmp.deltas[0].delta_pct - -10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_set_drift_is_reported_but_not_gated() {
+        let base = report(vec![probe("old_probe", 10, 1.0), probe("shared", 10, 1.0)]);
+        let fresh = report(vec![probe("shared", 10, 1.0), probe("new_probe", 10, 1.0)]);
+        let cmp = compare(SCHEMA_VERSION, &base, &fresh, 20.0).unwrap();
+        assert!(!cmp.regressed());
+        assert_eq!(cmp.missing, vec!["old_probe".to_string()]);
+        assert_eq!(cmp.added, vec!["new_probe".to_string()]);
+        let text = cmp.to_text();
+        assert!(text.contains("in baseline only"), "{text}");
+        assert!(text.contains("in fresh run only"), "{text}");
+    }
+
+    #[test]
+    fn v1_baselines_parse_but_refuse_to_compare() {
+        let v1 = r#"{"kind":"bench","results":[{"name":"preprocess","iters":20,
+            "p50_ns":65536,"p95_ns":131072,"throughput_units_per_s":812.5}]}"#
+            .replace('\n', "");
+        let (version, parsed) = parse_report(&v1).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(parsed.results[0].mean_ns, 0, "absent mean defaults, not errors");
+        let fresh = report(vec![probe("preprocess", 1000, 500.0)]);
+        let err = compare(version, &parsed, &fresh, 20.0).unwrap_err();
+        assert!(err.contains("schema v1"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn junk_input_is_a_named_error() {
+        assert!(parse_report("not json").unwrap_err().contains("not JSON"));
+        assert!(parse_report(r#"{"kind":"stats"}"#).unwrap_err().contains("kind"));
+        assert!(parse_report(r#"{"kind":"bench"}"#).unwrap_err().contains("results"));
+    }
+}

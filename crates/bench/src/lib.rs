@@ -16,10 +16,18 @@
 //! daemons instead of the local engine ([`fleet`]), with identical numbers
 //! either way.
 
+pub mod compare;
 pub mod experiments;
 pub mod fleet;
 pub mod harness;
 pub mod perf;
 
+/// Trace analytics over merged fleet traces (critical path, stage
+/// totals, daemon utilization) — re-exported so bench-side tooling and
+/// experiments can analyze the traces their fleet runs produce without
+/// depending on `psdacc-obs` directly.
+pub use psdacc_obs::analyze;
+
+pub use compare::{compare, parse_report, Comparison, ProbeDelta};
 pub use harness::{Args, Table};
-pub use perf::{run_baseline, BenchReport, BenchResult};
+pub use perf::{run_baseline, BenchMeta, BenchReport, BenchResult, SCHEMA_VERSION};

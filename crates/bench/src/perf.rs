@@ -1,75 +1,114 @@
-//! The first performance baseline: `BENCH_psd.json`.
+//! The performance baseline suite: `BENCH_psd.json`.
 //!
-//! Times the paper's two cost centers — the preprocessing pass (`tau_pp`:
-//! building an [`AccuracyEvaluator`], i.e. the PSD propagation tables)
-//! and a single analytical estimate (`tau_eval`) — plus a full
-//! work-stealing fleet batch over two in-process loopback daemons, and
-//! writes the derived percentiles as one JSON line:
+//! Times the ROADMAP's hot paths — the paper's two cost centers
+//! (`tau_pp` preprocessing and `tau_eval` analytical estimation, both
+//! single-rate and multirate/DWT), GraphSpec compile+hash, the store
+//! codec round-trip, warm-vs-cold evaluator-cache lookups, and a
+//! work-stealing fleet batch at 1/2/4 in-process loopback daemons —
+//! and writes one versioned JSON line:
 //!
 //! ```json
-//! {"kind":"bench","results":[
-//!   {"name":"preprocess","iters":20,"p50_ns":1048576,"p95_ns":2097152,
-//!    "throughput_units_per_s":812.5}, ...]}
+//! {"kind":"bench","version":2,
+//!  "meta":{"iters":20,"npsd":256,"host_threads":8,
+//!          "probes":["preprocess","tau_eval",...]},
+//!  "results":[{"name":"preprocess","iters":20,"p50_ns":1003520,
+//!              "p95_ns":1965000,"mean_ns":1100000,
+//!              "throughput_units_per_s":812.5}, ...]}
 //! ```
 //!
-//! Per-iteration times land in a `psdacc_obs` log-bucketed histogram, so
-//! `p50_ns`/`p95_ns` follow the same bucket-upper-bound convention as
-//! every other percentile in the workspace (values are bucket upper
-//! bounds, at most 2x overestimates). Throughput is exact:
-//! `units / total wall time`. CI runs this at low iteration counts purely
-//! to validate the schema; baselines worth comparing come from dedicated
+//! Per-iteration times land in a `psdacc_obs` log-bucketed histogram;
+//! `p50_ns`/`p95_ns` use linear sub-bucket interpolation
+//! ([`psdacc_obs::HistogramSnapshot::quantile_interp_ns`]) so baseline
+//! comparisons are not quantized into power-of-two jumps. `mean_ns`
+//! (total/count) and `throughput_units_per_s` (units / total wall time)
+//! are exact — the compare gate keys off throughput for that reason.
+//! CI runs this at low iteration counts as a soft regression gate
+//! (generous threshold); baselines worth committing come from dedicated
 //! runs at higher `iters`.
 
 use std::time::Instant;
 
 use psdacc_core::{AccuracyEvaluator, WordLengthPlan};
 use psdacc_engine::json::JsonWriter;
-use psdacc_engine::{BatchSpec, Engine, Scenario};
+use psdacc_engine::{BatchSpec, Engine, EvaluatorCache, GraphScenario, Scenario};
 use psdacc_fixed::RoundingMode;
 use psdacc_obs::Histogram;
 use psdacc_sched::{run_fleet, FleetConfig};
 use psdacc_serve::Server;
+use psdacc_store::Record;
 
-/// One timed experiment of the baseline.
-#[derive(Debug, Clone)]
+/// Schema version of the `BENCH_psd.json` line (bumped when fields or
+/// probe semantics change; `--compare` refuses to diff across versions).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// One timed probe of the suite.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchResult {
-    /// Experiment name (`preprocess`, `tau_eval`, `fleet_batch`).
-    pub name: &'static str,
+    /// Probe name (`preprocess`, `fleet_batch_2`, ...).
+    pub name: String,
     /// Timed iterations.
     pub iters: usize,
-    /// Median per-iteration time, ns (bucket upper bound).
+    /// Median per-iteration time, ns (sub-bucket interpolated).
     pub p50_ns: u64,
-    /// 95th-percentile per-iteration time, ns (bucket upper bound).
+    /// 95th-percentile per-iteration time, ns (sub-bucket interpolated).
     pub p95_ns: u64,
-    /// Work units completed per second of wall time.
+    /// Exact mean per-iteration time, ns (total / count).
+    pub mean_ns: u64,
+    /// Work units completed per second of wall time (exact).
     pub throughput_units_per_s: f64,
 }
 
 impl BenchResult {
     fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
-        w.field_str("name", self.name);
+        w.field_str("name", &self.name);
         w.field_usize("iters", self.iters);
         w.field_u64("p50_ns", self.p50_ns);
         w.field_u64("p95_ns", self.p95_ns);
+        w.field_u64("mean_ns", self.mean_ns);
         w.field_f64("throughput_units_per_s", self.throughput_units_per_s);
         w.finish()
     }
 }
 
-/// The full baseline report (`BENCH_psd.json` content).
-#[derive(Debug, Clone)]
+/// Run metadata carried by the report, so a baseline is comparable on
+/// its own terms (a 3-iter CI smoke vs a 20-iter committed baseline is
+/// visible in the file, not tribal knowledge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// Iterations requested (fleet probes clamp to at most 5).
+    pub iters: usize,
+    /// PSD resolution the numeric probes ran at.
+    pub npsd: usize,
+    /// Available host parallelism when the run happened.
+    pub host_threads: usize,
+}
+
+/// The full suite report (`BENCH_psd.json` content).
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// One entry per timed experiment.
+    /// Run metadata.
+    pub meta: BenchMeta,
+    /// One entry per timed probe.
     pub results: Vec<BenchResult>,
 }
 
 impl BenchReport {
-    /// Serializes as one JSON line (the `BENCH_psd.json` schema).
+    /// Serializes as one JSON line (the versioned `BENCH_psd.json`
+    /// schema; the probe list rides in `meta` so a reader can detect a
+    /// missing probe without parsing every result).
     pub fn to_json_line(&self) -> String {
+        let probes: Vec<String> = self.results.iter().map(|r| format!("\"{}\"", r.name)).collect();
+        let mut meta = JsonWriter::new();
+        meta.field_usize("iters", self.meta.iters);
+        meta.field_usize("npsd", self.meta.npsd);
+        meta.field_usize("host_threads", self.meta.host_threads);
+        meta.field_raw("probes", &format!("[{}]", probes.join(",")));
         let entries: Vec<String> = self.results.iter().map(BenchResult::to_json).collect();
         let mut w = JsonWriter::new();
         w.field_str("kind", "bench");
+        w.field_u64("version", SCHEMA_VERSION);
+        w.field_raw("meta", &meta.finish());
         w.field_raw("results", &format!("[{}]", entries.join(",")));
         w.finish()
     }
@@ -78,7 +117,7 @@ impl BenchReport {
 /// Times `iters` runs of `work` (which completes `units_per_iter` units
 /// each run) and derives the percentile/throughput record.
 pub fn measure(
-    name: &'static str,
+    name: &str,
     iters: usize,
     units_per_iter: usize,
     mut work: impl FnMut(),
@@ -92,11 +131,13 @@ pub fn measure(
     }
     let total = t0.elapsed().as_secs_f64();
     let snap = hist.snapshot();
+    let mean_ns = snap.total_ns.checked_div(snap.count).unwrap_or(0);
     BenchResult {
-        name,
+        name: name.to_string(),
         iters,
-        p50_ns: snap.quantile_ns(0.50).unwrap_or(0),
-        p95_ns: snap.quantile_ns(0.95).unwrap_or(0),
+        p50_ns: snap.quantile_interp_ns(0.50).unwrap_or(0.0).round() as u64,
+        p95_ns: snap.quantile_interp_ns(0.95).unwrap_or(0.0).round() as u64,
+        mean_ns,
         throughput_units_per_s: if total > 0.0 {
             (iters * units_per_iter) as f64 / total
         } else {
@@ -105,30 +146,68 @@ pub fn measure(
     }
 }
 
-/// The spec the `fleet_batch` experiment dispatches (20 units: a bits
-/// sweep, a refinement, and a seeded simulation over one scenario).
+/// The spec the `fleet_batch_*` probes dispatch (20 units: a bits sweep,
+/// a refinement, and a seeded simulation over one scenario).
 const FLEET_SPEC: &str = "scenario fir-cascade stages=1 taps=9 cutoff=0.3\n\
                           batch npsd=64 bits=4..21 methods=psd\n\
                           min-uniform npsd=64 budget=1e-6 min=2 max=24\n\
                           simulate npsd=64 bits=8 samples=1024 nfft=32 seed=7 trials=1\n";
 
-/// Runs the whole baseline: `preprocess` and `tau_eval` at `npsd`, and a
-/// work-stealing fleet batch across two in-process loopback daemons.
+/// The declarative graph the `graphspec_compile` probe parses, compiles,
+/// canonicalizes, and content-hashes each iteration.
+const GRAPH_JSON: &str = r#"{"nodes":[
+  {"name":"x","block":"input"},
+  {"name":"d1","block":"delay","samples":1,"inputs":["x"]},
+  {"name":"g1","block":"gain","gain":0.5,"inputs":["d1"]},
+  {"name":"g2","block":"gain","gain":0.25,"inputs":["x"]},
+  {"name":"s","block":"add","inputs":["g1","g2"]}],
+  "outputs":["s"]}"#;
+
+/// One fleet-batch probe: `n` loopback daemons, work-stealing dispatch,
+/// in-order merge. Throughput counts units, not iterations.
+fn fleet_probe(name: &str, n: usize, iters: usize) -> BenchResult {
+    let spec = BatchSpec::parse(FLEET_SPEC).expect("fleet spec parses");
+    let jobs = spec.jobs();
+    let handles: Vec<_> = (0..n)
+        .map(|_| Server::bind("127.0.0.1:0", Engine::new(2)).unwrap().spawn().unwrap())
+        .collect();
+    let daemons: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    let result = measure(name, iters.clamp(1, 5), jobs.len(), || {
+        let outcome =
+            run_fleet(&daemons, &jobs, &FleetConfig::default(), |_| {}).expect("fleet batch");
+        assert_eq!(outcome.stats.failed, 0, "{:?}", outcome.stats);
+    });
+    for h in handles {
+        h.shutdown();
+    }
+    result
+}
+
+/// Runs the whole suite at `npsd` / `iters`.
 ///
 /// # Panics
 ///
-/// Panics when a scenario fails to build or the loopback fleet cannot
-/// run — baseline-binary style (there is nothing to degrade to).
+/// Panics when a scenario fails to build, a codec round-trip corrupts,
+/// or the loopback fleet cannot run — baseline-binary style (there is
+/// nothing to degrade to).
 pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
     let iters = iters.max(1);
-    let sfg = Scenario::FirCascade { stages: 2, taps: 15, cutoff: 0.2 }
-        .build()
-        .expect("baseline scenario builds");
+    let scenario = Scenario::FirCascade { stages: 2, taps: 15, cutoff: 0.2 };
+    let sfg = scenario.build().expect("baseline scenario builds");
 
     // tau_pp: the preprocessing pass (PSD propagation tables), paid once
     // per (scenario, npsd) and amortized by every cache layer above.
     let preprocess = measure("preprocess", iters, 1, || {
         let evaluator = AccuracyEvaluator::new(&sfg, npsd).expect("preprocess");
+        std::hint::black_box(&evaluator);
+    });
+
+    // The same pass through the multirate/DWT path (per-level kernels
+    // instead of flat responses) — the decimated structure the paper's
+    // wavelet scenarios exercise.
+    let dwt = Scenario::DwtDecimated { levels: 2 }.build().expect("dwt scenario builds");
+    let preprocess_multirate = measure("preprocess_multirate", iters, 1, || {
+        let evaluator = AccuracyEvaluator::new(&dwt, npsd).expect("multirate preprocess");
         std::hint::black_box(&evaluator);
     });
 
@@ -140,23 +219,59 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
         std::hint::black_box(evaluator.estimate_psd(&plan).power);
     });
 
-    // A fleet batch end to end: two loopback daemons, work-stealing
-    // dispatch, in-order merge. Throughput counts units, not iterations.
-    let spec = BatchSpec::parse(FLEET_SPEC).expect("fleet spec parses");
-    let jobs = spec.jobs();
-    let a = Server::bind("127.0.0.1:0", Engine::new(2)).unwrap().spawn().unwrap();
-    let b = Server::bind("127.0.0.1:0", Engine::new(2)).unwrap().spawn().unwrap();
-    let daemons = vec![a.addr().to_string(), b.addr().to_string()];
-    let fleet_iters = iters.clamp(1, 5);
-    let fleet = measure("fleet_batch", fleet_iters, jobs.len(), || {
-        let outcome =
-            run_fleet(&daemons, &jobs, &FleetConfig::default(), |_| {}).expect("fleet batch");
-        assert_eq!(outcome.stats.failed, 0, "{:?}", outcome.stats);
+    // GraphSpec parse + compile + canonicalize + content-hash: the cost
+    // of admitting one declarative scenario definition.
+    let graphspec_compile = measure("graphspec_compile", iters, 1, || {
+        let g = GraphScenario::from_json(GRAPH_JSON, None).expect("graph compiles");
+        std::hint::black_box(g.key());
     });
-    a.shutdown();
-    b.shutdown();
 
-    BenchReport { results: vec![preprocess, tau_eval, fleet] }
+    // Store codec round-trip of the preprocessing tables (what every
+    // disk hit pays instead of a rebuild).
+    let record = Record::from_preprocessed(&scenario.key(), evaluator.preprocessed(), 0.001);
+    let store_roundtrip = measure("store_roundtrip", iters, 1, || {
+        let bytes = record.encode().expect("record encodes");
+        let back = Record::decode(&bytes).expect("record decodes");
+        std::hint::black_box(&back);
+    });
+
+    // Evaluator-cache lookups: cold (fresh cache, full build) vs warm
+    // (the hit path every steady-state job takes).
+    let cache_cold = measure("cache_cold", iters, 1, || {
+        let cache = EvaluatorCache::new();
+        std::hint::black_box(cache.get_or_build(&scenario, npsd).expect("cold build"));
+    });
+    let warm_cache = EvaluatorCache::new();
+    warm_cache.get_or_build(&scenario, npsd).expect("warm fill");
+    let cache_warm = measure("cache_warm", iters, 1, || {
+        std::hint::black_box(warm_cache.get_or_build(&scenario, npsd).expect("warm hit"));
+    });
+
+    // Fleet batches end to end at 1/2/4 daemons — the scaling curve the
+    // work-stealing coordinator is supposed to deliver.
+    let fleets: Vec<BenchResult> = [1usize, 2, 4]
+        .iter()
+        .map(|&n| fleet_probe(&format!("fleet_batch_{n}"), n, iters))
+        .collect();
+
+    let mut results = vec![
+        preprocess,
+        preprocess_multirate,
+        tau_eval,
+        graphspec_compile,
+        store_roundtrip,
+        cache_cold,
+        cache_warm,
+    ];
+    results.extend(fleets);
+    BenchReport {
+        meta: BenchMeta {
+            iters,
+            npsd,
+            host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        },
+        results,
+    }
 }
 
 #[cfg(test)]
@@ -165,21 +280,50 @@ mod tests {
     use psdacc_engine::json::{self, Json};
 
     #[test]
-    fn baseline_report_carries_every_experiment_with_valid_schema() {
+    fn baseline_report_carries_every_probe_with_valid_schema() {
         let report = run_baseline(64, 2);
         let line = report.to_json_line();
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("bench"));
+        assert_eq!(v.get("version").unwrap().as_u64(), Some(SCHEMA_VERSION));
+        let meta = v.get("meta").unwrap();
+        assert_eq!(meta.get("iters").unwrap().as_u64(), Some(2));
+        assert_eq!(meta.get("npsd").unwrap().as_u64(), Some(64));
+        assert!(meta.get("host_threads").unwrap().as_u64().unwrap() >= 1);
         let results = v.get("results").unwrap().as_array().unwrap();
-        assert_eq!(results.len(), 3, "{line}");
         let names: Vec<&str> =
             results.iter().map(|r| r.get("name").and_then(Json::as_str).unwrap()).collect();
-        assert_eq!(names, vec!["preprocess", "tau_eval", "fleet_batch"]);
+        assert_eq!(
+            names,
+            vec![
+                "preprocess",
+                "preprocess_multirate",
+                "tau_eval",
+                "graphspec_compile",
+                "store_roundtrip",
+                "cache_cold",
+                "cache_warm",
+                "fleet_batch_1",
+                "fleet_batch_2",
+                "fleet_batch_4",
+            ]
+        );
+        // meta.probes mirrors the result names exactly.
+        let probes: Vec<&str> = meta
+            .get("probes")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p.as_str().unwrap())
+            .collect();
+        assert_eq!(probes, names);
         for r in results {
             assert!(r.get("iters").unwrap().as_u64().unwrap() >= 1, "{line}");
             let p50 = r.get("p50_ns").unwrap().as_u64().unwrap();
             let p95 = r.get("p95_ns").unwrap().as_u64().unwrap();
             assert!(p50 > 0 && p50 <= p95, "{line}");
+            assert!(r.get("mean_ns").unwrap().as_u64().unwrap() > 0, "{line}");
             assert!(r.get("throughput_units_per_s").unwrap().as_f64().unwrap() > 0.0, "{line}");
         }
     }
@@ -191,6 +335,9 @@ mod tests {
         // 50 µs sleeps land well above zero and below a second.
         assert!(r.p50_ns >= 50_000, "{r:?}");
         assert!(r.p95_ns < 1_000_000_000, "{r:?}");
+        assert!(r.mean_ns >= 50_000, "{r:?}");
+        // Interpolated percentiles are not forced to powers of two.
+        assert!(r.p50_ns <= r.p95_ns, "{r:?}");
         // 8 iterations x 3 units in ~8 x 50 µs.
         assert!(r.throughput_units_per_s > 100.0, "{r:?}");
     }

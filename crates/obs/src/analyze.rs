@@ -1,0 +1,568 @@
+//! Trace analytics: turn a merged fleet JSONL trace into answers.
+//!
+//! PR 6 made the fleet emit structured traces; this module consumes
+//! them. Given the parsed events of one batch it reconstructs the span
+//! tree and derives the three things an operator actually asks of a
+//! trace:
+//!
+//! * **Critical path** — which unit/stage chain bounds wall-clock. The
+//!   walk starts at the `fleet.batch` root, picks the last-finishing
+//!   `fleet.unit` roundtrip (coordinator clock, so end times are
+//!   comparable), crosses to that unit's daemon-side `serve.unit` span,
+//!   then repeatedly descends into the longest child stage. Clocks are
+//!   per-process, so the walk never compares timestamps across
+//!   processes — only durations and parent links, which are meaningful
+//!   fleet-wide.
+//! * **Stage totals** — time aggregated per `unit.*` stage (parse,
+//!   cache_lookup, preprocess, tau_eval, serialize) across every unit,
+//!   with the worst single span attributed to its unit.
+//! * **Daemon utilization** — per-daemon busy time from `serve.unit`
+//!   spans against batch wall-clock, joined with dispatch/steal/
+//!   queue-wait attribution from the coordinator's `fleet.dispatch`
+//!   events.
+//!
+//! The result renders as a single JSON line (`"kind":"trace_analysis"`,
+//! machine-diffable, CI-artifact-friendly) and as a human text
+//! breakdown. Exposed to operators as `psdacc-sched analyze --trace`
+//! and to the bench harness as a library.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::json::JsonWriter;
+use crate::trace::{EventKind, Severity, SpanId, TraceEvent};
+
+/// One hop of the critical path, root first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalHop {
+    /// Span name (`fleet.batch`, `fleet.unit`, `serve.unit`, `unit.*`).
+    pub name: String,
+    /// Unit id, when the hop is unit-scoped.
+    pub unit: Option<u64>,
+    /// Daemon the hop ran on (dispatch target for `fleet.unit`, merge
+    /// stamp for daemon-side spans).
+    pub daemon: Option<String>,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Aggregated time for one `unit.*` stage across the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTotal {
+    /// Stage span name (`unit.preprocess`, ...).
+    pub name: String,
+    /// Number of spans aggregated.
+    pub count: u64,
+    /// Sum of span durations, ns.
+    pub total_ns: u64,
+    /// Longest single span, ns.
+    pub max_ns: u64,
+    /// Unit id of that longest span, if unit-scoped.
+    pub max_unit: Option<u64>,
+}
+
+/// Per-daemon work attribution for the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonUtilization {
+    /// Daemon address (merge stamp / dispatch field).
+    pub addr: String,
+    /// Units whose `serve.unit` span landed on this daemon.
+    pub units: u64,
+    /// Sum of `serve.unit` durations, ns.
+    pub busy_ns: u64,
+    /// `busy_ns` over batch wall-clock. Can exceed 1.0 when the daemon
+    /// serves units concurrently.
+    pub utilization: f64,
+    /// `fleet.dispatch` events targeting this daemon.
+    pub dispatches: u64,
+    /// Dispatches flagged as work-stealing.
+    pub steals: u64,
+    /// Summed dispatch queue wait, ns.
+    pub queue_wait_ns: u64,
+}
+
+/// The full analysis of one merged fleet trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Batch id of the analyzed trace.
+    pub batch: String,
+    /// Batch wall-clock (`fleet.batch` root duration), ns.
+    pub wall_ns: u64,
+    /// Units the coordinator round-tripped (`fleet.unit` span count).
+    pub units: u64,
+    /// Events at warn severity (daemon death, re-dispatch, fallback).
+    pub warnings: u64,
+    /// Critical path, root first.
+    pub critical_path: Vec<CriticalHop>,
+    /// Per-stage totals, heaviest first.
+    pub stages: Vec<StageTotal>,
+    /// Per-daemon attribution, sorted by address.
+    pub daemons: Vec<DaemonUtilization>,
+}
+
+/// Parses a JSONL trace (one [`TraceEvent`] per line; blank lines
+/// skipped), reporting the first offending line on failure.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        events.push(TraceEvent::parse(line).map_err(|e| format!("trace line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+fn field<'a>(ev: &'a TraceEvent, key: &str) -> Option<&'a str> {
+    ev.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn span_dur(ev: &TraceEvent) -> Option<u64> {
+    match ev.kind {
+        EventKind::Span { dur_ns } => Some(dur_ns),
+        EventKind::Event => None,
+    }
+}
+
+fn hop(ev: &TraceEvent, dur_ns: u64, daemon: Option<String>) -> CriticalHop {
+    CriticalHop { name: ev.name.clone(), unit: ev.unit, daemon, dur_ns }
+}
+
+/// Analyzes the events of one merged fleet trace.
+///
+/// Requires a `fleet.batch` root span — a daemon-local trace (or a
+/// truncated merge) is rejected with an explanatory error rather than
+/// silently producing a wall-clock-free report.
+pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, String> {
+    let root = events
+        .iter()
+        .filter(|e| e.name == "fleet.batch")
+        .find_map(|e| span_dur(e).map(|d| (e, d)))
+        .ok_or_else(|| {
+            "not a merged fleet trace: no fleet.batch root span (did you pass a \
+             daemon-local trace, or was the batch evicted before the merge?)"
+                .to_string()
+        })?;
+    let (root_ev, wall_ns) = root;
+
+    // Index spans by parent for the descent, and collect the layers.
+    let mut children: HashMap<SpanId, Vec<&TraceEvent>> = HashMap::new();
+    let mut fleet_units: Vec<(&TraceEvent, u64)> = Vec::new();
+    let mut serve_units: Vec<(&TraceEvent, u64)> = Vec::new();
+    let mut stages: BTreeMap<&str, StageTotal> = BTreeMap::new();
+    let mut daemons: BTreeMap<String, DaemonUtilization> = BTreeMap::new();
+    let mut warnings = 0u64;
+
+    for ev in events {
+        if ev.severity == Severity::Warn {
+            warnings += 1;
+        }
+        let Some(dur) = span_dur(ev) else {
+            if ev.name == "fleet.dispatch" {
+                let addr = field(ev, "daemon").unwrap_or("unknown").to_string();
+                let d = daemons.entry(addr.clone()).or_insert_with(|| blank_daemon(addr));
+                d.dispatches += 1;
+                if field(ev, "stolen") == Some("true") {
+                    d.steals += 1;
+                }
+                d.queue_wait_ns +=
+                    field(ev, "queue_wait_ns").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+            }
+            continue;
+        };
+        if let Some(parent) = ev.parent {
+            children.entry(parent).or_default().push(ev);
+        }
+        match ev.name.as_str() {
+            "fleet.unit" => fleet_units.push((ev, dur)),
+            "serve.unit" => {
+                serve_units.push((ev, dur));
+                let addr = ev.daemon.clone().unwrap_or_else(|| "unknown".to_string());
+                let d = daemons.entry(addr.clone()).or_insert_with(|| blank_daemon(addr));
+                d.units += 1;
+                d.busy_ns += dur;
+            }
+            name if name.starts_with("unit.") => {
+                let s = stages.entry(&ev.name).or_insert_with(|| StageTotal {
+                    name: ev.name.clone(),
+                    count: 0,
+                    total_ns: 0,
+                    max_ns: 0,
+                    max_unit: None,
+                });
+                s.count += 1;
+                s.total_ns += dur;
+                if dur > s.max_ns {
+                    s.max_ns = dur;
+                    s.max_unit = ev.unit;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Critical path: root, last-finishing roundtrip (coordinator clock),
+    // its daemon-side span, then longest-child descent.
+    let mut critical_path = vec![hop(root_ev, wall_ns, None)];
+    let last = fleet_units.iter().max_by_key(|(ev, dur)| (ev.ts_ns.saturating_add(*dur), *dur));
+    if let Some(&(funit, fdur)) = last {
+        let target_daemon = field(funit, "daemon").map(str::to_string);
+        critical_path.push(hop(funit, fdur, target_daemon.clone()));
+        let served = serve_units
+            .iter()
+            .filter(|(ev, _)| ev.unit == funit.unit)
+            .max_by_key(|(ev, dur)| (ev.daemon == target_daemon, *dur));
+        if let Some(&(sunit, sdur)) = served {
+            critical_path.push(hop(sunit, sdur, sunit.daemon.clone()));
+            let mut cursor = sunit.span;
+            while let Some(next) = children
+                .get(&cursor)
+                .and_then(|kids| kids.iter().max_by_key(|k| span_dur(k).unwrap_or(0)))
+            {
+                let dur = span_dur(next).unwrap_or(0);
+                critical_path.push(hop(next, dur, next.daemon.clone()));
+                cursor = next.span;
+            }
+        }
+    }
+
+    for d in daemons.values_mut() {
+        d.utilization = if wall_ns == 0 { 0.0 } else { d.busy_ns as f64 / wall_ns as f64 };
+    }
+    let mut stages: Vec<StageTotal> = stages.into_values().collect();
+    stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.name.cmp(&b.name)));
+
+    Ok(TraceAnalysis {
+        batch: root_ev.batch.clone(),
+        wall_ns,
+        units: fleet_units.len() as u64,
+        warnings,
+        critical_path,
+        stages,
+        daemons: daemons.into_values().collect(),
+    })
+}
+
+fn blank_daemon(addr: String) -> DaemonUtilization {
+    DaemonUtilization {
+        addr,
+        units: 0,
+        busy_ns: 0,
+        utilization: 0.0,
+        dispatches: 0,
+        steals: 0,
+        queue_wait_ns: 0,
+    }
+}
+
+/// Formats a nanosecond duration for the text report (`ns`/`us`/`ms`/`s`
+/// with three significant-ish digits).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.1} us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+impl TraceAnalysis {
+    fn pct(&self, dur_ns: u64) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            dur_ns as f64 / self.wall_ns as f64 * 100.0
+        }
+    }
+
+    /// Renders the machine report as one JSON line
+    /// (`"kind":"trace_analysis"`).
+    pub fn to_json_line(&self) -> String {
+        let hops: Vec<String> = self
+            .critical_path
+            .iter()
+            .map(|h| {
+                let mut w = JsonWriter::new();
+                w.field_str("name", &h.name);
+                if let Some(u) = h.unit {
+                    w.field_u64("unit", u);
+                }
+                if let Some(d) = &h.daemon {
+                    w.field_str("daemon", d);
+                }
+                w.field_u64("dur_ns", h.dur_ns);
+                w.field_f64("pct", self.pct(h.dur_ns));
+                w.finish()
+            })
+            .collect();
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                let mut w = JsonWriter::new();
+                w.field_str("name", &s.name);
+                w.field_u64("count", s.count);
+                w.field_u64("total_ns", s.total_ns);
+                w.field_u64("max_ns", s.max_ns);
+                if let Some(u) = s.max_unit {
+                    w.field_u64("max_unit", u);
+                }
+                w.finish()
+            })
+            .collect();
+        let daemons: Vec<String> = self
+            .daemons
+            .iter()
+            .map(|d| {
+                let mut w = JsonWriter::new();
+                w.field_str("addr", &d.addr);
+                w.field_u64("units", d.units);
+                w.field_u64("busy_ns", d.busy_ns);
+                w.field_f64("utilization", d.utilization);
+                w.field_u64("dispatches", d.dispatches);
+                w.field_u64("steals", d.steals);
+                w.field_u64("queue_wait_ns", d.queue_wait_ns);
+                w.finish()
+            })
+            .collect();
+        let mut w = JsonWriter::new();
+        w.field_str("kind", "trace_analysis");
+        w.field_str("batch", &self.batch);
+        w.field_u64("wall_ns", self.wall_ns);
+        w.field_u64("units", self.units);
+        w.field_u64("warnings", self.warnings);
+        w.field_raw("critical_path", &format!("[{}]", hops.join(",")));
+        w.field_raw("stages", &format!("[{}]", stages.join(",")));
+        w.field_raw("daemons", &format!("[{}]", daemons.join(",")));
+        w.finish()
+    }
+
+    /// Renders the human breakdown (multi-line text).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "batch {}: {} units, wall {}, {} warning(s)\n",
+            self.batch,
+            self.units,
+            fmt_ns(self.wall_ns),
+            self.warnings
+        ));
+        out.push_str("critical path (longest chain bounding wall-clock):\n");
+        for (depth, h) in self.critical_path.iter().enumerate() {
+            let mut label = h.name.clone();
+            if let Some(u) = h.unit {
+                label.push_str(&format!(" #{u}"));
+            }
+            if let Some(d) = &h.daemon {
+                label.push_str(&format!(" @{d}"));
+            }
+            out.push_str(&format!(
+                "  {:indent$}{label:<40} {:>10}  {:>5.1}%\n",
+                "",
+                fmt_ns(h.dur_ns),
+                self.pct(h.dur_ns),
+                indent = depth * 2,
+            ));
+        }
+        out.push_str("stage totals (all units, heaviest first):\n");
+        for s in &self.stages {
+            let max_unit = s.max_unit.map(|u| format!(" (unit {u})")).unwrap_or_default();
+            out.push_str(&format!(
+                "  {:<20} count={:<4} total={:>10}  max={}{}\n",
+                s.name,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.max_ns),
+                max_unit,
+            ));
+        }
+        out.push_str("daemons:\n");
+        for d in &self.daemons {
+            out.push_str(&format!(
+                "  {:<24} units={:<4} busy={:>10}  util={:>5.1}%  dispatches={} steals={} queue_wait={}\n",
+                d.addr,
+                d.units,
+                fmt_ns(d.busy_ns),
+                d.utilization * 100.0,
+                d.dispatches,
+                d.steals,
+                fmt_ns(d.queue_wait_ns),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+
+    #[allow(clippy::too_many_arguments)]
+    fn span(
+        name: &str,
+        span: u64,
+        parent: Option<u64>,
+        ts_ns: u64,
+        dur_ns: u64,
+        unit: Option<u64>,
+        daemon: Option<&str>,
+        fields: Vec<(&str, &str)>,
+    ) -> TraceEvent {
+        TraceEvent {
+            ts_ns,
+            name: name.to_string(),
+            kind: EventKind::Span { dur_ns },
+            span: SpanId(span),
+            parent: parent.map(SpanId),
+            batch: "fix".to_string(),
+            unit,
+            daemon: daemon.map(str::to_string),
+            severity: Severity::Info,
+            fields: fields.into_iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        }
+    }
+
+    fn dispatch(unit: u64, daemon: &str, stolen: &str, wait: &str) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 0,
+            name: "fleet.dispatch".to_string(),
+            kind: EventKind::Event,
+            span: SpanId(900 + unit),
+            parent: Some(SpanId(1)),
+            batch: "fix".to_string(),
+            unit: Some(unit),
+            daemon: None,
+            severity: Severity::Info,
+            fields: vec![
+                ("daemon".to_string(), daemon.to_string()),
+                ("stolen".to_string(), stolen.to_string()),
+                ("queue_wait_ns".to_string(), wait.to_string()),
+            ],
+        }
+    }
+
+    /// A two-daemon fixture with hand-computed answers: unit 1 on
+    /// daemon `b` finishes last (coordinator end 700 vs 400) and its
+    /// preprocess stage dominates, so the critical path must be
+    /// fleet.batch -> fleet.unit#1 -> serve.unit#1@b -> unit.preprocess.
+    fn fixture() -> Vec<TraceEvent> {
+        let mut warn = dispatch(1, "b", "true", "75");
+        warn.name = "fleet.redispatch".to_string();
+        warn.severity = Severity::Warn;
+        warn.span = SpanId(950);
+        vec![
+            span("fleet.batch", 1, None, 0, 1000, None, None, vec![]),
+            span("fleet.unit", 2, Some(1), 100, 300, Some(0), None, vec![("daemon", "a")]),
+            span("fleet.unit", 3, Some(1), 200, 500, Some(1), None, vec![("daemon", "b")]),
+            span("serve.unit", 10, Some(1), 5, 250, Some(0), Some("a"), vec![]),
+            span("serve.unit", 11, Some(1), 5, 450, Some(1), Some("b"), vec![]),
+            span("unit.parse", 20, Some(10), 6, 5, Some(0), Some("a"), vec![]),
+            span("unit.tau_eval", 21, Some(10), 12, 150, Some(0), Some("a"), vec![]),
+            span("unit.parse", 30, Some(11), 6, 10, Some(1), Some("b"), vec![]),
+            span("unit.cache_lookup", 31, Some(11), 17, 20, Some(1), Some("b"), vec![]),
+            span("unit.preprocess", 32, Some(11), 38, 300, Some(1), Some("b"), vec![]),
+            span("unit.tau_eval", 33, Some(11), 340, 100, Some(1), Some("b"), vec![]),
+            span("unit.serialize", 34, Some(11), 441, 5, Some(1), Some("b"), vec![]),
+            dispatch(0, "a", "false", "50"),
+            dispatch(1, "b", "true", "75"),
+            warn,
+        ]
+    }
+
+    #[test]
+    fn analyzer_finds_the_hand_computed_critical_path() {
+        let a = analyze(&fixture()).unwrap();
+        assert_eq!(a.batch, "fix");
+        assert_eq!(a.wall_ns, 1000);
+        assert_eq!(a.units, 2);
+        assert_eq!(a.warnings, 1);
+        let path: Vec<(&str, Option<u64>, u64)> =
+            a.critical_path.iter().map(|h| (h.name.as_str(), h.unit, h.dur_ns)).collect();
+        assert_eq!(
+            path,
+            vec![
+                ("fleet.batch", None, 1000),
+                ("fleet.unit", Some(1), 500),
+                ("serve.unit", Some(1), 450),
+                ("unit.preprocess", Some(1), 300),
+            ]
+        );
+        assert_eq!(a.critical_path[1].daemon.as_deref(), Some("b"), "dispatch-target daemon");
+        assert_eq!(a.critical_path[2].daemon.as_deref(), Some("b"), "merge-stamp daemon");
+    }
+
+    #[test]
+    fn analyzer_aggregates_stages_and_daemons() {
+        let a = analyze(&fixture()).unwrap();
+        let stages: Vec<(&str, u64, u64, u64, Option<u64>)> = a
+            .stages
+            .iter()
+            .map(|s| (s.name.as_str(), s.count, s.total_ns, s.max_ns, s.max_unit))
+            .collect();
+        assert_eq!(
+            stages,
+            vec![
+                ("unit.preprocess", 1, 300, 300, Some(1)),
+                ("unit.tau_eval", 2, 250, 150, Some(0)),
+                ("unit.cache_lookup", 1, 20, 20, Some(1)),
+                ("unit.parse", 2, 15, 10, Some(1)),
+                ("unit.serialize", 1, 5, 5, Some(1)),
+            ]
+        );
+        assert_eq!(a.daemons.len(), 2);
+        let a_d = &a.daemons[0];
+        assert_eq!((a_d.addr.as_str(), a_d.units, a_d.busy_ns), ("a", 1, 250));
+        assert!((a_d.utilization - 0.25).abs() < 1e-12);
+        assert_eq!((a_d.dispatches, a_d.steals, a_d.queue_wait_ns), (1, 0, 50));
+        let b_d = &a.daemons[1];
+        assert_eq!((b_d.addr.as_str(), b_d.units, b_d.busy_ns), ("b", 1, 450));
+        assert!((b_d.utilization - 0.45).abs() < 1e-12);
+        assert_eq!((b_d.dispatches, b_d.steals, b_d.queue_wait_ns), (1, 1, 75));
+    }
+
+    #[test]
+    fn reports_round_trip_through_jsonl_and_render_both_formats() {
+        let jsonl: String =
+            fixture().iter().map(|e| e.to_json_line() + "\n").collect::<String>() + "\n";
+        let events = parse_trace(&jsonl).unwrap();
+        let a = analyze(&events).unwrap();
+        assert_eq!(a, analyze(&fixture()).unwrap(), "JSONL round trip is lossless");
+
+        let line = a.to_json_line();
+        assert!(!line.contains('\n'), "machine report is one line");
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("trace_analysis"));
+        assert_eq!(v.get("wall_ns").and_then(Json::as_u64), Some(1000));
+        assert_eq!(v.get("critical_path").and_then(Json::as_array).map(|a| a.len()), Some(4));
+        assert_eq!(v.get("stages").and_then(Json::as_array).map(|a| a.len()), Some(5));
+        assert_eq!(v.get("daemons").and_then(Json::as_array).map(|a| a.len()), Some(2));
+
+        let text = a.to_text();
+        assert!(text.contains("unit.preprocess"));
+        assert!(text.contains("@b"));
+        assert!(text.contains("util= 45.0%"));
+    }
+
+    #[test]
+    fn rejects_traces_without_a_fleet_root() {
+        let daemon_only = vec![span("serve.unit", 10, None, 5, 250, Some(0), Some("a"), vec![])];
+        let err = analyze(&daemon_only).unwrap_err();
+        assert!(err.contains("no fleet.batch root"), "{err}");
+    }
+
+    #[test]
+    fn parse_trace_points_at_the_offending_line() {
+        let err = parse_trace("\n{\"ts_ns\":0}\n").unwrap_err();
+        assert!(err.starts_with("trace line 2:"), "{err}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.5 us");
+        assert_eq!(fmt_ns(2_500_000), "2.5 ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21 s");
+    }
+}

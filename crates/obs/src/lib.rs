@@ -1,6 +1,6 @@
 //! `psdacc-obs` — unified observability for the psdacc stack.
 //!
-//! Three pieces, std-only, shared by every layer:
+//! Four pieces, std-only, shared by every layer:
 //!
 //! * [`metrics`] — a named registry of counters, gauges, and log-bucketed
 //!   duration histograms, with canonical JSON and Prometheus-style text
@@ -12,6 +12,9 @@
 //! * [`stage`] — a process-global sink for feature-gated stage timers in
 //!   the numeric hot paths (`freq::preprocess`, `tau_pp`), costing one
 //!   atomic load when not installed.
+//! * [`analyze`] — trace analytics over a merged fleet trace: critical
+//!   path, per-stage totals, and per-daemon utilization, rendered as a
+//!   JSON line or a human breakdown.
 //!
 //! The [`json`] module (writer + parser) also lives here — it predates
 //! this crate in `psdacc-engine`, which still re-exports it.
@@ -22,10 +25,15 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod json;
 pub mod metrics;
 pub mod stage;
 pub mod trace;
 
+pub use analyze::{CriticalHop, DaemonUtilization, StageTotal, TraceAnalysis};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, NUM_BUCKETS};
-pub use trace::{EventKind, OpenSpan, Severity, SpanId, TraceEvent, TraceStore, Tracer, MAX_TS_NS};
+pub use trace::{
+    EventKind, OpenSpan, Severity, SpanId, TraceEvent, TraceStore, TraceStoreStats, Tracer,
+    MAX_TS_NS,
+};

@@ -167,6 +167,37 @@ impl HistogramSnapshot {
         Some(upper_bound_ns(NUM_BUCKETS - 1))
     }
 
+    /// The `q`-quantile (0 ≤ q ≤ 1) in nanoseconds with **linear
+    /// sub-bucket interpolation**: the rank is placed inside its bucket by
+    /// the midpoint convention (`rank - 0.5` of the bucket's occupants),
+    /// so repeated measurements resolve below the 2x bucket granularity
+    /// instead of snapping to a power of two. Upper-bounded by the
+    /// bucket's upper bound, lower-bounded by its lower bound — it never
+    /// contradicts [`HistogramSnapshot::quantile_ns`] by more than one
+    /// bucket width. `None` for an empty histogram.
+    ///
+    /// Use this where resolution matters more than the conservative
+    /// stability of the bucket-upper-bound convention (the bench harness
+    /// compares runs through it); keep `quantile_ns` for merged fleet
+    /// stats where the overestimate guarantee is load-bearing.
+    pub fn quantile_interp_ns(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 && seen + n >= rank {
+                let lower = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let width = upper_bound_ns(i) as f64 - lower;
+                let within = (rank - seen) as f64 - 0.5;
+                return Some(lower + width * (within / n as f64).clamp(0.0, 1.0));
+            }
+            seen += n;
+        }
+        Some(upper_bound_ns(NUM_BUCKETS - 1) as f64)
+    }
+
     /// Renders the histogram body fields (`count`, `total_ns`, `p50_ns`,
     /// `p95_ns`, `p99_ns`, `buckets`) into an existing writer.
     pub fn write_fields(&self, w: &mut JsonWriter) {
@@ -353,8 +384,25 @@ fn split_label(name: &str) -> (&str, Option<(&str, &str)>) {
     (&name[..open], Some((k, v)))
 }
 
+/// Escapes a Prometheus label value: `\`, `"`, and newline must be
+/// backslash-escaped per the text exposition format, so a hostile
+/// scenario name (registry keys embed caller-chosen names) cannot break
+/// out of the quoted value and corrupt the scrape.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// One Prometheus text-format sample line. `extra` is an additional label
-/// pair (used for histogram `le`).
+/// pair (used for histogram `le`). Label values are escaped.
 fn sample(
     name: &str,
     label: Option<(&str, &str)>,
@@ -363,10 +411,10 @@ fn sample(
 ) -> String {
     let mut pairs = Vec::new();
     if let Some((k, v)) = label {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     if pairs.is_empty() {
         format!("{name} {value}\n")
@@ -412,6 +460,50 @@ mod tests {
             HistogramSnapshot { buckets: [0; NUM_BUCKETS], count: 0, total_ns: 0 }.quantile_ns(0.5),
             None
         );
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_total() {
+        let empty = HistogramSnapshot { buckets: [0; NUM_BUCKETS], count: 0, total_ns: 0 };
+        assert_eq!(empty.quantile_ns(0.5), None);
+        assert_eq!(empty.quantile_interp_ns(0.5), None);
+
+        // A single sample: every quantile names its bucket, q=0 and q=1
+        // clamp to rank 1 instead of panicking or returning nonsense.
+        let h = Histogram::default();
+        h.record_ns(100); // bucket 6: [64, 128)
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile_ns(q), Some(128), "q={q}");
+            let interp = s.quantile_interp_ns(q).unwrap();
+            assert!((64.0..=128.0).contains(&interp), "q={q} -> {interp}");
+        }
+        // Midpoint convention: one occupant sits in the bucket middle.
+        assert!((s.quantile_interp_ns(0.5).unwrap() - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolated_quantiles_resolve_below_bucket_granularity() {
+        // 20 identical-bucket observations (the bench-harness shape): the
+        // upper-bound convention collapses every quantile to 131072, the
+        // interpolated one spreads ranks across [65536, 131072).
+        let h = Histogram::default();
+        for _ in 0..20 {
+            h.record_ns(100_000); // bucket 16: [65536, 131072)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.50), Some(131_072));
+        let p50 = s.quantile_interp_ns(0.50).unwrap();
+        let p95 = s.quantile_interp_ns(0.95).unwrap();
+        assert!(p50 > 65_536.0 && p50 < 131_072.0, "{p50}");
+        assert!(p95 > p50 && p95 < 131_072.0, "{p95}");
+        // rank 10 of 20 -> lower + (9.5/20) * width.
+        assert!((p50 - (65_536.0 + 65_536.0 * 9.5 / 20.0)).abs() < 1e-6, "{p50}");
+        // Interpolation stays within one bucket of the conservative answer
+        // and respects bucket 0's zero lower bound.
+        let h0 = Histogram::default();
+        h0.record_ns(0);
+        assert!(h0.snapshot().quantile_interp_ns(0.5).unwrap() >= 0.0);
     }
 
     #[test]
@@ -464,6 +556,23 @@ mod tests {
         assert!(text.contains("serve_latency_ns_bucket{verb=\"evaluate\",le=\"+Inf\"} 1\n"));
         assert!(text.contains("serve_latency_ns_count{verb=\"evaluate\"} 1\n"));
         assert!(text.contains("serve_latency_ns_sum{verb=\"evaluate\"} 1e-7\n"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_exposition_escapes_hostile_label_values() {
+        let reg = MetricsRegistry::new();
+        // A scenario name with a quote, a backslash, and a newline must not
+        // break out of the quoted label value.
+        reg.counter("engine_cache_hits_total{scenario=evil\"} 999\ninjected\\}").add(1);
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains("engine_cache_hits_total{scenario=\"evil\\\"} 999\\ninjected\\\\\"} 1\n"),
+            "{text}"
+        );
+        // The raw quote, newline, and lone backslash never appear bare:
+        // the exposition stays one sample per line.
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(!text.contains("evil\"}"), "unescaped quote leaked: {text}");
     }
 
     #[test]

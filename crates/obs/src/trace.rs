@@ -382,6 +382,16 @@ impl Tracer {
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         self.events.lock().expect("trace lock").clone()
     }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace lock").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// A bounded ring of per-batch tracers, newest last — a daemon keeps the
@@ -391,12 +401,37 @@ impl Tracer {
 pub struct TraceStore {
     batches: Mutex<VecDeque<Arc<Tracer>>>,
     cap: usize,
+    dropped_batches: AtomicU64,
+    dropped_events: AtomicU64,
+}
+
+/// Point-in-time retention accounting for a [`TraceStore`] — what the
+/// daemon still holds versus what eviction has already cost, so an
+/// operator fetching an incomplete trace can see *that* (and how much)
+/// was dropped rather than guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStoreStats {
+    /// Retention bound (batches).
+    pub cap: usize,
+    /// Batches currently retained.
+    pub batches: usize,
+    /// Events across all retained batches.
+    pub events_retained: usize,
+    /// Batches evicted over the store's lifetime.
+    pub batches_dropped: u64,
+    /// Events lost with those evictions.
+    pub events_dropped: u64,
 }
 
 impl TraceStore {
     /// A store retaining at most `cap` batches.
     pub fn new(cap: usize) -> TraceStore {
-        TraceStore { batches: Mutex::new(VecDeque::new()), cap: cap.max(1) }
+        TraceStore {
+            batches: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
+            dropped_batches: AtomicU64::new(0),
+            dropped_events: AtomicU64::new(0),
+        }
     }
 
     /// Registers (or returns the existing) tracer for `batch`.
@@ -407,7 +442,10 @@ impl TraceStore {
         }
         let tracer = Arc::new(Tracer::new(batch));
         if ring.len() == self.cap {
-            ring.pop_front();
+            if let Some(evicted) = ring.pop_front() {
+                self.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                self.dropped_events.fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            }
         }
         ring.push_back(Arc::clone(&tracer));
         tracer
@@ -417,6 +455,18 @@ impl TraceStore {
     pub fn get(&self, batch: &str) -> Option<Arc<Tracer>> {
         let ring = self.batches.lock().expect("trace store lock");
         ring.iter().find(|t| t.batch() == batch).map(Arc::clone)
+    }
+
+    /// Retention accounting (see [`TraceStoreStats`]).
+    pub fn stats(&self) -> TraceStoreStats {
+        let ring = self.batches.lock().expect("trace store lock");
+        TraceStoreStats {
+            cap: self.cap,
+            batches: ring.len(),
+            events_retained: ring.iter().map(|t| t.len()).sum(),
+            batches_dropped: self.dropped_batches.load(Ordering::Relaxed),
+            events_dropped: self.dropped_events.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -512,10 +562,23 @@ mod tests {
         let store = TraceStore::new(2);
         let a = store.create("a");
         assert!(Arc::ptr_eq(&a, &store.create("a")), "same batch, same tracer");
+        a.event("warm", Severity::Info, None, None, Vec::new());
+        a.event("warm2", Severity::Info, None, None, Vec::new());
         store.create("b");
+        let before = store.stats();
+        assert_eq!(before.cap, 2);
+        assert_eq!(before.batches, 2);
+        assert_eq!(before.events_retained, 2);
+        assert_eq!(before.batches_dropped, 0);
+        assert_eq!(before.events_dropped, 0);
         store.create("c");
         assert!(store.get("a").is_none(), "oldest evicted");
         assert!(store.get("b").is_some());
         assert!(store.get("c").is_some());
+        let after = store.stats();
+        assert_eq!(after.batches, 2);
+        assert_eq!(after.events_retained, 0, "surviving batches are empty");
+        assert_eq!(after.batches_dropped, 1);
+        assert_eq!(after.events_dropped, 2, "eviction accounts the lost events");
     }
 }

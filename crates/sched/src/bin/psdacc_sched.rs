@@ -26,6 +26,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use psdacc_engine::{BatchSpec, ScenarioRegistry};
+use psdacc_obs::analyze;
 use psdacc_sched::{fetch_fleet_trace, run_fleet, FleetConfig};
 use psdacc_serve::client;
 
@@ -36,6 +37,7 @@ const USAGE: &str = "usage:
                       [--trace PATH] [--batch ID]
   psdacc-sched trace  --daemons HOST:PORT[,HOST:PORT...] --batch ID
                       [--timeout-seconds N]
+  psdacc-sched analyze --trace PATH [--json]
 
 Dispatches a batch spec across psdacc-serve daemons with pull-based work
 stealing: per-daemon in-flight windows sized by advertised capacity,
@@ -52,6 +54,12 @@ with every daemon's per-unit stage spans, written to PATH as JSONL.
 --batch ID names the trace batch (default: derived from the wall clock).
 `trace` fetches the daemons' retained trace for a batch id after the
 fact and prints it as JSONL to stdout.
+
+`analyze` reads a merged fleet trace (the --trace PATH output) and
+reports where the time went: the critical path bounding wall-clock,
+per-stage totals (parse/cache_lookup/preprocess/tau_eval/serialize),
+and per-daemon utilization with dispatch/steal/queue-wait attribution.
+Human text by default; --json emits the single-line machine report.
 ";
 
 struct SubmitArgs {
@@ -77,6 +85,7 @@ fn main() -> ExitCode {
             }
         },
         Some("trace") => cmd_trace(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -151,6 +160,58 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Analyzes a merged fleet trace file: critical path, stage totals, and
+/// daemon utilization, as human text or a single JSON line.
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut trace_path: Option<String> = None;
+    let mut json_out = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => trace_path = Some(v.clone()),
+                    None => {
+                        eprintln!("missing value for --trace\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--json" => json_out = true,
+            other => {
+                eprintln!("unknown argument `{other}` (allowed: --trace, --json)\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = trace_path else {
+        eprintln!("analyze needs --trace PATH\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = match analyze::parse_trace(&text).and_then(|events| analyze::analyze(&events)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json_out {
+        println!("{}", analysis.to_json_line());
+    } else {
+        print!("{}", analysis.to_text());
+    }
+    ExitCode::SUCCESS
 }
 
 fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {

@@ -259,6 +259,55 @@ fn traced_fleet_run_merges_parented_spans_and_stays_bit_identical() {
     let stats_line = traced.stats.to_json_line();
     assert!(stats_line.contains("\"p95_ns\""), "{stats_line}");
 
+    // The analyzer turns the merged trace into a wall-clock attribution:
+    // critical path rooted at fleet.batch and descending through the
+    // last-finishing roundtrip into its daemon-side stages, stage totals
+    // covering every unit, and both daemons accounted with their
+    // dispatch/steal/queue-wait attribution.
+    let analysis = psdacc_obs::analyze::analyze(trace).unwrap();
+    assert_eq!(analysis.batch, "fleet-it-trace");
+    assert_eq!(analysis.units, expected.len() as u64);
+    let root_dur = match root.kind {
+        EventKind::Span { dur_ns } => dur_ns,
+        EventKind::Event => unreachable!(),
+    };
+    assert_eq!(analysis.wall_ns, root_dur);
+    assert!(analysis.critical_path.len() >= 3, "{:?}", analysis.critical_path);
+    assert_eq!(analysis.critical_path[0].name, "fleet.batch");
+    assert_eq!(analysis.critical_path[1].name, "fleet.unit");
+    assert_eq!(analysis.critical_path[2].name, "serve.unit");
+    // Durations never grow along the path, and every hop below the root
+    // is unit-scoped.
+    for pair in analysis.critical_path.windows(2) {
+        assert!(pair[1].dur_ns <= pair[0].dur_ns, "{:?}", analysis.critical_path);
+    }
+    assert!(analysis.critical_path[1..].iter().all(|h| h.unit.is_some()));
+    // Stage totals cover the tau_eval every unit ran; totals are
+    // internally consistent.
+    let tau = analysis.stages.iter().find(|s| s.name == "unit.tau_eval").unwrap();
+    assert_eq!(tau.count, expected.len() as u64);
+    assert!(tau.max_ns <= tau.total_ns && tau.total_ns > 0);
+    // Both daemons show up with busy time and dispatch attribution; the
+    // skew recorded at least one steal somewhere.
+    assert_eq!(analysis.daemons.len(), 2);
+    for d in &analysis.daemons {
+        assert!(daemons.contains(&d.addr), "{}", d.addr);
+        assert!(d.units > 0 && d.busy_ns > 0 && d.dispatches > 0, "{d:?}");
+        assert!(d.utilization > 0.0);
+    }
+    assert!(analysis.daemons.iter().map(|d| d.steals).sum::<u64>() >= 1);
+    assert_eq!(
+        analysis.daemons.iter().map(|d| d.units).sum::<u64>(),
+        expected.len() as u64,
+        "every unit's serve span lands on exactly one daemon"
+    );
+    // Both report renderings stay consistent with the struct.
+    let report = analysis.to_json_line();
+    let rv = json::parse(&report).unwrap();
+    assert_eq!(rv.get("kind").and_then(Json::as_str), Some("trace_analysis"));
+    assert_eq!(rv.get("units").and_then(Json::as_u64), Some(expected.len() as u64));
+    assert!(analysis.to_text().contains("critical path"));
+
     // The standalone scrape path sees the daemons' retained spans too.
     let scraped = fetch_fleet_trace(&daemons, "fleet-it-trace", Duration::from_secs(10)).unwrap();
     assert!(scraped.iter().any(|e| e.name == "serve.unit"));

@@ -27,7 +27,8 @@ use psdacc_store::PersistentCache;
 
 const USAGE: &str = "usage:
   psdacc-serve daemon --addr HOST:PORT [--store DIR] [--store-max-entries N] [--threads N]
-                      [--max-connections N] [--chaos-unit-delay-ms MS] [--chaos-die-after-units N]
+                      [--max-connections N] [--trace-limit N]
+                      [--chaos-unit-delay-ms MS] [--chaos-die-after-units N]
   psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] [--graph NAME=FILE]... SPECFILE
   psdacc-serve stats --workers HOST:PORT[,HOST:PORT...]
   psdacc-serve metrics --workers HOST:PORT[,HOST:PORT...] [--format text|json]
@@ -42,7 +43,10 @@ Prometheus text exposition (or the canonical JSON registry with
 --store, preprocessing persists to disk and restarts warm-start with
 zero builds; --store-max-entries caps the on-disk record count (LRU
 eviction, loads keep entries hot). --max-connections refuses connections
-beyond the cap with one error line (backpressure). The --chaos-* flags
+beyond the cap with one error line (backpressure). --trace-limit sets
+how many batches' daemon-side traces stay fetchable before FIFO
+eviction (default 8; `stats` reports retained/dropped counts). The
+--chaos-* flags
 inject faults (per-unit delay; abrupt mid-stream death after N units)
 for scheduler testing and CI. `submit` expands a batch spec locally,
 round-robins the jobs across the workers, and merges the streamed
@@ -138,6 +142,7 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
         "--store-max-entries",
         "--threads",
         "--max-connections",
+        "--trace-limit",
         "--chaos-unit-delay-ms",
         "--chaos-die-after-units",
     ];
@@ -178,6 +183,14 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
         Some(Ok(n)) if n >= 1 => config.max_connections = Some(n),
         _ => {
             eprintln!("--max-connections must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    }
+    match flags.get("--trace-limit").map(|v| v.parse::<usize>()) {
+        None => {}
+        Some(Ok(n)) if n >= 1 => config.trace_limit = Some(n),
+        _ => {
+            eprintln!("--trace-limit must be a positive integer");
             return ExitCode::FAILURE;
         }
     }

@@ -25,9 +25,9 @@ use crate::protocol::{parse_request, read_capped_line, result_line, Request, Tra
 /// context).
 pub const PROTOCOL_REVISION: usize = 4;
 
-/// How many batches' daemon-side traces are retained for coordinator
-/// fetch (older batches evict FIFO).
-const TRACE_BATCH_CAP: usize = 8;
+/// Default retention bound for per-batch daemon-side traces (older
+/// batches evict FIFO); override with [`ServerConfig::trace_limit`].
+pub const TRACE_BATCH_CAP: usize = 8;
 
 /// Daemon-level service policy plus fault-injection knobs.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +45,11 @@ pub struct ServerConfig {
     /// total), abruptly shut both socket directions of the serving
     /// connection — a mid-batch crash, as seen by the peer.
     pub chaos_die_after_units: Option<usize>,
+    /// How many batches' traces the daemon retains for coordinator fetch
+    /// (`--trace-limit N`); `None` = [`TRACE_BATCH_CAP`]. Sizing this to
+    /// the coordinator's batch concurrency prevents a busy fleet from
+    /// evicting a trace before its merge.
+    pub trace_limit: Option<usize>,
 }
 
 /// Shared daemon state: the engine (whose cache may be disk-persistent)
@@ -69,6 +74,7 @@ impl ServerState {
     fn new(engine: Engine, config: ServerConfig) -> Self {
         let metrics = Arc::new(MetricsRegistry::new());
         let latency = LatencyRegistry::new(&metrics);
+        let trace_cap = config.trace_limit.unwrap_or(TRACE_BATCH_CAP);
         ServerState {
             engine,
             registry: ScenarioRegistry::new(),
@@ -79,7 +85,7 @@ impl ServerState {
             active_connections: metrics.gauge("serve_active_connections"),
             rejected_connections: metrics.counter("serve_rejected_connections_total"),
             latency,
-            traces: TraceStore::new(TRACE_BATCH_CAP),
+            traces: TraceStore::new(trace_cap),
             metrics,
             shutdown: AtomicBool::new(false),
         }
@@ -194,7 +200,10 @@ impl ServerState {
     /// Renders the `stats` response line: protocol revision and the count
     /// of dynamically registered scenarios, per-scenario cache hit/miss
     /// counts (sorted by scenario key; empty until the daemon has served a
-    /// job), and per-verb log-bucketed latency histograms.
+    /// job), per-verb log-bucketed latency histograms, and trace-ring
+    /// retention accounting (`trace_limit` / retained / dropped), so a
+    /// coordinator can tell when a missing trace was evicted rather than
+    /// never recorded.
     pub fn stats_line(&self) -> String {
         let cache = self.engine.cache().stats();
         let mut w = JsonWriter::new();
@@ -210,6 +219,12 @@ impl ServerState {
             w.field_usize("max_connections", max);
             w.field_u64("rejected_connections", self.rejected_connections.get());
         }
+        let traces = self.traces.stats();
+        w.field_usize("trace_limit", traces.cap);
+        w.field_usize("trace_batches", traces.batches);
+        w.field_usize("trace_events_retained", traces.events_retained);
+        w.field_u64("trace_batches_dropped", traces.batches_dropped);
+        w.field_u64("trace_events_dropped", traces.events_dropped);
         w.field_usize("cache_builds", cache.builds);
         w.field_usize("cache_hits", cache.hits);
         w.field_usize("cache_entries", cache.entries);
@@ -714,6 +729,13 @@ mod tests {
         assert_eq!(v.get("dynamic_scenarios").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("jobs_served").unwrap().as_u64(), Some(17));
         assert_eq!(v.get("units_served").unwrap().as_u64(), Some(0));
+        // Trace retention accounting: default cap, nothing retained or
+        // dropped yet.
+        assert_eq!(v.get("trace_limit").unwrap().as_u64(), Some(TRACE_BATCH_CAP as u64));
+        assert_eq!(v.get("trace_batches").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("trace_events_retained").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("trace_batches_dropped").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("trace_events_dropped").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("cache_builds").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("disk_hits").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("evictions").unwrap().as_u64(), Some(0));
@@ -725,6 +747,22 @@ mod tests {
         assert!(latency.iter().all(|e| e.get("p95_ns").is_some()));
         // No limit configured: the cap fields stay absent.
         assert!(v.get("max_connections").is_none());
+    }
+
+    #[test]
+    fn stats_line_reports_trace_retention_under_a_configured_limit() {
+        let config = ServerConfig { trace_limit: Some(2), ..ServerConfig::default() };
+        let state = ServerState::new(Engine::new(1), config);
+        let store = state.trace_store();
+        store.create("b1").event("e", psdacc_obs::Severity::Info, None, None, Vec::new());
+        store.create("b2");
+        store.create("b3"); // evicts b1 and its one event
+        let v = json::parse(&state.stats_line()).unwrap();
+        assert_eq!(v.get("trace_limit").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("trace_batches").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("trace_events_retained").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("trace_batches_dropped").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("trace_events_dropped").unwrap().as_u64(), Some(1));
     }
 
     #[test]
