@@ -2,10 +2,11 @@
 //!
 //! Times the ROADMAP's hot paths — the paper's two cost centers
 //! (`tau_pp` preprocessing and `tau_eval` analytical estimation, both
-//! single-rate and multirate/DWT), GraphSpec compile+hash, the store
-//! codec round-trip, warm-vs-cold evaluator-cache lookups, and a
-//! work-stealing fleet batch at 1/2/4 in-process loopback daemons —
-//! and writes one versioned JSON line:
+//! single-rate and multirate/DWT), the budget-attribution variant of
+//! the estimate, GraphSpec compile+hash, the store codec round-trip,
+//! warm-vs-cold evaluator-cache lookups, and a work-stealing fleet
+//! batch at 1/2/4 in-process loopback daemons — and writes one
+//! versioned JSON line:
 //!
 //! ```json
 //! {"kind":"bench","version":2,
@@ -219,6 +220,13 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
         std::hint::black_box(evaluator.estimate_psd(&plan).power);
     });
 
+    // The same evaluation keeping the per-node attribution ledger — what
+    // a budget job pays over a plain estimate (row assembly + the
+    // bit-exact residue fold).
+    let budget = measure("budget", iters, 1, || {
+        std::hint::black_box(evaluator.evaluate_budget(&plan).power);
+    });
+
     // GraphSpec parse + compile + canonicalize + content-hash: the cost
     // of admitting one declarative scenario definition.
     let graphspec_compile = measure("graphspec_compile", iters, 1, || {
@@ -258,6 +266,7 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
         preprocess,
         preprocess_multirate,
         tau_eval,
+        budget,
         graphspec_compile,
         store_roundtrip,
         cache_cold,
@@ -299,6 +308,7 @@ mod tests {
                 "preprocess",
                 "preprocess_multirate",
                 "tau_eval",
+                "budget",
                 "graphspec_compile",
                 "store_roundtrip",
                 "cache_cold",

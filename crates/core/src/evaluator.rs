@@ -154,6 +154,25 @@ impl AccuracyEvaluator {
         }
     }
 
+    /// Per-node noise-budget attribution of the PSD method's power: same
+    /// `tau_eval` kernels as [`AccuracyEvaluator::estimate_psd`], but the
+    /// per-source contributions are kept as a ledger whose rows fold
+    /// bit-exactly to the evaluate-path power (see [`crate::budget`]).
+    pub fn evaluate_budget(&self, plan: &WordLengthPlan) -> crate::budget::NoiseBudget {
+        let sources = plan.noise_sources(&self.sfg);
+        let contributions: Vec<crate::NoisePsd> = match &self.preprocessed {
+            Preprocessed::SingleRate(responses) => sources
+                .iter()
+                .map(|s| crate::psd_method::contribution_single_rate(responses, s))
+                .collect(),
+            Preprocessed::Multirate(kernels) => sources
+                .iter()
+                .map(|s| crate::psd_method::contribution_multirate(kernels, s))
+                .collect(),
+        };
+        crate::budget::assemble(&self.sfg, plan, &sources, &contributions)
+    }
+
     /// PSD-agnostic hierarchical baseline.
     ///
     /// # Errors

@@ -22,6 +22,7 @@
 //! `psdacc-wavelet`.
 
 pub mod agnostic;
+pub mod budget;
 pub mod evaluator;
 pub mod flat;
 pub mod metrics;
@@ -33,6 +34,7 @@ pub mod report;
 pub mod wordlength;
 
 pub use agnostic::{evaluate_agnostic, AgnosticEstimate};
+pub use budget::{BudgetRole, BudgetRow, NoiseBudget};
 pub use evaluator::AccuracyEvaluator;
 pub use flat::{evaluate_flat, FlatEstimate};
 pub use metrics::{ed, equivalent_bit_deviation, is_sub_one_bit, sqnr_db};
@@ -42,8 +44,8 @@ pub use psd_method::{
     evaluate_psd_method, evaluate_with_multirate, evaluate_with_responses, PsdEstimate,
 };
 pub use refine::{
-    greedy_refinement, greedy_refinement_from, minimum_uniform_wordlength,
-    minimum_uniform_wordlength_from, RefinementResult,
+    greedy_refinement, greedy_refinement_from, greedy_refinement_observed,
+    minimum_uniform_wordlength, minimum_uniform_wordlength_from, RefineStep, RefinementResult,
 };
 pub use report::{Comparison, Estimate, Method};
 pub use wordlength::{NoiseSource, WordLengthPlan};

@@ -61,19 +61,27 @@ pub fn evaluate_with_responses(responses: &NodeResponses, sources: &[NoiseSource
     let mut total = NoisePsd::zero(npsd);
     let mut per_source = Vec::with_capacity(sources.len());
     for src in sources {
-        let g = responses.of(src.node);
-        let contribution = match &src.internal_feedback {
-            None => source_contribution(src, g, npsd),
-            Some(_) => {
-                let shape = src.shaping(npsd);
-                let combined: Vec<Complex> = g.iter().zip(&shape).map(|(a, b)| *a * *b).collect();
-                source_contribution(src, &combined, npsd)
-            }
-        };
+        let contribution = contribution_single_rate(responses, src);
         per_source.push((src.node, contribution.power()));
         total.add_assign(&contribution);
     }
     PsdEstimate { psd: total, per_source }
+}
+
+/// One source's output-referred PSD on the single-rate path — the term
+/// `evaluate_with_responses` accumulates, shared with the noise-budget
+/// attribution so the two views are the same computation by construction.
+pub(crate) fn contribution_single_rate(responses: &NodeResponses, src: &NoiseSource) -> NoisePsd {
+    let npsd = responses.npsd();
+    let g = responses.of(src.node);
+    match &src.internal_feedback {
+        None => source_contribution(src, g, npsd),
+        Some(_) => {
+            let shape = src.shaping(npsd);
+            let combined: Vec<Complex> = g.iter().zip(&shape).map(|(a, b)| *a * *b).collect();
+            source_contribution(src, &combined, npsd)
+        }
+    }
 }
 
 fn source_contribution(src: &NoiseSource, g: &[Complex], npsd: usize) -> NoisePsd {
@@ -97,24 +105,34 @@ pub fn evaluate_with_multirate(
     let mut total = NoisePsd::zero(n);
     let mut per_source = Vec::with_capacity(sources.len());
     for src in sources {
-        debug_assert!(
-            src.internal_feedback.is_none(),
-            "multirate graphs reject IIR blocks at preprocessing"
-        );
-        let kernel = responses.kernel(src.node);
-        let sigma2 = src.moments.variance;
-        let mu = src.moments.mean;
-        let bins: Vec<f64> = kernel
-            .variance
-            .iter()
-            .zip(&kernel.mean_sq)
-            .map(|(&v, &m)| sigma2 * v + mu * mu * m)
-            .collect();
-        let contribution = NoisePsd::from_parts(bins, mu * kernel.dc);
+        let contribution = contribution_multirate(responses, src);
         per_source.push((src.node, contribution.power()));
         total.add_assign(&contribution);
     }
     PsdEstimate { psd: total, per_source }
+}
+
+/// One source's output-referred PSD on the multirate path (see
+/// [`contribution_single_rate`]): `sigma^2` times the variance kernel
+/// plus `mu^2` times the mean-image kernel, mean riding the scalar DC.
+pub(crate) fn contribution_multirate(
+    responses: &MultirateResponses,
+    src: &NoiseSource,
+) -> NoisePsd {
+    debug_assert!(
+        src.internal_feedback.is_none(),
+        "multirate graphs reject IIR blocks at preprocessing"
+    );
+    let kernel = responses.kernel(src.node);
+    let sigma2 = src.moments.variance;
+    let mu = src.moments.mean;
+    let bins: Vec<f64> = kernel
+        .variance
+        .iter()
+        .zip(&kernel.mean_sq)
+        .map(|(&v, &m)| sigma2 * v + mu * mu * m)
+        .collect();
+    NoisePsd::from_parts(bins, mu * kernel.dc)
 }
 
 #[cfg(test)]

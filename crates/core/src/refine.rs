@@ -118,6 +118,27 @@ pub fn greedy_refinement(
     )
 }
 
+/// One committed move of the greedy descent, reported to the observer of
+/// [`greedy_refinement_observed`] — the provenance record that lets a
+/// trace reconstruct the whole refinement trajectory step by step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineStep {
+    /// 0-based index of the committed move.
+    pub step: usize,
+    /// The node that lost a bit.
+    pub node: NodeId,
+    /// The node's fractional bits before the move.
+    pub bits_before: i32,
+    /// The node's fractional bits after the move (`bits_before - 1`).
+    pub bits_after: i32,
+    /// Estimated output noise power before the move.
+    pub power_before: f64,
+    /// Estimated output noise power after the move — the candidate
+    /// evaluation that won this round (also the prediction the next
+    /// round descends from).
+    pub power_after: f64,
+}
+
 /// [`greedy_refinement`] descending from copies of `template` (its
 /// rounding mode, input quantization, and exact-node exemptions apply to
 /// every trial plan; only per-node `frac_bits` overrides move). Nodes the
@@ -128,6 +149,22 @@ pub fn greedy_refinement_from(
     template: &WordLengthPlan,
     start_bits: i32,
     min_bits: i32,
+) -> RefinementResult {
+    greedy_refinement_observed(evaluator, budget, template, start_bits, min_bits, &mut |_| {})
+}
+
+/// [`greedy_refinement_from`] with a per-step observer: `observe` is
+/// called once per **committed** move, after the descent state updates.
+/// Observation is strictly passive — the refined plan, power, and
+/// evaluation count are byte-identical with or without an observer (the
+/// engine's traced path relies on this to keep tracing behavior-neutral).
+pub fn greedy_refinement_observed(
+    evaluator: &AccuracyEvaluator,
+    budget: f64,
+    template: &WordLengthPlan,
+    start_bits: i32,
+    min_bits: i32,
+    observe: &mut dyn FnMut(&RefineStep),
 ) -> RefinementResult {
     let sfg = evaluator.sfg().clone();
     let base = {
@@ -150,6 +187,7 @@ pub fn greedy_refinement_from(
         evaluations += 1;
         evaluator.estimate_psd(&build(&bits)).power
     };
+    let mut step = 0usize;
     loop {
         let mut best: Option<(NodeId, f64)> = None;
         for &node in &quantized {
@@ -167,7 +205,17 @@ pub fn greedy_refinement_from(
         }
         match best {
             Some((node, power)) => {
+                let bits_before = bits[&node];
                 *bits.get_mut(&node).expect("node tracked") -= 1;
+                observe(&RefineStep {
+                    step,
+                    node,
+                    bits_before,
+                    bits_after: bits_before - 1,
+                    power_before: current_power,
+                    power_after: power,
+                });
+                step += 1;
                 current_power = power;
             }
             None => break,
@@ -265,6 +313,42 @@ mod tests {
         let with = minimum_uniform_wordlength_from(&eval, 1e-8, &template, 2, 32).unwrap();
         let without = minimum_uniform_wordlength(&eval, 1e-8, rounding, 2, 32).unwrap();
         assert!(with <= without, "exemption cannot need more bits ({with} vs {without})");
+    }
+
+    #[test]
+    fn observer_sees_every_committed_step_and_changes_nothing() {
+        let g = two_stage_system();
+        let eval = AccuracyEvaluator::new(&g, 256).unwrap();
+        let rounding = RoundingMode::RoundNearest;
+        let template = WordLengthPlan::uniform(12, rounding);
+        let budget = eval.estimate_psd(&template).power * 1.05;
+        let silent = greedy_refinement_from(&eval, budget, &template, 12, 4);
+        let mut steps: Vec<RefineStep> = Vec::new();
+        let observed =
+            greedy_refinement_observed(&eval, budget, &template, 12, 4, &mut |s| steps.push(*s));
+        // Observation is passive: byte-identical result.
+        assert_eq!(observed.noise_power, silent.noise_power);
+        assert_eq!(observed.total_bits, silent.total_bits);
+        assert_eq!(observed.evaluations, silent.evaluations);
+        // The trajectory replays to the refined plan: steps are dense,
+        // bits drop by one, and powers chain.
+        assert!(!steps.is_empty(), "budget slack admits at least one move");
+        let mut bits: HashMap<NodeId, i32> =
+            observed.plan.quantized_nodes(&g).iter().map(|&n| (n, 12)).collect();
+        for (i, s) in steps.iter().enumerate() {
+            assert_eq!(s.step, i, "dense step indices");
+            assert_eq!(s.bits_after, s.bits_before - 1);
+            assert_eq!(bits[&s.node], s.bits_before, "replay tracks the descent");
+            bits.insert(s.node, s.bits_after);
+            assert!(s.power_after <= budget);
+            if i + 1 < steps.len() {
+                assert_eq!(steps[i + 1].power_before, s.power_after, "powers chain");
+            }
+        }
+        for (&node, &d) in &bits {
+            assert_eq!(observed.plan.frac_bits_of(node), d, "replay reaches the final plan");
+        }
+        assert_eq!(steps.last().unwrap().power_after, observed.noise_power);
     }
 
     #[test]

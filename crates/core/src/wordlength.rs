@@ -135,6 +135,23 @@ impl WordLengthPlan {
             .collect()
     }
 
+    /// The nodes that **would** carry quantizers but are exempted by an
+    /// `exact` role — the zero-contribution rows of a noise budget. A
+    /// node outside `exact_nodes`, or one that is noiseless regardless
+    /// (adder, delay, power-of-two gain), never appears here.
+    pub fn exempted_nodes(&self, sfg: &Sfg) -> Vec<NodeId> {
+        sfg.iter()
+            .filter(|(id, node)| {
+                self.exact_nodes.contains(id)
+                    && match node.block {
+                        Block::Input => self.quantize_inputs && sfg.inputs().contains(id),
+                        ref b => Self::is_noisy_block(b),
+                    }
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
     /// Quantizer vector for the simulation engine (indexed by node).
     pub fn quantizers(&self, sfg: &Sfg) -> Vec<Option<Quantizer>> {
         let mut out = vec![None; sfg.len()];

@@ -22,6 +22,9 @@
 //! refine npsd=256 budget=1e-8 start=16 min=4 rounding=nearest
 //! min-uniform npsd=256 budget=1e-8 min=2 max=24 rounding=nearest
 //!
+//! # per-node noise-budget attribution jobs (scenarios x bits):
+//! budget npsd=256 bits=8,12 rounding=truncate
+//!
 //! # seeded Monte-Carlo reference jobs (scenarios x bits):
 //! simulate npsd=256 bits=8,12 samples=20000 nfft=256 seed=7 trials=2
 //!
@@ -102,8 +105,8 @@ impl BatchSpec {
         }
         if spec.directives.is_empty() {
             return Err(EngineError::Spec(
-                "spec declares no jobs (add a `batch`, `refine`, `min-uniform`, or `simulate` \
-                 line)"
+                "spec declares no jobs (add a `batch`, `refine`, `min-uniform`, `budget`, or \
+                 `simulate` line)"
                     .to_string(),
             ));
         }
@@ -153,6 +156,10 @@ impl BatchSpec {
                 let params = key_values(&rest)?;
                 self.expand_min_uniform(&params)
             }
+            "budget" => {
+                let params = key_values(&rest)?;
+                self.expand_budget(&params)
+            }
             "simulate" => {
                 let params = key_values(&rest)?;
                 self.expand_simulate(&params)
@@ -170,7 +177,7 @@ impl BatchSpec {
             }
             other => Err(EngineError::Spec(format!(
                 "unknown directive `{other}`; known: scenario, batch, refine, min-uniform, \
-                 simulate, threads"
+                 budget, simulate, threads"
             ))),
         }
     }
@@ -215,6 +222,13 @@ impl BatchSpec {
             min_bits: parse_i32(params, "min", 2)?,
         };
         self.push_directive(params, kind)
+    }
+
+    fn expand_budget(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
+        self.require_scenarios()?;
+        known_keys(params, &["npsd", "bits", "rounding"])?;
+        let bits = parse_bits_list(params.get("bits").map(String::as_str).unwrap_or("12"))?;
+        self.push_directive(params, DirectiveKind::Budget { bits })
     }
 
     fn expand_simulate(&mut self, params: &BTreeMap<String, String>) -> Result<(), EngineError> {
@@ -578,6 +592,30 @@ mod tests {
         assert!(BatchSpec::parse("scenario freq-filter\nsimulate trials=0\n").is_err());
         assert!(BatchSpec::parse("scenario freq-filter\nsimulate samples=10\n").is_err());
         assert!(BatchSpec::parse("scenario freq-filter\nsimulate seed=-1\n").is_err());
+    }
+
+    #[test]
+    fn budget_directive_expands_scenarios_by_bits() {
+        let spec = BatchSpec::parse(
+            "scenario freq-filter\n\
+             scenario fir-bank index=1\n\
+             budget npsd=128 bits=8,12 rounding=nearest\n",
+        )
+        .unwrap();
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 4, "2 scenarios x 2 bits");
+        for job in &jobs {
+            match job.kind {
+                JobKind::Budget { frac_bits } => assert!(frac_bits == 8 || frac_bits == 12),
+                ref other => panic!("{other:?}"),
+            }
+        }
+        // Defaults parse; unknown keys are rejected with the allowed list.
+        let spec = BatchSpec::parse("scenario freq-filter\nbudget\n").unwrap();
+        assert!(matches!(spec.jobs()[0].kind, JobKind::Budget { frac_bits: 12 }));
+        let err =
+            BatchSpec::parse("scenario freq-filter\nbudget samples=5\n").unwrap_err().to_string();
+        assert!(err.contains("unknown key `samples`"), "{err}");
     }
 
     #[test]

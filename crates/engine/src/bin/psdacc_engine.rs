@@ -4,6 +4,7 @@
 //! psdacc-engine run --spec batch.txt [--graph NAME=FILE]... [--threads N]
 //! psdacc-engine demo [--jobs N] [--threads N]        # built-in demo batch
 //! psdacc-engine scenarios                            # list the registry
+//! psdacc-engine budget-report [--input FILE] [--top K] [--json]
 //! ```
 //!
 //! Results stream to stdout as JSON lines (one object per job, in job
@@ -16,12 +17,17 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use psdacc_engine::{demo_spec, BatchSpec, Engine, ScenarioRegistry};
+use psdacc_engine::{demo_spec, json, BatchSpec, Engine, ScenarioRegistry};
+use psdacc_obs::BudgetReport;
 
 const USAGE: &str = "usage:
   psdacc-engine run --spec FILE [--graph NAME=FILE]... [--threads N]
   psdacc-engine demo [--jobs N] [--threads N]
   psdacc-engine scenarios
+  psdacc-engine budget-report [--input FILE] [--top K] [--json]
+                                      render `kind:budget` result lines
+                                      (stdin by default) as ranked
+                                      noise-budget reports
 
 Batch spec format (line-oriented; `#` comments):
   scenario <name> [key=value ...]     declare a system (repeatable; integer
@@ -32,6 +38,7 @@ Batch spec format (line-oriented; `#` comments):
   batch [npsd=256] [bits=12|8..14|8,10] [methods=psd,agnostic,flat] [rounding=truncate|nearest]
   refine budget=<power> [npsd=..] [start=16] [min=2] [rounding=..]
   min-uniform budget=<power> [npsd=..] [min=2] [max=32] [rounding=..]
+  budget [npsd=..] [bits=12|8,10] [rounding=..]
   simulate [npsd=..] [bits=..] [samples=20000] [nfft=256] [seed=..] [trials=1] [rounding=..]
   threads <N>                         default worker count for the spec
 ";
@@ -41,6 +48,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("budget-report") => cmd_budget_report(&args[1..]),
         Some("scenarios") => {
             println!("{:<14} {:<8} {:<34} description", "name", "provider", "parameters");
             for family in ScenarioRegistry::new().families() {
@@ -153,6 +161,103 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     execute(spec, threads)
+}
+
+/// Renders `kind:"budget"` result lines (from `--input FILE` or stdin)
+/// as noise-budget reports: the ranked human table (`--top K` rows,
+/// default 10) or the canonical `budget_report` JSON line (`--json`).
+/// Non-budget result lines pass through silently, so the whole output
+/// of a mixed batch can be piped in unfiltered.
+fn cmd_budget_report(args: &[String]) -> ExitCode {
+    let mut input: Option<&str> = None;
+    let mut top = 10usize;
+    let mut json_out = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json_out = true,
+            flag @ ("--input" | "--top") => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("missing value for {flag}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                if flag == "--input" {
+                    input = Some(value);
+                } else {
+                    match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => top = n,
+                        _ => {
+                            eprintln!("--top must be a positive integer, got `{value}`");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (allowed: --input, --top, --json)\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let text = match input {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut rendered = 0usize;
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let is_budget = json::parse(line)
+            .ok()
+            .and_then(|v| v.get("kind").and_then(json::Json::as_str).map(str::to_string));
+        if is_budget.as_deref() != Some("budget") {
+            continue;
+        }
+        match BudgetReport::from_result_line(line) {
+            Ok(report) => {
+                let written = if json_out {
+                    writeln!(out, "{}", report.to_json_line())
+                } else {
+                    let sep = if rendered > 0 { "\n" } else { "" };
+                    write!(out, "{sep}{}", report.to_text(top))
+                };
+                if written.is_err() {
+                    // Broken pipe (e.g. `| head`): everything shown so far
+                    // is valid; stop quietly.
+                    return ExitCode::SUCCESS;
+                }
+                rendered += 1;
+            }
+            Err(e) => {
+                eprintln!("line {}: {e}", index + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if rendered == 0 {
+        eprintln!(
+            "no budget result lines in the input (run a spec with a `budget` directive first)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_demo(args: &[String]) -> ExitCode {

@@ -7,12 +7,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use psdacc_core::{greedy_refinement_from, minimum_uniform_wordlength_from};
-use psdacc_core::{metrics, AccuracyEvaluator, Method, WordLengthPlan};
+use psdacc_core::{greedy_refinement_observed, minimum_uniform_wordlength_from};
+use psdacc_core::{metrics, AccuracyEvaluator, Method, NoiseBudget, WordLengthPlan};
 use psdacc_fixed::RoundingMode;
 use psdacc_sim::SimulationPlan;
 
-use psdacc_obs::{SpanId, Tracer};
+use psdacc_obs::{BudgetReportRow, Severity, SpanId, Tracer};
 
 use crate::cache::PreprocessCache;
 use crate::error::EngineError;
@@ -47,6 +47,13 @@ pub enum JobKind {
         /// Search ceiling.
         max_bits: i32,
     },
+    /// Noise-budget attribution: one PSD-method evaluation whose total
+    /// power is decomposed into a per-node ledger that folds back to it
+    /// bit-exactly (`psdacc_core::NoiseBudget`).
+    Budget {
+        /// Uniform fractional bits.
+        frac_bits: i32,
+    },
     /// Seeded Monte-Carlo reference measurement (`psdacc-sim`), averaged
     /// over a fixed number of independent trials — the formerly sequential
     /// bottleneck, now an ordinary pool job riding the shared cache.
@@ -74,6 +81,7 @@ impl JobKind {
             JobKind::Estimate { method: Method::Simulation, .. } => "simulation",
             JobKind::GreedyRefine { .. } => "greedy-refine",
             JobKind::MinUniform { .. } => "min-uniform",
+            JobKind::Budget { .. } => "budget",
             JobKind::Simulate { .. } => "simulate",
         }
     }
@@ -112,7 +120,8 @@ pub struct JobResult {
     pub scenario: String,
     /// PSD grid size.
     pub npsd: usize,
-    /// Job label (`psd`, `agnostic`, `flat`, `greedy-refine`, `min-uniform`).
+    /// Job label (`psd`, `agnostic`, `flat`, `greedy-refine`, `min-uniform`,
+    /// `budget`, `simulate`).
     pub kind: &'static str,
     /// Uniform fractional bits (estimate jobs).
     pub frac_bits: Option<i32>,
@@ -138,6 +147,10 @@ pub struct JobResult {
     pub min_frac_bits: Option<i32>,
     /// Simulate: number of Monte-Carlo trials averaged.
     pub trials: Option<usize>,
+    /// Budget: the per-node attribution rows as a canonical JSON array
+    /// (the `psdacc-obs` budget-report row schema), already serialized so
+    /// the record stays a flat string-friendly struct.
+    pub budget: Option<String>,
     /// Failure description when the job errored.
     pub error: Option<String>,
 }
@@ -161,6 +174,7 @@ impl JobResult {
             evaluations: None,
             min_frac_bits: None,
             trials: None,
+            budget: None,
             error: None,
         }
     }
@@ -225,6 +239,9 @@ impl JobResult {
         }
         if let Some(v) = self.trials {
             w.field_usize("trials", v);
+        }
+        if let Some(rows) = &self.budget {
+            w.field_raw("budget", rows);
         }
         if let Some(e) = &self.error {
             w.field_str("error", e);
@@ -293,7 +310,7 @@ pub fn run_job_traced(
         }
     }
     let eval = trace.and_then(|t| t.tracer.start("unit.tau_eval", t.parent, t.unit));
-    execute_kind(&mut out, &evaluator, spec);
+    execute_kind(&mut out, &evaluator, spec, trace);
     if let Some(t) = trace {
         t.tracer.end_with(eval, vec![("kind".to_string(), out.kind.to_string())]);
     }
@@ -301,8 +318,16 @@ pub fn run_job_traced(
 }
 
 /// The job body shared by the traced and untraced paths: runs `spec.kind`
-/// against the resolved evaluator, filling `out`.
-fn execute_kind(out: &mut JobResult, evaluator: &Arc<AccuracyEvaluator>, spec: &JobSpec) {
+/// against the resolved evaluator, filling `out`. The trace context is
+/// used for *events only* (per-step refinement provenance); span
+/// structure stays in [`run_job_traced`], and the computation is
+/// byte-for-byte identical with tracing on or off.
+fn execute_kind(
+    out: &mut JobResult,
+    evaluator: &Arc<AccuracyEvaluator>,
+    spec: &JobSpec,
+    trace: Option<&UnitTrace<'_>>,
+) {
     match spec.kind {
         JobKind::Estimate { method, frac_bits } => {
             out.frac_bits = Some(frac_bits);
@@ -332,18 +357,53 @@ fn execute_kind(out: &mut JobResult, evaluator: &Arc<AccuracyEvaluator>, spec: &
             let t0 = Instant::now();
             // The template plan carries the scenario's exact-node roles, so
             // refinement and the estimate jobs of the same scenario agree
-            // on which nodes are noise sources.
-            let result = greedy_refinement_from(
+            // on which nodes are noise sources. Each committed descent step
+            // becomes a `refine.step` trace event, so a campaign's whole
+            // trajectory is reconstructable from the merged trace.
+            let result = greedy_refinement_observed(
                 evaluator,
                 budget,
                 &spec.plan(start_bits),
                 start_bits,
                 min_bits,
+                &mut |step| {
+                    if let Some(t) = trace {
+                        t.tracer.event(
+                            "refine.step",
+                            Severity::Info,
+                            t.parent,
+                            t.unit,
+                            vec![
+                                ("step".to_string(), step.step.to_string()),
+                                ("node".to_string(), step.node.0.to_string()),
+                                ("bits_before".to_string(), step.bits_before.to_string()),
+                                ("bits_after".to_string(), step.bits_after.to_string()),
+                                (
+                                    "predicted_delta".to_string(),
+                                    format!("{:e}", step.power_after - step.power_before),
+                                ),
+                                ("power".to_string(), format!("{:e}", step.power_after)),
+                            ],
+                        );
+                    }
+                },
             );
             out.tau_eval_seconds = t0.elapsed().as_secs_f64();
             out.power = Some(result.noise_power);
             out.total_bits = Some(result.total_bits);
             out.evaluations = Some(result.evaluations);
+        }
+        JobKind::Budget { frac_bits } => {
+            out.frac_bits = Some(frac_bits);
+            let plan = spec.plan(frac_bits);
+            let t0 = Instant::now();
+            let budget = evaluator.evaluate_budget(&plan);
+            out.tau_eval_seconds = t0.elapsed().as_secs_f64();
+            out.power = Some(budget.power);
+            out.mean = Some(budget.mean);
+            out.variance = Some(budget.variance);
+            out.sqnr_db = Some(metrics::sqnr_db(signal_power(evaluator), budget.power));
+            out.budget = Some(budget_rows_json(&budget));
         }
         JobKind::MinUniform { budget, min_bits, max_bits } => {
             let t0 = Instant::now();
@@ -407,6 +467,31 @@ fn execute_kind(out: &mut JobResult, evaluator: &Arc<AccuracyEvaluator>, spec: &
             }
         }
     }
+}
+
+/// Serializes a core noise budget's ledger as the canonical JSON rows
+/// array of the `psdacc-obs` budget-report schema — via the obs row type,
+/// so the engine result line and the standalone report render the rows
+/// byte-identically.
+fn budget_rows_json(budget: &NoiseBudget) -> String {
+    let rows: Vec<String> = budget
+        .rows
+        .iter()
+        .map(|r| {
+            BudgetReportRow {
+                node: r.node.0 as u64,
+                block: r.block.to_string(),
+                role: r.role.as_str().to_string(),
+                frac_bits: r.frac_bits.map(i64::from),
+                variance_term: r.variance_term,
+                mean_term: r.mean_term,
+                contribution: r.contribution,
+                share: r.share,
+            }
+            .to_json()
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
 }
 
 /// Output-referred power of a unit-power white input — the signal side of
@@ -537,6 +622,70 @@ mod tests {
         assert!(r.error.is_some());
         assert!(r.power.is_none());
         assert!(r.require_power().is_err());
+    }
+
+    #[test]
+    fn budget_job_matches_estimate_and_ledger_folds_to_power() {
+        let cache = EvaluatorCache::new();
+        let est = run_job(
+            &cache,
+            0,
+            &spec(JobKind::Estimate { method: Method::PsdMethod, frac_bits: 10 }),
+        );
+        let bud = run_job(&cache, 1, &spec(JobKind::Budget { frac_bits: 10 }));
+        assert!(bud.error.is_none(), "{:?}", bud.error);
+        assert_eq!(bud.kind, "budget");
+        // The budget job reports the evaluate-path numbers bit-exactly.
+        assert_eq!(bud.power, est.power);
+        assert_eq!(bud.mean, est.mean);
+        assert_eq!(bud.variance, est.variance);
+        assert_eq!(bud.sqnr_db, est.sqnr_db);
+        // The result line parses into the obs report schema, and the rows
+        // ledger folds back to the reported power bit-exactly.
+        let report = psdacc_obs::BudgetReport::from_result_line(&bud.to_json_line()).unwrap();
+        assert!(!report.rows.is_empty());
+        let folded = report.rows.iter().fold(0.0, |acc, r| acc + r.contribution);
+        assert_eq!(folded.to_bits(), report.power.to_bits(), "ledger folds to power");
+        assert_eq!(report.power.to_bits(), est.power.unwrap().to_bits());
+    }
+
+    #[test]
+    fn traced_refine_emits_steps_without_perturbing_the_result() {
+        let cache = EvaluatorCache::new();
+        let probe = run_job(
+            &cache,
+            0,
+            &spec(JobKind::Estimate { method: Method::PsdMethod, frac_bits: 12 }),
+        );
+        let budget = probe.power.unwrap() * 4.0;
+        let kind = JobKind::GreedyRefine { budget, start_bits: 12, min_bits: 4 };
+        let silent = run_job(&cache, 1, &spec(kind.clone()));
+        let tracer = Tracer::new("refine-prov");
+        let trace = UnitTrace { tracer: &tracer, parent: None, unit: Some(7) };
+        let traced = run_job_traced(&cache, 1, &spec(kind), Some(&trace));
+        // Behavior-neutral: everything but the wall-clock timing matches.
+        assert_eq!(silent.power, traced.power, "tracing is behavior-neutral");
+        assert_eq!(silent.total_bits, traced.total_bits);
+        assert_eq!(silent.evaluations, traced.evaluations);
+        let steps: Vec<_> =
+            tracer.snapshot().into_iter().filter(|e| e.name == "refine.step").collect();
+        assert!(!steps.is_empty(), "budget above start power must admit descent steps");
+        for (i, e) in steps.iter().enumerate() {
+            let field = |k: &str| {
+                e.fields.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone()).unwrap()
+            };
+            assert_eq!(field("step"), i.to_string(), "steps are dense and ordered");
+            assert_eq!(
+                field("bits_before").parse::<i32>().unwrap() - 1,
+                field("bits_after").parse::<i32>().unwrap()
+            );
+            assert!(field("power").parse::<f64>().unwrap() <= budget);
+            assert_eq!(e.unit, Some(7), "events carry the unit id");
+        }
+        // The last committed step lands exactly on the reported power.
+        let last = steps.last().unwrap();
+        let power = last.fields.iter().find(|(k, _)| k == "power").unwrap().1.clone();
+        assert_eq!(power.parse::<f64>().unwrap().to_bits(), silent.power.unwrap().to_bits());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! run" a meaningful promise instead of a coincidence.
 //!
 //! Expansion is lazy: directives (`batch`, `refine`, `min-uniform`,
-//! `simulate` lines) are stored parsed-but-unexpanded, and [`Units`] walks
+//! `budget`, `simulate` lines) are stored parsed-but-unexpanded, and [`Units`] walks
 //! the `scenario x bits x method` cross products on demand. A spec line
 //! like `batch bits=8..14 methods=psd,agnostic,flat` over a 147-filter
 //! sweep never materializes more than one `JobSpec` at a time unless the
@@ -23,7 +23,7 @@ use crate::batch::BatchSpec;
 use crate::job::{JobKind, JobSpec};
 
 /// One parsed job directive (`batch` / `refine` / `min-uniform` /
-/// `simulate` line), kept unexpanded until [`Units`] walks it.
+/// `budget` / `simulate` line), kept unexpanded until [`Units`] walks it.
 #[derive(Debug, Clone)]
 pub(crate) struct JobDirective {
     /// Directives expand over the scenarios declared *before* them:
@@ -65,6 +65,11 @@ pub(crate) enum DirectiveKind {
         /// Search ceiling.
         max_bits: i32,
     },
+    /// `budget`: one noise-budget attribution per `bits` point.
+    Budget {
+        /// Word-length sweep.
+        bits: Vec<i32>,
+    },
     /// `simulate`: one seeded Monte-Carlo job per `bits` point.
     Simulate {
         /// Word-length sweep.
@@ -86,6 +91,7 @@ impl JobDirective {
         match &self.kind {
             DirectiveKind::Estimates { bits, methods } => bits.len() * methods.len(),
             DirectiveKind::Refine { .. } | DirectiveKind::MinUniform { .. } => 1,
+            DirectiveKind::Budget { bits } => bits.len(),
             DirectiveKind::Simulate { bits, .. } => bits.len(),
         }
     }
@@ -170,6 +176,15 @@ impl<'a> Iterator for Units<'a> {
                         min_bits: *min_bits,
                         max_bits: *max_bits,
                     }
+                }
+                DirectiveKind::Budget { bits } => {
+                    let kind = JobKind::Budget { frac_bits: bits[self.bi] };
+                    self.bi += 1;
+                    if self.bi == bits.len() {
+                        self.bi = 0;
+                        self.si += 1;
+                    }
+                    kind
                 }
                 DirectiveKind::Simulate { bits, samples, nfft, seed, trials } => {
                     let kind = JobKind::Simulate {

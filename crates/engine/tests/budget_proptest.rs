@@ -1,0 +1,137 @@
+//! Property tests of the noise-budget ledger: across scenario families,
+//! word-length sweeps, PSD resolutions, and rounding modes, the per-node
+//! contributions fold back to the evaluate-path power **bit-exactly**
+//! (the ledger invariant), the budget never perturbs what `evaluate`
+//! reports, and exact-exempted nodes contribute exactly zero.
+
+use proptest::prelude::*;
+use psdacc_core::{AccuracyEvaluator, BudgetRole, WordLengthPlan};
+use psdacc_engine::{GraphScenario, Scenario};
+use psdacc_fixed::RoundingMode;
+use psdacc_sfg::{BlockSpec, GraphSpec, NodeRole, NodeSpec};
+
+/// Picks a scenario family from the sweep space — single-rate chains,
+/// the paper's frequency-filter system, true multirate wavelet graphs,
+/// and seeded random DAGs.
+fn scenario(choice: u8, seed: u64) -> Scenario {
+    let size = (choice / 8) as usize;
+    match choice % 6 {
+        0 => Scenario::FirCascade { stages: 1 + size % 3, taps: 5 + 2 * (size % 3), cutoff: 0.3 },
+        1 => Scenario::IirCascade { stages: 1 + size % 2, order: 2 + size % 2, cutoff: 0.25 },
+        2 => Scenario::FreqFilter,
+        3 => Scenario::DwtPipeline { levels: 1 + size % 2 },
+        4 => Scenario::DwtDecimated { levels: 1 + size % 2 },
+        _ => Scenario::RandomSfg { nodes: 4 + size % 6, seed },
+    }
+}
+
+fn rounding(flag: bool) -> RoundingMode {
+    if flag {
+        RoundingMode::RoundNearest
+    } else {
+        RoundingMode::Truncate
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ledger invariant across the sweep space: budget totals are
+    /// bit-identical to `estimate_psd`, and the contribution column,
+    /// folded left-to-right with plain `f64` addition, lands exactly on
+    /// the reported power.
+    #[test]
+    fn ledger_folds_bit_exactly_across_family_bits_npsd_sweeps(
+        choice in 0u8..48,
+        seed in 0u64..1024,
+        bits in 3i32..16,
+        npsd_pow in 5u32..8,
+        round in prop::bool::ANY,
+    ) {
+        let scenario = scenario(choice, seed);
+        let sfg = scenario.build().expect("sweep scenarios build");
+        let evaluator = AccuracyEvaluator::new(&sfg, 1 << npsd_pow).expect("evaluator builds");
+        let plan = WordLengthPlan::uniform(bits, rounding(round))
+            .with_exact_nodes(scenario.exact_nodes());
+
+        let estimate = evaluator.estimate_psd(&plan);
+        let budget = evaluator.evaluate_budget(&plan);
+        prop_assert_eq!(budget.power.to_bits(), estimate.power.to_bits(), "power bit-identical");
+        prop_assert_eq!(budget.mean.to_bits(), estimate.mean.to_bits(), "mean bit-identical");
+        prop_assert_eq!(
+            budget.variance.to_bits(),
+            estimate.variance.to_bits(),
+            "variance bit-identical"
+        );
+
+        let fold = budget.rows.iter().fold(0.0f64, |acc, r| acc + r.contribution);
+        prop_assert_eq!(
+            fold.to_bits(),
+            budget.power.to_bits(),
+            "ledger fold must reproduce the power to the last bit ({} vs {})",
+            fold,
+            budget.power
+        );
+        prop_assert!(!budget.rows.is_empty(), "every plan quantizes something");
+        // Shares are the contributions in ratio form.
+        for r in &budget.rows {
+            if budget.power != 0.0 {
+                prop_assert_eq!(r.share.to_bits(), (r.contribution / budget.power).to_bits());
+            }
+        }
+    }
+
+    /// Exact-exempted graph nodes appear in the ledger as explicit
+    /// zero rows — role `exact`, no bits, contribution exactly 0.0 —
+    /// and the invariants above survive any exemption pattern.
+    #[test]
+    fn exact_nodes_contribute_exactly_zero(
+        mask in 0u8..15,
+        bits in 3i32..14,
+        gain in 0.25f64..1.75,
+        round in prop::bool::ANY,
+    ) {
+        // A 4-stage chain; `mask` picks which stages are declared exact.
+        let mut nodes = vec![NodeSpec::new("x", BlockSpec::Input, &[])];
+        let blocks = [
+            BlockSpec::Fir { taps: vec![0.4, 0.4, 0.2] },
+            BlockSpec::Gain { gain },
+            BlockSpec::Fir { taps: vec![0.6, 0.4] },
+            BlockSpec::Gain { gain: 0.8 },
+        ];
+        for (i, block) in blocks.into_iter().enumerate() {
+            let prev = if i == 0 { "x".to_string() } else { format!("n{}", i - 1) };
+            let mut node = NodeSpec::new(format!("n{i}"), block, &[&prev]);
+            if mask & (1 << i) != 0 {
+                node.role = NodeRole::Exact;
+            }
+            nodes.push(node);
+        }
+        let spec = GraphSpec { nodes, outputs: vec!["n3".to_string()] };
+        let scenario = Scenario::Graph(GraphScenario::new(spec, None).expect("chain is valid"));
+        let exempted = scenario.exact_nodes();
+        prop_assert_eq!(exempted.len(), mask.count_ones() as usize);
+
+        let sfg = scenario.build().unwrap();
+        let evaluator = AccuracyEvaluator::new(&sfg, 64).unwrap();
+        let plan = WordLengthPlan::uniform(bits, rounding(round)).with_exact_nodes(exempted.clone());
+        let budget = evaluator.evaluate_budget(&plan);
+
+        let exact_rows: Vec<_> =
+            budget.rows.iter().filter(|r| r.role == BudgetRole::Exact).collect();
+        prop_assert_eq!(exact_rows.len(), exempted.len(), "one zero row per exemption");
+        for r in &exact_rows {
+            prop_assert!(exempted.contains(&r.node));
+            prop_assert_eq!(r.contribution, 0.0, "exact nodes contribute exactly zero");
+            prop_assert_eq!(r.variance_term, 0.0);
+            prop_assert_eq!(r.mean_term, 0.0);
+            prop_assert_eq!(r.frac_bits, None, "exact rows carry no word-length");
+        }
+
+        // The invariants hold under exemption too.
+        let estimate = evaluator.estimate_psd(&plan);
+        prop_assert_eq!(budget.power.to_bits(), estimate.power.to_bits());
+        let fold = budget.rows.iter().fold(0.0f64, |acc, r| acc + r.contribution);
+        prop_assert_eq!(fold.to_bits(), budget.power.to_bits());
+    }
+}

@@ -20,6 +20,10 @@
 //!   spans against batch wall-clock, joined with dispatch/steal/
 //!   queue-wait attribution from the coordinator's `fleet.dispatch`
 //!   events.
+//! * **Refinement trajectories** — every greedy-refinement unit's
+//!   committed descent, reconstructed step by step from the `refine.step`
+//!   events the engine emits, so a campaign's "why did it land on these
+//!   word-lengths" is answerable from the merged trace alone.
 //!
 //! The result renders as a single JSON line (`"kind":"trace_analysis"`,
 //! machine-diffable, CI-artifact-friendly) and as a human text
@@ -81,6 +85,32 @@ pub struct DaemonUtilization {
     pub queue_wait_ns: u64,
 }
 
+/// One committed descent step of a greedy refinement, reconstructed
+/// from a `refine.step` trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineStepView {
+    /// Zero-based step index within the unit's trajectory.
+    pub step: u64,
+    /// Node whose word-length the step shrank.
+    pub node: u64,
+    /// Fractional bits at that node before the step.
+    pub bits_before: i64,
+    /// Fractional bits at that node after the step.
+    pub bits_after: i64,
+    /// Total noise power after committing the step.
+    pub power: f64,
+}
+
+/// The refinement trajectory of one unit: its committed steps in
+/// descent order, reconstructed from the merged trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineTrajectory {
+    /// Unit id that ran the refinement (`None` for unit-less traces).
+    pub unit: Option<u64>,
+    /// Committed steps, ordered by step index.
+    pub steps: Vec<RefineStepView>,
+}
+
 /// The full analysis of one merged fleet trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceAnalysis {
@@ -98,10 +128,15 @@ pub struct TraceAnalysis {
     pub stages: Vec<StageTotal>,
     /// Per-daemon attribution, sorted by address.
     pub daemons: Vec<DaemonUtilization>,
+    /// Refinement trajectories, sorted by unit id.
+    pub refinements: Vec<RefineTrajectory>,
 }
 
 /// Parses a JSONL trace (one [`TraceEvent`] per line; blank lines
-/// skipped), reporting the first offending line on failure.
+/// skipped), reporting the first offending line on failure. An empty
+/// trace — zero events — is its own named error rather than a
+/// confusing "no root span" downstream: it usually means the run was
+/// never traced, not that the merge was truncated.
 pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
     let mut events = Vec::new();
     for (i, line) in text.lines().enumerate() {
@@ -110,6 +145,11 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
             continue;
         }
         events.push(TraceEvent::parse(line).map_err(|e| format!("trace line {}: {e}", i + 1))?);
+    }
+    if events.is_empty() {
+        return Err("trace line 1: empty trace — no events to analyze (was the run \
+                    submitted with --trace, and is this the merged trace file?)"
+            .to_string());
     }
     Ok(events)
 }
@@ -152,6 +192,7 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, String> {
     let mut serve_units: Vec<(&TraceEvent, u64)> = Vec::new();
     let mut stages: BTreeMap<&str, StageTotal> = BTreeMap::new();
     let mut daemons: BTreeMap<String, DaemonUtilization> = BTreeMap::new();
+    let mut refinements: BTreeMap<Option<u64>, Vec<RefineStepView>> = BTreeMap::new();
     let mut warnings = 0u64;
 
     for ev in events {
@@ -168,6 +209,10 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, String> {
                 }
                 d.queue_wait_ns +=
                     field(ev, "queue_wait_ns").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+            } else if ev.name == "refine.step" {
+                if let Some(step) = refine_step(ev) {
+                    refinements.entry(ev.unit).or_default().push(step);
+                }
             }
             continue;
         };
@@ -232,6 +277,15 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, String> {
     }
     let mut stages: Vec<StageTotal> = stages.into_values().collect();
     stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.name.cmp(&b.name)));
+    // A merged trace interleaves daemons, so a unit's steps can arrive
+    // out of order; the step index restores the descent order.
+    let refinements: Vec<RefineTrajectory> = refinements
+        .into_iter()
+        .map(|(unit, mut steps)| {
+            steps.sort_by_key(|s| s.step);
+            RefineTrajectory { unit, steps }
+        })
+        .collect();
 
     Ok(TraceAnalysis {
         batch: root_ev.batch.clone(),
@@ -241,6 +295,19 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, String> {
         critical_path,
         stages,
         daemons: daemons.into_values().collect(),
+        refinements,
+    })
+}
+
+/// Decodes one `refine.step` event; events missing a numeric field are
+/// dropped rather than poisoning the whole analysis.
+fn refine_step(ev: &TraceEvent) -> Option<RefineStepView> {
+    Some(RefineStepView {
+        step: field(ev, "step")?.parse().ok()?,
+        node: field(ev, "node")?.parse().ok()?,
+        bits_before: field(ev, "bits_before")?.parse().ok()?,
+        bits_after: field(ev, "bits_after")?.parse().ok()?,
+        power: field(ev, "power")?.parse().ok()?,
     })
 }
 
@@ -326,6 +393,31 @@ impl TraceAnalysis {
                 w.finish()
             })
             .collect();
+        let refinements: Vec<String> = self
+            .refinements
+            .iter()
+            .map(|t| {
+                let steps: Vec<String> = t
+                    .steps
+                    .iter()
+                    .map(|s| {
+                        let mut w = JsonWriter::new();
+                        w.field_u64("step", s.step);
+                        w.field_u64("node", s.node);
+                        w.field_i64("bits_before", s.bits_before);
+                        w.field_i64("bits_after", s.bits_after);
+                        w.field_f64("power", s.power);
+                        w.finish()
+                    })
+                    .collect();
+                let mut w = JsonWriter::new();
+                if let Some(u) = t.unit {
+                    w.field_u64("unit", u);
+                }
+                w.field_raw("steps", &format!("[{}]", steps.join(",")));
+                w.finish()
+            })
+            .collect();
         let mut w = JsonWriter::new();
         w.field_str("kind", "trace_analysis");
         w.field_str("batch", &self.batch);
@@ -335,6 +427,7 @@ impl TraceAnalysis {
         w.field_raw("critical_path", &format!("[{}]", hops.join(",")));
         w.field_raw("stages", &format!("[{}]", stages.join(",")));
         w.field_raw("daemons", &format!("[{}]", daemons.join(",")));
+        w.field_raw("refinements", &format!("[{}]", refinements.join(",")));
         w.finish()
     }
 
@@ -364,6 +457,24 @@ impl TraceAnalysis {
                 self.pct(h.dur_ns),
                 indent = depth * 2,
             ));
+        }
+        if !self.refinements.is_empty() {
+            out.push_str("refinement trajectories (committed greedy descent steps):\n");
+            for t in &self.refinements {
+                let unit = t.unit.map(|u| format!("unit {u}")).unwrap_or_else(|| "-".to_string());
+                let final_power =
+                    t.steps.last().map(|s| format!("{:.4e}", s.power)).unwrap_or_default();
+                out.push_str(&format!(
+                    "  {unit}: {} step(s), final power {final_power}\n",
+                    t.steps.len()
+                ));
+                for s in &t.steps {
+                    out.push_str(&format!(
+                        "    step {:<3} node {:<4} {:>3} -> {:<3} bits  power {:.4e}\n",
+                        s.step, s.node, s.bits_before, s.bits_after, s.power,
+                    ));
+                }
+            }
         }
         out.push_str("stage totals (all units, heaviest first):\n");
         for s in &self.stages {
@@ -443,10 +554,33 @@ mod tests {
         }
     }
 
+    fn refine(unit: u64, step: u64, node: u64, bits: i64, power: &str) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 0,
+            name: "refine.step".to_string(),
+            kind: EventKind::Event,
+            span: SpanId(800 + 10 * unit + step),
+            parent: Some(SpanId(11)),
+            batch: "fix".to_string(),
+            unit: Some(unit),
+            daemon: Some("b".to_string()),
+            severity: Severity::Info,
+            fields: vec![
+                ("step".to_string(), step.to_string()),
+                ("node".to_string(), node.to_string()),
+                ("bits_before".to_string(), bits.to_string()),
+                ("bits_after".to_string(), (bits - 1).to_string()),
+                ("predicted_delta".to_string(), "1e-9".to_string()),
+                ("power".to_string(), power.to_string()),
+            ],
+        }
+    }
+
     /// A two-daemon fixture with hand-computed answers: unit 1 on
     /// daemon `b` finishes last (coordinator end 700 vs 400) and its
     /// preprocess stage dominates, so the critical path must be
     /// fleet.batch -> fleet.unit#1 -> serve.unit#1@b -> unit.preprocess.
+    /// Unit 1 also committed two refinement steps, merged out of order.
     fn fixture() -> Vec<TraceEvent> {
         let mut warn = dispatch(1, "b", "true", "75");
         warn.name = "fleet.redispatch".to_string();
@@ -468,6 +602,9 @@ mod tests {
             dispatch(0, "a", "false", "50"),
             dispatch(1, "b", "true", "75"),
             warn,
+            // Merged out of order: the analyzer must restore step order.
+            refine(1, 1, 7, 11, "2.5e-7"),
+            refine(1, 0, 4, 12, "4.5e-7"),
         ]
     }
 
@@ -538,11 +675,48 @@ mod tests {
         assert_eq!(v.get("critical_path").and_then(Json::as_array).map(|a| a.len()), Some(4));
         assert_eq!(v.get("stages").and_then(Json::as_array).map(|a| a.len()), Some(5));
         assert_eq!(v.get("daemons").and_then(Json::as_array).map(|a| a.len()), Some(2));
+        assert_eq!(v.get("refinements").and_then(Json::as_array).map(|a| a.len()), Some(1));
 
         let text = a.to_text();
         assert!(text.contains("unit.preprocess"));
         assert!(text.contains("@b"));
         assert!(text.contains("util= 45.0%"));
+        assert!(text.contains("refinement trajectories"), "{text}");
+        assert!(text.contains("unit 1: 2 step(s), final power 2.5000e-7"), "{text}");
+    }
+
+    #[test]
+    fn reconstructs_refinement_trajectories_in_step_order() {
+        let a = analyze(&fixture()).unwrap();
+        assert_eq!(a.refinements.len(), 1);
+        let t = &a.refinements[0];
+        assert_eq!(t.unit, Some(1));
+        let steps: Vec<(u64, u64, i64, i64)> =
+            t.steps.iter().map(|s| (s.step, s.node, s.bits_before, s.bits_after)).collect();
+        assert_eq!(
+            steps,
+            vec![(0, 4, 12, 11), (1, 7, 11, 10)],
+            "out-of-order merge is restored to descent order"
+        );
+        assert_eq!(t.steps[0].power, 4.5e-7);
+        assert_eq!(t.steps[1].power, 2.5e-7);
+
+        // A step event with a missing numeric field is dropped, not fatal.
+        let mut events = fixture();
+        let mut broken = refine(0, 0, 1, 8, "1e-8");
+        broken.fields.retain(|(k, _)| k != "node");
+        events.push(broken);
+        let a = analyze(&events).unwrap();
+        assert_eq!(a.refinements.len(), 1, "the broken unit-0 event contributes nothing");
+    }
+
+    #[test]
+    fn empty_traces_are_named_line_numbered_errors() {
+        for text in ["", "\n", "  \n\n  \n"] {
+            let err = parse_trace(text).unwrap_err();
+            assert!(err.starts_with("trace line 1:"), "{err}");
+            assert!(err.contains("empty trace"), "{err}");
+        }
     }
 
     #[test]

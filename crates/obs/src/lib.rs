@@ -13,8 +13,11 @@
 //!   the numeric hot paths (`freq::preprocess`, `tau_pp`), costing one
 //!   atomic load when not installed.
 //! * [`analyze`] — trace analytics over a merged fleet trace: critical
-//!   path, per-stage totals, and per-daemon utilization, rendered as a
-//!   JSON line or a human breakdown.
+//!   path, per-stage totals, per-daemon utilization, and greedy-refinement
+//!   trajectories, rendered as a JSON line or a human breakdown.
+//! * [`report`] — the noise-budget report schema: canonical JSON line and
+//!   a ranked human table (top-K + cumulative share) explaining every
+//!   accuracy number node by node.
 //!
 //! The [`json`] module (writer + parser) also lives here — it predates
 //! this crate in `psdacc-engine`, which still re-exports it.
@@ -28,11 +31,13 @@
 pub mod analyze;
 pub mod json;
 pub mod metrics;
+pub mod report;
 pub mod stage;
 pub mod trace;
 
 pub use analyze::{CriticalHop, DaemonUtilization, StageTotal, TraceAnalysis};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, NUM_BUCKETS};
+pub use report::{BudgetReport, BudgetReportRow};
 pub use trace::{
     EventKind, OpenSpan, Severity, SpanId, TraceEvent, TraceStore, TraceStoreStats, Tracer,
     MAX_TS_NS,

@@ -199,13 +199,17 @@ impl HistogramSnapshot {
     }
 
     /// Renders the histogram body fields (`count`, `total_ns`, `p50_ns`,
-    /// `p95_ns`, `p99_ns`, `buckets`) into an existing writer.
+    /// `p95_ns`, `p99_ns`, `buckets`) into an existing writer. The
+    /// derived percentiles use [`HistogramSnapshot::quantile_interp_ns`]
+    /// (sub-bucket resolution); the raw bucket array is always present,
+    /// so consumers needing the conservative bucket-upper-bound values
+    /// can recompute them.
     pub fn write_fields(&self, w: &mut JsonWriter) {
         w.field_u64("count", self.count);
         w.field_u64("total_ns", self.total_ns);
-        w.field_u64("p50_ns", self.quantile_ns(0.50).unwrap_or(0));
-        w.field_u64("p95_ns", self.quantile_ns(0.95).unwrap_or(0));
-        w.field_u64("p99_ns", self.quantile_ns(0.99).unwrap_or(0));
+        w.field_f64("p50_ns", self.quantile_interp_ns(0.50).unwrap_or(0.0));
+        w.field_f64("p95_ns", self.quantile_interp_ns(0.95).unwrap_or(0.0));
+        w.field_f64("p99_ns", self.quantile_interp_ns(0.99).unwrap_or(0.0));
         let cells: Vec<String> = self.buckets.iter().map(u64::to_string).collect();
         w.field_raw("buckets", &format!("[{}]", cells.join(",")));
     }
@@ -520,8 +524,9 @@ mod tests {
         let h = v.get("c_ns").unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(h.get("buckets").unwrap().as_array().unwrap().len(), NUM_BUCKETS);
-        // 40 µs = 40000 ns -> bucket 15 ([32768, 65536)) -> p50 = 65536.
-        assert_eq!(h.get("p50_ns").unwrap().as_u64(), Some(65536));
+        // 40 µs = 40000 ns -> bucket 15 ([32768, 65536)); one occupant
+        // interpolates to the bucket midpoint.
+        assert_eq!(h.get("p50_ns").unwrap().as_f64(), Some(49152.0));
     }
 
     #[test]

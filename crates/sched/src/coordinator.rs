@@ -123,20 +123,21 @@ impl FleetEvent {
 }
 
 /// Derived roundtrip-latency percentiles for one protocol verb, computed
-/// from the coordinator's log-bucketed histogram (bucket-upper-bound
-/// convention — see `psdacc_obs::metrics`).
+/// from the coordinator's log-bucketed histogram with linear sub-bucket
+/// interpolation (`quantile_interp_ns` — see `psdacc_obs::metrics`).
 #[derive(Debug, Clone)]
 pub struct VerbLatency {
-    /// Protocol verb (`evaluate`, `greedy`, `min-uniform`, `simulate`).
+    /// Protocol verb (`evaluate`, `greedy`, `min-uniform`, `budget`,
+    /// `simulate`).
     pub verb: &'static str,
     /// Completed roundtrips recorded for this verb.
     pub count: u64,
-    /// Median roundtrip, ns.
-    pub p50_ns: u64,
-    /// 95th-percentile roundtrip, ns.
-    pub p95_ns: u64,
-    /// 99th-percentile roundtrip, ns.
-    pub p99_ns: u64,
+    /// Median roundtrip, ns (interpolated).
+    pub p50_ns: f64,
+    /// 95th-percentile roundtrip, ns (interpolated).
+    pub p95_ns: f64,
+    /// 99th-percentile roundtrip, ns (interpolated).
+    pub p99_ns: f64,
 }
 
 impl VerbLatency {
@@ -144,9 +145,9 @@ impl VerbLatency {
         let mut w = JsonWriter::new();
         w.field_str("verb", self.verb);
         w.field_u64("count", self.count);
-        w.field_u64("p50_ns", self.p50_ns);
-        w.field_u64("p95_ns", self.p95_ns);
-        w.field_u64("p99_ns", self.p99_ns);
+        w.field_f64("p50_ns", self.p50_ns);
+        w.field_f64("p95_ns", self.p95_ns);
+        w.field_f64("p99_ns", self.p99_ns);
         w.finish()
     }
 }
@@ -461,9 +462,9 @@ pub fn run_fleet(
                 VerbLatency {
                     verb,
                     count: snap.count,
-                    p50_ns: snap.quantile_ns(0.50).unwrap_or(0),
-                    p95_ns: snap.quantile_ns(0.95).unwrap_or(0),
-                    p99_ns: snap.quantile_ns(0.99).unwrap_or(0),
+                    p50_ns: snap.quantile_interp_ns(0.50).unwrap_or(0.0),
+                    p95_ns: snap.quantile_interp_ns(0.95).unwrap_or(0.0),
+                    p99_ns: snap.quantile_interp_ns(0.99).unwrap_or(0.0),
                 }
             })
             .collect(),

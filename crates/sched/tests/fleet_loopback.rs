@@ -13,13 +13,18 @@ use psdacc_obs::{EventKind, TraceEvent};
 use psdacc_sched::{fetch_fleet_trace, run_fleet, FleetConfig};
 use psdacc_serve::{client, Server, ServerConfig, ServerHandle};
 
-/// Two scenario families x a bits sweep, plus refinement and simulation
-/// jobs — enough units for stealing to be inevitable under skew, cheap
-/// enough to keep the suite fast. 24 units total.
+/// Two scenario families x a bits sweep, plus refinement, budget
+/// attribution, and simulation jobs — enough units for stealing to be
+/// inevitable under skew, cheap enough to keep the suite fast. The
+/// greedy budget sits far above the start-bits noise power so every
+/// refine unit commits descent steps (trajectory provenance below).
+/// 28 units total.
 const SPEC: &str = "scenario fir-cascade stages=1 taps=9 cutoff=0.3\n\
                     scenario freq-filter\n\
                     batch npsd=64 bits=6..15 methods=psd\n\
+                    refine npsd=64 budget=1e-3 start=10 min=3\n\
                     min-uniform npsd=64 budget=1e-6 min=2 max=24\n\
+                    budget npsd=64 bits=8\n\
                     simulate npsd=64 bits=8 samples=1024 nfft=32 seed=11 trials=1\n";
 
 fn spawn_daemon(threads: usize, config: ServerConfig) -> ServerHandle {
@@ -92,7 +97,7 @@ fn skewed_fleet_merges_bit_identically_with_steals() {
     let daemon_stats = client::request_control(&daemons[1], "stats").unwrap();
     let v = json::parse(&daemon_stats).unwrap();
     let latency = v.get("latency").unwrap().as_array().unwrap();
-    assert_eq!(latency.len(), 4, "{daemon_stats}");
+    assert_eq!(latency.len(), 5, "{daemon_stats}");
     let evaluate =
         latency.iter().find(|e| e.get("verb").and_then(Json::as_str) == Some("evaluate")).unwrap();
     assert!(evaluate.get("count").unwrap().as_u64().unwrap() > 0, "{daemon_stats}");
@@ -251,10 +256,10 @@ fn traced_fleet_run_merges_parented_spans_and_stays_bit_identical() {
     }
 
     // Derived per-verb roundtrip percentiles rode along in the stats.
-    assert_eq!(traced.stats.latency.len(), 4);
+    assert_eq!(traced.stats.latency.len(), 5);
     let evaluate = traced.stats.latency.iter().find(|l| l.verb == "evaluate").unwrap();
     assert!(evaluate.count > 0);
-    assert!(evaluate.p50_ns > 0 && evaluate.p50_ns <= evaluate.p95_ns);
+    assert!(evaluate.p50_ns > 0.0 && evaluate.p50_ns <= evaluate.p95_ns);
     assert!(evaluate.p95_ns <= evaluate.p99_ns);
     let stats_line = traced.stats.to_json_line();
     assert!(stats_line.contains("\"p95_ns\""), "{stats_line}");
@@ -301,12 +306,36 @@ fn traced_fleet_run_merges_parented_spans_and_stays_bit_identical() {
         expected.len() as u64,
         "every unit's serve span lands on exactly one daemon"
     );
+    // Refinement provenance: both refine units' trajectories are
+    // reconstructable from the merged trace — steps dense and ordered,
+    // each shaving one bit, and the final step landing bit-exactly on
+    // the power the unit's merged result line reports.
+    assert_eq!(analysis.refinements.len(), 2, "one trajectory per refine unit");
+    for t in &analysis.refinements {
+        let unit = t.unit.expect("fleet trajectories are unit-scoped") as usize;
+        let line = &traced.lines[unit];
+        assert!(line.contains("\"kind\":\"greedy-refine\""), "unit {unit}: {line}");
+        assert!(!t.steps.is_empty(), "budget above start power admits steps");
+        for (i, s) in t.steps.iter().enumerate() {
+            assert_eq!(s.step, i as u64, "steps are dense and ordered");
+            assert_eq!(s.bits_after, s.bits_before - 1, "greedy shaves one bit per step");
+        }
+        let reported = json::parse(line).unwrap().get("power").unwrap().as_f64().unwrap();
+        let last = t.steps.last().unwrap();
+        assert_eq!(
+            last.power.to_bits(),
+            reported.to_bits(),
+            "trajectory must land exactly on the reported power"
+        );
+    }
+
     // Both report renderings stay consistent with the struct.
     let report = analysis.to_json_line();
     let rv = json::parse(&report).unwrap();
     assert_eq!(rv.get("kind").and_then(Json::as_str), Some("trace_analysis"));
     assert_eq!(rv.get("units").and_then(Json::as_u64), Some(expected.len() as u64));
     assert!(analysis.to_text().contains("critical path"));
+    assert!(analysis.to_text().contains("refinement trajectories"));
 
     // The standalone scrape path sees the daemons' retained spans too.
     let scraped = fetch_fleet_trace(&daemons, "fleet-it-trace", Duration::from_secs(10)).unwrap();

@@ -19,7 +19,7 @@ use psdacc_engine::JobKind;
 use psdacc_obs::{Histogram, MetricsRegistry};
 
 /// The job verbs of the wire protocol, in stats-reply order.
-pub const VERBS: [&str; 4] = ["evaluate", "greedy", "min-uniform", "simulate"];
+pub const VERBS: [&str; 5] = ["evaluate", "greedy", "min-uniform", "budget", "simulate"];
 
 /// Histograms for every job verb of the protocol.
 #[derive(Debug)]
@@ -52,7 +52,7 @@ impl LatencyRegistry {
     /// Renders the `latency` field value of the `stats` reply: one object
     /// per verb (all verbs always present, so clients can rely on the
     /// shape), each with `count`, `total_ns`, derived `p50_ns` / `p95_ns`
-    /// / `p99_ns` (bucket-upper-bound convention), and the full bucket
+    /// / `p99_ns` (linear sub-bucket interpolation), and the full bucket
     /// array.
     pub fn to_json(&self) -> String {
         let entries: Vec<String> = VERBS
@@ -82,7 +82,8 @@ fn verb_index(kind: &JobKind) -> usize {
         JobKind::Estimate { .. } => 0,
         JobKind::GreedyRefine { .. } => 1,
         JobKind::MinUniform { .. } => 2,
-        JobKind::Simulate { .. } => 3,
+        JobKind::Budget { .. } => 3,
+        JobKind::Simulate { .. } => 4,
     }
 }
 
@@ -120,13 +121,14 @@ mod tests {
         // 40 µs = 40000 ns -> bucket 15 ([32768, 65536)).
         assert_eq!(buckets[15].as_u64(), Some(1));
         assert_eq!(by_verb("evaluate").get("total_ns").unwrap().as_u64(), Some(40_000));
-        // One observation: every derived percentile is that bucket's
-        // upper bound.
+        // One observation: every derived percentile interpolates to the
+        // midpoint of its bucket (sub-bucket resolution, not the 2x
+        // bucket-upper-bound snap).
         for p in ["p50_ns", "p95_ns", "p99_ns"] {
-            assert_eq!(by_verb("evaluate").get(p).unwrap().as_u64(), Some(65_536), "{p}");
+            assert_eq!(by_verb("evaluate").get(p).unwrap().as_f64(), Some(49_152.0), "{p}");
         }
         // Empty verbs render zero percentiles, not nulls.
-        assert_eq!(by_verb("greedy").get("p99_ns").unwrap().as_u64(), Some(0));
+        assert_eq!(by_verb("greedy").get("p99_ns").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!  "method":"psd","bits":12,"rounding":"truncate","id":0}
 //! {"kind":"greedy","scenario":"freq-filter","budget":1e-8,"start":16,"min":4}
 //! {"kind":"min-uniform","scenario":"freq-filter","budget":1e-8,"min":2,"max":24}
+//! {"kind":"budget","scenario":"freq-filter","bits":12}
 //! {"kind":"simulate","scenario":"freq-filter","bits":12,"samples":20000,
 //!  "nfft":256,"seed":"7","trials":2}
 //! {"kind":"define_scenario","name":"my-codec","graph":{"nodes":[...],"outputs":[...]}}
@@ -59,6 +60,12 @@
 //! whose `events` are [`psdacc_obs::TraceEvent`] objects. `metrics` (also
 //! revision 4) returns the daemon's metrics registry as canonical JSON
 //! plus the Prometheus text exposition escaped into a `text` field.
+//!
+//! `budget` (protocol revision 5) is a job kind like `evaluate`: one
+//! PSD-method evaluation whose result line additionally carries the
+//! per-node noise-budget attribution rows under `budget` (the
+//! `psdacc-obs` budget-report schema) — the ledger folds back to the
+//! reported `power` bit-exactly.
 
 use psdacc_engine::graphspec::parse_graph_spec;
 use psdacc_engine::json::{self, Json, JsonWriter};
@@ -230,7 +237,7 @@ pub fn parse_request(
             let spec = parse_graph_spec(graph).map_err(|e| e.to_string())?;
             Ok(Request::DefineScenario { name, spec })
         }
-        "evaluate" | "greedy" | "min-uniform" | "simulate" => {
+        "evaluate" | "greedy" | "min-uniform" | "budget" | "simulate" => {
             let id = match value.get("id") {
                 None => default_id,
                 Some(v) => v
@@ -242,7 +249,7 @@ pub fn parse_request(
             Ok(Request::Job { id, spec })
         }
         other => Err(format!(
-            "unknown kind `{other}` (known: evaluate, greedy, min-uniform, simulate, \
+            "unknown kind `{other}` (known: budget, evaluate, greedy, min-uniform, simulate, \
              define_scenario, describe, evaluate_units, hello, metrics, scenarios, stats, trace)"
         )),
     }
@@ -313,6 +320,7 @@ fn parse_job_spec(
             }
             JobKind::MinUniform { budget: req_budget(value)?, min_bits, max_bits }
         }
+        "budget" => JobKind::Budget { frac_bits: req_i32(value, "bits")? },
         "simulate" => JobKind::Simulate {
             frac_bits: req_i32(value, "bits")?,
             samples: opt_usize_bounded(value, "samples", 20_000, 256..=100_000_000)?,
@@ -399,6 +407,7 @@ pub fn job_request_line(id: usize, spec: &JobSpec) -> Result<String, ServeError>
         JobKind::Estimate { .. } => "evaluate",
         JobKind::GreedyRefine { .. } => "greedy",
         JobKind::MinUniform { .. } => "min-uniform",
+        JobKind::Budget { .. } => "budget",
         JobKind::Simulate { .. } => "simulate",
     };
     w.field_str("kind", kind);
@@ -439,6 +448,9 @@ pub fn job_request_line(id: usize, spec: &JobSpec) -> Result<String, ServeError>
             w.field_f64("budget", *budget);
             w.field_i64("min", *min_bits as i64);
             w.field_i64("max", *max_bits as i64);
+        }
+        JobKind::Budget { frac_bits } => {
+            w.field_i64("bits", *frac_bits as i64);
         }
         JobKind::Simulate { frac_bits, samples, nfft, seed, trials } => {
             w.field_i64("bits", *frac_bits as i64);
@@ -581,7 +593,7 @@ mod tests {
                 kind: JobKind::MinUniform { budget: 3.0e-7, min_bits: 2, max_bits: 24 },
             },
             JobSpec {
-                scenario,
+                scenario: scenario.clone(),
                 npsd: 128,
                 rounding: RoundingMode::RoundNearest,
                 kind: JobKind::Simulate {
@@ -591,6 +603,12 @@ mod tests {
                     seed: u64::MAX - 7,
                     trials: 3,
                 },
+            },
+            JobSpec {
+                scenario,
+                npsd: 64,
+                rounding: RoundingMode::Truncate,
+                kind: JobKind::Budget { frac_bits: 11 },
             },
         ]
     }
@@ -818,6 +836,7 @@ mod tests {
             (r#"{"kind":"evaluate","bits":12}"#, "scenario"),
             (r#"{"kind":"evaluate","scenario":"freq-filter"}"#, "bits"),
             (r#"{"kind":"evaluate","scenario":"no-such","bits":12}"#, "unknown scenario"),
+            (r#"{"kind":"budget","scenario":"freq-filter"}"#, "bits"),
             (r#"{"kind":"greedy","scenario":"freq-filter","budget":-1}"#, "budget"),
             (r#"{"kind":"greedy","scenario":"freq-filter"}"#, "budget"),
             (

@@ -22,8 +22,9 @@ use crate::protocol::{parse_request, read_capped_line, result_line, Request, Tra
 /// it; revision 2 added `hello` / `evaluate_units`, revision 3 added
 /// `define_scenario` / `describe` and registry-resolved scenario fields,
 /// revision 4 added `metrics` / `trace` and the `evaluate_units` trace
-/// context).
-pub const PROTOCOL_REVISION: usize = 4;
+/// context, revision 5 added the `budget` job kind with its per-node
+/// attribution rows on the result line).
+pub const PROTOCOL_REVISION: usize = 5;
 
 /// Default retention bound for per-batch daemon-side traces (older
 /// batches evict FIFO); override with [`ServerConfig::trace_limit`].

@@ -21,6 +21,7 @@ const SPEC: &str = "scenario fir-cascade stages=2 taps=15 cutoff=0.2\n\
                     batch npsd=128 bits=8..11 methods=psd,flat\n\
                     refine npsd=128 budget=1e-6 start=14 min=4\n\
                     min-uniform npsd=128 budget=1e-6 min=2 max=24\n\
+                    budget npsd=128 bits=9\n\
                     simulate npsd=128 bits=10 samples=4096 nfft=64 seed=11 trials=1\n";
 
 /// Distinct `(scenario, npsd)` keys in [`SPEC`].
@@ -284,8 +285,8 @@ fn stats_reply_carries_latency_histograms() {
     let stats = client::request_control(&addr, "stats").unwrap();
     let v = json::parse(&stats).unwrap();
     let latency = v.get("latency").unwrap().as_array().unwrap();
-    assert_eq!(latency.len(), 4, "{stats}");
-    for verb in ["evaluate", "greedy", "min-uniform", "simulate"] {
+    assert_eq!(latency.len(), 5, "{stats}");
+    for verb in ["evaluate", "greedy", "min-uniform", "budget", "simulate"] {
         let entry = latency
             .iter()
             .find(|e| e.get("verb").and_then(Json::as_str) == Some(verb))
@@ -293,7 +294,7 @@ fn stats_reply_carries_latency_histograms() {
         assert!(entry.get("count").unwrap().as_u64().unwrap() > 0, "verb {verb} unused: {stats}");
         let buckets = entry.get("buckets").unwrap().as_array().unwrap();
         assert_eq!(buckets.len(), psdacc_obs::NUM_BUCKETS);
-        assert!(entry.get("p95_ns").unwrap().as_u64().is_some(), "{stats}");
+        assert!(entry.get("p95_ns").unwrap().as_f64().is_some(), "{stats}");
         let total: u64 = buckets.iter().map(|b| b.as_u64().unwrap()).sum();
         assert_eq!(total, entry.get("count").unwrap().as_u64().unwrap(), "{stats}");
     }
