@@ -75,6 +75,7 @@ pub fn parse_report(text: &str) -> Result<(u64, BenchReport), String> {
         iters: field_u64(&v, "meta.iters").unwrap_or(0) as usize,
         npsd: field_u64(&v, "meta.npsd").unwrap_or(0) as usize,
         host_threads: field_u64(&v, "meta.host_threads").unwrap_or(0) as usize,
+        unix_ts: field_u64(&v, "meta.unix_ts").unwrap_or(0),
     };
     let results = v
         .get("results")
@@ -93,6 +94,8 @@ pub fn parse_report(text: &str) -> Result<(u64, BenchReport), String> {
                 p50_ns: r.get("p50_ns").and_then(Json::as_u64).ok_or("result missing p50_ns")?,
                 p95_ns: r.get("p95_ns").and_then(Json::as_u64).ok_or("result missing p95_ns")?,
                 mean_ns: r.get("mean_ns").and_then(Json::as_u64).unwrap_or(0),
+                min_ns: r.get("min_ns").and_then(Json::as_u64).unwrap_or(0),
+                max_ns: r.get("max_ns").and_then(Json::as_u64).unwrap_or(0),
                 throughput_units_per_s: r
                     .get("throughput_units_per_s")
                     .and_then(Json::as_f64)
@@ -102,6 +105,24 @@ pub fn parse_report(text: &str) -> Result<(u64, BenchReport), String> {
         .collect::<Result<Vec<_>, &str>>()
         .map_err(String::from)?;
     Ok((version, BenchReport { meta, results }))
+}
+
+/// Parses the **latest** bench report in `text`: the last non-empty
+/// line. A single-line `BENCH_psd.json` baseline and a multi-line
+/// `BENCH_history.jsonl` ledger (one appended report per run, newest
+/// last) both resolve to the entry `--compare` should diff against.
+///
+/// # Errors
+///
+/// Whatever [`parse_report`] reports for that line, or a message when
+/// the text holds no non-empty line.
+pub fn parse_latest(text: &str) -> Result<(u64, BenchReport), String> {
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or("baseline file is empty — nothing to compare against")?;
+    parse_report(line)
 }
 
 fn field_u64(v: &Json, dotted: &str) -> Option<u64> {
@@ -214,12 +235,17 @@ mod tests {
             p50_ns,
             p95_ns: p50_ns * 2,
             mean_ns: p50_ns,
+            min_ns: p50_ns / 2,
+            max_ns: p50_ns * 3,
             throughput_units_per_s: throughput,
         }
     }
 
     fn report(results: Vec<BenchResult>) -> BenchReport {
-        BenchReport { meta: BenchMeta { iters: 20, npsd: 256, host_threads: 4 }, results }
+        BenchReport {
+            meta: BenchMeta { iters: 20, npsd: 256, host_threads: 4, unix_ts: 1_754_600_000 },
+            results,
+        }
     }
 
     #[test]
@@ -285,6 +311,22 @@ mod tests {
         let err = compare(version, &parsed, &fresh, 20.0).unwrap_err();
         assert!(err.contains("schema v1"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn parse_latest_takes_the_last_history_entry() {
+        let older = report(vec![probe("preprocess", 2000, 250.0)]);
+        let newer = report(vec![probe("preprocess", 1000, 500.0)]);
+        // A history ledger: one report per line, newest appended last,
+        // with a trailing newline as OpenOptions::append produces.
+        let ledger = format!("{}\n{}\n", older.to_json_line(), newer.to_json_line());
+        let (version, parsed) = parse_latest(&ledger).unwrap();
+        assert_eq!(version, SCHEMA_VERSION);
+        assert_eq!(parsed, newer, "latest entry wins, not the first");
+        // A single-line BENCH_psd.json baseline still parses.
+        let (_, single) = parse_latest(&older.to_json_line()).unwrap();
+        assert_eq!(single, older);
+        assert!(parse_latest("\n\n").unwrap_err().contains("empty"));
     }
 
     #[test]

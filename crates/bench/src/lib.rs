@@ -28,6 +28,8 @@ pub mod perf;
 /// depending on `psdacc-obs` directly.
 pub use psdacc_obs::analyze;
 
-pub use compare::{compare, parse_report, Comparison, ProbeDelta};
+pub use compare::{compare, parse_latest, parse_report, Comparison, ProbeDelta};
 pub use harness::{Args, Table};
-pub use perf::{run_baseline, BenchMeta, BenchReport, BenchResult, SCHEMA_VERSION};
+pub use perf::{
+    run_baseline, run_baseline_profiled, BenchMeta, BenchReport, BenchResult, SCHEMA_VERSION,
+};

@@ -9,11 +9,12 @@
 //! versioned JSON line:
 //!
 //! ```json
-//! {"kind":"bench","version":2,
-//!  "meta":{"iters":20,"npsd":256,"host_threads":8,
+//! {"kind":"bench","version":3,
+//!  "meta":{"iters":20,"npsd":256,"host_threads":8,"unix_ts":1754600000,
 //!          "probes":["preprocess","tau_eval",...]},
 //!  "results":[{"name":"preprocess","iters":20,"p50_ns":1003520,
 //!              "p95_ns":1965000,"mean_ns":1100000,
+//!              "min_ns":990100,"max_ns":2011400,
 //!              "throughput_units_per_s":812.5}, ...]}
 //! ```
 //!
@@ -40,7 +41,8 @@ use psdacc_store::Record;
 
 /// Schema version of the `BENCH_psd.json` line (bumped when fields or
 /// probe semantics change; `--compare` refuses to diff across versions).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3 added exact `min_ns`/`max_ns` per probe and `meta.unix_ts`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One timed probe of the suite.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +57,10 @@ pub struct BenchResult {
     pub p95_ns: u64,
     /// Exact mean per-iteration time, ns (total / count).
     pub mean_ns: u64,
+    /// Exact fastest iteration, ns (not a bucket bound).
+    pub min_ns: u64,
+    /// Exact slowest iteration, ns (not a bucket bound).
+    pub max_ns: u64,
     /// Work units completed per second of wall time (exact).
     pub throughput_units_per_s: f64,
 }
@@ -67,6 +73,8 @@ impl BenchResult {
         w.field_u64("p50_ns", self.p50_ns);
         w.field_u64("p95_ns", self.p95_ns);
         w.field_u64("mean_ns", self.mean_ns);
+        w.field_u64("min_ns", self.min_ns);
+        w.field_u64("max_ns", self.max_ns);
         w.field_f64("throughput_units_per_s", self.throughput_units_per_s);
         w.finish()
     }
@@ -83,6 +91,9 @@ pub struct BenchMeta {
     pub npsd: usize,
     /// Available host parallelism when the run happened.
     pub host_threads: usize,
+    /// Seconds since the Unix epoch when the run started (0 when the
+    /// clock is unavailable) — the ordering key of the history ledger.
+    pub unix_ts: u64,
 }
 
 /// The full suite report (`BENCH_psd.json` content).
@@ -104,6 +115,7 @@ impl BenchReport {
         meta.field_usize("iters", self.meta.iters);
         meta.field_usize("npsd", self.meta.npsd);
         meta.field_usize("host_threads", self.meta.host_threads);
+        meta.field_u64("unix_ts", self.meta.unix_ts);
         meta.field_raw("probes", &format!("[{}]", probes.join(",")));
         let entries: Vec<String> = self.results.iter().map(BenchResult::to_json).collect();
         let mut w = JsonWriter::new();
@@ -139,6 +151,8 @@ pub fn measure(
         p50_ns: snap.quantile_interp_ns(0.50).unwrap_or(0.0).round() as u64,
         p95_ns: snap.quantile_interp_ns(0.95).unwrap_or(0.0).round() as u64,
         mean_ns,
+        min_ns: snap.min_ns,
+        max_ns: snap.max_ns,
         throughput_units_per_s: if total > 0.0 {
             (iters * units_per_iter) as f64 / total
         } else {
@@ -192,7 +206,64 @@ fn fleet_probe(name: &str, n: usize, iters: usize) -> BenchResult {
 /// or the loopback fleet cannot run — baseline-binary style (there is
 /// nothing to degrade to).
 pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
+    run_baseline_profiled(npsd, iters, None)
+}
+
+/// Drains the global profiler after one probe and writes its hotspot
+/// table (`<probe>.profile.txt`), canonical JSON line
+/// (`<probe>.profile.json`), and flamegraph folded stacks
+/// (`<probe>.folded`) into `dir`.
+fn dump_probe_profile(dir: &std::path::Path, probe: &str) {
+    let Some(profiler) = psdacc_obs::profile::profiler() else { return };
+    let snapshot = profiler.take();
+    let write = |ext: &str, content: String| {
+        let path = dir.join(format!("{probe}.{ext}"));
+        std::fs::write(&path, content)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    };
+    write("profile.txt", snapshot.to_text());
+    write("profile.json", format!("{}\n", snapshot.to_json_line()));
+    write("folded", snapshot.to_folded());
+}
+
+/// [`run_baseline`] with optional per-probe profiling: when `profile_dir`
+/// is set, the hierarchical profiler is installed (first-install-wins —
+/// an already installed profiler is reused), drained before the suite,
+/// and re-drained after every probe into three files per probe (hotspot
+/// table, profile JSON line, folded stacks). The timed work is identical
+/// either way; the frames ride inside the measured regions, which is the
+/// point — the dump shows where each probe's time went.
+///
+/// # Panics
+///
+/// Everything [`run_baseline`] panics on, plus unwritable `profile_dir`.
+pub fn run_baseline_profiled(
+    npsd: usize,
+    iters: usize,
+    profile_dir: Option<&std::path::Path>,
+) -> BenchReport {
     let iters = iters.max(1);
+    if let Some(dir) = profile_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        psdacc_obs::profile::install(std::sync::Arc::new(psdacc_obs::Profiler::new()));
+        let _ = psdacc_obs::profile::profiler().expect("profiler installed above").take();
+    }
+    let dump = |probe: &str| {
+        if let Some(dir) = profile_dir {
+            dump_probe_profile(dir, probe);
+        }
+    };
+    // Un-timed setup between probes (evaluator builds, cache warming)
+    // records frames too; discard them so each dump holds exactly its
+    // probe's frames.
+    let clear = || {
+        if profile_dir.is_some() {
+            if let Some(profiler) = psdacc_obs::profile::profiler() {
+                let _ = profiler.take();
+            }
+        }
+    };
     let scenario = Scenario::FirCascade { stages: 2, taps: 15, cutoff: 0.2 };
     let sfg = scenario.build().expect("baseline scenario builds");
 
@@ -202,6 +273,7 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
         let evaluator = AccuracyEvaluator::new(&sfg, npsd).expect("preprocess");
         std::hint::black_box(&evaluator);
     });
+    dump("preprocess");
 
     // The same pass through the multirate/DWT path (per-level kernels
     // instead of flat responses) — the decimated structure the paper's
@@ -211,14 +283,17 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
         let evaluator = AccuracyEvaluator::new(&dwt, npsd).expect("multirate preprocess");
         std::hint::black_box(&evaluator);
     });
+    dump("preprocess_multirate");
 
     // tau_eval: one analytical PSD estimate against a built evaluator —
     // the per-query cost the paper's economics amortize toward.
     let evaluator = AccuracyEvaluator::new(&sfg, npsd).expect("preprocess");
     let plan = WordLengthPlan::uniform(12, RoundingMode::Truncate);
+    clear();
     let tau_eval = measure("tau_eval", iters, 1, || {
         std::hint::black_box(evaluator.estimate_psd(&plan).power);
     });
+    dump("tau_eval");
 
     // The same evaluation keeping the per-node attribution ledger — what
     // a budget job pays over a plain estimate (row assembly + the
@@ -226,6 +301,7 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
     let budget = measure("budget", iters, 1, || {
         std::hint::black_box(evaluator.evaluate_budget(&plan).power);
     });
+    dump("budget");
 
     // GraphSpec parse + compile + canonicalize + content-hash: the cost
     // of admitting one declarative scenario definition.
@@ -233,6 +309,7 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
         let g = GraphScenario::from_json(GRAPH_JSON, None).expect("graph compiles");
         std::hint::black_box(g.key());
     });
+    dump("graphspec_compile");
 
     // Store codec round-trip of the preprocessing tables (what every
     // disk hit pays instead of a rebuild).
@@ -242,6 +319,7 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
         let back = Record::decode(&bytes).expect("record decodes");
         std::hint::black_box(&back);
     });
+    dump("store_roundtrip");
 
     // Evaluator-cache lookups: cold (fresh cache, full build) vs warm
     // (the hit path every steady-state job takes).
@@ -249,17 +327,25 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
         let cache = EvaluatorCache::new();
         std::hint::black_box(cache.get_or_build(&scenario, npsd).expect("cold build"));
     });
+    dump("cache_cold");
     let warm_cache = EvaluatorCache::new();
     warm_cache.get_or_build(&scenario, npsd).expect("warm fill");
+    clear();
     let cache_warm = measure("cache_warm", iters, 1, || {
         std::hint::black_box(warm_cache.get_or_build(&scenario, npsd).expect("warm hit"));
     });
+    dump("cache_warm");
 
     // Fleet batches end to end at 1/2/4 daemons — the scaling curve the
     // work-stealing coordinator is supposed to deliver.
     let fleets: Vec<BenchResult> = [1usize, 2, 4]
         .iter()
-        .map(|&n| fleet_probe(&format!("fleet_batch_{n}"), n, iters))
+        .map(|&n| {
+            let name = format!("fleet_batch_{n}");
+            let result = fleet_probe(&name, n, iters);
+            dump(&name);
+            result
+        })
         .collect();
 
     let mut results = vec![
@@ -278,6 +364,10 @@ pub fn run_baseline(npsd: usize, iters: usize) -> BenchReport {
             iters,
             npsd,
             host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            unix_ts: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
         },
         results,
     }
@@ -299,6 +389,7 @@ mod tests {
         assert_eq!(meta.get("iters").unwrap().as_u64(), Some(2));
         assert_eq!(meta.get("npsd").unwrap().as_u64(), Some(64));
         assert!(meta.get("host_threads").unwrap().as_u64().unwrap() >= 1);
+        assert!(meta.get("unix_ts").unwrap().as_u64().unwrap() > 1_700_000_000, "{line}");
         let results = v.get("results").unwrap().as_array().unwrap();
         let names: Vec<&str> =
             results.iter().map(|r| r.get("name").and_then(Json::as_str).unwrap()).collect();
@@ -334,6 +425,12 @@ mod tests {
             let p95 = r.get("p95_ns").unwrap().as_u64().unwrap();
             assert!(p50 > 0 && p50 <= p95, "{line}");
             assert!(r.get("mean_ns").unwrap().as_u64().unwrap() > 0, "{line}");
+            // Exact extremes bracket the interpolated percentiles (the
+            // interpolation can only drift within one bucket).
+            let min = r.get("min_ns").unwrap().as_u64().unwrap();
+            let max = r.get("max_ns").unwrap().as_u64().unwrap();
+            assert!(min > 0 && min <= max, "{line}");
+            assert!(min <= p50 + p50 / 2 && p95 <= 2 * max, "{line}");
             assert!(r.get("throughput_units_per_s").unwrap().as_f64().unwrap() > 0.0, "{line}");
         }
     }
@@ -346,6 +443,9 @@ mod tests {
         assert!(r.p50_ns >= 50_000, "{r:?}");
         assert!(r.p95_ns < 1_000_000_000, "{r:?}");
         assert!(r.mean_ns >= 50_000, "{r:?}");
+        // Exact extremes: every sleep took at least the requested 50 µs,
+        // and min never exceeds max.
+        assert!(r.min_ns >= 50_000 && r.min_ns <= r.max_ns, "{r:?}");
         // Interpolated percentiles are not forced to powers of two.
         assert!(r.p50_ns <= r.p95_ns, "{r:?}");
         // 8 iterations x 3 units in ~8 x 50 µs.

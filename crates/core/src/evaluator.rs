@@ -135,9 +135,13 @@ impl AccuracyEvaluator {
     pub fn estimate_psd(&self, plan: &WordLengthPlan) -> Estimate {
         let sources = plan.noise_sources(&self.sfg);
         let t0 = Instant::now();
-        let est = match &self.preprocessed {
-            Preprocessed::SingleRate(responses) => evaluate_with_responses(responses, &sources),
-            Preprocessed::Multirate(kernels) => evaluate_with_multirate(kernels, &sources),
+        let est = {
+            #[cfg(feature = "obs")]
+            let _frame = psdacc_obs::profile::frame("tau_eval");
+            match &self.preprocessed {
+                Preprocessed::SingleRate(responses) => evaluate_with_responses(responses, &sources),
+                Preprocessed::Multirate(kernels) => evaluate_with_multirate(kernels, &sources),
+            }
         };
         let elapsed = t0.elapsed();
         #[cfg(feature = "obs")]
@@ -160,6 +164,8 @@ impl AccuracyEvaluator {
     /// bit-exactly to the evaluate-path power (see [`crate::budget`]).
     pub fn evaluate_budget(&self, plan: &WordLengthPlan) -> crate::budget::NoiseBudget {
         let sources = plan.noise_sources(&self.sfg);
+        #[cfg(feature = "obs")]
+        let _frame = psdacc_obs::profile::frame("budget_eval");
         let contributions: Vec<crate::NoisePsd> = match &self.preprocessed {
             Preprocessed::SingleRate(responses) => sources
                 .iter()

@@ -28,6 +28,15 @@ const USAGE: &str = "usage:
                                       render `kind:budget` result lines
                                       (stdin by default) as ranked
                                       noise-budget reports
+  psdacc-engine profile --spec FILE [--graph NAME=FILE]... [--threads N]
+                        [--json] [--folded PATH]
+                                      run the batch twice (unprofiled,
+                                      then under the hierarchical
+                                      profiler), assert the results are
+                                      bit-identical, and print the ranked
+                                      hotspot table (or the profile JSON
+                                      line with --json); --folded writes
+                                      flamegraph folded stacks to PATH
 
 Batch spec format (line-oriented; `#` comments):
   scenario <name> [key=value ...]     declare a system (repeatable; integer
@@ -49,6 +58,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("budget-report") => cmd_budget_report(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("scenarios") => {
             println!("{:<14} {:<8} {:<34} description", "name", "provider", "parameters");
             for family in ScenarioRegistry::new().families() {
@@ -258,6 +268,149 @@ fn cmd_budget_report(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Runs the batch twice — once unprofiled, once under a freshly installed
+/// hierarchical profiler (each on its own engine, so preprocessing is not
+/// hidden by a warm cache) — asserts the stable result fields are
+/// bit-identical, and renders the profile. Results stream nowhere: the
+/// profile itself is the stdout payload.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<&str> = None;
+    let mut graphs: Vec<String> = Vec::new();
+    let mut threads_flag: Option<usize> = None;
+    let mut json_out = false;
+    let mut folded: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json_out = true,
+            flag @ ("--spec" | "--graph" | "--threads" | "--folded") => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("missing value for {flag}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                match flag {
+                    "--spec" => spec_path = Some(value),
+                    "--graph" => graphs.push(value.clone()),
+                    "--folded" => folded = Some(value),
+                    _ => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => threads_flag = Some(n),
+                        _ => {
+                            eprintln!("--threads must be a positive integer, got `{value}`");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (allowed: --spec, --graph, --threads, --json, --folded)\n{USAGE}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(spec_path) = spec_path else {
+        eprintln!("profile needs --spec FILE\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = ScenarioRegistry::new();
+    if let Err(e) = registry.define_graph_files(&graphs) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let spec = match BatchSpec::parse_with(&text, &registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = threads_flag.or(spec.threads).unwrap_or_else(default_threads);
+
+    // Pass 1: unprofiled reference (the profiler global is still empty,
+    // so every frame call is one relaxed load).
+    let reference = collect_lines(&spec, threads);
+    // Pass 2: same batch on a fresh engine under the profiler. Install is
+    // first-wins and process-global; `take()` clears anything a prior
+    // installer already recorded.
+    psdacc_obs::profile::install(std::sync::Arc::new(psdacc_obs::Profiler::new()));
+    let profiler = psdacc_obs::profile::profiler().expect("profiler installed above");
+    let _ = profiler.take();
+    let profiled = collect_lines(&spec, threads);
+
+    // The standing observability invariant: profiling is behavior-neutral,
+    // so everything except the run-dependent timing fields is identical.
+    if reference.len() != profiled.len() {
+        eprintln!(
+            "profiled run produced {} results, unprofiled produced {} — profiling changed behavior",
+            profiled.len(),
+            reference.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    for (want, got) in reference.iter().zip(&profiled) {
+        if stable_fields(want) != stable_fields(got) {
+            eprintln!(
+                "profiled result differs from unprofiled — profiling changed behavior\n\
+                 unprofiled: {want}\n  profiled: {got}"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("profiled and unprofiled runs bit-identical across {} result lines", reference.len());
+
+    let snapshot = profiler.take();
+    if snapshot.is_empty() {
+        eprintln!("no frames recorded — was the spec empty?");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = folded {
+        if let Err(e) = std::fs::write(path, snapshot.to_folded()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("folded stacks written to {path}");
+    }
+    if json_out {
+        println!("{}", snapshot.to_json_line());
+    } else {
+        print!("{}", snapshot.to_text());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the batch on a fresh engine and returns the result lines in job
+/// order (no streaming — the profile subcommand owns stdout).
+fn collect_lines(spec: &BatchSpec, threads: usize) -> Vec<String> {
+    let engine = Engine::new(threads);
+    let report = engine.run(spec.jobs());
+    report.results.iter().map(|r| r.to_json_line()).collect()
+}
+
+/// A result line minus its run-dependent fields (timings, cache-hit
+/// flag): what must be bit-identical between profiled and unprofiled
+/// runs.
+fn stable_fields(line: &str) -> Vec<(String, json::Json)> {
+    match json::parse(line) {
+        Ok(json::Json::Obj(fields)) => fields
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(k.as_str(), "tau_pp_seconds" | "tau_eval_seconds" | "cache_hit")
+            })
+            .collect(),
+        _ => vec![("unparseable".to_string(), json::Json::Str(line.to_string()))],
+    }
 }
 
 fn cmd_demo(args: &[String]) -> ExitCode {

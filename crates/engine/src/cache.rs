@@ -174,6 +174,7 @@ impl EvaluatorCache {
     where
         F: FnOnce() -> Result<(Arc<AccuracyEvaluator>, FillSource), EngineError>,
     {
+        let _frame = psdacc_obs::profile::frame("cache.lookup");
         let scenario_key = scenario.key();
         let key = (scenario_key.clone(), npsd);
         let slot: Slot = {
@@ -193,17 +194,20 @@ impl EvaluatorCache {
                 counters.1 += 1;
             }
         }
-        let result = slot.get_or_init(|| match fill() {
-            Ok((evaluator, FillSource::Built)) => {
-                self.builds.fetch_add(1, Ordering::Relaxed);
-                Ok(evaluator)
-            }
-            Ok((evaluator, FillSource::Loaded)) => Ok(evaluator),
-            Err(e) => {
-                // A failed attempt still executed (and is cached), so it
-                // counts — matching the pre-persistence accounting.
-                self.builds.fetch_add(1, Ordering::Relaxed);
-                Err(e)
+        let result = slot.get_or_init(|| {
+            let _frame = psdacc_obs::profile::frame("cache.fill");
+            match fill() {
+                Ok((evaluator, FillSource::Built)) => {
+                    self.builds.fetch_add(1, Ordering::Relaxed);
+                    Ok(evaluator)
+                }
+                Ok((evaluator, FillSource::Loaded)) => Ok(evaluator),
+                Err(e) => {
+                    // A failed attempt still executed (and is cached), so it
+                    // counts — matching the pre-persistence accounting.
+                    self.builds.fetch_add(1, Ordering::Relaxed);
+                    Err(e)
+                }
             }
         });
         result.clone().map(|evaluator| (evaluator, hit))

@@ -297,6 +297,7 @@ impl GraphScenario {
     ///
     /// [`crate::EngineError::GraphSpec`] with the typed defect.
     pub fn new(spec: GraphSpec, name: Option<String>) -> Result<Self, crate::EngineError> {
+        let _frame = psdacc_obs::profile::frame("graphspec.compile");
         spec.compile()?;
         let canonical = canonical_json(&spec);
         let hash = content_hash(&canonical);

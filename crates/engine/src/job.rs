@@ -279,6 +279,7 @@ pub fn run_job_traced(
     spec: &JobSpec,
     trace: Option<&UnitTrace<'_>>,
 ) -> JobResult {
+    let _frame = psdacc_obs::profile::frame_with(|| format!("job[{}]", spec.kind.label()));
     let mut out = JobResult::empty(job_index, spec);
     let lookup = trace.and_then(|t| t.tracer.start("unit.cache_lookup", t.parent, t.unit));
     let (evaluator, hit) = match cache.get_or_build_traced(&spec.scenario, spec.npsd) {

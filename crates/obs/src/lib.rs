@@ -12,6 +12,10 @@
 //! * [`stage`] — a process-global sink for feature-gated stage timers in
 //!   the numeric hot paths (`freq::preprocess`, `tau_pp`), costing one
 //!   atomic load when not installed.
+//! * [`profile`] — a hierarchical self-profiler over the same
+//!   first-install-wins contract: scoped frames on a thread-local stack
+//!   aggregate into a call tree keyed by frame path, rendered as a
+//!   ranked hotspot table or folded stacks for flamegraph tooling.
 //! * [`analyze`] — trace analytics over a merged fleet trace: critical
 //!   path, per-stage totals, per-daemon utilization, and greedy-refinement
 //!   trajectories, rendered as a JSON line or a human breakdown.
@@ -31,12 +35,14 @@
 pub mod analyze;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod stage;
 pub mod trace;
 
 pub use analyze::{CriticalHop, DaemonUtilization, StageTotal, TraceAnalysis};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, NUM_BUCKETS};
+pub use profile::{FrameGuard, ProfileFrame, ProfileSnapshot, Profiler};
 pub use report::{BudgetReport, BudgetReportRow};
 pub use trace::{
     EventKind, OpenSpan, Severity, SpanId, TraceEvent, TraceStore, TraceStoreStats, Tracer,

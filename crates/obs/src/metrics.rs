@@ -87,6 +87,11 @@ pub struct Histogram {
     buckets: [AtomicU64; NUM_BUCKETS],
     count: AtomicU64,
     total_ns: AtomicU64,
+    // Exact extremes: bucket upper bounds overstate the tails by up to 2x
+    // at low counts, so the true min/max are tracked in their own cells
+    // (`u64::MAX`/`0` sentinels while empty, normalized on snapshot).
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -95,6 +100,8 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
         }
     }
 }
@@ -109,6 +116,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observed durations, in nanoseconds (saturating).
     pub total_ns: u64,
+    /// Exact smallest observation in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Exact largest observation in nanoseconds (0 when empty).
+    pub max_ns: u64,
 }
 
 /// Maps a nanosecond value to its bucket index.
@@ -128,6 +139,8 @@ impl Histogram {
         self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
     /// Observation count.
@@ -141,10 +154,15 @@ impl Histogram {
         for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
             *dst = src.load(Ordering::Relaxed);
         }
+        // Normalize the empty-histogram sentinel (and the transient
+        // between a writer's bucket update and its min update) to 0.
+        let min_raw = self.min_ns.load(Ordering::Relaxed);
         HistogramSnapshot {
             buckets,
             count: self.count.load(Ordering::Relaxed),
             total_ns: self.total_ns.load(Ordering::Relaxed),
+            min_ns: if min_raw == u64::MAX { 0 } else { min_raw },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -198,15 +216,18 @@ impl HistogramSnapshot {
         Some(upper_bound_ns(NUM_BUCKETS - 1) as f64)
     }
 
-    /// Renders the histogram body fields (`count`, `total_ns`, `p50_ns`,
-    /// `p95_ns`, `p99_ns`, `buckets`) into an existing writer. The
-    /// derived percentiles use [`HistogramSnapshot::quantile_interp_ns`]
-    /// (sub-bucket resolution); the raw bucket array is always present,
-    /// so consumers needing the conservative bucket-upper-bound values
-    /// can recompute them.
+    /// Renders the histogram body fields (`count`, `total_ns`, `min_ns`,
+    /// `max_ns`, `p50_ns`, `p95_ns`, `p99_ns`, `buckets`) into an
+    /// existing writer. `min_ns`/`max_ns` are the exact observed
+    /// extremes; the derived percentiles use
+    /// [`HistogramSnapshot::quantile_interp_ns`] (sub-bucket resolution);
+    /// the raw bucket array is always present, so consumers needing the
+    /// conservative bucket-upper-bound values can recompute them.
     pub fn write_fields(&self, w: &mut JsonWriter) {
         w.field_u64("count", self.count);
         w.field_u64("total_ns", self.total_ns);
+        w.field_u64("min_ns", self.min_ns);
+        w.field_u64("max_ns", self.max_ns);
         w.field_f64("p50_ns", self.quantile_interp_ns(0.50).unwrap_or(0.0));
         w.field_f64("p95_ns", self.quantile_interp_ns(0.95).unwrap_or(0.0));
         w.field_f64("p99_ns", self.quantile_interp_ns(0.99).unwrap_or(0.0));
@@ -305,7 +326,8 @@ impl MetricsRegistry {
     /// The canonical JSON exposition: one object, keys sorted (the
     /// registry map is a `BTreeMap`, so iteration order is the schema).
     /// Counters and gauges render as numbers; histograms as objects with
-    /// `count`/`total_ns`/`p50_ns`/`p95_ns`/`p99_ns`/`buckets`.
+    /// `count`/`total_ns`/`min_ns`/`max_ns`/`p50_ns`/`p95_ns`/`p99_ns`/
+    /// `buckets`.
     pub fn to_json_line(&self) -> String {
         let map = self.metrics.lock().expect("metrics lock");
         let mut w = JsonWriter::new();
@@ -446,6 +468,9 @@ mod tests {
         assert_eq!(s.buckets[1], 1);
         assert_eq!(s.buckets[9], 1);
         assert_eq!(s.buckets[NUM_BUCKETS - 1], 1);
+        // Exact extremes, not bucket bounds.
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.max_ns, 200_000_000_000_000);
     }
 
     #[test]
@@ -460,17 +485,22 @@ mod tests {
         assert_eq!(s.quantile_ns(0.95), Some(128));
         assert_eq!(s.quantile_ns(0.99), Some(128), "rank 99 of 100 still in bucket 6");
         assert_eq!(s.quantile_ns(1.0), Some(1 << 21), "max = upper bound of bucket 20");
-        assert_eq!(
-            HistogramSnapshot { buckets: [0; NUM_BUCKETS], count: 0, total_ns: 0 }.quantile_ns(0.5),
-            None
-        );
+        let empty = HistogramSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        };
+        assert_eq!(empty.quantile_ns(0.5), None);
     }
 
     #[test]
     fn quantile_edge_cases_are_total() {
-        let empty = HistogramSnapshot { buckets: [0; NUM_BUCKETS], count: 0, total_ns: 0 };
+        let empty = Histogram::default().snapshot();
         assert_eq!(empty.quantile_ns(0.5), None);
         assert_eq!(empty.quantile_interp_ns(0.5), None);
+        assert_eq!((empty.min_ns, empty.max_ns), (0, 0), "empty extremes normalize to 0");
 
         // A single sample: every quantile names its bucket, q=0 and q=1
         // clamp to rank 1 instead of panicking or returning nonsense.
@@ -523,6 +553,8 @@ mod tests {
         assert_eq!(v.get("b_total").unwrap().as_u64(), Some(3));
         let h = v.get("c_ns").unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("min_ns").unwrap().as_u64(), Some(40_000));
+        assert_eq!(h.get("max_ns").unwrap().as_u64(), Some(40_000));
         assert_eq!(h.get("buckets").unwrap().as_array().unwrap().len(), NUM_BUCKETS);
         // 40 µs = 40000 ns -> bucket 15 ([32768, 65536)); one occupant
         // interpolates to the bucket midpoint.

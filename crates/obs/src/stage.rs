@@ -19,8 +19,13 @@ use crate::metrics::MetricsRegistry;
 static SINK: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 
-/// Installs the process-global stage-metrics sink. First install wins;
-/// later calls return `false` and leave the original in place.
+/// Installs the process-global stage-metrics sink. **First install
+/// wins**: when several threads race, exactly one call returns `true`
+/// and every subsequent record from any thread lands in that winner's
+/// registry; later calls return `false` and leave the original in place
+/// for the process lifetime (there is no uninstall). Asserted under real
+/// concurrency by the `install_race` integration test; the same contract
+/// holds for [`crate::profile::install`].
 pub fn install(registry: Arc<MetricsRegistry>) -> bool {
     let won = SINK.set(registry).is_ok();
     if won {

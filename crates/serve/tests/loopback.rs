@@ -295,6 +295,11 @@ fn stats_reply_carries_latency_histograms() {
         let buckets = entry.get("buckets").unwrap().as_array().unwrap();
         assert_eq!(buckets.len(), psdacc_obs::NUM_BUCKETS);
         assert!(entry.get("p95_ns").unwrap().as_f64().is_some(), "{stats}");
+        // Exact extremes ride along with the bucketed percentiles and
+        // bracket each other for a used verb.
+        let min = entry.get("min_ns").unwrap().as_u64().unwrap();
+        let max = entry.get("max_ns").unwrap().as_u64().unwrap();
+        assert!(min > 0 && min <= max, "verb {verb} extremes: {stats}");
         let total: u64 = buckets.iter().map(|b| b.as_u64().unwrap()).sum();
         assert_eq!(total, entry.get("count").unwrap().as_u64().unwrap(), "{stats}");
     }

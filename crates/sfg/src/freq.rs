@@ -170,6 +170,8 @@ impl Preprocessed {
 pub fn preprocess(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<Preprocessed, SfgError> {
     #[cfg(feature = "obs")]
     let timer = psdacc_obs::stage::timer();
+    #[cfg(feature = "obs")]
+    let _frame = psdacc_obs::profile::frame("preprocess");
     let result = if crate::multirate::is_multirate(sfg) {
         crate::multirate::multirate_responses(sfg, output, npsd).map(Preprocessed::Multirate)
     } else {
@@ -179,6 +181,11 @@ pub fn preprocess(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<Preprocessed
     psdacc_obs::stage::record("sfg_preprocess_ns", timer);
     result
 }
+
+/// How many `bins[a..b]` profile frames the per-bin solve loop splits
+/// into (the chunking itself is unconditional so profiled and unprofiled
+/// runs execute identically).
+const SOLVE_PROFILE_CHUNKS: usize = 16;
 
 /// Computes [`NodeResponses`] from every node to `output` on an `npsd`-point
 /// grid.
@@ -206,44 +213,68 @@ pub fn node_responses(sfg: &Sfg, output: NodeId, npsd: usize) -> Result<NodeResp
         });
     }
     crate::topo::check_realizable(sfg)?;
+    #[cfg(feature = "obs")]
+    let _sr_frame = psdacc_obs::profile::frame("single_rate");
     let n = sfg.len();
     // Precompute block responses on the grid (the paper's tau_pp stage).
     #[cfg(feature = "obs")]
     let block_timer = psdacc_obs::stage::timer();
-    let block_resp: Vec<Vec<Complex>> =
-        sfg.nodes().iter().map(|node| node.block.frequency_response(npsd)).collect();
+    let block_resp: Vec<Vec<Complex>> = {
+        #[cfg(feature = "obs")]
+        let _frame = psdacc_obs::profile::frame("block_response");
+        sfg.nodes()
+            .iter()
+            .enumerate()
+            .map(|(_i, node)| {
+                #[cfg(feature = "obs")]
+                let _frame = psdacc_obs::profile::frame_with(|| format!("node[{_i}]"));
+                node.block.frequency_response(npsd)
+            })
+            .collect()
+    };
     #[cfg(feature = "obs")]
     psdacc_obs::stage::record("sfg_freq_block_response_ns", block_timer);
     #[cfg(feature = "obs")]
     let solve_timer = psdacc_obs::stage::timer();
+    #[cfg(feature = "obs")]
+    let _solve_frame = psdacc_obs::profile::frame("solve");
     let mut responses = vec![vec![Complex::ZERO; npsd]; n];
     // Reusable buffers.
     let mut m = vec![Complex::ZERO; n * n];
     let mut rhs = vec![Complex::ZERO; n];
-    for k in 0..npsd {
-        // Build M^T = (I - D A)^T: M[i][j] = delta_ij - T_i * A[i][j];
-        // transposed entry (j, i).
-        for v in m.iter_mut() {
-            *v = Complex::ZERO;
-        }
-        for i in 0..n {
-            m[i * n + i] = Complex::ONE;
-        }
-        for (i, node) in sfg.iter() {
-            let t = block_resp[i.0][k];
-            for &p in &node.inputs {
-                // M[i][p] -= T_i  =>  transposed: m[p][i] -= T_i.
-                m[p.0 * n + i.0] -= t;
+    // Bins are solved in chunks so the profiler can attribute solve time
+    // to bin ranges; the iteration order is identical with or without a
+    // profiler installed.
+    let chunk = npsd.div_ceil(SOLVE_PROFILE_CHUNKS).max(1);
+    for k0 in (0..npsd).step_by(chunk) {
+        let k1 = (k0 + chunk).min(npsd);
+        #[cfg(feature = "obs")]
+        let _chunk_frame = psdacc_obs::profile::frame_with(|| format!("bins[{k0}..{k1}]"));
+        for k in k0..k1 {
+            // Build M^T = (I - D A)^T: M[i][j] = delta_ij - T_i * A[i][j];
+            // transposed entry (j, i).
+            for v in m.iter_mut() {
+                *v = Complex::ZERO;
             }
-        }
-        for v in rhs.iter_mut() {
-            *v = Complex::ZERO;
-        }
-        rhs[output.0] = Complex::ONE;
-        solve_in_place(&mut m, &mut rhs, n)
-            .map_err(|_| SfgError::DelayFreeCycle { nodes: vec![output] })?;
-        for s in 0..n {
-            responses[s][k] = rhs[s];
+            for i in 0..n {
+                m[i * n + i] = Complex::ONE;
+            }
+            for (i, node) in sfg.iter() {
+                let t = block_resp[i.0][k];
+                for &p in &node.inputs {
+                    // M[i][p] -= T_i  =>  transposed: m[p][i] -= T_i.
+                    m[p.0 * n + i.0] -= t;
+                }
+            }
+            for v in rhs.iter_mut() {
+                *v = Complex::ZERO;
+            }
+            rhs[output.0] = Complex::ONE;
+            solve_in_place(&mut m, &mut rhs, n)
+                .map_err(|_| SfgError::DelayFreeCycle { nodes: vec![output] })?;
+            for s in 0..n {
+                responses[s][k] = rhs[s];
+            }
         }
     }
     #[cfg(feature = "obs")]

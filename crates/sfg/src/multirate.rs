@@ -337,6 +337,8 @@ pub fn multirate_responses(
             detail: format!("IIR block at node {id:?}; lower it to FIR/delay form first"),
         });
     }
+    #[cfg(feature = "obs")]
+    let _mr_frame = psdacc_obs::profile::frame("multirate");
     let rates = node_rates(sfg)?;
     let grids: Vec<usize> = rates
         .iter()
@@ -350,31 +352,57 @@ pub fn multirate_responses(
         .collect::<Result<_, _>>()?;
     // tau_pp proper: every LTI block's |H|^2 sampled once on its own rate
     // region's grid.
-    let mag2: Vec<Option<Vec<f64>>> = sfg
-        .iter()
-        .map(|(id, node)| match node.block {
-            Block::Fir(_) | Block::Gain(_) => Some(
-                node.block.frequency_response(grids[id.0]).iter().map(|v| v.norm_sqr()).collect(),
-            ),
-            _ => None,
-        })
-        .collect();
+    let mag2: Vec<Option<Vec<f64>>> = {
+        #[cfg(feature = "obs")]
+        let _frame = psdacc_obs::profile::frame("block_response");
+        sfg.iter()
+            .map(|(id, node)| match node.block {
+                Block::Fir(_) | Block::Gain(_) => {
+                    #[cfg(feature = "obs")]
+                    let _region =
+                        psdacc_obs::profile::frame_with(|| format!("region[{}]", rates[id.0]));
+                    #[cfg(feature = "obs")]
+                    let _node = psdacc_obs::profile::frame_with(|| format!("node[{}]", id.0));
+                    Some(
+                        node.block
+                            .frequency_response(grids[id.0])
+                            .iter()
+                            .map(|v| v.norm_sqr())
+                            .collect(),
+                    )
+                }
+                _ => None,
+            })
+            .collect()
+    };
     let order = full_topological_order(sfg)?;
     let npsd_out = grids[output.0];
-    let kernels = (0..sfg.len())
-        .map(|s| {
-            let source = NodeId(s);
-            let white = NoiseState { bins: vec![1.0 / grids[s] as f64; grids[s]], mean: 0.0 };
-            let var_out = propagate(sfg, &order, &grids, &mag2, source, output, white);
-            let dc_in = NoiseState { bins: vec![0.0; grids[s]], mean: 1.0 };
-            let mean_out = propagate(sfg, &order, &grids, &mag2, source, output, dc_in);
-            SourceKernel {
-                variance: var_out.as_ref().map_or_else(|| vec![0.0; npsd_out], |o| o.bins.clone()),
-                mean_sq: mean_out.as_ref().map_or_else(|| vec![0.0; npsd_out], |o| o.bins.clone()),
-                dc: mean_out.map_or(0.0, |o| o.mean),
-            }
-        })
-        .collect();
+    let kernels = {
+        #[cfg(feature = "obs")]
+        let _frame = psdacc_obs::profile::frame("kernels");
+        (0..sfg.len())
+            .map(|s| {
+                #[cfg(feature = "obs")]
+                let _region = psdacc_obs::profile::frame_with(|| format!("region[{}]", rates[s]));
+                #[cfg(feature = "obs")]
+                let _source = psdacc_obs::profile::frame_with(|| format!("source[{s}]"));
+                let source = NodeId(s);
+                let white = NoiseState { bins: vec![1.0 / grids[s] as f64; grids[s]], mean: 0.0 };
+                let var_out = propagate(sfg, &order, &grids, &mag2, source, output, white);
+                let dc_in = NoiseState { bins: vec![0.0; grids[s]], mean: 1.0 };
+                let mean_out = propagate(sfg, &order, &grids, &mag2, source, output, dc_in);
+                SourceKernel {
+                    variance: var_out
+                        .as_ref()
+                        .map_or_else(|| vec![0.0; npsd_out], |o| o.bins.clone()),
+                    mean_sq: mean_out
+                        .as_ref()
+                        .map_or_else(|| vec![0.0; npsd_out], |o| o.bins.clone()),
+                    dc: mean_out.map_or(0.0, |o| o.mean),
+                }
+            })
+            .collect()
+    };
     Ok(MultirateResponses { kernels, npsd, npsd_out })
 }
 

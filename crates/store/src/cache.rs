@@ -100,10 +100,15 @@ impl PreprocessCache for PersistentCache {
         npsd: usize,
     ) -> Result<(Arc<AccuracyEvaluator>, bool), EngineError> {
         self.memory.get_or_fill_traced(scenario, npsd, || {
-            if let Some(evaluator) = self.try_load(scenario, npsd) {
+            let loaded = {
+                let _frame = psdacc_obs::profile::frame("cache.disk_load");
+                self.try_load(scenario, npsd)
+            };
+            if let Some(evaluator) = loaded {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((evaluator, FillSource::Loaded));
             }
+            let _frame = psdacc_obs::profile::frame("cache.build");
             let sfg = scenario.build()?;
             let evaluator = Arc::new(AccuracyEvaluator::new(&sfg, npsd)?);
             let record = Record::from_preprocessed(

@@ -144,6 +144,7 @@ impl Record {
     /// so persisting it would produce a checksum-valid file that can never
     /// convert back.
     pub fn encode(&self) -> Result<Vec<u8>, StoreError> {
+        let _frame = psdacc_obs::profile::frame("store.encode");
         let key = self.scenario_key.as_bytes();
         if key.len() > MAX_KEY_LEN {
             return Err(StoreError::Codec(format!(
@@ -186,6 +187,7 @@ impl Record {
     /// [`StoreError::Codec`] describing exactly which guard tripped
     /// (truncation, bad magic, checksum mismatch, inconsistent dimensions).
     pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let _frame = psdacc_obs::profile::frame("store.decode");
         // Smallest possible record: empty key, zero nodes.
         let min = 8 + 4 + 4 + 4 + 4 + 4 + 8 + 8;
         if bytes.len() < min {
