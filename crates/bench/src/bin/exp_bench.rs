@@ -98,10 +98,20 @@ fn main() {
             eprintln!("[bench] cannot read baseline {}: {e}", path.display());
             exit(2);
         });
-        psdacc_bench::parse_latest(&text).unwrap_or_else(|e| {
+        let (version, report, skipped) = psdacc_bench::parse_latest(&text).unwrap_or_else(|e| {
             eprintln!("[bench] baseline {}: {e}", path.display());
             exit(2);
-        })
+        });
+        // A run killed mid-append leaves a truncated ledger tail; name
+        // the damage and judge against the last intact entry instead of
+        // failing the compare.
+        for warn in &skipped {
+            eprintln!(
+                "[bench] baseline {}: {warn} — skipping corrupt ledger entry",
+                path.display()
+            );
+        }
+        (version, report)
     });
 
     eprintln!("[bench] suite: {iters} iters, npsd={npsd}");

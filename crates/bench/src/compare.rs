@@ -108,21 +108,38 @@ pub fn parse_report(text: &str) -> Result<(u64, BenchReport), String> {
 }
 
 /// Parses the **latest** bench report in `text`: the last non-empty
-/// line. A single-line `BENCH_psd.json` baseline and a multi-line
-/// `BENCH_history.jsonl` ledger (one appended report per run, newest
-/// last) both resolve to the entry `--compare` should diff against.
+/// line that parses. A single-line `BENCH_psd.json` baseline and a
+/// multi-line `BENCH_history.jsonl` ledger (one appended report per
+/// run, newest last) both resolve to the entry `--compare` should diff
+/// against.
+///
+/// A ledger's last line can be corrupt — a run killed mid-append leaves
+/// a truncated tail. Rather than fail the compare, such lines are
+/// skipped backward until one parses; each skip is reported in the
+/// returned warning list as `line N: <error>` (1-based) so the caller
+/// can name the damage without losing its baseline.
 ///
 /// # Errors
 ///
-/// Whatever [`parse_report`] reports for that line, or a message when
-/// the text holds no non-empty line.
-pub fn parse_latest(text: &str) -> Result<(u64, BenchReport), String> {
-    let line = text
-        .lines()
-        .rev()
-        .find(|l| !l.trim().is_empty())
-        .ok_or("baseline file is empty — nothing to compare against")?;
-    parse_report(line)
+/// A message when the text holds no non-empty line, or — when every
+/// line is corrupt — one naming each rejected line.
+pub fn parse_latest(text: &str) -> Result<(u64, BenchReport, Vec<String>), String> {
+    let mut skipped = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    for (idx, line) in lines.iter().enumerate().rev() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_report(line) {
+            Ok((version, report)) => return Ok((version, report, skipped)),
+            Err(e) => skipped.push(format!("line {}: {e}", idx + 1)),
+        }
+    }
+    if skipped.is_empty() {
+        Err("baseline file is empty — nothing to compare against".to_string())
+    } else {
+        Err(format!("no parseable bench report in baseline ({})", skipped.join("; ")))
+    }
 }
 
 fn field_u64(v: &Json, dotted: &str) -> Option<u64> {
@@ -320,13 +337,41 @@ mod tests {
         // A history ledger: one report per line, newest appended last,
         // with a trailing newline as OpenOptions::append produces.
         let ledger = format!("{}\n{}\n", older.to_json_line(), newer.to_json_line());
-        let (version, parsed) = parse_latest(&ledger).unwrap();
+        let (version, parsed, skipped) = parse_latest(&ledger).unwrap();
         assert_eq!(version, SCHEMA_VERSION);
         assert_eq!(parsed, newer, "latest entry wins, not the first");
+        assert!(skipped.is_empty());
         // A single-line BENCH_psd.json baseline still parses.
-        let (_, single) = parse_latest(&older.to_json_line()).unwrap();
+        let (_, single, _) = parse_latest(&older.to_json_line()).unwrap();
         assert_eq!(single, older);
         assert!(parse_latest("\n\n").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn corrupt_trailing_ledger_lines_are_skipped_with_line_numbers() {
+        let good = report(vec![probe("preprocess", 1000, 500.0)]);
+        // A run killed mid-append truncates its line; the previous entry
+        // must still serve as the baseline, with the damage named.
+        let full = good.to_json_line();
+        let truncated = &full[..full.len() / 2];
+        let ledger = format!("{full}\n{truncated}\n");
+        let (version, parsed, skipped) = parse_latest(&ledger).unwrap();
+        assert_eq!(version, SCHEMA_VERSION);
+        assert_eq!(parsed, good, "falls back to the last parseable entry");
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].starts_with("line 2:"), "{}", skipped[0]);
+
+        // Wrong-kind lines skip the same way as truncated ones.
+        let ledger = format!("{full}\n{{\"kind\":\"stats\"}}\nnot json at all\n");
+        let (_, parsed, skipped) = parse_latest(&ledger).unwrap();
+        assert_eq!(parsed, good);
+        assert_eq!(skipped.len(), 2, "{skipped:?}");
+        assert!(skipped[0].starts_with("line 3:"), "newest rejected first: {skipped:?}");
+        assert!(skipped[1].starts_with("line 2:"), "{skipped:?}");
+
+        // All-corrupt ledgers still fail, naming every line.
+        let err = parse_latest("junk\nmore junk\n").unwrap_err();
+        assert!(err.contains("line 1") && err.contains("line 2"), "{err}");
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! (`tau_pp` preprocessing and `tau_eval` analytical estimation, both
 //! single-rate and multirate/DWT), the budget-attribution variant of
 //! the estimate, GraphSpec compile+hash, the store codec round-trip,
-//! warm-vs-cold evaluator-cache lookups, and a work-stealing fleet
-//! batch at 1/2/4 in-process loopback daemons — and writes one
-//! versioned JSON line:
+//! warm-vs-cold evaluator-cache lookups, Welch estimation of a recorded
+//! trace plus a bit-true sigma-delta modulation pass (the measured-signal
+//! subsystem's hot paths), and a work-stealing fleet batch at 1/2/4
+//! in-process loopback daemons — and writes one versioned JSON line:
 //!
 //! ```json
 //! {"kind":"bench","version":3,
@@ -336,6 +337,36 @@ pub fn run_baseline_profiled(
     });
     dump("cache_warm");
 
+    // Welch estimation of a recorded trace — the admission cost every
+    // measured-signal source pays before it becomes a PSD-domain kernel.
+    let mut gen = psdacc_dsp::SignalGenerator::new(0xBE9C);
+    let trace = gen.ar1(16_384, 0.9, 0.05);
+    let welch_cfg = psdacc_estim::WelchConfig {
+        nfft: 1024,
+        overlap: 0.5,
+        window: psdacc_estim::WelchWindow::Hann,
+    };
+    clear();
+    let welch_estimate = measure("welch_estimate", iters, 1, || {
+        let est = psdacc_estim::welch_psd(&trace, &welch_cfg).expect("welch estimates");
+        std::hint::black_box(est.mean);
+    });
+    dump("welch_estimate");
+
+    // Bit-true second-order sigma-delta loop plus the Welch estimate of
+    // its STF-aligned modulation error — the per-scenario cost of the
+    // figure-of-merit pipeline.
+    let tone: Vec<f64> = (0..16_384)
+        .map(|n| 0.5 * (std::f64::consts::TAU * 16.0 * n as f64 / 1024.0).sin())
+        .collect();
+    let sigma_delta = measure("sigma_delta", iters, 1, || {
+        let y = psdacc_estim::modulate(2, &tone).expect("loop is stable");
+        let err: Vec<f64> = y[2..].iter().zip(&tone).map(|(y, x)| y - x).collect();
+        let est = psdacc_estim::welch_psd(&err, &welch_cfg).expect("welch estimates");
+        std::hint::black_box(est.mean);
+    });
+    dump("sigma_delta");
+
     // Fleet batches end to end at 1/2/4 daemons — the scaling curve the
     // work-stealing coordinator is supposed to deliver.
     let fleets: Vec<BenchResult> = [1usize, 2, 4]
@@ -357,6 +388,8 @@ pub fn run_baseline_profiled(
         store_roundtrip,
         cache_cold,
         cache_warm,
+        welch_estimate,
+        sigma_delta,
     ];
     results.extend(fleets);
     BenchReport {
@@ -404,6 +437,8 @@ mod tests {
                 "store_roundtrip",
                 "cache_cold",
                 "cache_warm",
+                "welch_estimate",
+                "sigma_delta",
                 "fleet_batch_1",
                 "fleet_batch_2",
                 "fleet_batch_4",

@@ -37,8 +37,11 @@ impl AgnosticEstimate {
 ///
 /// # Errors
 ///
-/// [`SfgError::DelayFreeCycle`] if the block-level graph is cyclic, plus
-/// [`SfgError::UnknownNode`] for a bad output id.
+/// [`SfgError::DelayFreeCycle`] if the block-level graph is cyclic,
+/// [`SfgError::Measured`] on graphs with measured sources (a colored
+/// estimated spectrum has no `(mean, variance)` summary that survives
+/// moment propagation), plus [`SfgError::UnknownNode`] for a bad output
+/// id.
 pub fn evaluate_agnostic(
     sfg: &Sfg,
     output: NodeId,
@@ -46,6 +49,11 @@ pub fn evaluate_agnostic(
 ) -> Result<AgnosticEstimate, SfgError> {
     if output.0 >= sfg.len() {
         return Err(SfgError::UnknownNode { node: output });
+    }
+    if sfg.has_measured() {
+        return Err(SfgError::Measured {
+            detail: "moment propagation cannot represent a colored estimated spectrum".to_string(),
+        });
     }
     let order = full_topological_order(sfg)?;
     // Per-node accumulated (mean, variance).

@@ -6,7 +6,8 @@
 //! its source-to-output kernel, `sigma^2 * A_i` for the spectral part
 //! plus the mean riding the DC path) — the total usually reported throws
 //! that decomposition away. A [`NoiseBudget`] keeps it: one row per
-//! noise source (role `auto`) plus one zero row per exact-exempted node
+//! noise source (role `auto`), one per measured source's estimated
+//! spectrum (role `measured`), plus one zero row per exact-exempted node
 //! (role `exact`), with the defining **ledger invariant** that the row
 //! contributions, folded left-to-right in row order with plain `f64`
 //! addition, reproduce the evaluate-path power *bit-exactly*:
@@ -39,6 +40,9 @@ use crate::wordlength::{NoiseSource, WordLengthPlan};
 pub enum BudgetRole {
     /// The node carries a quantizer under the plan and injects noise.
     Auto,
+    /// The node is a measured source: it injects its estimated spectrum —
+    /// a word-length-independent floor — rather than quantization noise.
+    Measured,
     /// The node is exempted (`role: "exact"` in a `GraphSpec`): it would
     /// carry a quantizer but was declared exact, so it contributes
     /// exactly zero.
@@ -46,10 +50,12 @@ pub enum BudgetRole {
 }
 
 impl BudgetRole {
-    /// Canonical lowercase name (`auto` / `exact`) for reports.
+    /// Canonical lowercase name (`auto` / `measured` / `exact`) for
+    /// reports.
     pub fn as_str(&self) -> &'static str {
         match self {
             BudgetRole::Auto => "auto",
+            BudgetRole::Measured => "measured",
             BudgetRole::Exact => "exact",
         }
     }
@@ -64,7 +70,8 @@ pub struct BudgetRow {
     pub block: &'static str,
     /// Whether the node injects noise or is exact-exempted.
     pub role: BudgetRole,
-    /// Fractional bits of the node's quantizer (`None` for exact rows).
+    /// Fractional bits of the node's quantizer (`None` for measured and
+    /// exact rows — neither carries a quantizer).
     pub frac_bits: Option<i32>,
     /// Output-referred spectral mass of this source: `sum_k bins_i[k]`
     /// (`sigma_i^2 * A_i`; on the multirate path the kernel already folds
@@ -75,9 +82,10 @@ pub struct BudgetRow {
     /// to `M^2`, attributing the squared mean across the sources that
     /// built it. Negative when this source's mean opposes the total.
     pub mean_term: f64,
-    /// The ledger entry: `variance_term + mean_term`, with the final auto
-    /// row additionally absorbing the floating-point fold residue so the
-    /// column sums bit-exactly to [`NoiseBudget::power`].
+    /// The ledger entry: `variance_term + mean_term`, with the final body
+    /// row (auto or measured) additionally absorbing the floating-point
+    /// fold residue so the column sums bit-exactly to
+    /// [`NoiseBudget::power`].
     pub contribution: f64,
     /// `contribution / power` (`0.0` when the power is zero).
     pub share: f64,
@@ -97,8 +105,10 @@ pub struct NoiseBudget {
     pub mean: f64,
     /// Total output noise variance — bit-identical to `estimate_psd`.
     pub variance: f64,
-    /// Attribution rows: one per noise source in evaluation order,
-    /// followed by one zero row per exact-exempted node.
+    /// Attribution rows: one per noise source in evaluation order, then
+    /// one per measured source in node order (the same fold order
+    /// `estimate_psd` uses), followed by one zero row per exact-exempted
+    /// node.
     pub rows: Vec<BudgetRow>,
 }
 
@@ -133,13 +143,15 @@ pub(crate) fn assemble(
     plan: &WordLengthPlan,
     sources: &[NoiseSource],
     contributions: &[NoisePsd],
+    measured: &[(NodeId, NoisePsd)],
 ) -> NoiseBudget {
     debug_assert_eq!(sources.len(), contributions.len());
-    let mut total = match contributions.first() {
+    let all = || contributions.iter().chain(measured.iter().map(|(_, c)| c));
+    let mut total = match all().next() {
         Some(c) => NoisePsd::zero(c.npsd()),
         None => NoisePsd::zero(1),
     };
-    for c in contributions {
+    for c in all() {
         total.add_assign(c);
     }
     let power = total.power();
@@ -164,8 +176,25 @@ pub(crate) fn assemble(
             }
         })
         .collect();
+    // Measured-source rows join the ledger body after the quantization
+    // sources — the same position their contributions occupy in the
+    // evaluate-path fold above.
+    for (node, c) in measured {
+        let variance_term = c.variance();
+        let mean_term = c.mean() * mean;
+        rows.push(BudgetRow {
+            node: *node,
+            block: sfg.node(*node).block.kind(),
+            role: BudgetRole::Measured,
+            frac_bits: None,
+            variance_term,
+            mean_term,
+            contribution: variance_term + mean_term,
+            share: 0.0,
+        });
+    }
 
-    // Absorb the floating-point fold residue into the last auto row: the
+    // Absorb the floating-point fold residue into the last body row: the
     // ideal contributions sum to the power in real arithmetic, so the
     // correction is ~1 ULP of the total. A prefix can align every exact
     // sum `prefix + r` on a round-to-even midpoint, making an
@@ -345,6 +374,58 @@ mod tests {
         assert_eq!(budget.power, eval.estimate_psd(&plan).power);
         assert!(budget.rows.iter().all(|r| r.role == BudgetRole::Exact));
         assert_eq!(budget.ledger_sum(), 0.0);
+    }
+
+    #[test]
+    fn measured_rows_join_the_ledger_bit_exactly() {
+        use psdacc_sfg::MeasuredSource;
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let bins: Vec<f64> = (0..96).map(|k| 1e-7 * (k % 7 + 1) as f64).collect();
+        let m = g.add_block(Block::Measured(MeasuredSource::new(bins, 2e-4)), &[]).unwrap();
+        let sum = g.add_block(Block::Add, &[x, m]).unwrap();
+        let f = g.add_block(Block::Fir(Fir::new(vec![0.4, -0.2, 0.1])), &[sum]).unwrap();
+        g.mark_output(f);
+        let eval = AccuracyEvaluator::new(&g, 128).unwrap();
+        for (bits, rounding) in [(8, RoundingMode::Truncate), (14, RoundingMode::RoundNearest)] {
+            let plan = WordLengthPlan::uniform(bits, rounding);
+            let est = eval.estimate_psd(&plan);
+            let budget = eval.evaluate_budget(&plan);
+            assert_eq!(budget.power, est.power, "measured fold order matches the evaluate path");
+            assert_eq!(budget.mean, est.mean);
+            assert_eq!(budget.variance, est.variance);
+            assert_eq!(budget.ledger_sum(), est.power, "ledger invariant with a measured row");
+            let measured: Vec<&BudgetRow> =
+                budget.rows.iter().filter(|r| r.role == BudgetRole::Measured).collect();
+            assert_eq!(measured.len(), 1);
+            assert_eq!(measured[0].node, m);
+            assert_eq!(measured[0].block, "measured");
+            assert_eq!(measured[0].frac_bits, None);
+            assert!(measured[0].contribution > 0.0, "the floor is attributed, not dropped");
+            // Measured rows sit after the auto rows, before any exact rows.
+            let auto_count = budget.rows.iter().filter(|r| r.role == BudgetRole::Auto).count();
+            assert_eq!(budget.rows[auto_count].role, BudgetRole::Measured);
+        }
+    }
+
+    #[test]
+    fn measured_only_budget_still_folds() {
+        use psdacc_sfg::MeasuredSource;
+        // No quantization sources at all: the measured row is the whole
+        // ledger body and absorbs the (zero) residue itself.
+        let mut g = Sfg::new();
+        let m =
+            g.add_block(Block::Measured(MeasuredSource::new(vec![0.25; 16], 0.5)), &[]).unwrap();
+        g.mark_output(m);
+        let eval = AccuracyEvaluator::new(&g, 16).unwrap();
+        let plan = WordLengthPlan::uniform(8, RoundingMode::RoundNearest);
+        let est = eval.estimate_psd(&plan);
+        let budget = eval.evaluate_budget(&plan);
+        assert_eq!(budget.power, est.power);
+        assert_eq!(budget.ledger_sum(), budget.power);
+        assert_eq!(budget.rows.len(), 1);
+        assert_eq!(budget.rows[0].role, BudgetRole::Measured);
+        assert!((budget.power - (0.25 * 16.0 + 0.25)).abs() < 1e-12);
     }
 
     #[test]

@@ -132,15 +132,40 @@ impl AccuracyEvaluator {
     }
 
     /// Proposed PSD method (`tau_eval` stage only — reuses the cache).
+    ///
+    /// Graphs with [`psdacc_sfg::Block::Measured`] sources additionally
+    /// accumulate each estimated spectrum, rebinned onto the evaluation
+    /// grid and shaped by the node's source-to-output response — a
+    /// word-length-independent noise floor under every plan. Measured
+    /// contributions are folded *after* the quantization sources in a
+    /// fixed order, the same order [`AccuracyEvaluator::evaluate_budget`]
+    /// uses, so the two stay bit-identical.
     pub fn estimate_psd(&self, plan: &WordLengthPlan) -> Estimate {
         let sources = plan.noise_sources(&self.sfg);
+        let measured = self.sfg.measured_sources();
         let t0 = Instant::now();
         let est = {
             #[cfg(feature = "obs")]
             let _frame = psdacc_obs::profile::frame("tau_eval");
             match &self.preprocessed {
-                Preprocessed::SingleRate(responses) => evaluate_with_responses(responses, &sources),
-                Preprocessed::Multirate(kernels) => evaluate_with_multirate(kernels, &sources),
+                Preprocessed::SingleRate(responses) => {
+                    let mut est = evaluate_with_responses(responses, &sources);
+                    for (node, src) in &measured {
+                        let c = crate::psd_method::measured_contribution_single_rate(
+                            responses, *node, src,
+                        );
+                        est.per_source.push((*node, c.power()));
+                        est.psd.add_assign(&c);
+                    }
+                    est
+                }
+                Preprocessed::Multirate(kernels) => {
+                    debug_assert!(
+                        measured.is_empty(),
+                        "multirate preprocessing rejects measured sources"
+                    );
+                    evaluate_with_multirate(kernels, &sources)
+                }
             }
         };
         let elapsed = t0.elapsed();
@@ -166,17 +191,35 @@ impl AccuracyEvaluator {
         let sources = plan.noise_sources(&self.sfg);
         #[cfg(feature = "obs")]
         let _frame = psdacc_obs::profile::frame("budget_eval");
-        let contributions: Vec<crate::NoisePsd> = match &self.preprocessed {
-            Preprocessed::SingleRate(responses) => sources
-                .iter()
-                .map(|s| crate::psd_method::contribution_single_rate(responses, s))
-                .collect(),
-            Preprocessed::Multirate(kernels) => sources
-                .iter()
-                .map(|s| crate::psd_method::contribution_multirate(kernels, s))
-                .collect(),
-        };
-        crate::budget::assemble(&self.sfg, plan, &sources, &contributions)
+        let (contributions, measured): (Vec<crate::NoisePsd>, Vec<(NodeId, crate::NoisePsd)>) =
+            match &self.preprocessed {
+                Preprocessed::SingleRate(responses) => (
+                    sources
+                        .iter()
+                        .map(|s| crate::psd_method::contribution_single_rate(responses, s))
+                        .collect(),
+                    self.sfg
+                        .measured_sources()
+                        .iter()
+                        .map(|(node, src)| {
+                            (
+                                *node,
+                                crate::psd_method::measured_contribution_single_rate(
+                                    responses, *node, src,
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+                Preprocessed::Multirate(kernels) => (
+                    sources
+                        .iter()
+                        .map(|s| crate::psd_method::contribution_multirate(kernels, s))
+                        .collect(),
+                    Vec::new(),
+                ),
+            };
+        crate::budget::assemble(&self.sfg, plan, &sources, &contributions, &measured)
     }
 
     /// PSD-agnostic hierarchical baseline.
@@ -225,12 +268,21 @@ impl AccuracyEvaluator {
     ///
     /// # Errors
     ///
-    /// Propagates simulator-construction errors.
+    /// [`SfgError::Measured`] on graphs with measured sources — an
+    /// estimated spectrum has no time-domain realization to simulate.
+    /// Otherwise propagates simulator-construction errors.
     pub fn simulate(
         &self,
         plan: &WordLengthPlan,
         sim: &SimulationPlan,
     ) -> Result<Estimate, SfgError> {
+        if self.sfg.has_measured() {
+            return Err(SfgError::Measured {
+                detail: "bit-true simulation has no time-domain realization of an estimated \
+                         spectrum"
+                    .to_string(),
+            });
+        }
         let quantizers = plan.quantizers(&self.sfg);
         let t0 = Instant::now();
         let m = measure_quantization_error(&self.sfg, &quantizers, sim)?;
@@ -431,5 +483,87 @@ mod tests {
         let mut g = Sfg::new();
         let _ = g.add_input();
         assert!(matches!(AccuracyEvaluator::new(&g, 64), Err(SfgError::NoOutput)));
+    }
+
+    /// A graph mixing a measured source with quantization noise: input and
+    /// measured branch summed into an FIR.
+    fn measured_system(npsd_src: usize) -> (Sfg, psdacc_sfg::NodeId) {
+        use psdacc_sfg::MeasuredSource;
+        // Colored spectrum: a ramp of bin masses plus a nonzero mean.
+        let bins: Vec<f64> = (0..npsd_src).map(|k| 1e-6 * (k + 1) as f64).collect();
+        let src = MeasuredSource::new(bins, 3e-4);
+        let mut g = Sfg::new();
+        let x = g.add_input();
+        let m = g.add_block(Block::Measured(src), &[]).unwrap();
+        let sum = g.add_block(Block::Add, &[x, m]).unwrap();
+        let f = g.add_block(Block::Fir(Fir::new(vec![0.4, -0.2, 0.1])), &[sum]).unwrap();
+        g.mark_output(f);
+        (g, m)
+    }
+
+    /// With every quantizer exempted, the estimate is exactly the measured
+    /// spectrum propagated through the node's source-to-output response —
+    /// bit-identical to the analytic `through_response` computation.
+    #[test]
+    fn measured_contribution_is_the_propagated_spectrum() {
+        use psdacc_sfg::node_responses;
+        let npsd = 128;
+        let (g, m) = measured_system(npsd);
+        let eval = AccuracyEvaluator::new(&g, npsd).unwrap();
+        let plan = WordLengthPlan::uniform(10, RoundingMode::RoundNearest)
+            .with_exact_nodes((0..g.len()).map(psdacc_sfg::NodeId));
+        let est = eval.estimate_psd(&plan);
+        let out = *g.outputs().first().unwrap();
+        let responses = node_responses(&g, out, npsd).unwrap();
+        let (node, src) = &g.measured_sources()[0];
+        assert_eq!(*node, m);
+        let expect = crate::propagate::through_response(
+            &crate::NoisePsd::from_parts(src.bins_at(npsd), src.mean),
+            responses.of(m),
+        );
+        let psd = est.psd.unwrap();
+        assert_eq!(psd.bins(), expect.bins(), "bins are the analytic propagation, bit-exact");
+        assert_eq!(psd.mean(), expect.mean());
+        assert_eq!(est.power, expect.power());
+        assert!(est.power > 0.0, "measured floor survives an all-exact plan");
+    }
+
+    /// The measured floor is word-length independent: it bounds the
+    /// estimate from below for every plan.
+    #[test]
+    fn measured_floor_is_wordlength_independent() {
+        let (g, _) = measured_system(64);
+        let eval = AccuracyEvaluator::new(&g, 64).unwrap();
+        let floor = eval
+            .estimate_psd(
+                &WordLengthPlan::uniform(8, RoundingMode::RoundNearest)
+                    .with_exact_nodes((0..g.len()).map(psdacc_sfg::NodeId)),
+            )
+            .power;
+        let mut prev = f64::INFINITY;
+        for bits in [6, 10, 14, 18, 22] {
+            // Round-to-nearest keeps the quantization means at zero, so
+            // the quantization part strictly adds on top of the floor.
+            let p =
+                eval.estimate_psd(&WordLengthPlan::uniform(bits, RoundingMode::RoundNearest)).power;
+            assert!(p >= floor, "quantization only adds on top of the floor");
+            assert!(p < prev, "more bits still reduce the total");
+            prev = p;
+        }
+        assert!(prev < floor * 1.001, "at 22 bits the floor dominates");
+    }
+
+    /// Flat, agnostic, and simulation refuse measured graphs instead of
+    /// silently mis-modeling the colored spectrum.
+    #[test]
+    fn non_psd_methods_refuse_measured_graphs() {
+        let (g, _) = measured_system(64);
+        let eval = AccuracyEvaluator::new(&g, 64).unwrap();
+        let plan = WordLengthPlan::uniform(10, RoundingMode::RoundNearest);
+        assert!(matches!(eval.estimate_flat(&plan), Err(SfgError::Measured { .. })));
+        assert!(matches!(eval.estimate_agnostic(&plan), Err(SfgError::Measured { .. })));
+        let sim = SimulationPlan { samples: 1000, nfft: 64, ..Default::default() };
+        assert!(matches!(eval.simulate(&plan, &sim), Err(SfgError::Measured { .. })));
+        assert!(matches!(eval.compare(&plan, &sim), Err(SfgError::Measured { .. })));
     }
 }

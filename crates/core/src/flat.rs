@@ -48,8 +48,11 @@ impl FlatEstimate {
 ///
 /// [`SfgError::Multirate`] on multirate graphs — a single impulse probe
 /// captures only one decimator phase of a periodically time-varying path,
-/// so Eq. 5's `K_i` would be silently phase-biased. Otherwise propagates
-/// [`SfgError`] from simulator construction.
+/// so Eq. 5's `K_i` would be silently phase-biased.
+/// [`SfgError::Measured`] on graphs with measured sources — the path
+/// constants `K_i`/`D_i` assume white sources, which a colored estimated
+/// spectrum is not. Otherwise propagates [`SfgError`] from simulator
+/// construction.
 pub fn evaluate_flat(
     sfg: &Sfg,
     output: NodeId,
@@ -60,6 +63,12 @@ pub fn evaluate_flat(
     if psdacc_sfg::is_multirate(sfg) {
         return Err(SfgError::Multirate {
             detail: "flat path probing is phase-dependent on time-varying graphs".to_string(),
+        });
+    }
+    if sfg.has_measured() {
+        return Err(SfgError::Measured {
+            detail: "flat path probing has no time-domain model of an estimated spectrum"
+                .to_string(),
         });
     }
     let mut sim = SfgSimulator::reference(sfg)?;

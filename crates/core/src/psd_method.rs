@@ -89,6 +89,23 @@ fn source_contribution(src: &NoiseSource, g: &[Complex], npsd: usize) -> NoisePs
     crate::propagate::through_response(&white, g)
 }
 
+/// One measured source's output-referred PSD on the single-rate path: the
+/// estimated spectrum rebinned onto the evaluation grid (power-preserving;
+/// bit-exact when the grids match) and shaped by the node's
+/// source-to-output response, with the sample mean riding the DC path.
+/// Unlike quantization sources the spectrum is colored and word-length
+/// independent — a noise floor every plan shares. Multirate graphs reject
+/// measured sources at preprocessing, so no multirate twin exists.
+pub(crate) fn measured_contribution_single_rate(
+    responses: &NodeResponses,
+    node: NodeId,
+    src: &psdacc_sfg::MeasuredSource,
+) -> NoisePsd {
+    let npsd = responses.npsd();
+    let psd = NoisePsd::from_parts(src.bins_at(npsd), src.mean);
+    crate::propagate::through_response(&psd, responses.of(node))
+}
+
 /// Evaluation stage (`tau_eval`) over **multirate** preprocessing: each
 /// source's white PSD is already folded/imaged into an output-referred
 /// kernel, so evaluating a word-length plan is one scale-and-accumulate

@@ -112,12 +112,15 @@ impl WordLengthPlan {
             }
             Block::Fir(_) | Block::Iir(_) => true,
             // Rate changers move (or zero-stuff) samples without arithmetic:
-            // no requantization, no noise source.
+            // no requantization, no noise source. Measured sources inject
+            // their estimated spectrum directly (handled by the evaluator),
+            // not through a quantizer.
             Block::Input
             | Block::Delay(_)
             | Block::Add
             | Block::Downsample(_)
-            | Block::Upsample(_) => false,
+            | Block::Upsample(_)
+            | Block::Measured(_) => false,
         }
     }
 

@@ -21,15 +21,15 @@ use psdacc_engine::{demo_spec, json, BatchSpec, Engine, ScenarioRegistry};
 use psdacc_obs::BudgetReport;
 
 const USAGE: &str = "usage:
-  psdacc-engine run --spec FILE [--graph NAME=FILE]... [--threads N]
+  psdacc-engine run --spec FILE [--graph NAME=FILE]... [--trace-dir DIR] [--threads N]
   psdacc-engine demo [--jobs N] [--threads N]
   psdacc-engine scenarios
   psdacc-engine budget-report [--input FILE] [--top K] [--json]
                                       render `kind:budget` result lines
                                       (stdin by default) as ranked
                                       noise-budget reports
-  psdacc-engine profile --spec FILE [--graph NAME=FILE]... [--threads N]
-                        [--json] [--folded PATH]
+  psdacc-engine profile --spec FILE [--graph NAME=FILE]... [--trace-dir DIR]
+                        [--threads N] [--json] [--folded PATH]
                                       run the batch twice (unprofiled,
                                       then under the hierarchical
                                       profiler), assert the results are
@@ -37,6 +37,10 @@ const USAGE: &str = "usage:
                                       hotspot table (or the profile JSON
                                       line with --json); --folded writes
                                       flamegraph folded stacks to PATH
+
+--trace-dir DIR resolves `\"trace\": \"<hash>\"` references in measured
+nodes of --graph files to inline samples from a content-addressed trace
+store (client-side: daemons only ever see inline samples).
 
 Batch spec format (line-oriented; `#` comments):
   scenario <name> [key=value ...]     declare a system (repeatable; integer
@@ -132,14 +136,27 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
+/// Opens the `--trace-dir` store when the flag is present.
+fn open_trace_store(
+    flags: &std::collections::BTreeMap<String, String>,
+) -> Result<Option<psdacc_estim::TraceStore>, String> {
+    match flags.get("--trace-dir") {
+        None => Ok(None),
+        Some(dir) => psdacc_estim::TraceStore::open(dir)
+            .map(Some)
+            .map_err(|e| format!("--trace-dir {dir}: {e}")),
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
-    let (flags, graphs) = match parse_flags(args, &["--spec", "--threads", "--graph"]) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (flags, graphs) =
+        match parse_flags(args, &["--spec", "--threads", "--graph", "--trace-dir"]) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let Some(spec_path) = flags.get("--spec") else {
         eprintln!("run needs --spec FILE\n{USAGE}");
         return ExitCode::FAILURE;
@@ -151,8 +168,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let traces = match open_trace_store(&flags) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let registry = ScenarioRegistry::new();
-    if let Err(e) = registry.define_graph_files(&graphs) {
+    if let Err(e) = registry.define_graph_files_resolved(&graphs, traces.as_ref()) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
@@ -278,6 +302,7 @@ fn cmd_budget_report(args: &[String]) -> ExitCode {
 fn cmd_profile(args: &[String]) -> ExitCode {
     let mut spec_path: Option<&str> = None;
     let mut graphs: Vec<String> = Vec::new();
+    let mut trace_dir: Option<&str> = None;
     let mut threads_flag: Option<usize> = None;
     let mut json_out = false;
     let mut folded: Option<&str> = None;
@@ -285,7 +310,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json_out = true,
-            flag @ ("--spec" | "--graph" | "--threads" | "--folded") => {
+            flag @ ("--spec" | "--graph" | "--trace-dir" | "--threads" | "--folded") => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("missing value for {flag}\n{USAGE}");
@@ -294,6 +319,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
                 match flag {
                     "--spec" => spec_path = Some(value),
                     "--graph" => graphs.push(value.clone()),
+                    "--trace-dir" => trace_dir = Some(value),
                     "--folded" => folded = Some(value),
                     _ => match value.parse::<usize>() {
                         Ok(n) if n >= 1 => threads_flag = Some(n),
@@ -306,7 +332,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "unknown argument `{other}` (allowed: --spec, --graph, --threads, --json, --folded)\n{USAGE}"
+                    "unknown argument `{other}` (allowed: --spec, --graph, --trace-dir, --threads, --json, --folded)\n{USAGE}"
                 );
                 return ExitCode::FAILURE;
             }
@@ -324,8 +350,15 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let traces = match trace_dir.map(psdacc_estim::TraceStore::open).transpose() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("--trace-dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let registry = ScenarioRegistry::new();
-    if let Err(e) = registry.define_graph_files(&graphs) {
+    if let Err(e) = registry.define_graph_files_resolved(&graphs, traces.as_ref()) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }

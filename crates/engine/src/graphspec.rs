@@ -87,6 +87,35 @@ fn req_usize(value: &Json, node: &str, key: &str) -> Result<usize, GraphSpecErro
     })
 }
 
+fn opt_usize(value: &Json, node: &str, key: &str) -> Result<Option<usize>, GraphSpecError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(_) => req_usize(value, node, key).map(Some),
+    }
+}
+
+fn opt_f64(value: &Json, node: &str, key: &str) -> Result<Option<f64>, GraphSpecError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| GraphSpecError::BadParameter {
+            node: node.to_string(),
+            detail: format!("`{key}` must be a number"),
+        }),
+    }
+}
+
+fn opt_str(value: &Json, node: &str, key: &str) -> Result<Option<String>, GraphSpecError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| GraphSpecError::BadParameter {
+                node: node.to_string(),
+                detail: format!("`{key}` must be a string"),
+            })
+        }
+    }
+}
+
 /// The JSON fields each block kind accepts (beyond `name`, `block`,
 /// `inputs`, `role`).
 fn allowed_params(kind: &str) -> &'static [&'static str] {
@@ -96,6 +125,7 @@ fn allowed_params(kind: &str) -> &'static [&'static str] {
         "fir" => &["taps"],
         "iir" => &["b", "a"],
         "downsample" | "upsample" => &["factor"],
+        "measured" => &["samples", "trace", "nfft", "overlap", "window", "beta"],
         _ => &[],
     }
 }
@@ -143,6 +173,31 @@ fn parse_node(value: &Json) -> Result<NodeSpec, GraphSpecError> {
         }
         "downsample" => BlockSpec::Downsample { factor: req_usize(value, &name, "factor")? },
         "upsample" => BlockSpec::Upsample { factor: req_usize(value, &name, "factor")? },
+        "measured" => {
+            if let Some(hash) = value.get("trace") {
+                // Trace references are authoring sugar, resolved to inline
+                // samples on the client (see [`resolve_trace_refs`]) so
+                // daemons stay stateless and canonical identity is
+                // reference-blind.
+                return Err(GraphSpecError::BadParameter {
+                    node: name,
+                    detail: format!(
+                        "unresolved `trace` reference {}: resolve it to inline samples \
+                         against a trace store first (psdacc-engine --trace-dir)",
+                        hash.as_str().unwrap_or("<non-string>")
+                    ),
+                });
+            }
+            BlockSpec::Measured {
+                samples: float_list(value, &name, "samples")?,
+                nfft: opt_usize(value, &name, "nfft")?.unwrap_or(BlockSpec::MEASURED_DEFAULT_NFFT),
+                overlap: opt_f64(value, &name, "overlap")?
+                    .unwrap_or(BlockSpec::MEASURED_DEFAULT_OVERLAP),
+                window: opt_str(value, &name, "window")?
+                    .unwrap_or_else(|| BlockSpec::MEASURED_DEFAULT_WINDOW.to_string()),
+                beta: opt_f64(value, &name, "beta")?,
+            }
+        }
         other => return Err(GraphSpecError::UnknownBlock { node: name, kind: other.to_string() }),
     };
     let inputs = match value.get("inputs") {
@@ -221,6 +276,66 @@ pub fn graph_spec_from_str(text: &str) -> Result<GraphSpec, GraphSpecError> {
     parse_graph_spec(&value)
 }
 
+/// Rewrites every measured node's `"trace": "<hash>"` reference into
+/// inline `"samples"` loaded (and checksum-verified) from `store`.
+///
+/// This is a **client-side** step: daemons never resolve references — a
+/// spec reaching [`parse_graph_spec`] with a `trace` field still present
+/// is rejected — so the canonical wire form always carries inline samples
+/// and content identity is independent of how the trace was supplied.
+///
+/// # Errors
+///
+/// [`GraphSpecError::BadParameter`] when a referenced blob is missing or
+/// corrupt, or a node carries both `trace` and `samples`.
+pub fn resolve_trace_refs(
+    value: &Json,
+    store: &psdacc_estim::TraceStore,
+) -> Result<Json, GraphSpecError> {
+    let Json::Obj(fields) = value else { return Ok(value.clone()) };
+    let fields = fields
+        .iter()
+        .map(|(key, v)| {
+            if key != "nodes" {
+                return Ok((key.clone(), v.clone()));
+            }
+            let Json::Arr(nodes) = v else { return Ok((key.clone(), v.clone())) };
+            let nodes = nodes
+                .iter()
+                .map(|node| resolve_node_trace(node, store))
+                .collect::<Result<Vec<Json>, GraphSpecError>>()?;
+            Ok((key.clone(), Json::Arr(nodes)))
+        })
+        .collect::<Result<Vec<(String, Json)>, GraphSpecError>>()?;
+    Ok(Json::Obj(fields))
+}
+
+fn resolve_node_trace(
+    node: &Json,
+    store: &psdacc_estim::TraceStore,
+) -> Result<Json, GraphSpecError> {
+    let Json::Obj(fields) = node else { return Ok(node.clone()) };
+    let Some(trace) = node.get("trace") else { return Ok(node.clone()) };
+    let name = node.get("name").and_then(Json::as_str).unwrap_or("<unnamed>").to_string();
+    let bad = |detail: String| GraphSpecError::BadParameter { node: name.clone(), detail };
+    let hash = trace.as_str().ok_or_else(|| bad("`trace` must be a hash string".to_string()))?;
+    if node.get("samples").is_some() {
+        return Err(bad("node declares both `trace` and `samples`".to_string()));
+    }
+    let samples = store.load(hash).map_err(|e| bad(e.to_string()))?;
+    let fields = fields
+        .iter()
+        .map(|(key, v)| {
+            if key == "trace" {
+                ("samples".to_string(), Json::Arr(samples.iter().map(|&s| Json::Num(s)).collect()))
+            } else {
+                (key.clone(), v.clone())
+            }
+        })
+        .collect();
+    Ok(Json::Obj(fields))
+}
+
 fn push_float_array(w: &mut JsonWriter, key: &str, values: &[f64]) {
     let rendered: Vec<String> = values.iter().map(|v| format!("{v:e}")).collect();
     w.field_raw(key, &format!("[{}]", rendered.join(",")));
@@ -249,6 +364,24 @@ pub fn canonical_json(spec: &GraphSpec) -> String {
                 }
                 BlockSpec::Downsample { factor } => w.field_usize("factor", *factor),
                 BlockSpec::Upsample { factor } => w.field_usize("factor", *factor),
+                BlockSpec::Measured { samples, nfft, overlap, window, beta } => {
+                    // Always inline samples: a spec authored via a trace
+                    // reference canonicalizes identically to one authored
+                    // with inline samples.
+                    push_float_array(&mut w, "samples", samples);
+                    if *nfft != BlockSpec::MEASURED_DEFAULT_NFFT {
+                        w.field_usize("nfft", *nfft);
+                    }
+                    if *overlap != BlockSpec::MEASURED_DEFAULT_OVERLAP {
+                        w.field_f64("overlap", *overlap);
+                    }
+                    if window != BlockSpec::MEASURED_DEFAULT_WINDOW {
+                        w.field_str("window", window);
+                    }
+                    if let Some(beta) = beta {
+                        w.field_f64("beta", *beta);
+                    }
+                }
             }
             if !node.inputs.is_empty() {
                 let inputs: Vec<String> = node.inputs.iter().map(|i| json::escape_str(i)).collect();
@@ -463,6 +596,107 @@ mod tests {
         let back = GraphScenario::from_json(a.canonical_json(), None).unwrap();
         assert_eq!(back.exact_nodes(), vec![NodeId(4)]);
         assert_eq!(back, a);
+    }
+
+    fn measured_demo() -> GraphSpec {
+        GraphSpec {
+            nodes: vec![
+                NodeSpec::new(
+                    "m",
+                    BlockSpec::Measured {
+                        samples: (0..128).map(|i| (i as f64 * 0.3).sin()).collect(),
+                        nfft: 16,
+                        overlap: 0.5,
+                        window: "hann".to_string(),
+                        beta: None,
+                    },
+                    &[],
+                ),
+                NodeSpec::new("lp", BlockSpec::Fir { taps: vec![0.5, 0.5] }, &["m"]),
+            ],
+            outputs: vec!["lp".to_string()],
+        }
+    }
+
+    #[test]
+    fn measured_canonical_round_trip_is_a_fixpoint() {
+        let spec = measured_demo();
+        let text = canonical_json(&spec);
+        // Defaults (overlap 0.5, window hann, no beta) are omitted;
+        // non-default nfft is present.
+        assert!(text.contains("\"nfft\":16"));
+        assert!(!text.contains("overlap"));
+        assert!(!text.contains("window"));
+        let back = graph_spec_from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(canonical_json(&back), text);
+        // Non-default estimator params survive too.
+        let mut spec = measured_demo();
+        spec.nodes[0].block = BlockSpec::Measured {
+            samples: vec![1.0; 64],
+            nfft: BlockSpec::MEASURED_DEFAULT_NFFT,
+            overlap: 0.25,
+            window: "kaiser".to_string(),
+            beta: Some(8.6),
+        };
+        let text = canonical_json(&spec);
+        assert!(text.contains("\"window\":\"kaiser\"") && text.contains("beta"));
+        assert_eq!(graph_spec_from_str(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn measured_scenario_is_content_addressed() {
+        let a = GraphScenario::new(measured_demo(), None).unwrap();
+        let b = GraphScenario::new(measured_demo(), Some("telemetry".to_string())).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.hash(), b.hash());
+        // One sample changed by one ULP: a different scenario.
+        let mut other = measured_demo();
+        if let BlockSpec::Measured { samples, .. } = &mut other.nodes[0].block {
+            samples[3] = f64::from_bits(samples[3].to_bits() + 1);
+        }
+        let c = GraphScenario::new(other, None).unwrap();
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn unresolved_trace_refs_are_rejected_at_parse() {
+        let text = r#"{"nodes":[{"name":"m","block":"measured","trace":"abc123"}],
+                       "outputs":["m"]}"#;
+        let err = graph_spec_from_str(text).unwrap_err();
+        assert!(err.to_string().contains("trace"), "{err}");
+    }
+
+    #[test]
+    fn trace_refs_resolve_to_the_same_identity_as_inline_samples() {
+        let dir =
+            std::env::temp_dir().join(format!("psdacc-graphspec-traces-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = psdacc_estim::TraceStore::open(&dir).unwrap();
+        let samples: Vec<f64> = (0..64).map(|i| (i as f64 * 0.21).cos()).collect();
+        let hash = store.save(&samples).unwrap();
+
+        let by_ref = format!(
+            r#"{{"nodes":[{{"name":"m","block":"measured","trace":"{hash}","nfft":16}}],
+                "outputs":["m"]}}"#
+        );
+        let rendered: Vec<String> = samples.iter().map(|v| format!("{v:e}")).collect();
+        let inline = format!(
+            r#"{{"nodes":[{{"name":"m","block":"measured","samples":[{}],"nfft":16}}],
+                "outputs":["m"]}}"#,
+            rendered.join(",")
+        );
+
+        let resolved = resolve_trace_refs(&json::parse(&by_ref).unwrap(), &store).unwrap();
+        let a = GraphScenario::new(parse_graph_spec(&resolved).unwrap(), None).unwrap();
+        let b = GraphScenario::from_json(&inline, None).unwrap();
+        assert_eq!(a.hash(), b.hash(), "reference-blind identity");
+
+        // Missing blob and trace+samples conflicts are typed errors.
+        let missing = by_ref.replace(&hash, "00000000000000000000000000000000");
+        assert!(resolve_trace_refs(&json::parse(&missing).unwrap(), &store).is_err());
+        let conflict = by_ref.replace("\"nfft\":16", "\"nfft\":16,\"samples\":[1]");
+        assert!(resolve_trace_refs(&json::parse(&conflict).unwrap(), &store).is_err());
     }
 
     #[test]

@@ -68,11 +68,16 @@ pub mod units;
 // working unchanged.
 pub use psdacc_obs::json;
 
+// Re-exported so the serve/sched CLIs can resolve `"trace":"<hash>"`
+// references in measured GraphSpec nodes without depending on
+// `psdacc-estim` directly.
+pub use psdacc_estim::TraceStore;
+
 pub use batch::{demo_spec, BatchSpec};
 pub use cache::{CacheStats, EvaluatorCache, FillSource, PreprocessCache, ScenarioCacheStats};
 pub use engine::{BatchReport, Engine};
 pub use error::EngineError;
-pub use graphspec::{canonical_json, graph_spec_from_str, GraphScenario};
+pub use graphspec::{canonical_json, graph_spec_from_str, resolve_trace_refs, GraphScenario};
 pub use job::{run_job, run_job_traced, JobKind, JobResult, JobSpec, UnitTrace};
 pub use pool::PoolStats;
 pub use provider::{

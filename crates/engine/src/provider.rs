@@ -10,6 +10,8 @@
 //!   returns to clients);
 //! * [`BuiltinProvider`] — the 9 paper-derived families, exactly as
 //!   before (parity-tested bit-identical through this path);
+//! * [`EstimProvider`] — the 3 measured-signal families whose noise model
+//!   comes from `psdacc-estim` spectrum estimation of seeded traces;
 //! * [`GraphProvider`] — runtime-defined [`GraphSpec`] scenarios,
 //!   registered by name (the `define_scenario` wire verb lands here) and
 //!   identified by content hash;
@@ -33,7 +35,7 @@ use crate::scenario::Scenario;
 pub struct ParamSpec {
     /// Parameter name as written in spec lines.
     pub name: &'static str,
-    /// Value kind: `"int"` or `"float"`.
+    /// Value kind: `"int"`, `"float"`, or `"str"`.
     pub kind: &'static str,
     /// Whether the parameter must be given.
     pub required: bool,
@@ -354,6 +356,271 @@ impl ScenarioProvider for BuiltinProvider {
     }
 }
 
+/// The 3 measured-signal families (PR 10): scenarios whose noise model is
+/// *estimated from a seeded trace* by `psdacc-estim` rather than derived
+/// from quantization formulas. Determinism per seed is what makes them
+/// fleet-safe: every daemon rebuilding the scenario from its spec line
+/// reproduces the trace, hence the spectrum, bit-identically.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EstimProvider;
+
+const ESTIM_FAMILIES: &[BuiltinFamily] = &[
+    BuiltinFamily {
+        name: "measured-welch",
+        description: "Welch-estimated PSD of a seeded AR(1)+DC trace as a measured source",
+        params: &[
+            ParamSpec {
+                name: "samples",
+                kind: "int",
+                required: false,
+                default: Some("4096"),
+                constraint: "256..=65536",
+            },
+            ParamSpec {
+                name: "seed",
+                kind: "int",
+                required: false,
+                default: Some("1"),
+                constraint: "u64",
+            },
+            ParamSpec {
+                name: "nfft",
+                kind: "int",
+                required: false,
+                default: Some("256"),
+                constraint: "power of two, 8..=16384, <= samples",
+            },
+            ParamSpec {
+                name: "overlap",
+                kind: "float",
+                required: false,
+                default: Some("0.5"),
+                constraint: "[0, 0.95]",
+            },
+            ParamSpec {
+                name: "window",
+                kind: "str",
+                required: false,
+                default: Some("hann"),
+                constraint: "hann | kaiser",
+            },
+            ParamSpec {
+                name: "beta",
+                kind: "float",
+                required: false,
+                default: None,
+                constraint: "kaiser shape, required iff window=kaiser",
+            },
+            ParamSpec {
+                name: "taps",
+                kind: "int",
+                required: false,
+                default: Some("31"),
+                constraint: "3..=255",
+            },
+        ],
+    },
+    BuiltinFamily {
+        name: "cross-spectrum",
+        description: "two-channel cross-spectrum estimate rejecting uncorrelated sensor noise",
+        params: &[
+            ParamSpec {
+                name: "samples",
+                kind: "int",
+                required: false,
+                default: Some("8192"),
+                constraint: "256..=65536",
+            },
+            ParamSpec {
+                name: "seed",
+                kind: "int",
+                required: false,
+                default: Some("1"),
+                constraint: "u64",
+            },
+            ParamSpec {
+                name: "nfft",
+                kind: "int",
+                required: false,
+                default: Some("128"),
+                constraint: "power of two, 8..=16384, <= samples",
+            },
+            ParamSpec {
+                name: "overlap",
+                kind: "float",
+                required: false,
+                default: Some("0.5"),
+                constraint: "[0, 0.95]",
+            },
+            ParamSpec {
+                name: "snr",
+                kind: "float",
+                required: false,
+                default: Some("0"),
+                constraint: "-40..=80 dB common-to-independent ratio",
+            },
+            ParamSpec {
+                name: "taps",
+                kind: "int",
+                required: false,
+                default: Some("31"),
+                constraint: "3..=255",
+            },
+        ],
+    },
+    BuiltinFamily {
+        name: "sigma-delta",
+        description: "bit-true sigma-delta modulator error spectrum feeding the decimation filter",
+        params: &[
+            ParamSpec {
+                name: "order",
+                kind: "int",
+                required: false,
+                default: Some("2"),
+                constraint: "1..=2",
+            },
+            ParamSpec {
+                name: "osr",
+                kind: "int",
+                required: false,
+                default: Some("16"),
+                constraint: "power of two, 4..=128",
+            },
+            ParamSpec {
+                name: "amp",
+                kind: "float",
+                required: false,
+                default: Some("0.5"),
+                constraint: "(0, 1]",
+            },
+            ParamSpec {
+                name: "samples",
+                kind: "int",
+                required: false,
+                default: Some("16384"),
+                constraint: "256..=65536",
+            },
+            ParamSpec {
+                name: "seed",
+                kind: "int",
+                required: false,
+                default: Some("1"),
+                constraint: "u64",
+            },
+            ParamSpec {
+                name: "nfft",
+                kind: "int",
+                required: false,
+                default: Some("1024"),
+                constraint: "power of two, >= 8*osr, <= samples",
+            },
+            ParamSpec {
+                name: "taps",
+                kind: "int",
+                required: false,
+                default: Some("63"),
+                constraint: "3..=255",
+            },
+        ],
+    },
+];
+
+impl ScenarioProvider for EstimProvider {
+    fn provider_name(&self) -> &'static str {
+        "estim"
+    }
+
+    fn families(&self) -> Vec<FamilyInfo> {
+        ESTIM_FAMILIES
+            .iter()
+            .map(|f| FamilyInfo {
+                name: f.name.to_string(),
+                provider: "estim",
+                description: f.description.to_string(),
+                params: f.params.to_vec(),
+            })
+            .collect()
+    }
+
+    fn parse(
+        &self,
+        name: &str,
+        params: &BTreeMap<String, String>,
+    ) -> Result<Option<Scenario>, EngineError> {
+        let Some(family) = ESTIM_FAMILIES.iter().find(|f| f.name == name) else {
+            return Ok(None);
+        };
+        for key in params.keys() {
+            if !family.params.iter().any(|p| p.name == key) {
+                let allowed: Vec<&str> = family.params.iter().map(|p| p.name).collect();
+                return Err(EngineError::Scenario(format!(
+                    "{name}: unknown parameter `{key}` (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        let get_usize = |key: &str, default: usize| -> Result<usize, EngineError> {
+            match params.get(key) {
+                Some(v) => v.parse().map_err(|_| {
+                    EngineError::Scenario(format!("{name}: `{key}` must be an integer, got `{v}`"))
+                }),
+                None => Ok(default),
+            }
+        };
+        let get_f64 = |key: &str, default: f64| -> Result<f64, EngineError> {
+            match params.get(key) {
+                Some(v) => v.parse().map_err(|_| {
+                    EngineError::Scenario(format!("{name}: `{key}` must be a number, got `{v}`"))
+                }),
+                None => Ok(default),
+            }
+        };
+        let get_f64_opt = |key: &str| -> Result<Option<f64>, EngineError> {
+            params
+                .get(key)
+                .map(|v| {
+                    v.parse().map_err(|_| {
+                        EngineError::Scenario(format!(
+                            "{name}: `{key}` must be a number, got `{v}`"
+                        ))
+                    })
+                })
+                .transpose()
+        };
+        let scenario = match name {
+            "measured-welch" => Scenario::MeasuredWelch {
+                samples: get_usize("samples", 4096)?,
+                seed: get_usize("seed", 1)? as u64,
+                nfft: get_usize("nfft", 256)?,
+                overlap: get_f64("overlap", 0.5)?,
+                window: params.get("window").cloned().unwrap_or_else(|| "hann".to_string()),
+                beta: get_f64_opt("beta")?,
+                taps: get_usize("taps", 31)?,
+            },
+            "cross-spectrum" => Scenario::CrossSpectrum {
+                samples: get_usize("samples", 8192)?,
+                seed: get_usize("seed", 1)? as u64,
+                nfft: get_usize("nfft", 128)?,
+                overlap: get_f64("overlap", 0.5)?,
+                snr: get_f64("snr", 0.0)?,
+                taps: get_usize("taps", 31)?,
+            },
+            "sigma-delta" => Scenario::SigmaDelta {
+                order: get_usize("order", 2)?,
+                osr: get_usize("osr", 16)?,
+                amp: get_f64("amp", 0.5)?,
+                samples: get_usize("samples", 16384)?,
+                seed: get_usize("seed", 1)? as u64,
+                nfft: get_usize("nfft", 1024)?,
+                taps: get_usize("taps", 63)?,
+            },
+            _ => unreachable!("family table matched above"),
+        };
+        scenario.validate()?;
+        Ok(Some(scenario))
+    }
+}
+
 /// Runtime-defined graph scenarios, registered by name. Registration is
 /// concurrency-safe (a daemon registers from connection threads while
 /// others parse), and redefinition under the same name simply replaces
@@ -459,10 +726,13 @@ impl Default for ScenarioRegistry {
 }
 
 impl ScenarioRegistry {
-    /// Builtin families + an empty dynamic provider.
+    /// Builtin + measured-signal families + an empty dynamic provider.
     pub fn new() -> Self {
         let dynamic = Arc::new(GraphProvider::default());
-        ScenarioRegistry { providers: vec![Arc::new(BuiltinProvider), dynamic.clone()], dynamic }
+        ScenarioRegistry {
+            providers: vec![Arc::new(BuiltinProvider), Arc::new(EstimProvider), dynamic.clone()],
+            dynamic,
+        }
     }
 
     /// Appends a custom provider (consulted after the defaults).
@@ -479,7 +749,10 @@ impl ScenarioRegistry {
     ///
     /// [`EngineError::Scenario`] / [`EngineError::GraphSpec`].
     pub fn define_graph(&self, name: &str, graph: GraphSpec) -> Result<GraphScenario, EngineError> {
-        if name == "graph" || BUILTIN_FAMILIES.iter().any(|f| f.name == name) {
+        if name == "graph"
+            || BUILTIN_FAMILIES.iter().any(|f| f.name == name)
+            || ESTIM_FAMILIES.iter().any(|f| f.name == name)
+        {
             return Err(EngineError::Scenario(format!(
                 "scenario name `{name}` is reserved (builtin family)"
             )));
@@ -510,6 +783,25 @@ impl ScenarioRegistry {
         &self,
         entries: &[String],
     ) -> Result<Vec<(String, String)>, EngineError> {
+        self.define_graph_files_resolved(entries, None)
+    }
+
+    /// [`ScenarioRegistry::define_graph_files`] with client-side trace
+    /// resolution: when `traces` is given (the `--trace-dir` flag), every
+    /// measured node's `"trace": "<hash>"` reference is rewritten to
+    /// checksum-verified inline samples *before* registration, so the
+    /// canonical wire form shipped to daemons never mentions the store.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScenarioRegistry::define_graph_files`]; additionally
+    /// [`EngineError::Scenario`] naming the entry when a referenced trace
+    /// blob is missing or corrupt.
+    pub fn define_graph_files_resolved(
+        &self,
+        entries: &[String],
+        traces: Option<&psdacc_estim::TraceStore>,
+    ) -> Result<Vec<(String, String)>, EngineError> {
         let mut definitions = Vec::with_capacity(entries.len());
         for entry in entries {
             let (name, path) = entry.split_once('=').ok_or_else(|| {
@@ -518,6 +810,17 @@ impl ScenarioRegistry {
             let json = std::fs::read_to_string(path).map_err(|e| {
                 EngineError::Scenario(format!("--graph {name}: cannot read {path}: {e}"))
             })?;
+            let json = match traces {
+                None => json,
+                Some(store) => {
+                    let value = crate::json::parse(&json).map_err(|e| {
+                        EngineError::Scenario(format!("--graph {name}: bad JSON in {path}: {e}"))
+                    })?;
+                    let resolved = crate::graphspec::resolve_trace_refs(&value, store)
+                        .map_err(|e| EngineError::Scenario(format!("--graph {name}: {e}")))?;
+                    resolved.to_json_line()
+                }
+            };
             let defined = self
                 .define_graph_json(name, &json)
                 .map_err(|e| EngineError::Scenario(format!("--graph {name}: {e}")))?;
@@ -676,11 +979,12 @@ mod tests {
     }
 
     #[test]
-    fn builtin_provider_serves_all_nine_families() {
+    fn default_chain_serves_all_twelve_families() {
         let registry = ScenarioRegistry::new();
         let families = registry.families();
-        assert_eq!(families.len(), 9);
-        assert!(families.iter().all(|f| f.provider == "builtin"));
+        assert_eq!(families.len(), 12);
+        assert_eq!(families.iter().filter(|f| f.provider == "builtin").count(), 9);
+        assert_eq!(families.iter().filter(|f| f.provider == "estim").count(), 3);
         for family in &families {
             let p = if family.name.ends_with("-bank") {
                 params(&[("index", "3")])
@@ -692,6 +996,36 @@ mod tests {
             let g = s.build().expect("default scenario builds");
             assert!(!g.outputs().is_empty(), "{}: output marked", family.name);
         }
+    }
+
+    #[test]
+    fn estim_families_parse_validate_and_introspect() {
+        let registry = ScenarioRegistry::new();
+        // Kaiser needs beta; hann must reject it.
+        assert!(registry
+            .parse_spec_line("measured-welch window=kaiser beta=8.6 samples=1024")
+            .is_ok());
+        assert!(registry.parse_spec_line("measured-welch window=kaiser").is_err());
+        assert!(registry.parse_spec_line("measured-welch beta=2.0").is_err());
+        // Range checks surface at parse time with the family name.
+        let err = registry.parse_spec_line("sigma-delta osr=13").unwrap_err().to_string();
+        assert!(err.contains("sigma-delta"), "{err}");
+        assert!(registry.parse_spec_line("cross-spectrum snr=999").is_err());
+        assert!(registry.parse_spec_line("measured-welch bogus=1").is_err());
+        // The describe schema carries the str-typed window parameter.
+        let line = registry.describe_json_line(Some("measured-welch")).unwrap();
+        let v = crate::json::parse(&line).unwrap();
+        let fam = &v.get("families").unwrap().as_array().unwrap()[0];
+        assert_eq!(fam.get("provider").and_then(crate::json::Json::as_str), Some("estim"));
+        let schema = fam.get("params").unwrap().as_array().unwrap();
+        let window = schema
+            .iter()
+            .find(|p| p.get("name").and_then(crate::json::Json::as_str) == Some("window"))
+            .expect("window param in schema");
+        assert_eq!(window.get("kind").and_then(crate::json::Json::as_str), Some("str"));
+        // Estim family names are reserved against dynamic shadowing.
+        let err = registry.define_graph_json("sigma-delta", DEMO_GRAPH).unwrap_err();
+        assert!(err.to_string().contains("reserved"), "{err}");
     }
 
     #[test]
@@ -725,7 +1059,7 @@ mod tests {
         assert_eq!(parsed.to_spec_line(), "my-codec", "named graphs ship by name");
         // Families list now includes it, tagged dynamic.
         let families = registry.families();
-        assert_eq!(families.len(), 10);
+        assert_eq!(families.len(), 13);
         assert!(families.iter().any(|f| f.name == "my-codec" && f.provider == "dynamic"));
         // Clones share the registration (daemon connection threads).
         assert_eq!(registry.clone().dynamic_count(), 1);

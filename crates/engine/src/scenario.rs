@@ -108,6 +108,67 @@ pub enum Scenario {
         /// Generator seed.
         seed: u64,
     },
+    /// Welch-estimated PSD of a seeded synthetic recorded trace (AR(1)
+    /// colored noise with a DC offset) injected as a measured source next
+    /// to the quantized input, feeding a lowpass FIR. The whole estimation
+    /// chain is deterministic per seed, so every daemon rebuilding the
+    /// scenario gets bit-identical spectra.
+    MeasuredWelch {
+        /// Trace length.
+        samples: usize,
+        /// Trace generator seed.
+        seed: u64,
+        /// Welch segment length (power of two).
+        nfft: usize,
+        /// Segment overlap fraction.
+        overlap: f64,
+        /// Window name (`rectangular`, `hann`, `hamming`, `blackman`,
+        /// `kaiser`).
+        window: String,
+        /// Kaiser shape parameter (required iff `window == "kaiser"`).
+        beta: Option<f64>,
+        /// Taps of the downstream lowpass FIR.
+        taps: usize,
+    },
+    /// Cross-spectrum denoising scenario: two seeded channels share an
+    /// AR(1) signal but carry independent white noise at the given SNR;
+    /// the cross-spectrum estimate rejects the uncorrelated part and the
+    /// denoised spectrum becomes the measured source.
+    CrossSpectrum {
+        /// Per-channel trace length.
+        samples: usize,
+        /// Channel generator seed.
+        seed: u64,
+        /// Welch segment length (power of two).
+        nfft: usize,
+        /// Segment overlap fraction.
+        overlap: f64,
+        /// Common-signal-to-channel-noise ratio in dB.
+        snr: f64,
+        /// Taps of the downstream lowpass FIR.
+        taps: usize,
+    },
+    /// Bit-true sigma-delta modulator scenario: a 1st- or 2nd-order
+    /// modulator runs on a dithered in-band tone, the modulation error
+    /// `y - x` is Welch-estimated, and the shaped-noise spectrum feeds the
+    /// decimation lowpass as a measured source.
+    SigmaDelta {
+        /// Modulator order (1 or 2).
+        order: usize,
+        /// Oversampling ratio (power of two).
+        osr: usize,
+        /// Input tone amplitude in (0, 1].
+        amp: f64,
+        /// Simulated sample count.
+        samples: usize,
+        /// Dither seed.
+        seed: u64,
+        /// Welch segment length (power of two, `>= 8*osr` so the tone
+        /// lands on an exact in-band bin).
+        nfft: usize,
+        /// Taps of the decimation lowpass FIR.
+        taps: usize,
+    },
     /// A runtime-defined declarative graph ([`psdacc_sfg::GraphSpec`]),
     /// identified by the content hash of its canonical JSON. Inline in
     /// specs as `graph={...}`, or registered under a name via
@@ -136,6 +197,28 @@ impl Scenario {
             Scenario::RandomSfg { nodes, seed } => {
                 format!("random-sfg[nodes={nodes},seed={seed}]")
             }
+            Scenario::MeasuredWelch { samples, seed, nfft, overlap, window, beta, taps } => {
+                let beta = match beta {
+                    Some(b) => format!(",beta={b}"),
+                    None => String::new(),
+                };
+                format!(
+                    "measured-welch[samples={samples},seed={seed},nfft={nfft},\
+                     overlap={overlap},window={window}{beta},taps={taps}]"
+                )
+            }
+            Scenario::CrossSpectrum { samples, seed, nfft, overlap, snr, taps } => {
+                format!(
+                    "cross-spectrum[samples={samples},seed={seed},nfft={nfft},\
+                     overlap={overlap},snr={snr},taps={taps}]"
+                )
+            }
+            Scenario::SigmaDelta { order, osr, amp, samples, seed, nfft, taps } => {
+                format!(
+                    "sigma-delta[order={order},osr={osr},amp={amp},samples={samples},\
+                     seed={seed},nfft={nfft},taps={taps}]"
+                )
+            }
             Scenario::Graph(g) => g.key(),
         }
     }
@@ -158,6 +241,29 @@ impl Scenario {
     /// [`EngineError::Scenario`] for out-of-range parameters.
     pub fn validate(&self) -> Result<(), EngineError> {
         match *self {
+            Scenario::MeasuredWelch { samples, nfft, overlap, ref window, beta, taps, .. } => {
+                validate_trace_params("measured-welch", samples, nfft, overlap, taps)?;
+                psdacc_estim::WelchWindow::parse(window, beta)
+                    .map(|_| ())
+                    .map_err(|e| EngineError::Scenario(format!("measured-welch: {e}")))
+            }
+            Scenario::CrossSpectrum { samples, nfft, overlap, snr, taps, .. } => {
+                validate_trace_params("cross-spectrum", samples, nfft, overlap, taps)?;
+                check((-40.0..=80.0).contains(&snr), "cross-spectrum snr must be -40..=80 dB")
+            }
+            Scenario::SigmaDelta { order, osr, amp, samples, nfft, taps, .. } => {
+                check((1..=2).contains(&order), "sigma-delta order must be 1 or 2")?;
+                check(
+                    osr.is_power_of_two() && (4..=128).contains(&osr),
+                    "sigma-delta osr must be a power of two in 4..=128",
+                )?;
+                check(amp > 0.0 && amp <= 1.0, "sigma-delta amp must be in (0, 1]")?;
+                validate_trace_params("sigma-delta", samples, nfft, 0.5, taps)?;
+                check(
+                    nfft >= 8 * osr,
+                    "sigma-delta nfft must be >= 8*osr (tone on an exact in-band bin)",
+                )
+            }
             Scenario::FirBank { index } => check(index < 147, "fir-bank index must be < 147"),
             Scenario::IirBank { index } => check(index < 147, "iir-bank index must be < 147"),
             Scenario::FirCascade { stages, taps, cutoff } => {
@@ -241,6 +347,15 @@ impl Scenario {
             }
             Scenario::DwtPacket { depth } => Ok(psdacc_systems::dwt_decimated::packet_bank(depth)?),
             Scenario::RandomSfg { nodes, seed } => build_random_sfg(nodes, seed),
+            Scenario::MeasuredWelch { samples, seed, nfft, overlap, ref window, beta, taps } => {
+                build_measured_welch(samples, seed, nfft, overlap, window, beta, taps)
+            }
+            Scenario::CrossSpectrum { samples, seed, nfft, overlap, snr, taps } => {
+                build_cross_spectrum(samples, seed, nfft, overlap, snr, taps)
+            }
+            Scenario::SigmaDelta { order, osr, amp, samples, seed, nfft, taps } => {
+                build_sigma_delta(order, osr, amp, samples, seed, nfft, taps)
+            }
             Scenario::Graph(ref g) => g.spec().compile().map_err(EngineError::from),
         }
     }
@@ -272,6 +387,28 @@ impl Scenario {
             Scenario::DwtPacket { depth } => format!("dwt-packet depth={depth}"),
             Scenario::RandomSfg { nodes, seed } => {
                 format!("random-sfg nodes={nodes} seed={seed}")
+            }
+            Scenario::MeasuredWelch { samples, seed, nfft, overlap, window, beta, taps } => {
+                let beta = match beta {
+                    Some(b) => format!(" beta={b}"),
+                    None => String::new(),
+                };
+                format!(
+                    "measured-welch samples={samples} seed={seed} nfft={nfft} \
+                     overlap={overlap} window={window}{beta} taps={taps}"
+                )
+            }
+            Scenario::CrossSpectrum { samples, seed, nfft, overlap, snr, taps } => {
+                format!(
+                    "cross-spectrum samples={samples} seed={seed} nfft={nfft} \
+                     overlap={overlap} snr={snr} taps={taps}"
+                )
+            }
+            Scenario::SigmaDelta { order, osr, amp, samples, seed, nfft, taps } => {
+                format!(
+                    "sigma-delta order={order} osr={osr} amp={amp} samples={samples} \
+                     seed={seed} nfft={nfft} taps={taps}"
+                )
             }
             Scenario::Graph(g) => match g.name() {
                 Some(name) => name.to_string(),
@@ -400,6 +537,135 @@ fn build_random_sfg(nodes: usize, seed: u64) -> Result<Sfg, EngineError> {
     Ok(g)
 }
 
+/// Shared range checks of the measured-signal families (trace length,
+/// Welch segment geometry, downstream FIR size).
+fn validate_trace_params(
+    family: &str,
+    samples: usize,
+    nfft: usize,
+    overlap: f64,
+    taps: usize,
+) -> Result<(), EngineError> {
+    let max = psdacc_estim::welch::MAX_TRACE_SAMPLES;
+    check((256..=max).contains(&samples), &format!("{family} samples must be 256..={max}"))?;
+    check(
+        nfft.is_power_of_two() && (8..=16384).contains(&nfft),
+        &format!("{family} nfft must be a power of two in 8..=16384"),
+    )?;
+    check(nfft <= samples, &format!("{family} nfft must not exceed samples"))?;
+    check((0.0..=0.95).contains(&overlap), &format!("{family} overlap must be in [0, 0.95]"))?;
+    check((3..=255).contains(&taps), &format!("{family} taps must be 3..=255"))
+}
+
+/// The `measured-welch` graph: input and Welch-estimated measured source
+/// summed into a lowpass FIR. The trace is seeded AR(1) noise with a DC
+/// offset (exercising both the colored bins and the mean path).
+fn build_measured_welch(
+    samples: usize,
+    seed: u64,
+    nfft: usize,
+    overlap: f64,
+    window: &str,
+    beta: Option<f64>,
+    taps: usize,
+) -> Result<Sfg, EngineError> {
+    let win = psdacc_estim::WelchWindow::parse(window, beta)
+        .map_err(|e| EngineError::Scenario(format!("measured-welch: {e}")))?;
+    let cfg = psdacc_estim::WelchConfig { nfft, overlap, window: win };
+    let mut gen = psdacc_dsp::SignalGenerator::new(seed ^ 0x5FDA_CC10);
+    let mut x = gen.ar1(samples, 0.9, 0.05);
+    for v in &mut x {
+        *v += 0.02;
+    }
+    let est = psdacc_estim::welch_psd(&x, &cfg)
+        .map_err(|e| EngineError::Scenario(format!("measured-welch: {e}")))?;
+    measured_graph(est.bins, est.mean, taps)
+}
+
+/// The `cross-spectrum` graph: two channels share a seeded AR(1) signal
+/// plus independent white noise at `snr` dB; the cross-spectrum estimate
+/// (which rejects the uncorrelated part) becomes the measured source.
+fn build_cross_spectrum(
+    samples: usize,
+    seed: u64,
+    nfft: usize,
+    overlap: f64,
+    snr: f64,
+    taps: usize,
+) -> Result<Sfg, EngineError> {
+    let cfg = psdacc_estim::WelchConfig { nfft, overlap, window: psdacc_estim::WelchWindow::Hann };
+    let mut gen = psdacc_dsp::SignalGenerator::new(seed ^ 0x5FDA_CC20);
+    let common = gen.ar1(samples, 0.95, 0.05);
+    let noise_sigma = 0.05 * 10f64.powf(-snr / 20.0);
+    let na = gen.gaussian_white(samples, noise_sigma);
+    let nb = gen.gaussian_white(samples, noise_sigma);
+    let a: Vec<f64> = common.iter().zip(&na).map(|(c, n)| c + n).collect();
+    let b: Vec<f64> = common.iter().zip(&nb).map(|(c, n)| c + n).collect();
+    let est = psdacc_estim::cross_psd(&a, &b, &cfg)
+        .map_err(|e| EngineError::Scenario(format!("cross-spectrum: {e}")))?;
+    measured_graph(est.bins, est.mean, taps)
+}
+
+/// The `sigma-delta` graph: a bit-true 1st/2nd-order modulator runs on a
+/// dithered in-band tone; the Welch estimate of the modulation error
+/// `y - x` (the shaped quantization noise plus tone leakage) feeds the
+/// decimation lowpass as a measured source. Single-rate on purpose —
+/// measured sources reject multirate graphs, so the decimator is modeled
+/// by its anti-alias filter.
+fn build_sigma_delta(
+    order: usize,
+    osr: usize,
+    amp: f64,
+    samples: usize,
+    seed: u64,
+    nfft: usize,
+    taps: usize,
+) -> Result<Sfg, EngineError> {
+    // Tone on an exact Welch bin inside the signal band: bin nfft/(8*osr)
+    // (integer because both are powers of two and nfft >= 8*osr).
+    let k0 = (nfft / (8 * osr)).max(1);
+    let f0 = k0 as f64 / nfft as f64;
+    let mut gen = psdacc_dsp::SignalGenerator::new(seed ^ 0x5FDA_CC30);
+    let dither = gen.uniform_white(samples, 1e-3);
+    let x: Vec<f64> = (0..samples)
+        .map(|n| amp * (2.0 * std::f64::consts::PI * f0 * n as f64).sin() + dither[n])
+        .collect();
+    let y = psdacc_estim::modulate(order, &x)
+        .map_err(|e| EngineError::Scenario(format!("sigma-delta: {e}")))?;
+    // The loop's signal transfer function is z^-order (each delaying
+    // integrator adds one sample); align before differencing, otherwise
+    // the tone leaks into the error as (z^-order - 1)*x and buries the
+    // shaped noise in band.
+    let err: Vec<f64> = y[order..].iter().zip(&x).map(|(y, x)| y - x).collect();
+    let cfg =
+        psdacc_estim::WelchConfig { nfft, overlap: 0.5, window: psdacc_estim::WelchWindow::Hann };
+    let est = psdacc_estim::welch_psd(&err, &cfg)
+        .map_err(|e| EngineError::Scenario(format!("sigma-delta: {e}")))?;
+    let cutoff = (0.5 / osr as f64).min(0.45);
+    let fir = design_fir(BandSpec::Lowpass { cutoff }, taps, psdacc_dsp::Window::Hamming)?;
+    let mut g = Sfg::new();
+    let xin = g.add_input();
+    let m =
+        g.add_block(Block::Measured(psdacc_sfg::MeasuredSource::new(est.bins, est.mean)), &[])?;
+    let sum = g.add_block(Block::Add, &[xin, m])?;
+    let f = g.add_block(Block::Fir(fir), &[sum])?;
+    g.mark_output(f);
+    Ok(g)
+}
+
+/// Shared graph shape of the measured-signal families: quantized input and
+/// the estimated source summed into a lowpass FIR.
+fn measured_graph(bins: Vec<f64>, mean: f64, taps: usize) -> Result<Sfg, EngineError> {
+    let fir = design_fir(BandSpec::Lowpass { cutoff: 0.2 }, taps, psdacc_dsp::Window::Hamming)?;
+    let mut g = Sfg::new();
+    let x = g.add_input();
+    let m = g.add_block(Block::Measured(psdacc_sfg::MeasuredSource::new(bins, mean)), &[])?;
+    let sum = g.add_block(Block::Add, &[x, m])?;
+    let f = g.add_block(Block::Fir(fir), &[sum])?;
+    g.mark_output(f);
+    Ok(g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +750,41 @@ mod tests {
             Scenario::DwtDecimated { levels: 3 },
             Scenario::DwtPacket { depth: 2 },
             Scenario::RandomSfg { nodes: 12, seed: 99 },
+            Scenario::MeasuredWelch {
+                samples: 1024,
+                seed: 7,
+                nfft: 128,
+                overlap: 0.5,
+                window: "hann".to_string(),
+                beta: None,
+                taps: 15,
+            },
+            Scenario::MeasuredWelch {
+                samples: 2048,
+                seed: 2,
+                nfft: 64,
+                overlap: 0.25,
+                window: "kaiser".to_string(),
+                beta: Some(8.6),
+                taps: 15,
+            },
+            Scenario::CrossSpectrum {
+                samples: 2048,
+                seed: 5,
+                nfft: 64,
+                overlap: 0.5,
+                snr: 6.0,
+                taps: 15,
+            },
+            Scenario::SigmaDelta {
+                order: 1,
+                osr: 8,
+                amp: 0.5,
+                samples: 4096,
+                seed: 3,
+                nfft: 256,
+                taps: 31,
+            },
             Scenario::Graph(
                 crate::graphspec::GraphScenario::from_json(
                     r#"{"nodes":[{"name":"x","block":"input"},

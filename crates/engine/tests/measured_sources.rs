@@ -1,0 +1,130 @@
+//! End-to-end coverage of the measured-signal scenario families (PR 10):
+//! estimated spectra flow through the engine exactly like analytic
+//! sources, rebuild bit-identically from their spec lines (the property
+//! fleet routing relies on), refuse the methods that cannot represent
+//! them, and resolve `trace` references client-side.
+
+use psdacc_engine::{BatchSpec, Engine, Scenario, ScenarioRegistry};
+
+/// Runs `spec_text` on a fresh engine and returns the result powers in
+/// job order (None for error rows).
+fn run_powers(spec_text: &str) -> Vec<Option<f64>> {
+    let spec = BatchSpec::parse(spec_text).unwrap_or_else(|e| panic!("{spec_text}: {e}"));
+    let report = Engine::new(2).run(spec.jobs());
+    report.results.iter().map(|r| r.power).collect()
+}
+
+#[test]
+fn estim_families_run_and_rebuild_bit_identically() {
+    // The fleet bit-identity basis: a daemon holds no trace state — it
+    // reparses the spec line and rebuilds the scenario from the seed. Two
+    // independent engines must therefore agree to the last bit.
+    let spec = "scenario measured-welch samples=1024 nfft=128 seed=9\n\
+                scenario cross-spectrum samples=2048 nfft=64 snr=6\n\
+                scenario sigma-delta order=2 osr=16 samples=8192 nfft=512\n\
+                batch npsd=256 bits=10,14 methods=psd rounding=nearest\n";
+    let a = run_powers(spec);
+    let b = run_powers(spec);
+    assert_eq!(a.len(), 6);
+    assert_eq!(a, b, "independent rebuilds must be bit-identical");
+    for (i, p) in a.iter().enumerate() {
+        let p = p.expect("psd method succeeds on measured graphs");
+        assert!(p.is_finite() && p > 0.0, "job {i}: power {p}");
+    }
+    // The measured floor: more fractional bits shrink quantization noise
+    // but never the estimated source's contribution. (Round-to-nearest in
+    // the spec keeps this monotone — truncation's negative quantization
+    // mean can cancel against the measured mean.)
+    for pair in a.chunks(2) {
+        let (b10, b14) = (pair[0].unwrap(), pair[1].unwrap());
+        assert!(b14 < b10, "quantization part must shrink: {b14} vs {b10}");
+    }
+}
+
+#[test]
+fn sigma_delta_order_raises_the_error_floor_shape() {
+    // Post-filter output power is the in-band share of the shaped
+    // modulation error. At OSR 16 a second-order loop pushes more of its
+    // (larger) total error out of band than a first-order loop, so the
+    // in-band residue after the decimation lowpass must be smaller. A
+    // sharp 255-tap filter is needed to see it: order 2 carries far more
+    // out-of-band power, so a sloppy stopband would mask the comparison.
+    let run = |order: usize| {
+        run_powers(&format!(
+            "scenario sigma-delta order={order} osr=16 samples=16384 nfft=1024 taps=255\n\
+             batch npsd=512 bits=24 methods=psd\n"
+        ))[0]
+            .unwrap()
+    };
+    let (first, second) = (run(1), run(2));
+    assert!(
+        second < first / 2.0,
+        "order-2 in-band noise should be well below order-1: {second} vs {first}"
+    );
+}
+
+#[test]
+fn non_psd_methods_yield_error_rows_on_measured_scenarios() {
+    let spec = "scenario measured-welch samples=512 nfft=64\n\
+                batch npsd=128 bits=10 methods=psd,agnostic,flat\n";
+    let parsed = BatchSpec::parse(spec).unwrap();
+    let report = Engine::new(2).run(parsed.jobs());
+    assert_eq!(report.results.len(), 3);
+    assert!(report.results[0].power.is_some(), "psd succeeds");
+    for r in &report.results[1..] {
+        assert!(r.power.is_none(), "agnostic/flat must refuse measured graphs");
+        let err = r.error.as_deref().unwrap_or_default();
+        assert!(err.contains("measured"), "error names the measured source: {err}");
+    }
+}
+
+#[test]
+fn trace_references_resolve_to_inline_samples_client_side() {
+    let dir = std::env::temp_dir().join(format!("psdacc-trace-{}", std::process::id()));
+    let store = psdacc_estim::TraceStore::open(&dir).unwrap();
+    let mut gen = psdacc_dsp::SignalGenerator::new(77);
+    let samples = gen.gaussian_white(512, 0.01);
+    let hash = store.save(&samples).unwrap();
+
+    let inline: Vec<String> = samples.iter().map(|s| format!("{s:e}")).collect();
+    let by_ref = format!(
+        r#"{{"nodes":[{{"name":"x","block":"input"}},
+                      {{"name":"m","block":"measured","trace":"{hash}","nfft":64}},
+                      {{"name":"s","block":"add","inputs":["x","m"]}}],
+            "outputs":["s"]}}"#
+    );
+    let by_inline = by_ref
+        .replace(&format!(r#""trace":"{hash}""#), &format!(r#""samples":[{}]"#, inline.join(",")));
+
+    let ref_path = dir.join("by_ref.json");
+    let inline_path = dir.join("by_inline.json");
+    std::fs::write(&ref_path, &by_ref).unwrap();
+    std::fs::write(&inline_path, &by_inline).unwrap();
+
+    // Without a store the reference is rejected at definition time.
+    let registry = ScenarioRegistry::new();
+    let entry = vec![format!("g={}", ref_path.display())];
+    let err = registry.define_graph_files(&entry).unwrap_err();
+    assert!(err.to_string().contains("trace"), "{err}");
+
+    // With the store, reference and inline forms are the same scenario:
+    // same canonical JSON, same content hash, same key.
+    let resolved = registry.define_graph_files_resolved(&entry, Some(&store)).unwrap();
+    let inline_entry = vec![format!("h={}", inline_path.display())];
+    let direct = registry.define_graph_files_resolved(&inline_entry, None).unwrap();
+    assert_eq!(resolved[0].1, direct[0].1, "canonical wire forms must match");
+    let a = registry.parse_spec_line("g").unwrap();
+    let b = registry.parse_spec_line("h").unwrap();
+    let (Scenario::Graph(ga), Scenario::Graph(gb)) = (&a, &b) else { panic!("{a:?} {b:?}") };
+    assert_eq!(ga.key(), gb.key(), "content identity is supply-independent");
+
+    // A corrupt or missing blob fails with the hash in the message.
+    let missing = by_ref.replace(&hash, &"0".repeat(hash.len()));
+    std::fs::write(&ref_path, &missing).unwrap();
+    let err = registry
+        .define_graph_files_resolved(&[format!("bad={}", ref_path.display())], Some(&store))
+        .unwrap_err();
+    assert!(err.to_string().contains("trace") || err.to_string().contains('0'), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,144 @@
+//! # psdacc-estim
+//!
+//! Measured-signal PSD estimation: the bridge from **recorded sample
+//! traces** to the analytic PSD-propagation machinery of the rest of the
+//! workspace.
+//!
+//! All other noise sources in the stack are analytic (quantization moments
+//! derived from word-length plans). This crate turns *measurements* into
+//! sources:
+//!
+//! * [`welch_psd`] — Welch's method (windowed overlapping segments,
+//!   bias-corrected averaging) over a recorded trace, split into a mean
+//!   (DC) component and zero-mean spectral bins so the result drops
+//!   straight into the workspace's `NoisePsd { bins, mean }` convention,
+//! * [`cross_psd`] — two-channel cross-spectrum estimation: the averaged
+//!   cross-PSD of a common signal seen through two independent-noise
+//!   channels converges on the common signal's PSD *below* either
+//!   channel's single-channel noise floor,
+//! * [`sigma_delta`] — bit-true 1st/2nd-order sigma-delta modulators and
+//!   DR/SFDR/THD/SNR/ENOB figures of merit computed from an estimated
+//!   spectrum,
+//! * [`trace`] — content-addressed storage for recorded traces (dual
+//!   FNV-1a over the exact f64 bit patterns, checksummed file codec), so
+//!   `GraphSpec` definitions can reference blobs by hash instead of
+//!   inlining megabytes of samples,
+//! * [`rebin_mass`] — power-preserving rebinning between estimation and
+//!   evaluation frequency grids.
+//!
+//! Everything is deterministic: the estimators are pure functions of their
+//! inputs, and the test-signal generators are seeded
+//! (`psdacc_dsp::SignalGenerator`), so two daemons that rebuild the same
+//! measured scenario produce bit-identical PSDs — the property the fleet's
+//! bit-identity proofs rest on.
+
+pub mod cross;
+pub mod sigma_delta;
+pub mod trace;
+pub mod welch;
+
+pub use cross::cross_psd;
+pub use sigma_delta::{modulate, SigmaDeltaFom};
+pub use trace::{trace_hash, TraceStore};
+pub use welch::{welch_psd, EstimatedPsd, WelchConfig, WelchWindow};
+
+use std::fmt;
+
+/// Typed estimation errors (all are input-validation failures; the
+/// estimators themselves cannot fail on valid input).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimError {
+    /// A numeric or enum parameter is out of its documented range.
+    BadParam { param: &'static str, detail: String },
+    /// The input trace is unusable (empty, non-finite samples, ...).
+    BadTrace { detail: String },
+}
+
+impl fmt::Display for EstimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimError::BadParam { param, detail } => {
+                write!(f, "bad estimation parameter `{param}`: {detail}")
+            }
+            EstimError::BadTrace { detail } => write!(f, "bad trace: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimError {}
+
+/// Power-preserving rebinning of a two-sided bin-mass PSD from one grid
+/// size to another.
+///
+/// Both grids cover normalized frequency `[0, 1)`; each source bin's mass
+/// is distributed over the destination bins it overlaps, proportionally to
+/// the overlap, so `sum(out) == sum(bins)` up to rounding. With equal
+/// sizes this is the identity (bit-exact copy).
+///
+/// # Panics
+///
+/// Panics if `npsd == 0`.
+pub fn rebin_mass(bins: &[f64], npsd: usize) -> Vec<f64> {
+    assert!(npsd > 0, "rebin_mass: npsd must be positive");
+    let nfft = bins.len();
+    if nfft == npsd {
+        return bins.to_vec();
+    }
+    let mut out = vec![0.0; npsd];
+    if nfft == 0 {
+        return out;
+    }
+    // Source bin k covers [k/nfft, (k+1)/nfft); destination bin j covers
+    // [j/npsd, (j+1)/npsd). Walk source bins and split each across the
+    // destination bins it intersects.
+    for (k, &mass) in bins.iter().enumerate() {
+        if mass == 0.0 {
+            continue;
+        }
+        let lo = k as f64 / nfft as f64;
+        let hi = (k + 1) as f64 / nfft as f64;
+        let j0 = (lo * npsd as f64).floor() as usize;
+        let j1 = (((hi * npsd as f64).ceil() as usize).max(j0 + 1)).min(npsd);
+        let width = hi - lo;
+        for (j, slot) in out.iter_mut().enumerate().take(j1).skip(j0) {
+            let seg_lo = lo.max(j as f64 / npsd as f64);
+            let seg_hi = hi.min((j + 1) as f64 / npsd as f64);
+            if seg_hi > seg_lo {
+                *slot += mass * ((seg_hi - seg_lo) / width);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebin_identity_is_bit_exact() {
+        let bins = vec![0.1, 0.2, 0.3, 0.4];
+        assert_eq!(rebin_mass(&bins, 4), bins);
+    }
+
+    #[test]
+    fn rebin_preserves_total_power() {
+        let bins: Vec<f64> = (0..128).map(|k| (k as f64 * 0.37).sin().abs()).collect();
+        for npsd in [32, 64, 100, 256, 1000] {
+            let out = rebin_mass(&bins, npsd);
+            assert_eq!(out.len(), npsd);
+            let a: f64 = bins.iter().sum();
+            let b: f64 = out.iter().sum();
+            assert!((a - b).abs() < 1e-12 * a.max(1.0), "npsd={npsd}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rebin_upsample_splits_mass_evenly() {
+        let out = rebin_mass(&[1.0, 3.0], 4);
+        assert!((out[0] - 0.5).abs() < 1e-15);
+        assert!((out[1] - 0.5).abs() < 1e-15);
+        assert!((out[2] - 1.5).abs() < 1e-15);
+        assert!((out[3] - 1.5).abs() < 1e-15);
+    }
+}

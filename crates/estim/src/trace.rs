@@ -1,0 +1,194 @@
+//! Content-addressed storage for recorded traces.
+//!
+//! A trace's identity is a dual-FNV-1a 128-bit hash over the **exact f64
+//! bit patterns** (little-endian, length-pinned) — the same
+//! identity-by-content discipline the engine uses for `GraphSpec` graphs.
+//! `GraphSpec` measured nodes can then reference a blob as
+//! `"trace": "<hash>"` instead of inlining thousands of samples; the
+//! client resolves the reference from a [`TraceStore`] directory before
+//! the spec is canonicalized, so daemons stay stateless and the canonical
+//! wire form (inline samples) is identical no matter how the trace was
+//! supplied.
+//!
+//! File format (`<hash>.trace`): magic `PSDTRACE1\n`, sample count, one
+//! `{:e}` float per line, and a trailing checksum line (the content hash
+//! again) so truncation and corruption are detected on load.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use crate::EstimError;
+
+const MAGIC: &str = "PSDTRACE1";
+
+fn fnv1a(bytes: impl Iterator<Item = u8>, basis: u64, prime: u64) -> u64 {
+    let mut h = basis;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(prime);
+    }
+    h
+}
+
+/// Content hash of a trace: 32 hex chars from two independent FNV-1a
+/// passes over the little-endian f64 bit patterns, with the sample count
+/// pinned into the stream (so prefixes do not collide).
+pub fn trace_hash(samples: &[f64]) -> String {
+    let stream = || {
+        (samples.len() as u64)
+            .to_le_bytes()
+            .into_iter()
+            .chain(samples.iter().flat_map(|v| v.to_bits().to_le_bytes()))
+    };
+    let a = fnv1a(stream(), 0xcbf2_9ce4_8422_2325, 0x0000_0100_0000_01b3);
+    let b = fnv1a(stream(), 0x6c62_272e_07bb_0142, 0x0000_0100_0000_01b3 ^ 0x5bd1_e995);
+    format!("{a:016x}{b:016x}")
+}
+
+/// A directory of content-addressed trace blobs.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+}
+
+impl TraceStore {
+    /// Open (creating if needed) a trace directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(TraceStore { dir })
+    }
+
+    fn path(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.trace"))
+    }
+
+    /// Persist a trace; returns its content hash. Idempotent: saving the
+    /// same samples twice writes the same file once.
+    pub fn save(&self, samples: &[f64]) -> std::io::Result<String> {
+        let hash = trace_hash(samples);
+        let path = self.path(&hash);
+        if path.exists() {
+            return Ok(hash);
+        }
+        let mut body = String::with_capacity(16 + samples.len() * 16);
+        body.push_str(MAGIC);
+        body.push('\n');
+        body.push_str(&samples.len().to_string());
+        body.push('\n');
+        for v in samples {
+            body.push_str(&format!("{v:e}\n"));
+        }
+        body.push_str(&hash);
+        body.push('\n');
+        let tmp = self.dir.join(format!(".{hash}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(hash)
+    }
+
+    /// Load a trace by hash, verifying the embedded checksum against the
+    /// requested hash (corruption and truncation are both detected).
+    pub fn load(&self, hash: &str) -> Result<Vec<f64>, EstimError> {
+        let path = self.path(hash);
+        let corrupt =
+            |detail: String| EstimError::BadTrace { detail: format!("trace {hash}: {detail}") };
+        let body = fs::read_to_string(&path).map_err(|e| corrupt(format!("unreadable ({e})")))?;
+        let mut lines = body.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(corrupt("bad magic".to_string()));
+        }
+        let count: usize = lines
+            .next()
+            .and_then(|l| l.parse().ok())
+            .ok_or_else(|| corrupt("bad sample count".to_string()))?;
+        let mut samples = Vec::with_capacity(count);
+        for i in 0..count {
+            let line = lines.next().ok_or_else(|| corrupt(format!("truncated at sample {i}")))?;
+            let v: f64 = line.parse().map_err(|_| corrupt(format!("bad sample {i}: `{line}`")))?;
+            samples.push(v);
+        }
+        let check = lines.next().ok_or_else(|| corrupt("missing checksum".to_string()))?;
+        let actual = trace_hash(&samples);
+        if check != actual || actual != hash {
+            return Err(corrupt(format!("checksum mismatch (stored {check}, actual {actual})")));
+        }
+        Ok(samples)
+    }
+
+    /// List the hashes of every stored trace (sorted, deterministic).
+    pub fn list(&self) -> std::io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(hash) = name.strip_suffix(".trace") {
+                out.push(hash.to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("psdacc-estim-trace-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn hash_is_bit_pattern_sensitive() {
+        let a = trace_hash(&[1.0, 2.0]);
+        let b = trace_hash(&[1.0, f64::from_bits(2.0f64.to_bits() + 1)]);
+        let c = trace_hash(&[1.0, 2.0, 0.0]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, trace_hash(&[1.0, 2.0]));
+        assert_eq!(a.len(), 32);
+        // -0.0 and 0.0 are different bit patterns, hence different traces.
+        assert_ne!(trace_hash(&[0.0]), trace_hash(&[-0.0]));
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let store = TraceStore::open(tmpdir("roundtrip")).unwrap();
+        let samples = vec![0.1, -2.5e-17, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, -0.0];
+        let hash = store.save(&samples).unwrap();
+        let loaded = store.load(&hash).unwrap();
+        assert_eq!(samples.len(), loaded.len());
+        for (a, b) in samples.iter().zip(&loaded) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact round trip");
+        }
+        assert_eq!(store.save(&samples).unwrap(), hash);
+        assert_eq!(store.list().unwrap(), vec![hash]);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        let store = TraceStore::open(&dir).unwrap();
+        let hash = store.save(&[1.0, 2.0, 3.0]).unwrap();
+        let path = dir.join(format!("{hash}.trace"));
+        let body = fs::read_to_string(&path).unwrap();
+        // Flip a sample: checksum no longer matches.
+        fs::write(&path, body.replace("2e0", "2.5e0")).unwrap();
+        assert!(matches!(store.load(&hash), Err(EstimError::BadTrace { .. })));
+        // Truncation: drop the checksum line.
+        let lines: Vec<&str> = body.lines().collect();
+        fs::write(&path, lines[..lines.len() - 2].join("\n")).unwrap();
+        assert!(matches!(store.load(&hash), Err(EstimError::BadTrace { .. })));
+        // Missing file.
+        assert!(store.load("feedfacefeedfacefeedfacefeedface").is_err());
+    }
+}

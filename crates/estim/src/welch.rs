@@ -1,0 +1,287 @@
+//! Welch PSD estimation of recorded traces, in the workspace's
+//! `NoisePsd { bins, mean }` source convention.
+//!
+//! The estimator detrends the trace (subtracts the sample mean) before
+//! segmenting, so the returned `bins` describe the **zero-mean** part of
+//! the signal and the DC component travels separately as `mean` — exactly
+//! how the analytic propagation machinery splits every other source. Total
+//! estimated power then satisfies Parseval against the *sample variance*:
+//! `sum(bins) ~= E[(x - mean)^2]`.
+
+use psdacc_dsp::Window;
+
+use crate::EstimError;
+
+/// Spectral window selection for [`welch_psd`] / [`crate::cross_psd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WelchWindow {
+    Rectangular,
+    Hann,
+    Hamming,
+    Blackman,
+    /// Kaiser window with shape parameter `beta` (typ. 5–12; larger beta,
+    /// lower sidelobes, wider main lobe).
+    Kaiser(f64),
+}
+
+impl WelchWindow {
+    /// Parse a window by name. `beta` is required for `kaiser` and
+    /// rejected for every other window.
+    pub fn parse(name: &str, beta: Option<f64>) -> Result<Self, EstimError> {
+        let bad = |detail: String| EstimError::BadParam { param: "window", detail };
+        let w = match name {
+            "rect" | "rectangular" => WelchWindow::Rectangular,
+            "hann" => WelchWindow::Hann,
+            "hamming" => WelchWindow::Hamming,
+            "blackman" => WelchWindow::Blackman,
+            "kaiser" => {
+                let beta =
+                    beta.ok_or_else(|| bad("kaiser window needs a `beta` parameter".to_string()))?;
+                if !beta.is_finite() || !(0.0..=64.0).contains(&beta) {
+                    return Err(EstimError::BadParam {
+                        param: "beta",
+                        detail: format!("kaiser beta must be finite in [0, 64], got {beta}"),
+                    });
+                }
+                return Ok(WelchWindow::Kaiser(beta));
+            }
+            other => {
+                return Err(bad(format!(
+                    "unknown window `{other}` (known: rect, hann, hamming, blackman, kaiser)"
+                )))
+            }
+        };
+        if beta.is_some() {
+            return Err(bad(format!("`beta` only applies to the kaiser window, not `{name}`")));
+        }
+        Ok(w)
+    }
+
+    /// Canonical name (the one [`WelchWindow::parse`] accepts).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WelchWindow::Rectangular => "rect",
+            WelchWindow::Hann => "hann",
+            WelchWindow::Hamming => "hamming",
+            WelchWindow::Blackman => "blackman",
+            WelchWindow::Kaiser(_) => "kaiser",
+        }
+    }
+
+    fn to_dsp(self) -> Window {
+        match self {
+            WelchWindow::Rectangular => Window::Rectangular,
+            WelchWindow::Hann => Window::Hann,
+            WelchWindow::Hamming => Window::Hamming,
+            WelchWindow::Blackman => Window::Blackman,
+            WelchWindow::Kaiser(beta) => Window::Kaiser(beta),
+        }
+    }
+}
+
+/// Welch estimator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WelchConfig {
+    /// Segment length = FFT size = number of output bins. Power of two in
+    /// `[MIN_NFFT, MAX_NFFT]`.
+    pub nfft: usize,
+    /// Segment overlap as a fraction of `nfft`, in `[0, MAX_OVERLAP]`.
+    pub overlap: f64,
+    pub window: WelchWindow,
+}
+
+/// Smallest accepted segment length.
+pub const MIN_NFFT: usize = 8;
+/// Largest accepted segment length (matches the evaluation grid ceiling).
+pub const MAX_NFFT: usize = 1 << 14;
+/// Largest accepted segment overlap fraction.
+pub const MAX_OVERLAP: f64 = 0.95;
+/// Longest accepted trace (wire/spec safety limit, shared with `GraphSpec`).
+pub const MAX_TRACE_SAMPLES: usize = 1 << 16;
+
+impl Default for WelchConfig {
+    fn default() -> Self {
+        WelchConfig { nfft: 256, overlap: 0.5, window: WelchWindow::Hann }
+    }
+}
+
+impl WelchConfig {
+    /// Validate parameter ranges (shared by the auto- and cross-spectrum
+    /// estimators).
+    pub fn validate(&self) -> Result<(), EstimError> {
+        if self.nfft < MIN_NFFT || self.nfft > MAX_NFFT || !self.nfft.is_power_of_two() {
+            return Err(EstimError::BadParam {
+                param: "nfft",
+                detail: format!(
+                    "segment length must be a power of two in [{MIN_NFFT}, {MAX_NFFT}], got {}",
+                    self.nfft
+                ),
+            });
+        }
+        if !self.overlap.is_finite() || !(0.0..=MAX_OVERLAP).contains(&self.overlap) {
+            return Err(EstimError::BadParam {
+                param: "overlap",
+                detail: format!("overlap must be in [0, {MAX_OVERLAP}], got {}", self.overlap),
+            });
+        }
+        if let WelchWindow::Kaiser(beta) = self.window {
+            if !beta.is_finite() || !(0.0..=64.0).contains(&beta) {
+                return Err(EstimError::BadParam {
+                    param: "beta",
+                    detail: format!("kaiser beta must be finite in [0, 64], got {beta}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validate a raw trace: non-empty, bounded length, all samples finite.
+pub fn validate_trace(x: &[f64]) -> Result<(), EstimError> {
+    if x.is_empty() {
+        return Err(EstimError::BadTrace { detail: "trace is empty".to_string() });
+    }
+    if x.len() > MAX_TRACE_SAMPLES {
+        return Err(EstimError::BadTrace {
+            detail: format!("trace has {} samples, limit is {MAX_TRACE_SAMPLES}", x.len()),
+        });
+    }
+    if let Some(i) = x.iter().position(|v| !v.is_finite()) {
+        return Err(EstimError::BadTrace {
+            detail: format!("sample {i} is not finite ({})", x[i]),
+        });
+    }
+    Ok(())
+}
+
+/// A Welch-estimated PSD in the workspace source convention: `bins` is a
+/// two-sided bin-mass spectrum of the **zero-mean** signal part
+/// (`sum(bins) ~= sample variance`), `mean` is the sample mean (DC), and
+/// `segments` records how many overlapping segments were averaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatedPsd {
+    pub bins: Vec<f64>,
+    pub mean: f64,
+    pub segments: usize,
+}
+
+impl EstimatedPsd {
+    /// Total estimated power of the zero-mean part (Parseval side of the
+    /// estimate).
+    pub fn power(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+}
+
+pub(crate) fn segment_count(n: usize, nfft: usize, overlap: f64) -> usize {
+    if n < nfft {
+        return 1;
+    }
+    let hop = ((nfft as f64) * (1.0 - overlap)).round().max(1.0) as usize;
+    (n - nfft) / hop + 1
+}
+
+/// Welch's method over a recorded trace.
+///
+/// The trace is detrended (sample mean removed) so the DC component is
+/// reported separately in [`EstimatedPsd::mean`]; the windowed overlapping
+/// segment average is bias-corrected by the window's power (`sum(w^2)`)
+/// so flat noise estimates stay unbiased regardless of window choice.
+/// Deterministic: same trace and config, bit-identical estimate.
+pub fn welch_psd(x: &[f64], cfg: &WelchConfig) -> Result<EstimatedPsd, EstimError> {
+    let _frame = psdacc_obs::profile::frame("estim.welch");
+    cfg.validate()?;
+    validate_trace(x)?;
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    let detrended: Vec<f64> = x.iter().map(|v| v - mean).collect();
+    let bins = psdacc_dsp::welch(&detrended, cfg.nfft, cfg.overlap, cfg.window.to_dsp());
+    Ok(EstimatedPsd { bins, mean, segments: segment_count(x.len(), cfg.nfft, cfg.overlap) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdacc_dsp::SignalGenerator;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for name in ["rect", "hann", "hamming", "blackman"] {
+            let w = WelchWindow::parse(name, None).unwrap();
+            assert_eq!(w.name(), if name == "rect" { "rect" } else { name });
+        }
+        let k = WelchWindow::parse("kaiser", Some(8.6)).unwrap();
+        assert_eq!(k, WelchWindow::Kaiser(8.6));
+        assert!(WelchWindow::parse("kaiser", None).is_err());
+        assert!(WelchWindow::parse("hann", Some(1.0)).is_err());
+        assert!(WelchWindow::parse("boxcar", None).is_err());
+    }
+
+    #[test]
+    fn welch_splits_mean_from_bins() {
+        let mut gen = SignalGenerator::new(11);
+        let mut x = gen.uniform_white(1 << 14, 1.0);
+        for v in &mut x {
+            *v += 3.25;
+        }
+        let est = welch_psd(&x, &WelchConfig::default()).unwrap();
+        assert!((est.mean - 3.25).abs() < 0.02);
+        // Variance of uniform on [-0.5, 0.5] is 1/12.
+        let sigma2 = 1.0 / 12.0;
+        assert!((est.power() - sigma2).abs() < 0.05 * sigma2, "{}", est.power());
+        // DC of the detrended signal is (numerically) gone: the bins hold
+        // only the fluctuation spectrum.
+        assert!(est.bins[0] < 2.0 * est.bins[1].max(est.bins[est.bins.len() - 1]));
+    }
+
+    #[test]
+    fn welch_white_noise_is_flat_with_kaiser() {
+        let mut gen = SignalGenerator::new(7);
+        let x = gen.uniform_white(1 << 15, 1.0);
+        let cfg = WelchConfig { nfft: 64, overlap: 0.5, window: WelchWindow::Kaiser(8.0) };
+        let est = welch_psd(&x, &cfg).unwrap();
+        let expect = (1.0 / 12.0) / 64.0;
+        for (k, &v) in est.bins.iter().enumerate().skip(1) {
+            assert!((v - expect).abs() < 0.25 * expect, "bin {k}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn welch_is_deterministic() {
+        let mut gen = SignalGenerator::new(3);
+        let x = gen.uniform_white(4096, 1.0);
+        let a = welch_psd(&x, &WelchConfig::default()).unwrap();
+        let b = welch_psd(&x, &WelchConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_params_and_traces() {
+        let x = vec![0.0; 64];
+        let bad_nfft = WelchConfig { nfft: 48, ..WelchConfig::default() };
+        assert!(matches!(
+            welch_psd(&x, &bad_nfft),
+            Err(EstimError::BadParam { param: "nfft", .. })
+        ));
+        let bad_ov = WelchConfig { overlap: 0.99, ..WelchConfig::default() };
+        assert!(matches!(
+            welch_psd(&x, &bad_ov),
+            Err(EstimError::BadParam { param: "overlap", .. })
+        ));
+        assert!(matches!(
+            welch_psd(&[], &WelchConfig::default()),
+            Err(EstimError::BadTrace { .. })
+        ));
+        assert!(matches!(
+            welch_psd(&[1.0, f64::NAN], &WelchConfig::default()),
+            Err(EstimError::BadTrace { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_count_matches_hop_arithmetic() {
+        assert_eq!(segment_count(256, 256, 0.5), 1);
+        assert_eq!(segment_count(512, 256, 0.5), 3);
+        assert_eq!(segment_count(512, 256, 0.0), 2);
+        assert_eq!(segment_count(100, 256, 0.5), 1);
+    }
+}

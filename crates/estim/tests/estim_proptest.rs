@@ -1,0 +1,105 @@
+//! Property-based tests of the measured-signal estimators.
+//!
+//! Two estimator-correctness properties from the PR checklist:
+//!
+//! 1. Welch on seeded white noise is flat within tolerance and satisfies
+//!    Parseval: total estimated power ≈ sample variance.
+//! 2. Cross-spectrum on common-signal-plus-independent-noise converges
+//!    below the single-channel noise floor.
+
+use proptest::prelude::*;
+use psdacc_dsp::SignalGenerator;
+use psdacc_estim::{cross_psd, welch_psd, WelchConfig, WelchWindow};
+
+fn windows() -> impl Strategy<Value = WelchWindow> {
+    (0u8..5, 2.0f64..12.0).prop_map(|(k, beta)| match k {
+        0 => WelchWindow::Rectangular,
+        1 => WelchWindow::Hann,
+        2 => WelchWindow::Hamming,
+        3 => WelchWindow::Blackman,
+        _ => WelchWindow::Kaiser(beta),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Welch on seeded white noise: every bin within tolerance of the
+    /// flat level, and Parseval holds (total power ≈ sample variance).
+    #[test]
+    fn welch_white_noise_flat_and_parseval(
+        seed in 0u64..1_000_000,
+        nfft_log2 in 4u32..8,
+        overlap in 0.0f64..0.75,
+        window in windows(),
+        offset in -4.0f64..4.0,
+    ) {
+        let nfft = 1usize << nfft_log2;
+        let n = 1usize << 15;
+        let mut gen = SignalGenerator::new(seed);
+        let mut x = gen.uniform_white(n, 1.0);
+        for v in &mut x {
+            *v += offset;
+        }
+        let est = welch_psd(&x, &WelchConfig { nfft, overlap, window }).unwrap();
+
+        // Parseval against the sample variance (the mean travels apart).
+        let mean = x.iter().sum::<f64>() / n as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        prop_assert!(
+            (est.power() - var).abs() < 0.05 * var,
+            "Parseval: {} vs sample variance {}", est.power(), var
+        );
+        prop_assert!((est.mean - offset).abs() < 0.05);
+
+        // Flatness: every non-DC bin within 40% of the flat level (the
+        // estimator variance shrinks with segments; 2^15 samples at
+        // nfft <= 128 gives >= 256 segments, so 40% is conservative).
+        let flat = var / nfft as f64;
+        for (k, &v) in est.bins.iter().enumerate().skip(1) {
+            prop_assert!(
+                (v - flat).abs() < 0.4 * flat,
+                "bin {k}: {v} vs flat level {flat} (nfft {nfft})"
+            );
+        }
+    }
+
+    /// Cross-spectrum of a common signal through two independent-noise
+    /// channels: the in-band estimate lands near the true common-signal
+    /// PSD while the single-channel estimate is stuck a noise floor above.
+    #[test]
+    fn cross_spectrum_converges_below_single_channel_floor(
+        seed in 0u64..1_000_000,
+        noise_sigma in 0.5f64..2.0,
+    ) {
+        let n = 1usize << 16;
+        let nfft = 64usize;
+        let cfg = WelchConfig { nfft, overlap: 0.5, window: WelchWindow::Hann };
+        let mut gen = SignalGenerator::new(seed);
+        let common = gen.ar1(n, 0.9, 0.1);
+        let na = gen.gaussian_white(n, noise_sigma);
+        let nb = gen.gaussian_white(n, noise_sigma);
+        let a: Vec<f64> = common.iter().zip(&na).map(|(s, v)| s + v).collect();
+        let b: Vec<f64> = common.iter().zip(&nb).map(|(s, v)| s + v).collect();
+
+        let cross = cross_psd(&a, &b, &cfg).unwrap();
+        let single = welch_psd(&a, &cfg).unwrap();
+        let truth = welch_psd(&common, &cfg).unwrap();
+
+        // Compare total power over the high band, where the AR(1) common
+        // signal is weakest and the white channel noise dominates.
+        let hi = |bins: &[f64]| bins[nfft / 4..3 * nfft / 4].iter().sum::<f64>();
+        let floor = hi(&single.bins);
+        let denoised = hi(&cross.bins);
+        let target = hi(&truth.bins);
+        prop_assert!(floor > 3.0 * target, "floor {floor} should dominate target {target}");
+        prop_assert!(
+            denoised < 0.5 * floor,
+            "cross estimate {denoised} should fall below the single-channel floor {floor}"
+        );
+        prop_assert!(
+            denoised < 8.0 * target + 0.05 * floor,
+            "cross estimate {denoised} should approach the truth {target}"
+        );
+    }
+}

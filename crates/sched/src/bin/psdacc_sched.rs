@@ -32,7 +32,8 @@ use psdacc_serve::client;
 
 const USAGE: &str = "usage:
   psdacc-sched submit --daemons HOST:PORT[,HOST:PORT...] SPECFILE
-                      [--graph NAME=FILE]... [--static] [--window-factor N]
+                      [--graph NAME=FILE]... [--trace-dir DIR]
+                      [--static] [--window-factor N]
                       [--timeout-seconds N] [--stats-json PATH]
                       [--trace PATH] [--batch ID]
   psdacc-sched trace  --daemons HOST:PORT[,HOST:PORT...] --batch ID
@@ -46,7 +47,10 @@ retried once elsewhere, results merged back in submission order
 (bit-identical to a single-process run). --static uses the legacy
 round-robin sharding instead. --graph NAME=FILE (repeatable) registers a
 GraphSpec JSON file as scenario NAME locally and on every daemon
-(define_scenario) before units stream.
+(define_scenario) before units stream; --trace-dir DIR resolves
+\"trace\":\"<hash>\" references in measured nodes to inline samples from
+a content-addressed trace store before definitions ship, so daemons
+never hold trace state.
 
 --trace PATH records an end-to-end trace of the run: coordinator spans
 (fleet.batch root, per-unit roundtrips, dispatch/steal events) merged
@@ -66,6 +70,7 @@ struct SubmitArgs {
     daemons: Vec<String>,
     spec_path: String,
     graphs: Vec<String>,
+    trace_dir: Option<String>,
     static_shard: bool,
     window_factor: usize,
     timeout: Duration,
@@ -222,6 +227,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
     let mut timeout = Duration::from_secs(30);
     let mut stats_json = None;
     let mut graphs: Vec<String> = Vec::new();
+    let mut trace_dir: Option<String> = None;
     let mut trace = None;
     let mut batch = None;
     let mut i = 0;
@@ -257,12 +263,14 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
             }
             "--stats-json" => stats_json = Some(value("--stats-json")?),
             "--graph" => graphs.push(value("--graph")?),
+            "--trace-dir" => trace_dir = Some(value("--trace-dir")?),
             "--trace" => trace = Some(value("--trace")?),
             "--batch" => batch = Some(value("--batch")?),
             other if other.starts_with("--") => {
                 return Err(format!(
-                    "unknown argument `{other}` (allowed: --daemons, --graph, --static, \
-                     --window-factor, --timeout-seconds, --stats-json, --trace, --batch)"
+                    "unknown argument `{other}` (allowed: --daemons, --graph, --trace-dir, \
+                     --static, --window-factor, --timeout-seconds, --stats-json, --trace, \
+                     --batch)"
                 ));
             }
             positional => {
@@ -297,6 +305,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
         daemons,
         spec_path,
         graphs,
+        trace_dir,
         static_shard,
         window_factor,
         timeout,
@@ -315,7 +324,16 @@ fn cmd_submit(args: &SubmitArgs) -> ExitCode {
         }
     };
     let registry = ScenarioRegistry::new();
-    let definitions = match registry.define_graph_files(&args.graphs) {
+    // Trace references resolve client-side; daemons only see inline
+    // samples, keeping content identity supply-independent.
+    let traces = match args.trace_dir.as_ref().map(psdacc_engine::TraceStore::open).transpose() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("--trace-dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let definitions = match registry.define_graph_files_resolved(&args.graphs, traces.as_ref()) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("{e}");

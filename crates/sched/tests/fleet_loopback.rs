@@ -468,3 +468,51 @@ fn daemons2_without_defs() -> Vec<String> {
     std::mem::forget(daemon);
     vec![addr]
 }
+
+/// The measured-signal fleet shape (PR 10): estim-family scenarios carry
+/// no state beyond their spec line — each daemon re-records the seeded
+/// trace and re-estimates its spectrum locally — so a skewed
+/// work-stealing fleet must still merge bit-identically to the local
+/// engine. This is the strongest determinism claim in the estimation
+/// pipeline: one non-reproducible FFT butterfly or RNG draw anywhere
+/// breaks the byte-for-byte comparison.
+#[test]
+fn measured_source_fleet_is_bit_identical_under_work_stealing() {
+    let spec_text = "scenario measured-welch samples=1024 nfft=128 seed=21\n\
+                     scenario measured-welch samples=2048 nfft=64 seed=21 window=kaiser beta=8.6\n\
+                     scenario cross-spectrum samples=2048 nfft=64 snr=10\n\
+                     scenario sigma-delta order=1..2 osr=8 samples=4096 nfft=256\n\
+                     batch npsd=64 bits=8..11 methods=psd rounding=nearest\n\
+                     budget npsd=64 bits=9 rounding=nearest\n";
+    let spec = BatchSpec::parse(spec_text).unwrap();
+    let expected = expected_lines(&spec);
+    assert_eq!(expected.len(), 25, "5 scenarios x (4 bits + 1 budget)");
+
+    let slow = spawn_daemon(
+        1,
+        ServerConfig { chaos_unit_delay: Duration::from_millis(20), ..ServerConfig::default() },
+    );
+    let fast = spawn_daemon(2, ServerConfig::default());
+    let daemons = vec![slow.addr().to_string(), fast.addr().to_string()];
+    let outcome = run_fleet(&daemons, &spec.jobs(), &FleetConfig::default(), |_| {}).unwrap();
+
+    assert_eq!(outcome.lines.len(), expected.len());
+    assert_eq!(outcome.stats.failed, 0);
+    for (got, want) in outcome.lines.iter().zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    // Both daemons actually evaluated measured scenarios (the estimation
+    // ran on both sides, not just one).
+    assert!(
+        outcome.stats.daemons.iter().all(|d| d.served > 0),
+        "both daemons served: {:?}",
+        outcome.stats
+    );
+    // The measured budget rows survive the wire and the merge.
+    let budget_lines: Vec<&String> =
+        outcome.lines.iter().filter(|l| l.contains("\"kind\":\"budget\"")).collect();
+    assert_eq!(budget_lines.len(), 5);
+    assert!(budget_lines.iter().all(|l| l.contains("\"role\":\"measured\"")));
+    slow.shutdown();
+    fast.shutdown();
+}

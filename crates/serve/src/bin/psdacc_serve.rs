@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! psdacc-serve daemon --addr 127.0.0.1:7341 --store DIR [--threads N]
-//! psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] [--graph NAME=FILE]... SPECFILE
+//! psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] [--graph NAME=FILE]...
+//!                     [--trace-dir DIR] SPECFILE
 //! psdacc-serve stats  --workers HOST:PORT[,HOST:PORT...]
 //! psdacc-serve scenarios --workers HOST:PORT
 //! psdacc-serve describe --workers HOST:PORT
@@ -13,7 +14,10 @@
 //! lines to stdout (summaries to stderr), exiting nonzero if any job
 //! failed; `--graph NAME=FILE` (repeatable) registers a declarative
 //! `GraphSpec` on **every** worker via `define_scenario` before the batch
-//! is submitted, so spec lines may reference it as `scenario NAME`.
+//! is submitted, so spec lines may reference it as `scenario NAME`;
+//! `--trace-dir DIR` resolves `"trace":"<hash>"` references in measured
+//! nodes to inline samples from a content-addressed trace store before
+//! definitions ship (daemons never hold trace state).
 //! `stats` / `scenarios` / `describe` print each daemon's one-line answer.
 
 use std::collections::BTreeMap;
@@ -29,7 +33,8 @@ const USAGE: &str = "usage:
   psdacc-serve daemon --addr HOST:PORT [--store DIR] [--store-max-entries N] [--threads N]
                       [--max-connections N] [--trace-limit N]
                       [--chaos-unit-delay-ms MS] [--chaos-die-after-units N]
-  psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] [--graph NAME=FILE]... SPECFILE
+  psdacc-serve submit --workers HOST:PORT[,HOST:PORT...] [--graph NAME=FILE]...
+                      [--trace-dir DIR] SPECFILE
   psdacc-serve stats --workers HOST:PORT[,HOST:PORT...]
   psdacc-serve metrics --workers HOST:PORT[,HOST:PORT...] [--format text|json]
   psdacc-serve scenarios --workers HOST:PORT[,HOST:PORT...]
@@ -242,14 +247,17 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
 }
 
 fn cmd_submit(args: &[String]) -> ExitCode {
-    let (flags, graphs, positional) =
-        match parse_flags(args, &["--workers", "--timeout-seconds", "--graph"], Some("SPECFILE")) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{e}\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let (flags, graphs, positional) = match parse_flags(
+        args,
+        &["--workers", "--timeout-seconds", "--graph", "--trace-dir"],
+        Some("SPECFILE"),
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let workers = match parse_workers(&flags) {
         Ok(w) => w,
         Err(e) => {
@@ -269,7 +277,16 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         }
     };
     let registry = ScenarioRegistry::new();
-    let definitions = match registry.define_graph_files(&graphs) {
+    // Trace references resolve client-side: daemons only ever see inline
+    // samples, so a graph's content identity is supply-independent.
+    let traces = match flags.get("--trace-dir").map(psdacc_engine::TraceStore::open).transpose() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("--trace-dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let definitions = match registry.define_graph_files_resolved(&graphs, traces.as_ref()) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("{e}");

@@ -709,14 +709,17 @@ mod tests {
         let v = json::parse(&state.registry().scenarios_json_line()).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("scenarios"));
         let entries = v.get("entries").unwrap().as_array().unwrap();
-        assert_eq!(entries.len(), 9);
+        assert_eq!(entries.len(), 12, "9 builtin + 3 estim");
         assert_eq!(v.get("dynamic").unwrap().as_u64(), Some(0));
-        assert!(entries
-            .iter()
-            .any(|e| e.get("name").and_then(json::Json::as_str) == Some("fir-bank")));
-        assert!(entries
-            .iter()
-            .all(|e| e.get("provider").and_then(json::Json::as_str) == Some("builtin")));
+        for name in ["fir-bank", "measured-welch", "cross-spectrum", "sigma-delta"] {
+            assert!(entries
+                .iter()
+                .any(|e| e.get("name").and_then(json::Json::as_str) == Some(name)));
+        }
+        assert!(entries.iter().all(|e| {
+            let p = e.get("provider").and_then(json::Json::as_str);
+            p == Some("builtin") || p == Some("estim")
+        }));
     }
 
     #[test]
@@ -839,7 +842,7 @@ mod tests {
         let err = json::parse(&state.describe_line(2, Some("nope"))).unwrap();
         assert_eq!(err.get("kind").unwrap().as_str(), Some("error"));
         let all = json::parse(&state.describe_line(3, None)).unwrap();
-        assert_eq!(all.get("count").unwrap().as_u64(), Some(9));
+        assert_eq!(all.get("count").unwrap().as_u64(), Some(12), "9 builtin + 3 estim");
     }
 
     #[test]

@@ -564,7 +564,8 @@ fn defined_graph_scenario_shards_bit_identically_to_local_run() {
         let describe = client::request_control(worker, "describe").unwrap();
         let v = json::parse(&describe).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("describe"));
-        assert_eq!(v.get("count").unwrap().as_u64(), Some(10), "{describe}");
+        // 9 builtin + 3 estim + 1 dynamic.
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(13), "{describe}");
     }
     // An undefined daemon rejects the named scenario with a clear error.
     let lonely = spawn_memory_daemon(1);
@@ -616,4 +617,70 @@ fn defined_graph_scenario_warm_restarts_from_the_store() {
     }
     warm.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The measured-signal acceptance shape (PR 10): estimated-PSD scenarios —
+/// both the estim families (rebuilt from seeds on each daemon) and a
+/// `GraphSpec` carrying inline recorded samples, defined over the wire on
+/// **both** daemons — shard bit-identically to a local single-process run.
+/// Daemons hold no trace state; determinism of the estimation pipeline is
+/// the only thing keeping the fleet honest, which is exactly what this
+/// test pins.
+#[test]
+fn measured_source_scenarios_shard_bit_identically_to_local_run() {
+    // A short recorded trace inlined in the spec (the canonical wire
+    // form — `trace` references are resolved client-side before this).
+    let mut gen = psdacc_dsp::SignalGenerator::new(4242);
+    let samples: Vec<String> = gen.ar1(512, 0.8, 0.02).iter().map(|s| format!("{s:e}")).collect();
+    let graph = format!(
+        r#"{{"nodes":[{{"name":"x","block":"input"}},
+            {{"name":"m","block":"measured","samples":[{}],"nfft":64}},
+            {{"name":"s","block":"add","inputs":["x","m"]}},
+            {{"name":"lp","block":"fir","taps":[0.3,0.4,0.3],"inputs":["s"]}}],
+            "outputs":["lp"]}}"#,
+        samples.join(",")
+    );
+    const MEASURED_SPEC: &str = "scenario recorded-rig\n\
+                                 scenario measured-welch samples=1024 nfft=128 seed=3\n\
+                                 scenario sigma-delta order=2 osr=8 samples=4096 nfft=256\n\
+                                 batch npsd=128 bits=8..11 methods=psd rounding=nearest\n\
+                                 budget npsd=128 bits=9\n";
+
+    // Local reference.
+    let registry = psdacc_engine::ScenarioRegistry::new();
+    let defined = registry.define_graph_json("recorded-rig", &graph).unwrap();
+    let spec = BatchSpec::parse_with(MEASURED_SPEC, &registry).unwrap();
+    let expected: Vec<String> =
+        Engine::new(4).run(spec.jobs()).results.iter().map(|r| r.to_json_line()).collect();
+    assert!(expected.len() >= 15, "4 bits x 3 scenarios + 3 budgets");
+
+    // Fleet: define the recorded graph on both daemons, then shard.
+    let a = spawn_memory_daemon(2);
+    let b = spawn_memory_daemon(2);
+    let workers = vec![a.addr().to_string(), b.addr().to_string()];
+    let definitions = vec![("recorded-rig".to_string(), defined.canonical_json().to_string())];
+    client::define_scenarios(&workers, &definitions).unwrap();
+    let outcome = client::submit(&workers, &spec.jobs()).unwrap();
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(outcome.lines.len(), expected.len());
+    for (got, want) in outcome.lines.iter().zip(&expected) {
+        assert_eq!(stable_fields(got), stable_fields(want), "\n got: {got}\nwant: {want}");
+    }
+    // The budget rows carry the measured role over the wire.
+    let budget_lines: Vec<&String> =
+        outcome.lines.iter().filter(|l| l.contains("\"kind\":\"budget\"")).collect();
+    assert_eq!(budget_lines.len(), 3);
+    assert!(
+        budget_lines.iter().all(|l| l.contains("\"role\":\"measured\"")),
+        "every scenario in this spec has a measured source"
+    );
+    // Both daemons advertise the estim families to clients.
+    for worker in &workers {
+        let describe = client::request_control(worker, "describe").unwrap();
+        for family in ["measured-welch", "cross-spectrum", "sigma-delta"] {
+            assert!(describe.contains(family), "{worker} missing {family}: {describe}");
+        }
+    }
+    a.shutdown();
+    b.shutdown();
 }

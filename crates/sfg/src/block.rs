@@ -1,7 +1,45 @@
 //! Block types that populate a signal-flow graph.
 
+use std::sync::Arc;
+
 use psdacc_fft::Complex;
 use psdacc_filters::{Fir, Iir, LtiSystem};
+
+/// An estimated PSD attached to a [`Block::Measured`] source node: the
+/// two-sided bin-mass spectrum of the zero-mean part of a recorded trace
+/// plus its mean (DC), in the same `{bins, mean}` split every analytic
+/// source uses. Produced by `psdacc_estim::welch_psd` /
+/// `psdacc_estim::cross_psd` (directly or through `GraphSpec`'s
+/// `measured` node kind).
+///
+/// The bins live behind an [`Arc`] so cloning graphs (the evaluator and
+/// the engine's preprocessing cache clone freely) never copies spectra.
+#[derive(Debug, Clone)]
+pub struct MeasuredSource {
+    /// Two-sided bin-mass PSD of the zero-mean signal part, on the
+    /// estimation grid (`nfft` bins over normalized frequency `[0, 1)`).
+    pub bins: Arc<Vec<f64>>,
+    /// Sample mean (DC component), carried separately.
+    pub mean: f64,
+}
+
+impl MeasuredSource {
+    pub fn new(bins: Vec<f64>, mean: f64) -> Self {
+        MeasuredSource { bins: Arc::new(bins), mean }
+    }
+
+    /// Total power of the zero-mean part (`sum(bins)`).
+    pub fn power(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// The source PSD resampled onto an `npsd`-bin evaluation grid,
+    /// conserving total power. Bit-exact copy when the grids already
+    /// match.
+    pub fn bins_at(&self, npsd: usize) -> Vec<f64> {
+        psdacc_estim::rebin_mass(&self.bins, npsd)
+    }
+}
 
 /// A processing block in a signal-flow graph.
 ///
@@ -34,6 +72,14 @@ pub enum Block {
     /// (`L >= 1`), multiplying the sample rate by `L`. Factor 1 is an
     /// exact wire.
     Upsample(usize),
+    /// A measured-signal source (no predecessors): injects an *estimated*
+    /// PSD — Welch or cross-spectrum over a recorded trace — instead of an
+    /// analytic quantization-noise model. Structurally it behaves like
+    /// [`Block::Input`] (unit transfer, exact, never requantizes); the
+    /// evaluator propagates its colored spectrum through the node's
+    /// response to the output. Single-rate graphs only: the multirate
+    /// kernel path is restricted to white per-source moments.
+    Measured(MeasuredSource),
 }
 
 impl Block {
@@ -48,6 +94,7 @@ impl Block {
             Block::Add => "add",
             Block::Downsample(_) => "downsample",
             Block::Upsample(_) => "upsample",
+            Block::Measured(_) => "measured",
         }
     }
 
@@ -73,7 +120,7 @@ impl Block {
     /// more" (the adder).
     pub fn arity(&self) -> Option<usize> {
         match self {
-            Block::Input => Some(0),
+            Block::Input | Block::Measured(_) => Some(0),
             Block::Add => None,
             _ => Some(1),
         }
@@ -86,7 +133,11 @@ impl Block {
     /// never reach the LTI solve (see [`crate::multirate`]).
     pub fn transfer_at(&self, f: f64) -> Complex {
         match self {
-            Block::Input | Block::Add | Block::Downsample(_) | Block::Upsample(_) => Complex::ONE,
+            Block::Input
+            | Block::Add
+            | Block::Downsample(_)
+            | Block::Upsample(_)
+            | Block::Measured(_) => Complex::ONE,
             Block::Gain(g) => Complex::from_re(*g),
             Block::Delay(k) => Complex::cis(-std::f64::consts::TAU * f * *k as f64),
             Block::Fir(fir) => fir
@@ -108,7 +159,11 @@ impl Block {
     /// `F_k = k/n`.
     pub fn frequency_response(&self, n: usize) -> Vec<Complex> {
         match self {
-            Block::Input | Block::Add | Block::Downsample(_) | Block::Upsample(_) => {
+            Block::Input
+            | Block::Add
+            | Block::Downsample(_)
+            | Block::Upsample(_)
+            | Block::Measured(_) => {
                 vec![Complex::ONE; n]
             }
             Block::Gain(g) => vec![Complex::from_re(*g); n],
@@ -132,7 +187,8 @@ impl Block {
             | Block::Add
             | Block::Delay(_)
             | Block::Downsample(_)
-            | Block::Upsample(_) => 1.0,
+            | Block::Upsample(_)
+            | Block::Measured(_) => 1.0,
             Block::Gain(g) => *g,
             Block::Fir(fir) => fir.dc_gain(),
             Block::Iir(iir) => iir.dc_gain(),
@@ -151,7 +207,8 @@ impl Block {
             | Block::Add
             | Block::Delay(_)
             | Block::Downsample(_)
-            | Block::Upsample(_) => 1.0,
+            | Block::Upsample(_)
+            | Block::Measured(_) => 1.0,
             Block::Gain(g) => g * g,
             Block::Fir(fir) => fir.energy(),
             Block::Iir(iir) => iir.energy(),
@@ -161,7 +218,11 @@ impl Block {
     /// Impulse response of the block (structural blocks are deltas).
     pub fn impulse_response(&self, max_len: usize, tol: f64) -> Vec<f64> {
         match self {
-            Block::Input | Block::Add | Block::Downsample(_) | Block::Upsample(_) => vec![1.0],
+            Block::Input
+            | Block::Add
+            | Block::Downsample(_)
+            | Block::Upsample(_)
+            | Block::Measured(_) => vec![1.0],
             Block::Gain(g) => vec![*g],
             Block::Delay(k) => {
                 let mut h = vec![0.0; k + 1];
@@ -274,6 +335,30 @@ mod tests {
                 assert_eq!(v, Complex::ONE);
             }
         }
+    }
+
+    #[test]
+    fn measured_block_is_a_unit_transfer_source() {
+        let src = MeasuredSource::new(vec![0.25; 8], 1.5);
+        let b = Block::Measured(src.clone());
+        assert_eq!(b.kind(), "measured");
+        assert_eq!(b.arity(), Some(0));
+        assert_eq!(b.dc_gain(), 1.0);
+        assert_eq!(b.energy(), 1.0);
+        assert_eq!(b.impulse_response(8, 0.0), vec![1.0]);
+        assert!(!b.changes_rate());
+        assert!(!b.breaks_delay_free_path());
+        for v in b.frequency_response(8) {
+            assert_eq!(v, Complex::ONE);
+        }
+        assert!((src.power() - 2.0).abs() < 1e-15);
+        // Rebinning onto a finer grid conserves power; same grid is exact.
+        assert_eq!(src.bins_at(8), *src.bins);
+        let fine = src.bins_at(32);
+        assert!((fine.iter().sum::<f64>() - 2.0).abs() < 1e-12);
+        // Cloning shares the spectrum (Arc), it does not copy it.
+        let clone = src.clone();
+        assert!(Arc::ptr_eq(&src.bins, &clone.bins));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub fn to_dot(sfg: &Sfg, name: &str) -> String {
             Block::Add => ("+".to_string(), "circle"),
             Block::Downsample(m) => (format!("v{m}"), "invtrapezium"),
             Block::Upsample(l) => (format!("^{l}"), "trapezium"),
+            Block::Measured(src) => (format!("meas[{}]", src.bins.len()), "triangle"),
         };
         let peripheries = if sfg.outputs().contains(&id) { 2 } else { 1 };
         let _ = writeln!(

@@ -52,6 +52,13 @@ pub enum SfgError {
         /// What was attempted and why it cannot work.
         detail: String,
     },
+    /// The requested operation cannot handle measured (estimated-PSD)
+    /// sources: the multirate kernel path and the moments-only baselines
+    /// are restricted to white analytic sources.
+    Measured {
+        /// What was attempted and why it cannot work.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SfgError {
@@ -74,6 +81,9 @@ impl fmt::Display for SfgError {
             }
             SfgError::Multirate { detail } => {
                 write!(f, "unsupported on a multirate graph: {detail}")
+            }
+            SfgError::Measured { detail } => {
+                write!(f, "unsupported with measured sources: {detail}")
             }
         }
     }

@@ -204,6 +204,26 @@ impl Sfg {
         self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
     }
 
+    /// `true` when the graph contains a [`crate::Block::Measured`] source.
+    /// Such graphs are evaluable only on the PSD path (the estimated
+    /// spectrum has no time-domain realization or moment summary), so the
+    /// flat, agnostic, and simulation entry points use this to refuse.
+    pub fn has_measured(&self) -> bool {
+        self.nodes.iter().any(|n| matches!(n.block, crate::Block::Measured(_)))
+    }
+
+    /// The measured source nodes with their estimated spectra, in node
+    /// order — the extra (non-quantization) noise sources the PSD
+    /// evaluator injects.
+    pub fn measured_sources(&self) -> Vec<(NodeId, crate::MeasuredSource)> {
+        self.iter()
+            .filter_map(|(id, n)| match &n.block {
+                crate::Block::Measured(src) => Some((id, src.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Successor lists (inverse of the `inputs` relation).
     pub fn successors(&self) -> Vec<Vec<NodeId>> {
         let mut succ = vec![Vec::new(); self.nodes.len()];

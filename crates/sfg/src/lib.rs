@@ -36,7 +36,7 @@ pub mod multirate;
 pub mod spec;
 pub mod topo;
 
-pub use block::Block;
+pub use block::{Block, MeasuredSource};
 pub use dot::to_dot;
 pub use error::SfgError;
 pub use freq::{node_responses, preprocess, NodeResponses, Preprocessed};

@@ -337,6 +337,14 @@ pub fn multirate_responses(
             detail: format!("IIR block at node {id:?}; lower it to FIR/delay form first"),
         });
     }
+    if let Some((id, _)) = sfg.iter().find(|(_, n)| matches!(n.block, Block::Measured(_))) {
+        return Err(SfgError::Measured {
+            detail: format!(
+                "measured source at node {id:?}: multirate kernels carry white \
+                 per-source moments and cannot propagate an estimated (colored) PSD"
+            ),
+        });
+    }
     #[cfg(feature = "obs")]
     let _mr_frame = psdacc_obs::profile::frame("multirate");
     let rates = node_rates(sfg)?;
@@ -467,6 +475,7 @@ fn through_block(
             state
         }
         Block::Iir(_) => unreachable!("IIR blocks rejected before propagation"),
+        Block::Measured(_) => unreachable!("measured sources rejected before propagation"),
         Block::Downsample(m) => {
             let m = *m;
             if m <= 1 {

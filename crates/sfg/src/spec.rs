@@ -47,6 +47,11 @@ pub const MAX_RATE_FACTOR: usize = 1 << 10;
 /// Longest coefficient list (FIR taps, IIR `b`/`a`) accepted per block.
 pub const MAX_COEFFS: usize = 1 << 16;
 
+/// Longest recorded trace accepted per `measured` node (shared with
+/// `psdacc_estim`). Compiling a measured node runs a Welch estimate over
+/// the samples, so the limit bounds both spec size and compile cost.
+pub const MAX_TRACE_SAMPLES: usize = psdacc_estim::welch::MAX_TRACE_SAMPLES;
+
 /// One block description, by kind and parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BlockSpec {
@@ -86,6 +91,22 @@ pub enum BlockSpec {
         /// The expansion factor.
         factor: usize,
     },
+    /// Measured-signal source: a recorded trace whose Welch-estimated PSD
+    /// becomes a colored noise source at this node. Compilation runs the
+    /// estimator, so the compiled graph carries the spectrum, not the
+    /// samples.
+    Measured {
+        /// The recorded samples (1..=[`MAX_TRACE_SAMPLES`], finite).
+        samples: Vec<f64>,
+        /// Welch segment length (power of two; also the estimation grid).
+        nfft: usize,
+        /// Segment overlap fraction in `[0, 0.95]`.
+        overlap: f64,
+        /// Window name: `rect`, `hann`, `hamming`, `blackman`, `kaiser`.
+        window: String,
+        /// Kaiser shape parameter (required iff `window == "kaiser"`).
+        beta: Option<f64>,
+    },
 }
 
 impl BlockSpec {
@@ -100,8 +121,16 @@ impl BlockSpec {
             BlockSpec::Add => "add",
             BlockSpec::Downsample { .. } => "downsample",
             BlockSpec::Upsample { .. } => "upsample",
+            BlockSpec::Measured { .. } => "measured",
         }
     }
+
+    /// Default Welch segment length for `measured` nodes.
+    pub const MEASURED_DEFAULT_NFFT: usize = 256;
+    /// Default Welch overlap for `measured` nodes.
+    pub const MEASURED_DEFAULT_OVERLAP: f64 = 0.5;
+    /// Default Welch window for `measured` nodes.
+    pub const MEASURED_DEFAULT_WINDOW: &'static str = "hann";
 
     /// Validates parameters and lowers to an executable [`Block`].
     fn to_block(&self, node: &str) -> Result<Block, GraphSpecError> {
@@ -161,6 +190,13 @@ impl BlockSpec {
                     )));
                 }
                 Ok(Block::Upsample(*factor))
+            }
+            BlockSpec::Measured { samples, nfft, overlap, window, beta } => {
+                let window = psdacc_estim::WelchWindow::parse(window, *beta)
+                    .map_err(|e| bad(e.to_string()))?;
+                let cfg = psdacc_estim::WelchConfig { nfft: *nfft, overlap: *overlap, window };
+                let est = psdacc_estim::welch_psd(samples, &cfg).map_err(|e| bad(e.to_string()))?;
+                Ok(Block::Measured(crate::block::MeasuredSource::new(est.bins, est.mean)))
             }
         }
     }
@@ -309,7 +345,7 @@ impl std::fmt::Display for GraphSpecError {
             GraphSpecError::UnknownBlock { node, kind } => write!(
                 f,
                 "node `{node}` declares unknown block kind `{kind}` (known: input, gain, \
-                 delay, fir, iir, add, downsample, upsample)"
+                 delay, fir, iir, add, downsample, upsample, measured)"
             ),
             GraphSpecError::BadParameter { node, detail } => {
                 write!(f, "node `{node}`: {detail}")
@@ -397,6 +433,18 @@ impl GraphSpec {
         check_realizable(&sfg)?;
         if crate::multirate::is_multirate(&sfg) {
             crate::multirate::node_rates(&sfg)?;
+            // The multirate kernel path carries white per-source moments
+            // only: an estimated (colored) spectrum cannot ride through
+            // it, so the combination is rejected at compile time instead
+            // of at first evaluation.
+            if let Some((id, _)) = sfg.iter().find(|(_, n)| matches!(n.block, Block::Measured(_))) {
+                return Err(GraphSpecError::Graph(SfgError::Measured {
+                    detail: format!(
+                        "node `{}` ({id:?}) is a measured source in a multirate graph",
+                        self.nodes[id.0].name
+                    ),
+                }));
+            }
         }
         Ok(sfg)
     }
@@ -563,6 +611,112 @@ mod tests {
         let spec =
             GraphSpec { nodes: vec![NodeSpec::new("x", BlockSpec::Input, &[])], outputs: vec![] };
         assert_eq!(spec.compile().unwrap_err(), GraphSpecError::NoOutput);
+    }
+
+    fn measured_block(samples: Vec<f64>) -> BlockSpec {
+        BlockSpec::Measured {
+            samples,
+            nfft: 16,
+            overlap: 0.5,
+            window: "hann".to_string(),
+            beta: None,
+        }
+    }
+
+    #[test]
+    fn measured_spec_compiles_to_estimated_source() {
+        let samples: Vec<f64> = (0..256).map(|i| 2.0 + (i as f64 * 0.7).sin()).collect();
+        let spec = GraphSpec {
+            nodes: vec![
+                NodeSpec::new("trace", measured_block(samples.clone()), &[]),
+                NodeSpec::new("lp", BlockSpec::Fir { taps: vec![0.5, 0.5] }, &["trace"]),
+            ],
+            outputs: vec!["lp".to_string()],
+        };
+        let sfg = spec.compile().unwrap();
+        let Block::Measured(src) = &sfg.node(NodeId(0)).block else {
+            panic!("expected a measured source");
+        };
+        assert_eq!(src.bins.len(), 16);
+        // The compiled source matches a direct estimator run bit-exactly.
+        let est = psdacc_estim::welch_psd(
+            &samples,
+            &psdacc_estim::WelchConfig {
+                nfft: 16,
+                overlap: 0.5,
+                window: psdacc_estim::WelchWindow::Hann,
+            },
+        )
+        .unwrap();
+        assert_eq!(*src.bins, est.bins);
+        assert_eq!(src.mean, est.mean);
+    }
+
+    #[test]
+    fn measured_parameter_rules_enforced() {
+        let cases = vec![
+            measured_block(vec![]),
+            measured_block(vec![1.0, f64::NAN]),
+            measured_block(vec![0.5; MAX_TRACE_SAMPLES + 1]),
+            BlockSpec::Measured {
+                samples: vec![1.0; 64],
+                nfft: 12, // not a power of two
+                overlap: 0.5,
+                window: "hann".to_string(),
+                beta: None,
+            },
+            BlockSpec::Measured {
+                samples: vec![1.0; 64],
+                nfft: 16,
+                overlap: 0.99,
+                window: "hann".to_string(),
+                beta: None,
+            },
+            BlockSpec::Measured {
+                samples: vec![1.0; 64],
+                nfft: 16,
+                overlap: 0.5,
+                window: "boxcar".to_string(),
+                beta: None,
+            },
+            BlockSpec::Measured {
+                samples: vec![1.0; 64],
+                nfft: 16,
+                overlap: 0.5,
+                window: "kaiser".to_string(),
+                beta: None, // kaiser needs beta
+            },
+            BlockSpec::Measured {
+                samples: vec![1.0; 64],
+                nfft: 16,
+                overlap: 0.5,
+                window: "hann".to_string(),
+                beta: Some(5.0), // beta without kaiser
+            },
+        ];
+        for block in cases {
+            let spec = GraphSpec {
+                nodes: vec![NodeSpec::new("m", block.clone(), &[])],
+                outputs: vec!["m".to_string()],
+            };
+            assert!(
+                matches!(spec.compile(), Err(GraphSpecError::BadParameter { .. })),
+                "{:?}",
+                block.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn measured_source_rejected_on_multirate_graphs() {
+        let spec = GraphSpec {
+            nodes: vec![
+                NodeSpec::new("m", measured_block(vec![0.5; 64]), &[]),
+                NodeSpec::new("d", BlockSpec::Downsample { factor: 2 }, &["m"]),
+            ],
+            outputs: vec!["d".to_string()],
+        };
+        assert!(matches!(spec.compile(), Err(GraphSpecError::Graph(SfgError::Measured { .. }))));
     }
 
     #[test]

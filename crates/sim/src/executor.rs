@@ -101,6 +101,11 @@ impl BlockExec {
             (Block::Fir(f), _) => BlockExec::Fir(f.stream()),
             (Block::Iir(f), None) => BlockExec::Iir(f.stream()),
             (Block::Add, _) => BlockExec::Add,
+            // Measured sources exist for PSD evaluation, not simulation:
+            // the evaluator refuses to simulate graphs containing them, so
+            // this executor only ever sees the zero external drive (it
+            // behaves as a silent input port).
+            (Block::Measured(_), _) => BlockExec::Input,
             (Block::Downsample(_), _) => BlockExec::Downsample,
             (Block::Upsample(l), _) => BlockExec::Upsample { l: (*l).max(1), phase: 0 },
         }

@@ -11,12 +11,15 @@
 //! * [`engine`] — the parallel batch-evaluation engine: scenario registry,
 //!   work-stealing job pool, and the shared preprocessing cache that
 //!   amortizes `tau_pp` across whole word-length campaigns.
+//! * [`estim`] — measured-signal PSD estimation: Welch / cross-spectrum
+//!   estimators, bit-true sigma-delta modulators with figures of merit.
 //! * [`fft`], [`dsp`], [`filters`], [`fixed`], [`sfg`], [`sim`],
 //!   [`wavelet`], [`testimg`], [`systems`] — the substrates it stands on.
 
 pub use psdacc_core as core;
 pub use psdacc_dsp as dsp;
 pub use psdacc_engine as engine;
+pub use psdacc_estim as estim;
 pub use psdacc_fft as fft;
 pub use psdacc_filters as filters;
 pub use psdacc_fixed as fixed;
